@@ -1,0 +1,51 @@
+// Command benchfig regenerates the paper's evaluation figures (§6,
+// Figures 4–10) as text tables. Absolute numbers reflect this machine and
+// the in-memory substrate; the series shapes are the reproduction target
+// (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchfig                 # all figures at laptop scale
+//	benchfig -fig 4          # one figure
+//	benchfig -scale 5        # 5× larger base data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"orchestra/internal/benchharness"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (4-10); 0 = all")
+	scale := flag.Float64("scale", 1, "base-data scale factor (1 = laptop defaults)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	cfg := benchharness.Config{Scale: *scale, Seed: *seed}
+	var figs []int
+	if *fig != 0 {
+		figs = []int{*fig}
+	} else {
+		for n := range benchharness.Figures {
+			figs = append(figs, n)
+		}
+		sort.Ints(figs)
+	}
+	for _, n := range figs {
+		runner, ok := benchharness.Figures[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfig: no figure %d (have 4-10)\n", n)
+			os.Exit(1)
+		}
+		table, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: figure %d: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println(table.Render())
+	}
+}

@@ -1,0 +1,240 @@
+// Command orchestra runs CDSS update exchange over a spec file and lets
+// you inspect instances, provenance, and trust — the CLI face of the
+// Orchestra reproduction.
+//
+// Usage:
+//
+//	orchestra run   [-owner peer] [-strategy provenance|dred|recompute] [-backend indexed|hash] spec.cdss
+//	orchestra query [-owner peer] [-nulls] -q "ans(x,y) :- U(x,y)" spec.cdss
+//	orchestra prov  [-owner peer] -rel U -tuple "2,5" spec.cdss
+//	orchestra graph [-owner peer] spec.cdss           # provenance graph in DOT
+//	orchestra show  spec.cdss                          # parsed spec summary
+//
+// The spec format is documented in internal/spec.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"orchestra/internal/core"
+	"orchestra/internal/datalog"
+	"orchestra/internal/engine"
+	"orchestra/internal/spec"
+	"orchestra/internal/tgd"
+	"orchestra/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "orchestra:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: orchestra <run|query|prov|graph|show> [flags] spec.cdss")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	owner := fs.String("owner", "", "peer whose view (and trust policy) to use; empty = global trust-all view")
+	strategy := fs.String("strategy", "provenance", "deletion strategy: provenance, dred, or recompute")
+	backend := fs.String("backend", "indexed", "engine backend: indexed (Tukwila-style) or hash (DB2-style)")
+	q := fs.String("q", "", "conjunctive query, e.g. 'ans(x,y) :- U(x,y)'")
+	nulls := fs.Bool("nulls", false, "include tuples with labeled nulls (superset of certain answers)")
+	rel := fs.String("rel", "", "relation name for prov")
+	tupleText := fs.String("tuple", "", "comma-separated tuple for prov, e.g. \"3,2\"")
+	saveFile := fs.String("save", "", "write the view state to this file after processing")
+	loadFile := fs.String("load", "", "restore view state from this file instead of replaying the spec's edits")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one spec file")
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	parsed, perr := spec.Parse(f)
+	f.Close()
+	if perr != nil {
+		return perr
+	}
+
+	if cmd == "show" {
+		return show(parsed, out)
+	}
+
+	var be engine.Backend
+	switch *backend {
+	case "indexed":
+		be = engine.BackendIndexed
+	case "hash":
+		be = engine.BackendHash
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+	var strat core.DeletionStrategy
+	switch *strategy {
+	case "provenance":
+		strat = core.DeleteProvenance
+	case "dred":
+		strat = core.DeleteDRed
+	case "recompute":
+		strat = core.DeleteRecompute
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+
+	var view *core.View
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			return err
+		}
+		view, err = core.RestoreView(parsed.Spec, *owner, core.Options{Backend: be}, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		view, err = core.NewView(parsed.Spec, *owner, core.Options{Backend: be})
+		if err != nil {
+			return err
+		}
+		// Replay the file's edits in publication order as one exchange
+		// per peer-contiguous run.
+		var pending core.EditLog
+		var pendingPeer string
+		flush := func() error {
+			if len(pending) == 0 {
+				return nil
+			}
+			_, err := view.ApplyEdits(pending, strat)
+			pending, pendingPeer = nil, ""
+			return err
+		}
+		for _, pe := range parsed.Edits {
+			if pendingPeer != "" && pe.Peer != pendingPeer {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			pendingPeer = pe.Peer
+			pending = append(pending, pe.Edit)
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := view.WriteSnapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	switch cmd {
+	case "run":
+		return dumpInstances(view, out)
+	case "query":
+		if *q == "" {
+			return fmt.Errorf("query requires -q")
+		}
+		rows, err := view.Query(*q, *nulls)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			fmt.Fprintln(out, renderTuple(view, row))
+		}
+		return nil
+	case "prov":
+		if *rel == "" || *tupleText == "" {
+			return fmt.Errorf("prov requires -rel and -tuple")
+		}
+		t, err := parseTuple(*tupleText)
+		if err != nil {
+			return err
+		}
+		expr := view.ProvOf(*rel, t)
+		fmt.Fprintf(out, "Pv(%s%s) = %s\n", *rel, t, expr)
+		return nil
+	case "graph":
+		fmt.Fprint(out, view.Graph().Dot(nil))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func show(parsed *spec.File, out io.Writer) error {
+	u := parsed.Spec.Universe
+	for _, p := range u.Peers() {
+		fmt.Fprintf(out, "peer %s\n", p.Name)
+		for _, r := range p.Schema.Relations() {
+			fmt.Fprintf(out, "  %s\n", r)
+		}
+	}
+	for _, m := range parsed.Spec.Mappings {
+		fmt.Fprintf(out, "mapping %s\n", m)
+	}
+	for _, p := range u.Peers() {
+		if pol := parsed.Spec.Policy(p.Name); pol != nil {
+			fmt.Fprint(out, pol.Describe())
+		}
+	}
+	fmt.Fprintf(out, "%d edits\n", len(parsed.Edits))
+	return nil
+}
+
+func dumpInstances(view *core.View, out io.Writer) error {
+	for _, rel := range view.Spec().Universe.Relations() {
+		tbl := view.Instance(rel.Name)
+		fmt.Fprintf(out, "%s (%d rows)\n", rel.Name, tbl.Len())
+		for _, row := range tbl.Rows() {
+			fmt.Fprintf(out, "  %s\n", renderTuple(view, row))
+		}
+	}
+	return nil
+}
+
+// renderTuple displays labeled nulls through their Skolem structure.
+func renderTuple(view *core.View, row value.Tuple) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = view.Skolems().Describe(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// parseTuple parses "3,2" / "3,'x'" into a tuple of constants.
+func parseTuple(text string) (value.Tuple, error) {
+	var t value.Tuple
+	for _, tok := range strings.Split(text, ",") {
+		term, err := tgd.ParseTerm(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		if term.Kind != datalog.TermConst {
+			return nil, fmt.Errorf("tuple component %q is not a constant", tok)
+		}
+		t = append(t, term.Const)
+	}
+	return t, nil
+}

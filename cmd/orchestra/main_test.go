@@ -1,0 +1,87 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSpec = `
+peer PGUS    { relation G(id int, can int, nam int) }
+peer PBioSQL { relation B(id int, nam int) }
+peer PuBio   { relation U(nam int, can int) }
+
+mapping m1: G(i,c,n) -> B(i,n)
+mapping m2: G(i,c,n) -> U(n,c)
+mapping m3: B(i,n) -> exists c . U(n,c)
+mapping m4: B(i,c), U(n,c) -> B(i,n)
+
+edit PGUS    + G(1,2,3)
+edit PGUS    + G(3,5,2)
+edit PBioSQL + B(3,5)
+edit PuBio   + U(2,5)
+`
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "taxa.cdss")
+	if err := os.WriteFile(path, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCommands(t *testing.T) {
+	path := writeSpec(t)
+	cases := [][]string{
+		{"show", path},
+		{"run", path},
+		{"run", "-backend", "hash", "-strategy", "dred", path},
+		{"run", "-owner", "PBioSQL", path},
+		{"query", "-q", "ans(x,y) :- U(x,y)", path},
+		{"query", "-nulls", "-q", "ans(x,y) :- U(x,y)", path},
+		{"prov", "-rel", "B", "-tuple", "3,2", path},
+		{"graph", path},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("orchestra %v: %v", args, err)
+		}
+	}
+}
+
+func TestRunSaveLoad(t *testing.T) {
+	path := writeSpec(t)
+	state := filepath.Join(t.TempDir(), "state.orc")
+	if err := run([]string{"run", "-save", state, path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatal("state file not written")
+	}
+	if err := run([]string{"query", "-load", state, "-q", "ans(x,y) :- U(x,y)", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSpec(t)
+	cases := [][]string{
+		{},                              // no command
+		{"bogus", path},                 // unknown command
+		{"run"},                         // missing spec
+		{"run", "/does/not/exist.cdss"}, // missing file
+		{"run", "-backend", "quantum", path},
+		{"run", "-strategy", "hope", path},
+		{"query", path}, // missing -q
+		{"prov", path},  // missing -rel/-tuple
+		{"prov", "-rel", "B", "-tuple", "x", path}, // non-constant tuple
+		{"run", "-load", "/does/not/exist.orc", path},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("orchestra %v succeeded, want error", args)
+		}
+	}
+}

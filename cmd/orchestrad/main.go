@@ -1,0 +1,82 @@
+// Command orchestrad runs the CDSS publication service — the central
+// storage through which peers share their edit logs (paper §2: update
+// exchange "publishes P's local edit log — making it globally available
+// via central or distributed storage").
+//
+// Usage:
+//
+//	orchestrad -addr :8344 -store publications.log [-spec confed.cdss]
+//
+// With -spec, incoming publications are validated against the CDSS
+// description (peers may only edit their own relations). With -store,
+// accepted publications are durably appended and reloaded on restart.
+//
+// Protocol: POST /publish, GET /since?cursor=N (see internal/share).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"orchestra/internal/logstore"
+	"orchestra/internal/share"
+	"orchestra/internal/spec"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	storePath := flag.String("store", "", "append-only publication log file (empty = in-memory only)")
+	specPath := flag.String("spec", "", "CDSS spec file to validate publications against")
+	flag.Parse()
+
+	srv := share.NewServer()
+
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatalf("orchestrad: %v", err)
+		}
+		parsed, perr := spec.Parse(f)
+		f.Close()
+		if perr != nil {
+			log.Fatalf("orchestrad: %v", perr)
+		}
+		srv.Validate = share.SpecValidator(parsed.Spec)
+		log.Printf("validating against %s (%d peers, %d mappings)",
+			*specPath, len(parsed.Spec.Universe.Peers()), len(parsed.Spec.Mappings))
+	}
+
+	if *storePath != "" {
+		store, err := logstore.Open(*storePath)
+		if err != nil {
+			log.Fatalf("orchestrad: %v", err)
+		}
+		defer store.Close()
+		// Reload previously persisted publications so fetch cursors
+		// survive restarts.
+		pubs, err := store.Replay()
+		if err != nil {
+			log.Fatalf("orchestrad: %v", err)
+		}
+		for _, p := range pubs {
+			if err := srv.Preload(p.Peer, p.Log); err != nil {
+				log.Fatalf("orchestrad: reloading store: %v", err)
+			}
+		}
+		srv.Persist = store.Append
+		log.Printf("persisting to %s (%d publications reloaded)", *storePath, len(pubs))
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "ok %d publications\n", srv.Len())
+	})
+	log.Printf("orchestrad listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,17 @@
+// Package orchestra is a from-scratch Go reproduction of "Update Exchange
+// with Mappings and Provenance" (Green, Karvounarakis, Ives, Tannen; VLDB
+// 2007 / UPenn TR MS-CIS-07-26) — the Orchestra collaborative data
+// sharing system (CDSS).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are:
+//
+//   - cmd/orchestra    — update exchange, queries, and provenance over
+//     CDSS spec files;
+//   - cmd/workloadgen  — §6.1 synthetic workload generation;
+//   - cmd/benchfig     — regeneration of the paper's Figures 4–10;
+//   - examples/…       — quickstart and domain scenarios.
+//
+// The benchmarks in bench_test.go exercise the same per-figure harness
+// under `go test -bench`.
+package orchestra

@@ -1,0 +1,98 @@
+// Bioshare: a synthetic bioinformatics confederation exercising the full
+// CDSS lifecycle at workload scale (paper §2 and §6.1).
+//
+// Generates a 4-peer confederation from the SWISS-PROT-style workload
+// generator, then simulates several epochs of collaboration: peers insert
+// and curate data offline, publish their logs, and periodically run
+// update exchange — each under its own trust policy. Shows how instances,
+// inputs, and rejections evolve, and how a trust condition diverges one
+// peer's view from the global view.
+//
+// Run with: go run ./examples/bioshare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orchestra/internal/core"
+	"orchestra/internal/trust"
+	"orchestra/internal/workload"
+)
+
+func main() {
+	w, err := workload.New(workload.Config{
+		Peers:    4,
+		Topology: workload.TopologyChain,
+		Dataset:  workload.DatasetInteger,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Confederation ==")
+	for _, p := range w.Spec.Universe.Peers() {
+		fmt.Printf("peer %s:\n", p.Name)
+		for _, r := range p.Schema.Relations() {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	for _, m := range w.Spec.Mappings {
+		fmt.Printf("mapping %s: %d source atom(s) -> %d target atom(s), %d existential(s)\n",
+			m.ID, len(m.LHS), len(m.RHS), len(m.ExistentialVars()))
+	}
+
+	// p3 distrusts everything p1 contributes (token-level trust).
+	pol := trust.NewPolicy("p3")
+	pol.DistrustPeer("p1")
+	w.Spec.Policies["p3"] = pol
+
+	c := core.NewCDSS(w.Spec, core.Options{}, core.DeleteProvenance)
+
+	fmt.Println("\n== Epochs ==")
+	for epoch := 1; epoch <= 3; epoch++ {
+		// Offline edits: everyone inserts; from epoch 2, p1 also curates
+		// (deletes some of its earlier contributions).
+		for _, peer := range w.PeerNames() {
+			log1 := w.GenInsertions(peer, 6)
+			if epoch >= 2 && peer == "p1" {
+				log1 = append(log1, w.GenDeletions("p1", 2)...)
+			}
+			if err := c.Publish(peer, log1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Everyone exchanges.
+		statsByPeer, err := c.ExchangeAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d:\n", epoch)
+		for _, peer := range w.PeerNames() {
+			v, _ := c.View(peer)
+			var localRows, inputRows, outputRows int
+			for _, rel := range w.Spec.Universe.Peer(peer).Schema.Relations() {
+				localRows += v.LocalTable(rel.Name).Len()
+				inputRows += v.InputTable(rel.Name).Len()
+				outputRows += v.Instance(rel.Name).Len()
+			}
+			st := statsByPeer[peer]
+			fmt.Printf("  %s: local=%d input=%d instance=%d  (+%d tuples derived, %d deleted this exchange)\n",
+				peer, localRows, inputRows, outputRows, st.Engine.Derived, st.TuplesDeleted)
+		}
+	}
+
+	// Trust divergence: p3's view (distrusting p1) vs p2's view.
+	fmt.Println("\n== Trust divergence ==")
+	v2, _ := c.View("p2")
+	v3, _ := c.View("p3")
+	rel3 := w.Spec.Universe.Peer("p3").Schema.Relations()[0].Name
+	fmt.Printf("p3's own instance of %s: %d rows under its distrust-p1 policy\n",
+		rel3, v3.Instance(rel3).Len())
+	fmt.Printf("p2's copy of %s (trusting everyone): %d rows\n",
+		rel3, v2.Instance(rel3).Len())
+	if v3.Instance(rel3).Len() < v2.Instance(rel3).Len() {
+		fmt.Println("=> p3 sees fewer tuples: p1's contributions were filtered by trust.")
+	}
+}

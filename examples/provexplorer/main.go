@@ -1,0 +1,161 @@
+// Provexplorer: the semiring-provenance model in action (paper §3.2–3.3
+// and the underlying "Provenance Semirings" framework).
+//
+// Builds Example 6's configuration, then evaluates every derived tuple's
+// provenance in several semirings:
+//
+//   - boolean (trust verdicts under Example 7's token assignments),
+//   - counting (number of derivations),
+//   - tropical (cost of the cheapest derivation, charging 1 per mapping),
+//   - lineage (which base tuples it depends on),
+//
+// and prints the provenance graph in Graphviz DOT form (Example 5).
+//
+// Run with: go run ./examples/provexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"orchestra/internal/core"
+	"orchestra/internal/provenance"
+	"orchestra/internal/semiring"
+	"orchestra/internal/spec"
+)
+
+const cdss = `
+peer PGUS    { relation G(id int, can int, nam int) }
+peer PBioSQL { relation B(id int, nam int) }
+peer PuBio   { relation U(nam int, can int) }
+
+mapping m1: G(i,c,n) -> B(i,n)
+mapping m3: B(i,n) -> exists c . U(n,c)
+mapping m4: B(i,c), U(n,c) -> B(i,n)
+
+edit PBioSQL + B(3,5)
+edit PuBio   + U(2,5)
+edit PGUS    + G(3,5,2)
+`
+
+func main() {
+	parsed, err := spec.ParseString(cdss)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := core.NewView(parsed.Spec, "", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for peer, lg := range parsed.EditLogs() {
+		if _, err := view.ApplyEdits(lg, core.DeleteProvenance); err != nil {
+			log.Fatalf("%s: %v", peer, err)
+		}
+	}
+	g := view.Graph()
+
+	// Example 6's token names.
+	p1 := provenance.NewRef(core.LocalRel("B"), core.MakeTuple(3, 5))
+	p2 := provenance.NewRef(core.LocalRel("U"), core.MakeTuple(2, 5))
+	p3 := provenance.NewRef(core.LocalRel("G"), core.MakeTuple(3, 5, 2))
+	names := map[provenance.Ref]string{p1: "p1", p2: "p2", p3: "p3"}
+	g.SetTokenNamer(func(r provenance.Ref) string {
+		if n, ok := names[r]; ok {
+			return n
+		}
+		return r.String()
+	})
+
+	b32 := provenance.NewRef(core.OutputRel("B"), core.MakeTuple(3, 2))
+	fmt.Println("== Provenance expression (Example 6) ==")
+	fmt.Printf("Pv(B(3,2)) = %s\n", g.ExprFor(b32, 0))
+
+	fmt.Println("\n== Trust in the boolean semiring (Example 7) ==")
+	scenarios := []struct {
+		desc     string
+		tokens   map[provenance.Ref]bool
+		mappings map[string]bool
+	}{
+		{"p1=T p2=D p3=T, all Θ=T", map[provenance.Ref]bool{p2: false}, nil},
+		{"distrust p2 and mapping m1", map[provenance.Ref]bool{p2: false}, map[string]bool{"m1": false}},
+		{"distrust p1 and p2", map[provenance.Ref]bool{p1: false, p2: false}, nil},
+	}
+	for _, sc := range scenarios {
+		vals, err := provenance.Eval[bool](g, semiring.Bool{},
+			func(m string, x bool) bool {
+				if v, ok := sc.mappings[m]; ok {
+					return v && x
+				}
+				return x
+			},
+			func(r provenance.Ref) bool {
+				if v, ok := sc.tokens[r]; ok {
+					return v
+				}
+				return true
+			}, provenance.EvalOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ACCEPT"
+		if !vals[b32] {
+			verdict = "REJECT"
+		}
+		fmt.Printf("%-32s -> B(3,2): %s\n", sc.desc, verdict)
+	}
+
+	fmt.Println("\n== Derivation counts (counting semiring) ==")
+	counts, err := provenance.Eval[int64](g, semiring.Count{}, semiring.Identity[int64](),
+		func(provenance.Ref) int64 { return 1 }, provenance.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSorted(counts, func(v int64) string { return fmt.Sprintf("%d derivation(s)", v) })
+
+	fmt.Println("\n== Cheapest derivation cost (tropical semiring, 1 per mapping hop) ==")
+	costs, err := provenance.Eval[int64](g, semiring.Tropical{},
+		func(_ string, x int64) int64 { return semiring.Tropical{}.Mul(x, 1) },
+		func(provenance.Ref) int64 { return 0 }, provenance.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSorted(costs, func(v int64) string {
+		if v >= semiring.TropInf {
+			return "unreachable"
+		}
+		return fmt.Sprintf("cost %d", v)
+	})
+
+	fmt.Println("\n== Lineage (which base tuples does it depend on?) ==")
+	lin, err := provenance.Eval[semiring.LineageElem](g, semiring.Lineage{},
+		semiring.Identity[semiring.LineageElem](),
+		func(r provenance.Ref) semiring.LineageElem { return semiring.Token(g.TokenName(r)) },
+		provenance.EvalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printSorted(lin, func(v semiring.LineageElem) string { return fmt.Sprintf("%v", []string(v.Set)) })
+
+	fmt.Println("\n== Provenance graph (Graphviz DOT, cf. Example 5) ==")
+	fmt.Print(g.Dot(nil))
+}
+
+// printSorted prints derived-output tuples (Rᵒ tables) with their values.
+func printSorted[T any](vals map[provenance.Ref]T, show func(T) string) {
+	var keys []provenance.Ref
+	for r := range vals {
+		if len(r.Rel) > 2 && r.Rel[len(r.Rel)-2:] == "$o" {
+			keys = append(keys, r)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Rel != keys[j].Rel {
+			return keys[i].Rel < keys[j].Rel
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	for _, r := range keys {
+		fmt.Printf("  %-24s %s\n", r, show(vals[r]))
+	}
+}

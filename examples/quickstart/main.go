@@ -1,0 +1,119 @@
+// Quickstart: the paper's running bioinformatics example (Examples 1–7).
+//
+// Three peers — PGUS (Genomics Unified Schema), PBioSQL (BioPerl's
+// BioSQL), and PuBio (taxon synonyms) — share taxon data through four
+// schema mappings. We publish their edit logs, run update exchange,
+// answer certain-answer queries, inspect provenance, and apply a
+// curation deletion.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"orchestra/internal/core"
+	"orchestra/internal/spec"
+	"orchestra/internal/value"
+)
+
+const cdss = `
+peer PGUS    { relation G(id int, can int, nam int) }
+peer PBioSQL { relation B(id int, nam int) }
+peer PuBio   { relation U(nam int, can int) }
+
+mapping m1: G(i,c,n) -> B(i,n)
+mapping m2: G(i,c,n) -> U(n,c)
+mapping m3: B(i,n) -> exists c . U(n,c)
+mapping m4: B(i,c), U(n,c) -> B(i,n)
+`
+
+func main() {
+	parsed, err := spec.ParseString(cdss)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One CDSS; every peer gets its own view, we use the global one.
+	c := core.NewCDSS(parsed.Spec, core.Options{}, core.DeleteProvenance)
+
+	// Example 3's edit logs: each peer inserts locally, offline.
+	must(c.Publish("PGUS", core.EditLog{
+		core.Ins("G", core.MakeTuple(1, 2, 3)),
+		core.Ins("G", core.MakeTuple(3, 5, 2)),
+	}))
+	must(c.Publish("PBioSQL", core.EditLog{core.Ins("B", core.MakeTuple(3, 5))}))
+	must(c.Publish("PuBio", core.EditLog{core.Ins("U", core.MakeTuple(2, 5))}))
+
+	view, err := c.View("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Exchange(""); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Instances after update exchange (Example 3) ==")
+	for _, rel := range []string{"G", "B", "U"} {
+		tbl := view.Instance(rel)
+		fmt.Printf("%s:", rel)
+		for _, row := range tbl.Rows() {
+			fmt.Printf(" %s", describe(view, row))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Certain answers (Example 3) ==")
+	for _, q := range []string{
+		"ans(x,y) :- U(x,z), U(y,z)",
+		"ans(x,y) :- U(x,y)",
+	} {
+		rows, err := view.Query(q, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s ->", q)
+		for _, row := range rows {
+			fmt.Printf(" %s", row)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Provenance (Example 6) ==")
+	for _, t := range [][]int{{3, 2}, {3, 3}} {
+		tup := core.MakeTuple(t[0], t[1])
+		fmt.Printf("Pv(B%s) = %s\n", tup, view.ProvOf("B", tup))
+	}
+
+	fmt.Println("\n== Curation deletion (end of Example 3) ==")
+	must(c.Publish("PBioSQL", core.EditLog{core.Del("B", core.MakeTuple(3, 2))}))
+	if _, err := c.Exchange(""); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after PBioSQL rejects B(3,2):")
+	fmt.Printf("B:")
+	for _, row := range view.Instance("B").Rows() {
+		fmt.Printf(" %s", row)
+	}
+	fmt.Printf("\nU:")
+	for _, row := range view.Instance("U").Rows() {
+		fmt.Printf(" %s", describe(view, row))
+	}
+	fmt.Println("\n(B lost (3,2) and the derived (3,3); U lost the m3 image of B(3,2).)")
+}
+
+func describe(v *core.View, row value.Tuple) string {
+	parts := make([]string, len(row))
+	for i, val := range row {
+		parts[i] = v.Skolems().Describe(val)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

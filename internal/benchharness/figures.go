@@ -1,0 +1,318 @@
+package benchharness
+
+import (
+	"orchestra/internal/core"
+	"orchestra/internal/engine"
+	"orchestra/internal/workload"
+)
+
+// fig4Workload is Figure 4's setting: 5 peers, full mappings (full tgds /
+// complete topology), a fixed base size per peer.
+func fig4Workload(seed int64) workload.Config {
+	return workload.Config{
+		Peers:    5,
+		Topology: workload.TopologyComplete,
+		AttrMode: workload.AttrsShared,
+		Dataset:  workload.DatasetString,
+		Seed:     seed,
+	}
+}
+
+// Fig4 compares deletion strategies — complete recomputation, the
+// paper's provenance-driven incremental algorithm, and DRed — across
+// deletion ratios (the x-axis "ratio of deletions to base data", §6.3).
+func Fig4(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(120) // paper: 2000 base tuples per peer
+	ratios := []float64{10, 30, 50, 70, 90}
+	t := &Table{
+		Title:   "Figure 4: Deletion alternatives (5 peers, full mappings) — seconds",
+		Columns: []string{"del%", "recompute", "incremental", "dred"},
+	}
+	for _, ratio := range ratios {
+		row := []float64{ratio}
+		for _, strategy := range []core.DeletionStrategy{core.DeleteRecompute, core.DeleteProvenance, core.DeleteDRed} {
+			sc, err := BuildScenario(fig4Workload(cfg.Seed), base, engine.BackendIndexed)
+			if err != nil {
+				return nil, err
+			}
+			n := percentEntries(base, ratio)
+			var logs []core.EditLog
+			for _, peer := range sc.W.PeerNames() {
+				logs = append(logs, sc.W.GenDeletions(peer, n))
+			}
+			sec, err := timeOp(func() error {
+				for _, log := range logs {
+					if _, err := sc.View.ApplyEdits(log, strategy); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sec)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// fig5Workload is the scale-up setting of §6.4: chain topology (n−1
+// mappings among n peers), random attribute subsets.
+func fig5Workload(peers int, ds workload.Dataset, seed int64) workload.Config {
+	return workload.Config{
+		Peers:    peers,
+		Topology: workload.TopologyChain,
+		AttrMode: workload.AttrsRandom,
+		Dataset:  ds,
+		Seed:     seed,
+	}
+}
+
+// fig5Peers are the x-axis points; string datasets stop at 10 peers like
+// the paper's storage-bound runs.
+var fig5Peers = []int{2, 5, 10, 20}
+
+// Fig5 measures the time for peers to join the system — the initial
+// full computation of all instances and provenance — for both backends
+// and both datasets.
+func Fig5(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(60) // paper: 10,000 original base insertions
+	t := &Table{
+		Title:   "Figure 5: Time to join system — seconds",
+		Columns: []string{"peers", "db2_int", "tukwila_int", "db2_str", "tukwila_str"},
+	}
+	for _, peers := range fig5Peers {
+		row := []float64{float64(peers)}
+		for _, series := range []struct {
+			ds workload.Dataset
+			be engine.Backend
+		}{
+			{workload.DatasetInteger, engine.BackendHash},
+			{workload.DatasetInteger, engine.BackendIndexed},
+			{workload.DatasetString, engine.BackendHash},
+			{workload.DatasetString, engine.BackendIndexed},
+		} {
+			w, err := workload.New(fig5Workload(peers, series.ds, cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			logs := w.GenBase(base)
+			v, err := core.NewView(w.Spec, "", core.Options{Backend: series.be})
+			if err != nil {
+				return nil, err
+			}
+			sec, err := timeOp(func() error {
+				for _, peer := range w.PeerNames() {
+					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sec)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 reports initial instance sizes: total tuples (thousands) and
+// database bytes (MB) for the integer and string datasets.
+func Fig6(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(60)
+	t := &Table{
+		Title:   "Figure 6: Initial instance size",
+		Columns: []string{"peers", "ktuples", "mb_int", "mb_str"},
+	}
+	for _, peers := range fig5Peers {
+		var ktuples, mbInt, mbStr float64
+		for i, ds := range []workload.Dataset{workload.DatasetInteger, workload.DatasetString} {
+			sc, err := BuildScenario(fig5Workload(peers, ds, cfg.Seed), base, engine.BackendIndexed)
+			if err != nil {
+				return nil, err
+			}
+			mb := float64(sc.View.DB().TotalBytes()) / (1 << 20)
+			if i == 0 {
+				ktuples = float64(sc.View.DB().TotalRows()) / 1000
+				mbInt = mb
+			} else {
+				mbStr = mb
+			}
+		}
+		t.Rows = append(t.Rows, []float64{float64(peers), ktuples, mbInt, mbStr})
+	}
+	return t, nil
+}
+
+// figInsertions runs the §6.4 incremental-insertion scale-up for one
+// dataset: per peer count, apply 1% and 10% update loads on both
+// backends.
+func figInsertions(cfg Config, ds workload.Dataset, peersAxis []int, title string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(60)
+	t := &Table{
+		Title:   title,
+		Columns: []string{"peers", "ins1_db2", "ins10_db2", "ins1_tukwila", "ins10_tukwila"},
+	}
+	for _, peers := range peersAxis {
+		row := []float64{float64(peers)}
+		for _, be := range []engine.Backend{engine.BackendHash, engine.BackendIndexed} {
+			for _, pct := range []float64{1, 10} {
+				sc, err := BuildScenario(fig5Workload(peers, ds, cfg.Seed), base, be)
+				if err != nil {
+					return nil, err
+				}
+				n := percentEntries(base, pct)
+				var logs []core.EditLog
+				for _, peer := range sc.W.PeerNames() {
+					logs = append(logs, sc.W.GenInsertions(peer, n))
+				}
+				sec, err := timeOp(func() error {
+					for _, log := range logs {
+						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, sec)
+			}
+		}
+		// Reorder: collected as db2(1,10), tukwila(1,10) — already the
+		// column order.
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7 is incremental-insertion scale-up on the string dataset (paper
+// stops at 10 peers).
+func Fig7(cfg Config) (*Table, error) {
+	return figInsertions(cfg, workload.DatasetString, []int{2, 5, 10},
+		"Figure 7: Incremental insertions, string dataset — seconds")
+}
+
+// Fig8 is incremental-insertion scale-up on the integer dataset.
+func Fig8(cfg Config) (*Table, error) {
+	return figInsertions(cfg, workload.DatasetInteger, fig5Peers,
+		"Figure 8: Incremental insertions, integer dataset — seconds")
+}
+
+// Fig9 is incremental-deletion scale-up (1% and 10%, integer and string
+// datasets; like the paper, one engine — deletions were DB2-only there).
+func Fig9(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(60)
+	t := &Table{
+		Title:   "Figure 9: Incremental deletions — seconds",
+		Columns: []string{"peers", "del1_int", "del10_int", "del1_str", "del10_str"},
+	}
+	for _, peers := range fig5Peers {
+		row := []float64{float64(peers)}
+		for _, ds := range []workload.Dataset{workload.DatasetInteger, workload.DatasetString} {
+			for _, pct := range []float64{1, 10} {
+				sc, err := BuildScenario(fig5Workload(peers, ds, cfg.Seed), base, engine.BackendIndexed)
+				if err != nil {
+					return nil, err
+				}
+				n := percentEntries(base, pct)
+				var logs []core.EditLog
+				for _, peer := range sc.W.PeerNames() {
+					logs = append(logs, sc.W.GenDeletions(peer, n))
+				}
+				sec, err := timeOp(func() error {
+					for _, log := range logs {
+						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, sec)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// fig10Workload is §6.5's setting: 5 peers averaging 2 neighbors, nested
+// attribute subsets so manually added cycles stay weakly acyclic.
+func fig10Workload(cycles int, seed int64) workload.Config {
+	return workload.Config{
+		Peers:        5,
+		Topology:     workload.TopologyRandom,
+		AttrMode:     workload.AttrsNested,
+		AvgNeighbors: 2,
+		ExtraCycles:  cycles,
+		Dataset:      workload.DatasetInteger,
+		Seed:         seed,
+	}
+}
+
+// Fig10 measures the effect of mapping cycles on fixpoint time (both
+// backends) and on the number of tuples computed.
+func Fig10(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	base := cfg.entries(60)
+	t := &Table{
+		Title:   "Figure 10: Effect of cycles (5 peers, avg 2 neighbors)",
+		Columns: []string{"cycles", "db2_sec", "tukwila_sec", "ktuples"},
+	}
+	for cycles := 0; cycles <= 3; cycles++ {
+		row := []float64{float64(cycles)}
+		var ktuples float64
+		for _, be := range []engine.Backend{engine.BackendHash, engine.BackendIndexed} {
+			w, err := workload.New(fig10Workload(cycles, cfg.Seed))
+			if err != nil {
+				return nil, err
+			}
+			logs := w.GenBase(base)
+			v, err := core.NewView(w.Spec, "", core.Options{Backend: be})
+			if err != nil {
+				return nil, err
+			}
+			sec, err := timeOp(func() error {
+				for _, peer := range w.PeerNames() {
+					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, sec)
+			ktuples = float64(v.DB().TotalRows()) / 1000
+		}
+		row = append(row, ktuples)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figures maps figure numbers to runners, for cmd/benchfig.
+var Figures = map[int]func(Config) (*Table, error){
+	4:  Fig4,
+	5:  Fig5,
+	6:  Fig6,
+	7:  Fig7,
+	8:  Fig8,
+	9:  Fig9,
+	10: Fig10,
+}

@@ -1,0 +1,47 @@
+package benchharness
+
+import "testing"
+
+func TestFormatCell(t *testing.T) {
+	cases := map[float64]string{
+		3:        "3",
+		0:        "0",
+		20.5:     "20.5000",
+		0.0042:   "0.0042",
+		150.26:   "150.3",
+		1000:     "1000",
+		1234.567: "1234.6",
+	}
+	for in, want := range cases {
+		if got := formatCell(in); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1 {
+		t.Fatal("default scale")
+	}
+	if got := c.entries(100); got != 100 {
+		t.Fatalf("entries(100) = %d", got)
+	}
+	small := Config{Scale: 0.001}.withDefaults()
+	if got := small.entries(100); got != 2 {
+		t.Fatalf("scaled-down entries clamp = %d", got)
+	}
+	big := Config{Scale: 3}.withDefaults()
+	if got := big.entries(100); got != 300 {
+		t.Fatalf("scaled-up entries = %d", got)
+	}
+}
+
+func TestPercentEntries(t *testing.T) {
+	if percentEntries(200, 10) != 20 {
+		t.Fatal("10% of 200")
+	}
+	if percentEntries(10, 1) != 1 {
+		t.Fatal("minimum of 1")
+	}
+}

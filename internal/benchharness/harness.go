@@ -1,0 +1,137 @@
+// Package benchharness regenerates the paper's experimental evaluation
+// (§6, Figures 4–10). Each FigN runner reproduces one figure's parameter
+// sweep and returns the same series the paper plots, scaled to laptop
+// sizes (absolute numbers differ from the 2007 testbed; the shapes —
+// who wins, by what factor, where crossovers fall — are the reproduction
+// target). cmd/benchfig prints the tables; bench_test.go wraps the same
+// scenarios in testing.B benchmarks.
+package benchharness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orchestra/internal/core"
+	"orchestra/internal/engine"
+	"orchestra/internal/workload"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Scale multiplies base-data sizes (1.0 = laptop defaults; the
+	// paper's server-scale settings correspond to roughly Scale 10–50).
+	Scale float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+func (c Config) entries(base int) int {
+	n := int(float64(base) * c.Scale)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Table is one regenerated figure: an x column followed by data series.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]float64
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, col := range t.Columns {
+		widths[i] = len(col)
+	}
+	for ri, row := range t.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := formatCell(v)
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, col := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], col)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Scenario bundles a loaded CDSS view with its generating workload — the
+// starting state of an experiment.
+type Scenario struct {
+	W    *workload.Workload
+	View *core.View
+}
+
+// BuildScenario generates a workload, instantiates a global view on the
+// chosen backend, and loads entriesPerPeer base entries for every peer
+// (the §6.2 "base size").
+func BuildScenario(wcfg workload.Config, entriesPerPeer int, backend engine.Backend) (*Scenario, error) {
+	w, err := workload.New(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.NewView(w.Spec, "", core.Options{Backend: backend})
+	if err != nil {
+		return nil, err
+	}
+	for _, peer := range w.PeerNames() {
+		log := w.GenInsertions(peer, entriesPerPeer)
+		if _, err := v.ApplyEdits(log, core.DeleteProvenance); err != nil {
+			return nil, err
+		}
+	}
+	return &Scenario{W: w, View: v}, nil
+}
+
+// timeOp runs fn and returns elapsed seconds.
+func timeOp(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}
+
+// percentEntries converts a percentage of the per-peer base size into an
+// entry count (at least 1).
+func percentEntries(base int, pct float64) int {
+	n := int(float64(base) * pct / 100)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package benchharness
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/workload"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config { return Config{Scale: 0.08, Seed: 42} }
+
+func TestBuildScenario(t *testing.T) {
+	sc, err := BuildScenario(workload.Config{Peers: 3, Seed: 1, Dataset: workload.DatasetInteger}, 5, engine.BackendIndexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.View.DB().TotalRows() == 0 {
+		t.Fatal("scenario has no data")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"x", "y"},
+		Rows:    [][]float64{{1, 0.5}, {2, 123.456}},
+	}
+	out := tb.Render()
+	for _, frag := range []string{"demo", "x", "y", "0.5000", "123.5"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tab, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 || len(tab.Columns) != 4 {
+		t.Fatalf("shape: %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	for _, row := range tab.Rows {
+		for i := 1; i < len(row); i++ {
+			if row[i] < 0 {
+				t.Fatal("negative time")
+			}
+		}
+	}
+}
+
+func TestFig5And6Shape(t *testing.T) {
+	t5, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 4 || len(t5.Columns) != 5 {
+		t.Fatalf("fig5 shape: %dx%d", len(t5.Rows), len(t5.Columns))
+	}
+	t6, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instance sizes must grow with peer count, and string > integer.
+	prev := 0.0
+	for _, row := range t6.Rows {
+		if row[1] <= prev {
+			t.Fatalf("tuples do not grow with peers: %v", t6.Rows)
+		}
+		prev = row[1]
+		if row[3] <= row[2] {
+			t.Fatalf("string dataset not larger than integer: %v", row)
+		}
+	}
+}
+
+func TestFig7Through10Shape(t *testing.T) {
+	c := tiny()
+	t7, err := Fig7(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 3 {
+		t.Fatalf("fig7 rows: %d", len(t7.Rows))
+	}
+	t8, err := Fig8(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 4 {
+		t.Fatalf("fig8 rows: %d", len(t8.Rows))
+	}
+	t9, err := Fig9(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Rows) != 4 {
+		t.Fatalf("fig9 rows: %d", len(t9.Rows))
+	}
+	t10, err := Fig10(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 4 {
+		t.Fatalf("fig10 rows: %d", len(t10.Rows))
+	}
+	// Tuples at fixpoint must not shrink as cycles are added (Fig. 10's
+	// observed growth).
+	for i := 1; i < len(t10.Rows); i++ {
+		if t10.Rows[i][3] < t10.Rows[i-1][3] {
+			t.Fatalf("fixpoint size shrank with cycles: %v", t10.Rows)
+		}
+	}
+}
+
+func TestFiguresRegistry(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 7, 8, 9, 10} {
+		if Figures[n] == nil {
+			t.Fatalf("figure %d missing from registry", n)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package benchharness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/engine"
+	"orchestra/internal/value"
+	"orchestra/internal/workload"
+)
+
+// canonicalState renders every table of a view with labeled nulls
+// replaced by their Skolem-term structure, for cross-view comparison.
+func canonicalState(v *core.View) []string {
+	var out []string
+	db := v.DB()
+	for _, name := range db.Names() {
+		db.Table(name).Each(func(row value.Tuple) bool {
+			parts := make([]string, len(row))
+			for i, val := range row {
+				parts[i] = v.Skolems().Describe(val)
+			}
+			out = append(out, fmt.Sprintf("%s%v", name, parts))
+			return true
+		})
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestWorkloadMaintenanceEquivalence is the repository's heaviest
+// property test: on synthetic §6.1 confederations, random epochs of
+// insertions and deletions maintained with every (strategy × backend)
+// combination must all converge to the same consistent state (Def. 3.1),
+// compared table-by-table including provenance relations.
+func TestWorkloadMaintenanceEquivalence(t *testing.T) {
+	configs := []workload.Config{
+		{Peers: 3, Topology: workload.TopologyChain, AttrMode: workload.AttrsRandom, Dataset: workload.DatasetInteger, Seed: 21},
+		{Peers: 4, Topology: workload.TopologyComplete, AttrMode: workload.AttrsShared, Dataset: workload.DatasetInteger, Seed: 22},
+		{Peers: 4, Topology: workload.TopologyRandom, AttrMode: workload.AttrsNested, ExtraCycles: 2, Dataset: workload.DatasetInteger, Seed: 23},
+	}
+	type variant struct {
+		strategy core.DeletionStrategy
+		backend  engine.Backend
+	}
+	variants := []variant{
+		{core.DeleteProvenance, engine.BackendIndexed},
+		{core.DeleteProvenance, engine.BackendHash},
+		{core.DeleteDRed, engine.BackendIndexed},
+		{core.DeleteRecompute, engine.BackendIndexed},
+	}
+
+	for ci, cfg := range configs {
+		// Script the epochs once per config so all variants replay the
+		// exact same logs.
+		script := buildScript(t, cfg)
+		var reference []string
+		for vi, vr := range variants {
+			v, err := core.NewView(mustWorkload(t, cfg).Spec, "", core.Options{Backend: vr.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, log := range script {
+				if _, err := v.ApplyEdits(log, vr.strategy); err != nil {
+					t.Fatalf("config %d variant %s/%s: %v", ci, vr.strategy, vr.backend, err)
+				}
+			}
+			state := canonicalState(v)
+			if vi == 0 {
+				reference = state
+				continue
+			}
+			if len(state) != len(reference) {
+				t.Fatalf("config %d: %s/%s has %d rows, reference %d",
+					ci, vr.strategy, vr.backend, len(state), len(reference))
+			}
+			for ri := range state {
+				if state[ri] != reference[ri] {
+					t.Fatalf("config %d: %s/%s row %d:\n  got  %s\n  want %s",
+						ci, vr.strategy, vr.backend, ri, state[ri], reference[ri])
+				}
+			}
+		}
+	}
+}
+
+func mustWorkload(t *testing.T, cfg workload.Config) *workload.Workload {
+	t.Helper()
+	w, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// buildScript generates a deterministic sequence of edit logs: base
+// insertions, then interleaved insertion/deletion epochs.
+func buildScript(t *testing.T, cfg workload.Config) []core.EditLog {
+	t.Helper()
+	w := mustWorkload(t, cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed * 7))
+	var script []core.EditLog
+	for _, peer := range w.PeerNames() {
+		script = append(script, w.GenInsertions(peer, 4))
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		for _, peer := range w.PeerNames() {
+			switch rng.Intn(3) {
+			case 0:
+				script = append(script, w.GenInsertions(peer, 2))
+			case 1:
+				script = append(script, w.GenDeletions(peer, 1))
+			default:
+				log := w.GenInsertions(peer, 1)
+				log = append(log, w.GenDeletions(peer, 1)...)
+				script = append(script, log)
+			}
+		}
+	}
+	return script
+}

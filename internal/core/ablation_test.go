@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"orchestra/internal/schema"
+	"orchestra/internal/tgd"
+)
+
+// multiAtomSpec has a mapping with two RHS atoms, where composite and
+// split provenance encodings actually differ.
+func multiAtomSpec(t *testing.T) *Spec {
+	t.Helper()
+	u := schema.NewUniverse()
+	p := schema.NewPeer("P")
+	p.AddRelation("R", schema.Column{Name: "x", Type: schema.TypeInt}, schema.Column{Name: "y", Type: schema.TypeInt})
+	q := schema.NewPeer("Q")
+	q.AddRelation("S", schema.Column{Name: "x", Type: schema.TypeInt}, schema.Column{Name: "z", Type: schema.TypeInt})
+	q.AddRelation("T", schema.Column{Name: "z", Type: schema.TypeInt}, schema.Column{Name: "y", Type: schema.TypeInt})
+	u.AddPeer(p)
+	u.AddPeer(q)
+	spec, err := NewSpec(u, []*tgd.TGD{
+		tgd.MustParse("m: R(x,y) -> S(x,z), T(z,y)"),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// Composite (§5's optimization) and split (per-RHS-atom) provenance
+// encodings must produce identical user instances, and identical
+// maintenance behavior under every deletion strategy.
+func TestSplitProvTablesEquivalence(t *testing.T) {
+	run := func(split bool, strategy DeletionStrategy) *View {
+		v, err := NewView(multiAtomSpec(t), "", Options{SplitProvTables: split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.ApplyEdits(EditLog{
+			Ins("R", MakeTuple(1, 2)),
+			Ins("R", MakeTuple(3, 4)),
+		}, strategy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.ApplyEdits(EditLog{Del("R", MakeTuple(1, 2))}, strategy); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for _, strategy := range []DeletionStrategy{DeleteProvenance, DeleteDRed, DeleteRecompute} {
+		composite := run(false, strategy)
+		split := run(true, strategy)
+		// User-visible instances agree (provenance table layouts differ).
+		for _, rel := range []string{"R", "S", "T"} {
+			cr := canonicalRows(composite, OutputRel(rel))
+			sr := canonicalRows(split, OutputRel(rel))
+			if len(cr) != len(sr) {
+				t.Fatalf("%s: %s has %d vs %d rows", strategy, rel, len(cr), len(sr))
+			}
+			for i := range cr {
+				if cr[i] != sr[i] {
+					t.Fatalf("%s: %s row %d: %q vs %q", strategy, rel, i, cr[i], sr[i])
+				}
+			}
+		}
+		// Both S and T rows share the Skolem value z per R row.
+		s := split.Instance("S").Rows()
+		tt := split.Instance("T").Rows()
+		if len(s) != 1 || len(tt) != 1 || s[0][1] != tt[0][0] {
+			t.Fatalf("%s: shared existential broken: S=%v T=%v", strategy, s, tt)
+		}
+	}
+}
+
+// The split encoding stores one provenance row per RHS atom, the
+// composite one per tgd instantiation.
+func TestSplitProvTablesStorageCost(t *testing.T) {
+	mk := func(split bool) *View {
+		v, err := NewView(multiAtomSpec(t), "", Options{SplitProvTables: split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		log := EditLog{}
+		for i := 0; i < 10; i++ {
+			log = append(log, Ins("R", MakeTuple(i, i+1)))
+		}
+		if _, err := v.ApplyEdits(log, DeleteProvenance); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	composite, split := mk(false), mk(true)
+	compRows := composite.DB().Table("p$m").Len()
+	splitRows := split.DB().Table("p$m#0").Len() + split.DB().Table("p$m#1").Len()
+	if compRows != 10 {
+		t.Fatalf("composite rows = %d", compRows)
+	}
+	if splitRows != 20 {
+		t.Fatalf("split rows = %d (duplicated per RHS atom)", splitRows)
+	}
+	if composite.DB().Table("p$m#0") != nil {
+		t.Fatal("composite view has split tables")
+	}
+	if split.DB().Table("p$m") != nil {
+		t.Fatal("split view has a composite table")
+	}
+}
+
+// Provenance expressions are unaffected by the encoding choice.
+func TestSplitProvTablesExpressions(t *testing.T) {
+	for _, splitMode := range []bool{false, true} {
+		v, err := NewView(multiAtomSpec(t), "", Options{SplitProvTables: splitMode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.ApplyEdits(EditLog{Ins("R", MakeTuple(1, 2))}, DeleteProvenance); err != nil {
+			t.Fatal(err)
+		}
+		rows := v.Instance("S").Rows()
+		if len(rows) != 1 {
+			t.Fatal("S rows")
+		}
+		expr := v.ProvOf("S", rows[0])
+		if got := expr.String(); got != "m(R(1, 2))" {
+			t.Fatalf("split=%v: Pv(S) = %q", splitMode, got)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"orchestra/internal/value"
+)
+
+// CDSS orchestrates a confederation of peers over one Spec: peers publish
+// edit logs (making them globally visible), and each peer performs update
+// exchange at its own pace, importing every log published since its last
+// exchange into its own view (§2's operational model). The special view
+// "" is the global trust-all observer used by experiments.
+type CDSS struct {
+	spec     *Spec
+	opts     Options
+	strategy DeletionStrategy
+
+	views map[string]*View
+	// published is the global publication sequence.
+	published []publication
+	// cursor[viewOwner] = number of publications already consumed.
+	cursor map[string]int
+}
+
+type publication struct {
+	peer string
+	log  EditLog
+}
+
+// NewCDSS creates the orchestrator.
+func NewCDSS(spec *Spec, opts Options, strategy DeletionStrategy) *CDSS {
+	return &CDSS{
+		spec:     spec,
+		opts:     opts,
+		strategy: strategy,
+		views:    make(map[string]*View),
+		cursor:   make(map[string]int),
+	}
+}
+
+// Spec returns the CDSS description.
+func (c *CDSS) Spec() *Spec { return c.spec }
+
+// View returns (lazily creating) the view of a peer, or the global view
+// for "".
+func (c *CDSS) View(peer string) (*View, error) {
+	if v, ok := c.views[peer]; ok {
+		return v, nil
+	}
+	v, err := NewView(c.spec, peer, c.opts)
+	if err != nil {
+		return nil, err
+	}
+	c.views[peer] = v
+	return v, nil
+}
+
+// Publish appends a peer's edit log to the global sequence after
+// validating that every edit touches one of the peer's own relations
+// (peers edit only their local instance, §2).
+func (c *CDSS) Publish(peer string, log EditLog) error {
+	p := c.spec.Universe.Peer(peer)
+	if p == nil {
+		return fmt.Errorf("core: unknown peer %q", peer)
+	}
+	for _, e := range log {
+		rel := c.spec.Universe.Relation(e.Rel)
+		if rel == nil {
+			return fmt.Errorf("core: edit %s references unknown relation", e)
+		}
+		if rel.Peer != peer {
+			return fmt.Errorf("core: peer %q cannot edit relation %q of peer %q", peer, e.Rel, rel.Peer)
+		}
+		if len(e.Tuple) != rel.Arity() {
+			return fmt.Errorf("core: edit %s has wrong arity for %s", e, rel.Name)
+		}
+	}
+	c.published = append(c.published, publication{peer: peer, log: log})
+	return nil
+}
+
+// Exchange performs update exchange for a peer: all publications since
+// the peer's previous exchange are imported into its view, in global
+// publication order, with deletions propagated by the configured
+// strategy and trust applied per the view owner's policy.
+func (c *CDSS) Exchange(peer string) (ApplyStats, error) {
+	v, err := c.View(peer)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	var stats ApplyStats
+	for i := c.cursor[peer]; i < len(c.published); i++ {
+		s, err := v.ApplyEdits(c.published[i].log, c.strategy)
+		stats.Add(s)
+		if err != nil {
+			return stats, err
+		}
+		c.cursor[peer] = i + 1
+	}
+	return stats, nil
+}
+
+// ExchangeAll runs Exchange for every peer (and the global view if it has
+// been created), in peer registration order.
+func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
+	out := make(map[string]ApplyStats)
+	for _, p := range c.spec.Universe.Peers() {
+		s, err := c.Exchange(p.Name)
+		out[p.Name] = s
+		if err != nil {
+			return out, err
+		}
+	}
+	if _, ok := c.views[""]; ok {
+		s, err := c.Exchange("")
+		out[""] = s
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Pending reports how many publications a peer has not yet imported.
+func (c *CDSS) Pending(peer string) int { return len(c.published) - c.cursor[peer] }
+
+// MakeTuple is a convenience for building tuples in specs and tests:
+// ints become integer values, strings become string values.
+func MakeTuple(vals ...any) value.Tuple {
+	t := make(value.Tuple, len(vals))
+	for i, x := range vals {
+		switch v := x.(type) {
+		case int:
+			t[i] = value.Int(int64(v))
+		case int64:
+			t[i] = value.Int(v)
+		case string:
+			t[i] = value.String(v)
+		case value.Value:
+			t[i] = v
+		default:
+			panic(fmt.Sprintf("core: MakeTuple: unsupported %T", x))
+		}
+	}
+	return t
+}

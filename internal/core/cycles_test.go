@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+	"orchestra/internal/tgd"
+)
+
+// cycleSpec builds the minimal mutually-recursive CDSS: peers P{A(x)}
+// and Q{B(x)} with full-tgd mappings A→B and B→A. Full tgds keep the set
+// weakly acyclic while the provenance graph contains genuine loops —
+// exactly the "several tuples mutually derivable from one another, yet
+// none derivable from edbs" situation §4.2 says deletion must garbage
+// collect.
+func cycleSpec(t *testing.T) *Spec {
+	t.Helper()
+	u := schema.NewUniverse()
+	p := schema.NewPeer("P")
+	if _, err := p.AddRelation("A", schema.Column{Name: "x", Type: schema.TypeInt}); err != nil {
+		t.Fatal(err)
+	}
+	q := schema.NewPeer("Q")
+	if _, err := q.AddRelation("B", schema.Column{Name: "x", Type: schema.TypeInt}); err != nil {
+		t.Fatal(err)
+	}
+	for _, peer := range []*schema.Peer{p, q} {
+		if err := u.AddPeer(peer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec, err := NewSpec(u, []*tgd.TGD{
+		tgd.MustParse("ma: A(x) -> B(x)"),
+		tgd.MustParse("mb: B(x) -> A(x)"),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestCyclicGarbageCollection is the Fig. 3 / Example 10 scenario: after
+// deleting the only base support, the A(1) ↔ B(1) derivation loop must
+// be garbage collected even though each tuple still "supports" the
+// other.
+func TestCyclicGarbageCollection(t *testing.T) {
+	for _, strategy := range []DeletionStrategy{DeleteProvenance, DeleteDRed, DeleteRecompute} {
+		for _, be := range []engine.Backend{engine.BackendIndexed, engine.BackendHash} {
+			t.Run(strategy.String()+"/"+be.String(), func(t *testing.T) {
+				v, err := NewView(cycleSpec(t), "", Options{Backend: be})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
+					t.Fatal(err)
+				}
+				// The loop materialized: A and B both hold (1).
+				if !v.Instance("A").Contains(MakeTuple(1)) || !v.Instance("B").Contains(MakeTuple(1)) {
+					t.Fatalf("loop not established:\n%s", v.db.Dump())
+				}
+				// Input tables mutually support the pair.
+				if !v.InputTable("A").Contains(MakeTuple(1)) {
+					t.Fatal("A input missing (mb should derive it)")
+				}
+
+				stats, err := v.ApplyEdits(EditLog{Del("A", MakeTuple(1))}, strategy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Everything must be gone — instances, inputs, provenance.
+				if v.db.TotalRows() != 0 {
+					t.Fatalf("garbage left after deleting the only edb support (%s):\n%s",
+						strategy, v.db.Dump())
+				}
+				if strategy == DeleteProvenance && stats.Checked == 0 {
+					t.Fatal("provenance deletion should have exercised the derivability test")
+				}
+			})
+		}
+	}
+}
+
+// TestCyclicPartialSupport deletes one of two supports: the loop must
+// survive on the remaining one.
+func TestCyclicPartialSupport(t *testing.T) {
+	for _, strategy := range []DeletionStrategy{DeleteProvenance, DeleteDRed, DeleteRecompute} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			v, err := NewView(cycleSpec(t), "", Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
+				t.Fatal(err)
+			}
+			// Q also inserts B(1) locally: a second, independent anchor.
+			if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(1))}, strategy); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.ApplyEdits(EditLog{Del("A", MakeTuple(1))}, strategy); err != nil {
+				t.Fatal(err)
+			}
+			// B(1) is still locally contributed, so both instances keep (1).
+			if !v.Instance("B").Contains(MakeTuple(1)) {
+				t.Fatalf("B lost its own local contribution:\n%s", v.db.Dump())
+			}
+			if !v.Instance("A").Contains(MakeTuple(1)) {
+				t.Fatalf("A lost the tuple still derivable via mb:\n%s", v.db.Dump())
+			}
+		})
+	}
+}
+
+// TestCyclicSemiringEvaluations checks the semiring wrappers on the
+// cyclic view: trust needs the edb anchor; counts saturate; ranked trust
+// discounts by mapping confidence along the best path.
+func TestCyclicSemiringEvaluations(t *testing.T) {
+	v, err := NewView(cycleSpec(t), "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
+		t.Fatal(err)
+	}
+	aOut := OutRef("A", MakeTuple(1))
+	bOut := OutRef("B", MakeTuple(1))
+	token := BaseRef("A", MakeTuple(1))
+
+	trusted, err := TrustEval(v, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trusted[aOut] || !trusted[bOut] {
+		t.Fatal("fully trusted loop rejected")
+	}
+	distrusted, err := TrustEval(v, map[provenance.Ref]bool{token: false}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distrusted[aOut] || distrusted[bOut] {
+		t.Fatal("loop sustained trust without trusted edb (least fixpoint violated)")
+	}
+
+	counts, err := DerivationCounts(v, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Infinitely many derivations around the loop: the count saturates.
+	if counts[bOut] != 100 {
+		t.Fatalf("count(B(1)) = %d, want saturation at 100", counts[bOut])
+	}
+
+	ranks, err := RankTrust(v, nil, map[string]float64{"ma": 0.5, "mb": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best derivation of B(1): token(1.0) via ma(0.5) = 0.5; of A(1): the
+	// direct local contribution = 1.0.
+	if ranks[bOut] != 0.5 {
+		t.Fatalf("rank(B(1)) = %v, want 0.5", ranks[bOut])
+	}
+	if ranks[aOut] != 1.0 {
+		t.Fatalf("rank(A(1)) = %v, want 1.0", ranks[aOut])
+	}
+
+	lin, err := Lineage(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin[bOut].Bottom || len(lin[bOut].Set) != 1 {
+		t.Fatalf("lineage(B(1)) = %v", lin[bOut])
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/engine"
+	"orchestra/internal/provenance"
+	"orchestra/internal/value"
+)
+
+// Declarative derivation testing (§4.1.3). The paper turns the mapping
+// rules "inside out": for every mapping rule (m″) R(x̄,f̄(x̄)) :- P_mi(v̄)
+// an inverse rule P′_mi(v̄) :- P_mi(v̄), R_chk(x̄) recovers the provenance
+// rows relevant to the tuples under check, and source-expansion rules
+// mark the body tuples those rows consumed, recursively, down to the
+// local-contribution tables. This file materializes that program so the
+// goal-directed support computation can itself run on the datalog engine
+// (the procedural View.supportOf is the optimized equivalent; the tests
+// cross-check the two).
+
+// chkRel names the R_chk relation of an internal relation.
+func chkRel(rel string) string { return "c$" + rel }
+
+// invProvRel names the P′ relation of a mapping.
+func invProvRel(mapID string) string { return "pi$" + mapID }
+
+// inverseState is the lazily-built declarative derivation-test machinery.
+type inverseState struct {
+	prog   *datalog.Program
+	ev     *engine.Evaluator
+	tables []string // every c$/pi$ table, for clearing
+}
+
+// buildInverse constructs the inverse program and its tables in the
+// view's database.
+func (v *View) buildInverse() error {
+	if v.inv != nil {
+		return nil
+	}
+	inv := &inverseState{prog: datalog.NewProgram()}
+
+	// R_chk tables, one per internal relation that can be derived.
+	for _, rel := range v.spec.Universe.Relations() {
+		for _, name := range []string{
+			LocalRel(rel.Name), RejectRel(rel.Name), InputRel(rel.Name), OutputRel(rel.Name),
+		} {
+			cname := chkRel(name)
+			if _, err := v.db.Create(cname, v.db.Table(name).Arity()); err != nil {
+				return err
+			}
+			inv.tables = append(inv.tables, cname)
+		}
+	}
+
+	for _, mi := range v.infos {
+		pName := invProvRel(mi.ID)
+		arity := len(mi.Vars)
+		if _, err := v.db.Create(pName, arity); err != nil {
+			return err
+		}
+		inv.tables = append(inv.tables, pName)
+
+		provArgs := make([]datalog.Term, arity)
+		varName := func(i int) string { return fmt.Sprintf("v%d", i) }
+		for i := range provArgs {
+			provArgs[i] = datalog.V(varName(i))
+		}
+
+		// P′_mi(v̄) :- R_chk(target-args), P_mi(v̄) — one rule per target
+		// atom. The chk atom comes first so the compiled plan is driven
+		// by the (small) suspect set. Skolem positions stay Skolem terms:
+		// the engine evaluates them as computed equality checks, so chk
+		// tuples with non-null values there match nothing (exact join).
+		for ti := range mi.Targets {
+			tmpl := &mi.Targets[ti]
+			chkArgs := make([]datalog.Term, len(tmpl.Args))
+			for ai, spec := range tmpl.Args {
+				switch {
+				case spec.Col >= 0:
+					chkArgs[ai] = provArgs[spec.Col]
+				case spec.Col == -1:
+					chkArgs[ai] = datalog.C(spec.Const)
+				default:
+					skArgs := make([]string, len(spec.FnArgCols))
+					for j, c := range spec.FnArgCols {
+						skArgs[j] = varName(c)
+					}
+					chkArgs[ai] = datalog.Sk(spec.Fn, skArgs...)
+				}
+			}
+			inv.prog.Add(datalog.NewRule(
+				fmt.Sprintf("inv:%s:t%d", mi.ID, ti),
+				datalog.NewAtom(pName, provArgs...),
+				datalog.Pos(datalog.NewAtom(chkRel(tmpl.Rel), chkArgs...)),
+				datalog.Pos(datalog.NewAtom(mi.ProvRel, provArgs...)),
+			))
+		}
+
+		// R_chk(source-args) :- P′_mi(v̄) — one rule per source atom,
+		// marking the body tuples of relevant derivations for recursive
+		// checking (the paper's φ′ expansion).
+		for si := range mi.Sources {
+			tmpl := &mi.Sources[si]
+			srcArgs := make([]datalog.Term, len(tmpl.Args))
+			for ai, spec := range tmpl.Args {
+				if spec.Col >= 0 {
+					srcArgs[ai] = provArgs[spec.Col]
+				} else {
+					srcArgs[ai] = datalog.C(spec.Const)
+				}
+			}
+			inv.prog.Add(datalog.NewRule(
+				fmt.Sprintf("inv:%s:s%d", mi.ID, si),
+				datalog.NewAtom(chkRel(tmpl.Rel), srcArgs...),
+				datalog.Pos(datalog.NewAtom(pName, provArgs...)),
+			))
+		}
+	}
+
+	ev, err := engine.New(inv.prog, v.db, v.sk, engine.Options{
+		Backend:       v.opts.Backend,
+		MaxIterations: v.opts.MaxIterations,
+	})
+	if err != nil {
+		return err
+	}
+	inv.ev = ev
+	v.inv = inv
+	return nil
+}
+
+// InverseProgram returns the §4.1.3 inverse-rule program (building it on
+// first use), for inspection and the CLI.
+func (v *View) InverseProgram() (*datalog.Program, error) {
+	if err := v.buildInverse(); err != nil {
+		return nil, err
+	}
+	return v.inv.prog, nil
+}
+
+// SupportDeclarative computes the supporting base tuples of the targets
+// by running the inverse-rule program to fixpoint — the paper's
+// formulation of the backward pass. It must agree with the procedural
+// supportOf (cross-checked in tests).
+func (v *View) SupportDeclarative(targets []provenance.Ref) (map[provenance.Ref]bool, error) {
+	if err := v.buildInverse(); err != nil {
+		return nil, err
+	}
+	defer v.clearInverse()
+
+	// Seed the chk tables with the suspects.
+	for _, ref := range targets {
+		tbl := v.db.Table(chkRel(ref.Rel))
+		if tbl == nil {
+			return nil, fmt.Errorf("core: no chk relation for %q", ref.Rel)
+		}
+		tbl.Insert(ref.Tuple())
+	}
+	v.inv.ev.InvalidateAllTransient()
+	if _, err := v.inv.ev.Run(); err != nil {
+		return nil, err
+	}
+
+	// Support = chk rows over local-contribution tables that are actually
+	// present ("filter the R′ relations … to only include values from
+	// local contributions tables").
+	support := make(map[provenance.Ref]bool)
+	for _, rel := range v.spec.Universe.Relations() {
+		lname := LocalRel(rel.Name)
+		ltbl := v.db.Table(lname)
+		v.db.Table(chkRel(lname)).Each(func(row value.Tuple) bool {
+			if ltbl.Contains(row) {
+				support[provenance.NewRef(lname, row)] = true
+			}
+			return true
+		})
+	}
+	return support, nil
+}
+
+// clearInverse empties the inverse workspace tables.
+func (v *View) clearInverse() {
+	for _, name := range v.inv.tables {
+		v.db.Table(name).Clear()
+	}
+	v.ev.InvalidateAllTransient()
+}

@@ -1,0 +1,640 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/provenance"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// DeletionStrategy selects how deletions are propagated (§6.3's three
+// contenders).
+type DeletionStrategy uint8
+
+const (
+	// DeleteProvenance is the paper's incremental algorithm (Fig. 3):
+	// goal-directed, provenance-driven.
+	DeleteProvenance DeletionStrategy = iota
+	// DeleteDRed is the Gupta–Mumick–Subrahmanian baseline: pessimistic
+	// over-deletion followed by re-derivation.
+	DeleteDRed
+	// DeleteRecompute throws the derived state away and recomputes from
+	// base tables.
+	DeleteRecompute
+)
+
+func (s DeletionStrategy) String() string {
+	switch s {
+	case DeleteProvenance:
+		return "provenance"
+	case DeleteDRed:
+		return "dred"
+	default:
+		return "recompute"
+	}
+}
+
+// ApplyStats reports the work done by a maintenance operation.
+type ApplyStats struct {
+	// Base-change counts actually applied.
+	InsL, DelL, InsR, DelR int
+	// TuplesDeleted counts derived tuples removed.
+	TuplesDeleted int
+	// ProvRowsDeleted counts provenance rows removed.
+	ProvRowsDeleted int
+	// Checked counts tuples submitted to the derivability test; Rederived
+	// counts the survivors.
+	Checked, Rederived int
+	// Engine accumulates fixpoint statistics from insertion propagation
+	// and re-derivation.
+	Engine engine.Stats
+}
+
+// Add accumulates other into s.
+func (s *ApplyStats) Add(other ApplyStats) {
+	s.InsL += other.InsL
+	s.DelL += other.DelL
+	s.InsR += other.InsR
+	s.DelR += other.DelR
+	s.TuplesDeleted += other.TuplesDeleted
+	s.ProvRowsDeleted += other.ProvRowsDeleted
+	s.Checked += other.Checked
+	s.Rederived += other.Rederived
+	s.Engine.Add(other.Engine)
+}
+
+// FullRecompute discards all derived state (inputs, outputs, provenance)
+// and recomputes it from the base tables — the non-incremental baseline
+// of §6.3.
+func (v *View) FullRecompute() (engine.Stats, error) {
+	for _, rel := range v.spec.Universe.Relations() {
+		v.db.Table(InputRel(rel.Name)).Clear()
+		v.db.Table(OutputRel(rel.Name)).Clear()
+	}
+	for _, mi := range v.infos {
+		v.db.Table(mi.ProvRel).Clear()
+	}
+	v.ev.InvalidateAllTransient()
+	return v.ev.Run()
+}
+
+// ApplyEdits applies one peer-published edit log to the view: net effect
+// over Rℓ/Rr, then deletion propagation with the chosen strategy, then
+// insertion propagation. This is the per-exchange maintenance entry point.
+func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
+	dl, dr, err := NetEffect(log, v.db)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	return v.ApplyBase(dl, dr, strategy)
+}
+
+// ApplyBase applies base-table deltas: dl over local-contribution tables,
+// dr over rejection tables (both keyed by *user* relation names).
+// Deletion effects (local deletions, new rejections) propagate first,
+// then insertion effects (new contributions, withdrawn rejections).
+func (v *View) ApplyBase(dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
+	var stats ApplyStats
+
+	switch strategy {
+	case DeleteRecompute:
+		// Apply every base change, then rebuild.
+		v.applyBaseChanges(dl, dr, &stats)
+		es, err := v.FullRecompute()
+		stats.Engine.Add(es)
+		return stats, err
+	case DeleteDRed:
+		if err := v.deleteDRed(dl, dr, &stats); err != nil {
+			return stats, err
+		}
+	default:
+		if err := v.deleteProvenance(dl, dr, &stats); err != nil {
+			return stats, err
+		}
+	}
+	if err := v.insertIncremental(dl, dr, &stats); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// applyBaseChanges applies all four kinds of base change without any
+// propagation (used by the recompute strategy).
+func (v *View) applyBaseChanges(dl, dr storage.DeltaSet, stats *ApplyStats) {
+	for rel, d := range dl {
+		lt := v.db.Table(LocalRel(rel))
+		for _, t := range d.Del() {
+			if lt.Delete(t) {
+				stats.DelL++
+			}
+		}
+		for _, t := range d.Ins() {
+			if v.trustsBase(rel, t) && lt.Insert(t) {
+				stats.InsL++
+			}
+		}
+	}
+	for rel, d := range dr {
+		rt := v.db.Table(RejectRel(rel))
+		for _, t := range d.Ins() {
+			if rt.Insert(t) {
+				stats.InsR++
+			}
+		}
+		for _, t := range d.Del() {
+			if rt.Delete(t) {
+				stats.DelR++
+			}
+		}
+	}
+}
+
+// insertIncremental applies the insertion-side base changes (new local
+// contributions from dl, withdrawn rejections from dr) and propagates
+// them semi-naively with inline trust filtering (§4.2).
+func (v *View) insertIncremental(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+	delta := storage.DeltaSet{}
+	for rel, d := range dl {
+		lt := v.db.Table(LocalRel(rel))
+		for _, t := range d.Ins() {
+			if !v.trustsBase(rel, t) {
+				continue
+			}
+			if lt.Insert(t) {
+				stats.InsL++
+				delta.Insert(LocalRel(rel), t)
+				v.ev.InvalidateTransient(LocalRel(rel))
+			}
+		}
+	}
+	for rel, d := range dr {
+		rt := v.db.Table(RejectRel(rel))
+		it := v.db.Table(InputRel(rel))
+		for _, t := range d.Del() {
+			if rt.Delete(t) {
+				stats.DelR++
+				v.ev.InvalidateTransient(RejectRel(rel))
+				// A withdrawn rejection revives the blocked input tuple:
+				// re-feed it through rule (tR) by seeding the delta.
+				if it.Contains(t) {
+					delta.Insert(InputRel(rel), t)
+				}
+			}
+		}
+	}
+	if delta.Empty() {
+		return nil
+	}
+	es, err := v.ev.PropagateInsertions(delta)
+	stats.Engine.Add(es)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Provenance-driven incremental deletion (the paper's Fig. 3).
+
+// provHandle identifies one provenance row.
+type provHandle struct {
+	mi  *provenance.MappingInfo
+	row value.Tuple
+}
+
+// deleteProvenance implements the PropagateDelete algorithm: delete
+// provenance rows invalidated by base deletions; tuples that lose all
+// provenance rows are deleted and cascade; tuples that keep some rows are
+// tested for derivability from the EDB via the goal-directed inverse
+// program (§4.1.3), and garbage-collected if the test fails (this is what
+// collects derivation cycles no longer anchored in local contributions).
+func (v *View) deleteProvenance(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+	var work []provenance.Ref // tuples deleted, pending source-cascade
+	var provDel []provHandle  // provenance rows pending deletion
+	deleted := make(map[provenance.Ref]bool)
+	rchk := make(map[provenance.Ref]bool)
+
+	// Seed: local-contribution deletions…
+	for rel, d := range dl {
+		lt := v.db.Table(LocalRel(rel))
+		for _, t := range d.Del() {
+			if lt.Delete(t) {
+				stats.DelL++
+				v.ev.InvalidateTransient(LocalRel(rel))
+				ref := provenance.NewRef(LocalRel(rel), t)
+				deleted[ref] = true
+				work = append(work, ref)
+			}
+		}
+	}
+	// …and curation rejections, which invalidate the (tR) provenance row
+	// of the rejected input tuple.
+	for rel, d := range dr {
+		rt := v.db.Table(RejectRel(rel))
+		pIns := v.db.Table(provRelOf(insMapID(rel)))
+		for _, t := range d.Ins() {
+			if rt.Insert(t) {
+				stats.InsR++
+				v.ev.InvalidateTransient(RejectRel(rel))
+				if pIns.Contains(t) {
+					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: t.Clone()})
+				}
+			}
+		}
+	}
+
+	deleteTuple := func(ref provenance.Ref) {
+		if deleted[ref] {
+			return
+		}
+		tbl := v.db.Table(ref.Rel)
+		t := ref.Tuple()
+		if tbl == nil || !tbl.Delete(t) {
+			return
+		}
+		v.ev.InvalidateTransient(ref.Rel)
+		deleted[ref] = true
+		delete(rchk, ref)
+		stats.TuplesDeleted++
+		work = append(work, ref)
+	}
+
+	// cascade drains the two worklists: provenance-row deletions update
+	// target support; tuple deletions invalidate provenance rows that use
+	// them as sources.
+	cascade := func() {
+		for len(work) > 0 || len(provDel) > 0 {
+			rows := provDel
+			provDel = nil
+			for _, h := range rows {
+				pt := v.db.Table(h.mi.ProvRel)
+				if !pt.Delete(h.row) {
+					continue
+				}
+				v.ev.InvalidateTransient(h.mi.ProvRel)
+				stats.ProvRowsDeleted++
+				for i := range h.mi.Targets {
+					ref := provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row, v.sk))
+					if deleted[ref] {
+						continue
+					}
+					if !v.hasSupport(ref) {
+						deleteTuple(ref)
+					} else {
+						rchk[ref] = true
+					}
+				}
+			}
+			tuples := work
+			work = nil
+			for _, ref := range tuples {
+				provDel = append(provDel, v.rowsUsingSource(ref)...)
+			}
+		}
+	}
+
+	cascade()
+
+	// Derivability loop (Fig. 3 lines 10–18): test surviving suspects;
+	// failures are garbage-collected (their remaining provenance rows are
+	// the non-well-founded cyclic ones) and the cascade continues.
+	for len(rchk) > 0 {
+		var pending []provenance.Ref
+		for ref := range rchk {
+			if !deleted[ref] && v.db.Table(ref.Rel).ContainsKey(ref.Key) {
+				pending = append(pending, ref)
+			}
+		}
+		rchk = make(map[provenance.Ref]bool)
+		if len(pending) == 0 {
+			break
+		}
+		stats.Checked += len(pending)
+		alive, err := v.derivable(pending, stats)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for _, ref := range pending {
+			if alive[ref] {
+				stats.Rederived++
+				continue
+			}
+			// Not derivable from the EDB: remove the tuple and the cyclic
+			// provenance rows still deriving it.
+			provDel = append(provDel, v.rowsDeriving(ref)...)
+			deleteTuple(ref)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		cascade()
+	}
+	return nil
+}
+
+// mappingInfo finds registered metadata by mapping id.
+func (v *View) mappingInfo(id string) *provenance.MappingInfo {
+	for _, mi := range v.infos {
+		if mi.ID == id {
+			return mi
+		}
+	}
+	panic(fmt.Sprintf("core: unknown mapping %q", id))
+}
+
+// rowsUsingSource returns handles of live provenance rows with ref among
+// their sources, via an indexed probe on the provenance table.
+func (v *View) rowsUsingSource(ref provenance.Ref) []provHandle {
+	var out []provHandle
+	t := ref.Tuple()
+	for _, ms := range v.bySourceRel[ref.Rel] {
+		tmpl := &ms.mi.Sources[ms.idx]
+		v.probeTemplate(ms.mi, tmpl, t, func(row value.Tuple) {
+			out = append(out, provHandle{mi: ms.mi, row: row.Clone()})
+		})
+	}
+	return out
+}
+
+// rowsDeriving returns handles of live provenance rows with ref among
+// their targets.
+func (v *View) rowsDeriving(ref provenance.Ref) []provHandle {
+	var out []provHandle
+	t := ref.Tuple()
+	for _, mt := range v.byTargetRel[ref.Rel] {
+		tmpl := &mt.mi.Targets[mt.idx]
+		v.probeTemplate(mt.mi, tmpl, t, func(row value.Tuple) {
+			out = append(out, provHandle{mi: mt.mi, row: row.Clone()})
+		})
+	}
+	return out
+}
+
+// hasSupport reports whether any live provenance row still derives ref.
+func (v *View) hasSupport(ref provenance.Ref) bool {
+	t := ref.Tuple()
+	for _, mt := range v.byTargetRel[ref.Rel] {
+		found := false
+		v.probeTemplate(mt.mi, &mt.mi.Targets[mt.idx], t, func(value.Tuple) { found = true })
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// probeTemplate finds provenance rows of mi whose template instantiation
+// equals want, probing a secondary index on the first directly-copied
+// column when possible.
+func (v *View) probeTemplate(mi *provenance.MappingInfo, tmpl *provenance.AtomTemplate, want value.Tuple, fn func(value.Tuple)) {
+	pt := v.db.Table(mi.ProvRel)
+	if pt.Len() == 0 {
+		return
+	}
+	matches := func(row value.Tuple) bool {
+		got := tmpl.Instantiate(row, v.sk)
+		return got.Equal(want)
+	}
+	probeCol := -1
+	var probeVal value.Value
+	for i, a := range tmpl.Args {
+		if a.Col >= 0 {
+			probeCol = a.Col
+			probeVal = want[i]
+			break
+		}
+	}
+	if probeCol >= 0 {
+		pt.EnsureIndex(probeCol)
+		pt.Probe(probeCol, probeVal, func(row value.Tuple) bool {
+			if matches(row) {
+				fn(row)
+			}
+			return true
+		})
+		return
+	}
+	pt.Each(func(row value.Tuple) bool {
+		if matches(row) {
+			fn(row)
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Derivability testing (§4.1.3).
+
+// derivable runs the goal-directed derivation test: trace the provenance
+// graph backward from the suspects to their supporting EDB tuples, then
+// re-run the (trust-filtered) mapping program forward on a scratch
+// database seeded with exactly that support, and report which suspects
+// reappear.
+func (v *View) derivable(refs []provenance.Ref, stats *ApplyStats) (map[provenance.Ref]bool, error) {
+	if err := v.ensureChk(); err != nil {
+		return nil, err
+	}
+	// Reset the scratch database.
+	for _, name := range v.chkDB.Names() {
+		v.chkDB.Table(name).Clear()
+	}
+	v.chkEv.InvalidateAllTransient()
+
+	// Backward: supporting base tuples (present local contributions),
+	// found goal-directedly via indexed probes — this is the "majority of
+	// its computation while only using the keys of tuples" property §6.3
+	// credits for beating DRed.
+	support := v.supportOf(refs)
+	for ref := range support {
+		v.chkDB.Table(ref.Rel).Insert(ref.Tuple())
+	}
+	// Rejections still apply during re-derivation.
+	for _, rel := range v.spec.Universe.Relations() {
+		src := v.db.Table(RejectRel(rel.Name))
+		dst := v.chkDB.Table(RejectRel(rel.Name))
+		src.Each(func(t value.Tuple) bool {
+			dst.Insert(t)
+			return true
+		})
+	}
+	// Forward: fixpoint over the support.
+	es, err := v.chkEv.Run()
+	stats.Engine.Add(es)
+	if err != nil {
+		return nil, err
+	}
+	alive := make(map[provenance.Ref]bool, len(refs))
+	for _, ref := range refs {
+		if tbl := v.chkDB.Table(ref.Rel); tbl != nil && tbl.ContainsKey(ref.Key) {
+			alive[ref] = true
+		}
+	}
+	return alive, nil
+}
+
+// Derivability reports whether a tuple of a user relation's instance is
+// derivable from the current local contributions (§4.1.3's test, exposed
+// for curation tooling), together with the supporting base tuples found
+// by the backward pass. A tuple may be present yet non-derivable only
+// transiently inside deletion propagation; after any maintenance
+// operation completes, presence and derivability coincide.
+func (v *View) Derivability(rel string, t value.Tuple) (bool, []provenance.Ref, error) {
+	ref := provenance.NewRef(OutputRel(rel), t)
+	var stats ApplyStats
+	alive, err := v.derivable([]provenance.Ref{ref}, &stats)
+	if err != nil {
+		return false, nil, err
+	}
+	support := v.supportOf([]provenance.Ref{ref})
+	refs := make([]provenance.Ref, 0, len(support))
+	for r := range support {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Rel != refs[j].Rel {
+			return refs[i].Rel < refs[j].Rel
+		}
+		return refs[i].Key < refs[j].Key
+	})
+	return alive[ref], refs, nil
+}
+
+// supportOf walks the provenance graph backward from the targets to the
+// base tuples supporting them, using indexed probes on the provenance
+// tables (goal-directed, unlike provenance.Graph.Support which scans).
+func (v *View) supportOf(targets []provenance.Ref) map[provenance.Ref]bool {
+	support := make(map[provenance.Ref]bool)
+	visited := make(map[provenance.Ref]bool)
+	stack := make([]provenance.Ref, 0, len(targets))
+	for _, t := range targets {
+		if !visited[t] {
+			visited[t] = true
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v.graph.IsBase(cur) {
+			if tbl := v.db.Table(cur.Rel); tbl != nil && tbl.ContainsKey(cur.Key) {
+				support[cur] = true
+			}
+			continue
+		}
+		for _, h := range v.rowsDeriving(cur) {
+			for i := range h.mi.Sources {
+				src := provenance.NewRef(h.mi.Sources[i].Rel, h.mi.Sources[i].Instantiate(h.row, v.sk))
+				if !visited[src] {
+					visited[src] = true
+					stack = append(stack, src)
+				}
+			}
+		}
+	}
+	return support
+}
+
+// ensureChk lazily builds the scratch database and evaluator used by
+// derivability tests.
+func (v *View) ensureChk() error {
+	if v.chkEv != nil {
+		return nil
+	}
+	v.chkDB = storage.NewDatabase()
+	for _, name := range v.db.Names() {
+		if _, err := v.chkDB.Create(name, v.db.Table(name).Arity()); err != nil {
+			return err
+		}
+	}
+	ev, err := engine.New(v.prog, v.chkDB, v.sk, engine.Options{
+		Backend:       v.opts.Backend,
+		MaxIterations: v.opts.MaxIterations,
+	})
+	if err != nil {
+		return err
+	}
+	v.chkEv = ev
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// DRed baseline (§4.2, §6.3).
+
+// deleteDRed propagates deletions pessimistically: every tuple
+// transitively derivable from a deleted tuple is removed (regardless of
+// alternative derivations), then the program is re-run to fixpoint to
+// re-derive survivors — re-insertion being the expensive step the paper
+// measures against.
+func (v *View) deleteDRed(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+	var work []provenance.Ref
+	var provDel []provHandle
+	deleted := make(map[provenance.Ref]bool)
+
+	for rel, d := range dl {
+		lt := v.db.Table(LocalRel(rel))
+		for _, t := range d.Del() {
+			if lt.Delete(t) {
+				stats.DelL++
+				ref := provenance.NewRef(LocalRel(rel), t)
+				deleted[ref] = true
+				work = append(work, ref)
+			}
+		}
+	}
+	for rel, d := range dr {
+		rt := v.db.Table(RejectRel(rel))
+		pIns := v.db.Table(provRelOf(insMapID(rel)))
+		for _, t := range d.Ins() {
+			if rt.Insert(t) {
+				stats.InsR++
+				if pIns.Contains(t) {
+					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: t.Clone()})
+				}
+			}
+		}
+	}
+
+	overDelete := func(ref provenance.Ref) {
+		if deleted[ref] {
+			return
+		}
+		tbl := v.db.Table(ref.Rel)
+		if tbl == nil || !tbl.Delete(ref.Tuple()) {
+			return
+		}
+		deleted[ref] = true
+		stats.TuplesDeleted++
+		work = append(work, ref)
+	}
+
+	for len(work) > 0 || len(provDel) > 0 {
+		rows := provDel
+		provDel = nil
+		for _, h := range rows {
+			pt := v.db.Table(h.mi.ProvRel)
+			if !pt.Delete(h.row) {
+				continue
+			}
+			stats.ProvRowsDeleted++
+			for i := range h.mi.Targets {
+				// Pessimism: delete the target even if other derivations
+				// exist; re-derivation restores it.
+				overDelete(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row, v.sk)))
+			}
+		}
+		tuples := work
+		work = nil
+		for _, ref := range tuples {
+			provDel = append(provDel, v.rowsUsingSource(ref)...)
+		}
+	}
+
+	// Re-derivation: full fixpoint from the surviving state.
+	v.ev.InvalidateAllTransient()
+	es, err := v.ev.Run()
+	stats.Engine.Add(es)
+	stats.Rederived += es.Derived
+	return err
+}

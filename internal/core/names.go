@@ -1,0 +1,40 @@
+// Package core implements the paper's primary contribution: CDSS update
+// exchange (§3–§4). It expands user schemas into the internal four-table
+// form (Rℓ, Rr, Rⁱ, Rᵒ; Fig. 2), compiles the mapping network plus trust
+// conditions into a provenance-encoded datalog program, and maintains all
+// peer instances and their provenance under edit logs — by full
+// recomputation, by semi-naive incremental insertion, by the paper's
+// provenance-driven incremental deletion algorithm (Fig. 3), or by the
+// DRed baseline it is evaluated against (§6.3).
+package core
+
+// Internal relation naming (Fig. 2). The "$" infix keeps internal names
+// out of the user namespace (user relation names cannot contain '$').
+const (
+	localSuffix  = "$l" // Rℓ: local contributions
+	rejectSuffix = "$r" // Rr: local rejections
+	inputSuffix  = "$i" // Rⁱ: tuples mapped in from other peers
+	outputSuffix = "$o" // Rᵒ: curated output = (trusted Rⁱ − Rr) ∪ Rℓ
+)
+
+// LocalRel names the local-contributions table of a user relation.
+func LocalRel(rel string) string { return rel + localSuffix }
+
+// RejectRel names the rejections table of a user relation.
+func RejectRel(rel string) string { return rel + rejectSuffix }
+
+// InputRel names the input table of a user relation.
+func InputRel(rel string) string { return rel + inputSuffix }
+
+// OutputRel names the curated output table of a user relation — the
+// peer's queryable local instance.
+func OutputRel(rel string) string { return rel + outputSuffix }
+
+// insMapID names the internal bookkeeping mapping (tR): Rⁱ ∧ ¬Rr → Rᵒ.
+func insMapID(rel string) string { return "in$" + rel }
+
+// locMapID names the internal bookkeeping mapping (ℓR): Rℓ → Rᵒ.
+func locMapID(rel string) string { return "lc$" + rel }
+
+// provRel names the provenance table of an internal mapping id.
+func provRelOf(mapID string) string { return "p$" + mapID }

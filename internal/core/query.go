@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/engine"
+	"orchestra/internal/tgd"
+	"orchestra/internal/trust"
+	"orchestra/internal/value"
+)
+
+// Query answers a conjunctive query over the view's curated instances
+// with the certain-answers semantics of §2.1: tuples containing labeled
+// nulls are discarded unless includeNulls is set (the "superset of the
+// certain answers" option the paper mentions).
+//
+// The query syntax is datalog with an optional selection clause:
+//
+//	ans(x,y) :- U(x,z), U(y,z)
+//	ans(x,y) :- U(x,y) where x >= 3 and y != 5
+//
+// Body relations are user relation names; they are answered from the Rᵒ
+// instances.
+func (v *View) Query(q string, includeNulls bool) ([]value.Tuple, error) {
+	rule, err := v.parseQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return v.QueryRule(rule, includeNulls)
+}
+
+// parseQuery parses "head :- body [where pred]" over user relations.
+func (v *View) parseQuery(q string) (*datalog.Rule, error) {
+	parts := strings.SplitN(q, ":-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("core: query %q missing ':-'", q)
+	}
+	heads, err := tgd.ParseAtoms(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("core: query head: %w", err)
+	}
+	if len(heads) != 1 {
+		return nil, fmt.Errorf("core: query must have exactly one head atom")
+	}
+	bodyText := parts[1]
+	var where *trust.Pred
+	if i := strings.Index(bodyText, " where "); i >= 0 {
+		where, err = trust.ParsePred(bodyText[i+7:])
+		if err != nil {
+			return nil, fmt.Errorf("core: query selection: %w", err)
+		}
+		bodyText = bodyText[:i]
+	}
+	bodyAtoms, err := tgd.ParseAtoms(bodyText)
+	if err != nil {
+		return nil, fmt.Errorf("core: query body: %w", err)
+	}
+	body := make([]datalog.Literal, len(bodyAtoms))
+	for i, a := range bodyAtoms {
+		if v.spec.Universe.Relation(a.Pred) == nil {
+			return nil, fmt.Errorf("core: query references unknown relation %q", a.Pred)
+		}
+		body[i] = datalog.Pos(datalog.NewAtom(OutputRel(a.Pred), a.Args...))
+	}
+	rule := datalog.NewRule("query", heads[0], body...)
+	if where != nil && !where.Trivial() {
+		pred := where
+		rule.AddFilter(pred.String(), func(env map[string]value.Value) bool {
+			return pred.Eval(env)
+		})
+	}
+	return rule, nil
+}
+
+// QueryRule evaluates an already-built conjunctive query rule whose body
+// atoms reference internal relations of the view.
+func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
+	tmp := "q$" + rule.Head.Pred
+	if v.db.Table(tmp) != nil {
+		return nil, fmt.Errorf("core: query workspace %q busy", tmp)
+	}
+	head := datalog.NewAtom(tmp, rule.Head.Args...)
+	qr := datalog.NewRule(rule.ID, head, rule.Body...)
+	qr.Filters, qr.FilterDescs = rule.Filters, rule.FilterDescs
+	if _, err := v.db.Create(tmp, len(head.Args)); err != nil {
+		return nil, err
+	}
+	defer v.db.Drop(tmp)
+
+	ev, err := engine.New(datalog.NewProgram(qr), v.db, v.sk, engine.Options{Backend: v.opts.Backend})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ev.Run(); err != nil {
+		return nil, err
+	}
+	var out []value.Tuple
+	for _, row := range v.db.Table(tmp).Rows() {
+		if !includeNulls && row.HasNull() {
+			continue
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

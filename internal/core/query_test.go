@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"orchestra/internal/provenance"
+)
+
+func TestQueryWhereClause(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	// B = {(3,5),(3,2),(1,3),(3,3)}.
+	rows, err := v.Query("ans(i,n) :- B(i,n) where n >= 3", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("where n>=3: %v", rows)
+	}
+	for _, r := range rows {
+		if r[1].AsInt() < 3 {
+			t.Fatalf("filter leaked %v", r)
+		}
+	}
+	rows, err = v.Query("ans(i,n) :- B(i,n) where n >= 3 and i = 3", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("conjunctive where: %v", rows)
+	}
+	// A trivially-true where keeps everything.
+	rows, err = v.Query("ans(i,n) :- B(i,n) where true", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("where true: %v", rows)
+	}
+	// Bad predicate is reported.
+	if _, err := v.Query("ans(i,n) :- B(i,n) where n !!", false); err == nil {
+		t.Fatal("bad where accepted")
+	}
+}
+
+func TestQueryJoinAcrossPeers(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	// Join G and B across peers: ids present in both with matching names.
+	rows, err := v.Query("ans(i) :- G(i,c,n), B(i,n)", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G(1,2,3) with B(1,3) and G(3,5,2) with B(3,2).
+	if len(rows) != 2 {
+		t.Fatalf("join: %v", rows)
+	}
+}
+
+func TestQueryConstantsInBody(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	rows, err := v.Query("ans(n) :- B(3, n)", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("constant selection: %v", rows)
+	}
+}
+
+func TestQueryWorkspaceCleanup(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+			t.Fatalf("repeat %d: %v", i, err)
+		}
+	}
+	if v.DB().Table("q$ans") != nil {
+		t.Fatal("query workspace leaked")
+	}
+}
+
+func TestDerivabilityAPI(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	ok, support, err := v.Derivability("B", MakeTuple(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("B(3,2) not derivable")
+	}
+	// Support must include the base G tuple (via m1) among others.
+	found := false
+	for _, r := range support {
+		if r == provenance.NewRef(LocalRel("G"), MakeTuple(3, 5, 2)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("support missing G base tuple: %v", support)
+	}
+	// An absent tuple is not derivable and has empty support.
+	ok, support, err = v.Derivability("B", MakeTuple(99, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(support) != 0 {
+		t.Fatalf("phantom tuple derivable: %v %v", ok, support)
+	}
+}

@@ -1,0 +1,6 @@
+package core
+
+import "math/rand"
+
+// newRand returns a deterministic source for property tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"orchestra/internal/provenance"
+	"orchestra/internal/semiring"
+	"orchestra/internal/value"
+)
+
+// This file exposes semiring evaluations of a view's provenance, mapping
+// user-relation tuples onto the internal graph nodes. TrustEval realizes
+// Example 7's post-hoc trust computation; RankTrust realizes the "ranked
+// trust models" sketched in the paper's future work (§8) via the Viterbi
+// semiring; DerivationCounts uses the counting semiring the provenance
+// model generalizes (§7's duplicate semantics).
+
+// OutRef is the provenance-graph node of a user relation's instance
+// tuple.
+func OutRef(rel string, t value.Tuple) provenance.Ref {
+	return provenance.NewRef(OutputRel(rel), t)
+}
+
+// BaseRef is the provenance-graph node (token) of a base contribution.
+func BaseRef(rel string, t value.Tuple) provenance.Ref {
+	return provenance.NewRef(LocalRel(rel), t)
+}
+
+// TrustEval evaluates every tuple's trustworthiness in the boolean
+// semiring: tokenTrust assigns T/D to base tuples (nil = trust all),
+// mappingTrust assigns Θ verdicts per mapping id (absent = trusted).
+func TrustEval(v *View, tokenTrust map[provenance.Ref]bool, mappingTrust map[string]bool) (map[provenance.Ref]bool, error) {
+	return provenance.Eval[bool](v.graph, semiring.Bool{},
+		func(m string, x bool) bool {
+			if t, ok := mappingTrust[m]; ok {
+				return t && x
+			}
+			return x
+		},
+		func(r provenance.Ref) bool {
+			if t, ok := tokenTrust[r]; ok {
+				return t
+			}
+			return true
+		}, provenance.EvalOptions{})
+}
+
+// DerivationCounts evaluates the number of derivations of every tuple in
+// the saturating counting semiring (cap 0 = default).
+func DerivationCounts(v *View, cap int64) (map[provenance.Ref]int64, error) {
+	return provenance.Eval[int64](v.graph, semiring.Count{Cap: cap},
+		semiring.Identity[int64](),
+		func(provenance.Ref) int64 { return 1 }, provenance.EvalOptions{})
+}
+
+// RankTrust evaluates ranked trust in the Viterbi semiring ([0,1], max,
+// ×): each base token gets a confidence (default 1), each mapping a
+// reliability factor (default 1), and a tuple's rank is the confidence of
+// its most trustworthy derivation — the §8 "ranked trust models"
+// extension.
+func RankTrust(v *View, tokenConf map[provenance.Ref]float64, mappingConf map[string]float64) (map[provenance.Ref]float64, error) {
+	return provenance.Eval[float64](v.graph, semiring.Viterbi{},
+		func(m string, x float64) float64 {
+			if c, ok := mappingConf[m]; ok {
+				return c * x
+			}
+			return x
+		},
+		func(r provenance.Ref) float64 {
+			if c, ok := tokenConf[r]; ok {
+				return c
+			}
+			return 1
+		}, provenance.EvalOptions{})
+}
+
+// Lineage evaluates Cui-style lineage: the set of base tokens each tuple
+// transitively depends on.
+func Lineage(v *View) (map[provenance.Ref]semiring.LineageElem, error) {
+	return provenance.Eval[semiring.LineageElem](v.graph, semiring.Lineage{},
+		semiring.Identity[semiring.LineageElem](),
+		func(r provenance.Ref) semiring.LineageElem {
+			return semiring.Token(v.graph.TokenName(r))
+		}, provenance.EvalOptions{})
+}

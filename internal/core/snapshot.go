@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// View snapshots persist a view's auxiliary store between update
+// exchanges (§4: "Between update exchange operations, it maintains copies
+// of all relations, enabling future operations to be incremental"). A
+// snapshot records the Skolem interner (so labeled-null identities
+// survive) followed by every internal table.
+//
+// Format: magic "ORCV", uint32 Skolem count, then per Skolem term in id
+// order: uint32 fn len, fn, uint32 args-key len, canonical args key;
+// then a storage snapshot.
+
+const viewMagic = "ORCV"
+
+// WriteSnapshot serializes the view's state to w.
+func (v *View) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(viewMagic); err != nil {
+		return err
+	}
+	n := v.sk.Len()
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(n))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for id := int64(1); id <= int64(n); id++ {
+		fn, args, ok := v.sk.Resolve(id)
+		if !ok {
+			return fmt.Errorf("core: snapshot: missing Skolem id %d", id)
+		}
+		if err := writeBlob(bw, []byte(fn)); err != nil {
+			return err
+		}
+		if err := writeBlob(bw, args.EncodeKey(nil)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Transient workspaces (inverse-program and query tables) are always
+	// empty between operations and are rebuilt lazily; skip them so
+	// snapshots restore against a fresh view of the same spec.
+	return v.db.WriteSnapshotFiltered(w, func(name string) bool {
+		return !strings.HasPrefix(name, "c$") && !strings.HasPrefix(name, "pi$") &&
+			!strings.HasPrefix(name, "q$")
+	})
+}
+
+// RestoreView rebuilds a view from a snapshot produced by WriteSnapshot
+// against the same Spec, owner and options. The restored view is ready
+// for further incremental exchanges.
+func RestoreView(spec *Spec, owner string, opts Options, r io.Reader) (*View, error) {
+	v, err := NewView(spec, owner, opts)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(viewMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if string(magic) != viewMagic {
+		return nil, fmt.Errorf("core: bad view snapshot magic %q", magic)
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(buf[:])
+	// Re-intern in id order so every persisted null id resolves to the
+	// same term.
+	for i := uint32(0); i < n; i++ {
+		fnBytes, err := readBlob(br)
+		if err != nil {
+			return nil, err
+		}
+		argsKey, err := readBlob(br)
+		if err != nil {
+			return nil, err
+		}
+		args, err := value.DecodeTuple(string(argsKey))
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot Skolem %d: %w", i+1, err)
+		}
+		got := v.sk.Apply(string(fnBytes), args)
+		if got.NullID() != int64(i+1) {
+			return nil, fmt.Errorf("core: snapshot Skolem ids diverged at %d", i+1)
+		}
+	}
+	loaded, err := storage.ReadSnapshot(br)
+	if err != nil {
+		return nil, err
+	}
+	// Copy loaded rows into the view's (already created, engine-bound)
+	// tables.
+	for _, name := range loaded.Names() {
+		dst := v.db.Table(name)
+		if dst == nil {
+			return nil, fmt.Errorf("core: snapshot table %q not part of this spec", name)
+		}
+		src := loaded.Table(name)
+		if src.Arity() != dst.Arity() {
+			return nil, fmt.Errorf("core: snapshot table %q arity %d, spec expects %d",
+				name, src.Arity(), dst.Arity())
+		}
+		src.Each(func(row value.Tuple) bool {
+			dst.Insert(row)
+			return true
+		})
+	}
+	v.ev.InvalidateAllTransient()
+	return v, nil
+}
+
+func writeBlob(w io.Writer, b []byte) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(b)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readBlob(r io.Reader) ([]byte, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, err
+	}
+	b := make([]byte, binary.BigEndian.Uint32(buf[:]))
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestViewSnapshotRoundTrip(t *testing.T) {
+	// Load Example 3, snapshot, restore, and verify both the state and
+	// that incremental operation continues correctly after restore.
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	var buf bytes.Buffer
+	if err := v.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreView(paperSpec(t, nil), "", Options{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewsEqual(t, v, restored, "after restore")
+
+	// Labeled nulls must resolve to the same Skolem terms.
+	for _, row := range restored.Instance("U").Rows() {
+		for _, val := range row {
+			if val.IsNull() {
+				if desc := restored.Skolems().Describe(val); !strings.Contains(desc, "sk_m3_c") {
+					t.Fatalf("null lost its Skolem identity: %q", desc)
+				}
+			}
+		}
+	}
+
+	// Continue incrementally on BOTH views: results must stay equal.
+	log := EditLog{Del("B", MakeTuple(3, 2)), Ins("G", MakeTuple(7, 8, 9))}
+	if _, err := v.ApplyEdits(log, DeleteProvenance); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.ApplyEdits(log, DeleteProvenance); err != nil {
+		t.Fatal(err)
+	}
+	viewsEqual(t, v, restored, "after post-restore edits")
+}
+
+func TestViewSnapshotSkolemContinuity(t *testing.T) {
+	// New Skolem terms minted after restore must not collide with
+	// persisted null ids.
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	before := v.Skolems().Len()
+	var buf bytes.Buffer
+	if err := v.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreView(paperSpec(t, nil), "", Options{}, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Skolems().Len() != before {
+		t.Fatalf("interner size %d, want %d", restored.Skolems().Len(), before)
+	}
+	// Insert data that mints a fresh null (new B name 77 → new m3 image).
+	if _, err := restored.ApplyEdits(EditLog{Ins("B", MakeTuple(77, 77))}, DeleteProvenance); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Skolems().Len() != before+1 {
+		t.Fatalf("interner size %d after new null, want %d", restored.Skolems().Len(), before+1)
+	}
+}
+
+func TestViewSnapshotErrors(t *testing.T) {
+	spec := paperSpec(t, nil)
+	if _, err := RestoreView(spec, "", Options{}, strings.NewReader("BOGUS...")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Snapshot from a different spec (different internal tables) fails.
+	v, err := NewView(cycleSpec(t), "", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := v.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreView(spec, "", Options{}, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("cross-spec snapshot accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"orchestra/internal/schema"
+	"orchestra/internal/tgd"
+	"orchestra/internal/trust"
+)
+
+// Spec is the static description of a CDSS: the peers and their schemas
+// (Σ), the schema mappings (M), and each peer's trust policy. A Spec is
+// immutable once validated; Views are instantiated from it.
+type Spec struct {
+	Universe *schema.Universe
+	Mappings []*tgd.TGD
+	// Policies maps peer name → trust policy; absent peers trust
+	// everything (the paper's trivially-true Θ default).
+	Policies map[string]*trust.Policy
+}
+
+// NewSpec validates the CDSS description: mappings are well formed over
+// the universe, mapping ids are unique, and the mapping set is weakly
+// acyclic (§3.1's decidability requirement).
+func NewSpec(u *schema.Universe, mappings []*tgd.TGD, policies map[string]*trust.Policy) (*Spec, error) {
+	if u == nil {
+		return nil, fmt.Errorf("core: nil universe")
+	}
+	ids := make(map[string]bool)
+	for _, m := range mappings {
+		if m.ID == "" {
+			return nil, fmt.Errorf("core: mapping without id: %s", m)
+		}
+		if ids[m.ID] {
+			return nil, fmt.Errorf("core: duplicate mapping id %q", m.ID)
+		}
+		ids[m.ID] = true
+		if err := m.Validate(u); err != nil {
+			return nil, err
+		}
+	}
+	if err := tgd.CheckWeaklyAcyclic(mappings); err != nil {
+		return nil, err
+	}
+	if policies == nil {
+		policies = make(map[string]*trust.Policy)
+	}
+	for name := range policies {
+		if u.Peer(name) == nil {
+			return nil, fmt.Errorf("core: policy for unknown peer %q", name)
+		}
+	}
+	return &Spec{Universe: u, Mappings: mappings, Policies: policies}, nil
+}
+
+// Policy returns the policy of a peer (nil means trust-all).
+func (s *Spec) Policy(peer string) *trust.Policy { return s.Policies[peer] }
+
+// Mapping returns the mapping with the given id, or nil.
+func (s *Spec) Mapping(id string) *tgd.TGD {
+	for _, m := range s.Mappings {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
+}
+
+// PeerOf returns the owning peer of a user relation, or "".
+func (s *Spec) PeerOf(rel string) string {
+	if r := s.Universe.Relation(rel); r != nil {
+		return r.Peer
+	}
+	return ""
+}

@@ -1,0 +1,57 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramString(t *testing.T) {
+	p := NewProgram(
+		NewRule("r1", NewAtom("A", V("x")), Pos(NewAtom("E", V("x")))),
+		NewRule("r2", NewAtom("B", V("x"), Sk("f", "x")), Pos(NewAtom("A", V("x")))),
+	)
+	s := p.String()
+	want := "A(x) :- E(x).\nB(x,f(x)) :- A(x).\n"
+	if s != want {
+		t.Fatalf("Program.String:\n%q\nwant\n%q", s, want)
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if Pos(NewAtom("R", V("x"))).String() != "R(x)" {
+		t.Fatal("positive literal")
+	}
+	if Neg(NewAtom("R", V("x"))).String() != "not R(x)" {
+		t.Fatal("negative literal")
+	}
+}
+
+func TestStratumPreds(t *testing.T) {
+	p := NewProgram(
+		NewRule("r1", NewAtom("B", V("x")), Pos(NewAtom("E", V("x")))),
+		NewRule("r2", NewAtom("A", V("x")), Pos(NewAtom("E", V("x")))),
+		NewRule("r3", NewAtom("C", V("x")), Pos(NewAtom("A", V("x"))), Neg(NewAtom("B", V("x")))),
+	)
+	strata, err := p.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 {
+		t.Fatalf("strata: %d", len(strata))
+	}
+	// Preds are sorted within each stratum.
+	if strings.Join(strata[0].Preds, ",") != "A,B" {
+		t.Fatalf("stratum 0 preds: %v", strata[0].Preds)
+	}
+	if strings.Join(strata[1].Preds, ",") != "C" {
+		t.Fatalf("stratum 1 preds: %v", strata[1].Preds)
+	}
+}
+
+func TestAddAndValidateProgram(t *testing.T) {
+	p := NewProgram()
+	p.Add(NewRule("bad", NewAtom("H", V("z")), Pos(NewAtom("B", V("x")))))
+	if err := p.Validate(); err == nil {
+		t.Fatal("invalid program validated")
+	}
+}

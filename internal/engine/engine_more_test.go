@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// Self-join: same predicate twice in one body. Delta plans must cover
+// both positions so Δ⋈Δ pairs are found.
+func TestSelfJoinDelta(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			db := newDB(map[string]int{"e": 2, "grand": 2})
+			prog := datalog.NewProgram(
+				datalog.NewRule("g", datalog.NewAtom("grand", datalog.V("x"), datalog.V("z")),
+					datalog.Pos(datalog.NewAtom("e", datalog.V("x"), datalog.V("y"))),
+					datalog.Pos(datalog.NewAtom("e", datalog.V("y"), datalog.V("z")))),
+			)
+			ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ev.Run(); err != nil {
+				t.Fatal(err)
+			}
+			// Insert BOTH edges of a chain in one delta batch: the pair
+			// (1,2),(2,3) only joins delta-against-delta.
+			delta := storage.DeltaSet{}
+			for _, e := range [][2]int64{{1, 2}, {2, 3}} {
+				row := tup(e[0], e[1])
+				db.Table("e").Insert(row)
+				ev.InvalidateTransient("e")
+				delta.Insert("e", row)
+			}
+			if _, err := ev.PropagateInsertions(delta); err != nil {
+				t.Fatal(err)
+			}
+			if !db.Table("grand").Contains(tup(1, 3)) {
+				t.Fatalf("Δ⋈Δ join missed:\n%s", db.Dump("grand"))
+			}
+		})
+	}
+}
+
+func TestFiltersOnDeltaPlans(t *testing.T) {
+	db := newDB(map[string]int{"in": 1, "out": 1})
+	r := datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+		datalog.Pos(datalog.NewAtom("in", datalog.V("x"))))
+	r.AddFilter("x != 2", func(env map[string]value.Value) bool {
+		return env["x"] != value.Int(2)
+	})
+	ev, err := New(datalog.NewProgram(r), db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delta := storage.DeltaSet{}
+	for _, x := range []int64{1, 2, 3} {
+		row := tup(x)
+		db.Table("in").Insert(row)
+		delta.Insert("in", row)
+	}
+	if _, err := ev.PropagateInsertions(delta); err != nil {
+		t.Fatal(err)
+	}
+	out := db.Table("out")
+	if out.Len() != 2 || out.Contains(tup(2)) {
+		t.Fatalf("filter not applied on delta path:\n%s", db.Dump("out"))
+	}
+}
+
+// Insertions must flow across strata: a lower-stratum derivation feeds a
+// higher stratum reading it positively while negating an EDB.
+func TestPropagateAcrossStrata(t *testing.T) {
+	db := newDB(map[string]int{"base": 1, "mid": 1, "block": 1, "top": 1})
+	prog := datalog.NewProgram(
+		datalog.NewRule("r1", datalog.NewAtom("mid", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("base", datalog.V("x")))),
+		datalog.NewRule("r2", datalog.NewAtom("top", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("mid", datalog.V("x"))),
+			datalog.Neg(datalog.NewAtom("block", datalog.V("x")))),
+	)
+	db.Table("block").Insert(tup(2))
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delta := storage.DeltaSet{}
+	for _, x := range []int64{1, 2} {
+		row := tup(x)
+		db.Table("base").Insert(row)
+		delta.Insert("base", row)
+	}
+	if _, err := ev.PropagateInsertions(delta); err != nil {
+		t.Fatal(err)
+	}
+	top := db.Table("top")
+	if !top.Contains(tup(1)) || top.Contains(tup(2)) || db.Table("mid").Len() != 2 {
+		t.Fatalf("cross-strata propagation wrong:\n%s", db.Dump())
+	}
+}
+
+func TestTransientBuildStats(t *testing.T) {
+	db := newDB(map[string]int{"a": 2, "b": 2, "j": 3})
+	for i := int64(0); i < 20; i++ {
+		db.Table("a").Insert(tup(i, i%5))
+		db.Table("b").Insert(tup(i%5, i))
+	}
+	prog := datalog.NewProgram(
+		datalog.NewRule("j", datalog.NewAtom("j", datalog.V("x"), datalog.V("y"), datalog.V("z")),
+			datalog.Pos(datalog.NewAtom("a", datalog.V("x"), datalog.V("y"))),
+			datalog.Pos(datalog.NewAtom("b", datalog.V("y"), datalog.V("z")))),
+	)
+	evHash, err := New(prog, db.Clone(), value.NewSkolemTable(), Options{Backend: BackendHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := evHash.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TransientBuilds == 0 {
+		t.Fatal("hash backend reported no transient builds")
+	}
+	evIdx, err := New(prog, db.Clone(), value.NewSkolemTable(), Options{Backend: BackendIndexed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err = evIdx.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TransientBuilds != 0 {
+		t.Fatal("indexed backend built transient hashes")
+	}
+	if stats.Probes == 0 {
+		t.Fatal("no probes recorded")
+	}
+}
+
+// External mutations must be visible to the hash backend after
+// InvalidateAllTransient.
+func TestInvalidateAllTransient(t *testing.T) {
+	db := newDB(map[string]int{"src": 1, "probe": 1, "out": 1})
+	db.Table("src").Insert(tup(1))
+	db.Table("probe").Insert(tup(1))
+	prog := datalog.NewProgram(
+		datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("src", datalog.V("x"))),
+			datalog.Pos(datalog.NewAtom("probe", datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: BackendHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("out").Len() != 1 {
+		t.Fatal("initial run")
+	}
+	// Mutate probe outside the engine, then re-run after invalidation:
+	// out(2) requires the fresh probe contents.
+	db.Table("probe").Insert(tup(2))
+	db.Table("src").Insert(tup(2))
+	db.Table("out").Clear()
+	ev.InvalidateAllTransient()
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("out").Len() != 2 {
+		t.Fatalf("stale transient served:\n%s", db.Dump("out"))
+	}
+}
+
+// Skolem values must be identical whether derived in bulk or via deltas.
+func TestSkolemDeterminismAcrossPaths(t *testing.T) {
+	mk := func() (*storage.Database, *Evaluator, *value.SkolemTable) {
+		db := newDB(map[string]int{"b": 2, "u": 2})
+		prog := datalog.NewProgram(
+			datalog.NewRule("m3", datalog.NewAtom("u", datalog.V("n"), datalog.Sk("f", "n")),
+				datalog.Pos(datalog.NewAtom("b", datalog.V("i"), datalog.V("n")))),
+		)
+		sk := value.NewSkolemTable()
+		ev, err := New(prog, db, sk, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, ev, sk
+	}
+	// Bulk path.
+	db1, ev1, sk1 := mk()
+	db1.Table("b").Insert(tup(3, 5))
+	if _, err := ev1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Delta path.
+	db2, ev2, sk2 := mk()
+	if _, err := ev2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	row := tup(3, 5)
+	db2.Table("b").Insert(row)
+	delta := storage.DeltaSet{}
+	delta.Insert("b", row)
+	if _, err := ev2.PropagateInsertions(delta); err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := db1.Table("u").Rows(), db2.Table("u").Rows()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatal("row counts")
+	}
+	d1 := sk1.Describe(r1[0][1])
+	d2 := sk2.Describe(r2[0][1])
+	if d1 != d2 || d1 != "f(5)" {
+		t.Fatalf("skolem terms differ: %q vs %q", d1, d2)
+	}
+}
+
+// A rule whose delta predicate also appears negated must only use the
+// positive occurrence as a delta position.
+func TestDeltaSkipsNegatedOccurrence(t *testing.T) {
+	db := newDB(map[string]int{"r": 1, "s": 1, "out": 1})
+	prog := datalog.NewProgram(
+		datalog.NewRule("q", datalog.NewAtom("out", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("r", datalog.V("x"))),
+			datalog.Neg(datalog.NewAtom("s", datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s is EDB with content; delta arrives on r only.
+	db.Table("s").Insert(tup(2))
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	delta := storage.DeltaSet{}
+	for _, x := range []int64{1, 2} {
+		row := tup(x)
+		db.Table("r").Insert(row)
+		delta.Insert("r", row)
+	}
+	if _, err := ev.PropagateInsertions(delta); err != nil {
+		t.Fatal(err)
+	}
+	out := db.Table("out")
+	if !out.Contains(tup(1)) || out.Contains(tup(2)) {
+		t.Fatalf("negation mishandled in delta path:\n%s", db.Dump("out"))
+	}
+}

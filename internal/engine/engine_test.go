@@ -1,0 +1,477 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+func tup(vs ...int64) value.Tuple {
+	t := make(value.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+func newDB(tables map[string]int) *storage.Database {
+	db := storage.NewDatabase()
+	for name, arity := range tables {
+		db.MustCreate(name, arity)
+	}
+	return db
+}
+
+func backends() []Backend { return []Backend{BackendIndexed, BackendHash} }
+
+// Transitive closure: the canonical recursive-datalog smoke test.
+func TestTransitiveClosure(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			db := newDB(map[string]int{"edge": 2, "tc": 2})
+			e := db.Table("edge")
+			for _, pair := range [][2]int64{{1, 2}, {2, 3}, {3, 4}, {5, 6}} {
+				e.Insert(tup(pair[0], pair[1]))
+			}
+			prog := datalog.NewProgram(
+				datalog.NewRule("base", datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")),
+					datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))),
+				datalog.NewRule("step", datalog.NewAtom("tc", datalog.V("x"), datalog.V("z")),
+					datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))),
+					datalog.Pos(datalog.NewAtom("edge", datalog.V("y"), datalog.V("z")))),
+			)
+			ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := ev.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc := db.Table("tc")
+			want := [][2]int64{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {5, 6}}
+			if tc.Len() != len(want) {
+				t.Fatalf("tc has %d rows, want %d:\n%s", tc.Len(), len(want), db.Dump("tc"))
+			}
+			for _, w := range want {
+				if !tc.Contains(tup(w[0], w[1])) {
+					t.Fatalf("missing tc(%d,%d)", w[0], w[1])
+				}
+			}
+			if stats.Derived != len(want) {
+				t.Fatalf("Derived = %d, want %d", stats.Derived, len(want))
+			}
+		})
+	}
+}
+
+func TestConstantsInBodyAndHead(t *testing.T) {
+	db := newDB(map[string]int{"in": 2, "out": 2})
+	db.Table("in").Insert(tup(1, 10))
+	db.Table("in").Insert(tup(2, 10))
+	db.Table("in").Insert(tup(1, 20))
+	// out(x, 99) :- in(x, 10).
+	prog := datalog.NewProgram(
+		datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x"), datalog.C(value.Int(99))),
+			datalog.Pos(datalog.NewAtom("in", datalog.V("x"), datalog.C(value.Int(10))))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	o := db.Table("out")
+	if o.Len() != 2 || !o.Contains(tup(1, 99)) || !o.Contains(tup(2, 99)) {
+		t.Fatalf("out:\n%s", db.Dump("out"))
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	db := newDB(map[string]int{"p": 2, "diag": 1})
+	db.Table("p").Insert(tup(1, 1))
+	db.Table("p").Insert(tup(1, 2))
+	db.Table("p").Insert(tup(3, 3))
+	prog := datalog.NewProgram(
+		datalog.NewRule("r", datalog.NewAtom("diag", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("p", datalog.V("x"), datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := db.Table("diag")
+	if d.Len() != 2 || !d.Contains(tup(1)) || !d.Contains(tup(3)) {
+		t.Fatalf("diag:\n%s", db.Dump("diag"))
+	}
+}
+
+func TestNegation(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			db := newDB(map[string]int{"ri": 1, "rr": 1, "ro": 1})
+			db.Table("ri").Insert(tup(1))
+			db.Table("ri").Insert(tup(2))
+			db.Table("ri").Insert(tup(3))
+			db.Table("rr").Insert(tup(2))
+			// ro(x) :- ri(x), not rr(x).  — the paper's rule (tR).
+			prog := datalog.NewProgram(
+				datalog.NewRule("tR", datalog.NewAtom("ro", datalog.V("x")),
+					datalog.Pos(datalog.NewAtom("ri", datalog.V("x"))),
+					datalog.Neg(datalog.NewAtom("rr", datalog.V("x")))),
+			)
+			ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ev.Run(); err != nil {
+				t.Fatal(err)
+			}
+			ro := db.Table("ro")
+			if ro.Len() != 2 || ro.Contains(tup(2)) {
+				t.Fatalf("ro:\n%s", db.Dump("ro"))
+			}
+		})
+	}
+}
+
+func TestStratifiedNegationOverIDB(t *testing.T) {
+	// b(x) :- e(x). good(x) :- all(x), not b(x).
+	db := newDB(map[string]int{"e": 1, "all": 1, "b": 1, "good": 1})
+	db.Table("e").Insert(tup(1))
+	for i := int64(1); i <= 3; i++ {
+		db.Table("all").Insert(tup(i))
+	}
+	prog := datalog.NewProgram(
+		datalog.NewRule("r1", datalog.NewAtom("b", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("e", datalog.V("x")))),
+		datalog.NewRule("r2", datalog.NewAtom("good", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("all", datalog.V("x"))),
+			datalog.Neg(datalog.NewAtom("b", datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := db.Table("good")
+	if g.Len() != 2 || g.Contains(tup(1)) {
+		t.Fatalf("good:\n%s", db.Dump("good"))
+	}
+}
+
+func TestSkolemHeads(t *testing.T) {
+	// u(n, f(n)) :- b(i, n) — the paper's mapping (m3) after Skolemization.
+	db := newDB(map[string]int{"b": 2, "u": 2})
+	db.Table("b").Insert(tup(3, 5))
+	db.Table("b").Insert(tup(4, 5))
+	db.Table("b").Insert(tup(3, 2))
+	prog := datalog.NewProgram(
+		datalog.NewRule("m3", datalog.NewAtom("u", datalog.V("n"), datalog.Sk("f_m3_c", "n")),
+			datalog.Pos(datalog.NewAtom("b", datalog.V("i"), datalog.V("n")))),
+	)
+	sk := value.NewSkolemTable()
+	ev, err := New(prog, db, sk, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := db.Table("u")
+	// b(3,5) and b(4,5) share n=5 → same Skolem value → one u row.
+	if u.Len() != 2 {
+		t.Fatalf("u has %d rows, want 2:\n%s", u.Len(), db.Dump("u"))
+	}
+	if sk.Len() != 2 {
+		t.Fatalf("interned %d Skolem terms, want 2", sk.Len())
+	}
+	rows := u.Rows()
+	for _, r := range rows {
+		if !r[1].IsNull() {
+			t.Fatalf("second column not a labeled null: %v", r)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	db := newDB(map[string]int{"in": 1, "out": 1})
+	for i := int64(1); i <= 5; i++ {
+		db.Table("in").Insert(tup(i))
+	}
+	r := datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+		datalog.Pos(datalog.NewAtom("in", datalog.V("x"))))
+	r.AddFilter("x < 3", func(env map[string]value.Value) bool {
+		return env["x"].AsInt() < 3
+	})
+	ev, err := New(datalog.NewProgram(r), db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("out").Len(); got != 2 {
+		t.Fatalf("out has %d rows, want 2", got)
+	}
+}
+
+func TestPropagateInsertions(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			db := newDB(map[string]int{"edge": 2, "tc": 2})
+			e := db.Table("edge")
+			e.Insert(tup(1, 2))
+			e.Insert(tup(2, 3))
+			prog := datalog.NewProgram(
+				datalog.NewRule("base", datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")),
+					datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))),
+				datalog.NewRule("step", datalog.NewAtom("tc", datalog.V("x"), datalog.V("z")),
+					datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))),
+					datalog.Pos(datalog.NewAtom("edge", datalog.V("y"), datalog.V("z")))),
+			)
+			ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ev.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if db.Table("tc").Len() != 3 {
+				t.Fatalf("initial tc size %d", db.Table("tc").Len())
+			}
+
+			// Incrementally add edge(3,4); expect tc to gain (3,4),(2,4),(1,4).
+			delta := storage.DeltaSet{}
+			newRow := tup(3, 4)
+			e.Insert(newRow)
+			ev.InvalidateTransient("edge")
+			delta.Insert("edge", newRow)
+			if _, err := ev.PropagateInsertions(delta); err != nil {
+				t.Fatal(err)
+			}
+			tc := db.Table("tc")
+			if tc.Len() != 6 {
+				t.Fatalf("tc after insert: %d rows\n%s", tc.Len(), db.Dump("tc"))
+			}
+			for _, w := range [][2]int64{{3, 4}, {2, 4}, {1, 4}} {
+				if !tc.Contains(tup(w[0], w[1])) {
+					t.Fatalf("missing tc(%d,%d)", w[0], w[1])
+				}
+			}
+		})
+	}
+}
+
+// Property: incremental insertion equals recomputation from scratch, for
+// random edge sets, on both backends.
+func TestIncrementalMatchesRecomputeRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	prog := func() *datalog.Program {
+		return datalog.NewProgram(
+			datalog.NewRule("base", datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")),
+				datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))),
+			datalog.NewRule("step", datalog.NewAtom("tc", datalog.V("x"), datalog.V("z")),
+				datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom("edge", datalog.V("y"), datalog.V("z")))),
+		)
+	}
+	for trial := 0; trial < 20; trial++ {
+		be := backends()[trial%2]
+		n := 2 + r.Intn(10)
+		var edges [][2]int64
+		for i := 0; i < n; i++ {
+			edges = append(edges, [2]int64{r.Int63n(6), r.Int63n(6)})
+		}
+		split := r.Intn(len(edges))
+
+		// Incremental run: load prefix, Run, then insert the rest.
+		dbInc := newDB(map[string]int{"edge": 2, "tc": 2})
+		for _, e := range edges[:split] {
+			dbInc.Table("edge").Insert(tup(e[0], e[1]))
+		}
+		evInc, err := New(prog(), dbInc, value.NewSkolemTable(), Options{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := evInc.Run(); err != nil {
+			t.Fatal(err)
+		}
+		delta := storage.DeltaSet{}
+		for _, e := range edges[split:] {
+			row := tup(e[0], e[1])
+			if dbInc.Table("edge").Insert(row) {
+				delta.Insert("edge", row)
+			}
+		}
+		evInc.InvalidateTransient("edge")
+		if _, err := evInc.PropagateInsertions(delta); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference run: everything from scratch.
+		dbRef := newDB(map[string]int{"edge": 2, "tc": 2})
+		for _, e := range edges {
+			dbRef.Table("edge").Insert(tup(e[0], e[1]))
+		}
+		evRef, err := New(prog(), dbRef, value.NewSkolemTable(), Options{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := evRef.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		got, want := dbInc.Table("tc").Rows(), dbRef.Table("tc").Rows()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%s): %d vs %d rows", trial, be, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d (%s): row %d differs: %v vs %v", trial, be, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	// Same program and data; both backends must produce identical results.
+	mk := func(be Backend) *storage.Database {
+		db := newDB(map[string]int{"a": 2, "b": 2, "j": 3})
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 100; i++ {
+			db.Table("a").Insert(tup(r.Int63n(10), r.Int63n(10)))
+			db.Table("b").Insert(tup(r.Int63n(10), r.Int63n(10)))
+		}
+		prog := datalog.NewProgram(
+			datalog.NewRule("j", datalog.NewAtom("j", datalog.V("x"), datalog.V("y"), datalog.V("z")),
+				datalog.Pos(datalog.NewAtom("a", datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom("b", datalog.V("y"), datalog.V("z")))),
+		)
+		ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: be})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	d1, d2 := mk(BackendIndexed), mk(BackendHash)
+	r1, r2 := d1.Table("j").Rows(), d2.Table("j").Rows()
+	if len(r1) != len(r2) {
+		t.Fatalf("row counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if !r1[i].Equal(r2[i]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	db := newDB(map[string]int{"in": 1, "out": 1})
+	cases := []struct {
+		name string
+		prog *datalog.Program
+	}{
+		{"unknown body relation", datalog.NewProgram(
+			datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+				datalog.Pos(datalog.NewAtom("nope", datalog.V("x")))))},
+		{"unknown head relation", datalog.NewProgram(
+			datalog.NewRule("r", datalog.NewAtom("nope", datalog.V("x")),
+				datalog.Pos(datalog.NewAtom("in", datalog.V("x")))))},
+		{"body arity mismatch", datalog.NewProgram(
+			datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+				datalog.Pos(datalog.NewAtom("in", datalog.V("x"), datalog.V("y")))))},
+		{"head arity mismatch", datalog.NewProgram(
+			datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x"), datalog.V("x")),
+				datalog.Pos(datalog.NewAtom("in", datalog.V("x")))))},
+		{"unsafe rule", datalog.NewProgram(
+			datalog.NewRule("r", datalog.NewAtom("out", datalog.V("z")),
+				datalog.Pos(datalog.NewAtom("in", datalog.V("x")))))},
+	}
+	for _, c := range cases {
+		if _, err := New(c.prog, db, value.NewSkolemTable(), Options{}); err == nil {
+			t.Errorf("%s: New succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestMaxIterationsGuard(t *testing.T) {
+	// grow(x+?) style non-termination cannot be expressed without
+	// arithmetic, but a Skolem-generating cycle can: u(f(x)) :- u(x).
+	db := newDB(map[string]int{"seed": 1, "u": 1})
+	db.Table("seed").Insert(tup(1))
+	prog := datalog.NewProgram(
+		datalog.NewRule("base", datalog.NewAtom("u", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("seed", datalog.V("x")))),
+		datalog.NewRule("grow", datalog.NewAtom("u", datalog.Sk("f", "x")),
+			datalog.Pos(datalog.NewAtom("u", datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err == nil {
+		t.Fatal("non-terminating program completed")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	db := newDB(map[string]int{"in": 1, "out": 1})
+	db.Table("in").Insert(tup(1))
+	prog := datalog.NewProgram(
+		datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("in", datalog.V("x")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{Backend: BackendHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ev.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Derived != 1 || stats.RuleFires == 0 || stats.Iterations == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var sum Stats
+	sum.Add(stats)
+	sum.Add(stats)
+	if sum.Derived != 2 {
+		t.Fatal("Stats.Add")
+	}
+}
+
+func TestCrossProductScanFallback(t *testing.T) {
+	// Rule with no shared variables forces a cross product (scan step).
+	db := newDB(map[string]int{"a": 1, "b": 1, "c": 2})
+	db.Table("a").Insert(tup(1))
+	db.Table("a").Insert(tup(2))
+	db.Table("b").Insert(tup(10))
+	prog := datalog.NewProgram(
+		datalog.NewRule("r", datalog.NewAtom("c", datalog.V("x"), datalog.V("y")),
+			datalog.Pos(datalog.NewAtom("a", datalog.V("x"))),
+			datalog.Pos(datalog.NewAtom("b", datalog.V("y")))),
+	)
+	ev, err := New(prog, db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Table("c").Len() != 2 {
+		t.Fatalf("c:\n%s", db.Dump("c"))
+	}
+}

@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"fmt"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// Options configures an Evaluator.
+type Options struct {
+	Backend Backend
+	// MaxIterations bounds each stratum's fixpoint loop as a safety net
+	// against non-terminating programs (weak acyclicity should prevent
+	// this; 0 means a generous default).
+	MaxIterations int
+}
+
+// Stats reports work done by an evaluation.
+type Stats struct {
+	// Iterations counts semi-naive rounds summed over strata.
+	Iterations int
+	// Derived counts tuples newly inserted into head relations.
+	Derived int
+	// Probes counts index / hash probes plus scanned rows.
+	Probes int
+	// TransientBuilds counts per-call hash table constructions (the
+	// BackendHash statement overhead).
+	TransientBuilds int
+	// RuleFires counts rule-plan invocations.
+	RuleFires int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Iterations += other.Iterations
+	s.Derived += other.Derived
+	s.Probes += other.Probes
+	s.TransientBuilds += other.TransientBuilds
+	s.RuleFires += other.RuleFires
+}
+
+// Evaluator runs a fixed program against a database.
+type Evaluator struct {
+	prog   *datalog.Program
+	strata []*datalog.Stratum
+	db     *storage.Database
+	sk     *value.SkolemTable
+	opts   Options
+
+	// naivePlans[rule] evaluates the whole body against full relations.
+	naivePlans map[*datalog.Rule]*plan
+	// deltaPlans[rule][pred] holds one plan per positive occurrence of
+	// pred in the rule body.
+	deltaPlans map[*datalog.Rule]map[string][]*plan
+
+	// transient per-call hash indexes for BackendHash: pred -> col -> map
+	// from probe value to rows. Rebuilt whenever the underlying table
+	// changes (generation counter).
+	transient map[string]map[int]map[value.Value][]value.Tuple
+	tgen      map[string]int
+	gen       map[string]int
+}
+
+// New compiles and validates prog against db. All predicates mentioned by
+// the program must exist as tables. The Skolem table provides labeled
+// nulls for head Skolem terms.
+func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opts Options) (*Evaluator, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := prog.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 1_000_000
+	}
+	ev := &Evaluator{
+		prog:       prog,
+		strata:     strata,
+		db:         db,
+		sk:         sk,
+		opts:       opts,
+		naivePlans: make(map[*datalog.Rule]*plan),
+		deltaPlans: make(map[*datalog.Rule]map[string][]*plan),
+		transient:  make(map[string]map[int]map[value.Value][]value.Tuple),
+		tgen:       make(map[string]int),
+		gen:        make(map[string]int),
+	}
+	ensureIdx := opts.Backend == BackendIndexed
+	for _, r := range prog.Rules {
+		np, err := compilePlan(r, -1, db, opts.Backend, ensureIdx)
+		if err != nil {
+			return nil, err
+		}
+		ev.naivePlans[r] = np
+		byPred := make(map[string][]*plan)
+		for _, pred := range bodyPreds(r) {
+			for _, pos := range deltaPositions(r, pred) {
+				dp, err := compilePlan(r, pos, db, opts.Backend, ensureIdx)
+				if err != nil {
+					return nil, err
+				}
+				byPred[pred] = append(byPred[pred], dp)
+			}
+		}
+		ev.deltaPlans[r] = byPred
+	}
+	return ev, nil
+}
+
+// DB returns the database the evaluator runs against.
+func (ev *Evaluator) DB() *storage.Database { return ev.db }
+
+// Program returns the compiled program.
+func (ev *Evaluator) Program() *datalog.Program { return ev.prog }
+
+// Run evaluates the program to fixpoint from the current database state
+// (naive first round per stratum, then semi-naive rounds). It returns
+// evaluation statistics.
+func (ev *Evaluator) Run() (Stats, error) {
+	var stats Stats
+	for _, st := range ev.strata {
+		// First round: naive evaluation of every rule in the stratum.
+		// Derived rows are buffered and applied after the whole round —
+		// tables stay immutable during a round, so per-call hash builds
+		// (BackendHash) amortize across the round like a bulk engine's.
+		changed := make(map[string][]value.Tuple)
+		var buffered []derivedBatch
+		for _, r := range st.Rules {
+			rows, err := ev.evalPlan(ev.naivePlans[r], nil, &stats)
+			if err != nil {
+				return stats, err
+			}
+			buffered = append(buffered, derivedBatch{pred: r.Head.Pred, rows: rows})
+		}
+		for _, batch := range buffered {
+			ev.applyDerived(batch.pred, batch.rows, changed, &stats)
+		}
+		stats.Iterations++
+		if err := ev.seminaiveLoop(st, changed, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// derivedBatch buffers one rule's output within a semi-naive round.
+type derivedBatch struct {
+	pred string
+	rows []value.Tuple
+}
+
+// PropagateInsertions propagates already-applied base insertions to
+// fixpoint: delta maps relation names to the tuples that were newly
+// inserted into them. Only insertion deltas are consulted.
+func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) {
+	var stats Stats
+	// Seed per-stratum change sets with the base delta; changes produced
+	// in earlier strata remain visible to later ones.
+	pending := make(map[string][]value.Tuple)
+	for rel, d := range delta {
+		ins := d.Ins()
+		if len(ins) > 0 {
+			pending[rel] = append(pending[rel], ins...)
+		}
+	}
+	for _, st := range ev.strata {
+		if err := ev.seminaiveLoop(st, pending, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// seminaiveLoop repeatedly fires delta plans of the stratum's rules until
+// no new tuples appear. changed accumulates every new tuple (per pred)
+// seen so far during the enclosing operation: the loop consumes the
+// entries relevant to this stratum but leaves them in place for later
+// strata.
+func (ev *Evaluator) seminaiveLoop(st *datalog.Stratum, changed map[string][]value.Tuple, stats *Stats) error {
+	// Which preds does this stratum read?
+	reads := make(map[string]bool)
+	for _, r := range st.Rules {
+		for _, p := range bodyPreds(r) {
+			reads[p] = true
+		}
+	}
+	// Working delta: initially all accumulated changes for read preds.
+	work := make(map[string][]value.Tuple)
+	for pred, rows := range changed {
+		if reads[pred] && len(rows) > 0 {
+			work[pred] = rows
+		}
+	}
+	for iter := 0; len(work) > 0; iter++ {
+		if iter >= ev.opts.MaxIterations {
+			return fmt.Errorf("engine: stratum exceeded %d iterations (non-terminating mappings?)", ev.opts.MaxIterations)
+		}
+		stats.Iterations++
+		next := make(map[string][]value.Tuple)
+		var buffered []derivedBatch
+		for _, r := range st.Rules {
+			for pred, plans := range ev.deltaPlans[r] {
+				rows := work[pred]
+				if len(rows) == 0 {
+					continue
+				}
+				for _, dp := range plans {
+					derived, err := ev.evalPlan(dp, rows, stats)
+					if err != nil {
+						return err
+					}
+					buffered = append(buffered, derivedBatch{pred: r.Head.Pred, rows: derived})
+				}
+			}
+		}
+		// Apply the whole round at once (Jacobi-style): newly derived
+		// tuples only become visible — and joinable — in the next round,
+		// where they are also this loop's delta.
+		for _, batch := range buffered {
+			ev.applyDerived(batch.pred, batch.rows, next, stats)
+		}
+		// Fold this round's new tuples into the global change set and
+		// into the next working delta.
+		work = make(map[string][]value.Tuple)
+		for pred, rows := range next {
+			if len(rows) == 0 {
+				continue
+			}
+			changed[pred] = append(changed[pred], rows...)
+			if reads[pred] {
+				work[pred] = rows
+			}
+		}
+	}
+	return nil
+}
+
+// applyDerived inserts rows into pred's table, recording genuinely new
+// tuples into out.
+func (ev *Evaluator) applyDerived(pred string, rows []value.Tuple, out map[string][]value.Tuple, stats *Stats) {
+	if len(rows) == 0 {
+		return
+	}
+	tbl := ev.db.Table(pred)
+	for _, row := range rows {
+		if tbl.Insert(row) {
+			out[pred] = append(out[pred], row)
+			stats.Derived++
+			ev.gen[pred]++
+		}
+	}
+}
+
+// InvalidateTransient drops cached per-call hash tables for pred; callers
+// that mutate tables outside the evaluator (e.g. the deletion algorithms)
+// must invalidate.
+func (ev *Evaluator) InvalidateTransient(pred string) {
+	ev.gen[pred]++
+}
+
+// InvalidateAllTransient drops every cached per-call hash table.
+func (ev *Evaluator) InvalidateAllTransient() {
+	for pred := range ev.transient {
+		ev.gen[pred]++
+	}
+	ev.transient = make(map[string]map[int]map[value.Value][]value.Tuple)
+	ev.tgen = make(map[string]int)
+}
+
+// evalPlan runs one compiled plan. deltaRows feeds the plan's delta step
+// (may be nil for naive plans). It returns the derived head tuples
+// (unvalidated against the head table; duplicates possible).
+func (ev *Evaluator) evalPlan(p *plan, deltaRows []value.Tuple, stats *Stats) ([]value.Tuple, error) {
+	stats.RuleFires++
+	binding := make(value.Tuple, p.nslots)
+	var out []value.Tuple
+
+	var exec func(si int) error
+	exec = func(si int) error {
+		if si == len(p.steps) {
+			for _, sc := range p.skChecks {
+				args := make(value.Tuple, len(sc.argSlots))
+				for j, s := range sc.argSlots {
+					args[j] = binding[s]
+				}
+				if ev.sk.Apply(sc.fn, args) != binding[sc.valueSlot] {
+					return nil
+				}
+			}
+			if len(p.rule.Filters) > 0 {
+				env := make(map[string]value.Value, p.nslots)
+				for i, name := range p.varNames {
+					env[name] = binding[i]
+				}
+				for _, f := range p.rule.Filters {
+					if !f(env) {
+						return nil
+					}
+				}
+			}
+			head := make(value.Tuple, len(p.headOps))
+			for i, op := range p.headOps {
+				switch {
+				case op.slot >= 0:
+					head[i] = binding[op.slot]
+				case op.slot == -1:
+					head[i] = op.Const
+				default:
+					args := make(value.Tuple, len(op.ArgSlots))
+					for j, s := range op.ArgSlots {
+						args[j] = binding[s]
+					}
+					head[i] = ev.sk.Apply(op.Fn, args)
+				}
+			}
+			out = append(out, head)
+			return nil
+		}
+		st := &p.steps[si]
+		tbl := ev.db.Table(st.pred)
+
+		match := func(row value.Tuple) error {
+			stats.Probes++
+			for _, c := range st.checks {
+				want := c.Const
+				if c.slot >= 0 {
+					want = binding[c.slot]
+				}
+				if row[c.col] != want {
+					return nil
+				}
+			}
+			for _, b := range st.binds {
+				binding[b.slot] = row[b.col]
+			}
+			for _, c := range st.postChecks {
+				if row[c.col] != binding[c.slot] {
+					return nil
+				}
+			}
+			return exec(si + 1)
+		}
+
+		switch st.kind {
+		case stepDelta:
+			for _, row := range deltaRows {
+				if len(row) != tbl.Arity() {
+					return fmt.Errorf("engine: delta row arity mismatch for %s", st.pred)
+				}
+				if err := match(row); err != nil {
+					return err
+				}
+			}
+		case stepScan:
+			var ferr error
+			tbl.Each(func(row value.Tuple) bool {
+				ferr = match(row)
+				return ferr == nil
+			})
+			if ferr != nil {
+				return ferr
+			}
+		case stepProbe:
+			pv := st.probeVal
+			if st.probeSlot >= 0 {
+				pv = binding[st.probeSlot]
+			}
+			if ev.opts.Backend == BackendHash {
+				rows := ev.transientProbe(st.pred, st.probeCol, pv, stats)
+				for _, row := range rows {
+					if err := match(row); err != nil {
+						return err
+					}
+				}
+			} else {
+				var ferr error
+				tbl.Probe(st.probeCol, pv, func(row value.Tuple) bool {
+					ferr = match(row)
+					return ferr == nil
+				})
+				if ferr != nil {
+					return ferr
+				}
+			}
+		case stepNegCheck:
+			want := make(value.Tuple, len(st.checks)+len(st.binds)+len(st.postChecks))
+			for _, c := range st.checks {
+				if c.slot >= 0 {
+					want[c.col] = binding[c.slot]
+				} else {
+					want[c.col] = c.Const
+				}
+			}
+			stats.Probes++
+			if !tbl.Contains(want) {
+				return exec(si + 1)
+			}
+		}
+		return nil
+	}
+	if err := exec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// transientProbe returns rows of pred whose column col equals v, using a
+// per-generation transient hash table (BackendHash). The table is rebuilt
+// whenever the relation changes, charging the build to TransientBuilds —
+// this is the per-statement cost of the RDBMS-style backend.
+func (ev *Evaluator) transientProbe(pred string, col int, v value.Value, stats *Stats) []value.Tuple {
+	cols, ok := ev.transient[pred]
+	if !ok || ev.tgen[pred] != ev.gen[pred] {
+		cols = make(map[int]map[value.Value][]value.Tuple)
+		ev.transient[pred] = cols
+		ev.tgen[pred] = ev.gen[pred]
+	}
+	idx, ok := cols[col]
+	if !ok {
+		idx = make(map[value.Value][]value.Tuple)
+		ev.db.Table(pred).Each(func(row value.Tuple) bool {
+			idx[row[col]] = append(idx[row[col]], row)
+			return true
+		})
+		cols[col] = idx
+		stats.TransientBuilds++
+	}
+	return idx[v]
+}

@@ -1,0 +1,338 @@
+// Package engine evaluates datalog-with-Skolem-functions programs to
+// fixpoint over a storage.Database. It implements semi-naive, stratified
+// evaluation with safe negation, and offers two physical backends that
+// mirror the paper's two Orchestra implementations (§5):
+//
+//   - BackendHash ("DB2-style"): every rule invocation builds transient
+//     hash-join tables over its full input relations. Bulk evaluation is
+//     fast, but each small incremental statement pays the per-call build —
+//     the round-trip/statement overhead the paper observed with an RDBMS.
+//   - BackendIndexed ("Tukwila-style"): plans are compiled once, join
+//     columns get persistent secondary indexes maintained incrementally,
+//     and joins are index-nested-loop driven by the delta — cheap for the
+//     common small-update case, slower for bulk loads because every insert
+//     pays index maintenance.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// Backend selects the physical execution strategy.
+type Backend uint8
+
+const (
+	// BackendIndexed is the Tukwila-style prepared-plan backend (default).
+	BackendIndexed Backend = iota
+	// BackendHash is the DB2-style per-call hash-join backend.
+	BackendHash
+)
+
+func (b Backend) String() string {
+	if b == BackendHash {
+		return "hash"
+	}
+	return "indexed"
+}
+
+// stepKind discriminates physical plan steps.
+type stepKind uint8
+
+const (
+	stepDelta    stepKind = iota // iterate the delta rows for this rule call
+	stepScan                     // full scan of a table
+	stepProbe                    // index / transient-hash probe on one column
+	stepNegCheck                 // check a negated atom is absent
+)
+
+// colRef describes how one column of an atom relates to the binding.
+type colRef struct {
+	col int
+	// slot >= 0: the variable slot; slot < 0: Const carries a constant.
+	slot  int
+	Const value.Value
+}
+
+// step is one operator of a compiled rule plan.
+type step struct {
+	kind stepKind
+	pred string
+
+	// checks are columns whose value is determined before this step runs
+	// (a slot bound by an earlier step, or a constant) and must match the
+	// row.
+	checks []colRef
+	// binds are columns that bind fresh slots.
+	binds []colRef
+	// postChecks are columns repeating a variable first bound within this
+	// same atom; they are evaluated after binds are applied.
+	postChecks []colRef
+
+	// probe configuration (stepProbe only).
+	probeCol  int
+	probeSlot int         // slot providing the probe value, or -1
+	probeVal  value.Value // constant probe value when probeSlot < 0
+}
+
+// headOp builds one column of the head tuple.
+type headOp struct {
+	// slot >= 0: copy from slot. slot == -1: constant. slot == -2: Skolem
+	// application of Fn to ArgSlots.
+	slot     int
+	Const    value.Value
+	Fn       string
+	ArgSlots []int
+}
+
+// skCheck is a computed equality check for a Skolem term in a body atom
+// (§4.1.3's inverse rules need these): the row value captured in
+// valueSlot must equal Fn applied to the argument slots. Checks run once
+// the whole body is bound.
+type skCheck struct {
+	valueSlot int
+	fn        string
+	argSlots  []int
+}
+
+// plan is a compiled physical plan for one rule with one designated delta
+// position (or none, for naive evaluation).
+type plan struct {
+	rule     *datalog.Rule
+	deltaPos int // body index fed by the delta; -1 = none (naive)
+	steps    []step
+	skChecks []skCheck
+	headPred string
+	headOps  []headOp
+	nslots   int
+	varNames []string // slot -> variable name, for filter bindings
+}
+
+// compilePlan orders the rule body starting from the delta atom (if any),
+// then greedily by number of already-bound variables, preferring atoms
+// that allow an indexed probe. Negated atoms are placed as soon as all
+// their variables are bound.
+func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Backend, ensureIndexes bool) (*plan, error) {
+	p := &plan{rule: r, deltaPos: deltaPos, headPred: r.Head.Pred}
+	slotOf := make(map[string]int)
+	slot := func(v string) int {
+		if s, ok := slotOf[v]; ok {
+			return s
+		}
+		s := p.nslots
+		slotOf[v] = s
+		p.varNames = append(p.varNames, v)
+		p.nslots++
+		return s
+	}
+	bound := make(map[string]bool)
+
+	var positives, negatives []int
+	for i, l := range r.Body {
+		if l.Neg {
+			negatives = append(negatives, i)
+		} else {
+			positives = append(positives, i)
+		}
+	}
+
+	// emitAtom appends the physical step for body atom i given current
+	// bound set, marking its variables bound.
+	emitAtom := func(i int, kind stepKind) error {
+		a := r.Body[i].Atom
+		tbl := db.Table(a.Pred)
+		if tbl == nil {
+			return fmt.Errorf("engine: rule %s references unknown relation %q", r.ID, a.Pred)
+		}
+		if tbl.Arity() != len(a.Args) {
+			return fmt.Errorf("engine: rule %s: %s has arity %d, atom has %d args", r.ID, a.Pred, tbl.Arity(), len(a.Args))
+		}
+		st := step{kind: kind, pred: a.Pred, probeCol: -1, probeSlot: -1}
+		seenInAtom := make(map[string]bool)
+		for col, t := range a.Args {
+			switch t.Kind {
+			case datalog.TermConst:
+				st.checks = append(st.checks, colRef{col: col, slot: -1, Const: t.Const})
+			case datalog.TermVar:
+				switch {
+				case bound[t.Var]:
+					st.checks = append(st.checks, colRef{col: col, slot: slot(t.Var)})
+				case seenInAtom[t.Var]:
+					st.postChecks = append(st.postChecks, colRef{col: col, slot: slot(t.Var)})
+				default:
+					st.binds = append(st.binds, colRef{col: col, slot: slot(t.Var)})
+					seenInAtom[t.Var] = true
+				}
+			case datalog.TermSkolem:
+				if kind == stepNegCheck {
+					return fmt.Errorf("engine: rule %s: Skolem term in negated atom", r.ID)
+				}
+				// Capture the column into a hidden slot and defer the
+				// equality check until the whole body is bound (Skolem
+				// arguments may bind in later atoms).
+				hidden := fmt.Sprintf("$sk%d", len(p.skChecks))
+				hs := slot(hidden)
+				st.binds = append(st.binds, colRef{col: col, slot: hs})
+				seenInAtom[hidden] = true
+				sc := skCheck{valueSlot: hs, fn: t.Fn}
+				for _, v := range t.FnArgs {
+					sc.argSlots = append(sc.argSlots, slot(v))
+				}
+				p.skChecks = append(p.skChecks, sc)
+			}
+		}
+		for v := range seenInAtom {
+			bound[v] = true
+		}
+		// Upgrade scans with a usable check into probes.
+		if kind == stepScan && len(st.checks) > 0 {
+			c := st.checks[0]
+			st.kind = stepProbe
+			st.probeCol = c.col
+			if c.slot >= 0 {
+				st.probeSlot = c.slot
+			} else {
+				st.probeVal = c.Const
+			}
+			st.checks = st.checks[1:]
+			if backend == BackendIndexed && ensureIndexes {
+				tbl.EnsureIndex(st.probeCol)
+			}
+		}
+		p.steps = append(p.steps, st)
+		return nil
+	}
+
+	// Delta atom first.
+	remaining := make([]int, 0, len(positives))
+	if deltaPos >= 0 {
+		if r.Body[deltaPos].Neg {
+			return nil, fmt.Errorf("engine: rule %s: delta position %d is negated", r.ID, deltaPos)
+		}
+		if err := emitAtom(deltaPos, stepDelta); err != nil {
+			return nil, err
+		}
+	}
+	for _, i := range positives {
+		if i != deltaPos {
+			remaining = append(remaining, i)
+		}
+	}
+
+	negPending := append([]int(nil), negatives...)
+	flushNegs := func() {
+		kept := negPending[:0]
+		for _, i := range negPending {
+			all := true
+			for _, v := range r.Body[i].Atom.Vars() {
+				if !bound[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				if err := emitAtom(i, stepNegCheck); err != nil {
+					panic(err) // arity errors surface in positive pass first
+				}
+			} else {
+				kept = append(kept, i)
+			}
+		}
+		negPending = kept
+	}
+
+	for len(remaining) > 0 {
+		flushNegs()
+		// Greedy: most bound variables first; tie-break on original order.
+		best, bestScore := -1, -1
+		for pos, i := range remaining {
+			score := 0
+			for _, v := range r.Body[i].Atom.Vars() {
+				if bound[v] {
+					score++
+				}
+			}
+			for _, t := range r.Body[i].Atom.Args {
+				if t.Kind == datalog.TermConst {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = pos, score
+			}
+		}
+		i := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		if err := emitAtom(i, stepScan); err != nil {
+			return nil, err
+		}
+	}
+	flushNegs()
+	if len(negPending) > 0 {
+		return nil, fmt.Errorf("engine: rule %s: unsafe negation survived compilation", r.ID)
+	}
+
+	// Head construction.
+	headTbl := db.Table(r.Head.Pred)
+	if headTbl == nil {
+		return nil, fmt.Errorf("engine: rule %s: unknown head relation %q", r.ID, r.Head.Pred)
+	}
+	if headTbl.Arity() != len(r.Head.Args) {
+		return nil, fmt.Errorf("engine: rule %s: head arity mismatch for %q", r.ID, r.Head.Pred)
+	}
+	for _, t := range r.Head.Args {
+		switch t.Kind {
+		case datalog.TermConst:
+			p.headOps = append(p.headOps, headOp{slot: -1, Const: t.Const})
+		case datalog.TermVar:
+			s, ok := slotOf[t.Var]
+			if !ok || !bound[t.Var] {
+				return nil, fmt.Errorf("engine: rule %s: unbound head variable %q", r.ID, t.Var)
+			}
+			p.headOps = append(p.headOps, headOp{slot: s})
+		case datalog.TermSkolem:
+			op := headOp{slot: -2, Fn: t.Fn}
+			for _, v := range t.FnArgs {
+				s, ok := slotOf[v]
+				if !ok || !bound[v] {
+					return nil, fmt.Errorf("engine: rule %s: unbound Skolem argument %q", r.ID, v)
+				}
+				op.ArgSlots = append(op.ArgSlots, s)
+			}
+			p.headOps = append(p.headOps, op)
+		}
+	}
+	return p, nil
+}
+
+// deltaPositions returns the body indices eligible as delta positions for
+// a given predicate (positive occurrences only), or nil.
+func deltaPositions(r *datalog.Rule, pred string) []int {
+	var out []int
+	for i, l := range r.Body {
+		if !l.Neg && l.Atom.Pred == pred {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bodyPreds returns the sorted distinct positive body predicates of r.
+func bodyPreds(r *datalog.Rule) []string {
+	seen := make(map[string]bool)
+	for _, l := range r.Body {
+		if !l.Neg {
+			seen[l.Atom.Pred] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,290 @@
+// Package logstore provides durable storage for published edit logs —
+// the CDSS persistence layer (§2: publishing an edit log makes it
+// "globally available via central or distributed storage"; §5 builds on
+// Orchestra's "catalog, communications, and persistence layers").
+//
+// A Store is an append-only file of publications. Each publication is a
+// peer name plus an ordered edit log; replaying the file reproduces the
+// global publication sequence, so a restarting node can rebuild (or
+// catch up) any view.
+//
+// Record format (integers big-endian):
+//
+//	magic "OLG1" (once, at file start)
+//	per record: uint32 frame length, then frame:
+//	  uint16 peer len, peer,
+//	  uint32 edit count, per edit: uint8 op ('+'/'-'),
+//	    uint16 rel len, rel, uint32 key len, canonical tuple key
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"orchestra/internal/core"
+	"orchestra/internal/value"
+)
+
+const magic = "OLG1"
+
+// Publication is one published edit log.
+type Publication struct {
+	Peer string
+	Log  core.EditLog
+}
+
+// Store is an append-only publication log backed by a file. It is safe
+// for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	n    int // records appended (including those found at open)
+}
+
+// Open opens (or creates) a store at path.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{f: f, path: path}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(magic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		// Validate and count existing records.
+		pubs, err := readAll(f)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		st.n = len(pubs)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Len returns the number of stored publications.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Append durably records a publication.
+func (s *Store) Append(peer string, log core.EditLog) error {
+	frame, err := encodeFrame(peer, log)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := s.f.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Replay reads all publications from the start of the file. The returned
+// slice is in publication order.
+func (s *Store) Replay() ([]Publication, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	pubs, err := readAll(s.f)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return nil, err
+	}
+	return pubs, nil
+}
+
+// RestoreInto republishes every stored publication into a CDSS (in
+// order). Used at node startup to rebuild the global sequence.
+func (s *Store) RestoreInto(c *core.CDSS) error {
+	pubs, err := s.Replay()
+	if err != nil {
+		return err
+	}
+	for i, p := range pubs {
+		if err := c.Publish(p.Peer, p.Log); err != nil {
+			return fmt.Errorf("logstore: restoring publication %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func encodeFrame(peer string, log core.EditLog) ([]byte, error) {
+	if len(peer) > 1<<16-1 {
+		return nil, fmt.Errorf("logstore: peer name too long")
+	}
+	var frame []byte
+	frame = appendU16(frame, uint16(len(peer)))
+	frame = append(frame, peer...)
+	frame = appendU32(frame, uint32(len(log)))
+	for _, e := range log {
+		op := byte('-')
+		if e.Insert {
+			op = '+'
+		}
+		frame = append(frame, op)
+		if len(e.Rel) > 1<<16-1 {
+			return nil, fmt.Errorf("logstore: relation name too long")
+		}
+		frame = appendU16(frame, uint16(len(e.Rel)))
+		frame = append(frame, e.Rel...)
+		key := e.Tuple.EncodeKey(nil)
+		frame = appendU32(frame, uint32(len(key)))
+		frame = append(frame, key...)
+	}
+	return frame, nil
+}
+
+func decodeFrame(frame []byte) (Publication, error) {
+	var pub Publication
+	rd := &frameReader{b: frame}
+	peerLen := rd.u16()
+	pub.Peer = string(rd.bytes(int(peerLen)))
+	n := rd.u32()
+	for i := uint32(0); i < n; i++ {
+		op := rd.u8()
+		relLen := rd.u16()
+		rel := string(rd.bytes(int(relLen)))
+		keyLen := rd.u32()
+		key := rd.bytes(int(keyLen))
+		if rd.err != nil {
+			return pub, rd.err
+		}
+		tup, err := value.DecodeTuple(string(key))
+		if err != nil {
+			return pub, fmt.Errorf("logstore: bad tuple in record: %w", err)
+		}
+		pub.Log = append(pub.Log, core.Edit{Insert: op == '+', Rel: rel, Tuple: tup})
+	}
+	if rd.err != nil {
+		return pub, rd.err
+	}
+	if len(rd.b) != 0 {
+		return pub, fmt.Errorf("logstore: %d trailing bytes in record", len(rd.b))
+	}
+	return pub, nil
+}
+
+func readAll(r io.ReadSeeker) ([]Publication, error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("logstore: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("logstore: bad magic %q", head)
+	}
+	var pubs []Publication
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err == io.EOF {
+			return pubs, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("logstore: truncated record header: %w", err)
+		}
+		frame := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return nil, fmt.Errorf("logstore: truncated record: %w", err)
+		}
+		pub, err := decodeFrame(frame)
+		if err != nil {
+			return nil, err
+		}
+		pubs = append(pubs, pub)
+	}
+}
+
+type frameReader struct {
+	b   []byte
+	err error
+}
+
+func (r *frameReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("logstore: short record")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *frameReader) u8() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *frameReader) u16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *frameReader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}

@@ -1,0 +1,92 @@
+package provenance
+
+import (
+	"fmt"
+
+	"orchestra/internal/semiring"
+	"orchestra/internal/value"
+)
+
+// EvalOptions configures equation-system evaluation.
+type EvalOptions struct {
+	// MaxIterations bounds the fixpoint loop (0 = 10_000). For
+	// ω-continuous semirings (boolean trust, tropical, lineage) the loop
+	// converges; for counting over cyclic graphs it saturates at the
+	// semiring's cap.
+	MaxIterations int
+}
+
+// Eval solves the provenance equation system of the graph in semiring s
+// (§3.2: "the provenance of a tuple t is the value of Pv(t) in the
+// solution of the system formed by all these equations"). baseVal
+// assigns semiring values to base-tuple tokens (e.g. T/D for trust,
+// Example 7); mapFn interprets mapping applications (transparent internal
+// mappings are skipped). It returns the value of every tuple node.
+func Eval[T any](g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10_000
+	}
+	idx := g.buildDerivIndex()
+
+	val := make(map[Ref]T)
+	get := func(r Ref) T {
+		if v, ok := val[r]; ok {
+			return v
+		}
+		return s.Zero()
+	}
+
+	// Base nodes are constants supplied by the caller.
+	for _, r := range g.baseTupleRefs() {
+		val[r] = baseVal(r)
+	}
+
+	// Derived nodes: Kleene iteration to the least fixpoint.
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return nil, fmt.Errorf("provenance: evaluation did not converge within %d iterations", maxIter)
+		}
+		changed := false
+		for ref, derivs := range idx {
+			if g.baseRels[ref.Rel] {
+				continue
+			}
+			acc := s.Zero()
+			for _, d := range derivs {
+				term := s.One()
+				for _, src := range d.Sources {
+					term = s.Mul(term, get(src))
+				}
+				if !d.Mapping.Transparent {
+					term = mapFn(d.Mapping.ID, term)
+				}
+				acc = s.Add(acc, term)
+			}
+			if !s.Eq(acc, get(ref)) {
+				val[ref] = acc
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return val, nil
+}
+
+// baseTupleRefs lists every tuple in base relations.
+func (g *Graph) baseTupleRefs() []Ref {
+	var out []Ref
+	for rel := range g.baseRels {
+		tbl := g.db.Table(rel)
+		if tbl == nil {
+			continue
+		}
+		tbl.Each(func(row value.Tuple) bool {
+			out = append(out, NewRef(rel, row))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package provenance implements the paper's provenance model (§3.2) on
+// top of the relational encoding of §4.1.2: provenance graphs whose
+// mapping nodes are rows of per-tgd provenance tables, extraction of
+// provenance expressions (sums of products under unary mapping functions),
+// equation-system evaluation in arbitrary semirings, and the backward
+// support computation that powers goal-directed derivability testing
+// (§4.1.3).
+package provenance
+
+import (
+	"fmt"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/tgd"
+	"orchestra/internal/value"
+)
+
+// ArgSpec says how to compute one column of an atom instance from a
+// provenance-table row.
+type ArgSpec struct {
+	// Col >= 0: copy provenance-row column Col. Col == -1: the constant.
+	// Col == -2: Skolem application Fn over provenance columns FnArgCols.
+	Col       int
+	Const     value.Value
+	Fn        string
+	FnArgCols []int
+}
+
+// AtomTemplate instantiates one atom of a mapping from a provenance row.
+type AtomTemplate struct {
+	Rel  string
+	Args []ArgSpec
+}
+
+// Instantiate computes the concrete tuple of the template for a given
+// provenance row, interning Skolem terms in sk.
+func (at *AtomTemplate) Instantiate(row value.Tuple, sk *value.SkolemTable) value.Tuple {
+	out := make(value.Tuple, len(at.Args))
+	for i, a := range at.Args {
+		switch {
+		case a.Col >= 0:
+			out[i] = row[a.Col]
+		case a.Col == -1:
+			out[i] = a.Const
+		default:
+			args := make(value.Tuple, len(a.FnArgCols))
+			for j, c := range a.FnArgCols {
+				args[j] = row[c]
+			}
+			out[i] = sk.Apply(a.Fn, args)
+		}
+	}
+	return out
+}
+
+// MappingInfo describes one mapping's provenance encoding: which table
+// holds its derivations and how each row relates source tuples to target
+// tuples. Transparent mappings are internal bookkeeping rules (the
+// paper's (ℓR)/(tR)) that are spliced out of user-facing provenance
+// expressions.
+type MappingInfo struct {
+	ID          string
+	ProvRel     string
+	Vars        []string
+	Sources     []AtomTemplate
+	Targets     []AtomTemplate
+	Transparent bool
+}
+
+// FromEncoding converts a tgd's provenance encoding into graph metadata.
+func FromEncoding(enc *tgd.ProvEncoding) (*MappingInfo, error) {
+	mi := &MappingInfo{ID: enc.TGD.ID, ProvRel: enc.ProvRel, Vars: enc.ProvVars}
+	colOf := make(map[string]int, len(enc.ProvVars))
+	for i, v := range enc.ProvVars {
+		colOf[v] = i
+	}
+	mkTemplate := func(a datalog.Atom) (AtomTemplate, error) {
+		at := AtomTemplate{Rel: a.Pred, Args: make([]ArgSpec, len(a.Args))}
+		for i, t := range a.Args {
+			switch t.Kind {
+			case datalog.TermVar:
+				c, ok := colOf[t.Var]
+				if !ok {
+					return at, fmt.Errorf("provenance: %s: variable %q not in provenance columns", enc.TGD.ID, t.Var)
+				}
+				at.Args[i] = ArgSpec{Col: c}
+			case datalog.TermConst:
+				at.Args[i] = ArgSpec{Col: -1, Const: t.Const}
+			case datalog.TermSkolem:
+				spec := ArgSpec{Col: -2, Fn: t.Fn}
+				for _, v := range t.FnArgs {
+					c, ok := colOf[v]
+					if !ok {
+						return at, fmt.Errorf("provenance: %s: Skolem arg %q not in provenance columns", enc.TGD.ID, v)
+					}
+					spec.FnArgCols = append(spec.FnArgCols, c)
+				}
+				at.Args[i] = spec
+			}
+		}
+		return at, nil
+	}
+	for _, a := range enc.TGD.LHS {
+		at, err := mkTemplate(a)
+		if err != nil {
+			return nil, err
+		}
+		mi.Sources = append(mi.Sources, at)
+	}
+	// Targets come from the Skolemized derive rules so existential
+	// positions carry Skolem specs.
+	for _, d := range enc.Derive {
+		at, err := mkTemplate(d.Head)
+		if err != nil {
+			return nil, err
+		}
+		mi.Targets = append(mi.Targets, at)
+	}
+	return mi, nil
+}
+
+// InternalMapping builds the metadata for a bookkeeping rule that copies
+// src rows to dst rows one-for-one over `arity` columns (the paper's
+// (ℓR) and (tR) rules). Its provenance table has one column per relation
+// column.
+func InternalMapping(id, provRel, src, dst string, arity int) *MappingInfo {
+	args := make([]ArgSpec, arity)
+	vars := make([]string, arity)
+	for i := range args {
+		args[i] = ArgSpec{Col: i}
+		vars[i] = fmt.Sprintf("c%d", i)
+	}
+	return &MappingInfo{
+		ID:          id,
+		ProvRel:     provRel,
+		Vars:        vars,
+		Sources:     []AtomTemplate{{Rel: src, Args: args}},
+		Targets:     []AtomTemplate{{Rel: dst, Args: args}},
+		Transparent: true,
+	}
+}

@@ -1,0 +1,61 @@
+package provenance
+
+import (
+	"testing"
+
+	"orchestra/internal/semiring"
+)
+
+// Evaluating the paper fixture in N[X] yields the provenance polynomial
+// of each tuple — the universal object every other semiring evaluation
+// factors through ([16]).
+func TestPolynomialProvenance(t *testing.T) {
+	f := buildPaper(t)
+	ps := semiring.PolySemiring{}
+	vals, err := Eval[semiring.Poly](f.g, ps, semiring.Identity[semiring.Poly](),
+		func(r Ref) semiring.Poly { return semiring.Var(f.g.TokenName(r)) },
+		EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pv(B(3,2)) = m1(p3) + m4(p1·p2); with mapping applications read as
+	// identity homomorphisms the polynomial is p3 + p1·p2.
+	got := vals[f.b32]
+	if got.String() != "p3 + p1·p2" {
+		t.Fatalf("poly(B(3,2)) = %q", got)
+	}
+
+	// Universality: specializing the polynomial into the counting
+	// semiring matches the direct counting evaluation.
+	counts, err := Eval[int64](f.g, semiring.Count{}, semiring.Identity[int64](),
+		func(Ref) int64 { return 1 }, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	special := semiring.EvalPoly[int64](got, semiring.Count{}, func(string) int64 { return 1 })
+	if special != counts[f.b32] {
+		t.Fatalf("specialized count %d != direct count %d", special, counts[f.b32])
+	}
+
+	// And into the boolean semiring: distrust p1,p2 → still true via p3.
+	b := semiring.EvalPoly[bool](got, semiring.Bool{}, func(tok string) bool { return tok == "p3" })
+	if !b {
+		t.Fatal("specialized trust verdict wrong")
+	}
+}
+
+// With cyclic mappings the exact provenance is an infinite power series;
+// the degree-capped polynomial fixpoint must still converge.
+func TestPolynomialProvenanceCyclicConverges(t *testing.T) {
+	g, pRef := buildCycle(t)
+	ps := semiring.PolySemiring{MaxDegree: 4, MaxCoeff: 64}
+	vals, err := Eval[semiring.Poly](g, ps, semiring.Identity[semiring.Poly](),
+		func(r Ref) semiring.Poly { return semiring.Var("s") },
+		EvalOptions{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[pRef].IsZero() {
+		t.Fatal("cyclic polynomial provenance empty")
+	}
+}

@@ -1,0 +1,218 @@
+// Package schema models relation signatures and peer schemas for a CDSS.
+// Following the paper (§2), every peer owns a relational schema that is
+// disjoint from all other peers' schemas; mappings relate relations across
+// peers.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a loose column type annotation. The engine is dynamically typed
+// (values carry their own kind); column types document intent and let the
+// workload generator and spec parser validate constants.
+type Type uint8
+
+const (
+	// TypeAny accepts any value kind.
+	TypeAny Type = iota
+	// TypeInt expects integer values.
+	TypeInt
+	// TypeString expects string values.
+	TypeString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeString:
+		return "string"
+	default:
+		return "any"
+	}
+}
+
+// ParseType parses "int", "string", or "any".
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(s) {
+	case "int":
+		return TypeInt, nil
+	case "string", "str":
+		return TypeString, nil
+	case "any", "":
+		return TypeAny, nil
+	}
+	return TypeAny, fmt.Errorf("schema: unknown type %q", s)
+}
+
+// Column is a named, typed relation attribute.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Relation is a relation signature: a name and ordered columns.
+type Relation struct {
+	Name string
+	Cols []Column
+	// Peer is the owning peer's name, or "" for internal relations.
+	Peer string
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Cols) }
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders "Name(col type, …)".
+func (r *Relation) String() string {
+	parts := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return fmt.Sprintf("%s(%s)", r.Name, strings.Join(parts, ", "))
+}
+
+// Schema is an ordered collection of relation signatures.
+type Schema struct {
+	byName map[string]*Relation
+	order  []string
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{byName: make(map[string]*Relation)}
+}
+
+// Add registers a relation. It returns an error on duplicate names.
+func (s *Schema) Add(r *Relation) error {
+	if r.Name == "" {
+		return fmt.Errorf("schema: relation with empty name")
+	}
+	if _, dup := s.byName[r.Name]; dup {
+		return fmt.Errorf("schema: duplicate relation %q", r.Name)
+	}
+	s.byName[r.Name] = r
+	s.order = append(s.order, r.Name)
+	return nil
+}
+
+// Lookup returns the relation with the given name, or nil.
+func (s *Schema) Lookup(name string) *Relation { return s.byName[name] }
+
+// Relations returns all relations in registration order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, len(s.order))
+	for i, n := range s.order {
+		out[i] = s.byName[n]
+	}
+	return out
+}
+
+// Names returns all relation names in registration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len returns the number of relations.
+func (s *Schema) Len() int { return len(s.order) }
+
+// Peer is an autonomous participant: a name plus its user-level schema.
+type Peer struct {
+	Name   string
+	Schema *Schema
+}
+
+// NewPeer returns a peer with an empty schema.
+func NewPeer(name string) *Peer {
+	return &Peer{Name: name, Schema: New()}
+}
+
+// AddRelation registers a relation under this peer, stamping Peer.
+func (p *Peer) AddRelation(name string, cols ...Column) (*Relation, error) {
+	r := &Relation{Name: name, Cols: cols, Peer: p.Name}
+	if err := p.Schema.Add(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Universe is the union Σ of all peer schemas (paper notation). Relation
+// names must be globally unique across peers.
+type Universe struct {
+	peers  map[string]*Peer
+	order  []string
+	byName map[string]*Relation
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{peers: make(map[string]*Peer), byName: make(map[string]*Relation)}
+}
+
+// AddPeer registers a peer and all its relations. It returns an error on
+// duplicate peer names or relation-name collisions across peers.
+func (u *Universe) AddPeer(p *Peer) error {
+	if _, dup := u.peers[p.Name]; dup {
+		return fmt.Errorf("schema: duplicate peer %q", p.Name)
+	}
+	for _, r := range p.Schema.Relations() {
+		if prev, dup := u.byName[r.Name]; dup {
+			return fmt.Errorf("schema: relation %q of peer %q collides with peer %q", r.Name, p.Name, prev.Peer)
+		}
+	}
+	u.peers[p.Name] = p
+	u.order = append(u.order, p.Name)
+	for _, r := range p.Schema.Relations() {
+		u.byName[r.Name] = r
+	}
+	return nil
+}
+
+// Peer returns the named peer, or nil.
+func (u *Universe) Peer(name string) *Peer { return u.peers[name] }
+
+// Peers returns all peers in registration order.
+func (u *Universe) Peers() []*Peer {
+	out := make([]*Peer, len(u.order))
+	for i, n := range u.order {
+		out[i] = u.peers[n]
+	}
+	return out
+}
+
+// Relation resolves a relation name anywhere in the universe, or nil.
+func (u *Universe) Relation(name string) *Relation { return u.byName[name] }
+
+// Relations returns every relation in the universe, grouped by peer order.
+func (u *Universe) Relations() []*Relation {
+	var out []*Relation
+	for _, pn := range u.order {
+		out = append(out, u.peers[pn].Schema.Relations()...)
+	}
+	return out
+}
+
+// RelationNames returns every relation name, sorted, for deterministic
+// iteration in tests and display.
+func (u *Universe) RelationNames() []string {
+	out := make([]string, 0, len(u.byName))
+	for n := range u.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

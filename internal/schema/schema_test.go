@@ -1,0 +1,143 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"int": TypeInt, "string": TypeString, "str": TypeString,
+		"any": TypeAny, "": TypeAny, "INT": TypeInt, "String": TypeString,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseType("floop"); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	if TypeInt.String() != "int" || TypeString.String() != "string" || TypeAny.String() != "any" {
+		t.Fatal("Type.String")
+	}
+}
+
+func TestRelation(t *testing.T) {
+	r := &Relation{Name: "G", Cols: []Column{
+		{Name: "id", Type: TypeInt},
+		{Name: "nam", Type: TypeString},
+	}, Peer: "P"}
+	if r.Arity() != 2 {
+		t.Fatal("arity")
+	}
+	if r.ColIndex("nam") != 1 || r.ColIndex("zzz") != -1 {
+		t.Fatal("ColIndex")
+	}
+	s := r.String()
+	if !strings.Contains(s, "G(") || !strings.Contains(s, "id int") || !strings.Contains(s, "nam string") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSchemaAddLookup(t *testing.T) {
+	s := New()
+	if err := s.Add(&Relation{Name: "A", Cols: []Column{{Name: "x"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Relation{Name: "A"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := s.Add(&Relation{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if s.Lookup("A") == nil || s.Lookup("B") != nil {
+		t.Fatal("Lookup")
+	}
+	s.Add(&Relation{Name: "B", Cols: []Column{{Name: "y"}}})
+	if s.Len() != 2 {
+		t.Fatal("Len")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names = %v (registration order expected)", names)
+	}
+	rels := s.Relations()
+	if len(rels) != 2 || rels[0].Name != "A" {
+		t.Fatal("Relations")
+	}
+}
+
+func TestPeerAddRelation(t *testing.T) {
+	p := NewPeer("P")
+	r, err := p.AddRelation("R", Column{Name: "x", Type: TypeInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Peer != "P" {
+		t.Fatal("peer not stamped")
+	}
+	if _, err := p.AddRelation("R"); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := NewUniverse()
+	p := NewPeer("P")
+	p.AddRelation("A", Column{Name: "x"})
+	q := NewPeer("Q")
+	q.AddRelation("B", Column{Name: "y"})
+	if err := u.AddPeer(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.AddPeer(q); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate peer name.
+	if err := u.AddPeer(NewPeer("P")); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+	// Relation-name collision across peers.
+	r := NewPeer("R")
+	r.AddRelation("A", Column{Name: "z"})
+	if err := u.AddPeer(r); err == nil {
+		t.Fatal("relation collision accepted")
+	}
+	if u.Peer("P") == nil || u.Peer("Z") != nil {
+		t.Fatal("Peer lookup")
+	}
+	if u.Relation("B") == nil || u.Relation("B").Peer != "Q" {
+		t.Fatal("Relation lookup")
+	}
+	if len(u.Peers()) != 2 || u.Peers()[0].Name != "P" {
+		t.Fatal("Peers order")
+	}
+	if len(u.Relations()) != 2 {
+		t.Fatal("Relations")
+	}
+	names := u.RelationNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("RelationNames = %v (sorted expected)", names)
+	}
+}
+
+func TestUniverseCollisionLeavesStateClean(t *testing.T) {
+	u := NewUniverse()
+	p := NewPeer("P")
+	p.AddRelation("A", Column{Name: "x"})
+	u.AddPeer(p)
+	bad := NewPeer("Q")
+	bad.AddRelation("A", Column{Name: "y"})
+	if err := u.AddPeer(bad); err == nil {
+		t.Fatal("collision accepted")
+	}
+	// Q must not be half-registered.
+	if u.Peer("Q") != nil {
+		t.Fatal("failed peer registered")
+	}
+	if u.Relation("A").Peer != "P" {
+		t.Fatal("relation ownership corrupted")
+	}
+}

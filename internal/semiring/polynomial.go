@@ -1,0 +1,274 @@
+package semiring
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Provenance polynomials N[X] — the universal commutative semiring of the
+// provenance-semirings framework the paper builds on (§3.2, [16]):
+// polynomials with natural-number coefficients over the provenance
+// tokens. Every other semiring evaluation factors through N[X], which is
+// why the CDSS can store one provenance structure and reuse it for
+// trust, counts, costs, lineage, and more.
+//
+// A Monomial is a multiset of tokens (token → exponent); a Poly maps
+// monomials to coefficients. Both are kept in canonical (sorted,
+// zero-free) form, so Eq is structural equality.
+
+// Monomial is a canonical token-multiset: sorted token names with
+// positive exponents.
+type Monomial struct {
+	Tokens []string
+	Exps   []int
+}
+
+// canonical key for map storage.
+func (m Monomial) key() string {
+	var b strings.Builder
+	for i, tok := range m.Tokens {
+		fmt.Fprintf(&b, "%s^%d;", tok, m.Exps[i])
+	}
+	return b.String()
+}
+
+// mulMonomial multiplies two canonical monomials.
+func mulMonomial(a, b Monomial) Monomial {
+	var out Monomial
+	i, j := 0, 0
+	for i < len(a.Tokens) && j < len(b.Tokens) {
+		switch {
+		case a.Tokens[i] == b.Tokens[j]:
+			out.Tokens = append(out.Tokens, a.Tokens[i])
+			out.Exps = append(out.Exps, a.Exps[i]+b.Exps[j])
+			i++
+			j++
+		case a.Tokens[i] < b.Tokens[j]:
+			out.Tokens = append(out.Tokens, a.Tokens[i])
+			out.Exps = append(out.Exps, a.Exps[i])
+			i++
+		default:
+			out.Tokens = append(out.Tokens, b.Tokens[j])
+			out.Exps = append(out.Exps, b.Exps[j])
+			j++
+		}
+	}
+	for ; i < len(a.Tokens); i++ {
+		out.Tokens = append(out.Tokens, a.Tokens[i])
+		out.Exps = append(out.Exps, a.Exps[i])
+	}
+	for ; j < len(b.Tokens); j++ {
+		out.Tokens = append(out.Tokens, b.Tokens[j])
+		out.Exps = append(out.Exps, b.Exps[j])
+	}
+	return out
+}
+
+// Degree returns the total degree of the monomial.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, e := range m.Exps {
+		d += e
+	}
+	return d
+}
+
+// String renders "x^2·y" style.
+func (m Monomial) String() string {
+	if len(m.Tokens) == 0 {
+		return "1"
+	}
+	parts := make([]string, len(m.Tokens))
+	for i, tok := range m.Tokens {
+		if m.Exps[i] == 1 {
+			parts[i] = tok
+		} else {
+			parts[i] = fmt.Sprintf("%s^%d", tok, m.Exps[i])
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// Poly is a provenance polynomial in canonical form.
+type Poly struct {
+	terms map[string]polyTerm
+}
+
+type polyTerm struct {
+	mono  Monomial
+	coeff int64
+}
+
+// Var returns the polynomial consisting of a single token.
+func Var(token string) Poly {
+	m := Monomial{Tokens: []string{token}, Exps: []int{1}}
+	return Poly{terms: map[string]polyTerm{m.key(): {mono: m, coeff: 1}}}
+}
+
+// Const returns a constant polynomial.
+func Const(c int64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	m := Monomial{}
+	return Poly{terms: map[string]polyTerm{m.key(): {mono: m, coeff: c}}}
+}
+
+// Terms returns the polynomial's terms sorted by degree then text, for
+// display and testing.
+func (p Poly) Terms() []struct {
+	Mono  Monomial
+	Coeff int64
+} {
+	out := make([]struct {
+		Mono  Monomial
+		Coeff int64
+	}, 0, len(p.terms))
+	for _, t := range p.terms {
+		out = append(out, struct {
+			Mono  Monomial
+			Coeff int64
+		}{t.mono, t.coeff})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].Mono.Degree(), out[j].Mono.Degree()
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Mono.String() < out[j].Mono.String()
+	})
+	return out
+}
+
+// IsZero reports whether the polynomial is 0.
+func (p Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// String renders e.g. "2·p1·p2 + p3^2".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var parts []string
+	for _, t := range p.Terms() {
+		switch {
+		case t.Mono.Degree() == 0:
+			parts = append(parts, fmt.Sprintf("%d", t.Coeff))
+		case t.Coeff == 1:
+			parts = append(parts, t.Mono.String())
+		default:
+			parts = append(parts, fmt.Sprintf("%d·%s", t.Coeff, t.Mono.String()))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// EvalPoly evaluates the polynomial in any semiring by substituting
+// tokens — the universality property of N[X]: specialization is a
+// semiring homomorphism.
+func EvalPoly[T any](p Poly, s Semiring[T], tokenVal func(string) T) T {
+	acc := s.Zero()
+	for _, t := range p.Terms() {
+		term := s.One()
+		for i, tok := range t.Mono.Tokens {
+			v := tokenVal(tok)
+			for e := 0; e < t.Mono.Exps[i]; e++ {
+				term = s.Mul(term, v)
+			}
+		}
+		// coeff·term = term + … + term (coeff times).
+		summed := s.Zero()
+		for c := int64(0); c < t.Coeff; c++ {
+			summed = s.Add(summed, term)
+		}
+		acc = s.Add(acc, summed)
+	}
+	return acc
+}
+
+// PolySemiring is N[X] as a Semiring[Poly]. With cyclic mappings the
+// exact provenance is an infinite formal power series (§3.2), so the
+// fixpoint computation needs two truncations to stay finite: MaxDegree
+// drops monomials beyond the degree bound (0 = 16), and MaxCoeff
+// saturates coefficients (0 = 1<<30) — the polynomial analogue of the
+// counting semiring's saturation.
+type PolySemiring struct {
+	MaxDegree int
+	MaxCoeff  int64
+}
+
+func (ps PolySemiring) maxDeg() int {
+	if ps.MaxDegree <= 0 {
+		return 16
+	}
+	return ps.MaxDegree
+}
+
+func (ps PolySemiring) maxCoeff() int64 {
+	if ps.MaxCoeff <= 0 {
+		return 1 << 30
+	}
+	return ps.MaxCoeff
+}
+
+func (ps PolySemiring) clamp(c int64) int64 {
+	if c > ps.maxCoeff() || c < 0 {
+		return ps.maxCoeff()
+	}
+	return c
+}
+
+func (PolySemiring) Zero() Poly { return Poly{} }
+func (PolySemiring) One() Poly  { return Const(1) }
+
+func (ps PolySemiring) Add(a, b Poly) Poly {
+	out := Poly{terms: make(map[string]polyTerm, len(a.terms)+len(b.terms))}
+	for k, t := range a.terms {
+		out.terms[k] = t
+	}
+	for k, t := range b.terms {
+		if prev, ok := out.terms[k]; ok {
+			prev.coeff = ps.clamp(prev.coeff + t.coeff)
+			out.terms[k] = prev
+		} else {
+			out.terms[k] = t
+		}
+	}
+	return out
+}
+
+func (ps PolySemiring) Mul(a, b Poly) Poly {
+	out := Poly{terms: make(map[string]polyTerm)}
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			mono := mulMonomial(ta.mono, tb.mono)
+			if mono.Degree() > ps.maxDeg() {
+				continue
+			}
+			k := mono.key()
+			if prev, ok := out.terms[k]; ok {
+				prev.coeff = ps.clamp(prev.coeff + ps.clamp(ta.coeff*tb.coeff))
+				out.terms[k] = prev
+			} else {
+				out.terms[k] = polyTerm{mono: mono, coeff: ps.clamp(ta.coeff * tb.coeff)}
+			}
+		}
+	}
+	if len(out.terms) == 0 {
+		return Poly{}
+	}
+	return out
+}
+
+func (PolySemiring) Eq(a, b Poly) bool {
+	if len(a.terms) != len(b.terms) {
+		return false
+	}
+	for k, ta := range a.terms {
+		tb, ok := b.terms[k]
+		if !ok || ta.coeff != tb.coeff {
+			return false
+		}
+	}
+	return true
+}

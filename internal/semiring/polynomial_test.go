@@ -1,0 +1,112 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoly(r *rand.Rand) Poly {
+	ps := PolySemiring{MaxDegree: 1 << 20}
+	toks := []string{"x", "y", "z"}
+	p := ps.Zero()
+	for i := 0; i < r.Intn(4); i++ {
+		term := Const(int64(1 + r.Intn(3)))
+		for j := 0; j < r.Intn(3); j++ {
+			term = ps.Mul(term, Var(toks[r.Intn(len(toks))]))
+		}
+		p = ps.Add(p, term)
+	}
+	return p
+}
+
+func TestPolynomialLaws(t *testing.T) {
+	checkLaws[Poly](t, "poly", PolySemiring{MaxDegree: 1 << 20}, randPoly)
+}
+
+func TestPolynomialAlgebra(t *testing.T) {
+	ps := PolySemiring{}
+	x, y := Var("x"), Var("y")
+	// (x + y)·(x + y) = x^2 + 2·x·y + y^2
+	sq := ps.Mul(ps.Add(x, y), ps.Add(x, y))
+	if got := sq.String(); got != "x^2 + 2·x·y + y^2" {
+		t.Fatalf("(x+y)^2 = %q", got)
+	}
+	// Zero and one behave.
+	if !ps.Eq(ps.Mul(sq, ps.Zero()), ps.Zero()) {
+		t.Fatal("annihilation")
+	}
+	if !ps.Eq(ps.Mul(sq, ps.One()), sq) {
+		t.Fatal("identity")
+	}
+	if Const(0).String() != "0" || ps.One().String() != "1" {
+		t.Fatal("constant rendering")
+	}
+	if Var("p").String() != "p" {
+		t.Fatal("var rendering")
+	}
+}
+
+func TestPolynomialDegreeCap(t *testing.T) {
+	ps := PolySemiring{MaxDegree: 2}
+	x := Var("x")
+	x2 := ps.Mul(x, x)
+	x3 := ps.Mul(x2, x)
+	if !x3.IsZero() {
+		t.Fatalf("degree-3 term survived cap 2: %s", x3)
+	}
+}
+
+// Universality: evaluating the polynomial in a target semiring equals
+// computing directly in that semiring.
+func TestPolynomialUniversality(t *testing.T) {
+	ps := PolySemiring{}
+	x, y, z := Var("x"), Var("y"), Var("z")
+	// p = x·y + 2·z
+	p := ps.Add(ps.Mul(x, y), ps.Add(z, z))
+
+	// Counting: x=2, y=3, z=5 → 2·3 + 2·5 = 16.
+	count := EvalPoly[int64](p, Count{}, func(tok string) int64 {
+		return map[string]int64{"x": 2, "y": 3, "z": 5}[tok]
+	})
+	if count != 16 {
+		t.Fatalf("count eval = %d", count)
+	}
+
+	// Boolean trust: x=T, y=F, z=T → (T∧F) ∨ T ∨ T = T.
+	b := EvalPoly[bool](p, Bool{}, func(tok string) bool { return tok != "y" })
+	if !b {
+		t.Fatal("bool eval")
+	}
+	// x=T, y=F, z=F → F.
+	b = EvalPoly[bool](p, Bool{}, func(tok string) bool { return tok == "x" })
+	if b {
+		t.Fatal("bool eval false case")
+	}
+
+	// Tropical: x=1, y=2, z=10 → min(1+2, min(10,10)) = 3.
+	tr := EvalPoly[int64](p, Tropical{}, func(tok string) int64 {
+		return map[string]int64{"x": 1, "y": 2, "z": 10}[tok]
+	})
+	if tr != 3 {
+		t.Fatalf("tropical eval = %d", tr)
+	}
+
+	// Lineage: tokens of the whole polynomial.
+	lin := EvalPoly[LineageElem](p, Lineage{}, func(tok string) LineageElem { return Token(tok) })
+	if !lin.Set.Equal(NewTokenSet("x", "y", "z")) {
+		t.Fatalf("lineage eval = %v", lin)
+	}
+}
+
+func TestMonomialString(t *testing.T) {
+	ps := PolySemiring{}
+	x := Var("x")
+	x2y := ps.Mul(ps.Mul(x, x), Var("y"))
+	terms := x2y.Terms()
+	if len(terms) != 1 || terms[0].Mono.String() != "x^2·y" {
+		t.Fatalf("monomial: %v", terms)
+	}
+	if terms[0].Mono.Degree() != 3 {
+		t.Fatal("degree")
+	}
+}

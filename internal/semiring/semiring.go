@@ -1,0 +1,312 @@
+// Package semiring implements the algebraic framework behind the paper's
+// provenance model (§3.2, building on Green, Karvounarakis & Tannen,
+// "Provenance Semirings", PODS 2007). Provenance expressions are
+// polynomials over a commutative semiring (K, +, ·, 0, 1) extended with
+// one unary function per schema mapping; evaluating the same expression
+// in different semirings yields trust verdicts, derivation counts, costs,
+// lineage, and more.
+package semiring
+
+import "sort"
+
+// Semiring is a commutative semiring over T: (T, Add, Mul, Zero, One)
+// with Add and Mul associative and commutative, Zero the Add-identity and
+// Mul-annihilator, One the Mul-identity, and Mul distributing over Add.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+	// Eq reports semantic equality of two elements (used by fixpoint
+	// evaluation to detect convergence and by law tests).
+	Eq(a, b T) bool
+}
+
+// MapFn interprets the unary mapping functions m(·) of CDSS provenance
+// expressions in the target semiring. For trust, m(x) = Θ_m ∧ x; for
+// counting, the identity; for cost, a per-mapping surcharge.
+type MapFn[T any] func(mapping string, x T) T
+
+// Identity returns the mapping interpretation that ignores mapping
+// applications — the homomorphism the paper uses when mapping
+// annotations are not of interest.
+func Identity[T any]() MapFn[T] {
+	return func(_ string, x T) T { return x }
+}
+
+// ---------------------------------------------------------------------------
+// Boolean semiring ({F,T}, ∨, ∧): trust evaluation (paper §3.3).
+
+// Bool is the boolean semiring.
+type Bool struct{}
+
+func (Bool) Zero() bool         { return false }
+func (Bool) One() bool          { return true }
+func (Bool) Add(a, b bool) bool { return a || b }
+func (Bool) Mul(a, b bool) bool { return a && b }
+func (Bool) Eq(a, b bool) bool  { return a == b }
+
+// ---------------------------------------------------------------------------
+// Counting semiring (ℕ, +, ×) with saturation: number of derivations
+// (bag semantics, paper §7 notes the model generalizes duplicate
+// semantics). Saturation at Cap keeps cyclic mapping sets finite — the
+// paper observes provenance may otherwise be an infinite formal power
+// series.
+
+// Count is the saturating natural-number semiring. Cap <= 0 means a
+// default cap of 1<<30.
+type Count struct{ Cap int64 }
+
+func (c Count) cap() int64 {
+	if c.Cap <= 0 {
+		return 1 << 30
+	}
+	return c.Cap
+}
+
+func (c Count) Zero() int64 { return 0 }
+func (c Count) One() int64  { return 1 }
+
+func (c Count) Add(a, b int64) int64 {
+	s := a + b
+	if s > c.cap() || s < a {
+		return c.cap()
+	}
+	return s
+}
+
+func (c Count) Mul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/a != b || p > c.cap() {
+		return c.cap()
+	}
+	return p
+}
+
+func (c Count) Eq(a, b int64) bool { return a == b }
+
+// ---------------------------------------------------------------------------
+// Tropical semiring (ℕ∞, min, +): cost of the cheapest derivation.
+
+// TropInf is the tropical infinity.
+const TropInf = int64(1) << 62
+
+// Tropical is the (min, +) semiring over non-negative costs.
+type Tropical struct{}
+
+func (Tropical) Zero() int64 { return TropInf }
+func (Tropical) One() int64  { return 0 }
+
+func (Tropical) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (Tropical) Mul(a, b int64) int64 {
+	if a >= TropInf || b >= TropInf {
+		return TropInf
+	}
+	return a + b
+}
+
+func (Tropical) Eq(a, b int64) bool { return a == b }
+
+// ---------------------------------------------------------------------------
+// Viterbi semiring ([0,1], max, ×): confidence of the best derivation —
+// the "ranked trust models" the paper's future work (§8) sketches.
+
+// Viterbi is the ([0,1], max, ×) semiring.
+type Viterbi struct{}
+
+func (Viterbi) Zero() float64 { return 0 }
+func (Viterbi) One() float64  { return 1 }
+
+func (Viterbi) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (Viterbi) Mul(a, b float64) float64 { return a * b }
+func (Viterbi) Eq(a, b float64) bool     { return a == b }
+
+// ---------------------------------------------------------------------------
+// Lineage semiring (P(tokens), ∪, ∪): the set of base tuples a tuple
+// depends on — Cui-style lineage, which the paper shows is strictly
+// coarser than its provenance model (§7).
+
+// TokenSet is an immutable sorted set of provenance token names.
+type TokenSet []string
+
+// NewTokenSet builds a sorted, deduplicated token set.
+func NewTokenSet(tokens ...string) TokenSet {
+	s := append([]string(nil), tokens...)
+	sort.Strings(s)
+	out := s[:0]
+	for i, t := range s {
+		if i == 0 || s[i-1] != t {
+			out = append(out, t)
+		}
+	}
+	return TokenSet(out)
+}
+
+// Union returns the set union.
+func (a TokenSet) Union(b TokenSet) TokenSet {
+	return NewTokenSet(append(append([]string(nil), a...), b...)...)
+}
+
+// Equal reports set equality.
+func (a TokenSet) Equal(b TokenSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports membership.
+func (a TokenSet) Contains(tok string) bool {
+	i := sort.SearchStrings(a, tok)
+	return i < len(a) && a[i] == tok
+}
+
+// Lineage is the (P(tokens) ∪ {⊥}, ∪, ∪) lineage semiring. The bottom
+// element (Zero) is represented by a nil set with the `bottom` flag in
+// Elem, because the empty set is a legitimate lineage (of One).
+type Lineage struct{}
+
+// LineageElem is an element of the lineage semiring.
+type LineageElem struct {
+	Bottom bool
+	Set    TokenSet
+}
+
+// Token returns the lineage element for a single base token.
+func Token(tok string) LineageElem { return LineageElem{Set: NewTokenSet(tok)} }
+
+func (Lineage) Zero() LineageElem { return LineageElem{Bottom: true} }
+func (Lineage) One() LineageElem  { return LineageElem{} }
+
+func (Lineage) Add(a, b LineageElem) LineageElem {
+	if a.Bottom {
+		return b
+	}
+	if b.Bottom {
+		return a
+	}
+	return LineageElem{Set: a.Set.Union(b.Set)}
+}
+
+func (Lineage) Mul(a, b LineageElem) LineageElem {
+	if a.Bottom || b.Bottom {
+		return LineageElem{Bottom: true}
+	}
+	return LineageElem{Set: a.Set.Union(b.Set)}
+}
+
+func (Lineage) Eq(a, b LineageElem) bool {
+	if a.Bottom != b.Bottom {
+		return false
+	}
+	return a.Set.Equal(b.Set)
+}
+
+// ---------------------------------------------------------------------------
+// Why-provenance semiring (P(P(tokens)), ∪, pairwise-∪): witness sets.
+// Strictly finer than lineage, still coarser than provenance polynomials
+// (§7 positions the paper's model above both).
+
+// WitnessSet is a sorted set of token sets.
+type WitnessSet []TokenSet
+
+// NewWitnessSet normalizes (sorts + dedups) witnesses.
+func NewWitnessSet(ws ...TokenSet) WitnessSet {
+	out := make(WitnessSet, 0, len(ws))
+	out = append(out, ws...)
+	sort.Slice(out, func(i, j int) bool { return lessTokenSet(out[i], out[j]) })
+	dedup := out[:0]
+	for i, w := range out {
+		if i == 0 || !out[i-1].Equal(w) {
+			dedup = append(dedup, w)
+		}
+	}
+	return dedup
+}
+
+func lessTokenSet(a, b TokenSet) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Equal reports witness-set equality.
+func (a WitnessSet) Equal(b WitnessSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Why is the why-provenance semiring. MaxWitnesses caps growth under
+// cyclic mappings (0 = 64).
+type Why struct{ MaxWitnesses int }
+
+func (w Why) capN() int {
+	if w.MaxWitnesses <= 0 {
+		return 64
+	}
+	return w.MaxWitnesses
+}
+
+// Witness returns the why-provenance of a base token: {{tok}}.
+func Witness(tok string) WitnessSet { return NewWitnessSet(NewTokenSet(tok)) }
+
+func (Why) Zero() WitnessSet { return WitnessSet{} }
+func (Why) One() WitnessSet  { return NewWitnessSet(NewTokenSet()) }
+
+func (w Why) Add(a, b WitnessSet) WitnessSet {
+	out := NewWitnessSet(append(append(WitnessSet{}, a...), b...)...)
+	return w.trim(out)
+}
+
+func (w Why) Mul(a, b WitnessSet) WitnessSet {
+	var all WitnessSet
+	for _, x := range a {
+		for _, y := range b {
+			all = append(all, x.Union(y))
+		}
+	}
+	return w.trim(NewWitnessSet(all...))
+}
+
+func (w Why) trim(ws WitnessSet) WitnessSet {
+	if len(ws) > w.capN() {
+		return ws[:w.capN()]
+	}
+	return ws
+}
+
+func (Why) Eq(a, b WitnessSet) bool { return a.Equal(b) }

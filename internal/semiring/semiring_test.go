@@ -1,0 +1,189 @@
+package semiring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkLaws verifies the commutative-semiring axioms over randomly drawn
+// elements of the carrier.
+func checkLaws[T any](t *testing.T, name string, s Semiring[T], gen func(r *rand.Rand) T) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		if !s.Eq(s.Add(a, b), s.Add(b, a)) {
+			t.Fatalf("%s: + not commutative", name)
+		}
+		if !s.Eq(s.Mul(a, b), s.Mul(b, a)) {
+			t.Fatalf("%s: · not commutative", name)
+		}
+		if !s.Eq(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			t.Fatalf("%s: + not associative", name)
+		}
+		if !s.Eq(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			t.Fatalf("%s: · not associative", name)
+		}
+		if !s.Eq(s.Add(a, s.Zero()), a) {
+			t.Fatalf("%s: 0 not +-identity", name)
+		}
+		if !s.Eq(s.Mul(a, s.One()), a) {
+			t.Fatalf("%s: 1 not ·-identity", name)
+		}
+		if !s.Eq(s.Mul(a, s.Zero()), s.Zero()) {
+			t.Fatalf("%s: 0 not annihilating", name)
+		}
+		if !s.Eq(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c))) {
+			t.Fatalf("%s: · does not distribute over +", name)
+		}
+	}
+}
+
+func TestBoolLaws(t *testing.T) {
+	checkLaws[bool](t, "bool", Bool{}, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+func TestCountLaws(t *testing.T) {
+	// Draw small values so saturation does not break associativity in the
+	// sampled region; saturation behaviour is tested separately.
+	checkLaws[int64](t, "count", Count{}, func(r *rand.Rand) int64 { return r.Int63n(50) })
+}
+
+func TestCountSaturation(t *testing.T) {
+	c := Count{Cap: 100}
+	if c.Add(90, 90) != 100 {
+		t.Fatal("add saturation")
+	}
+	if c.Mul(20, 20) != 100 {
+		t.Fatal("mul saturation")
+	}
+	if c.Mul(0, 1<<40) != 0 {
+		t.Fatal("zero annihilates despite cap")
+	}
+	// Overflow-safe even near int64 limits.
+	big := Count{}
+	if big.Mul(1<<31, 1<<31) != big.cap() {
+		t.Fatal("overflow clamp")
+	}
+}
+
+func TestTropicalLaws(t *testing.T) {
+	checkLaws[int64](t, "tropical", Tropical{}, func(r *rand.Rand) int64 {
+		if r.Intn(10) == 0 {
+			return TropInf
+		}
+		return r.Int63n(1000)
+	})
+}
+
+func TestViterbiLaws(t *testing.T) {
+	// Restrict to exactly-representable dyadic rationals so that · is
+	// associative without float fuzz.
+	checkLaws[float64](t, "viterbi", Viterbi{}, func(r *rand.Rand) float64 {
+		return float64(r.Intn(5)) / 4.0
+	})
+}
+
+func TestLineageLaws(t *testing.T) {
+	toks := []string{"p1", "p2", "p3", "p4"}
+	checkLaws[LineageElem](t, "lineage", Lineage{}, func(r *rand.Rand) LineageElem {
+		if r.Intn(8) == 0 {
+			return Lineage{}.Zero()
+		}
+		var ts []string
+		for _, tok := range toks {
+			if r.Intn(2) == 0 {
+				ts = append(ts, tok)
+			}
+		}
+		return LineageElem{Set: NewTokenSet(ts...)}
+	})
+}
+
+func TestLineageSemantics(t *testing.T) {
+	l := Lineage{}
+	a := Token("p1")
+	b := Token("p2")
+	sum := l.Add(a, b)
+	prod := l.Mul(a, b)
+	// Lineage conflates + and ·: both are union. That is exactly why the
+	// paper needs a finer model (§7) — but the semiring must still behave.
+	if !sum.Set.Equal(prod.Set) {
+		t.Fatal("lineage should conflate + and ·")
+	}
+	if !sum.Set.Contains("p1") || !sum.Set.Contains("p2") || sum.Set.Contains("p3") {
+		t.Fatalf("union wrong: %v", sum.Set)
+	}
+}
+
+func TestWhyLaws(t *testing.T) {
+	toks := []string{"p1", "p2", "p3"}
+	checkLaws[WitnessSet](t, "why", Why{MaxWitnesses: 1 << 20}, func(r *rand.Rand) WitnessSet {
+		n := r.Intn(3)
+		var ws []TokenSet
+		for i := 0; i < n; i++ {
+			var ts []string
+			for _, tok := range toks {
+				if r.Intn(2) == 0 {
+					ts = append(ts, tok)
+				}
+			}
+			ws = append(ws, NewTokenSet(ts...))
+		}
+		return NewWitnessSet(ws...)
+	})
+}
+
+func TestWhySemantics(t *testing.T) {
+	w := Why{}
+	// why(a·(b+c)) = {{a,b},{a,c}}: two witnesses, distinguishable —
+	// unlike lineage.
+	a, b, c := Witness("a"), Witness("b"), Witness("c")
+	got := w.Mul(a, w.Add(b, c))
+	want := NewWitnessSet(NewTokenSet("a", "b"), NewTokenSet("a", "c"))
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	s := NewTokenSet("b", "a", "b")
+	if len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Fatalf("normalize: %v", s)
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Fatal("Contains")
+	}
+	u := s.Union(NewTokenSet("c"))
+	if len(u) != 3 {
+		t.Fatalf("union: %v", u)
+	}
+	// quick property: union is commutative and idempotent.
+	f := func(xs, ys []string) bool {
+		a, b := NewTokenSet(xs...), NewTokenSet(ys...)
+		return a.Union(b).Equal(b.Union(a)) && a.Union(a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFnIdentity(t *testing.T) {
+	id := Identity[int64]()
+	if id("m1", 42) != 42 {
+		t.Fatal("identity MapFn")
+	}
+}
+
+func TestTropicalSemantics(t *testing.T) {
+	tr := Tropical{}
+	// Cheapest-of-two-derivations: min(3+2, 4) = 4.
+	got := tr.Add(tr.Mul(3, 2), 4)
+	if got != 4 {
+		t.Fatalf("got %d", got)
+	}
+	if tr.Mul(5, TropInf) != TropInf {
+		t.Fatal("inf absorbs")
+	}
+}

@@ -1,0 +1,272 @@
+// Package share implements the CDSS communications layer (§2, §5): a
+// small HTTP service through which peers make their edit logs "globally
+// available", and a client with which other nodes fetch the publications
+// they have not yet imported. Together with internal/logstore this plays
+// the role of Orchestra's central/distributed publication storage [34].
+//
+// Wire protocol (JSON):
+//
+//	POST /publish   {"peer": "...", "edits": [{"op":"+","rel":"R","key":"base64"}]}
+//	GET  /since?cursor=N  → {"cursor": M, "publications": [...]}
+//
+// Tuples travel as base64 of their canonical encoding, so values of any
+// kind round-trip exactly.
+package share
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"orchestra/internal/core"
+	"orchestra/internal/value"
+)
+
+// wireEdit is one edit on the wire.
+type wireEdit struct {
+	Op  string `json:"op"` // "+" or "-"
+	Rel string `json:"rel"`
+	Key string `json:"key"` // base64 canonical tuple
+}
+
+// wirePublication is one published edit log on the wire.
+type wirePublication struct {
+	Peer  string     `json:"peer"`
+	Edits []wireEdit `json:"edits"`
+}
+
+// sinceResponse is the /since payload.
+type sinceResponse struct {
+	Cursor       int               `json:"cursor"`
+	Publications []wirePublication `json:"publications"`
+}
+
+func toWire(peer string, log core.EditLog) wirePublication {
+	wp := wirePublication{Peer: peer}
+	for _, e := range log {
+		op := "-"
+		if e.Insert {
+			op = "+"
+		}
+		wp.Edits = append(wp.Edits, wireEdit{
+			Op:  op,
+			Rel: e.Rel,
+			Key: base64.StdEncoding.EncodeToString(e.Tuple.EncodeKey(nil)),
+		})
+	}
+	return wp
+}
+
+func fromWire(wp wirePublication) (string, core.EditLog, error) {
+	if wp.Peer == "" {
+		return "", nil, fmt.Errorf("share: publication without peer")
+	}
+	var log core.EditLog
+	for i, we := range wp.Edits {
+		if we.Op != "+" && we.Op != "-" {
+			return "", nil, fmt.Errorf("share: edit %d: bad op %q", i, we.Op)
+		}
+		raw, err := base64.StdEncoding.DecodeString(we.Key)
+		if err != nil {
+			return "", nil, fmt.Errorf("share: edit %d: %w", i, err)
+		}
+		tup, err := value.DecodeTuple(string(raw))
+		if err != nil {
+			return "", nil, fmt.Errorf("share: edit %d: %w", i, err)
+		}
+		log = append(log, core.Edit{Insert: we.Op == "+", Rel: we.Rel, Tuple: tup})
+	}
+	return wp.Peer, log, nil
+}
+
+// Server is the publication service. It optionally validates incoming
+// publications against a Spec (peers edit only their own relations) and
+// can persist them through an Appender (e.g. a logstore.Store).
+type Server struct {
+	mu   sync.RWMutex
+	pubs []wirePublication
+
+	// Validate, when non-nil, admits only publications legal under the
+	// spec.
+	Validate func(peer string, log core.EditLog) error
+	// Persist, when non-nil, is invoked for every accepted publication.
+	Persist func(peer string, log core.EditLog) error
+}
+
+// NewServer returns an empty in-memory publication service.
+func NewServer() *Server { return &Server{} }
+
+// SpecValidator builds a Validate func from a CDSS spec.
+func SpecValidator(spec *core.Spec) func(string, core.EditLog) error {
+	return func(peer string, log core.EditLog) error {
+		probe := core.NewCDSS(spec, core.Options{}, core.DeleteProvenance)
+		return probe.Publish(peer, log)
+	}
+}
+
+// Len returns the number of accepted publications.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pubs)
+}
+
+// Preload appends an already-persisted publication without re-validating
+// or re-persisting it — used when reloading a logstore at startup.
+func (s *Server) Preload(peer string, log core.EditLog) error {
+	if peer == "" {
+		return fmt.Errorf("share: publication without peer")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pubs = append(s.pubs, toWire(peer, log))
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/publish":
+		s.handlePublish(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/since":
+		s.handleSince(w, r)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var wp wirePublication
+	if err := json.Unmarshal(body, &wp); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	peer, log, err := fromWire(wp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.Validate != nil {
+		if err := s.Validate(peer, log); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	if s.Persist != nil {
+		if err := s.Persist(peer, log); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.mu.Lock()
+	s.pubs = append(s.pubs, wp)
+	n := len(s.pubs)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"cursor":%d}`, n)
+}
+
+func (s *Server) handleSince(w http.ResponseWriter, r *http.Request) {
+	cursor := 0
+	if c := r.URL.Query().Get("cursor"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			http.Error(w, "bad cursor", http.StatusBadRequest)
+			return
+		}
+		cursor = n
+	}
+	s.mu.RLock()
+	if cursor > len(s.pubs) {
+		cursor = len(s.pubs)
+	}
+	resp := sinceResponse{
+		Cursor:       len(s.pubs),
+		Publications: append([]wirePublication(nil), s.pubs[cursor:]...),
+	}
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Client talks to a publication service.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Publish sends one edit log to the service.
+func (c *Client) Publish(peer string, log core.EditLog) error {
+	payload, err := json.Marshal(toWire(peer, log))
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/publish", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("share: publish: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Fetch retrieves publications at or after cursor, returning them with
+// the new cursor.
+func (c *Client) Fetch(cursor int) ([]core.EditLog, []string, int, error) {
+	resp, err := c.HTTP.Get(fmt.Sprintf("%s/since?cursor=%d", c.BaseURL, cursor))
+	if err != nil {
+		return nil, nil, cursor, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, cursor, fmt.Errorf("share: fetch: %s", resp.Status)
+	}
+	var sr sinceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, nil, cursor, err
+	}
+	var logs []core.EditLog
+	var peers []string
+	for _, wp := range sr.Publications {
+		peer, log, err := fromWire(wp)
+		if err != nil {
+			return nil, nil, cursor, err
+		}
+		peers = append(peers, peer)
+		logs = append(logs, log)
+	}
+	return logs, peers, sr.Cursor, nil
+}
+
+// Sync pulls every unseen publication into a CDSS, returning the new
+// cursor. The caller then runs Exchange on whichever views it maintains.
+func (c *Client) Sync(cdss *core.CDSS, cursor int) (int, error) {
+	logs, peers, next, err := c.Fetch(cursor)
+	if err != nil {
+		return cursor, err
+	}
+	for i := range logs {
+		if err := cdss.Publish(peers[i], logs[i]); err != nil {
+			return cursor, err
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,227 @@
+package share
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/logstore"
+	"orchestra/internal/schema"
+	"orchestra/internal/tgd"
+)
+
+func testSpec(t *testing.T) *core.Spec {
+	t.Helper()
+	u := schema.NewUniverse()
+	p := schema.NewPeer("P")
+	p.AddRelation("A", schema.Column{Name: "x", Type: schema.TypeInt})
+	q := schema.NewPeer("Q")
+	q.AddRelation("B", schema.Column{Name: "x", Type: schema.TypeInt})
+	u.AddPeer(p)
+	u.AddPeer(q)
+	spec, err := core.NewSpec(u, []*tgd.TGD{tgd.MustParse("m: A(x) -> B(x)")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestPublishAndFetch(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Publish("Q", core.EditLog{
+		core.Ins("B", core.MakeTuple(2)),
+		core.Del("B", core.MakeTuple(3)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Len() != 2 {
+		t.Fatalf("server has %d publications", srv.Len())
+	}
+
+	logs, peers, cursor, err := cl.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 2 || len(logs) != 2 || peers[0] != "P" || peers[1] != "Q" {
+		t.Fatalf("fetch: cursor=%d logs=%v peers=%v", cursor, logs, peers)
+	}
+	if len(logs[1]) != 2 || logs[1][1].Insert {
+		t.Fatalf("second log: %v", logs[1])
+	}
+	// Incremental fetch from the cursor returns nothing new.
+	logs, _, cursor2, err := cl.Fetch(cursor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 0 || cursor2 != 2 {
+		t.Fatalf("incremental fetch: %v %d", logs, cursor2)
+	}
+}
+
+// Two CDSS nodes stay consistent by syncing through the service — the
+// paper's operating mode with a central publication store.
+func TestTwoNodeSync(t *testing.T) {
+	spec := testSpec(t)
+	srv := NewServer()
+	srv.Validate = SpecValidator(spec)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	node1 := core.NewCDSS(spec, core.Options{}, core.DeleteProvenance)
+	node2 := core.NewCDSS(spec, core.Options{}, core.DeleteProvenance)
+	cl1, cl2 := NewClient(ts.URL), NewClient(ts.URL)
+	cur1, cur2 := 0, 0
+
+	// Node 1's peer P inserts and publishes.
+	logP := core.EditLog{core.Ins("A", core.MakeTuple(1)), core.Ins("A", core.MakeTuple(2))}
+	if err := cl1.Publish("P", logP); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2's peer Q publishes a curation deletion of imported data.
+	logQ := core.EditLog{core.Del("B", core.MakeTuple(1))}
+	if err := cl2.Publish("Q", logQ); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both nodes sync and exchange.
+	var err error
+	if cur1, err = cl1.Sync(node1, cur1); err != nil {
+		t.Fatal(err)
+	}
+	if cur2, err = cl2.Sync(node2, cur2); err != nil {
+		t.Fatal(err)
+	}
+	if cur1 != 2 || cur2 != 2 {
+		t.Fatalf("cursors: %d %d", cur1, cur2)
+	}
+	v1, _ := node1.View("")
+	v2, _ := node2.View("")
+	if _, err := node1.Exchange(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node2.Exchange(""); err != nil {
+		t.Fatal(err)
+	}
+	// B = {2}: A(1),A(2) mapped in, B(1) rejected by Q's curation.
+	for name, v := range map[string]*core.View{"node1": v1, "node2": v2} {
+		b := v.Instance("B")
+		if b.Len() != 1 || !b.Contains(core.MakeTuple(2)) {
+			t.Fatalf("%s B instance:\n%s", name, v.DB().Dump())
+		}
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	spec := testSpec(t)
+	srv := NewServer()
+	srv.Validate = SpecValidator(spec)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	// Cross-peer edit rejected with 422.
+	err := cl.Publish("P", core.EditLog{core.Ins("B", core.MakeTuple(1))})
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("cross-peer publish: %v", err)
+	}
+	if srv.Len() != 0 {
+		t.Fatal("invalid publication stored")
+	}
+}
+
+func TestServerPersistsThroughLogstore(t *testing.T) {
+	store, err := logstore.Open(t.TempDir() + "/pub.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := NewServer()
+	srv.Persist = store.Append
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(5))}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records", store.Len())
+	}
+	pubs, err := store.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubs[0].Peer != "P" || len(pubs[0].Log) != 1 {
+		t.Fatalf("persisted publication: %+v", pubs[0])
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Unknown path.
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	resp, err = http.Post(ts.URL+"/publish", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: %d", resp.StatusCode)
+	}
+	// Bad base64 key.
+	resp, err = http.Post(ts.URL+"/publish", "application/json",
+		strings.NewReader(`{"peer":"P","edits":[{"op":"+","rel":"A","key":"!!!"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad key: %d", resp.StatusCode)
+	}
+	// Bad op.
+	resp, err = http.Post(ts.URL+"/publish", "application/json",
+		strings.NewReader(`{"peer":"P","edits":[{"op":"?","rel":"A","key":""}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad op: %d", resp.StatusCode)
+	}
+	// Bad cursor.
+	resp, err = http.Get(ts.URL + "/since?cursor=potato")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor: %d", resp.StatusCode)
+	}
+	// Cursor beyond the end clamps.
+	cl := NewClient(ts.URL)
+	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
+		t.Fatal(err)
+	}
+	logs, _, cursor, err := cl.Fetch(999)
+	if err != nil || len(logs) != 0 || cursor != 1 {
+		t.Fatalf("over-cursor fetch: %v %d %v", logs, cursor, err)
+	}
+}

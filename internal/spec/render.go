@@ -1,0 +1,80 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orchestra/internal/core"
+	"orchestra/internal/value"
+)
+
+// Render writes a File back to the textual CDSS format, such that
+// Parse(Render(f)) reproduces the same spec. Trust policies render
+// through their original directives where possible.
+func Render(f *File) string {
+	var b strings.Builder
+	u := f.Spec.Universe
+	for _, p := range u.Peers() {
+		fmt.Fprintf(&b, "peer %s {\n", p.Name)
+		for _, r := range p.Schema.Relations() {
+			fmt.Fprintf(&b, "  relation %s\n", r)
+		}
+		b.WriteString("}\n")
+	}
+	for _, m := range f.Spec.Mappings {
+		fmt.Fprintf(&b, "mapping %s\n", m)
+	}
+	for _, p := range u.Peers() {
+		pol := f.Spec.Policy(p.Name)
+		if pol == nil {
+			continue
+		}
+		for _, peer := range pol.DistrustedPeers() {
+			fmt.Fprintf(&b, "trust %s distrusts peer %s\n", p.Name, peer)
+		}
+		for _, c := range pol.AllConditions() {
+			scope := c.Mapping
+			if scope == "" {
+				scope = "''"
+			}
+			if c.Distrust {
+				// Condition stored negated; re-render the original form.
+				fmt.Fprintf(&b, "trust %s %s\n", p.Name, strings.Replace(c.String(), "distrusts ", "distrusts mapping ", 1))
+			} else {
+				fmt.Fprintf(&b, "trust %s trusts mapping %s when %s\n", p.Name, scope, c.Accept)
+			}
+		}
+	}
+	for _, pe := range f.Edits {
+		b.WriteString(renderEdit(pe.Peer, pe.Edit))
+	}
+	return b.String()
+}
+
+// renderEdit renders one edit line with constants in parseable form
+// (strings always quoted so they are not read back as variables).
+func renderEdit(peer string, e core.Edit) string {
+	sign := "-"
+	if e.Insert {
+		sign = "+"
+	}
+	parts := make([]string, len(e.Tuple))
+	for i, v := range e.Tuple {
+		if v.Kind() == value.KindString {
+			parts[i] = strconv.Quote(v.AsString())
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return fmt.Sprintf("edit %s %s %s(%s)\n", peer, sign, e.Rel, strings.Join(parts, ","))
+}
+
+// RenderEdits renders a bare edit log in spec syntax for one peer.
+func RenderEdits(peer string, log core.EditLog) string {
+	var b strings.Builder
+	for _, e := range log {
+		b.WriteString(renderEdit(peer, e))
+	}
+	return b.String()
+}

@@ -1,0 +1,332 @@
+// Package spec parses the textual CDSS description format used by the
+// orchestra CLI, examples, and tests. A spec file declares peers with
+// their relations, the schema mappings, per-peer trust policies, and
+// optionally edit logs:
+//
+//	# the paper's running example
+//	peer PGUS {
+//	  relation G(id int, can int, nam int)
+//	}
+//	peer PBioSQL { relation B(id int, nam int) }
+//	peer PuBio   { relation U(nam int, can int) }
+//
+//	mapping m1: G(i,c,n) -> B(i,n)
+//	mapping m3: B(i,n) -> exists c . U(n,c)
+//
+//	trust PBioSQL distrusts mapping m1 when n >= 3
+//	trust PBioSQL distrusts peer PuBio
+//	trust PBioSQL distrusts base B when n >= 3
+//
+//	edit PGUS + G(1,2,3)
+//	edit PGUS - G(1,2,3)
+package spec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"orchestra/internal/core"
+	"orchestra/internal/datalog"
+	"orchestra/internal/schema"
+	"orchestra/internal/tgd"
+	"orchestra/internal/trust"
+	"orchestra/internal/value"
+)
+
+// File is a parsed CDSS description.
+type File struct {
+	Spec *core.Spec
+	// Edits are the edit-log entries in file order, tagged by publishing
+	// peer.
+	Edits []PeerEdit
+}
+
+// PeerEdit is one edit published by a peer.
+type PeerEdit struct {
+	Peer string
+	Edit core.Edit
+}
+
+// EditLogs groups the file's edits into one log per peer, preserving
+// order.
+func (f *File) EditLogs() map[string]core.EditLog {
+	out := make(map[string]core.EditLog)
+	for _, pe := range f.Edits {
+		out[pe.Peer] = append(out[pe.Peer], pe.Edit)
+	}
+	return out
+}
+
+// Parse reads a CDSS description.
+func Parse(r io.Reader) (*File, error) {
+	u := schema.NewUniverse()
+	var mappings []*tgd.TGD
+	policies := make(map[string]*trust.Policy)
+	var edits []PeerEdit
+
+	policyOf := func(peer string) *trust.Policy {
+		p, ok := policies[peer]
+		if !ok {
+			p = trust.NewPolicy(peer)
+			policies[peer] = p
+		}
+		return p
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var curPeer *schema.Peer
+
+	flushPeer := func() error {
+		if curPeer == nil {
+			return nil
+		}
+		err := u.AddPeer(curPeer)
+		curPeer = nil
+		return err
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spec: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+
+		// Inside a peer block?
+		if curPeer != nil {
+			switch {
+			case line == "}":
+				if err := flushPeer(); err != nil {
+					return nil, fail("%v", err)
+				}
+			case strings.HasPrefix(line, "relation "):
+				if err := parseRelation(curPeer, strings.TrimPrefix(line, "relation ")); err != nil {
+					return nil, fail("%v", err)
+				}
+			default:
+				return nil, fail("unexpected %q inside peer block", line)
+			}
+			continue
+		}
+
+		switch {
+		case strings.HasPrefix(line, "peer "):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "peer "))
+			name, body, hasBrace := strings.Cut(rest, "{")
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fail("peer with empty name")
+			}
+			curPeer = schema.NewPeer(name)
+			if hasBrace {
+				body = strings.TrimSpace(body)
+				closed := false
+				if strings.HasSuffix(body, "}") {
+					body = strings.TrimSpace(strings.TrimSuffix(body, "}"))
+					closed = true
+				}
+				for _, decl := range splitDecls(body) {
+					if !strings.HasPrefix(decl, "relation ") {
+						return nil, fail("expected relation declaration, got %q", decl)
+					}
+					if err := parseRelation(curPeer, strings.TrimPrefix(decl, "relation ")); err != nil {
+						return nil, fail("%v", err)
+					}
+				}
+				if closed {
+					if err := flushPeer(); err != nil {
+						return nil, fail("%v", err)
+					}
+				}
+			} else {
+				return nil, fail("peer declaration missing '{'")
+			}
+
+		case strings.HasPrefix(line, "mapping "):
+			m, err := tgd.Parse(strings.TrimPrefix(line, "mapping "))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if m.ID == "" {
+				m.ID = fmt.Sprintf("m%d", len(mappings)+1)
+			}
+			mappings = append(mappings, m)
+
+		case strings.HasPrefix(line, "trust "):
+			if err := parseTrust(strings.TrimPrefix(line, "trust "), policyOf); err != nil {
+				return nil, fail("%v", err)
+			}
+
+		case strings.HasPrefix(line, "edit "):
+			pe, err := parseEdit(strings.TrimPrefix(line, "edit "))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			edits = append(edits, pe)
+
+		default:
+			return nil, fail("unknown directive %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curPeer != nil {
+		return nil, fmt.Errorf("spec: unterminated peer block for %q", curPeer.Name)
+	}
+
+	s, err := core.NewSpec(u, mappings, policies)
+	if err != nil {
+		return nil, err
+	}
+	// Validate edits against the spec.
+	for _, pe := range edits {
+		rel := u.Relation(pe.Edit.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("spec: edit references unknown relation %q", pe.Edit.Rel)
+		}
+		if rel.Peer != pe.Peer {
+			return nil, fmt.Errorf("spec: peer %q cannot edit relation %q of peer %q", pe.Peer, pe.Edit.Rel, rel.Peer)
+		}
+		if rel.Arity() != len(pe.Edit.Tuple) {
+			return nil, fmt.Errorf("spec: edit %s has wrong arity for %s", pe.Edit, rel.Name)
+		}
+	}
+	return &File{Spec: s, Edits: edits}, nil
+}
+
+// ParseString parses a CDSS description from a string.
+func ParseString(s string) (*File, error) { return Parse(strings.NewReader(s)) }
+
+// splitDecls splits "relation A(..) relation B(..)" on the keyword.
+func splitDecls(body string) []string {
+	var out []string
+	for _, part := range strings.Split(body, "relation ") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, "relation "+part)
+		}
+	}
+	return out
+}
+
+// parseRelation parses "G(id int, can int, nam int)".
+func parseRelation(p *schema.Peer, decl string) error {
+	decl = strings.TrimSpace(decl)
+	open := strings.IndexByte(decl, '(')
+	if open < 0 || !strings.HasSuffix(decl, ")") {
+		return fmt.Errorf("bad relation declaration %q", decl)
+	}
+	name := strings.TrimSpace(decl[:open])
+	var cols []schema.Column
+	inner := decl[open+1 : len(decl)-1]
+	if strings.TrimSpace(inner) == "" {
+		return fmt.Errorf("relation %q has no columns", name)
+	}
+	for _, c := range strings.Split(inner, ",") {
+		fields := strings.Fields(strings.TrimSpace(c))
+		if len(fields) == 0 || len(fields) > 2 {
+			return fmt.Errorf("bad column %q in relation %q", c, name)
+		}
+		col := schema.Column{Name: fields[0]}
+		if len(fields) == 2 {
+			typ, err := schema.ParseType(fields[1])
+			if err != nil {
+				return err
+			}
+			col.Type = typ
+		}
+		cols = append(cols, col)
+	}
+	_, err := p.AddRelation(name, cols...)
+	return err
+}
+
+// parseTrust parses trust directives:
+//
+//	<peer> distrusts mapping <id> [when <pred>]
+//	<peer> trusts mapping <id> when <pred>
+//	<peer> distrusts peer <name>
+//	<peer> distrusts base <rel> when <pred>
+func parseTrust(rest string, policyOf func(string) *trust.Policy) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return fmt.Errorf("bad trust directive %q", rest)
+	}
+	peer, verb, kind := fields[0], fields[1], fields[2]
+	pol := policyOf(peer)
+	tail := strings.Join(fields[3:], " ")
+	name, pred := tail, ""
+	if i := strings.Index(tail, " when "); i >= 0 {
+		name, pred = strings.TrimSpace(tail[:i]), strings.TrimSpace(tail[i+6:])
+	}
+	switch {
+	case verb == "distrusts" && kind == "peer":
+		if pred != "" {
+			return fmt.Errorf("peer distrust cannot carry a condition")
+		}
+		pol.DistrustPeer(name)
+	case verb == "distrusts" && kind == "mapping":
+		p, err := trust.ParsePred(pred)
+		if err != nil {
+			return err
+		}
+		pol.DistrustMapping(name, p)
+	case verb == "trusts" && kind == "mapping":
+		p, err := trust.ParsePred(pred)
+		if err != nil {
+			return err
+		}
+		pol.TrustMapping(name, p)
+	case verb == "distrusts" && kind == "base":
+		p, err := trust.ParsePred(pred)
+		if err != nil {
+			return err
+		}
+		if p.Trivial() {
+			return fmt.Errorf("base distrust needs a 'when' condition (use 'distrusts peer' otherwise)")
+		}
+		pol.DistrustBase(name, p)
+	default:
+		return fmt.Errorf("bad trust directive %q", rest)
+	}
+	return nil
+}
+
+// parseEdit parses "PGUS + G(1,2,3)" / "PGUS - G(1,2,3)".
+func parseEdit(rest string) (PeerEdit, error) {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return PeerEdit{}, fmt.Errorf("bad edit %q (want: <peer> +|- Rel(..))", rest)
+	}
+	peer, sign, atomText := fields[0], fields[1], strings.Join(fields[2:], " ")
+	if sign != "+" && sign != "-" {
+		return PeerEdit{}, fmt.Errorf("bad edit sign %q", sign)
+	}
+	atoms, err := tgd.ParseAtoms(atomText)
+	if err != nil {
+		return PeerEdit{}, err
+	}
+	if len(atoms) != 1 {
+		return PeerEdit{}, fmt.Errorf("edit must reference exactly one tuple")
+	}
+	t := make(value.Tuple, len(atoms[0].Args))
+	for i, term := range atoms[0].Args {
+		if term.Kind != datalog.TermConst {
+			return PeerEdit{}, fmt.Errorf("edit tuple must be ground, got variable %q", term.Var)
+		}
+		t[i] = term.Const
+	}
+	e := core.Edit{Insert: sign == "+", Rel: atoms[0].Pred, Tuple: t}
+	return PeerEdit{Peer: peer, Edit: e}, nil
+}

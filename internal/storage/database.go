@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orchestra/internal/value"
+)
+
+// Database is a named collection of tables — one peer's auxiliary store in
+// the paper's architecture (§4: each peer keeps "its own copy of all
+// peers' relation instances and provenance" locally).
+type Database struct {
+	tables map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Create adds an empty table. It returns an error if the name is taken.
+func (db *Database) Create(name string, arity int) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name, arity)
+	db.tables[name] = t
+	return t, nil
+}
+
+// MustCreate is Create for static initialization paths; it panics on
+// duplicates.
+func (db *Database) MustCreate(name string, arity int) *Table {
+	t, err := db.Create(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the named table, or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// Drop removes a table (used for transient query workspaces).
+func (db *Database) Drop(name string) { delete(db.tables, name) }
+
+// Names returns all table names, sorted.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalRows sums row counts over all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// TotalBytes sums canonical row bytes over all tables (Figure 6 "DB size").
+func (db *Database) TotalBytes() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Bytes()
+	}
+	return n
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for n, t := range db.tables {
+		c.tables[n] = t.Clone()
+	}
+	return c
+}
+
+// Dump renders non-empty tables (optionally filtered by prefix list) for
+// debugging and the CLI.
+func (db *Database) Dump(names ...string) string {
+	var pick []string
+	if len(names) == 0 {
+		pick = db.Names()
+	} else {
+		pick = names
+	}
+	var b strings.Builder
+	for _, n := range pick {
+		t := db.tables[n]
+		if t == nil || t.Len() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%d rows):\n", n, t.Len())
+		for _, row := range t.Rows() {
+			fmt.Fprintf(&b, "  %s\n", row)
+		}
+	}
+	return b.String()
+}
+
+// Delta is a set of insertions and deletions against one relation.
+// Insertions and deletions are kept deduplicated and mutually exclusive:
+// inserting a tuple cancels a pending deletion of it and vice versa (the
+// paper assumes no data dependencies inside one published batch, §3.1).
+type Delta struct {
+	ins map[string]value.Tuple
+	del map[string]value.Tuple
+}
+
+// NewDelta returns an empty delta.
+func NewDelta() *Delta {
+	return &Delta{ins: make(map[string]value.Tuple), del: make(map[string]value.Tuple)}
+}
+
+// Insert records an insertion, cancelling any pending deletion of tup.
+func (d *Delta) Insert(tup value.Tuple) {
+	key := tup.Key()
+	if _, ok := d.del[key]; ok {
+		delete(d.del, key)
+		return
+	}
+	d.ins[key] = tup.Clone()
+}
+
+// Delete records a deletion, cancelling any pending insertion of tup.
+func (d *Delta) Delete(tup value.Tuple) {
+	key := tup.Key()
+	if _, ok := d.ins[key]; ok {
+		delete(d.ins, key)
+		return
+	}
+	d.del[key] = tup.Clone()
+}
+
+// Ins returns the sorted insertions.
+func (d *Delta) Ins() []value.Tuple { return sortedTuples(d.ins) }
+
+// Del returns the sorted deletions.
+func (d *Delta) Del() []value.Tuple { return sortedTuples(d.del) }
+
+// Empty reports whether the delta holds no changes.
+func (d *Delta) Empty() bool { return len(d.ins) == 0 && len(d.del) == 0 }
+
+// Size returns the number of recorded changes.
+func (d *Delta) Size() int { return len(d.ins) + len(d.del) }
+
+func sortedTuples(m map[string]value.Tuple) []value.Tuple {
+	out := make([]value.Tuple, 0, len(m))
+	for _, t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// DeltaSet maps relation names to deltas. It is the currency of update
+// exchange: published edit logs become DeltaSets over local-contribution
+// and rejection tables.
+type DeltaSet map[string]*Delta
+
+// At returns the delta for rel, creating it if needed.
+func (ds DeltaSet) At(rel string) *Delta {
+	d, ok := ds[rel]
+	if !ok {
+		d = NewDelta()
+		ds[rel] = d
+	}
+	return d
+}
+
+// Insert records an insertion into rel.
+func (ds DeltaSet) Insert(rel string, tup value.Tuple) { ds.At(rel).Insert(tup) }
+
+// Delete records a deletion from rel.
+func (ds DeltaSet) Delete(rel string, tup value.Tuple) { ds.At(rel).Delete(tup) }
+
+// Empty reports whether every delta is empty.
+func (ds DeltaSet) Empty() bool {
+	for _, d := range ds {
+		if !d.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of changes across relations.
+func (ds DeltaSet) Size() int {
+	n := 0
+	for _, d := range ds {
+		n += d.Size()
+	}
+	return n
+}
+
+// Relations returns the sorted relation names with non-empty deltas.
+func (ds DeltaSet) Relations() []string {
+	out := make([]string, 0, len(ds))
+	for n, d := range ds {
+		if !d.Empty() {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

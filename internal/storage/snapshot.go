@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"orchestra/internal/value"
+)
+
+// Snapshot persistence: Orchestra keeps each peer's instances and
+// provenance in auxiliary storage between update exchanges (§4, §5 — the
+// role Berkeley DB played under Tukwila). WriteSnapshot/ReadSnapshot
+// serialize a whole Database using the canonical tuple encoding, so a
+// view's state can be saved after an exchange and reloaded later.
+//
+// Format (all integers big-endian):
+//
+//	magic "ORC1"
+//	uint32 table count
+//	per table: uint32 name len, name, uint32 arity, uint32 row count,
+//	           per row: uint32 key len, canonical tuple key bytes
+
+const snapshotMagic = "ORC1"
+
+// WriteSnapshot serializes the database to w.
+func (db *Database) WriteSnapshot(w io.Writer) error {
+	return db.WriteSnapshotFiltered(w, func(string) bool { return true })
+}
+
+// WriteSnapshotFiltered serializes the tables whose names pass the
+// include filter (used to exclude transient workspaces).
+func (db *Database) WriteSnapshotFiltered(w io.Writer, include func(name string) bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	var names []string
+	for _, n := range db.Names() {
+		if include(n) {
+			names = append(names, n)
+		}
+	}
+	if err := writeU32(bw, uint32(len(names))); err != nil {
+		return err
+	}
+	for _, name := range names {
+		t := db.tables[name]
+		if err := writeU32(bw, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(t.arity)); err != nil {
+			return err
+		}
+		if err := writeU32(bw, uint32(len(t.rows))); err != nil {
+			return err
+		}
+		for key := range t.rows {
+			if err := writeU32(bw, uint32(len(key))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(key); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a database written by WriteSnapshot. Indexes
+// are not persisted; they are rebuilt lazily on demand.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("storage: bad snapshot magic %q", magic)
+	}
+	nTables, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for i := uint32(0); i < nTables; i++ {
+		nameLen, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, err
+		}
+		arity, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		rowCount, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		t, err := db.Create(string(nameBytes), int(arity))
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < rowCount; j++ {
+			keyLen, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			keyBytes := make([]byte, keyLen)
+			if _, err := io.ReadFull(br, keyBytes); err != nil {
+				return nil, err
+			}
+			row, err := value.DecodeTuple(string(keyBytes))
+			if err != nil {
+				return nil, fmt.Errorf("storage: snapshot table %s row %d: %w", nameBytes, j, err)
+			}
+			if len(row) != int(arity) {
+				return nil, fmt.Errorf("storage: snapshot table %s row %d: arity %d, want %d",
+					nameBytes, j, len(row), arity)
+			}
+			t.Insert(row)
+		}
+	}
+	return db, nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(buf[:]), nil
+}

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"orchestra/internal/value"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	r := db.MustCreate("R", 2)
+	r.Insert(value.Tuple{value.Int(1), value.String("hello")})
+	r.Insert(value.Tuple{value.Int(2), value.String("world")})
+	s := db.MustCreate("S", 1)
+	s.Insert(value.Tuple{value.Null(7)})
+	db.MustCreate("Empty", 3)
+
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names()) != 3 {
+		t.Fatalf("tables: %v", got.Names())
+	}
+	if got.Table("R").Len() != 2 || !got.Table("R").Contains(value.Tuple{value.Int(1), value.String("hello")}) {
+		t.Fatalf("R content:\n%s", got.Dump("R"))
+	}
+	if !got.Table("S").Contains(value.Tuple{value.Null(7)}) {
+		t.Fatal("labeled null lost")
+	}
+	if got.Table("Empty").Arity() != 3 || got.Table("Empty").Len() != 0 {
+		t.Fatal("empty table not preserved")
+	}
+	if got.TotalBytes() != db.TotalBytes() {
+		t.Fatal("byte accounting differs after round trip")
+	}
+}
+
+func TestSnapshotRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db := NewDatabase()
+	for ti := 0; ti < 5; ti++ {
+		arity := 1 + rng.Intn(4)
+		tb := db.MustCreate(string(rune('A'+ti)), arity)
+		for i := 0; i < 200; i++ {
+			row := make(value.Tuple, arity)
+			for c := range row {
+				switch rng.Intn(3) {
+				case 0:
+					row[c] = value.Int(rng.Int63n(100))
+				case 1:
+					row[c] = value.String(strings.Repeat("x", rng.Intn(20)))
+				default:
+					row[c] = value.Null(rng.Int63n(50) + 1)
+				}
+			}
+			tb.Insert(row)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Names() {
+		want, have := db.Table(name), got.Table(name)
+		if have == nil || have.Len() != want.Len() {
+			t.Fatalf("table %s mismatch", name)
+		}
+		want.Each(func(row value.Tuple) bool {
+			if !have.Contains(row) {
+				t.Fatalf("table %s missing %v", name, row)
+			}
+			return true
+		})
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadSnapshot(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	db := NewDatabase()
+	db.MustCreate("R", 1).Insert(value.Tuple{value.Int(1)})
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 6, 10, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Empty stream.
+	if _, err := ReadSnapshot(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}

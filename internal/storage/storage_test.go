@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"orchestra/internal/value"
+)
+
+func tup(vs ...int64) value.Tuple {
+	t := make(value.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+func TestTableInsertDelete(t *testing.T) {
+	tb := NewTable("R", 2)
+	if !tb.Insert(tup(1, 2)) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if tb.Insert(tup(1, 2)) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if tb.Len() != 1 || !tb.Contains(tup(1, 2)) {
+		t.Fatal("content mismatch")
+	}
+	if !tb.Delete(tup(1, 2)) {
+		t.Fatal("delete of present row failed")
+	}
+	if tb.Delete(tup(1, 2)) {
+		t.Fatal("delete of absent row succeeded")
+	}
+	if tb.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestTableArityPanic(t *testing.T) {
+	tb := NewTable("R", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	tb.Insert(tup(1))
+}
+
+func TestTableBytes(t *testing.T) {
+	tb := NewTable("R", 1)
+	row := value.Tuple{value.String("hello")}
+	tb.Insert(row)
+	if tb.Bytes() != row.EncodedLen() {
+		t.Fatalf("Bytes = %d, want %d", tb.Bytes(), row.EncodedLen())
+	}
+	tb.Delete(row)
+	if tb.Bytes() != 0 {
+		t.Fatal("Bytes after delete")
+	}
+}
+
+func TestTableInsertClones(t *testing.T) {
+	tb := NewTable("R", 1)
+	row := tup(1)
+	tb.Insert(row)
+	row[0] = value.Int(99)
+	if !tb.Contains(tup(1)) || tb.Contains(tup(99)) {
+		t.Fatal("table aliases caller tuple")
+	}
+}
+
+func TestTableRowsSorted(t *testing.T) {
+	tb := NewTable("R", 1)
+	for _, v := range []int64{5, 1, 3, 2, 4} {
+		tb.Insert(tup(v))
+	}
+	rows := tb.Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Compare(rows[i]) >= 0 {
+			t.Fatal("rows not sorted")
+		}
+	}
+}
+
+func TestTableEachEarlyStop(t *testing.T) {
+	tb := NewTable("R", 1)
+	for i := int64(0); i < 10; i++ {
+		tb.Insert(tup(i))
+	}
+	n := 0
+	tb.Each(func(value.Tuple) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("visited %d rows, want 3", n)
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	tb := NewTable("R", 2)
+	tb.Insert(tup(1, 10))
+	tb.Insert(tup(2, 10))
+	tb.EnsureIndex(1)
+	if !tb.HasIndex(1) || tb.HasIndex(0) {
+		t.Fatal("HasIndex")
+	}
+	tb.Insert(tup(3, 10))
+	tb.Insert(tup(4, 20))
+
+	if n := tb.ProbeCount(1, value.Int(10)); n != 3 {
+		t.Fatalf("ProbeCount(10) = %d, want 3", n)
+	}
+	tb.Delete(tup(2, 10))
+	if n := tb.ProbeCount(1, value.Int(10)); n != 2 {
+		t.Fatalf("ProbeCount after delete = %d, want 2", n)
+	}
+	if n := tb.ProbeCount(1, value.Int(99)); n != 0 {
+		t.Fatalf("ProbeCount missing = %d", n)
+	}
+
+	var got []value.Tuple
+	tb.Probe(1, value.Int(10), func(r value.Tuple) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("Probe returned %d rows, want 2", len(got))
+	}
+}
+
+func TestProbeWithoutIndexScans(t *testing.T) {
+	tb := NewTable("R", 2)
+	tb.Insert(tup(1, 10))
+	tb.Insert(tup(2, 20))
+	n := 0
+	tb.Probe(1, value.Int(20), func(value.Tuple) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("scan probe found %d rows, want 1", n)
+	}
+	if tb.ProbeCount(1, value.Int(10)) != 1 {
+		t.Fatal("scan ProbeCount")
+	}
+}
+
+// Property: indexed probe results always equal scan results under random
+// workloads of inserts and deletes.
+func TestIndexMatchesScanRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	indexed := NewTable("A", 2)
+	plain := NewTable("B", 2)
+	indexed.EnsureIndex(0)
+	for step := 0; step < 2000; step++ {
+		row := tup(r.Int63n(20), r.Int63n(20))
+		if r.Intn(3) == 0 {
+			indexed.Delete(row)
+			plain.Delete(row)
+		} else {
+			indexed.Insert(row)
+			plain.Insert(row)
+		}
+	}
+	for v := int64(0); v < 20; v++ {
+		if indexed.ProbeCount(0, value.Int(v)) != plain.ProbeCount(0, value.Int(v)) {
+			t.Fatalf("probe mismatch at %d", v)
+		}
+	}
+	if indexed.Len() != plain.Len() {
+		t.Fatal("len mismatch")
+	}
+}
+
+func TestTableCloneIndependence(t *testing.T) {
+	tb := NewTable("R", 1)
+	tb.Insert(tup(1))
+	tb.EnsureIndex(0)
+	c := tb.Clone()
+	c.Insert(tup(2))
+	tb.Delete(tup(1))
+	if !c.Contains(tup(1)) || !c.Contains(tup(2)) || tb.Len() != 0 {
+		t.Fatal("clone not independent")
+	}
+	if c.ProbeCount(0, value.Int(2)) != 1 {
+		t.Fatal("clone index not rebuilt")
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tb := NewTable("R", 1)
+	tb.EnsureIndex(0)
+	tb.Insert(tup(1))
+	tb.Clear()
+	if tb.Len() != 0 || tb.Bytes() != 0 || tb.ProbeCount(0, value.Int(1)) != 0 {
+		t.Fatal("clear incomplete")
+	}
+	if !tb.HasIndex(0) {
+		t.Fatal("clear dropped index definition")
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase()
+	r, err := db.Create("R", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("R", 2); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	r.Insert(tup(1, 2))
+	s := db.MustCreate("S", 1)
+	s.Insert(tup(9))
+	if db.TotalRows() != 2 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+	if db.TotalBytes() != r.Bytes()+s.Bytes() {
+		t.Fatal("TotalBytes")
+	}
+	if db.Table("missing") != nil {
+		t.Fatal("missing table non-nil")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDatabaseCloneIndependence(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreate("R", 1).Insert(tup(1))
+	c := db.Clone()
+	c.Table("R").Insert(tup(2))
+	if db.Table("R").Len() != 1 || c.Table("R").Len() != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestDatabaseDump(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreate("R", 1).Insert(tup(1))
+	db.MustCreate("Empty", 1)
+	out := db.Dump()
+	if out == "" || len(out) < 10 {
+		t.Fatalf("Dump = %q", out)
+	}
+	if db.Dump("Empty") != "" {
+		t.Fatal("empty table dumped")
+	}
+}
+
+func TestDeltaCancellation(t *testing.T) {
+	d := NewDelta()
+	d.Insert(tup(1))
+	d.Delete(tup(1)) // cancels the insertion
+	if !d.Empty() {
+		t.Fatalf("ins=%v del=%v", d.Ins(), d.Del())
+	}
+	d.Delete(tup(2))
+	d.Insert(tup(2)) // cancels the deletion
+	if !d.Empty() {
+		t.Fatal("delete-then-insert did not cancel")
+	}
+	d.Insert(tup(3))
+	d.Insert(tup(3))
+	if d.Size() != 1 {
+		t.Fatal("duplicate insert not deduplicated")
+	}
+}
+
+func TestDeltaSet(t *testing.T) {
+	ds := DeltaSet{}
+	ds.Insert("R", tup(1))
+	ds.Delete("S", tup(2))
+	ds.At("T") // empty delta should not appear in Relations
+	if ds.Size() != 2 {
+		t.Fatalf("Size = %d", ds.Size())
+	}
+	rels := ds.Relations()
+	if len(rels) != 2 || rels[0] != "R" || rels[1] != "S" {
+		t.Fatalf("Relations = %v", rels)
+	}
+	if ds.Empty() {
+		t.Fatal("Empty on non-empty set")
+	}
+	if !(DeltaSet{}).Empty() {
+		t.Fatal("Empty on empty set")
+	}
+}
+
+func TestDeltaSortedViews(t *testing.T) {
+	d := NewDelta()
+	for _, v := range []int64{3, 1, 2} {
+		d.Insert(tup(v))
+		d.Delete(tup(v + 10))
+	}
+	ins, del := d.Ins(), d.Del()
+	if len(ins) != 3 || len(del) != 3 {
+		t.Fatal("sizes")
+	}
+	for i := 1; i < 3; i++ {
+		if ins[i-1].Compare(ins[i]) >= 0 || del[i-1].Compare(del[i]) >= 0 {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package storage provides the in-memory relational storage engine that
+// update exchange runs against. It plays the role the paper's backends
+// played (DB2 tables / Berkeley DB B-trees, §5): hash-keyed row storage
+// plus optional persistent secondary indexes per column, with byte-level
+// size accounting used to reproduce Figure 6's "DB size" series.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/value"
+)
+
+// Table is a set-semantics relation instance. Rows are deduplicated by
+// their canonical key encoding. A Table is not safe for concurrent
+// mutation.
+type Table struct {
+	name  string
+	arity int
+	rows  map[string]value.Tuple
+	// indexes maps a column position to a secondary index over that
+	// column. Indexes are maintained eagerly on Insert/Delete once built —
+	// this is the "Tukwila/Berkeley DB" cost model; the hash backend never
+	// builds them.
+	indexes map[int]*colIndex
+	bytes   int
+}
+
+// colIndex maps a column value to the set of row keys holding it.
+type colIndex struct {
+	col     int
+	entries map[value.Value]map[string]struct{}
+}
+
+// NewTable returns an empty table with the given name and arity.
+func NewTable(name string, arity int) *Table {
+	return &Table{
+		name:    name,
+		arity:   arity,
+		rows:    make(map[string]value.Tuple),
+		indexes: make(map[int]*colIndex),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Arity returns the number of columns.
+func (t *Table) Arity() int { return t.arity }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Bytes returns the total canonical-encoding size of all rows, the unit of
+// the paper's Figure 6 "DB size" measurements.
+func (t *Table) Bytes() int { return t.bytes }
+
+// Insert adds tup to the table, returning true if it was not already
+// present. The tuple is cloned, so callers may reuse the slice.
+func (t *Table) Insert(tup value.Tuple) bool {
+	if len(tup) != t.arity {
+		panic(fmt.Sprintf("storage: %s arity %d, got tuple %v", t.name, t.arity, tup))
+	}
+	key := tup.Key()
+	if _, exists := t.rows[key]; exists {
+		return false
+	}
+	cl := tup.Clone()
+	t.rows[key] = cl
+	t.bytes += len(key)
+	for _, idx := range t.indexes {
+		idx.add(key, cl)
+	}
+	return true
+}
+
+// Delete removes tup, returning true if it was present.
+func (t *Table) Delete(tup value.Tuple) bool {
+	key := tup.Key()
+	row, exists := t.rows[key]
+	if !exists {
+		return false
+	}
+	delete(t.rows, key)
+	t.bytes -= len(key)
+	for _, idx := range t.indexes {
+		idx.remove(key, row)
+	}
+	return true
+}
+
+// Contains reports whether tup is present.
+func (t *Table) Contains(tup value.Tuple) bool {
+	_, ok := t.rows[tup.Key()]
+	return ok
+}
+
+// ContainsKey reports whether a row with the given canonical key is
+// present.
+func (t *Table) ContainsKey(key string) bool {
+	_, ok := t.rows[key]
+	return ok
+}
+
+// Each calls fn for every row; iteration stops if fn returns false. Rows
+// must not be mutated by fn. Iteration order is unspecified.
+func (t *Table) Each(fn func(value.Tuple) bool) {
+	for _, row := range t.rows {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Rows returns all rows, sorted, for deterministic display and testing.
+func (t *Table) Rows() []value.Tuple {
+	out := make([]value.Tuple, 0, len(t.rows))
+	for _, row := range t.rows {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clear removes all rows but keeps index definitions.
+func (t *Table) Clear() {
+	t.rows = make(map[string]value.Tuple)
+	t.bytes = 0
+	for _, idx := range t.indexes {
+		idx.entries = make(map[value.Value]map[string]struct{})
+	}
+}
+
+// Clone returns a deep copy of the table, including built indexes.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.name, t.arity)
+	for key, row := range t.rows {
+		c.rows[key] = row // rows are immutable once stored
+		c.bytes += len(key)
+	}
+	for col := range t.indexes {
+		c.EnsureIndex(col)
+	}
+	return c
+}
+
+// EnsureIndex builds (if needed) and returns the secondary index on the
+// given column position.
+func (t *Table) EnsureIndex(col int) {
+	if col < 0 || col >= t.arity {
+		panic(fmt.Sprintf("storage: %s has no column %d", t.name, col))
+	}
+	if _, ok := t.indexes[col]; ok {
+		return
+	}
+	idx := &colIndex{col: col, entries: make(map[value.Value]map[string]struct{})}
+	for key, row := range t.rows {
+		idx.add(key, row)
+	}
+	t.indexes[col] = idx
+}
+
+// HasIndex reports whether an index exists on the column.
+func (t *Table) HasIndex(col int) bool {
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// IndexedCols returns the sorted list of indexed column positions.
+func (t *Table) IndexedCols() []int {
+	out := make([]int, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Probe calls fn for every row whose column col equals v, using the index
+// if one exists and scanning otherwise. Iteration stops if fn returns
+// false.
+func (t *Table) Probe(col int, v value.Value, fn func(value.Tuple) bool) {
+	if idx, ok := t.indexes[col]; ok {
+		for key := range idx.entries[v] {
+			if !fn(t.rows[key]) {
+				return
+			}
+		}
+		return
+	}
+	for _, row := range t.rows {
+		if row[col] == v {
+			if !fn(row) {
+				return
+			}
+		}
+	}
+}
+
+// ProbeCount returns the number of rows with column col equal to v.
+func (t *Table) ProbeCount(col int, v value.Value) int {
+	if idx, ok := t.indexes[col]; ok {
+		return len(idx.entries[v])
+	}
+	n := 0
+	for _, row := range t.rows {
+		if row[col] == v {
+			n++
+		}
+	}
+	return n
+}
+
+func (ci *colIndex) add(key string, row value.Tuple) {
+	v := row[ci.col]
+	set := ci.entries[v]
+	if set == nil {
+		set = make(map[string]struct{})
+		ci.entries[v] = set
+	}
+	set[key] = struct{}{}
+}
+
+func (ci *colIndex) remove(key string, row value.Tuple) {
+	v := row[ci.col]
+	if set := ci.entries[v]; set != nil {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(ci.entries, v)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package tgd implements the schema-mapping formalism of the paper (§2):
+// tuple-generating dependencies ∀x̄,ȳ (φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)), their
+// well-formedness and weak-acyclicity checks (§3.1), their Skolemization
+// into datalog mapping rules (§4.1.1, "inverse rules"), and the relational
+// provenance encoding (§4.1.2) with the composite-mapping-table
+// optimization (§5).
+package tgd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/schema"
+)
+
+// TGD is one schema mapping. LHS and RHS are conjunctions of atoms whose
+// terms are variables or constants. Existential variables are the RHS
+// variables that do not occur in the LHS.
+type TGD struct {
+	ID  string
+	LHS []datalog.Atom
+	RHS []datalog.Atom
+}
+
+// LHSVars returns the distinct LHS variables in first-occurrence order
+// (the paper's x̄ ∪ ȳ — exactly the columns of the mapping's provenance
+// relation, §4.1.2).
+func (m *TGD) LHSVars() []string {
+	return atomVars(m.LHS)
+}
+
+// RHSVars returns the distinct RHS variables in first-occurrence order.
+func (m *TGD) RHSVars() []string {
+	return atomVars(m.RHS)
+}
+
+// ExistentialVars returns the RHS variables that do not occur in the LHS
+// (the paper's z̄), in first-occurrence order.
+func (m *TGD) ExistentialVars() []string {
+	lhs := make(map[string]bool)
+	for _, v := range m.LHSVars() {
+		lhs[v] = true
+	}
+	var out []string
+	for _, v := range m.RHSVars() {
+		if !lhs[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FrontierVars returns the variables shared between LHS and RHS (the
+// paper's x̄) — the parameters of this mapping's Skolem functions.
+func (m *TGD) FrontierVars() []string {
+	rhs := make(map[string]bool)
+	for _, v := range m.RHSVars() {
+		rhs[v] = true
+	}
+	var out []string
+	for _, v := range m.LHSVars() {
+		if rhs[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func atomVars(atoms []datalog.Atom) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range atoms {
+		for _, v := range a.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// SourcePeers returns the sorted peers owning LHS relations, resolved
+// against u.
+func (m *TGD) SourcePeers(u *schema.Universe) []string {
+	return peersOf(m.LHS, u)
+}
+
+// TargetPeers returns the sorted peers owning RHS relations.
+func (m *TGD) TargetPeers(u *schema.Universe) []string {
+	return peersOf(m.RHS, u)
+}
+
+func peersOf(atoms []datalog.Atom, u *schema.Universe) []string {
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		if r := u.Relation(a.Pred); r != nil && r.Peer != "" {
+			seen[r.Peer] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks well-formedness against a universe: relations exist,
+// arities match, terms are variables or constants, and both sides are
+// non-empty.
+func (m *TGD) Validate(u *schema.Universe) error {
+	if len(m.LHS) == 0 || len(m.RHS) == 0 {
+		return fmt.Errorf("tgd %s: both sides must be non-empty", m.ID)
+	}
+	check := func(side string, atoms []datalog.Atom) error {
+		for _, a := range atoms {
+			rel := u.Relation(a.Pred)
+			if rel == nil {
+				return fmt.Errorf("tgd %s: unknown relation %q on %s", m.ID, a.Pred, side)
+			}
+			if rel.Arity() != len(a.Args) {
+				return fmt.Errorf("tgd %s: %s has arity %d, atom %s has %d args",
+					m.ID, a.Pred, rel.Arity(), a, len(a.Args))
+			}
+			for _, t := range a.Args {
+				if t.Kind == datalog.TermSkolem {
+					return fmt.Errorf("tgd %s: Skolem term in user mapping", m.ID)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("LHS", m.LHS); err != nil {
+		return err
+	}
+	return check("RHS", m.RHS)
+}
+
+// String renders "id: lhs1, lhs2 -> rhs1, rhs2".
+func (m *TGD) String() string {
+	l := make([]string, len(m.LHS))
+	for i, a := range m.LHS {
+		l[i] = a.String()
+	}
+	r := make([]string, len(m.RHS))
+	for i, a := range m.RHS {
+		r[i] = a.String()
+	}
+	prefix := ""
+	if m.ID != "" {
+		prefix = m.ID + ": "
+	}
+	ex := m.ExistentialVars()
+	exPart := ""
+	if len(ex) > 0 {
+		exPart = "exists " + strings.Join(ex, ",") + " . "
+	}
+	return fmt.Sprintf("%s%s -> %s%s", prefix, strings.Join(l, ", "), exPart, strings.Join(r, ", "))
+}
+
+// SkolemFn names the Skolem function for existential variable v of this
+// tgd. The paper requires a separate function per existential per tgd
+// (§4.1.1).
+func (m *TGD) SkolemFn(v string) string {
+	return fmt.Sprintf("sk_%s_%s", m.ID, v)
+}
+
+// skolemTerm returns the head term for RHS variable v: the variable
+// itself if universally quantified, else this tgd's Skolem application
+// over the frontier variables.
+func (m *TGD) skolemTerm(v string, frontier []string, isExist map[string]bool) datalog.Term {
+	if !isExist[v] {
+		return datalog.V(v)
+	}
+	return datalog.Sk(m.SkolemFn(v), frontier...)
+}
+
+// Rules Skolemizes the tgd into plain datalog mapping rules, one per RHS
+// atom, without provenance bookkeeping:
+//
+//	ψk(x̄, f̄(x̄)) :- φ(x̄, ȳ)
+func (m *TGD) Rules() []*datalog.Rule {
+	frontier := m.FrontierVars()
+	isExist := make(map[string]bool)
+	for _, v := range m.ExistentialVars() {
+		isExist[v] = true
+	}
+	body := make([]datalog.Literal, len(m.LHS))
+	for i, a := range m.LHS {
+		body[i] = datalog.Pos(a)
+	}
+	var out []*datalog.Rule
+	for k, rhs := range m.RHS {
+		head := datalog.Atom{Pred: rhs.Pred, Args: make([]datalog.Term, len(rhs.Args))}
+		for i, t := range rhs.Args {
+			if t.Kind == datalog.TermVar {
+				head.Args[i] = m.skolemTerm(t.Var, frontier, isExist)
+			} else {
+				head.Args[i] = t
+			}
+		}
+		id := m.ID
+		if len(m.RHS) > 1 {
+			id = fmt.Sprintf("%s#%d", m.ID, k)
+		}
+		out = append(out, datalog.NewRule(id, head, body...))
+	}
+	return out
+}
+
+// ProvRelName is the name of the mapping's composite provenance table
+// (§4.1.2 + §5: one table per tgd, not per RHS atom).
+func (m *TGD) ProvRelName() string { return "p$" + m.ID }
+
+// ProvEncoding is the provenance-encoded compilation of a tgd: the
+// provenance table signature, the rule (m′) populating it from the LHS,
+// and the rules (m″) deriving each RHS atom from the provenance table.
+type ProvEncoding struct {
+	TGD *TGD
+	// ProvRel is the provenance table name; ProvVars its columns (the
+	// distinct LHS variables).
+	ProvRel  string
+	ProvVars []string
+	// Populate is (m′):  p$id(v̄) :- φ(x̄,ȳ).
+	Populate *datalog.Rule
+	// Derive are (m″):   ψk(x̄, f̄(x̄)) :- p$id(v̄), one per RHS atom.
+	Derive []*datalog.Rule
+}
+
+// Encode produces the provenance-encoded rules of the tgd. Trust
+// conditions attach to Populate, so untrusted derivations never enter the
+// provenance table (and hence never derive data) — the inline filtering
+// of §4.2.
+func (m *TGD) Encode() *ProvEncoding {
+	vars := m.LHSVars()
+	frontier := m.FrontierVars()
+	isExist := make(map[string]bool)
+	for _, v := range m.ExistentialVars() {
+		isExist[v] = true
+	}
+
+	enc := &ProvEncoding{TGD: m, ProvRel: m.ProvRelName(), ProvVars: vars}
+
+	provArgs := make([]datalog.Term, len(vars))
+	for i, v := range vars {
+		provArgs[i] = datalog.V(v)
+	}
+	provAtom := datalog.Atom{Pred: enc.ProvRel, Args: provArgs}
+
+	body := make([]datalog.Literal, len(m.LHS))
+	for i, a := range m.LHS {
+		body[i] = datalog.Pos(a)
+	}
+	enc.Populate = datalog.NewRule(m.ID+"'", provAtom, body...)
+
+	for k, rhs := range m.RHS {
+		head := datalog.Atom{Pred: rhs.Pred, Args: make([]datalog.Term, len(rhs.Args))}
+		for i, t := range rhs.Args {
+			if t.Kind == datalog.TermVar {
+				head.Args[i] = m.skolemTerm(t.Var, frontier, isExist)
+			} else {
+				head.Args[i] = t
+			}
+		}
+		id := fmt.Sprintf("%s''", m.ID)
+		if len(m.RHS) > 1 {
+			id = fmt.Sprintf("%s''#%d", m.ID, k)
+		}
+		enc.Derive = append(enc.Derive, datalog.NewRule(id, head, datalog.Pos(provAtom)))
+	}
+	return enc
+}
+
+// EncodeSplit produces the pre-optimization provenance encoding §5
+// describes trying first: one provenance table *per RHS atom* instead of
+// one composite table per tgd. Each split has the same columns (the
+// distinct LHS variables) and its own copy of the populate rule — the
+// redundancy the composite mapping table eliminates. Splits share the
+// tgd's Skolem functions, so both encodings produce identical instances.
+func (m *TGD) EncodeSplit() []*ProvEncoding {
+	composite := m.Encode()
+	if len(m.RHS) == 1 {
+		return []*ProvEncoding{composite}
+	}
+	var out []*ProvEncoding
+	for k := range m.RHS {
+		provRel := fmt.Sprintf("%s#%d", m.ProvRelName(), k)
+		enc := &ProvEncoding{TGD: m, ProvRel: provRel, ProvVars: composite.ProvVars}
+
+		provArgs := make([]datalog.Term, len(enc.ProvVars))
+		for i, v := range enc.ProvVars {
+			provArgs[i] = datalog.V(v)
+		}
+		provAtom := datalog.Atom{Pred: provRel, Args: provArgs}
+		body := make([]datalog.Literal, len(m.LHS))
+		for i, a := range m.LHS {
+			body[i] = datalog.Pos(a)
+		}
+		enc.Populate = datalog.NewRule(fmt.Sprintf("%s'#%d", m.ID, k), provAtom, body...)
+		// The derive rule reuses the composite head (same Skolem terms)
+		// over this split's table.
+		head := composite.Derive[k].Head
+		enc.Derive = []*datalog.Rule{
+			datalog.NewRule(fmt.Sprintf("%s''#%d", m.ID, k), head, datalog.Pos(provAtom)),
+		}
+		out = append(out, enc)
+	}
+	return out
+}
+
+// RenameRels returns a copy of the tgd with relation names rewritten by
+// fn, applied to both sides. Used to build the internal mappings M′
+// (LHS→Rᵒ, RHS→Rⁱ; §3.1).
+func (m *TGD) RenameRels(lhsFn, rhsFn func(string) string) *TGD {
+	out := &TGD{ID: m.ID}
+	for _, a := range m.LHS {
+		out.LHS = append(out.LHS, datalog.Atom{Pred: lhsFn(a.Pred), Args: a.Args})
+	}
+	for _, a := range m.RHS {
+		out.RHS = append(out.RHS, datalog.Atom{Pred: rhsFn(a.Pred), Args: a.Args})
+	}
+	return out
+}

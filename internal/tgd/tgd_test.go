@@ -1,0 +1,343 @@
+package tgd
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/schema"
+	"orchestra/internal/value"
+)
+
+// paperMappings returns the paper's Example 2 mapping set:
+//
+//	(m1) G(i,c,n) -> B(i,n)
+//	(m2) G(i,c,n) -> U(n,c)
+//	(m3) B(i,n) -> ∃c U(n,c)
+//	(m4) B(i,c) ∧ U(n,c) -> B(i,n)
+func paperMappings(t *testing.T) []*TGD {
+	t.Helper()
+	lines := []string{
+		"m1: G(i,c,n) -> B(i,n)",
+		"m2: G(i,c,n) -> U(n,c)",
+		"m3: B(i,n) -> exists c . U(n,c)",
+		"m4: B(i,c), U(n,c) -> B(i,n)",
+	}
+	var out []*TGD
+	for _, l := range lines {
+		m, err := Parse(l)
+		if err != nil {
+			t.Fatalf("parse %q: %v", l, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func paperUniverse(t *testing.T) *schema.Universe {
+	t.Helper()
+	u := schema.NewUniverse()
+	gus := schema.NewPeer("PGUS")
+	gus.AddRelation("G", schema.Column{Name: "id"}, schema.Column{Name: "can"}, schema.Column{Name: "nam"})
+	bio := schema.NewPeer("PBioSQL")
+	bio.AddRelation("B", schema.Column{Name: "id"}, schema.Column{Name: "nam"})
+	ubio := schema.NewPeer("PuBio")
+	ubio.AddRelation("U", schema.Column{Name: "nam"}, schema.Column{Name: "can"})
+	for _, p := range []*schema.Peer{gus, bio, ubio} {
+		if err := u.AddPeer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return u
+}
+
+func TestParseBasic(t *testing.T) {
+	m := MustParse("m1: G(i,c,n) -> B(i,n)")
+	if m.ID != "m1" || len(m.LHS) != 1 || len(m.RHS) != 1 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if m.LHS[0].Pred != "G" || m.RHS[0].Pred != "B" {
+		t.Fatal("relation names")
+	}
+	if len(m.ExistentialVars()) != 0 {
+		t.Fatalf("existentials: %v", m.ExistentialVars())
+	}
+}
+
+func TestParseExistential(t *testing.T) {
+	m := MustParse("m3: B(i,n) -> exists c . U(n,c)")
+	ex := m.ExistentialVars()
+	if len(ex) != 1 || ex[0] != "c" {
+		t.Fatalf("existentials: %v", ex)
+	}
+	fr := m.FrontierVars()
+	if len(fr) != 1 || fr[0] != "n" {
+		t.Fatalf("frontier: %v", fr)
+	}
+	// Inferred form without the explicit clause parses identically.
+	m2 := MustParse("m3: B(i,n) -> U(n,c)")
+	if m2.String() != m.String() {
+		t.Fatalf("%q vs %q", m2.String(), m.String())
+	}
+}
+
+func TestParseExistentialMismatch(t *testing.T) {
+	if _, err := Parse("m: B(i,n) -> exists z . U(n,c)"); err == nil {
+		t.Fatal("wrong existential declaration accepted")
+	}
+}
+
+func TestParseMultiAtom(t *testing.T) {
+	m := MustParse("m4: B(i,c), U(n,c) -> B(i,n)")
+	if len(m.LHS) != 2 {
+		t.Fatalf("LHS: %v", m.LHS)
+	}
+	vars := m.LHSVars()
+	want := []string{"i", "c", "n"}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("LHSVars = %v", vars)
+		}
+	}
+	// "AND" and "^" conjunction spellings parse too.
+	for _, alt := range []string{
+		"m4: B(i,c) AND U(n,c) -> B(i,n)",
+		"m4: B(i,c) ^ U(n,c) -> B(i,n)",
+	} {
+		if MustParse(alt).String() != m.String() {
+			t.Fatalf("alt spelling %q mismatch", alt)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	m := MustParse(`m: R(x, 5, 'hello world') -> S(x)`)
+	a := m.LHS[0]
+	if a.Args[1].Kind != datalog.TermConst || a.Args[1].Const != value.Int(5) {
+		t.Fatalf("int const: %+v", a.Args[1])
+	}
+	if a.Args[2].Const != value.String("hello world") {
+		t.Fatalf("string const: %+v", a.Args[2])
+	}
+	m2 := MustParse(`m: R(x, -7, "q") -> S(x)`)
+	if m2.LHS[0].Args[1].Const != value.Int(-7) {
+		t.Fatal("negative int")
+	}
+}
+
+func TestParseMultiHeadRHS(t *testing.T) {
+	m := MustParse("m: R(x,y) -> S(x,z), T(z,y)")
+	if len(m.RHS) != 2 {
+		t.Fatalf("RHS: %v", m.RHS)
+	}
+	ex := m.ExistentialVars()
+	if len(ex) != 1 || ex[0] != "z" {
+		t.Fatalf("existentials: %v", ex)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R(x) S(x)",                  // no arrow
+		"m: R(x -> S(x)",             // unbalanced
+		"m: -> S(x)",                 // empty LHS
+		"m: R(x) ->",                 // empty RHS
+		"m: R(x,) -> S(x)",           // empty term
+		"m: R(x) -> exists c U(x,c)", // missing '.'
+		"m: 9R(x) -> S(x)",           // bad relation name
+		"m: R(x)(y) -> S(x)",         // junk between atoms
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	u := paperUniverse(t)
+	for _, m := range paperMappings(t) {
+		if err := m.Validate(u); err != nil {
+			t.Errorf("%s: %v", m.ID, err)
+		}
+	}
+	if err := MustParse("m: G(i,c) -> B(i,c)").Validate(u); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := MustParse("m: Zed(i) -> B(i,i)").Validate(u); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestSourceTargetPeers(t *testing.T) {
+	u := paperUniverse(t)
+	ms := paperMappings(t)
+	if got := ms[0].SourcePeers(u); len(got) != 1 || got[0] != "PGUS" {
+		t.Fatalf("m1 sources: %v", got)
+	}
+	if got := ms[0].TargetPeers(u); len(got) != 1 || got[0] != "PBioSQL" {
+		t.Fatalf("m1 targets: %v", got)
+	}
+	// m4 reads from both PBioSQL and PuBio.
+	if got := ms[3].SourcePeers(u); len(got) != 2 || got[0] != "PBioSQL" || got[1] != "PuBio" {
+		t.Fatalf("m4 sources: %v", got)
+	}
+}
+
+func TestWeaklyAcyclicPaperSet(t *testing.T) {
+	// The paper notes m3 completes a cycle but the set is weakly acyclic.
+	if err := CheckWeaklyAcyclic(paperMappings(t)); err != nil {
+		t.Fatalf("paper mapping set rejected: %v", err)
+	}
+}
+
+func TestWeaklyAcyclicRejectsExistentialCycle(t *testing.T) {
+	// R(x) -> ∃y S(x,y) and S(x,y) -> R(y): fresh nulls feed back into the
+	// position that generates fresh nulls — the classic non-terminating
+	// chase.
+	ms := []*TGD{
+		MustParse("a: R(x) -> S(x,y)"),
+		MustParse("b: S(x,y) -> R(y)"),
+	}
+	err := CheckWeaklyAcyclic(ms)
+	if err == nil {
+		t.Fatal("existential cycle accepted")
+	}
+	if !strings.Contains(err.Error(), "special") {
+		t.Fatalf("error does not mention special edge: %v", err)
+	}
+}
+
+func TestWeaklyAcyclicSelfLoopRegularOK(t *testing.T) {
+	// Full-tgd recursion is fine (no special edges).
+	ms := []*TGD{
+		MustParse("t: E(x,y), E(y,z) -> E(x,z)"),
+	}
+	if err := CheckWeaklyAcyclic(ms); err != nil {
+		t.Fatalf("full recursive tgd rejected: %v", err)
+	}
+}
+
+func TestWeaklyAcyclicDirectSpecialSelfLoop(t *testing.T) {
+	// R(x,y) -> ∃z R(y,z): special edge into R.1 which feeds back.
+	ms := []*TGD{MustParse("s: R(x,y) -> R(y,z)")}
+	if err := CheckWeaklyAcyclic(ms); err == nil {
+		t.Fatal("special self-loop accepted")
+	}
+}
+
+func TestRulesSkolemization(t *testing.T) {
+	m := MustParse("m3: B(i,n) -> U(n,c)")
+	rules := m.Rules()
+	if len(rules) != 1 {
+		t.Fatalf("rules: %v", rules)
+	}
+	r := rules[0]
+	if r.Head.Pred != "U" {
+		t.Fatal("head pred")
+	}
+	if r.Head.Args[0].Kind != datalog.TermVar || r.Head.Args[0].Var != "n" {
+		t.Fatalf("head arg 0: %+v", r.Head.Args[0])
+	}
+	sk := r.Head.Args[1]
+	if sk.Kind != datalog.TermSkolem || sk.Fn != "sk_m3_c" {
+		t.Fatalf("head arg 1: %+v", sk)
+	}
+	// Skolem parameterized by frontier variables only (n), not all LHS
+	// variables — the paper's §4.1.1 termination argument depends on it.
+	if len(sk.FnArgs) != 1 || sk.FnArgs[0] != "n" {
+		t.Fatalf("skolem args: %v", sk.FnArgs)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulesMultiRHS(t *testing.T) {
+	m := MustParse("m: R(x,y) -> S(x,z), T(z,y)")
+	rules := m.Rules()
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	// Both heads must use the SAME Skolem function for z, so the two
+	// target atoms join on the same placeholder.
+	s1 := rules[0].Head.Args[1]
+	s2 := rules[1].Head.Args[0]
+	if s1.Fn != s2.Fn || s1.Fn != "sk_m_z" {
+		t.Fatalf("skolem fns differ: %q vs %q", s1.Fn, s2.Fn)
+	}
+}
+
+func TestEncodeProvenance(t *testing.T) {
+	m := MustParse("m4: B(i,c), U(n,c) -> B(i,n)")
+	enc := m.Encode()
+	if enc.ProvRel != "p$m4" {
+		t.Fatalf("ProvRel = %q", enc.ProvRel)
+	}
+	// Columns are the distinct LHS variables in order: i, c, n.
+	want := []string{"i", "c", "n"}
+	if len(enc.ProvVars) != 3 {
+		t.Fatalf("ProvVars = %v", enc.ProvVars)
+	}
+	for i := range want {
+		if enc.ProvVars[i] != want[i] {
+			t.Fatalf("ProvVars = %v, want %v", enc.ProvVars, want)
+		}
+	}
+	// (m′) p$m4(i,c,n) :- B(i,c), U(n,c): no projection.
+	if enc.Populate.Head.Pred != "p$m4" || len(enc.Populate.Body) != 2 {
+		t.Fatalf("Populate = %v", enc.Populate)
+	}
+	// (m″) B(i,n) :- p$m4(i,c,n).
+	if len(enc.Derive) != 1 || enc.Derive[0].Head.Pred != "B" {
+		t.Fatalf("Derive = %v", enc.Derive)
+	}
+	if err := enc.Populate.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Derive[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeCompositeMappingTable(t *testing.T) {
+	// One provenance table per tgd even with multiple RHS atoms (§5).
+	m := MustParse("m: R(x,y) -> S(x,z), T(z,y)")
+	enc := m.Encode()
+	if len(enc.Derive) != 2 {
+		t.Fatalf("Derive count = %d", len(enc.Derive))
+	}
+	for _, d := range enc.Derive {
+		if len(d.Body) != 1 || d.Body[0].Atom.Pred != "p$m" {
+			t.Fatalf("derive rule body: %v", d)
+		}
+	}
+}
+
+func TestRenameRels(t *testing.T) {
+	m := MustParse("m1: G(i,c,n) -> B(i,n)")
+	r := m.RenameRels(
+		func(s string) string { return s + "__o" },
+		func(s string) string { return s + "__i" },
+	)
+	if r.LHS[0].Pred != "G__o" || r.RHS[0].Pred != "B__i" {
+		t.Fatalf("renamed: %v", r)
+	}
+	// Original untouched.
+	if m.LHS[0].Pred != "G" {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := MustParse("m3: B(i,n) -> U(n,c)")
+	s := m.String()
+	if !strings.Contains(s, "exists c") || !strings.Contains(s, "B(i,n)") {
+		t.Fatalf("String = %q", s)
+	}
+	roundTrip := MustParse(s)
+	if roundTrip.String() != s {
+		t.Fatalf("round trip: %q vs %q", roundTrip.String(), s)
+	}
+}

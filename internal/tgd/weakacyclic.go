@@ -1,0 +1,147 @@
+package tgd
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/datalog"
+)
+
+// position is a (relation, column) pair — a node of the dependency graph
+// used by the weak-acyclicity test of Fagin et al. (paper §3.1 restricts
+// CDSS mapping topologies to weakly acyclic sets so that the chase — and
+// our datalog fixpoint — terminates in polynomial time).
+type position struct {
+	rel string
+	col int
+}
+
+func (p position) String() string { return fmt.Sprintf("%s.%d", p.rel, p.col) }
+
+type edge struct {
+	from, to position
+	special  bool
+	tgd      string
+}
+
+// CheckWeaklyAcyclic verifies that the mapping set is weakly acyclic. It
+// returns nil on success and an error describing a cycle through a
+// special edge otherwise.
+func CheckWeaklyAcyclic(mappings []*TGD) error {
+	var edges []edge
+	for _, m := range mappings {
+		exist := make(map[string]bool)
+		for _, v := range m.ExistentialVars() {
+			exist[v] = true
+		}
+		// Positions of each universal variable in the LHS.
+		lhsPos := make(map[string][]position)
+		for _, a := range m.LHS {
+			for col, t := range a.Args {
+				if t.Kind == datalog.TermVar {
+					lhsPos[t.Var] = append(lhsPos[t.Var], position{a.Pred, col})
+				}
+			}
+		}
+		// Occurrences in the RHS: universal and existential.
+		type occ struct {
+			v   string
+			pos position
+		}
+		var rhsUniv, rhsExist []occ
+		for _, a := range m.RHS {
+			for col, t := range a.Args {
+				if t.Kind != datalog.TermVar {
+					continue
+				}
+				o := occ{t.Var, position{a.Pred, col}}
+				if exist[t.Var] {
+					rhsExist = append(rhsExist, o)
+				} else {
+					rhsUniv = append(rhsUniv, o)
+				}
+			}
+		}
+		// For every universal variable x that occurs in the RHS, from
+		// every LHS position of x: regular edges to x's RHS positions and
+		// special edges to every existential position.
+		occursInRHS := make(map[string]bool)
+		for _, o := range rhsUniv {
+			occursInRHS[o.v] = true
+		}
+		for v, froms := range lhsPos {
+			if !occursInRHS[v] {
+				continue
+			}
+			for _, from := range froms {
+				for _, o := range rhsUniv {
+					if o.v == v {
+						edges = append(edges, edge{from, o.pos, false, m.ID})
+					}
+				}
+				for _, o := range rhsExist {
+					edges = append(edges, edge{from, o.pos, true, m.ID})
+				}
+			}
+		}
+	}
+
+	adj := make(map[position][]edge)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+
+	// Weakly acyclic iff no cycle goes through a special edge: for each
+	// special edge u→v, v must not reach u.
+	for _, e := range edges {
+		if !e.special {
+			continue
+		}
+		if path, ok := findPath(adj, e.to, e.from); ok {
+			trace := append([]string{
+				fmt.Sprintf("%s =[special, %s]=> %s", e.from, e.tgd, e.to)}, path...)
+			return fmt.Errorf("tgd: mappings not weakly acyclic; cycle through special edge: %s",
+				strings.Join(trace, " ; "))
+		}
+	}
+	return nil
+}
+
+// findPath reports whether dst is reachable from src, returning a
+// human-readable edge trace. src == dst is trivially reachable (empty
+// path).
+func findPath(adj map[position][]edge, src, dst position) ([]string, bool) {
+	if src == dst {
+		return nil, true
+	}
+	type node struct {
+		pos  position
+		prev int
+		via  edge
+	}
+	queue := []node{{pos: src, prev: -1}}
+	seen := map[position]bool{src: true}
+	for i := 0; i < len(queue); i++ {
+		for _, e := range adj[queue[i].pos] {
+			if seen[e.to] {
+				continue
+			}
+			n := node{pos: e.to, prev: i, via: e}
+			queue = append(queue, n)
+			if e.to == dst {
+				var rev []string
+				for j := len(queue) - 1; queue[j].prev >= 0; j = queue[j].prev {
+					ev := queue[j].via
+					rev = append(rev, fmt.Sprintf("%s =[%s]=> %s", ev.from, ev.tgd, ev.to))
+				}
+				out := make([]string, len(rev))
+				for k := range rev {
+					out[k] = rev[len(rev)-1-k]
+				}
+				return out, true
+			}
+			seen[e.to] = true
+		}
+	}
+	return nil, false
+}

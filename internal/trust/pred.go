@@ -1,0 +1,225 @@
+// Package trust implements the paper's trust policies (§2.2, §3.3):
+// per-mapping trust conditions Θ over the mapping's variables, token-level
+// trust assignments for base tuples, and the composition of conditions
+// along mapping paths. Conditions compile to datalog filters so untrusted
+// derivations are rejected inline during update exchange (§4.2), and they
+// can also be evaluated post-hoc over provenance expressions in the
+// boolean semiring (Example 7).
+package trust
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/tgd"
+	"orchestra/internal/value"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// operand is a variable reference or a constant.
+type operand struct {
+	isVar bool
+	v     string
+	c     value.Value
+}
+
+func (o operand) String() string {
+	if o.isVar {
+		return o.v
+	}
+	return o.c.String()
+}
+
+func (o operand) eval(env map[string]value.Value) (value.Value, bool) {
+	if !o.isVar {
+		return o.c, true
+	}
+	val, ok := env[o.v]
+	return val, ok
+}
+
+// comparison is one "lhs op rhs" clause.
+type comparison struct {
+	lhs, rhs operand
+	op       Op
+}
+
+func (c comparison) eval(env map[string]value.Value) bool {
+	l, ok := c.lhs.eval(env)
+	if !ok {
+		return false
+	}
+	r, ok := c.rhs.eval(env)
+	if !ok {
+		return false
+	}
+	cmp := value.Compare(l, r)
+	switch c.op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Pred is a conjunction of comparisons over named variables — the
+// data-selection part of a trust condition ("n >= 3", "n != 2 and i < 10").
+// A Pred may also be the negation of another Pred (used to turn the
+// paper's "distrusts … if φ" conditions into accept-conditions ¬φ).
+type Pred struct {
+	clauses []comparison
+	negated *Pred
+	src     string
+}
+
+// True is the always-true predicate.
+var True = &Pred{src: "true"}
+
+// ParsePred parses "cmp (and cmp)*" where cmp is "term op term", term is
+// a variable name, integer, or quoted string, and op ∈ {=, ==, !=, <>, <,
+// <=, >, >=}. The empty string and "true" parse to the trivial predicate.
+func ParsePred(input string) (*Pred, error) {
+	src := strings.TrimSpace(input)
+	if src == "" || strings.EqualFold(src, "true") {
+		return True, nil
+	}
+	p := &Pred{src: src}
+	for _, clause := range splitAnd(src) {
+		cmp, err := parseComparison(clause)
+		if err != nil {
+			return nil, err
+		}
+		p.clauses = append(p.clauses, cmp)
+	}
+	return p, nil
+}
+
+// MustParsePred is ParsePred that panics, for static tables and tests.
+func MustParsePred(input string) *Pred {
+	p, err := ParsePred(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitAnd(s string) []string {
+	var out []string
+	rest := s
+	for {
+		lower := strings.ToLower(rest)
+		i := strings.Index(lower, " and ")
+		if i < 0 {
+			out = append(out, strings.TrimSpace(rest))
+			return out
+		}
+		out = append(out, strings.TrimSpace(rest[:i]))
+		rest = rest[i+5:]
+	}
+}
+
+func parseComparison(s string) (comparison, error) {
+	// Longest operators first so "<=" is not parsed as "<".
+	for _, cand := range []struct {
+		text string
+		op   Op
+	}{
+		{"<=", OpLe}, {">=", OpGe}, {"!=", OpNe}, {"<>", OpNe}, {"==", OpEq},
+		{"=", OpEq}, {"<", OpLt}, {">", OpGt},
+	} {
+		i := strings.Index(s, cand.text)
+		if i < 0 {
+			continue
+		}
+		lhs, err := parseOperand(strings.TrimSpace(s[:i]))
+		if err != nil {
+			return comparison{}, fmt.Errorf("trust: %w in %q", err, s)
+		}
+		rhs, err := parseOperand(strings.TrimSpace(s[i+len(cand.text):]))
+		if err != nil {
+			return comparison{}, fmt.Errorf("trust: %w in %q", err, s)
+		}
+		return comparison{lhs: lhs, rhs: rhs, op: cand.op}, nil
+	}
+	return comparison{}, fmt.Errorf("trust: no comparison operator in %q", s)
+}
+
+func parseOperand(tok string) (operand, error) {
+	if tok == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	t, err := tgd.ParseTerm(tok)
+	if err != nil {
+		return operand{}, err
+	}
+	if t.Var != "" {
+		return operand{isVar: true, v: t.Var}, nil
+	}
+	return operand{c: t.Const}, nil
+}
+
+// Eval evaluates the predicate under a variable binding. Unbound variables
+// make their clause false (and hence a negated clause true).
+func (p *Pred) Eval(env map[string]value.Value) bool {
+	if p.negated != nil {
+		return !p.negated.Eval(env)
+	}
+	for _, c := range p.clauses {
+		if !c.eval(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Trivial reports whether the predicate is the constant true.
+func (p *Pred) Trivial() bool { return p.negated == nil && len(p.clauses) == 0 }
+
+// Vars returns the variable names the predicate reads.
+func (p *Pred) Vars() []string {
+	if p.negated != nil {
+		return p.negated.Vars()
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(o operand) {
+		if o.isVar && !seen[o.v] {
+			seen[o.v] = true
+			out = append(out, o.v)
+		}
+	}
+	for _, c := range p.clauses {
+		add(c.lhs)
+		add(c.rhs)
+	}
+	return out
+}
+
+// String returns the source form of the predicate.
+func (p *Pred) String() string { return p.src }

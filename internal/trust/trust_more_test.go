@@ -1,0 +1,98 @@
+package trust
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orchestra/internal/value"
+)
+
+func TestStringComparisons(t *testing.T) {
+	p := MustParsePred("x >= 'm' and x != 'zz'")
+	if !p.Eval(env("x", "n")) {
+		t.Fatal("'n' >= 'm' failed")
+	}
+	if p.Eval(env("x", "a")) {
+		t.Fatal("'a' >= 'm' passed")
+	}
+	if p.Eval(env("x", "zz")) {
+		t.Fatal("!= clause ignored")
+	}
+}
+
+func TestCrossKindComparison(t *testing.T) {
+	// Ints order before strings under value.Compare; the predicate stays
+	// total rather than erroring.
+	p := MustParsePred("x < 'a'")
+	if !p.Eval(env("x", 5)) {
+		t.Fatal("int < string should hold under the total order")
+	}
+}
+
+func TestVarToVarComparison(t *testing.T) {
+	p := MustParsePred("x < y")
+	if !p.Eval(env("x", 1, "y", 2)) || p.Eval(env("x", 2, "y", 1)) {
+		t.Fatal("var-var comparison")
+	}
+	// One side unbound → clause false.
+	if p.Eval(env("x", 1)) {
+		t.Fatal("unbound rhs evaluated true")
+	}
+}
+
+// Property: double negation restores the verdict for every binding.
+func TestDoubleNegationProperty(t *testing.T) {
+	base := MustParsePred("n >= 3 and n < 10")
+	negOnce := negate(base)
+	negTwice := negate(negOnce)
+	f := func(n int64) bool {
+		e := map[string]value.Value{"n": value.Int(n % 20)}
+		return base.Eval(e) == negTwice.Eval(e) && base.Eval(e) != negOnce.Eval(e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegateTrivial(t *testing.T) {
+	// ¬true is unsatisfiable: a whole-mapping distrust.
+	never := negate(True)
+	if never.Eval(env()) || never.Eval(env("x", 1)) {
+		t.Fatal("negated True satisfied")
+	}
+	if never.Trivial() {
+		t.Fatal("¬true reported trivial")
+	}
+}
+
+func TestOperatorTokenization(t *testing.T) {
+	// "<=" must not parse as "<" against "=3".
+	p := MustParsePred("n <= 3")
+	if !p.Eval(env("n", 3)) {
+		t.Fatal("<= boundary")
+	}
+	// Spaces are optional around operators.
+	p2 := MustParsePred("n<=3")
+	if !p2.Eval(env("n", 3)) || p2.Eval(env("n", 4)) {
+		t.Fatal("unspaced operator")
+	}
+}
+
+func TestPolicyZeroValueTrustsAll(t *testing.T) {
+	var p Policy
+	if !p.AcceptsMapping("m", env("n", 99)) {
+		t.Fatal("zero policy rejected a derivation")
+	}
+	if !p.TrustsBase("R", "anyone", env()) {
+		t.Fatal("zero policy distrusted a base tuple")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package trust
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/value"
+)
+
+func env(pairs ...any) map[string]value.Value {
+	m := make(map[string]value.Value)
+	for i := 0; i < len(pairs); i += 2 {
+		name := pairs[i].(string)
+		switch v := pairs[i+1].(type) {
+		case int:
+			m[name] = value.Int(int64(v))
+		case string:
+			m[name] = value.String(v)
+		case value.Value:
+			m[name] = v
+		}
+	}
+	return m
+}
+
+func TestParsePredComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		env  map[string]value.Value
+		want bool
+	}{
+		{"n >= 3", env("n", 3), true},
+		{"n >= 3", env("n", 2), false},
+		{"n != 2", env("n", 2), false},
+		{"n <> 2", env("n", 3), true},
+		{"n = 5", env("n", 5), true},
+		{"n == 5", env("n", 5), true},
+		{"n < 5", env("n", 4), true},
+		{"n <= 4", env("n", 4), true},
+		{"n > 4", env("n", 4), false},
+		{"x = 'abc'", env("x", "abc"), true},
+		{"x = 'abc'", env("x", "abd"), false},
+		{"x = y", env("x", 1, "y", 1), true},
+		{"3 < 4", env(), true},
+		{"n >= 3 and n < 10", env("n", 7), true},
+		{"n >= 3 and n < 10", env("n", 12), false},
+		{"n >= 3 AND n < 10", env("n", 7), true},
+		{"true", env(), true},
+		{"", env(), true},
+	}
+	for _, c := range cases {
+		p, err := ParsePred(c.src)
+		if err != nil {
+			t.Errorf("ParsePred(%q): %v", c.src, err)
+			continue
+		}
+		if got := p.Eval(c.env); got != c.want {
+			t.Errorf("%q over %v = %v, want %v", c.src, c.env, got, c.want)
+		}
+	}
+}
+
+func TestParsePredErrors(t *testing.T) {
+	for _, s := range []string{"n", "n >", "= 3", "n ~ 3", "n >= 3 and"} {
+		if _, err := ParsePred(s); err == nil {
+			t.Errorf("ParsePred(%q) succeeded", s)
+		}
+	}
+}
+
+func TestPredUnboundVarIsFalse(t *testing.T) {
+	p := MustParsePred("n >= 3")
+	if p.Eval(env()) {
+		t.Fatal("unbound var evaluated true")
+	}
+}
+
+func TestPredVars(t *testing.T) {
+	p := MustParsePred("n >= 3 and x = y and n < 9")
+	vars := p.Vars()
+	if len(vars) != 3 || vars[0] != "n" || vars[1] != "x" || vars[2] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+}
+
+func TestPredTrivialAndString(t *testing.T) {
+	if !True.Trivial() || True.String() != "true" {
+		t.Fatal("True")
+	}
+	p := MustParsePred("n > 1")
+	if p.Trivial() {
+		t.Fatal("non-trivial pred reported trivial")
+	}
+	if p.String() != "n > 1" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPolicyMappingConditions(t *testing.T) {
+	// Example 4: PBioSQL distrusts tuples from mapping m4 when n != 2.
+	p := NewPolicy("PBioSQL")
+	p.DistrustMapping("m4", MustParsePred("n != 2"))
+	if p.AcceptsMapping("m4", env("n", 3)) {
+		t.Fatal("n=3 accepted through m4")
+	}
+	if !p.AcceptsMapping("m4", env("n", 2)) {
+		t.Fatal("n=2 rejected through m4")
+	}
+	// Other mappings unaffected.
+	if !p.AcceptsMapping("m1", env("n", 3)) {
+		t.Fatal("m1 affected by m4 condition")
+	}
+}
+
+func TestPolicyTrustMappingAccept(t *testing.T) {
+	p := NewPolicy("P")
+	p.TrustMapping("m1", MustParsePred("n < 3"))
+	if !p.AcceptsMapping("m1", env("n", 2)) || p.AcceptsMapping("m1", env("n", 3)) {
+		t.Fatal("accept condition")
+	}
+}
+
+func TestPolicyWildcardCondition(t *testing.T) {
+	p := NewPolicy("P")
+	p.TrustMapping("", MustParsePred("n < 10"))
+	if !p.AcceptsMapping("mX", env("n", 5)) || p.AcceptsMapping("mY", env("n", 11)) {
+		t.Fatal("wildcard condition")
+	}
+}
+
+func TestPolicyDistrustWholeMapping(t *testing.T) {
+	p := NewPolicy("P")
+	p.DistrustMapping("m1", True)
+	if p.AcceptsMapping("m1", env("n", 1)) {
+		t.Fatal("fully distrusted mapping accepted")
+	}
+}
+
+func TestPolicyConditionsCompose(t *testing.T) {
+	// Two conditions on the same mapping AND together (§3.3).
+	p := NewPolicy("P")
+	p.TrustMapping("m", MustParsePred("n >= 3"))
+	p.TrustMapping("m", MustParsePred("n < 5"))
+	if !p.AcceptsMapping("m", env("n", 4)) {
+		t.Fatal("n=4 should pass both")
+	}
+	if p.AcceptsMapping("m", env("n", 2)) || p.AcceptsMapping("m", env("n", 7)) {
+		t.Fatal("conjunction violated")
+	}
+}
+
+func TestPolicyBaseTrust(t *testing.T) {
+	// Example 7: PBioSQL trusts PGUS and itself but not PuBio's (2,5).
+	p := NewPolicy("PBioSQL")
+	p.DistrustPeer("PuBio")
+	if !p.TrustsBase("G", "PGUS", env("id", 3)) {
+		t.Fatal("PGUS base distrusted")
+	}
+	if p.TrustsBase("U", "PuBio", env("nam", 2)) {
+		t.Fatal("PuBio base trusted")
+	}
+	// Own contributions always trusted, even for a distrusted relation.
+	p2 := NewPolicy("X")
+	p2.DistrustPeer("X")
+	if !p2.TrustsBase("R", "X", env()) {
+		t.Fatal("own base distrusted")
+	}
+}
+
+func TestPolicyBaseCondition(t *testing.T) {
+	p := NewPolicy("P")
+	p.DistrustBase("B", MustParsePred("n >= 3"))
+	if p.TrustsBase("B", "Q", env("n", 5)) {
+		t.Fatal("matching base tuple trusted")
+	}
+	if !p.TrustsBase("B", "Q", env("n", 1)) {
+		t.Fatal("non-matching base tuple distrusted")
+	}
+	if !p.TrustsBase("C", "Q", env("n", 5)) {
+		t.Fatal("condition leaked to other relation")
+	}
+}
+
+func TestPolicyDescribe(t *testing.T) {
+	p := NewPolicy("P")
+	if !strings.Contains(p.Describe(), "trusts everything") {
+		t.Fatalf("Describe = %q", p.Describe())
+	}
+	p.DistrustPeer("Q")
+	p.DistrustMapping("m1", MustParsePred("n >= 3"))
+	p.DistrustBase("B", MustParsePred("n = 1"))
+	d := p.Describe()
+	for _, frag := range []string{"distrusts peer Q", "m1", "n >= 3", "base B"} {
+		if !strings.Contains(d, frag) {
+			t.Fatalf("Describe missing %q:\n%s", frag, d)
+		}
+	}
+}
+
+func TestNegatedPredVars(t *testing.T) {
+	p := NewPolicy("P")
+	p.DistrustMapping("m", MustParsePred("n >= 3"))
+	conds := p.Conditions("m")
+	if len(conds) != 1 {
+		t.Fatal("conditions")
+	}
+	vars := conds[0].Accept.Vars()
+	if len(vars) != 1 || vars[0] != "n" {
+		t.Fatalf("negated Vars = %v", vars)
+	}
+	if conds[0].Accept.Trivial() {
+		t.Fatal("negated pred trivial")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	p := NewPolicy("P")
+	p.DistrustMapping("m4", MustParsePred("n != 2"))
+	s := p.Conditions("m4")[0].String()
+	if !strings.Contains(s, "distrusts") || !strings.Contains(s, "m4") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,5 @@
+package workload
+
+import "math/rand"
+
+func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,440 @@
+// Package workload implements the paper's synthetic workload generator
+// (§6.1): peers are carved out of a 25-attribute SWISS-PROT universal
+// relation — a Zipfian number of relations per peer, a random attribute
+// subset partitioned across those relations plus a shared key to preserve
+// losslessness — and mappings join all relations at the source peer and
+// populate all relations at the target peer through their shared
+// attributes. Fresh insertions sample new entries under new keys;
+// deletions sample among prior insertions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"orchestra/internal/core"
+	"orchestra/internal/datalog"
+	"orchestra/internal/schema"
+	"orchestra/internal/swissprot"
+	"orchestra/internal/tgd"
+	"orchestra/internal/value"
+)
+
+// Dataset selects tuple payloads: heavy strings or hashed integers
+// (§6.1's "string" and "integer" datasets).
+type Dataset uint8
+
+const (
+	DatasetString Dataset = iota
+	DatasetInteger
+)
+
+func (d Dataset) String() string {
+	if d == DatasetInteger {
+		return "integer"
+	}
+	return "string"
+}
+
+// Topology selects the peer-graph shape.
+type Topology uint8
+
+const (
+	// TopologyChain links peer i to peer i+1 (the "n−1 mappings among n
+	// peers" setting of §6.4).
+	TopologyChain Topology = iota
+	// TopologyComplete maps every peer into every other (the "full
+	// mappings" setting of §6.3).
+	TopologyComplete
+	// TopologyRandom wires an acyclic random graph with roughly
+	// AvgNeighbors outgoing mappings per peer (§6.5's base setting).
+	TopologyRandom
+)
+
+func (t Topology) String() string {
+	switch t {
+	case TopologyComplete:
+		return "complete"
+	case TopologyRandom:
+		return "random"
+	default:
+		return "chain"
+	}
+}
+
+// AttrMode controls how peers' attribute subsets relate, which in turn
+// controls where existential variables (and hence labeled nulls) appear.
+type AttrMode uint8
+
+const (
+	// AttrsRandom draws an independent subset per peer: mappings carry
+	// existentials in both directions. Safe for acyclic topologies; a
+	// cyclic topology would make the chase diverge (and is rejected by
+	// the weak-acyclicity check).
+	AttrsRandom AttrMode = iota
+	// AttrsShared gives every peer the same attribute subset, so every
+	// mapping is a full tgd (no existentials) — the paper's "full
+	// mappings" setting (Fig. 4); any topology, including complete, is
+	// then weakly acyclic.
+	AttrsShared
+	// AttrsNested nests subsets along the peer order (peer 1 ⊂ peer 2 ⊂
+	// …): forward mappings carry existentials, reverse mappings are full,
+	// so adding topology cycles (Fig. 10) preserves weak acyclicity while
+	// nulls still multiply around the cycles.
+	AttrsNested
+)
+
+func (m AttrMode) String() string {
+	switch m {
+	case AttrsShared:
+		return "shared"
+	case AttrsNested:
+		return "nested"
+	default:
+		return "random"
+	}
+}
+
+// Config parameterizes the generator. Zero values get §6-flavored
+// defaults.
+type Config struct {
+	Peers int
+	// MaxRelsPerPeer bounds the Zipfian relation count (default 3).
+	MaxRelsPerPeer int
+	// MinAttrs/MaxAttrs bound each peer's attribute subset (defaults 6/12).
+	MinAttrs, MaxAttrs int
+	Dataset            Dataset
+	Topology           Topology
+	AttrMode           AttrMode
+	// AvgNeighbors is the mean outgoing degree for TopologyRandom
+	// (default 2, §6.5).
+	AvgNeighbors int
+	// ExtraCycles reverses existing edges to create this many cycles in
+	// the mapping graph (§6.5 "manually added cycles"). Requires an
+	// AttrMode whose reverse mappings stay weakly acyclic (AttrsShared or
+	// AttrsNested).
+	ExtraCycles int
+	// ZipfS is the Zipf skew for relation counts (default 1.5).
+	ZipfS float64
+	Seed  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 0 {
+		c.Peers = 2
+	}
+	if c.MaxRelsPerPeer <= 0 {
+		c.MaxRelsPerPeer = 3
+	}
+	if c.MinAttrs <= 0 {
+		c.MinAttrs = 6
+	}
+	if c.MaxAttrs <= 0 {
+		c.MaxAttrs = 12
+	}
+	if c.MaxAttrs > swissprot.NumAttrs {
+		c.MaxAttrs = swissprot.NumAttrs
+	}
+	if c.MinAttrs > c.MaxAttrs {
+		c.MinAttrs = c.MaxAttrs
+	}
+	if c.AvgNeighbors <= 0 {
+		c.AvgNeighbors = 2
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.5
+	}
+	return c
+}
+
+// peerInfo records how one peer was carved from the universal relation.
+type peerInfo struct {
+	name  string
+	attrs []int   // indices into the universal attributes, sorted
+	parts [][]int // partition of attrs across this peer's relations
+	rels  []string
+}
+
+// insertionRecord remembers a base entry inserted at a peer so deletions
+// can sample among prior insertions (§6.1).
+type insertionRecord struct {
+	key   value.Value
+	edits core.EditLog
+}
+
+// Workload is a generated CDSS configuration plus its data generators.
+type Workload struct {
+	Cfg      Config
+	Spec     *core.Spec
+	rng      *rand.Rand
+	peers    []peerInfo
+	universe *schema.Universe
+	// Edges are the generated peer-graph arcs (source, target indices).
+	Edges [][2]int
+
+	nextKey    int64
+	insertions map[string][]insertionRecord
+	deleted    map[string]int // per peer: count of already-deleted records
+}
+
+// New builds a workload from the configuration. The same configuration
+// always yields the same CDSS and data.
+func New(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	w := &Workload{
+		Cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		insertions: make(map[string][]insertionRecord),
+		deleted:    make(map[string]int),
+	}
+	if err := w.buildPeers(); err != nil {
+		return nil, err
+	}
+	if err := w.buildMappings(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// zipfInt draws from {1..max} with Zipf skew s.
+func zipfInt(r *rand.Rand, max int, s float64) int {
+	if max <= 1 {
+		return 1
+	}
+	z := rand.NewZipf(r, s, 1, uint64(max-1))
+	return int(z.Uint64()) + 1
+}
+
+func (w *Workload) buildPeers() error {
+	u := schema.NewUniverse()
+	// For AttrsShared every peer uses this common pool; for AttrsNested
+	// peer i takes a growing prefix of it.
+	poolSize := w.Cfg.MaxAttrs
+	pool := w.rng.Perm(swissprot.NumAttrs)[:poolSize]
+	for p := 0; p < w.Cfg.Peers; p++ {
+		name := fmt.Sprintf("p%d", p+1)
+		var attrs []int
+		switch w.Cfg.AttrMode {
+		case AttrsShared:
+			attrs = append([]int(nil), pool[:w.Cfg.MinAttrs]...)
+		case AttrsNested:
+			// Sizes spread from MinAttrs (first peer) to MaxAttrs (last).
+			span := w.Cfg.MaxAttrs - w.Cfg.MinAttrs
+			n := w.Cfg.MinAttrs
+			if w.Cfg.Peers > 1 {
+				n += span * p / (w.Cfg.Peers - 1)
+			}
+			attrs = append([]int(nil), pool[:n]...)
+		default:
+			nAttrs := w.Cfg.MinAttrs + w.rng.Intn(w.Cfg.MaxAttrs-w.Cfg.MinAttrs+1)
+			attrs = w.rng.Perm(swissprot.NumAttrs)[:nAttrs]
+		}
+		sort.Ints(attrs)
+
+		nRels := zipfInt(w.rng, w.Cfg.MaxRelsPerPeer, w.Cfg.ZipfS)
+		if nRels > len(attrs) {
+			nRels = len(attrs)
+		}
+		// Partition attrs across nRels relations: each gets at least one.
+		parts := make([][]int, nRels)
+		for i, a := range attrs {
+			if i < nRels {
+				parts[i] = append(parts[i], a)
+			} else {
+				k := w.rng.Intn(nRels)
+				parts[k] = append(parts[k], a)
+			}
+		}
+
+		peer := schema.NewPeer(name)
+		info := peerInfo{name: name, attrs: attrs, parts: parts}
+		colType := schema.TypeString
+		if w.Cfg.Dataset == DatasetInteger {
+			colType = schema.TypeInt
+		}
+		for ri, part := range parts {
+			relName := fmt.Sprintf("%s_r%d", name, ri+1)
+			cols := []schema.Column{{Name: "key", Type: schema.TypeInt}}
+			for _, a := range part {
+				cols = append(cols, schema.Column{Name: swissprot.AttrName(a), Type: colType})
+			}
+			if _, err := peer.AddRelation(relName, cols...); err != nil {
+				return err
+			}
+			info.rels = append(info.rels, relName)
+		}
+		if err := u.AddPeer(peer); err != nil {
+			return err
+		}
+		w.peers = append(w.peers, info)
+	}
+	w.universe = u
+	return nil
+}
+
+func (w *Workload) buildMappings() error {
+	switch w.Cfg.Topology {
+	case TopologyComplete:
+		for i := range w.peers {
+			for j := range w.peers {
+				if i != j {
+					w.Edges = append(w.Edges, [2]int{i, j})
+				}
+			}
+		}
+	case TopologyRandom:
+		// Acyclic base: edges go from lower to higher index; a spanning
+		// chain guarantees connectivity, extra random forward edges reach
+		// the requested average degree.
+		n := len(w.peers)
+		for i := 0; i+1 < n; i++ {
+			w.Edges = append(w.Edges, [2]int{i, i + 1})
+		}
+		want := w.Cfg.AvgNeighbors * n
+		seen := make(map[[2]int]bool)
+		for _, e := range w.Edges {
+			seen[e] = true
+		}
+		for guard := 0; len(w.Edges) < want && guard < 50*n; guard++ {
+			if n < 3 {
+				break
+			}
+			i := w.rng.Intn(n - 1)
+			j := i + 1 + w.rng.Intn(n-i-1)
+			e := [2]int{i, j}
+			if !seen[e] {
+				seen[e] = true
+				w.Edges = append(w.Edges, e)
+			}
+		}
+	default: // chain
+		for i := 0; i+1 < len(w.peers); i++ {
+			w.Edges = append(w.Edges, [2]int{i, i + 1})
+		}
+	}
+
+	// Manually added cycles (§6.5): reverse copies of existing edges.
+	for c := 0; c < w.Cfg.ExtraCycles && c < len(w.Edges); c++ {
+		e := w.Edges[c]
+		w.Edges = append(w.Edges, [2]int{e[1], e[0]})
+	}
+
+	var mappings []*tgd.TGD
+	for _, e := range w.Edges {
+		mappings = append(mappings, w.mappingFor(e[0], e[1]))
+	}
+	spec, err := core.NewSpec(w.universe, mappings, nil)
+	if err != nil {
+		return err
+	}
+	w.Spec = spec
+	return nil
+}
+
+// mappingFor builds the tgd from peer src to peer dst: LHS joins all of
+// src's relations on the key, RHS populates all of dst's relations;
+// attributes absent at src are existential at dst.
+func (w *Workload) mappingFor(src, dst int) *tgd.TGD {
+	s, d := &w.peers[src], &w.peers[dst]
+	m := &tgd.TGD{ID: fmt.Sprintf("m_%s_%s", s.name, d.name)}
+	varOf := func(attr int) datalog.Term { return datalog.V(fmt.Sprintf("a%d", attr)) }
+	key := datalog.V("k")
+	for ri, part := range s.parts {
+		args := []datalog.Term{key}
+		for _, a := range part {
+			args = append(args, varOf(a))
+		}
+		m.LHS = append(m.LHS, datalog.NewAtom(s.rels[ri], args...))
+	}
+	for ri, part := range d.parts {
+		args := []datalog.Term{key}
+		for _, a := range part {
+			args = append(args, varOf(a))
+		}
+		m.RHS = append(m.RHS, datalog.NewAtom(d.rels[ri], args...))
+	}
+	return m
+}
+
+// PeerNames returns the generated peer names in order.
+func (w *Workload) PeerNames() []string {
+	out := make([]string, len(w.peers))
+	for i, p := range w.peers {
+		out[i] = p.name
+	}
+	return out
+}
+
+// entryValues renders a universal entry's attribute values for the
+// configured dataset.
+func (w *Workload) entryValue(e *swissprot.Entry, attr int) value.Value {
+	if w.Cfg.Dataset == DatasetInteger {
+		return e.IntValue(attr)
+	}
+	return e.StringValue(attr)
+}
+
+// GenInsertions samples n fresh SWISS-PROT entries for a peer, each under
+// a new key, normalized into the peer's relations. The returned edit log
+// inserts one tuple per relation per entry.
+func (w *Workload) GenInsertions(peer string, n int) core.EditLog {
+	info := w.peerInfo(peer)
+	var log core.EditLog
+	for i := 0; i < n; i++ {
+		e := swissprot.Generate(w.rng)
+		w.nextKey++
+		key := value.Int(w.nextKey)
+		rec := insertionRecord{key: key}
+		for ri, part := range info.parts {
+			t := value.Tuple{key}
+			for _, a := range part {
+				t = append(t, w.entryValue(&e, a))
+			}
+			rec.edits = append(rec.edits, core.Ins(info.rels[ri], t))
+		}
+		log = append(log, rec.edits...)
+		w.insertions[peer] = append(w.insertions[peer], rec)
+	}
+	return log
+}
+
+// GenBase generates base insertions for every peer ("base size" entries
+// each, §6.2 terminology).
+func (w *Workload) GenBase(entriesPerPeer int) map[string]core.EditLog {
+	out := make(map[string]core.EditLog)
+	for _, p := range w.peers {
+		out[p.name] = w.GenInsertions(p.name, entriesPerPeer)
+	}
+	return out
+}
+
+// GenDeletions samples n of the peer's prior insertions (oldest first)
+// and produces the edit log deleting all their tuples.
+func (w *Workload) GenDeletions(peer string, n int) core.EditLog {
+	recs := w.insertions[peer]
+	start := w.deleted[peer]
+	var log core.EditLog
+	for i := 0; i < n && start+i < len(recs); i++ {
+		for _, e := range recs[start+i].edits {
+			log = append(log, core.Del(e.Rel, e.Tuple))
+		}
+	}
+	w.deleted[peer] += min(n, len(recs)-start)
+	return log
+}
+
+// InsertedEntries reports how many live (not yet deleted) entries a peer
+// has contributed.
+func (w *Workload) InsertedEntries(peer string) int {
+	return len(w.insertions[peer]) - w.deleted[peer]
+}
+
+func (w *Workload) peerInfo(name string) *peerInfo {
+	for i := range w.peers {
+		if w.peers[i].name == name {
+			return &w.peers[i]
+		}
+	}
+	panic(fmt.Sprintf("workload: unknown peer %q", name))
+}
