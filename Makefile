@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race bench examples
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+examples:
+	for ex in quickstart federation incremental provexplorer bioshare; do \
+		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
+	done

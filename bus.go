@@ -1,0 +1,97 @@
+package orchestra
+
+import (
+	"fmt"
+	"net/http"
+
+	"orchestra/internal/core"
+	"orchestra/internal/logstore"
+	"orchestra/internal/share"
+)
+
+// PublicationBus is the shared storage through which peers make their
+// edit logs globally available (§2): an append-only, totally ordered
+// publication sequence with fetch-since semantics. Implementations must
+// be safe for concurrent use.
+type PublicationBus = core.PublicationBus
+
+// MemoryBus is the in-process bus: a mutex-guarded publication slice.
+type MemoryBus = core.MemoryBus
+
+// NewMemoryBus returns an empty in-memory publication bus. A System
+// built without WithBus gets a private one automatically; create one
+// explicitly to share a bus between several embedded Systems.
+func NewMemoryBus() *MemoryBus { return core.NewMemoryBus() }
+
+// HTTPBus is a PublicationBus backed by a remote publication service
+// (a BusServer, typically run by cmd/orchestrad) over the share wire
+// protocol. With it, the identical application code runs federated:
+// several nodes publish to and exchange from the same service.
+type HTTPBus = share.Bus
+
+// NewHTTPBus returns a bus talking to the publication service at
+// baseURL, e.g. "http://localhost:8344".
+func NewHTTPBus(baseURL string) *HTTPBus { return share.NewBus(baseURL) }
+
+// BusServer is the service side of the HTTP bus: an http.Handler
+// speaking the publication wire protocol (POST /publish, GET /since),
+// with optional spec validation and durable append-only persistence.
+type BusServer struct {
+	srv   *share.Server
+	store *logstore.Store
+}
+
+// NewBusServer returns an in-memory publication service.
+func NewBusServer() *BusServer { return &BusServer{srv: share.NewServer()} }
+
+// ValidateAgainst makes the server reject publications that are illegal
+// under the spec (unknown peers, edits to other peers' relations).
+func (s *BusServer) ValidateAgainst(sp *Spec) {
+	s.srv.Validate = share.SpecValidator(sp)
+}
+
+// PersistTo durably appends every accepted publication to the given
+// file, first reloading publications persisted by earlier runs so fetch
+// cursors survive restarts. It returns the number of publications
+// reloaded.
+func (s *BusServer) PersistTo(path string) (int, error) {
+	if s.store != nil {
+		return 0, fmt.Errorf("orchestra: bus server already persisting")
+	}
+	store, err := logstore.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	pubs, err := store.Replay()
+	if err != nil {
+		store.Close()
+		return 0, err
+	}
+	for _, p := range pubs {
+		if err := s.srv.Preload(p.Peer, p.Log); err != nil {
+			store.Close()
+			return 0, err
+		}
+	}
+	s.store = store
+	s.srv.Persist = store.Append
+	return len(pubs), nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *BusServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.srv.ServeHTTP(w, r)
+}
+
+// Len returns the number of publications the server holds.
+func (s *BusServer) Len() int { return s.srv.Len() }
+
+// Close releases the persistence store, if any.
+func (s *BusServer) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	err := s.store.Close()
+	s.store = nil
+	return err
+}

@@ -16,7 +16,7 @@ import (
 	"os"
 	"sort"
 
-	"orchestra/internal/benchharness"
+	"orchestra"
 )
 
 func main() {
@@ -25,18 +25,18 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	flag.Parse()
 
-	cfg := benchharness.Config{Scale: *scale, Seed: *seed}
+	cfg := orchestra.BenchConfig{Scale: *scale, Seed: *seed}
 	var figs []int
 	if *fig != 0 {
 		figs = []int{*fig}
 	} else {
-		for n := range benchharness.Figures {
+		for n := range orchestra.BenchFigures {
 			figs = append(figs, n)
 		}
 		sort.Ints(figs)
 	}
 	for _, n := range figs {
-		runner, ok := benchharness.Figures[n]
+		runner, ok := orchestra.BenchFigures[n]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchfig: no figure %d (have 4-10)\n", n)
 			os.Exit(1)

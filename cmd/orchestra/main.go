@@ -1,6 +1,6 @@
 // Command orchestra runs CDSS update exchange over a spec file and lets
 // you inspect instances, provenance, and trust — the CLI face of the
-// Orchestra reproduction.
+// Orchestra reproduction, built entirely on the public orchestra API.
 //
 // Usage:
 //
@@ -14,18 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
-	"orchestra/internal/core"
-	"orchestra/internal/datalog"
-	"orchestra/internal/engine"
-	"orchestra/internal/spec"
-	"orchestra/internal/tgd"
-	"orchestra/internal/value"
+	"orchestra"
 )
 
 func main() {
@@ -40,6 +35,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("usage: orchestra <run|query|prov|graph|show> [flags] spec.cdss")
 	}
 	cmd, rest := args[0], args[1:]
+	ctx := context.Background()
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	owner := fs.String("owner", "", "peer whose view (and trust policy) to use; empty = global trust-all view")
@@ -62,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	parsed, perr := spec.Parse(f)
+	parsed, perr := orchestra.ParseSpec(f)
 	f.Close()
 	if perr != nil {
 		return perr
@@ -72,66 +68,51 @@ func run(args []string, out io.Writer) error {
 		return show(parsed, out)
 	}
 
-	var be engine.Backend
+	var be orchestra.Backend
 	switch *backend {
 	case "indexed":
-		be = engine.BackendIndexed
+		be = orchestra.BackendIndexed
 	case "hash":
-		be = engine.BackendHash
+		be = orchestra.BackendHash
 	default:
 		return fmt.Errorf("unknown backend %q", *backend)
 	}
-	var strat core.DeletionStrategy
+	var strat orchestra.DeletionStrategy
 	switch *strategy {
 	case "provenance":
-		strat = core.DeleteProvenance
+		strat = orchestra.DeleteProvenance
 	case "dred":
-		strat = core.DeleteDRed
+		strat = orchestra.DeleteDRed
 	case "recompute":
-		strat = core.DeleteRecompute
+		strat = orchestra.DeleteRecompute
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	var view *core.View
+	sys, err := orchestra.New(parsed.Spec,
+		orchestra.WithBackend(be),
+		orchestra.WithDeletionStrategy(strat),
+	)
+	if err != nil {
+		return err
+	}
 	if *loadFile != "" {
 		f, err := os.Open(*loadFile)
 		if err != nil {
 			return err
 		}
-		view, err = core.RestoreView(parsed.Spec, *owner, core.Options{Backend: be}, f)
+		err = sys.RestoreSnapshot(*owner, f)
 		f.Close()
 		if err != nil {
 			return err
 		}
 	} else {
-		var err error
-		view, err = core.NewView(parsed.Spec, *owner, core.Options{Backend: be})
-		if err != nil {
+		// Replay the file's edits in publication order, one publication
+		// per peer-contiguous run, then exchange into the owner's view.
+		if err := sys.PublishFileEdits(ctx, parsed); err != nil {
 			return err
 		}
-		// Replay the file's edits in publication order as one exchange
-		// per peer-contiguous run.
-		var pending core.EditLog
-		var pendingPeer string
-		flush := func() error {
-			if len(pending) == 0 {
-				return nil
-			}
-			_, err := view.ApplyEdits(pending, strat)
-			pending, pendingPeer = nil, ""
-			return err
-		}
-		for _, pe := range parsed.Edits {
-			if pendingPeer != "" && pe.Peer != pendingPeer {
-				if err := flush(); err != nil {
-					return err
-				}
-			}
-			pendingPeer = pe.Peer
-			pending = append(pending, pe.Edit)
-		}
-		if err := flush(); err != nil {
+		if _, err := sys.Exchange(ctx, *owner); err != nil {
 			return err
 		}
 	}
@@ -140,7 +121,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := view.WriteSnapshot(f); err != nil {
+		if err := sys.WriteSnapshot(*owner, f); err != nil {
 			f.Close()
 			return err
 		}
@@ -151,39 +132,50 @@ func run(args []string, out io.Writer) error {
 
 	switch cmd {
 	case "run":
-		return dumpInstances(view, out)
+		return dumpInstances(sys, *owner, out)
 	case "query":
 		if *q == "" {
 			return fmt.Errorf("query requires -q")
 		}
-		rows, err := view.Query(*q, *nulls)
+		rows, err := sys.Query(ctx, *owner, *q, *nulls)
 		if err != nil {
 			return err
 		}
 		for _, row := range rows {
-			fmt.Fprintln(out, renderTuple(view, row))
+			desc, err := sys.Describe(*owner, row)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, desc)
 		}
 		return nil
 	case "prov":
 		if *rel == "" || *tupleText == "" {
 			return fmt.Errorf("prov requires -rel and -tuple")
 		}
-		t, err := parseTuple(*tupleText)
+		t, err := orchestra.ParseTuple(*tupleText)
 		if err != nil {
 			return err
 		}
-		expr := view.ProvOf(*rel, t)
+		expr, err := sys.ProvenanceExpr(*owner, *rel, t)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "Pv(%s%s) = %s\n", *rel, t, expr)
 		return nil
 	case "graph":
-		fmt.Fprint(out, view.Graph().Dot(nil))
+		dot, err := sys.GraphDot(*owner)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, dot)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func show(parsed *spec.File, out io.Writer) error {
+func show(parsed *orchestra.SpecFile, out io.Writer) error {
 	u := parsed.Spec.Universe
 	for _, p := range u.Peers() {
 		fmt.Fprintf(out, "peer %s\n", p.Name)
@@ -203,38 +195,20 @@ func show(parsed *spec.File, out io.Writer) error {
 	return nil
 }
 
-func dumpInstances(view *core.View, out io.Writer) error {
-	for _, rel := range view.Spec().Universe.Relations() {
-		tbl := view.Instance(rel.Name)
-		fmt.Fprintf(out, "%s (%d rows)\n", rel.Name, tbl.Len())
-		for _, row := range tbl.Rows() {
-			fmt.Fprintf(out, "  %s\n", renderTuple(view, row))
+func dumpInstances(sys *orchestra.System, owner string, out io.Writer) error {
+	for _, rel := range sys.RelationNames() {
+		rows, err := sys.Instance(owner, rel)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (%d rows)\n", rel, len(rows))
+		for _, row := range rows {
+			desc, err := sys.Describe(owner, row)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  %s\n", desc)
 		}
 	}
 	return nil
-}
-
-// renderTuple displays labeled nulls through their Skolem structure.
-func renderTuple(view *core.View, row value.Tuple) string {
-	parts := make([]string, len(row))
-	for i, v := range row {
-		parts[i] = view.Skolems().Describe(v)
-	}
-	return "(" + strings.Join(parts, ", ") + ")"
-}
-
-// parseTuple parses "3,2" / "3,'x'" into a tuple of constants.
-func parseTuple(text string) (value.Tuple, error) {
-	var t value.Tuple
-	for _, tok := range strings.Split(text, ",") {
-		term, err := tgd.ParseTerm(strings.TrimSpace(tok))
-		if err != nil {
-			return nil, err
-		}
-		if term.Kind != datalog.TermConst {
-			return nil, fmt.Errorf("tuple component %q is not a constant", tok)
-		}
-		t = append(t, term.Const)
-	}
-	return t, nil
 }

@@ -1,7 +1,8 @@
 // Command orchestrad runs the CDSS publication service — the central
 // storage through which peers share their edit logs (paper §2: update
 // exchange "publishes P's local edit log — making it globally available
-// via central or distributed storage").
+// via central or distributed storage"). Clients connect with
+// orchestra.NewHTTPBus.
 //
 // Usage:
 //
@@ -21,9 +22,7 @@ import (
 	"net/http"
 	"os"
 
-	"orchestra/internal/logstore"
-	"orchestra/internal/share"
-	"orchestra/internal/spec"
+	"orchestra"
 )
 
 func main() {
@@ -32,42 +31,30 @@ func main() {
 	specPath := flag.String("spec", "", "CDSS spec file to validate publications against")
 	flag.Parse()
 
-	srv := share.NewServer()
+	srv := orchestra.NewBusServer()
 
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
 			log.Fatalf("orchestrad: %v", err)
 		}
-		parsed, perr := spec.Parse(f)
+		parsed, perr := orchestra.ParseSpec(f)
 		f.Close()
 		if perr != nil {
 			log.Fatalf("orchestrad: %v", perr)
 		}
-		srv.Validate = share.SpecValidator(parsed.Spec)
+		srv.ValidateAgainst(parsed.Spec)
 		log.Printf("validating against %s (%d peers, %d mappings)",
 			*specPath, len(parsed.Spec.Universe.Peers()), len(parsed.Spec.Mappings))
 	}
 
 	if *storePath != "" {
-		store, err := logstore.Open(*storePath)
+		reloaded, err := srv.PersistTo(*storePath)
 		if err != nil {
 			log.Fatalf("orchestrad: %v", err)
 		}
-		defer store.Close()
-		// Reload previously persisted publications so fetch cursors
-		// survive restarts.
-		pubs, err := store.Replay()
-		if err != nil {
-			log.Fatalf("orchestrad: %v", err)
-		}
-		for _, p := range pubs {
-			if err := srv.Preload(p.Peer, p.Log); err != nil {
-				log.Fatalf("orchestrad: reloading store: %v", err)
-			}
-		}
-		srv.Persist = store.Append
-		log.Printf("persisting to %s (%d publications reloaded)", *storePath, len(pubs))
+		defer srv.Close()
+		log.Printf("persisting to %s (%d publications reloaded)", *storePath, reloaded)
 	}
 
 	mux := http.NewServeMux()

@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"orchestra/internal/spec"
-	"orchestra/internal/workload"
+	"orchestra"
 )
 
 func main() {
@@ -36,7 +35,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "generator seed")
 	flag.Parse()
 
-	cfg := workload.Config{
+	cfg := orchestra.WorkloadConfig{
 		Peers:        *peers,
 		AvgNeighbors: *neighbors,
 		ExtraCycles:  *cycles,
@@ -44,51 +43,51 @@ func run() error {
 	}
 	switch *topology {
 	case "chain":
-		cfg.Topology = workload.TopologyChain
+		cfg.Topology = orchestra.TopologyChain
 	case "complete":
-		cfg.Topology = workload.TopologyComplete
+		cfg.Topology = orchestra.TopologyComplete
 	case "random":
-		cfg.Topology = workload.TopologyRandom
+		cfg.Topology = orchestra.TopologyRandom
 	default:
 		return fmt.Errorf("unknown topology %q", *topology)
 	}
 	switch *attrMode {
 	case "random":
-		cfg.AttrMode = workload.AttrsRandom
+		cfg.AttrMode = orchestra.AttrsRandom
 	case "shared":
-		cfg.AttrMode = workload.AttrsShared
+		cfg.AttrMode = orchestra.AttrsShared
 	case "nested":
-		cfg.AttrMode = workload.AttrsNested
+		cfg.AttrMode = orchestra.AttrsNested
 	case "":
-		if cfg.Topology == workload.TopologyComplete || *cycles > 0 {
-			cfg.AttrMode = workload.AttrsShared
+		if cfg.Topology == orchestra.TopologyComplete || *cycles > 0 {
+			cfg.AttrMode = orchestra.AttrsShared
 		}
 	default:
 		return fmt.Errorf("unknown attribute mode %q", *attrMode)
 	}
 	switch *dataset {
 	case "integer":
-		cfg.Dataset = workload.DatasetInteger
+		cfg.Dataset = orchestra.DatasetInteger
 	case "string":
-		cfg.Dataset = workload.DatasetString
+		cfg.Dataset = orchestra.DatasetString
 	default:
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
 
-	w, err := workload.New(cfg)
+	w, err := orchestra.NewWorkload(cfg)
 	if err != nil {
 		return err
 	}
-	file := &spec.File{Spec: w.Spec}
+	file := &orchestra.SpecFile{Spec: w.Spec}
 	for _, peer := range w.PeerNames() {
 		for _, e := range w.GenInsertions(peer, *base) {
-			file.Edits = append(file.Edits, spec.PeerEdit{Peer: peer, Edit: e})
+			file.Edits = append(file.Edits, orchestra.PeerEdit{Peer: peer, Edit: e})
 		}
 	}
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	fmt.Fprintf(out, "# generated workload: peers=%d topology=%s attrs=%s dataset=%s base=%d cycles=%d seed=%d\n",
 		*peers, cfg.Topology, cfg.AttrMode, cfg.Dataset, *base, *cycles, *seed)
-	_, err = out.WriteString(spec.Render(file))
+	_, err = out.WriteString(orchestra.RenderSpec(file))
 	return err
 }

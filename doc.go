@@ -3,14 +3,39 @@
 // 2007 / UPenn TR MS-CIS-07-26) — the Orchestra collaborative data
 // sharing system (CDSS).
 //
-// The library lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are:
+// This package is the one supported way to drive the system. Build a
+// System over a parsed spec, publish edit logs, and run update exchange:
+//
+//	parsed, _ := orchestra.ParseSpecString(cdss)
+//	sys, _ := orchestra.New(parsed.Spec,
+//		orchestra.WithBackend(orchestra.BackendIndexed),
+//		orchestra.WithDeletionStrategy(orchestra.DeleteProvenance))
+//	sys.Publish(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3))})
+//	sys.Exchange(ctx, "")                                 // import into the global view
+//	rows, _ := sys.Query(ctx, "", "ans(x,y) :- U(x,y)", false)
+//	info, _ := sys.Provenance(ctx, "", "B", orchestra.MakeTuple(3, 2))
+//
+// Every operation takes a context.Context; cancellation reaches the
+// engine's fixpoint loops and the provenance equation solver. A System
+// is safe for concurrent use: exchanges of different peers' views run in
+// parallel, operations on one view are serialized.
+//
+// Publications travel over a PublicationBus with append/fetch-since
+// semantics. The default in-memory bus runs everything embedded in one
+// process; NewHTTPBus connects the identical application code to a
+// shared publication service (BusServer, run standalone as
+// cmd/orchestrad), giving the paper's federated operating mode.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); runnable entry points are:
 //
 //   - cmd/orchestra    — update exchange, queries, and provenance over
 //     CDSS spec files;
+//   - cmd/orchestrad   — the shared publication service;
 //   - cmd/workloadgen  — §6.1 synthetic workload generation;
 //   - cmd/benchfig     — regeneration of the paper's Figures 4–10;
-//   - examples/…       — quickstart and domain scenarios.
+//   - examples/…       — quickstart and domain scenarios, all written
+//     against this package.
 //
 // The benchmarks in bench_test.go exercise the same per-figure harness
 // under `go test -bench`.

@@ -1,5 +1,6 @@
 // Bioshare: a synthetic bioinformatics confederation exercising the full
-// CDSS lifecycle at workload scale (paper §2 and §6.1).
+// CDSS lifecycle at workload scale (paper §2 and §6.1), on the public
+// orchestra API.
 //
 // Generates a 4-peer confederation from the SWISS-PROT-style workload
 // generator, then simulates several epochs of collaboration: peers insert
@@ -12,19 +13,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"orchestra/internal/core"
-	"orchestra/internal/trust"
-	"orchestra/internal/workload"
+	"orchestra"
 )
 
 func main() {
-	w, err := workload.New(workload.Config{
+	ctx := context.Background()
+	w, err := orchestra.NewWorkload(orchestra.WorkloadConfig{
 		Peers:    4,
-		Topology: workload.TopologyChain,
-		Dataset:  workload.DatasetInteger,
+		Topology: orchestra.TopologyChain,
+		Dataset:  orchestra.DatasetInteger,
 		Seed:     7,
 	})
 	if err != nil {
@@ -44,11 +45,13 @@ func main() {
 	}
 
 	// p3 distrusts everything p1 contributes (token-level trust).
-	pol := trust.NewPolicy("p3")
+	pol := orchestra.NewTrustPolicy("p3")
 	pol.DistrustPeer("p1")
-	w.Spec.Policies["p3"] = pol
 
-	c := core.NewCDSS(w.Spec, core.Options{}, core.DeleteProvenance)
+	sys, err := orchestra.New(w.Spec, orchestra.WithTrustFor("p3", pol))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("\n== Epochs ==")
 	for epoch := 1; epoch <= 3; epoch++ {
@@ -59,23 +62,26 @@ func main() {
 			if epoch >= 2 && peer == "p1" {
 				log1 = append(log1, w.GenDeletions("p1", 2)...)
 			}
-			if err := c.Publish(peer, log1); err != nil {
+			if err := sys.Publish(ctx, peer, log1); err != nil {
 				log.Fatal(err)
 			}
 		}
 		// Everyone exchanges.
-		statsByPeer, err := c.ExchangeAll()
+		statsByPeer, err := sys.ExchangeAll(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("epoch %d:\n", epoch)
 		for _, peer := range w.PeerNames() {
-			v, _ := c.View(peer)
 			var localRows, inputRows, outputRows int
 			for _, rel := range w.Spec.Universe.Peer(peer).Schema.Relations() {
-				localRows += v.LocalTable(rel.Name).Len()
-				inputRows += v.InputTable(rel.Name).Len()
-				outputRows += v.Instance(rel.Name).Len()
+				sizes, err := sys.TableSizes(peer, rel.Name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				localRows += sizes.Local
+				inputRows += sizes.Input
+				outputRows += sizes.Instance
 			}
 			st := statsByPeer[peer]
 			fmt.Printf("  %s: local=%d input=%d instance=%d  (+%d tuples derived, %d deleted this exchange)\n",
@@ -85,14 +91,18 @@ func main() {
 
 	// Trust divergence: p3's view (distrusting p1) vs p2's view.
 	fmt.Println("\n== Trust divergence ==")
-	v2, _ := c.View("p2")
-	v3, _ := c.View("p3")
 	rel3 := w.Spec.Universe.Peer("p3").Schema.Relations()[0].Name
-	fmt.Printf("p3's own instance of %s: %d rows under its distrust-p1 policy\n",
-		rel3, v3.Instance(rel3).Len())
-	fmt.Printf("p2's copy of %s (trusting everyone): %d rows\n",
-		rel3, v2.Instance(rel3).Len())
-	if v3.Instance(rel3).Len() < v2.Instance(rel3).Len() {
+	s3, err := sys.TableSizes("p3", rel3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := sys.TableSizes("p2", rel3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p3's own instance of %s: %d rows under its distrust-p1 policy\n", rel3, s3.Instance)
+	fmt.Printf("p2's copy of %s (trusting everyone): %d rows\n", rel3, s2.Instance)
+	if s3.Instance < s2.Instance {
 		fmt.Println("=> p3 sees fewer tuples: p1's contributions were filtered by trust.")
 	}
 }

@@ -1,18 +1,18 @@
 // Federation: the full CDSS stack across "nodes" (paper §2's operating
-// mode with central publication storage).
+// mode with central publication storage), on the public orchestra API.
 //
-// Starts the publication service (internal/share) on a loopback port
-// with durable storage (internal/logstore), then runs two independent
-// CDSS nodes that never talk to each other directly: each publishes its
-// peers' edit logs to the service, syncs the others' publications from
-// it, and runs update exchange locally. Their instances converge; a
-// simulated restart of node 2 rebuilds its state from scratch via the
-// service.
+// Starts the publication service (orchestra.BusServer) on a loopback
+// port with durable storage, then runs two independent CDSS nodes that
+// never talk to each other directly: each publishes its peers' edit
+// logs to the service through an HTTP bus, and runs update exchange
+// locally. Their instances converge; a simulated restart of node 2
+// rebuilds its state from scratch via the service.
 //
 // Run with: go run ./examples/federation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -20,10 +20,7 @@ import (
 	"os"
 	"path/filepath"
 
-	"orchestra/internal/core"
-	"orchestra/internal/logstore"
-	"orchestra/internal/share"
-	"orchestra/internal/spec"
+	"orchestra"
 )
 
 const cdss = `
@@ -38,7 +35,8 @@ mapping m4: B(i,c), U(n,c) -> B(i,n)
 `
 
 func main() {
-	parsed, err := spec.ParseString(cdss)
+	ctx := context.Background()
+	parsed, err := orchestra.ParseSpecString(cdss)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,15 +47,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	store, err := logstore.Open(filepath.Join(dir, "publications.log"))
-	if err != nil {
+
+	srv := orchestra.NewBusServer()
+	srv.ValidateAgainst(parsed.Spec)
+	if _, err := srv.PersistTo(filepath.Join(dir, "publications.log")); err != nil {
 		log.Fatal(err)
 	}
-	defer store.Close()
-
-	srv := share.NewServer()
-	srv.Validate = share.SpecValidator(parsed.Spec)
-	srv.Persist = store.Append
+	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -66,76 +62,79 @@ func main() {
 	url := "http://" + ln.Addr().String()
 	fmt.Printf("publication service at %s\n\n", url)
 
-	// --- Node 1 hosts PGUS; node 2 hosts PBioSQL and PuBio. ---
-	node1 := core.NewCDSS(parsed.Spec, core.Options{}, core.DeleteProvenance)
-	node2 := core.NewCDSS(parsed.Spec, core.Options{}, core.DeleteProvenance)
-	cl1, cl2 := share.NewClient(url), share.NewClient(url)
-	cur1, cur2 := 0, 0
+	// --- Node 1 hosts PGUS; node 2 hosts PBioSQL and PuBio. Both run
+	// the same code against the shared HTTP bus. ---
+	newNode := func() *orchestra.System {
+		sys, err := orchestra.New(parsed.Spec, orchestra.WithBus(orchestra.NewHTTPBus(url)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	node1, node2 := newNode(), newNode()
 
-	publish := func(cl *share.Client, peer string, log_ core.EditLog) {
-		if err := cl.Publish(peer, log_); err != nil {
+	publish := func(node *orchestra.System, peer string, log_ orchestra.EditLog) {
+		if err := node.Publish(ctx, peer, log_); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %s published %d edits\n", peer, len(log_))
 	}
 
 	fmt.Println("== Epoch 1: offline edits, publish ==")
-	publish(cl1, "PGUS", core.EditLog{
-		core.Ins("G", core.MakeTuple(1, 2, 3)),
-		core.Ins("G", core.MakeTuple(3, 5, 2)),
+	publish(node1, "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
+		orchestra.Ins("G", orchestra.MakeTuple(3, 5, 2)),
 	})
-	publish(cl2, "PBioSQL", core.EditLog{core.Ins("B", core.MakeTuple(3, 5))})
-	publish(cl2, "PuBio", core.EditLog{core.Ins("U", core.MakeTuple(2, 5))})
+	publish(node2, "PBioSQL", orchestra.EditLog{orchestra.Ins("B", orchestra.MakeTuple(3, 5))})
+	publish(node2, "PuBio", orchestra.EditLog{orchestra.Ins("U", orchestra.MakeTuple(2, 5))})
 
-	sync := func(name string, cl *share.Client, node *core.CDSS, cur *int) *core.View {
-		var err error
-		if *cur, err = cl.Sync(node, *cur); err != nil {
-			log.Fatal(err)
-		}
-		v, err := node.View("")
+	instanceLen := func(node *orchestra.System, rel string) int {
+		rows, err := node.Instance("", rel)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := node.Exchange(""); err != nil {
+		return len(rows)
+	}
+	sync := func(name string, node *orchestra.System) {
+		if _, err := node.Exchange(ctx, ""); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %s: B has %d rows, U has %d rows\n",
-			name, v.Instance("B").Len(), v.Instance("U").Len())
-		return v
+			name, instanceLen(node, "B"), instanceLen(node, "U"))
 	}
 
 	fmt.Println("\n== Both nodes sync + exchange ==")
-	v1 := sync("node1", cl1, node1, &cur1)
-	v2 := sync("node2", cl2, node2, &cur2)
-	if v1.Instance("B").Len() != v2.Instance("B").Len() {
+	sync("node1", node1)
+	sync("node2", node2)
+	if instanceLen(node1, "B") != instanceLen(node2, "B") {
 		log.Fatal("nodes diverged")
 	}
 	fmt.Println("  nodes agree ✓")
 
 	fmt.Println("\n== Epoch 2: PBioSQL curates away B(3,2) ==")
-	publish(cl2, "PBioSQL", core.EditLog{core.Del("B", core.MakeTuple(3, 2))})
-	v1 = sync("node1", cl1, node1, &cur1)
-	v2 = sync("node2", cl2, node2, &cur2)
-	if v1.Instance("B").Contains(core.MakeTuple(3, 2)) {
-		log.Fatal("rejection did not propagate")
+	publish(node2, "PBioSQL", orchestra.EditLog{orchestra.Del("B", orchestra.MakeTuple(3, 2))})
+	sync("node1", node1)
+	sync("node2", node2)
+	b1, err := node1.Instance("", "B")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range b1 {
+		if row.Equal(orchestra.MakeTuple(3, 2)) {
+			log.Fatal("rejection did not propagate")
+		}
 	}
 	fmt.Println("  rejection propagated to both nodes ✓")
 
 	fmt.Println("\n== Node 2 restarts and rebuilds from the service ==")
-	node2b := core.NewCDSS(parsed.Spec, core.Options{}, core.DeleteProvenance)
-	cur := 0
-	cl := share.NewClient(url)
-	if cur, err = cl.Sync(node2b, cur); err != nil {
-		log.Fatal(err)
-	}
-	vb, _ := node2b.View("")
-	if _, err := node2b.Exchange(""); err != nil {
+	node2b := newNode()
+	if _, err := node2b.Exchange(ctx, ""); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  rebuilt from %d publications: B has %d rows, U has %d rows\n",
-		cur, vb.Instance("B").Len(), vb.Instance("U").Len())
-	if vb.Instance("B").Len() != v2.Instance("B").Len() {
+		srv.Len(), instanceLen(node2b, "B"), instanceLen(node2b, "U"))
+	if instanceLen(node2b, "B") != instanceLen(node2, "B") {
 		log.Fatal("rebuilt node diverged")
 	}
-	fmt.Printf("  durable store holds %d publications for cold restarts ✓\n", store.Len())
+	fmt.Printf("  durable store holds %d publications for cold restarts ✓\n", srv.Len())
 }

@@ -1,4 +1,5 @@
-// Incremental: maintenance-strategy shootout (paper §4.2 and §6.3).
+// Incremental: maintenance-strategy shootout (paper §4.2 and §6.3),
+// driven through the public orchestra API.
 //
 // Loads a 5-peer, full-mappings CDSS (Figure 4's setting), then deletes a
 // growing share of the base data under each deletion strategy —
@@ -10,43 +11,50 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"orchestra/internal/core"
-	"orchestra/internal/engine"
-	"orchestra/internal/workload"
+	"orchestra"
 )
 
 const baseEntries = 60
 
-func buildLoaded(strategyName string) (*workload.Workload, *core.View) {
-	w, err := workload.New(workload.Config{
+func buildLoaded(strategy orchestra.DeletionStrategy) (*orchestra.Workload, *orchestra.System) {
+	ctx := context.Background()
+	w, err := orchestra.NewWorkload(orchestra.WorkloadConfig{
 		Peers:    5,
-		Topology: workload.TopologyComplete,
-		AttrMode: workload.AttrsShared, // full tgds: the paper's "full mappings"
-		Dataset:  workload.DatasetInteger,
+		Topology: orchestra.TopologyComplete,
+		AttrMode: orchestra.AttrsShared, // full tgds: the paper's "full mappings"
+		Dataset:  orchestra.DatasetInteger,
 		Seed:     42,
 	})
 	if err != nil {
-		log.Fatalf("%s: %v", strategyName, err)
+		log.Fatalf("%s: %v", strategy, err)
 	}
-	v, err := core.NewView(w.Spec, "", core.Options{Backend: engine.BackendIndexed})
+	sys, err := orchestra.New(w.Spec,
+		orchestra.WithBackend(orchestra.BackendIndexed),
+		orchestra.WithDeletionStrategy(strategy),
+	)
 	if err != nil {
-		log.Fatalf("%s: %v", strategyName, err)
+		log.Fatalf("%s: %v", strategy, err)
 	}
 	for _, peer := range w.PeerNames() {
-		if _, err := v.ApplyEdits(w.GenInsertions(peer, baseEntries), core.DeleteProvenance); err != nil {
-			log.Fatalf("%s: %v", strategyName, err)
+		if err := sys.Publish(ctx, peer, w.GenInsertions(peer, baseEntries)); err != nil {
+			log.Fatalf("%s: %v", strategy, err)
 		}
 	}
-	return w, v
+	if _, err := sys.Exchange(ctx, ""); err != nil {
+		log.Fatalf("%s: %v", strategy, err)
+	}
+	return w, sys
 }
 
 func main() {
-	strategies := []core.DeletionStrategy{
-		core.DeleteProvenance, core.DeleteDRed, core.DeleteRecompute,
+	ctx := context.Background()
+	strategies := []orchestra.DeletionStrategy{
+		orchestra.DeleteProvenance, orchestra.DeleteDRed, orchestra.DeleteRecompute,
 	}
 
 	fmt.Printf("%-6s", "del%")
@@ -58,25 +66,26 @@ func main() {
 	for _, pct := range []int{10, 30, 50, 70} {
 		fmt.Printf("%-6d", pct)
 		var sizes []int
-		var stats []core.ApplyStats
+		var stats []orchestra.ApplyStats
 		for _, strategy := range strategies {
-			w, v := buildLoaded(strategy.String())
+			w, sys := buildLoaded(strategy)
 			n := baseEntries * pct / 100
-			var logs []core.EditLog
 			for _, peer := range w.PeerNames() {
-				logs = append(logs, w.GenDeletions(peer, n))
-			}
-			start := time.Now()
-			var st core.ApplyStats
-			for _, lg := range logs {
-				s, err := v.ApplyEdits(lg, strategy)
-				st.Add(s)
-				if err != nil {
+				if err := sys.Publish(ctx, peer, w.GenDeletions(peer, n)); err != nil {
 					log.Fatal(err)
 				}
 			}
+			start := time.Now()
+			st, err := sys.Exchange(ctx, "")
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %-12s", time.Since(start).Round(time.Millisecond))
-			sizes = append(sizes, v.DB().TotalRows())
+			total, err := sys.TotalRows("")
+			if err != nil {
+				log.Fatal(err)
+			}
+			sizes = append(sizes, total)
 			stats = append(stats, st)
 		}
 		same := sizes[0] == sizes[1] && sizes[1] == sizes[2]

@@ -1,5 +1,6 @@
 // Provexplorer: the semiring-provenance model in action (paper §3.2–3.3
-// and the underlying "Provenance Semirings" framework).
+// and the underlying "Provenance Semirings" framework), on the public
+// orchestra API.
 //
 // Builds Example 6's configuration, then evaluates every derived tuple's
 // provenance in several semirings:
@@ -15,14 +16,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
-	"orchestra/internal/core"
-	"orchestra/internal/provenance"
-	"orchestra/internal/semiring"
-	"orchestra/internal/spec"
+	"orchestra"
 )
 
 const cdss = `
@@ -40,61 +39,66 @@ edit PGUS    + G(3,5,2)
 `
 
 func main() {
-	parsed, err := spec.ParseString(cdss)
+	ctx := context.Background()
+	parsed, err := orchestra.ParseSpecString(cdss)
 	if err != nil {
 		log.Fatal(err)
 	}
-	view, err := core.NewView(parsed.Spec, "", core.Options{})
+	sys, err := orchestra.New(parsed.Spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for peer, lg := range parsed.EditLogs() {
-		if _, err := view.ApplyEdits(lg, core.DeleteProvenance); err != nil {
-			log.Fatalf("%s: %v", peer, err)
-		}
+	if err := sys.PublishFileEdits(ctx, parsed); err != nil {
+		log.Fatal(err)
 	}
-	g := view.Graph()
+	if _, err := sys.Exchange(ctx, ""); err != nil {
+		log.Fatal(err)
+	}
+	g, err := sys.ProvenanceGraph("")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Example 6's token names.
-	p1 := provenance.NewRef(core.LocalRel("B"), core.MakeTuple(3, 5))
-	p2 := provenance.NewRef(core.LocalRel("U"), core.MakeTuple(2, 5))
-	p3 := provenance.NewRef(core.LocalRel("G"), core.MakeTuple(3, 5, 2))
-	names := map[provenance.Ref]string{p1: "p1", p2: "p2", p3: "p3"}
-	g.SetTokenNamer(func(r provenance.Ref) string {
+	p1 := orchestra.LocalRef("B", orchestra.MakeTuple(3, 5))
+	p2 := orchestra.LocalRef("U", orchestra.MakeTuple(2, 5))
+	p3 := orchestra.LocalRef("G", orchestra.MakeTuple(3, 5, 2))
+	names := map[orchestra.ProvRef]string{p1: "p1", p2: "p2", p3: "p3"}
+	g.SetTokenNamer(func(r orchestra.ProvRef) string {
 		if n, ok := names[r]; ok {
 			return n
 		}
 		return r.String()
 	})
 
-	b32 := provenance.NewRef(core.OutputRel("B"), core.MakeTuple(3, 2))
+	b32 := orchestra.InstanceRef("B", orchestra.MakeTuple(3, 2))
 	fmt.Println("== Provenance expression (Example 6) ==")
 	fmt.Printf("Pv(B(3,2)) = %s\n", g.ExprFor(b32, 0))
 
 	fmt.Println("\n== Trust in the boolean semiring (Example 7) ==")
 	scenarios := []struct {
 		desc     string
-		tokens   map[provenance.Ref]bool
+		tokens   map[orchestra.ProvRef]bool
 		mappings map[string]bool
 	}{
-		{"p1=T p2=D p3=T, all Θ=T", map[provenance.Ref]bool{p2: false}, nil},
-		{"distrust p2 and mapping m1", map[provenance.Ref]bool{p2: false}, map[string]bool{"m1": false}},
-		{"distrust p1 and p2", map[provenance.Ref]bool{p1: false, p2: false}, nil},
+		{"p1=T p2=D p3=T, all Θ=T", map[orchestra.ProvRef]bool{p2: false}, nil},
+		{"distrust p2 and mapping m1", map[orchestra.ProvRef]bool{p2: false}, map[string]bool{"m1": false}},
+		{"distrust p1 and p2", map[orchestra.ProvRef]bool{p1: false, p2: false}, nil},
 	}
 	for _, sc := range scenarios {
-		vals, err := provenance.Eval[bool](g, semiring.Bool{},
+		vals, err := orchestra.EvalProvenance[bool](ctx, g, orchestra.BoolSemiring{},
 			func(m string, x bool) bool {
 				if v, ok := sc.mappings[m]; ok {
 					return v && x
 				}
 				return x
 			},
-			func(r provenance.Ref) bool {
+			func(r orchestra.ProvRef) bool {
 				if v, ok := sc.tokens[r]; ok {
 					return v
 				}
 				return true
-			}, provenance.EvalOptions{})
+			})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -106,46 +110,46 @@ func main() {
 	}
 
 	fmt.Println("\n== Derivation counts (counting semiring) ==")
-	counts, err := provenance.Eval[int64](g, semiring.Count{}, semiring.Identity[int64](),
-		func(provenance.Ref) int64 { return 1 }, provenance.EvalOptions{})
+	counts, err := orchestra.EvalProvenance[int64](ctx, g, orchestra.CountSemiring{},
+		orchestra.IdentityMap[int64](),
+		func(orchestra.ProvRef) int64 { return 1 })
 	if err != nil {
 		log.Fatal(err)
 	}
 	printSorted(counts, func(v int64) string { return fmt.Sprintf("%d derivation(s)", v) })
 
 	fmt.Println("\n== Cheapest derivation cost (tropical semiring, 1 per mapping hop) ==")
-	costs, err := provenance.Eval[int64](g, semiring.Tropical{},
-		func(_ string, x int64) int64 { return semiring.Tropical{}.Mul(x, 1) },
-		func(provenance.Ref) int64 { return 0 }, provenance.EvalOptions{})
+	costs, err := orchestra.EvalProvenance[int64](ctx, g, orchestra.TropicalSemiring{},
+		func(_ string, x int64) int64 { return orchestra.TropicalSemiring{}.Mul(x, 1) },
+		func(orchestra.ProvRef) int64 { return 0 })
 	if err != nil {
 		log.Fatal(err)
 	}
 	printSorted(costs, func(v int64) string {
-		if v >= semiring.TropInf {
+		if v >= orchestra.TropicalInf {
 			return "unreachable"
 		}
 		return fmt.Sprintf("cost %d", v)
 	})
 
 	fmt.Println("\n== Lineage (which base tuples does it depend on?) ==")
-	lin, err := provenance.Eval[semiring.LineageElem](g, semiring.Lineage{},
-		semiring.Identity[semiring.LineageElem](),
-		func(r provenance.Ref) semiring.LineageElem { return semiring.Token(g.TokenName(r)) },
-		provenance.EvalOptions{})
+	lin, err := orchestra.EvalProvenance[orchestra.LineageElem](ctx, g, orchestra.LineageSemiring{},
+		orchestra.IdentityMap[orchestra.LineageElem](),
+		func(r orchestra.ProvRef) orchestra.LineageElem { return orchestra.LineageToken(g.TokenName(r)) })
 	if err != nil {
 		log.Fatal(err)
 	}
-	printSorted(lin, func(v semiring.LineageElem) string { return fmt.Sprintf("%v", []string(v.Set)) })
+	printSorted(lin, func(v orchestra.LineageElem) string { return fmt.Sprintf("%v", []string(v.Set)) })
 
 	fmt.Println("\n== Provenance graph (Graphviz DOT, cf. Example 5) ==")
 	fmt.Print(g.Dot(nil))
 }
 
-// printSorted prints derived-output tuples (Rᵒ tables) with their values.
-func printSorted[T any](vals map[provenance.Ref]T, show func(T) string) {
-	var keys []provenance.Ref
+// printSorted prints curated-instance tuples (Rᵒ nodes) with their values.
+func printSorted[T any](vals map[orchestra.ProvRef]T, show func(T) string) {
+	var keys []orchestra.ProvRef
 	for r := range vals {
-		if len(r.Rel) > 2 && r.Rel[len(r.Rel)-2:] == "$o" {
+		if orchestra.IsInstanceRef(r) {
 			keys = append(keys, r)
 		}
 	}

@@ -1,4 +1,5 @@
-// Quickstart: the paper's running bioinformatics example (Examples 1–7).
+// Quickstart: the paper's running bioinformatics example (Examples 1–7),
+// driven through the public orchestra API.
 //
 // Three peers — PGUS (Genomics Unified Schema), PBioSQL (BioPerl's
 // BioSQL), and PuBio (taxon synonyms) — share taxon data through four
@@ -10,13 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
 
-	"orchestra/internal/core"
-	"orchestra/internal/spec"
-	"orchestra/internal/value"
+	"orchestra"
 )
 
 const cdss = `
@@ -31,36 +30,39 @@ mapping m4: B(i,c), U(n,c) -> B(i,n)
 `
 
 func main() {
-	parsed, err := spec.ParseString(cdss)
+	ctx := context.Background()
+	parsed, err := orchestra.ParseSpecString(cdss)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// One CDSS; every peer gets its own view, we use the global one.
-	c := core.NewCDSS(parsed.Spec, core.Options{}, core.DeleteProvenance)
+	// One system; every peer could get its own view, we use the global one.
+	sys, err := orchestra.New(parsed.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Example 3's edit logs: each peer inserts locally, offline.
-	must(c.Publish("PGUS", core.EditLog{
-		core.Ins("G", core.MakeTuple(1, 2, 3)),
-		core.Ins("G", core.MakeTuple(3, 5, 2)),
+	must(sys.Publish(ctx, "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
+		orchestra.Ins("G", orchestra.MakeTuple(3, 5, 2)),
 	}))
-	must(c.Publish("PBioSQL", core.EditLog{core.Ins("B", core.MakeTuple(3, 5))}))
-	must(c.Publish("PuBio", core.EditLog{core.Ins("U", core.MakeTuple(2, 5))}))
+	must(sys.Publish(ctx, "PBioSQL", orchestra.EditLog{orchestra.Ins("B", orchestra.MakeTuple(3, 5))}))
+	must(sys.Publish(ctx, "PuBio", orchestra.EditLog{orchestra.Ins("U", orchestra.MakeTuple(2, 5))}))
 
-	view, err := c.View("")
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := c.Exchange(""); err != nil {
+	if _, err := sys.Exchange(ctx, ""); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("== Instances after update exchange (Example 3) ==")
 	for _, rel := range []string{"G", "B", "U"} {
-		tbl := view.Instance(rel)
+		rows, err := sys.Instance("", rel)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s:", rel)
-		for _, row := range tbl.Rows() {
-			fmt.Printf(" %s", describe(view, row))
+		for _, row := range rows {
+			fmt.Printf(" %s", describe(sys, row))
 		}
 		fmt.Println()
 	}
@@ -70,7 +72,7 @@ func main() {
 		"ans(x,y) :- U(x,z), U(y,z)",
 		"ans(x,y) :- U(x,y)",
 	} {
-		rows, err := view.Query(q, false)
+		rows, err := sys.Query(ctx, "", q, false)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,33 +85,39 @@ func main() {
 
 	fmt.Println("\n== Provenance (Example 6) ==")
 	for _, t := range [][]int{{3, 2}, {3, 3}} {
-		tup := core.MakeTuple(t[0], t[1])
-		fmt.Printf("Pv(B%s) = %s\n", tup, view.ProvOf("B", tup))
+		tup := orchestra.MakeTuple(t[0], t[1])
+		info, err := sys.Provenance(ctx, "", "B", tup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Pv(B%s) = %s\n", tup, info.Expr)
 	}
 
 	fmt.Println("\n== Curation deletion (end of Example 3) ==")
-	must(c.Publish("PBioSQL", core.EditLog{core.Del("B", core.MakeTuple(3, 2))}))
-	if _, err := c.Exchange(""); err != nil {
+	must(sys.Publish(ctx, "PBioSQL", orchestra.EditLog{orchestra.Del("B", orchestra.MakeTuple(3, 2))}))
+	if _, err := sys.Exchange(ctx, ""); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after PBioSQL rejects B(3,2):")
+	bRows, _ := sys.Instance("", "B")
 	fmt.Printf("B:")
-	for _, row := range view.Instance("B").Rows() {
+	for _, row := range bRows {
 		fmt.Printf(" %s", row)
 	}
+	uRows, _ := sys.Instance("", "U")
 	fmt.Printf("\nU:")
-	for _, row := range view.Instance("U").Rows() {
-		fmt.Printf(" %s", describe(view, row))
+	for _, row := range uRows {
+		fmt.Printf(" %s", describe(sys, row))
 	}
 	fmt.Println("\n(B lost (3,2) and the derived (3,3); U lost the m3 image of B(3,2).)")
 }
 
-func describe(v *core.View, row value.Tuple) string {
-	parts := make([]string, len(row))
-	for i, val := range row {
-		parts[i] = v.Skolems().Describe(val)
+func describe(sys *orchestra.System, row orchestra.Tuple) string {
+	desc, err := sys.Describe("", row)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return "(" + strings.Join(parts, ",") + ")"
+	return desc
 }
 
 func must(err error) {

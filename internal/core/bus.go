@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Publication is one peer's published edit log, as stored on a bus.
+type Publication struct {
+	Peer string
+	Log  EditLog
+}
+
+// PublicationBus is the shared storage through which peers make their
+// edit logs "globally available" (§2). It has append/fetch-since
+// semantics: publications form a totally ordered sequence; a cursor is
+// the number of publications already consumed. Implementations must be
+// safe for concurrent use.
+type PublicationBus interface {
+	// Append adds one publication to the end of the global sequence.
+	Append(ctx context.Context, peer string, log EditLog) error
+	// FetchSince returns every publication at or after cursor together
+	// with the new cursor (the sequence length at read time).
+	FetchSince(ctx context.Context, cursor int) ([]Publication, int, error)
+}
+
+// MemoryBus is the in-process PublicationBus: a mutex-guarded slice.
+// This is the `published` sequence that used to live inside CDSS,
+// extracted so the same exchange code can run against remote storage.
+type MemoryBus struct {
+	mu   sync.RWMutex
+	pubs []Publication
+}
+
+// NewMemoryBus returns an empty in-memory publication sequence.
+func NewMemoryBus() *MemoryBus { return &MemoryBus{} }
+
+// Append implements PublicationBus.
+func (b *MemoryBus) Append(ctx context.Context, peer string, log EditLog) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if peer == "" {
+		return fmt.Errorf("core: publication without peer")
+	}
+	b.mu.Lock()
+	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log})
+	b.mu.Unlock()
+	return nil
+}
+
+// FetchSince implements PublicationBus.
+func (b *MemoryBus) FetchSince(ctx context.Context, cursor int) ([]Publication, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cursor, err
+	}
+	if cursor < 0 {
+		return nil, cursor, fmt.Errorf("core: negative cursor %d", cursor)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if cursor > len(b.pubs) {
+		cursor = len(b.pubs)
+	}
+	out := make([]Publication, len(b.pubs)-cursor)
+	copy(out, b.pubs[cursor:])
+	return out, len(b.pubs), nil
+}
+
+// Len returns the number of publications on the bus.
+func (b *MemoryBus) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.pubs)
+}
+
+// PublishTo validates a peer's edit log against the spec and appends it
+// to a bus — the one publish algorithm shared by CDSS and the public
+// facade.
+func PublishTo(ctx context.Context, bus PublicationBus, spec *Spec, peer string, log EditLog) error {
+	if err := ValidateLog(spec, peer, log); err != nil {
+		return err
+	}
+	return bus.Append(ctx, peer, log)
+}
+
+// ExchangeInto imports every publication on the bus since cursor into a
+// view, in global publication order, and returns the new cursor — the
+// one exchange algorithm shared by CDSS and the public facade. On
+// error (including cancellation) the returned cursor is advanced only
+// past fully applied publications, so a retry resumes where it
+// stopped.
+func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+	pubs, next, err := bus.FetchSince(ctx, cursor)
+	if err != nil {
+		return cursor, ApplyStats{}, err
+	}
+	base := next - len(pubs)
+	var stats ApplyStats
+	for i, pub := range pubs {
+		s, err := v.ApplyEditsContext(ctx, pub.Log, strategy)
+		stats.Add(s)
+		if err != nil {
+			return base + i, stats, err
+		}
+	}
+	return next, stats, nil
+}
+
+// BusLen returns the current length of a bus's publication sequence
+// without transferring publication bodies: FetchSince clamps a cursor
+// past the end and reports the sequence length with no publications.
+func BusLen(ctx context.Context, bus PublicationBus) (int, error) {
+	_, n, err := bus.FetchSince(ctx, math.MaxInt)
+	return n, err
+}
+
+// ValidateLog checks that an edit log is legal for a peer under a spec:
+// the peer exists, every edit touches one of the peer's own relations
+// (peers edit only their local instance, §2), and arities match.
+func ValidateLog(spec *Spec, peer string, log EditLog) error {
+	p := spec.Universe.Peer(peer)
+	if p == nil {
+		return fmt.Errorf("core: unknown peer %q", peer)
+	}
+	for _, e := range log {
+		rel := spec.Universe.Relation(e.Rel)
+		if rel == nil {
+			return fmt.Errorf("core: edit %s references unknown relation", e)
+		}
+		if rel.Peer != peer {
+			return fmt.Errorf("core: peer %q cannot edit relation %q of peer %q", peer, e.Rel, rel.Peer)
+		}
+		if len(e.Tuple) != rel.Arity() {
+			return fmt.Errorf("core: edit %s has wrong arity for %s", e, rel.Name)
+		}
+	}
+	return nil
+}

@@ -1,43 +1,54 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"orchestra/internal/value"
 )
 
 // CDSS orchestrates a confederation of peers over one Spec: peers publish
-// edit logs (making them globally visible), and each peer performs update
-// exchange at its own pace, importing every log published since its last
-// exchange into its own view (§2's operational model). The special view
-// "" is the global trust-all observer used by experiments.
+// edit logs to a PublicationBus (making them globally visible), and each
+// peer performs update exchange at its own pace, importing every log
+// published since its last exchange into its own view (§2's operational
+// model). The special view "" is the global trust-all observer used by
+// experiments.
+//
+// A CDSS is not safe for concurrent use; the public orchestra facade
+// layers locking on top.
 type CDSS struct {
 	spec     *Spec
 	opts     Options
 	strategy DeletionStrategy
 
+	// bus is the global publication sequence (in-memory by default).
+	bus PublicationBus
+	// views maps owner → materialized view.
 	views map[string]*View
-	// published is the global publication sequence.
-	published []publication
 	// cursor[viewOwner] = number of publications already consumed.
 	cursor map[string]int
 }
 
-type publication struct {
-	peer string
-	log  EditLog
+// NewCDSS creates the orchestrator over a private in-memory bus.
+func NewCDSS(spec *Spec, opts Options, strategy DeletionStrategy) *CDSS {
+	return NewCDSSOn(NewMemoryBus(), spec, opts, strategy)
 }
 
-// NewCDSS creates the orchestrator.
-func NewCDSS(spec *Spec, opts Options, strategy DeletionStrategy) *CDSS {
+// NewCDSSOn creates the orchestrator over an existing publication bus —
+// possibly remote, possibly shared with other CDSS nodes.
+func NewCDSSOn(bus PublicationBus, spec *Spec, opts Options, strategy DeletionStrategy) *CDSS {
 	return &CDSS{
 		spec:     spec,
 		opts:     opts,
 		strategy: strategy,
+		bus:      bus,
 		views:    make(map[string]*View),
 		cursor:   make(map[string]int),
 	}
 }
+
+// Bus returns the publication bus the CDSS exchanges through.
+func (c *CDSS) Bus() PublicationBus { return c.bus }
 
 // Spec returns the CDSS description.
 func (c *CDSS) Spec() *Spec { return c.spec }
@@ -60,24 +71,13 @@ func (c *CDSS) View(peer string) (*View, error) {
 // validating that every edit touches one of the peer's own relations
 // (peers edit only their local instance, §2).
 func (c *CDSS) Publish(peer string, log EditLog) error {
-	p := c.spec.Universe.Peer(peer)
-	if p == nil {
-		return fmt.Errorf("core: unknown peer %q", peer)
-	}
-	for _, e := range log {
-		rel := c.spec.Universe.Relation(e.Rel)
-		if rel == nil {
-			return fmt.Errorf("core: edit %s references unknown relation", e)
-		}
-		if rel.Peer != peer {
-			return fmt.Errorf("core: peer %q cannot edit relation %q of peer %q", peer, e.Rel, rel.Peer)
-		}
-		if len(e.Tuple) != rel.Arity() {
-			return fmt.Errorf("core: edit %s has wrong arity for %s", e, rel.Name)
-		}
-	}
-	c.published = append(c.published, publication{peer: peer, log: log})
-	return nil
+	return c.PublishContext(context.Background(), peer, log)
+}
+
+// PublishContext is Publish with a cancellation context for the bus
+// round-trip.
+func (c *CDSS) PublishContext(ctx context.Context, peer string, log EditLog) error {
+	return PublishTo(ctx, c.bus, c.spec, peer, log)
 }
 
 // Exchange performs update exchange for a peer: all publications since
@@ -85,35 +85,39 @@ func (c *CDSS) Publish(peer string, log EditLog) error {
 // publication order, with deletions propagated by the configured
 // strategy and trust applied per the view owner's policy.
 func (c *CDSS) Exchange(peer string) (ApplyStats, error) {
+	return c.ExchangeContext(context.Background(), peer)
+}
+
+// ExchangeContext is Exchange with cancellation plumbed into the bus
+// fetch and the engine's fixpoint loops.
+func (c *CDSS) ExchangeContext(ctx context.Context, peer string) (ApplyStats, error) {
 	v, err := c.View(peer)
 	if err != nil {
 		return ApplyStats{}, err
 	}
-	var stats ApplyStats
-	for i := c.cursor[peer]; i < len(c.published); i++ {
-		s, err := v.ApplyEdits(c.published[i].log, c.strategy)
-		stats.Add(s)
-		if err != nil {
-			return stats, err
-		}
-		c.cursor[peer] = i + 1
-	}
-	return stats, nil
+	next, stats, err := ExchangeInto(ctx, c.bus, v, c.cursor[peer], c.strategy)
+	c.cursor[peer] = next
+	return stats, err
 }
 
 // ExchangeAll runs Exchange for every peer (and the global view if it has
 // been created), in peer registration order.
 func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
+	return c.ExchangeAllContext(context.Background())
+}
+
+// ExchangeAllContext is ExchangeAll with cancellation.
+func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, error) {
 	out := make(map[string]ApplyStats)
 	for _, p := range c.spec.Universe.Peers() {
-		s, err := c.Exchange(p.Name)
+		s, err := c.ExchangeContext(ctx, p.Name)
 		out[p.Name] = s
 		if err != nil {
 			return out, err
 		}
 	}
 	if _, ok := c.views[""]; ok {
-		s, err := c.Exchange("")
+		s, err := c.ExchangeContext(ctx, "")
 		out[""] = s
 		if err != nil {
 			return out, err
@@ -123,7 +127,13 @@ func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
 }
 
 // Pending reports how many publications a peer has not yet imported.
-func (c *CDSS) Pending(peer string) int { return len(c.published) - c.cursor[peer] }
+func (c *CDSS) Pending(peer string) (int, error) {
+	n, err := BusLen(context.Background(), c.bus)
+	if err != nil {
+		return 0, err
+	}
+	return max(n-c.cursor[peer], 0), nil
+}
 
 // MakeTuple is a convenience for building tuples in specs and tests:
 // ints become integer values, strings become string values.

@@ -473,8 +473,8 @@ func TestCDSSOrchestration(t *testing.T) {
 	if err := c.Publish("PuBio", example3Logs()["PuBio"]); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Pending("PBioSQL"); got != 3 {
-		t.Fatalf("Pending = %d", got)
+	if got, err := c.Pending("PBioSQL"); err != nil || got != 3 {
+		t.Fatalf("Pending = %d, %v", got, err)
 	}
 	stats, err := c.Exchange("PBioSQL")
 	if err != nil {
@@ -483,8 +483,8 @@ func TestCDSSOrchestration(t *testing.T) {
 	if stats.InsL != 4 {
 		t.Fatalf("InsL = %d, want 4", stats.InsL)
 	}
-	if c.Pending("PBioSQL") != 0 {
-		t.Fatal("pending after exchange")
+	if got, err := c.Pending("PBioSQL"); err != nil || got != 0 {
+		t.Fatalf("pending after exchange: %d, %v", got, err)
 	}
 	v, _ := c.View("PBioSQL")
 	if v.Instance("B").Len() != 4 {
@@ -510,8 +510,8 @@ func TestCDSSOrchestration(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []string{"PGUS", "PBioSQL", "PuBio"} {
-		if c.Pending(p) != 0 {
-			t.Fatalf("peer %s still pending", p)
+		if got, err := c.Pending(p); err != nil || got != 0 {
+			t.Fatalf("peer %s still pending: %d, %v", p, got, err)
 		}
 	}
 }

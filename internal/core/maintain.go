@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,6 +71,12 @@ func (s *ApplyStats) Add(other ApplyStats) {
 // and recomputes it from the base tables — the non-incremental baseline
 // of §6.3.
 func (v *View) FullRecompute() (engine.Stats, error) {
+	return v.FullRecomputeContext(context.Background())
+}
+
+// FullRecomputeContext is FullRecompute with cancellation plumbed into
+// the fixpoint loop.
+func (v *View) FullRecomputeContext(ctx context.Context) (engine.Stats, error) {
 	for _, rel := range v.spec.Universe.Relations() {
 		v.db.Table(InputRel(rel.Name)).Clear()
 		v.db.Table(OutputRel(rel.Name)).Clear()
@@ -78,18 +85,24 @@ func (v *View) FullRecompute() (engine.Stats, error) {
 		v.db.Table(mi.ProvRel).Clear()
 	}
 	v.ev.InvalidateAllTransient()
-	return v.ev.Run()
+	return v.ev.RunContext(ctx)
 }
 
 // ApplyEdits applies one peer-published edit log to the view: net effect
 // over Rℓ/Rr, then deletion propagation with the chosen strategy, then
 // insertion propagation. This is the per-exchange maintenance entry point.
 func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
+	return v.ApplyEditsContext(context.Background(), log, strategy)
+}
+
+// ApplyEditsContext is ApplyEdits with cancellation plumbed through the
+// propagation fixpoints.
+func (v *View) ApplyEditsContext(ctx context.Context, log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
 	dl, dr, err := NetEffect(log, v.db)
 	if err != nil {
 		return ApplyStats{}, err
 	}
-	return v.ApplyBase(dl, dr, strategy)
+	return v.ApplyBaseContext(ctx, dl, dr, strategy)
 }
 
 // ApplyBase applies base-table deltas: dl over local-contribution tables,
@@ -97,28 +110,74 @@ func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, e
 // Deletion effects (local deletions, new rejections) propagate first,
 // then insertion effects (new contributions, withdrawn rejections).
 func (v *View) ApplyBase(dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
+	return v.ApplyBaseContext(context.Background(), dl, dr, strategy)
+}
+
+// ApplyBaseContext is ApplyBase with cancellation plumbed through the
+// propagation fixpoints. An interrupted operation leaves the view
+// marked dirty; the next maintenance operation (or query) first
+// repairs it by recomputing derived state from the base tables, which
+// commit before any cancellable point.
+func (v *View) ApplyBaseContext(ctx context.Context, dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
 	var stats ApplyStats
+	if err := v.repairIfDirty(ctx, &stats); err != nil {
+		return stats, err
+	}
+	v.dirty = true
 
 	switch strategy {
 	case DeleteRecompute:
 		// Apply every base change, then rebuild.
 		v.applyBaseChanges(dl, dr, &stats)
-		es, err := v.FullRecompute()
+		es, err := v.FullRecomputeContext(ctx)
 		stats.Engine.Add(es)
-		return stats, err
+		if err != nil {
+			return stats, err
+		}
+		v.dirty = false
+		return stats, nil
 	case DeleteDRed:
-		if err := v.deleteDRed(dl, dr, &stats); err != nil {
+		if err := v.deleteDRed(ctx, dl, dr, &stats); err != nil {
 			return stats, err
 		}
 	default:
-		if err := v.deleteProvenance(dl, dr, &stats); err != nil {
+		if err := v.deleteProvenance(ctx, dl, dr, &stats); err != nil {
 			return stats, err
 		}
 	}
-	if err := v.insertIncremental(dl, dr, &stats); err != nil {
+	if err := v.insertIncremental(ctx, dl, dr, &stats); err != nil {
 		return stats, err
 	}
+	v.dirty = false
 	return stats, nil
+}
+
+// Repair recomputes derived state from the base tables if a previous
+// maintenance operation was interrupted mid-propagation; it is a no-op
+// on a clean view. Read paths that bypass maintenance (snapshots,
+// instance dumps, provenance rendering) call it so they never observe
+// partially propagated state.
+func (v *View) Repair(ctx context.Context) error {
+	var stats ApplyStats
+	return v.repairIfDirty(ctx, &stats)
+}
+
+// repairIfDirty recomputes derived state from the base tables when a
+// previous maintenance operation was interrupted mid-propagation.
+// Without this, retrying the interrupted edit log would be a silent
+// no-op: its base changes are already committed, so NetEffect yields
+// empty deltas and the lost propagation would never happen.
+func (v *View) repairIfDirty(ctx context.Context, stats *ApplyStats) error {
+	if !v.dirty {
+		return nil
+	}
+	es, err := v.FullRecomputeContext(ctx)
+	stats.Engine.Add(es)
+	if err != nil {
+		return err
+	}
+	v.dirty = false
+	return nil
 }
 
 // applyBaseChanges applies all four kinds of base change without any
@@ -155,7 +214,7 @@ func (v *View) applyBaseChanges(dl, dr storage.DeltaSet, stats *ApplyStats) {
 // insertIncremental applies the insertion-side base changes (new local
 // contributions from dl, withdrawn rejections from dr) and propagates
 // them semi-naively with inline trust filtering (§4.2).
-func (v *View) insertIncremental(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+func (v *View) insertIncremental(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
 	delta := storage.DeltaSet{}
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
@@ -188,7 +247,7 @@ func (v *View) insertIncremental(dl, dr storage.DeltaSet, stats *ApplyStats) err
 	if delta.Empty() {
 		return nil
 	}
-	es, err := v.ev.PropagateInsertions(delta)
+	es, err := v.ev.PropagateInsertionsContext(ctx, delta)
 	stats.Engine.Add(es)
 	return err
 }
@@ -208,7 +267,7 @@ type provHandle struct {
 // tested for derivability from the EDB via the goal-directed inverse
 // program (§4.1.3), and garbage-collected if the test fails (this is what
 // collects derivation cycles no longer anchored in local contributions).
-func (v *View) deleteProvenance(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
 	var work []provenance.Ref // tuples deleted, pending source-cascade
 	var provDel []provHandle  // provenance rows pending deletion
 	deleted := make(map[provenance.Ref]bool)
@@ -310,7 +369,7 @@ func (v *View) deleteProvenance(dl, dr storage.DeltaSet, stats *ApplyStats) erro
 			break
 		}
 		stats.Checked += len(pending)
-		alive, err := v.derivable(pending, stats)
+		alive, err := v.derivable(ctx, pending, stats)
 		if err != nil {
 			return err
 		}
@@ -432,7 +491,7 @@ func (v *View) probeTemplate(mi *provenance.MappingInfo, tmpl *provenance.AtomTe
 // re-run the (trust-filtered) mapping program forward on a scratch
 // database seeded with exactly that support, and report which suspects
 // reappear.
-func (v *View) derivable(refs []provenance.Ref, stats *ApplyStats) (map[provenance.Ref]bool, error) {
+func (v *View) derivable(ctx context.Context, refs []provenance.Ref, stats *ApplyStats) (map[provenance.Ref]bool, error) {
 	if err := v.ensureChk(); err != nil {
 		return nil, err
 	}
@@ -460,7 +519,7 @@ func (v *View) derivable(refs []provenance.Ref, stats *ApplyStats) (map[provenan
 		})
 	}
 	// Forward: fixpoint over the support.
-	es, err := v.chkEv.Run()
+	es, err := v.chkEv.RunContext(ctx)
 	stats.Engine.Add(es)
 	if err != nil {
 		return nil, err
@@ -481,9 +540,17 @@ func (v *View) derivable(refs []provenance.Ref, stats *ApplyStats) (map[provenan
 // transiently inside deletion propagation; after any maintenance
 // operation completes, presence and derivability coincide.
 func (v *View) Derivability(rel string, t value.Tuple) (bool, []provenance.Ref, error) {
+	return v.DerivabilityContext(context.Background(), rel, t)
+}
+
+// DerivabilityContext is Derivability with cancellation.
+func (v *View) DerivabilityContext(ctx context.Context, rel string, t value.Tuple) (bool, []provenance.Ref, error) {
 	ref := provenance.NewRef(OutputRel(rel), t)
 	var stats ApplyStats
-	alive, err := v.derivable([]provenance.Ref{ref}, &stats)
+	if err := v.repairIfDirty(ctx, &stats); err != nil {
+		return false, nil, err
+	}
+	alive, err := v.derivable(ctx, []provenance.Ref{ref}, &stats)
 	if err != nil {
 		return false, nil, err
 	}
@@ -567,7 +634,7 @@ func (v *View) ensureChk() error {
 // alternative derivations), then the program is re-run to fixpoint to
 // re-derive survivors — re-insertion being the expensive step the paper
 // measures against.
-func (v *View) deleteDRed(dl, dr storage.DeltaSet, stats *ApplyStats) error {
+func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
 	var work []provenance.Ref
 	var provDel []provHandle
 	deleted := make(map[provenance.Ref]bool)
@@ -633,7 +700,7 @@ func (v *View) deleteDRed(dl, dr storage.DeltaSet, stats *ApplyStats) error {
 
 	// Re-derivation: full fixpoint from the surviving state.
 	v.ev.InvalidateAllTransient()
-	es, err := v.ev.Run()
+	es, err := v.ev.RunContext(ctx)
 	stats.Engine.Add(es)
 	stats.Rederived += es.Derived
 	return err

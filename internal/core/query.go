@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,11 +25,16 @@ import (
 // Body relations are user relation names; they are answered from the Rᵒ
 // instances.
 func (v *View) Query(q string, includeNulls bool) ([]value.Tuple, error) {
+	return v.QueryContext(context.Background(), q, includeNulls)
+}
+
+// QueryContext is Query with cancellation plumbed into the evaluation.
+func (v *View) QueryContext(ctx context.Context, q string, includeNulls bool) ([]value.Tuple, error) {
 	rule, err := v.parseQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return v.QueryRule(rule, includeNulls)
+	return v.QueryRuleContext(ctx, rule, includeNulls)
 }
 
 // parseQuery parses "head :- body [where pred]" over user relations.
@@ -77,6 +83,15 @@ func (v *View) parseQuery(q string) (*datalog.Rule, error) {
 // QueryRule evaluates an already-built conjunctive query rule whose body
 // atoms reference internal relations of the view.
 func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
+	return v.QueryRuleContext(context.Background(), rule, includeNulls)
+}
+
+// QueryRuleContext is QueryRule with cancellation.
+func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
+	var repairStats ApplyStats
+	if err := v.repairIfDirty(ctx, &repairStats); err != nil {
+		return nil, err
+	}
 	tmp := "q$" + rule.Head.Pred
 	if v.db.Table(tmp) != nil {
 		return nil, fmt.Errorf("core: query workspace %q busy", tmp)
@@ -93,7 +108,7 @@ func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, 
 	if err != nil {
 		return nil, err
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	var out []value.Tuple

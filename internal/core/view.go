@@ -51,6 +51,13 @@ type View struct {
 	// inv is the lazily-built declarative inverse-rule program (§4.1.3).
 	inv *inverseState
 
+	// dirty marks derived state as possibly inconsistent with the base
+	// tables: a maintenance operation started but did not finish (e.g.
+	// its propagation fixpoint was cancelled). Base edits commit before
+	// any cancellable point, so the next operation repairs by full
+	// recomputation from the base tables.
+	dirty bool
+
 	// bySourceRel indexes (mapping, source-template) pairs by source
 	// relation, for the deletion cascade.
 	bySourceRel map[string][]mappingSource

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"orchestra/internal/datalog"
@@ -121,8 +122,18 @@ func (ev *Evaluator) Program() *datalog.Program { return ev.prog }
 // (naive first round per stratum, then semi-naive rounds). It returns
 // evaluation statistics.
 func (ev *Evaluator) Run() (Stats, error) {
+	return ev.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the fixpoint loop stops between
+// rounds when ctx is done, returning ctx.Err(). Tables may then hold a
+// partially propagated state; callers that continue must recompute.
+func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
 	var stats Stats
 	for _, st := range ev.strata {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		// First round: naive evaluation of every rule in the stratum.
 		// Derived rows are buffered and applied after the whole round —
 		// tables stay immutable during a round, so per-call hash builds
@@ -140,7 +151,7 @@ func (ev *Evaluator) Run() (Stats, error) {
 			ev.applyDerived(batch.pred, batch.rows, changed, &stats)
 		}
 		stats.Iterations++
-		if err := ev.seminaiveLoop(st, changed, &stats); err != nil {
+		if err := ev.seminaiveLoop(ctx, st, changed, &stats); err != nil {
 			return stats, err
 		}
 	}
@@ -157,6 +168,12 @@ type derivedBatch struct {
 // fixpoint: delta maps relation names to the tuples that were newly
 // inserted into them. Only insertion deltas are consulted.
 func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) {
+	return ev.PropagateInsertionsContext(context.Background(), delta)
+}
+
+// PropagateInsertionsContext is PropagateInsertions with cancellation
+// checked between semi-naive rounds.
+func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta storage.DeltaSet) (Stats, error) {
 	var stats Stats
 	// Seed per-stratum change sets with the base delta; changes produced
 	// in earlier strata remain visible to later ones.
@@ -168,7 +185,7 @@ func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) 
 		}
 	}
 	for _, st := range ev.strata {
-		if err := ev.seminaiveLoop(st, pending, &stats); err != nil {
+		if err := ev.seminaiveLoop(ctx, st, pending, &stats); err != nil {
 			return stats, err
 		}
 	}
@@ -180,7 +197,7 @@ func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) 
 // seen so far during the enclosing operation: the loop consumes the
 // entries relevant to this stratum but leaves them in place for later
 // strata.
-func (ev *Evaluator) seminaiveLoop(st *datalog.Stratum, changed map[string][]value.Tuple, stats *Stats) error {
+func (ev *Evaluator) seminaiveLoop(ctx context.Context, st *datalog.Stratum, changed map[string][]value.Tuple, stats *Stats) error {
 	// Which preds does this stratum read?
 	reads := make(map[string]bool)
 	for _, r := range st.Rules {
@@ -196,6 +213,9 @@ func (ev *Evaluator) seminaiveLoop(st *datalog.Stratum, changed map[string][]val
 		}
 	}
 	for iter := 0; len(work) > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if iter >= ev.opts.MaxIterations {
 			return fmt.Errorf("engine: stratum exceeded %d iterations (non-terminating mappings?)", ev.opts.MaxIterations)
 		}

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"fmt"
 
 	"orchestra/internal/semiring"
@@ -23,6 +24,12 @@ type EvalOptions struct {
 // Example 7); mapFn interprets mapping applications (transparent internal
 // mappings are skipped). It returns the value of every tuple node.
 func Eval[T any](g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
+	return EvalContext(context.Background(), g, s, mapFn, baseVal, opts)
+}
+
+// EvalContext is Eval with cancellation: the Kleene iteration checks ctx
+// between rounds and returns ctx.Err() when it is done.
+func EvalContext[T any](ctx context.Context, g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 10_000
@@ -44,6 +51,9 @@ func Eval[T any](g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], base
 
 	// Derived nodes: Kleene iteration to the least fixpoint.
 	for iter := 0; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if iter >= maxIter {
 			return nil, fmt.Errorf("provenance: evaluation did not converge within %d iterations", maxIter)
 		}

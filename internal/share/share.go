@@ -15,6 +15,7 @@ package share
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -104,8 +105,7 @@ func NewServer() *Server { return &Server{} }
 // SpecValidator builds a Validate func from a CDSS spec.
 func SpecValidator(spec *core.Spec) func(string, core.EditLog) error {
 	return func(peer string, log core.EditLog) error {
-		probe := core.NewCDSS(spec, core.Options{}, core.DeleteProvenance)
-		return probe.Publish(peer, log)
+		return core.ValidateLog(spec, peer, log)
 	}
 }
 
@@ -212,48 +212,23 @@ func NewClient(baseURL string) *Client {
 
 // Publish sends one edit log to the service.
 func (c *Client) Publish(peer string, log core.EditLog) error {
-	payload, err := json.Marshal(toWire(peer, log))
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/publish", "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("share: publish: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return (&Bus{cl: c}).Append(context.Background(), peer, log)
 }
 
 // Fetch retrieves publications at or after cursor, returning them with
 // the new cursor.
 func (c *Client) Fetch(cursor int) ([]core.EditLog, []string, int, error) {
-	resp, err := c.HTTP.Get(fmt.Sprintf("%s/since?cursor=%d", c.BaseURL, cursor))
+	pubs, next, err := (&Bus{cl: c}).FetchSince(context.Background(), cursor)
 	if err != nil {
-		return nil, nil, cursor, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, nil, cursor, fmt.Errorf("share: fetch: %s", resp.Status)
-	}
-	var sr sinceResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		return nil, nil, cursor, err
 	}
 	var logs []core.EditLog
 	var peers []string
-	for _, wp := range sr.Publications {
-		peer, log, err := fromWire(wp)
-		if err != nil {
-			return nil, nil, cursor, err
-		}
-		peers = append(peers, peer)
-		logs = append(logs, log)
+	for _, p := range pubs {
+		peers = append(peers, p.Peer)
+		logs = append(logs, p.Log)
 	}
-	return logs, peers, sr.Cursor, nil
+	return logs, peers, next, nil
 }
 
 // Sync pulls every unseen publication into a CDSS, returning the new
@@ -269,4 +244,70 @@ func (c *Client) Sync(cdss *core.CDSS, cursor int) (int, error) {
 		}
 	}
 	return next, nil
+}
+
+// Bus adapts the HTTP client to core.PublicationBus, so the same
+// application code runs embedded (core.MemoryBus) or federated against a
+// remote publication service.
+type Bus struct {
+	cl *Client
+}
+
+// NewBus returns a PublicationBus backed by the service at baseURL.
+func NewBus(baseURL string) *Bus { return &Bus{cl: NewClient(baseURL)} }
+
+// Client exposes the underlying HTTP client (e.g. to swap transports).
+func (b *Bus) Client() *Client { return b.cl }
+
+// Append implements core.PublicationBus by POSTing to /publish.
+func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
+	payload, err := json.Marshal(toWire(peer, log))
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.cl.BaseURL+"/publish", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.cl.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("share: publish: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// FetchSince implements core.PublicationBus by GETting /since.
+func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/since?cursor=%d", b.cl.BaseURL, cursor), nil)
+	if err != nil {
+		return nil, cursor, err
+	}
+	resp, err := b.cl.HTTP.Do(req)
+	if err != nil {
+		return nil, cursor, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, cursor, fmt.Errorf("share: fetch: %s", resp.Status)
+	}
+	var sr sinceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, cursor, err
+	}
+	pubs := make([]core.Publication, 0, len(sr.Publications))
+	for _, wp := range sr.Publications {
+		peer, log, err := fromWire(wp)
+		if err != nil {
+			return nil, cursor, err
+		}
+		pubs = append(pubs, core.Publication{Peer: peer, Log: log})
+	}
+	return pubs, sr.Cursor, nil
 }

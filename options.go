@@ -1,0 +1,62 @@
+package orchestra
+
+import (
+	"orchestra/internal/core"
+	"orchestra/internal/trust"
+)
+
+// config collects the functional options of New.
+type config struct {
+	opts     core.Options
+	strategy core.DeletionStrategy
+	bus      core.PublicationBus
+	policies map[string]*trust.Policy
+}
+
+// Option configures a System at construction time.
+type Option func(*config)
+
+// WithBackend selects the physical evaluation engine (BackendIndexed or
+// BackendHash). The default is BackendIndexed.
+func WithBackend(b Backend) Option {
+	return func(c *config) { c.opts.Backend = b }
+}
+
+// WithDeletionStrategy selects how deletions propagate during exchange
+// (DeleteProvenance, DeleteDRed, or DeleteRecompute). The default is the
+// paper's provenance-driven incremental algorithm.
+func WithDeletionStrategy(s DeletionStrategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithMaxIterations bounds every fixpoint loop as a safety net against
+// non-terminating mapping sets (0 = engine default).
+func WithMaxIterations(n int) Option {
+	return func(c *config) { c.opts.MaxIterations = n }
+}
+
+// WithSplitProvTables reverts §5's composite-mapping-table optimization:
+// one provenance table per RHS atom instead of one per mapping.
+func WithSplitProvTables(on bool) Option {
+	return func(c *config) { c.opts.SplitProvTables = on }
+}
+
+// WithBus selects the publication bus the system exchanges through: an
+// in-memory bus (the default, private to this System), or an HTTP bus
+// shared with other nodes of the confederation (see NewHTTPBus).
+func WithBus(bus PublicationBus) Option {
+	return func(c *config) { c.bus = bus }
+}
+
+// WithTrustFor installs (or overrides) a peer's trust policy. The Spec
+// passed to New is not mutated: New builds the System over a copy with
+// the merged policy map, so one parsed Spec can safely back several
+// Systems with different trust configurations.
+func WithTrustFor(peer string, pol *TrustPolicy) Option {
+	return func(c *config) {
+		if c.policies == nil {
+			c.policies = make(map[string]*trust.Policy)
+		}
+		c.policies[peer] = pol
+	}
+}

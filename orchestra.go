@@ -1,0 +1,302 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"orchestra/internal/core"
+)
+
+// System is the public facade over one CDSS node: a set of materialized
+// peer views attached to a publication bus. Peers publish edit logs to
+// the bus; each view imports the publications it has not yet seen when
+// its owner runs Exchange (§2's operational model). The special owner ""
+// names the global trust-all observer view.
+//
+// A System is safe for concurrent use: view creation and per-view
+// cursors are guarded by a read-write lock, and every operation that
+// touches a view's database is serialized per view, so exchanges of
+// different peers' views proceed in parallel while two exchanges of the
+// same view never interleave.
+type System struct {
+	spec     *core.Spec
+	opts     core.Options
+	strategy core.DeletionStrategy
+	bus      core.PublicationBus
+
+	// mu guards the views map.
+	mu    sync.RWMutex
+	views map[string]*viewHandle
+}
+
+// viewHandle pairs a materialized view with its bus cursor and the lock
+// serializing all operations against the view's database.
+type viewHandle struct {
+	mu     sync.Mutex
+	view   *core.View
+	cursor int
+}
+
+// New builds a System over a validated Spec. By default it runs embedded
+// — in-memory bus, indexed backend, provenance-driven deletions; the
+// options select other backends, strategies, trust policies, and buses.
+func New(sp *Spec, opts ...Option) (*System, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("orchestra: nil spec")
+	}
+	cfg := config{strategy: core.DeleteProvenance}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.policies != nil {
+		// Re-validate over a merged policy map so the caller's Spec stays
+		// untouched and shareable across Systems.
+		merged := make(map[string]*TrustPolicy, len(sp.Policies)+len(cfg.policies))
+		for peer, pol := range sp.Policies {
+			merged[peer] = pol
+		}
+		for peer, pol := range cfg.policies {
+			merged[peer] = pol
+		}
+		var err error
+		if sp, err = core.NewSpec(sp.Universe, sp.Mappings, merged); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.bus == nil {
+		cfg.bus = core.NewMemoryBus()
+	}
+	return &System{
+		spec:     sp,
+		opts:     cfg.opts,
+		strategy: cfg.strategy,
+		bus:      cfg.bus,
+		views:    make(map[string]*viewHandle),
+	}, nil
+}
+
+// Spec returns the CDSS description the system runs over.
+func (s *System) Spec() *Spec { return s.spec }
+
+// Bus returns the publication bus the system exchanges through.
+func (s *System) Bus() PublicationBus { return s.bus }
+
+// Peers lists the confederation's peers in registration order.
+func (s *System) Peers() []string {
+	peers := s.spec.Universe.Peers()
+	out := make([]string, len(peers))
+	for i, p := range peers {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// RelationNames lists every user relation in the confederation.
+func (s *System) RelationNames() []string {
+	rels := s.spec.Universe.Relations()
+	out := make([]string, len(rels))
+	for i, r := range rels {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// handle returns (lazily creating) the handle of an owner's view.
+func (s *System) handle(owner string) (*viewHandle, error) {
+	s.mu.RLock()
+	h, ok := s.views[owner]
+	s.mu.RUnlock()
+	if ok {
+		return h, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.views[owner]; ok {
+		return h, nil
+	}
+	v, err := core.NewView(s.spec, owner, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	h = &viewHandle{view: v}
+	s.views[owner] = h
+	return h, nil
+}
+
+// Publish validates a peer's edit log against the spec (peers edit only
+// their own relations, §2) and appends it to the publication bus, making
+// it visible to every node sharing the bus. It does not touch any view;
+// importing is Exchange's job.
+func (s *System) Publish(ctx context.Context, peer string, log EditLog) error {
+	return core.PublishTo(ctx, s.bus, s.spec, peer, log)
+}
+
+// PublishFileEdits publishes a spec file's edit declarations in file
+// order, batching contiguous same-peer runs into single publications.
+func (s *System) PublishFileEdits(ctx context.Context, f *SpecFile) error {
+	var pending EditLog
+	var pendingPeer string
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := s.Publish(ctx, pendingPeer, pending)
+		pending, pendingPeer = nil, ""
+		return err
+	}
+	for _, pe := range f.Edits {
+		if pendingPeer != "" && pe.Peer != pendingPeer {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		pendingPeer = pe.Peer
+		pending = append(pending, pe.Edit)
+	}
+	return flush()
+}
+
+// Exchange performs update exchange for one owner's view: every
+// publication on the bus since the view's previous exchange is imported
+// in global publication order, with deletions propagated by the
+// configured strategy and trust applied per the owner's policy.
+// Cancellation via ctx reaches the engine's fixpoint loops; a cancelled
+// exchange leaves the view's cursor unadvanced past the last fully
+// applied publication.
+func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return ApplyStats{}, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next, stats, err := core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
+	h.cursor = next
+	return stats, err
+}
+
+// ExchangeAll runs Exchange for every peer (and for the global view if
+// it has been created), in peer registration order, returning per-owner
+// statistics.
+func (s *System) ExchangeAll(ctx context.Context) (map[string]ApplyStats, error) {
+	out := make(map[string]ApplyStats)
+	for _, peer := range s.Peers() {
+		st, err := s.Exchange(ctx, peer)
+		out[peer] = st
+		if err != nil {
+			return out, err
+		}
+	}
+	s.mu.RLock()
+	_, hasGlobal := s.views[""]
+	s.mu.RUnlock()
+	if hasGlobal {
+		st, err := s.Exchange(ctx, "")
+		out[""] = st
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Pending reports how many publications an owner's view has not yet
+// imported. It reads only the bus's sequence length, never publication
+// bodies, and does not materialize the owner's view (a view that was
+// never exchanged has everything pending).
+func (s *System) Pending(ctx context.Context, owner string) (int, error) {
+	if owner != "" && s.spec.Universe.Peer(owner) == nil {
+		return 0, fmt.Errorf("orchestra: unknown view owner %q", owner)
+	}
+	cursor := 0
+	s.mu.RLock()
+	h := s.views[owner]
+	s.mu.RUnlock()
+	if h != nil {
+		h.mu.Lock()
+		cursor = h.cursor
+		h.mu.Unlock()
+	}
+	n, err := core.BusLen(ctx, s.bus)
+	if err != nil {
+		return 0, err
+	}
+	return max(n-cursor, 0), nil
+}
+
+// Query answers a conjunctive query over an owner's curated instances
+// with certain-answers semantics (§2.1): rows containing labeled nulls
+// are discarded unless includeNulls is set. The syntax is datalog with
+// an optional selection, e.g. "ans(x,y) :- U(x,z), U(y,z) where x >= 3".
+func (s *System) Query(ctx context.Context, owner, q string, includeNulls bool) ([]Tuple, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.view.QueryContext(ctx, q, includeNulls)
+}
+
+// ProvenanceInfo describes one instance tuple's provenance.
+type ProvenanceInfo struct {
+	// Expr is the tuple's provenance polynomial (§3.2), rendered with
+	// user-facing token names.
+	Expr string
+	// Derivable reports whether the tuple is derivable from the current
+	// local contributions (§4.1.3's test).
+	Derivable bool
+	// Support names the base tuples the backward pass found supporting
+	// the tuple.
+	Support []string
+}
+
+// ProvenanceExpr returns just the provenance expression of a tuple of
+// an owner's curated instance — a graph walk, much cheaper than the
+// full Provenance derivability analysis.
+func (s *System) ProvenanceExpr(owner, rel string, t Tuple) (string, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return "", err
+	}
+	if s.spec.Universe.Relation(rel) == nil {
+		return "", fmt.Errorf("orchestra: unknown relation %q", rel)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.view.Repair(context.Background()); err != nil {
+		return "", err
+	}
+	return h.view.ProvOf(rel, t).String(), nil
+}
+
+// Provenance returns the full provenance of a tuple of an owner's
+// curated instance: its provenance expression, its derivability from
+// the EDB, and the supporting base tuples. The derivability test runs
+// a goal-directed fixpoint (§4.1.3) and holds the view's lock for its
+// duration; use ProvenanceExpr when only the expression is needed.
+func (s *System) Provenance(ctx context.Context, owner, rel string, t Tuple) (ProvenanceInfo, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return ProvenanceInfo{}, err
+	}
+	if s.spec.Universe.Relation(rel) == nil {
+		return ProvenanceInfo{}, fmt.Errorf("orchestra: unknown relation %q", rel)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.view.Repair(ctx); err != nil {
+		return ProvenanceInfo{}, err
+	}
+	info := ProvenanceInfo{Expr: h.view.ProvOf(rel, t).String()}
+	alive, support, err := h.view.DerivabilityContext(ctx, rel, t)
+	if err != nil {
+		return info, err
+	}
+	info.Derivable = alive
+	for _, ref := range support {
+		info.Support = append(info.Support, h.view.Graph().TokenName(ref))
+	}
+	return info, nil
+}

@@ -1,0 +1,87 @@
+package orchestra
+
+import (
+	"context"
+
+	"orchestra/internal/core"
+	"orchestra/internal/provenance"
+	"orchestra/internal/semiring"
+)
+
+// Provenance-graph vocabulary for callers that go beyond the one-tuple
+// Provenance method: the graph itself, tuple references into it, and
+// the semirings the equation system can be evaluated in (§3.2–3.3).
+type (
+	// ProvGraph is the provenance graph of one view (Example 5's
+	// bipartite tuple/derivation graph).
+	ProvGraph = provenance.Graph
+	// ProvRef identifies one tuple node of the graph.
+	ProvRef = provenance.Ref
+	// Semiring is the algebra provenance is evaluated in.
+	Semiring[T any] = semiring.Semiring[T]
+	// MapFn interprets the unary mapping applications m(·).
+	MapFn[T any] = semiring.MapFn[T]
+	// BoolSemiring evaluates trust verdicts (Example 7).
+	BoolSemiring = semiring.Bool
+	// CountSemiring counts derivations.
+	CountSemiring = semiring.Count
+	// TropicalSemiring finds the cheapest derivation.
+	TropicalSemiring = semiring.Tropical
+	// LineageSemiring computes which base tuples a tuple depends on.
+	LineageSemiring = semiring.Lineage
+	// LineageElem is an element of the lineage semiring.
+	LineageElem = semiring.LineageElem
+)
+
+// TropicalInf is the tropical semiring's "unreachable" cost.
+const TropicalInf = semiring.TropInf
+
+// IdentityMap ignores mapping applications during evaluation.
+func IdentityMap[T any]() MapFn[T] { return semiring.Identity[T]() }
+
+// LineageToken returns the lineage element for a single base token.
+func LineageToken(tok string) LineageElem { return semiring.Token(tok) }
+
+// LocalRef references a base tuple (a local contribution Rℓ) in the
+// provenance graph.
+func LocalRef(rel string, t Tuple) ProvRef {
+	return provenance.NewRef(core.LocalRel(rel), t)
+}
+
+// InstanceRef references a curated-instance tuple (Rᵒ) in the
+// provenance graph.
+func InstanceRef(rel string, t Tuple) ProvRef {
+	return provenance.NewRef(core.OutputRel(rel), t)
+}
+
+// IsInstanceRef reports whether a graph node is a curated-instance
+// (Rᵒ) tuple — the user-visible layer of the graph.
+func IsInstanceRef(r ProvRef) bool {
+	return len(r.Rel) > 2 && r.Rel[len(r.Rel)-2:] == "$o"
+}
+
+// ProvenanceGraph returns the live provenance graph of an owner's view.
+// The graph reads the view's tables directly and is not synchronized
+// with concurrent exchanges: take it when the system is quiescent, or
+// after the exchanges you care about have completed.
+func (s *System) ProvenanceGraph(owner string) (*ProvGraph, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.view.Repair(context.Background()); err != nil {
+		return nil, err
+	}
+	return h.view.Graph(), nil
+}
+
+// EvalProvenance solves the provenance equation system of a graph in a
+// semiring (§3.2): baseVal assigns values to base-tuple tokens, mapFn
+// interprets mapping applications, and the result maps every tuple node
+// to its value. Cancellation via ctx stops the Kleene iteration between
+// rounds.
+func EvalProvenance[T any](ctx context.Context, g *ProvGraph, s Semiring[T], mapFn MapFn[T], baseVal func(ProvRef) T) (map[ProvRef]T, error) {
+	return provenance.EvalContext(ctx, g, s, mapFn, baseVal, provenance.EvalOptions{})
+}
