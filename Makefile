@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench examples
+.PHONY: all build test vet race bench examples staticcheck
 
 all: build vet test
 
@@ -20,6 +20,9 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 examples:
-	for ex in quickstart federation incremental provexplorer bioshare; do \
+	for ex in quickstart federation incremental provexplorer bioshare durability; do \
 		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
 	done
+
+staticcheck:
+	staticcheck ./...

@@ -23,6 +23,20 @@ type MemoryBus = core.MemoryBus
 // explicitly to share a bus between several embedded Systems.
 func NewMemoryBus() *MemoryBus { return core.NewMemoryBus() }
 
+// FileBus is a durable PublicationBus: an in-memory publication
+// sequence mirrored by an append-only log file, fsynced before a
+// publication becomes fetchable. Opening the file replays earlier
+// runs' publications (repairing a tail frame torn by a crash
+// mid-append), so cursors persisted by WithPersistence stay valid
+// across restarts. A System built with WithPersistence and no WithBus
+// gets one automatically, co-located in the state directory; open one
+// explicitly to share a durable bus between embedded Systems.
+type FileBus = logstore.Bus
+
+// OpenFileBus opens (or creates) a durable publication bus backed by
+// the log file at path.
+func OpenFileBus(path string) (*FileBus, error) { return logstore.OpenBus(path) }
+
 // HTTPBus is a PublicationBus backed by a remote publication service
 // (a BusServer, typically run by cmd/orchestrad) over the share wire
 // protocol. With it, the identical application code runs federated:

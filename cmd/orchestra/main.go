@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	orchestra run   [-owner peer] [-strategy provenance|dred|recompute] [-backend indexed|hash] spec.cdss
+//	orchestra run   [-owner peer] [-strategy provenance|dred|recompute] [-backend indexed|hash] [-state dir] spec.cdss
 //	orchestra query [-owner peer] [-nulls] -q "ans(x,y) :- U(x,y)" spec.cdss
 //	orchestra prov  [-owner peer] -rel U -tuple "2,5" spec.cdss
 //	orchestra graph [-owner peer] spec.cdss           # provenance graph in DOT
 //	orchestra show  spec.cdss                          # parsed spec summary
+//
+// With -state, the system runs durably out of the given directory
+// (view snapshots plus a publication log): the first run seeds the bus
+// from the spec file's edits, later runs recover the checkpointed view
+// and replay only what it has not yet seen.
 //
 // The spec format is documented in internal/spec.
 package main
@@ -47,6 +52,7 @@ func run(args []string, out io.Writer) error {
 	tupleText := fs.String("tuple", "", "comma-separated tuple for prov, e.g. \"3,2\"")
 	saveFile := fs.String("save", "", "write the view state to this file after processing")
 	loadFile := fs.String("load", "", "restore view state from this file instead of replaying the spec's edits")
+	stateDir := fs.String("state", "", "durable state directory (snapshots + publication log); reuse it across runs to recover instead of replaying")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -89,13 +95,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	sys, err := orchestra.New(parsed.Spec,
+	sysOpts := []orchestra.Option{
 		orchestra.WithBackend(be),
 		orchestra.WithDeletionStrategy(strat),
-	)
+	}
+	if *stateDir != "" {
+		sysOpts = append(sysOpts, orchestra.WithPersistence(*stateDir))
+	}
+	sys, err := orchestra.New(parsed.Spec, sysOpts...)
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 	if *loadFile != "" {
 		f, err := os.Open(*loadFile)
 		if err != nil {
@@ -109,7 +120,14 @@ func run(args []string, out io.Writer) error {
 	} else {
 		// Replay the file's edits in publication order, one publication
 		// per peer-contiguous run, then exchange into the owner's view.
-		if err := sys.PublishFileEdits(ctx, parsed); err != nil {
+		// With -state the durable bus may already hold some or all of the
+		// file's publications from an earlier (possibly interrupted) run;
+		// SeedFileEdits publishes only the missing tail.
+		if *stateDir != "" {
+			if _, err := sys.SeedFileEdits(ctx, parsed); err != nil {
+				return err
+			}
+		} else if err := sys.PublishFileEdits(ctx, parsed); err != nil {
 			return err
 		}
 		if _, err := sys.Exchange(ctx, *owner); err != nil {
@@ -197,16 +215,12 @@ func show(parsed *orchestra.SpecFile, out io.Writer) error {
 
 func dumpInstances(sys *orchestra.System, owner string, out io.Writer) error {
 	for _, rel := range sys.RelationNames() {
-		rows, err := sys.Instance(owner, rel)
+		descs, err := sys.DescribeInstance(owner, rel)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s (%d rows)\n", rel, len(rows))
-		for _, row := range rows {
-			desc, err := sys.Describe(owner, row)
-			if err != nil {
-				return err
-			}
+		fmt.Fprintf(out, "%s (%d rows)\n", rel, len(descs))
+		for _, desc := range descs {
 			fmt.Fprintf(out, "  %s\n", desc)
 		}
 	}

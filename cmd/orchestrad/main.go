@@ -7,20 +7,40 @@
 // Usage:
 //
 //	orchestrad -addr :8344 -store publications.log [-spec confed.cdss]
+//	           [-state dir] [-view owner] [-refresh 2s]
 //
 // With -spec, incoming publications are validated against the CDSS
 // description (peers may only edit their own relations). With -store,
 // accepted publications are durably appended and reloaded on restart.
 //
+// With -state (requires -spec and -store), the daemon is durable
+// end-to-end in one process: besides the durable publication log it
+// maintains a materialized view of the confederation (the -view owner;
+// default the global trust-all view), exchanging every -refresh
+// interval and checkpointing into the state directory, and serves the
+// curated instances at GET /instance?rel=R. On restart the view is
+// recovered from its snapshot and fast-forwarded past its persisted
+// cursor instead of re-exchanging from publication zero.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
+// drain, the view takes a final checkpoint, and the publication log
+// closes on a frame boundary.
+//
 // Protocol: POST /publish, GET /since?cursor=N (see internal/share).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"orchestra"
 )
@@ -29,16 +49,24 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	storePath := flag.String("store", "", "append-only publication log file (empty = in-memory only)")
 	specPath := flag.String("spec", "", "CDSS spec file to validate publications against")
+	statePath := flag.String("state", "", "state directory for a durable materialized view (requires -spec and -store)")
+	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view")
+	refresh := flag.Duration("refresh", 2*time.Second, "how often the durable view exchanges new publications")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	srv := orchestra.NewBusServer()
 
+	var parsed *orchestra.SpecFile
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
 			log.Fatalf("orchestrad: %v", err)
 		}
-		parsed, perr := orchestra.ParseSpec(f)
+		var perr error
+		parsed, perr = orchestra.ParseSpec(f)
 		f.Close()
 		if perr != nil {
 			log.Fatalf("orchestrad: %v", perr)
@@ -53,8 +81,12 @@ func main() {
 		if err != nil {
 			log.Fatalf("orchestrad: %v", err)
 		}
-		defer srv.Close()
 		log.Printf("persisting to %s (%d publications reloaded)", *storePath, reloaded)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("orchestrad: %v", err)
 	}
 
 	mux := http.NewServeMux()
@@ -62,8 +94,113 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "ok %d publications\n", srv.Len())
 	})
-	log.Printf("orchestrad listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+
+	var sys *orchestra.System
+	if *statePath != "" {
+		if parsed == nil || *storePath == "" {
+			log.Fatal("orchestrad: -state requires -spec and -store (durable views need a durable bus)")
+		}
+		if *refresh <= 0 {
+			log.Fatalf("orchestrad: -refresh must be positive, got %v", *refresh)
+		}
+		// The view exchanges through the daemon's own HTTP bus, so its
+		// persisted cursors refer to the same durable publication
+		// sequence every other node sees.
+		selfURL := "http://" + hostPort(ln.Addr())
+		sys, err = orchestra.New(parsed.Spec,
+			orchestra.WithBus(orchestra.NewHTTPBus(selfURL)),
+			orchestra.WithPersistence(*statePath),
+		)
+		if err != nil {
+			log.Fatalf("orchestrad: %v", err)
+		}
+		if views, err := sys.PersistedViews(); err == nil && len(views) > 0 {
+			for _, vs := range views {
+				log.Printf("recovered view %q at cursor %d (generation %d)", vs.Owner, vs.Cursor, vs.Generation)
+			}
+		}
+		mux.HandleFunc("/instance", func(w http.ResponseWriter, r *http.Request) {
+			rel := r.URL.Query().Get("rel")
+			if rel == "" {
+				http.Error(w, "missing rel parameter", http.StatusBadRequest)
+				return
+			}
+			descs, err := sys.DescribeInstance(*viewOwner, rel)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			fmt.Fprintf(w, "%s (%d rows)\n", rel, len(descs))
+			for _, d := range descs {
+				fmt.Fprintln(w, d)
+			}
+		})
+	}
+
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		log.Print("orchestrad: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("orchestrad: shutdown: %v", err)
+		}
+	}()
+
+	var exchanges sync.WaitGroup
+	if sys != nil {
+		exchanges.Add(1)
+		go func() {
+			defer exchanges.Done()
+			ticker := time.NewTicker(*refresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if _, err := sys.Exchange(ctx, *viewOwner); err != nil && ctx.Err() == nil {
+						log.Printf("orchestrad: exchange: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	log.Printf("orchestrad listening on %s", ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	// Drain the exchange loop before the final checkpoint so the
+	// snapshot observes a quiescent view.
+	exchanges.Wait()
+	if sys != nil {
+		if err := sys.Checkpoint(context.Background()); err != nil {
+			log.Printf("orchestrad: final checkpoint: %v", err)
+		}
+		if err := sys.Close(); err != nil {
+			log.Printf("orchestrad: closing system: %v", err)
+		}
+	}
+	// Closing the publication log last guarantees the durable sequence
+	// ends on a frame boundary.
+	if err := srv.Close(); err != nil {
+		log.Printf("orchestrad: closing store: %v", err)
+	}
+	log.Print("orchestrad: shut down cleanly")
+}
+
+// hostPort renders a listener address for client use, substituting
+// loopback for the unspecified host (":8344" listens on all
+// interfaces; the daemon's own view client dials loopback).
+func hostPort(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return addr.String()
+	}
+	if ip := net.ParseIP(host); ip == nil || ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
 }

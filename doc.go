@@ -26,6 +26,13 @@
 // shared publication service (BusServer, run standalone as
 // cmd/orchestrad), giving the paper's federated operating mode.
 //
+// WithPersistence(dir) makes a System crash-safe: views are
+// checkpointed — checksummed snapshot plus bus cursor, written
+// atomically — into a state directory, the default bus is replaced by
+// a durable log co-located there, and New recovers every persisted
+// view, so the next Exchange replays only the publications past its
+// checkpoint (see examples/durability).
+//
 // The implementation lives under internal/ (see DESIGN.md for the
 // system inventory); runnable entry points are:
 //

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"orchestra/internal/core"
@@ -93,6 +94,25 @@ func (s *System) TotalRows(owner string) (int, error) {
 		return 0, err
 	}
 	return h.view.DB().TotalRows(), nil
+}
+
+// DescribeInstance renders an owner's curated instance of a relation
+// as sorted Describe strings — the stable, human-readable form the
+// CLI, the daemon's /instance endpoint, and state-comparison code all
+// want.
+func (s *System) DescribeInstance(owner, rel string) ([]string, error) {
+	rows, err := s.Instance(owner, rel)
+	if err != nil {
+		return nil, err
+	}
+	descs := make([]string, len(rows))
+	for i, row := range rows {
+		if descs[i], err = s.Describe(owner, row); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(descs)
+	return descs, nil
 }
 
 // Describe renders a tuple with labeled nulls shown through their

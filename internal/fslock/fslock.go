@@ -1,0 +1,7 @@
+package fslock
+
+// File is the part of *os.File TryLock needs.
+type File interface {
+	Fd() uintptr
+	Name() string
+}

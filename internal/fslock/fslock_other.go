@@ -1,0 +1,7 @@
+//go:build !unix
+
+package fslock
+
+// TryLock is a no-op where flock is unavailable: single-writer
+// discipline is then the operator's responsibility.
+func TryLock(f File) error { return nil }

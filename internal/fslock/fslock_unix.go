@@ -1,0 +1,23 @@
+//go:build unix
+
+// Package fslock provides non-blocking exclusive advisory file locks —
+// the inter-process guard keeping two nodes from opening the same
+// durable log or state directory and clobbering each other's writes.
+package fslock
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// TryLock places a non-blocking exclusive advisory lock on f. The lock
+// is held until f is closed (or the process exits, however abruptly —
+// a crashed holder never leaves a stale lock). A file already locked
+// by another descriptor, in this process or any other, returns an
+// error immediately.
+func TryLock(f File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("fslock: %s is locked by another process: %w", f.Name(), err)
+	}
+	return nil
+}

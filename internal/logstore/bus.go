@@ -1,0 +1,82 @@
+package logstore
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/core"
+)
+
+// Bus is a durable core.PublicationBus: an in-memory publication
+// sequence mirrored by an append-only Store file. OpenBus replays the
+// file (repairing a torn tail, see Open) so a restarting node sees the
+// same global publication order — and the same cursors — as before
+// the crash. Appends are durable before they become fetchable.
+type Bus struct {
+	store *Store
+	mem   *core.MemoryBus
+}
+
+// OpenBus opens (or creates) a durable bus backed by the log at path.
+func OpenBus(path string) (*Bus, error) {
+	store, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	pubs, err := store.Replay()
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	mem := core.NewMemoryBus()
+	ctx := context.Background()
+	for i, p := range pubs {
+		if err := mem.Append(ctx, p.Peer, p.Log); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("logstore: reloading publication %d: %w", i, err)
+		}
+	}
+	return &Bus{store: store, mem: mem}, nil
+}
+
+// Append implements core.PublicationBus: the publication is fsynced to
+// the log before it is exposed to FetchSince, so a publication a peer
+// ever observed survives any crash. The Store's lock serializes
+// appenders, keeping file order identical to memory order.
+func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if peer == "" {
+		return fmt.Errorf("logstore: publication without peer")
+	}
+	b.store.mu.Lock()
+	defer b.store.mu.Unlock()
+	if err := b.store.appendLocked(peer, log); err != nil {
+		return err
+	}
+	// Once the frame is durable the in-memory publish must succeed:
+	// reporting failure here would invite a retry that duplicates the
+	// publication after restart. mem.Append cannot block, so it gets a
+	// background context rather than the caller's cancellable one.
+	return b.mem.Append(context.Background(), peer, log)
+}
+
+// FetchSince implements core.PublicationBus.
+func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, int, error) {
+	return b.mem.FetchSince(ctx, cursor)
+}
+
+// Len returns the number of publications on the bus.
+func (b *Bus) Len() int { return b.mem.Len() }
+
+// RepairedBytes reports how many bytes of torn tail were dropped when
+// the backing log was opened (0 when it was clean).
+func (b *Bus) RepairedBytes() int64 { return b.store.RepairedBytes() }
+
+// Path returns the backing log file's path.
+func (b *Bus) Path() string { return b.store.path }
+
+// Close closes the backing log. The in-memory sequence stays readable;
+// further Appends fail.
+func (b *Bus) Close() error { return b.store.Close() }

@@ -21,14 +21,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/fslock"
 	"orchestra/internal/value"
 )
 
 const magic = "OLG1"
+
+// maxFrame bounds a single record. A length prefix beyond it cannot
+// come from Append and is treated as a torn tail by recovery (and as
+// corruption by strict reads).
+const maxFrame = 1 << 30
 
 // Publication is one published edit log.
 type Publication struct {
@@ -39,17 +46,29 @@ type Publication struct {
 // Store is an append-only publication log backed by a file. It is safe
 // for concurrent use.
 type Store struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	n    int // records appended (including those found at open)
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	n        int   // records appended (including those found at open)
+	repaired int64 // bytes of torn tail dropped by Open's recovery
 }
 
-// Open opens (or creates) a store at path.
+// Open opens (or creates) a store at path. A file whose tail frame was
+// torn by a crash mid-Append is repaired: the incomplete record is
+// truncated away (every preceding record is intact — Append writes one
+// frame at a time and fsyncs), the repair is logged, and the store
+// opens normally. Corruption that is not a torn tail (bad magic, an
+// undecodable complete frame) stays a hard error.
 func Open(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	// One writer per log file, across processes: a second opener would
+	// interleave frames and duplicate history on replay.
+	if err := fslock.TryLock(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("logstore: %w", err)
 	}
 	st := &Store{f: f, path: path}
 	info, err := f.Stat()
@@ -57,25 +76,59 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	if info.Size() == 0 {
-		if _, err := f.WriteString(magic); err != nil {
-			f.Close()
-			return nil, err
-		}
-	} else {
-		// Validate and count existing records.
-		pubs, err := readAll(f)
+	if info.Size() > 0 {
+		pubs, good, torn, err := scanLenient(f, info.Size())
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
+		if torn != nil {
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("logstore: truncating torn tail of %s: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			// Truncate does not move the file offset; rewind to the new end
+			// so follow-up writes land on the frame boundary.
+			if _, err := f.Seek(good, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+			st.repaired = info.Size() - good
+			log.Printf("logstore: %s: repaired torn tail, dropped %d bytes after record %d (%v)",
+				path, st.repaired, len(pubs), torn)
+		}
 		st.n = len(pubs)
+	}
+	// A file torn inside the initial magic truncates to empty; (re)write
+	// the header in that case.
+	if st.n == 0 {
+		if info, err := f.Stat(); err != nil {
+			f.Close()
+			return nil, err
+		} else if info.Size() == 0 {
+			if _, err := f.WriteString(magic); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return st, nil
+}
+
+// RepairedBytes reports how many bytes of torn tail Open dropped while
+// recovering this store (0 when the file was clean).
+func (s *Store) RepairedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repaired
 }
 
 // Close closes the underlying file.
@@ -94,12 +147,24 @@ func (s *Store) Len() int {
 
 // Append durably records a publication.
 func (s *Store) Append(peer string, log core.EditLog) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(peer, log)
+}
+
+// appendLocked is Append with s.mu already held — for callers (Bus)
+// that need the file write and a follow-up action under one lock.
+func (s *Store) appendLocked(peer string, log core.EditLog) error {
 	frame, err := encodeFrame(peer, log)
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Both readers reject frames past maxFrame; writing one would make
+	// the log permanently unopenable (and past 4 GiB the uint32 length
+	// prefix would wrap). Refuse before touching the file.
+	if len(frame) > maxFrame {
+		return fmt.Errorf("logstore: publication frame is %d bytes, limit %d", len(frame), maxFrame)
+	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
 	if _, err := s.f.Write(lenBuf[:]); err != nil {
@@ -223,7 +288,11 @@ func readAll(r io.ReadSeeker) ([]Publication, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("logstore: truncated record header: %w", err)
 		}
-		frame := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxFrame {
+			return nil, fmt.Errorf("logstore: record length %d exceeds limit", n)
+		}
+		frame := make([]byte, n)
 		if _, err := io.ReadFull(r, frame); err != nil {
 			return nil, fmt.Errorf("logstore: truncated record: %w", err)
 		}
@@ -232,6 +301,60 @@ func readAll(r io.ReadSeeker) ([]Publication, error) {
 			return nil, err
 		}
 		pubs = append(pubs, pub)
+	}
+}
+
+// scanLenient reads records from the start of a file of the given
+// size, stopping at a torn tail instead of failing. It returns the
+// complete publications, the offset just past the last complete record
+// (the truncation point for repair), and — when the tail is torn — the
+// condition found there. Errors that cannot be a crash mid-Append (bad
+// magic, an undecodable frame whose bytes are all present, a frame
+// length the file could hold but that exceeds the append limit) are
+// returned as hard errors.
+func scanLenient(r io.ReadSeeker, size int64) (pubs []Publication, good int64, torn, err error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, nil, err
+	}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		// File shorter than the magic: torn during creation.
+		return nil, 0, fmt.Errorf("torn file header: %w", err), nil
+	}
+	if string(head) != magic {
+		return nil, 0, nil, fmt.Errorf("logstore: bad magic %q", head)
+	}
+	good = int64(len(magic))
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err == io.EOF {
+			return pubs, good, nil, nil
+		} else if err != nil {
+			return pubs, good, fmt.Errorf("torn record header: %w", err), nil
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if int64(n) > size-good-4 {
+			// A length the file cannot hold — garbage from a torn write,
+			// or the truncated body of one. Classified (and rejected)
+			// before the allocation below, so a torn tail can never make
+			// recovery allocate gigabytes from 4 garbage bytes.
+			return pubs, good, fmt.Errorf("torn record: length %d exceeds %d remaining bytes", n, size-good-4), nil
+		}
+		if n > maxFrame {
+			return nil, 0, nil, fmt.Errorf("logstore: record %d length %d exceeds limit", len(pubs), n)
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return pubs, good, fmt.Errorf("torn record body: %w", err), nil
+		}
+		pub, err := decodeFrame(frame)
+		if err != nil {
+			// The frame's bytes are all present, so this is not a torn
+			// write — refuse to silently drop it.
+			return nil, 0, nil, fmt.Errorf("logstore: corrupt record %d: %w", len(pubs), err)
+		}
+		pubs = append(pubs, pub)
+		good += int64(4 + n)
 	}
 }
 

@@ -1,6 +1,7 @@
 package logstore
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -95,18 +96,174 @@ func TestCorruptionDetected(t *testing.T) {
 	if _, err := Open(path); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	// Truncated record.
-	s2path := filepath.Join(t.TempDir(), "trunc.log")
+	// An undecodable record whose bytes are all present is corruption,
+	// not a torn tail: a trailing complete-but-garbage frame must stay a
+	// hard error, never a silent truncation.
+	s2path := filepath.Join(t.TempDir(), "garbage.log")
 	s2, err := Open(s2path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s2.Append("P", sampleLog())
 	s2.Close()
-	data, _ := os.ReadFile(s2path)
-	os.WriteFile(s2path, data[:len(data)-3], 0o644)
+	f, err := os.OpenFile(s2path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame of length 4 followed by exactly 4 undecodable bytes.
+	f.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef})
+	f.Close()
 	if _, err := Open(s2path); err == nil {
-		t.Fatal("truncated record accepted")
+		t.Fatal("complete garbage frame accepted")
+	}
+}
+
+// corrupt appends raw bytes to a closed store file, simulating a crash
+// that cut an Append short.
+func corrupt(t *testing.T, path string, tail []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestTornTailRepaired injects the crash-mid-Append shapes — a partial
+// frame body, a partial length header, an implausible length the file
+// cannot hold — and checks Open truncates back to the last complete
+// frame, keeps every preceding record, and accepts new appends.
+func TestTornTailRepaired(t *testing.T) {
+	frame := func(peer string) []byte {
+		b, err := encodeFrame(peer, sampleLog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		{"partial frame body", append([]byte{0, 0, 0, 200}, frame("P")[:5]...)},
+		{"partial length header", []byte{0, 0}},
+		{"implausible length", []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "torn.log")
+			s, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append("P", sampleLog()); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append("Q", sampleLog()); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			clean, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, path, tc.tail)
+
+			s2, err := Open(path)
+			if err != nil {
+				t.Fatalf("torn tail not repaired: %v", err)
+			}
+			defer s2.Close()
+			if s2.RepairedBytes() != int64(len(tc.tail)) {
+				t.Errorf("RepairedBytes = %d, want %d", s2.RepairedBytes(), len(tc.tail))
+			}
+			if s2.Len() != 2 {
+				t.Fatalf("Len after repair = %d, want 2", s2.Len())
+			}
+			if got, _ := os.Stat(path); got.Size() != clean.Size() {
+				t.Errorf("file size after repair = %d, want %d", got.Size(), clean.Size())
+			}
+			// The repaired store is fully usable: replay + append + replay.
+			pubs, err := s2.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pubs) != 2 || pubs[0].Peer != "P" || pubs[1].Peer != "Q" {
+				t.Fatalf("replay after repair: %+v", pubs)
+			}
+			if err := s2.Append("P", sampleLog()); err != nil {
+				t.Fatal(err)
+			}
+			if pubs, err = s2.Replay(); err != nil || len(pubs) != 3 {
+				t.Fatalf("replay after post-repair append: %d pubs, err %v", len(pubs), err)
+			}
+		})
+	}
+}
+
+// TestTornFileHeaderRepaired covers a crash during store creation: a
+// file shorter than the magic reopens as an empty store.
+func TestTornFileHeaderRepaired(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "header.log")
+	if err := os.WriteFile(path, []byte("OL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn header not repaired: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+	if err := s.Append("P", sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	pubs, err := s.Replay()
+	if err != nil || len(pubs) != 1 {
+		t.Fatalf("replay: %d pubs, err %v", len(pubs), err)
+	}
+}
+
+// TestBusDurability round-trips publications through the durable Bus,
+// including recovery from a torn tail.
+func TestBusDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bus.olg")
+	b, err := OpenBus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := b.Append(ctx, "P", sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(ctx, "Q", sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	pubs, next, err := b.FetchSince(ctx, 1)
+	if err != nil || next != 2 || len(pubs) != 1 || pubs[0].Peer != "Q" {
+		t.Fatalf("FetchSince: %d pubs, next %d, err %v", len(pubs), next, err)
+	}
+	b.Close()
+	corrupt(t, path, []byte{0, 0, 1, 0, 'x'}) // torn append
+
+	b2, err := OpenBus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	if b2.RepairedBytes() == 0 {
+		t.Error("expected a tail repair")
+	}
+	if b2.Len() != 2 {
+		t.Fatalf("reloaded bus Len = %d, want 2", b2.Len())
+	}
+	pubs, next, err = b2.FetchSince(ctx, 0)
+	if err != nil || next != 2 || len(pubs) != 2 {
+		t.Fatalf("reloaded FetchSince: %d pubs, next %d, err %v", len(pubs), next, err)
 	}
 }
 

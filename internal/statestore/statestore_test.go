@@ -1,0 +1,255 @@
+package statestore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func payloadWriter(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func readPayload(t *testing.T, st *Store, owner string) (ViewState, string) {
+	t.Helper()
+	vs, r, err := st.LoadView(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs, string(data)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Views(); len(got) != 0 {
+		t.Fatalf("fresh store has views: %v", got)
+	}
+	if err := st.SaveView("", 3, payloadWriter("global-state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P1", 5, payloadWriter("p1-state")); err != nil {
+		t.Fatal(err)
+	}
+	vs, data := readPayload(t, st, "")
+	if vs.Cursor != 3 || vs.Generation != 1 || data != "global-state" {
+		t.Fatalf("global view: %+v payload %q", vs, data)
+	}
+	views := st.Views()
+	if len(views) != 2 || views[0].Owner != "" || views[1].Owner != "P1" {
+		t.Fatalf("views: %+v", views)
+	}
+
+	// Reopening the directory (after a clean close releases its lock)
+	// recovers the manifest.
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs2, data2 := readPayload(t, st2, "P1")
+	if vs2.Cursor != 5 || data2 != "p1-state" {
+		t.Fatalf("reopened view: %+v payload %q", vs2, data2)
+	}
+}
+
+func TestGenerationsReplaceAndCleanUp(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 1, payloadWriter("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 4, payloadWriter("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	vs, data := readPayload(t, st, "P")
+	if vs.Generation != 2 || vs.Cursor != 4 || data != "gen2" {
+		t.Fatalf("after second save: %+v payload %q", vs, data)
+	}
+	snaps, err := filepath.Glob(filepath.Join(st.Dir(), "view-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("old generation not cleaned up: %v", snaps)
+	}
+}
+
+func TestCursorRegressionRejected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 7, payloadWriter("x")); err != nil {
+		t.Fatal(err)
+	}
+	err = st.SaveView("P", 6, payloadWriter("y"))
+	if err == nil || !strings.Contains(err.Error(), "cursor regression") {
+		t.Fatalf("cursor regression not rejected: %v", err)
+	}
+	// Equal cursor is fine (re-checkpoint without new publications).
+	if err := st.SaveView("P", 7, payloadWriter("z")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptSnapshotDetected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 2, payloadWriter("hello snapshot payload")); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := st.View("P")
+	path := filepath.Join(st.Dir(), vs.File)
+
+	// Flip one payload byte: checksum must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LoadView("P"); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot not detected: %v", err)
+	}
+
+	// Truncate (torn write): length check must catch it.
+	if err := os.WriteFile(path, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.LoadView("P"); err == nil || !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn snapshot not detected: %v", err)
+	}
+}
+
+func TestManifestMissingSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 1, payloadWriter("x")); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := st.View("P")
+	if err := os.Remove(filepath.Join(dir, vs.File)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "missing snapshot") {
+		t.Fatalf("missing snapshot not detected at open: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 1, payloadWriter("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("P"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("P"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, ok := st.View("P"); ok {
+		t.Fatal("view still present after Remove")
+	}
+	snaps, _ := filepath.Glob(filepath.Join(st.Dir(), "view-*.snap"))
+	if len(snaps) != 0 {
+		t.Fatalf("snapshot files left behind: %v", snaps)
+	}
+}
+
+func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 1, payloadWriter("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Debris a crash between CreateTemp and rename would leave behind.
+	for _, name := range []string{"view-50-2.snap.tmp123", "MANIFEST.json.tmp456"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leftover, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(leftover) != 0 {
+		t.Errorf("temp debris not swept: %v", leftover)
+	}
+	// The real state survived the sweep.
+	if vs, data := readPayload(t, st2, "P"); vs.Cursor != 1 || data != "x" {
+		t.Errorf("state damaged by sweep: %+v %q", vs, data)
+	}
+}
+
+// TestDirectoryLock enforces the single-writer discipline: while one
+// Store holds a directory, a second Open fails, and a closed Store can
+// no longer write into it.
+func TestDirectoryLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open of a held directory: %v, want lock error", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveView("P", 1, payloadWriter("x")); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("SaveView on closed store: %v, want closed error", err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	if err := st2.SaveView("P", 1, payloadWriter("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotFileNames(t *testing.T) {
+	// "" and a peer whose hex encoding could collide with the sentinel
+	// must map to distinct files.
+	a := snapshotFileName("", 1)
+	b := snapshotFileName("global", 1)
+	if a == b {
+		t.Fatalf("owner %q and %q collide: %s", "", "global", a)
+	}
+}

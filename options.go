@@ -11,7 +11,20 @@ type config struct {
 	strategy core.DeletionStrategy
 	bus      core.PublicationBus
 	policies map[string]*trust.Policy
+	persist  *persistConfig
 }
+
+// persistConfig collects WithPersistence's sub-options.
+type persistConfig struct {
+	dir string
+	// everyN selects the checkpoint policy: 0 checkpoints after every
+	// exchange that applied publications (the default), n > 0 once at
+	// least n publications accumulated since the view's last checkpoint,
+	// and checkpointManual only on explicit System.Checkpoint calls.
+	everyN int
+}
+
+const checkpointManual = -1
 
 // Option configures a System at construction time.
 type Option func(*config)
@@ -46,6 +59,53 @@ func WithSplitProvTables(on bool) Option {
 // shared with other nodes of the confederation (see NewHTTPBus).
 func WithBus(bus PublicationBus) Option {
 	return func(c *config) { c.bus = bus }
+}
+
+// WithPersistence makes the System durable: dir becomes its state
+// directory, holding one checksummed snapshot per view plus a manifest
+// of bus cursors (internal/statestore), and — when no WithBus is given
+// — a durable publication log ("bus.olg") replacing the default
+// in-memory bus. New recovers every persisted view from its snapshot;
+// the next Exchange then replays only the publications past the view's
+// persisted cursor. Checkpoints are taken per the configured policy
+// (default: after every exchange that applied publications) and via
+// System.Checkpoint.
+//
+// With an explicit WithBus, only view state lives in dir: the bus is
+// then responsible for its own durability (cmd/orchestrad -store), and
+// it must retain at least every publication past the persisted
+// cursors — New and Exchange fail if the bus is behind a persisted
+// cursor.
+func WithPersistence(dir string, popts ...PersistOption) Option {
+	return func(c *config) {
+		pc := &persistConfig{dir: dir}
+		for _, o := range popts {
+			o(pc)
+		}
+		c.persist = pc
+	}
+}
+
+// PersistOption refines WithPersistence.
+type PersistOption func(*persistConfig)
+
+// CheckpointEvery checkpoints a view once at least n publications have
+// been applied to it since its last checkpoint (amortizing snapshot
+// writes across exchanges). n < 1 is treated as 1, which equals the
+// default checkpoint-every-exchange policy.
+func CheckpointEvery(n int) PersistOption {
+	return func(pc *persistConfig) {
+		if n < 1 {
+			n = 1
+		}
+		pc.everyN = n
+	}
+}
+
+// CheckpointManual disables automatic checkpoints: state is persisted
+// only on explicit System.Checkpoint calls.
+func CheckpointManual() PersistOption {
+	return func(pc *persistConfig) { pc.everyN = checkpointManual }
 }
 
 // WithTrustFor installs (or overrides) a peer's trust policy. The Spec

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/logstore"
+	"orchestra/internal/statestore"
 )
 
 // System is the public facade over one CDSS node: a set of materialized
@@ -19,11 +21,22 @@ import (
 // touches a view's database is serialized per view, so exchanges of
 // different peers' views proceed in parallel while two exchanges of the
 // same view never interleave.
+//
+// With WithPersistence the System is additionally durable: views are
+// checkpointed (snapshot + bus cursor, atomically) into a state
+// directory, and New recovers them — see persist.go.
 type System struct {
 	spec     *core.Spec
 	opts     core.Options
 	strategy core.DeletionStrategy
 	bus      core.PublicationBus
+
+	// Durability (nil/zero without WithPersistence).
+	persist *persistConfig
+	store   *statestore.Store
+	// ownBus is set when WithPersistence created the System's durable
+	// bus, making the System responsible for closing it.
+	ownBus *logstore.Bus
 
 	// mu guards the views map.
 	mu    sync.RWMutex
@@ -36,6 +49,9 @@ type viewHandle struct {
 	mu     sync.Mutex
 	view   *core.View
 	cursor int
+	// sinceCkpt counts publications applied since the last checkpoint,
+	// driving the CheckpointEvery policy.
+	sinceCkpt int
 }
 
 // New builds a System over a validated Spec. By default it runs embedded
@@ -64,16 +80,24 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
-	if cfg.bus == nil {
-		cfg.bus = core.NewMemoryBus()
-	}
-	return &System{
+	s := &System{
 		spec:     sp,
 		opts:     cfg.opts,
 		strategy: cfg.strategy,
-		bus:      cfg.bus,
 		views:    make(map[string]*viewHandle),
-	}, nil
+	}
+	if cfg.persist != nil {
+		// May substitute a durable bus for the default and recovers
+		// persisted views into s.views.
+		if err := s.openPersistence(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.bus == nil {
+		cfg.bus = core.NewMemoryBus()
+	}
+	s.bus = cfg.bus
+	return s, nil
 }
 
 // Spec returns the CDSS description the system runs over.
@@ -135,26 +159,52 @@ func (s *System) Publish(ctx context.Context, peer string, log EditLog) error {
 // PublishFileEdits publishes a spec file's edit declarations in file
 // order, batching contiguous same-peer runs into single publications.
 func (s *System) PublishFileEdits(ctx context.Context, f *SpecFile) error {
-	var pending EditLog
-	var pendingPeer string
-	flush := func() error {
-		if len(pending) == 0 {
-			return nil
+	for _, run := range fileEditRuns(f) {
+		if err := s.Publish(ctx, run.Peer, run.Log); err != nil {
+			return err
 		}
-		err := s.Publish(ctx, pendingPeer, pending)
-		pending, pendingPeer = nil, ""
-		return err
 	}
+	return nil
+}
+
+// SeedFileEdits idempotently seeds a bus from a spec file: it publishes
+// only the edit runs the bus does not already hold, assuming the bus's
+// existing publications are a prefix of the file's runs (true for a
+// durable bus that only this spec file ever seeded). It returns the
+// number of publications added. A run interrupted mid-seeding — even by
+// a crash — resumes where it stopped, so the bus never ends up with a
+// silently truncated or duplicated history.
+func (s *System) SeedFileEdits(ctx context.Context, f *SpecFile) (int, error) {
+	runs := fileEditRuns(f)
+	have, err := core.BusLen(ctx, s.bus)
+	if err != nil {
+		return 0, err
+	}
+	if have > len(runs) {
+		return 0, fmt.Errorf("orchestra: bus already holds %d publications but the spec file seeds only %d", have, len(runs))
+	}
+	added := 0
+	for _, run := range runs[have:] {
+		if err := s.Publish(ctx, run.Peer, run.Log); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+// fileEditRuns batches a spec file's edits into publications: one per
+// contiguous same-peer run, in file order.
+func fileEditRuns(f *SpecFile) []Publication {
+	var runs []Publication
 	for _, pe := range f.Edits {
-		if pendingPeer != "" && pe.Peer != pendingPeer {
-			if err := flush(); err != nil {
-				return err
-			}
+		if n := len(runs); n > 0 && runs[n-1].Peer == pe.Peer {
+			runs[n-1].Log = append(runs[n-1].Log, pe.Edit)
+			continue
 		}
-		pendingPeer = pe.Peer
-		pending = append(pending, pe.Edit)
+		runs = append(runs, Publication{Peer: pe.Peer, Log: EditLog{pe.Edit}})
 	}
-	return flush()
+	return runs
 }
 
 // Exchange performs update exchange for one owner's view: every
@@ -164,6 +214,13 @@ func (s *System) PublishFileEdits(ctx context.Context, f *SpecFile) error {
 // Cancellation via ctx reaches the engine's fixpoint loops; a cancelled
 // exchange leaves the view's cursor unadvanced past the last fully
 // applied publication.
+//
+// Under WithPersistence, a completed exchange checkpoints the view per
+// the configured policy (while still holding the view's lock, so the
+// persisted cursor always matches the snapshot). A bus holding fewer
+// publications than the view's cursor — possible only when a durable
+// view outlived its bus's storage — is reported as an error instead of
+// silently re-importing from zero.
 func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error) {
 	h, err := s.handle(owner)
 	if err != nil {
@@ -172,8 +229,25 @@ func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	next, stats, err := core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
+	if next < h.cursor {
+		// Never regress the cursor: with no error this means the bus lost
+		// publications the view already applied; with an error, keeping
+		// the old cursor lets a retry resume correctly either way.
+		if err == nil {
+			err = fmt.Errorf("orchestra: bus holds %d publications but view %q has already applied %d (bus behind persisted state?)",
+				next, owner, h.cursor)
+		}
+		return stats, err
+	}
+	h.sinceCkpt += next - h.cursor
 	h.cursor = next
-	return stats, err
+	if err != nil {
+		return stats, err
+	}
+	if cerr := s.maybeCheckpointLocked(ctx, owner, h); cerr != nil {
+		return stats, fmt.Errorf("orchestra: exchange succeeded but checkpoint failed: %w", cerr)
+	}
+	return stats, nil
 }
 
 // ExchangeAll runs Exchange for every peer (and for the global view if

@@ -1,0 +1,166 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"orchestra/internal/core"
+	"orchestra/internal/logstore"
+	"orchestra/internal/statestore"
+)
+
+// busLogName is the durable publication log WithPersistence co-locates
+// with the view snapshots when the System owns its bus.
+const busLogName = "bus.olg"
+
+// openPersistence wires a System to its state directory: it opens the
+// statestore, substitutes a durable file-backed bus when the caller
+// did not supply one, and recovers every persisted view — restoring
+// its snapshot and resuming its bus cursor so the next Exchange
+// replays only publications past the checkpoint.
+func (s *System) openPersistence(cfg *config) error {
+	st, err := statestore.Open(cfg.persist.dir)
+	if err != nil {
+		return err
+	}
+	if cfg.bus == nil {
+		fb, err := logstore.OpenBus(filepath.Join(cfg.persist.dir, busLogName))
+		if err != nil {
+			return err
+		}
+		cfg.bus = fb
+		s.ownBus = fb
+	}
+	s.store = st
+	s.persist = cfg.persist
+	for _, vs := range st.Views() {
+		_, r, err := st.LoadView(vs.Owner)
+		if err != nil {
+			s.closePersistence()
+			return err
+		}
+		v, err := core.RestoreView(s.spec, vs.Owner, s.opts, r)
+		if err != nil {
+			s.closePersistence()
+			return fmt.Errorf("orchestra: recovering view %q: %w", vs.Owner, err)
+		}
+		if s.ownBus != nil && vs.Cursor > s.ownBus.Len() {
+			s.closePersistence()
+			return fmt.Errorf("orchestra: view %q persisted cursor %d exceeds durable bus length %d (mismatched or truncated state directory?)",
+				vs.Owner, vs.Cursor, s.ownBus.Len())
+		}
+		s.views[vs.Owner] = &viewHandle{view: v, cursor: vs.Cursor}
+	}
+	return nil
+}
+
+func (s *System) closePersistence() {
+	if s.ownBus != nil {
+		s.ownBus.Close()
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
+}
+
+// Checkpoint durably snapshots every materialized view together with
+// its bus cursor (via the statestore's atomic write protocol),
+// regardless of the configured checkpoint policy. Each view is
+// checkpointed under its own lock, so checkpoints never tear against
+// concurrent exchanges; ctx cancels between views.
+func (s *System) Checkpoint(ctx context.Context) error {
+	if s.store == nil {
+		return fmt.Errorf("orchestra: persistence not enabled (use WithPersistence)")
+	}
+	s.mu.RLock()
+	owners := make([]string, 0, len(s.views))
+	for owner := range s.views {
+		owners = append(owners, owner)
+	}
+	s.mu.RUnlock()
+	sort.Strings(owners)
+	for _, owner := range owners {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h, err := s.handle(owner)
+		if err != nil {
+			return err
+		}
+		h.mu.Lock()
+		err = s.checkpointLocked(ctx, owner, h)
+		h.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointLocked persists one view; the caller holds h.mu, so the
+// snapshot observes a quiescent view and the cursor written beside it
+// is exactly the snapshot's publication horizon.
+func (s *System) checkpointLocked(ctx context.Context, owner string, h *viewHandle) error {
+	if err := h.view.Repair(ctx); err != nil {
+		return err
+	}
+	if err := s.store.SaveView(owner, h.cursor, h.view.WriteSnapshot); err != nil {
+		return err
+	}
+	h.sinceCkpt = 0
+	return nil
+}
+
+// maybeCheckpointLocked applies the checkpoint policy after an
+// exchange; the caller holds h.mu and has already advanced the cursor.
+// It runs under the exchange's ctx: a cancelled checkpoint is harmless
+// (the atomic write protocol keeps the previous generation live), and
+// the publications it would have covered stay pending for the next one.
+func (s *System) maybeCheckpointLocked(ctx context.Context, owner string, h *viewHandle) error {
+	if s.store == nil || h.sinceCkpt == 0 {
+		return nil
+	}
+	switch n := s.persist.everyN; {
+	case n == checkpointManual:
+		return nil
+	case n <= 1 || h.sinceCkpt >= n:
+		return s.checkpointLocked(ctx, owner, h)
+	}
+	return nil
+}
+
+// PersistedViews lists the checkpoints recorded in the System's state
+// directory, sorted by owner. It reads only the manifest; it does not
+// touch the views.
+func (s *System) PersistedViews() ([]ViewState, error) {
+	if s.store == nil {
+		return nil, fmt.Errorf("orchestra: persistence not enabled (use WithPersistence)")
+	}
+	return s.store.Views(), nil
+}
+
+// BusLen returns the number of publications on the System's bus.
+func (s *System) BusLen(ctx context.Context) (int, error) {
+	return core.BusLen(ctx, s.bus)
+}
+
+// Close releases resources the System owns: the durable bus log opened
+// by WithPersistence and the state directory's lock. It does not
+// checkpoint; call Checkpoint first if the current state must be
+// durable (policy-driven checkpoints have already run). Views stay
+// queryable after Close, but publishing to a closed durable bus and
+// checkpointing into a closed store fail.
+func (s *System) Close() error {
+	var first error
+	if s.ownBus != nil {
+		first = s.ownBus.Close()
+	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

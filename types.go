@@ -10,6 +10,7 @@ import (
 	"orchestra/internal/datalog"
 	"orchestra/internal/engine"
 	"orchestra/internal/spec"
+	"orchestra/internal/statestore"
 	"orchestra/internal/tgd"
 	"orchestra/internal/trust"
 	"orchestra/internal/value"
@@ -51,6 +52,10 @@ type (
 	SpecFile = spec.File
 	// PeerEdit is one peer-attributed edit declaration of a spec file.
 	PeerEdit = spec.PeerEdit
+	// ViewState describes one view's durable checkpoint — its owner, the
+	// bus cursor the snapshot reflects, and the snapshot generation (see
+	// WithPersistence and System.PersistedViews).
+	ViewState = statestore.ViewState
 )
 
 // Deletion strategies (§6.3's three contenders).
