@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench examples staticcheck
+.PHONY: all build test vet race bench bench-smoke examples staticcheck
 
 all: build vet test
 
@@ -16,7 +16,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench writes a machine-readable benchmark snapshot (the BENCH_*.json
+# format; see DESIGN.md "Benchmark baselines").
 bench:
+	$(GO) run ./cmd/benchfig -json -out BENCH_last.json
+
+# bench-smoke executes every benchmark once so bench code cannot rot.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 examples:

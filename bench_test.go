@@ -1,304 +1,54 @@
 // Benchmarks regenerating the paper's evaluation (§6): one benchmark
-// family per figure, built on the same internal/benchharness scenarios as
-// cmd/benchfig. Sizes are laptop-scale; run cmd/benchfig -scale N for the
-// full parameter sweeps.
+// family per figure. The cases live in internal/benchharness (GoBenches)
+// and are shared with cmd/benchfig -json, so the committed BENCH_*.json
+// snapshots measure exactly what these benchmarks measure. Sizes are
+// laptop-scale; run cmd/benchfig -scale N for the full parameter sweeps.
 package orchestra
 
 import (
-	"fmt"
 	"testing"
 
 	"orchestra/internal/benchharness"
-	"orchestra/internal/core"
-	"orchestra/internal/engine"
-	"orchestra/internal/workload"
 )
 
-const benchSeed = 42
-
-// fig4Config is Figure 4's setting: 5 peers, full mappings (full tgds,
-// complete topology), string dataset.
-func fig4Config() workload.Config {
-	return workload.Config{
-		Peers:    5,
-		Topology: workload.TopologyComplete,
-		AttrMode: workload.AttrsShared,
-		Dataset:  workload.DatasetString,
-		Seed:     benchSeed,
+// benchFig runs every registered case of one figure as sub-benchmarks.
+func benchFig(b *testing.B, fig int) {
+	for _, c := range benchharness.GoBenches() {
+		if c.Fig != fig {
+			continue
+		}
+		b.Run(c.Sub, c.Run)
 	}
-}
-
-// chainConfig is the §6.4 scale-up setting.
-func chainConfig(peers int, ds workload.Dataset) workload.Config {
-	return workload.Config{
-		Peers:    peers,
-		Topology: workload.TopologyChain,
-		AttrMode: workload.AttrsRandom,
-		Dataset:  ds,
-		Seed:     benchSeed,
-	}
-}
-
-// deletionLogs builds per-peer deletion logs covering `entries` entries.
-func deletionLogs(w *workload.Workload, entries int) []core.EditLog {
-	var logs []core.EditLog
-	for _, peer := range w.PeerNames() {
-		logs = append(logs, w.GenDeletions(peer, entries))
-	}
-	return logs
 }
 
 // BenchmarkFig4 compares the three deletion strategies at a 50% deletion
 // ratio (the mid-point of Figure 4's x-axis).
-func BenchmarkFig4(b *testing.B) {
-	const base = 40
-	for _, strategy := range []core.DeletionStrategy{
-		core.DeleteProvenance, core.DeleteDRed, core.DeleteRecompute,
-	} {
-		b.Run(strategy.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				sc, err := benchharness.BuildScenario(fig4Config(), base, engine.BackendIndexed)
-				if err != nil {
-					b.Fatal(err)
-				}
-				logs := deletionLogs(sc.W, base/2)
-				b.StartTimer()
-				for _, log := range logs {
-					if _, err := sc.View.ApplyEdits(log, strategy); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-		})
-	}
-}
+func BenchmarkFig4(b *testing.B) { benchFig(b, 4) }
 
 // BenchmarkFig5 measures "time to join the system": the initial full
 // computation of all instances and provenance, per backend and dataset.
-func BenchmarkFig5(b *testing.B) {
-	const peers, base = 5, 30
-	for _, series := range []struct {
-		name string
-		ds   workload.Dataset
-		be   engine.Backend
-	}{
-		{"db2_integer", workload.DatasetInteger, engine.BackendHash},
-		{"tukwila_integer", workload.DatasetInteger, engine.BackendIndexed},
-		{"db2_string", workload.DatasetString, engine.BackendHash},
-		{"tukwila_string", workload.DatasetString, engine.BackendIndexed},
-	} {
-		b.Run(series.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				w, err := workload.New(chainConfig(peers, series.ds))
-				if err != nil {
-					b.Fatal(err)
-				}
-				logs := w.GenBase(base)
-				v, err := core.NewView(w.Spec, "", core.Options{Backend: series.be})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for _, peer := range w.PeerNames() {
-					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
-		})
-	}
-}
+func BenchmarkFig5(b *testing.B) { benchFig(b, 5) }
 
 // BenchmarkFig6 reports initial instance sizes (tuples and bytes) as
 // benchmark metrics rather than timings.
-func BenchmarkFig6(b *testing.B) {
-	const peers, base = 5, 30
-	for _, ds := range []workload.Dataset{workload.DatasetInteger, workload.DatasetString} {
-		b.Run(ds.String(), func(b *testing.B) {
-			var rows, bytes float64
-			for i := 0; i < b.N; i++ {
-				sc, err := benchharness.BuildScenario(chainConfig(peers, ds), base, engine.BackendIndexed)
-				if err != nil {
-					b.Fatal(err)
-				}
-				rows = float64(sc.View.DB().TotalRows())
-				bytes = float64(sc.View.DB().TotalBytes())
-			}
-			b.ReportMetric(rows, "tuples")
-			b.ReportMetric(bytes, "dbbytes")
-		})
-	}
-}
-
-// benchInsertions is the §6.4 incremental-insertion scale-up core shared
-// by the Figure 7 (string) and Figure 8 (integer) benchmarks.
-func benchInsertions(b *testing.B, ds workload.Dataset) {
-	const peers, base = 5, 30
-	for _, pct := range []int{1, 10} {
-		for _, be := range []engine.Backend{engine.BackendHash, engine.BackendIndexed} {
-			name := fmt.Sprintf("%dpct_%s", pct, backendName(be))
-			b.Run(name, func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					sc, err := benchharness.BuildScenario(chainConfig(peers, ds), base, be)
-					if err != nil {
-						b.Fatal(err)
-					}
-					n := base * pct / 100
-					if n < 1 {
-						n = 1
-					}
-					var logs []core.EditLog
-					for _, peer := range sc.W.PeerNames() {
-						logs = append(logs, sc.W.GenInsertions(peer, n))
-					}
-					b.StartTimer()
-					for _, log := range logs {
-						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
-							b.Fatal(err)
-						}
-					}
-				}
-			})
-		}
-	}
-}
-
-func backendName(be engine.Backend) string {
-	if be == engine.BackendHash {
-		return "db2"
-	}
-	return "tukwila"
-}
+func BenchmarkFig6(b *testing.B) { benchFig(b, 6) }
 
 // BenchmarkFig7 is incremental insertion on the string dataset.
-func BenchmarkFig7(b *testing.B) { benchInsertions(b, workload.DatasetString) }
+func BenchmarkFig7(b *testing.B) { benchFig(b, 7) }
 
 // BenchmarkFig8 is incremental insertion on the integer dataset.
-func BenchmarkFig8(b *testing.B) { benchInsertions(b, workload.DatasetInteger) }
+func BenchmarkFig8(b *testing.B) { benchFig(b, 8) }
 
 // BenchmarkFig9 is incremental deletion scale-up (1% and 10% loads,
 // integer and string datasets).
-func BenchmarkFig9(b *testing.B) {
-	const peers, base = 5, 30
-	for _, ds := range []workload.Dataset{workload.DatasetInteger, workload.DatasetString} {
-		for _, pct := range []int{1, 10} {
-			b.Run(fmt.Sprintf("%dpct_%s", pct, ds), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					sc, err := benchharness.BuildScenario(chainConfig(peers, ds), base, engine.BackendIndexed)
-					if err != nil {
-						b.Fatal(err)
-					}
-					n := base * pct / 100
-					if n < 1 {
-						n = 1
-					}
-					logs := deletionLogs(sc.W, n)
-					b.StartTimer()
-					for _, log := range logs {
-						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
-							b.Fatal(err)
-						}
-					}
-				}
-			})
-		}
-	}
-}
+func BenchmarkFig9(b *testing.B) { benchFig(b, 9) }
+
+// BenchmarkFig10 measures fixpoint computation as topology cycles are
+// added (0–3), reporting tuples at fixpoint as a metric.
+func BenchmarkFig10(b *testing.B) { benchFig(b, 10) }
 
 // BenchmarkAblationProvTables compares §5's composite mapping table
 // against the pre-optimization per-RHS-atom encoding on a multi-relation
 // workload (the design choice DESIGN.md calls out; the paper reports the
 // composite form "performed better").
-func BenchmarkAblationProvTables(b *testing.B) {
-	const peers, base = 4, 30
-	cfg := workload.Config{
-		Peers:          peers,
-		MaxRelsPerPeer: 3,
-		Topology:       workload.TopologyChain,
-		AttrMode:       workload.AttrsRandom,
-		Dataset:        workload.DatasetInteger,
-		Seed:           benchSeed,
-	}
-	for _, split := range []bool{false, true} {
-		name := "composite"
-		if split {
-			name = "split"
-		}
-		b.Run(name, func(b *testing.B) {
-			var provRows float64
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				w, err := workload.New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				logs := w.GenBase(base)
-				v, err := core.NewView(w.Spec, "", core.Options{SplitProvTables: split})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for _, peer := range w.PeerNames() {
-					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.StopTimer()
-				provRows = 0
-				for _, n := range v.DB().Names() {
-					if len(n) > 2 && n[:2] == "p$" {
-						provRows += float64(v.DB().Table(n).Len())
-					}
-				}
-				b.StartTimer()
-			}
-			b.ReportMetric(provRows, "provrows")
-		})
-	}
-}
-
-// BenchmarkFig10 measures fixpoint computation as topology cycles are
-// added (0–3), reporting tuples at fixpoint as a metric.
-func BenchmarkFig10(b *testing.B) {
-	const base = 30
-	for cycles := 0; cycles <= 3; cycles++ {
-		b.Run(fmt.Sprintf("cycles%d", cycles), func(b *testing.B) {
-			var tuples float64
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				cfg := workload.Config{
-					Peers:        5,
-					Topology:     workload.TopologyRandom,
-					AttrMode:     workload.AttrsNested,
-					AvgNeighbors: 2,
-					ExtraCycles:  cycles,
-					Dataset:      workload.DatasetInteger,
-					Seed:         benchSeed,
-				}
-				w, err := workload.New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				logs := w.GenBase(base)
-				v, err := core.NewView(w.Spec, "", core.Options{})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				for _, peer := range w.PeerNames() {
-					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.StopTimer()
-				tuples = float64(v.DB().TotalRows())
-				b.StartTimer()
-			}
-			b.ReportMetric(tuples, "tuples")
-		})
-	}
-}
+func BenchmarkAblationProvTables(b *testing.B) { benchFig(b, 0) }

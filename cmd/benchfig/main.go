@@ -1,13 +1,18 @@
 // Command benchfig regenerates the paper's evaluation figures (§6,
-// Figures 4–10) as text tables. Absolute numbers reflect this machine and
-// the in-memory substrate; the series shapes are the reproduction target
-// (see EXPERIMENTS.md).
+// Figures 4–10) as text tables, or — with -json — runs the Go benchmark
+// cases behind BenchmarkFig4…Fig10 and emits a machine-readable report
+// (ns/op, allocs/op, bytes/op, custom metrics per figure). The JSON mode
+// produces the committed BENCH_*.json snapshots that record the repo's
+// performance trajectory; `make bench` writes one.
 //
 // Usage:
 //
-//	benchfig                 # all figures at laptop scale
+//	benchfig                 # all figures at laptop scale, text tables
 //	benchfig -fig 4          # one figure
 //	benchfig -scale 5        # 5× larger base data
+//	benchfig -json           # machine-readable benchmark report to stdout
+//	benchfig -json -fig 5    # only Figure 5's cases
+//	benchfig -json -out f.json
 package main
 
 import (
@@ -21,9 +26,46 @@ import (
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number (4-10); 0 = all")
-	scale := flag.Float64("scale", 1, "base-data scale factor (1 = laptop defaults)")
-	seed := flag.Int64("seed", 42, "workload seed")
+	scale := flag.Float64("scale", 1, "base-data scale factor (1 = laptop defaults; table mode only)")
+	seed := flag.Int64("seed", 42, "workload seed (table mode only)")
+	jsonMode := flag.Bool("json", false, "run the Go benchmark cases and emit a JSON report")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+
+	if *jsonMode {
+		var match func(orchestra.BenchCase) bool
+		if *fig != 0 {
+			match = func(c orchestra.BenchCase) bool { return c.Fig == *fig }
+		}
+		rep := orchestra.RunBenchCases(match, func(name string) {
+			fmt.Fprintf(os.Stderr, "benchfig: running %s\n", name)
+		})
+		if len(rep.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "benchfig: no benchmark cases for figure %d\n", *fig)
+			os.Exit(1)
+		}
+		b, err := rep.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := dst.Write(b); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := orchestra.BenchConfig{Scale: *scale, Seed: *seed}
 	var figs []int
@@ -46,6 +88,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchfig: figure %d: %v\n", n, err)
 			os.Exit(1)
 		}
-		fmt.Println(table.Render())
+		fmt.Fprintln(dst, table.Render())
 	}
 }

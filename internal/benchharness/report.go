@@ -1,0 +1,75 @@
+package benchharness
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// BenchResult is one GoBench case's measurement in a BENCH_*.json
+// snapshot.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the machine-readable form of a full benchmark run —
+// the format of the committed BENCH_*.json snapshots that record the
+// repo's performance trajectory. Snapshots are comparable when GoVersion,
+// GOOS, GOARCH, and the case set match.
+type BenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// RunGoBenches runs every GoBench case accepted by match (nil = all)
+// under testing.Benchmark and collects the measurements. progress, if
+// non-nil, is called before each case runs.
+func RunGoBenches(match func(GoBench) bool, progress func(name string)) BenchReport {
+	rep := BenchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range GoBenches() {
+		if match != nil && !match(c) {
+			continue
+		}
+		if progress != nil {
+			progress(c.Name)
+		}
+		r := testing.Benchmark(c.Run)
+		res := BenchResult{
+			Name:        c.Name,
+			Runs:        r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+			BytesPerOp:  float64(r.MemBytes) / float64(r.N),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as committed-snapshot JSON.
+func (r BenchReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

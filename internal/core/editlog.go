@@ -46,10 +46,13 @@ type EditLog []Edit
 // of the view's database, relative to their current contents. Nothing is
 // applied.
 func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr storage.DeltaSet, err error) {
-	// Simulated membership during the scan: touched keys only.
+	// Simulated membership during the scan: touched keys only. Each tuple
+	// is canonically encoded once here; the key then flows through the
+	// membership probes and into the produced deltas.
 	type state struct{ inL, inR, touched bool }
 	states := make(map[string]map[string]*state) // rel -> key -> state
 	tupOf := make(map[string]map[string]value.Tuple)
+	var keyBuf []byte
 
 	get := func(rel string, t value.Tuple) (*state, error) {
 		lt := db.Table(LocalRel(rel))
@@ -67,12 +70,12 @@ func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr stora
 			states[rel] = byKey
 			tupOf[rel] = make(map[string]value.Tuple)
 		}
-		key := t.Key()
-		st, ok := byKey[key]
+		keyBuf = t.EncodeKey(keyBuf[:0])
+		st, ok := byKey[string(keyBuf)]
 		if !ok {
-			st = &state{inL: lt.Contains(t), inR: rt.Contains(t)}
-			byKey[key] = st
-			tupOf[rel][key] = t.Clone()
+			st = &state{inL: lt.ContainsKey(string(keyBuf)), inR: rt.ContainsKey(string(keyBuf))}
+			byKey[string(keyBuf)] = st
+			tupOf[rel][string(keyBuf)] = t.Clone()
 		}
 		return st, nil
 	}
@@ -103,19 +106,19 @@ func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr stora
 			if !st.touched {
 				continue
 			}
-			t := tupOf[rel][key]
-			wasL, wasR := lt.Contains(t), rt.Contains(t)
+			row := value.KeyedRow(tupOf[rel][key], key)
+			wasL, wasR := lt.ContainsKey(key), rt.ContainsKey(key)
 			switch {
 			case st.inL && !wasL:
-				dl.Insert(rel, t)
+				dl.At(rel).InsertRow(row)
 			case !st.inL && wasL:
-				dl.Delete(rel, t)
+				dl.At(rel).DeleteRow(row)
 			}
 			switch {
 			case st.inR && !wasR:
-				dr.Insert(rel, t)
+				dr.At(rel).InsertRow(row)
 			case !st.inR && wasR:
-				dr.Delete(rel, t)
+				dr.At(rel).DeleteRow(row)
 			}
 		}
 	}

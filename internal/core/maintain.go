@@ -185,26 +185,26 @@ func (v *View) repairIfDirty(ctx context.Context, stats *ApplyStats) error {
 func (v *View) applyBaseChanges(dl, dr storage.DeltaSet, stats *ApplyStats) {
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
-		for _, t := range d.Del() {
-			if lt.Delete(t) {
+		for _, r := range d.DelRows() {
+			if lt.DeleteRow(r) {
 				stats.DelL++
 			}
 		}
-		for _, t := range d.Ins() {
-			if v.trustsBase(rel, t) && lt.Insert(t) {
+		for _, r := range d.InsRows() {
+			if v.trustsBase(rel, r.Tuple) && lt.InsertRow(r) {
 				stats.InsL++
 			}
 		}
 	}
 	for rel, d := range dr {
 		rt := v.db.Table(RejectRel(rel))
-		for _, t := range d.Ins() {
-			if rt.Insert(t) {
+		for _, r := range d.InsRows() {
+			if rt.InsertRow(r) {
 				stats.InsR++
 			}
 		}
-		for _, t := range d.Del() {
-			if rt.Delete(t) {
+		for _, r := range d.DelRows() {
+			if rt.DeleteRow(r) {
 				stats.DelR++
 			}
 		}
@@ -215,16 +215,16 @@ func (v *View) applyBaseChanges(dl, dr storage.DeltaSet, stats *ApplyStats) {
 // contributions from dl, withdrawn rejections from dr) and propagates
 // them semi-naively with inline trust filtering (§4.2).
 func (v *View) insertIncremental(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
-	delta := storage.DeltaSet{}
+	pending := make(map[string][]value.Row)
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
-		for _, t := range d.Ins() {
-			if !v.trustsBase(rel, t) {
+		for _, r := range d.InsRows() {
+			if !v.trustsBase(rel, r.Tuple) {
 				continue
 			}
-			if lt.Insert(t) {
+			if lt.InsertRow(r) {
 				stats.InsL++
-				delta.Insert(LocalRel(rel), t)
+				pending[LocalRel(rel)] = append(pending[LocalRel(rel)], r)
 				v.ev.InvalidateTransient(LocalRel(rel))
 			}
 		}
@@ -232,22 +232,22 @@ func (v *View) insertIncremental(ctx context.Context, dl, dr storage.DeltaSet, s
 	for rel, d := range dr {
 		rt := v.db.Table(RejectRel(rel))
 		it := v.db.Table(InputRel(rel))
-		for _, t := range d.Del() {
-			if rt.Delete(t) {
+		for _, r := range d.DelRows() {
+			if rt.DeleteRow(r) {
 				stats.DelR++
 				v.ev.InvalidateTransient(RejectRel(rel))
 				// A withdrawn rejection revives the blocked input tuple:
 				// re-feed it through rule (tR) by seeding the delta.
-				if it.Contains(t) {
-					delta.Insert(InputRel(rel), t)
+				if it.ContainsRow(r) {
+					pending[InputRel(rel)] = append(pending[InputRel(rel)], r)
 				}
 			}
 		}
 	}
-	if delta.Empty() {
+	if len(pending) == 0 {
 		return nil
 	}
-	es, err := v.ev.PropagateInsertionsContext(ctx, delta)
+	es, err := v.ev.PropagateRowsContext(ctx, pending)
 	stats.Engine.Add(es)
 	return err
 }
@@ -255,10 +255,12 @@ func (v *View) insertIncremental(ctx context.Context, dl, dr storage.DeltaSet, s
 // ---------------------------------------------------------------------------
 // Provenance-driven incremental deletion (the paper's Fig. 3).
 
-// provHandle identifies one provenance row.
+// provHandle identifies one provenance row. The row is keyed, so deleting
+// it and instantiating its templates never re-encode; stored rows are
+// immutable, so handles share them without cloning.
 type provHandle struct {
 	mi  *provenance.MappingInfo
-	row value.Tuple
+	row value.Row
 }
 
 // deleteProvenance implements the PropagateDelete algorithm: delete
@@ -276,11 +278,11 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 	// Seed: local-contribution deletions…
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
-		for _, t := range d.Del() {
-			if lt.Delete(t) {
+		for _, r := range d.DelRows() {
+			if lt.DeleteRow(r) {
 				stats.DelL++
 				v.ev.InvalidateTransient(LocalRel(rel))
-				ref := provenance.NewRef(LocalRel(rel), t)
+				ref := provenance.RowRef(LocalRel(rel), r)
 				deleted[ref] = true
 				work = append(work, ref)
 			}
@@ -291,12 +293,12 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 	for rel, d := range dr {
 		rt := v.db.Table(RejectRel(rel))
 		pIns := v.db.Table(provRelOf(insMapID(rel)))
-		for _, t := range d.Ins() {
-			if rt.Insert(t) {
+		for _, r := range d.InsRows() {
+			if rt.InsertRow(r) {
 				stats.InsR++
 				v.ev.InvalidateTransient(RejectRel(rel))
-				if pIns.Contains(t) {
-					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: t.Clone()})
+				if pIns.ContainsRow(r) {
+					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
 				}
 			}
 		}
@@ -307,8 +309,10 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 			return
 		}
 		tbl := v.db.Table(ref.Rel)
-		t := ref.Tuple()
-		if tbl == nil || !tbl.Delete(t) {
+		if tbl == nil {
+			return
+		}
+		if _, ok := tbl.DeleteKey(ref.Key); !ok {
 			return
 		}
 		v.ev.InvalidateTransient(ref.Rel)
@@ -327,13 +331,13 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 			provDel = nil
 			for _, h := range rows {
 				pt := v.db.Table(h.mi.ProvRel)
-				if !pt.Delete(h.row) {
+				if !pt.DeleteRow(h.row) {
 					continue
 				}
 				v.ev.InvalidateTransient(h.mi.ProvRel)
 				stats.ProvRowsDeleted++
 				for i := range h.mi.Targets {
-					ref := provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row, v.sk))
+					ref := provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk))
 					if deleted[ref] {
 						continue
 					}
@@ -410,8 +414,8 @@ func (v *View) rowsUsingSource(ref provenance.Ref) []provHandle {
 	t := ref.Tuple()
 	for _, ms := range v.bySourceRel[ref.Rel] {
 		tmpl := &ms.mi.Sources[ms.idx]
-		v.probeTemplate(ms.mi, tmpl, t, func(row value.Tuple) {
-			out = append(out, provHandle{mi: ms.mi, row: row.Clone()})
+		v.probeTemplate(ms.mi, tmpl, t, func(row value.Row) {
+			out = append(out, provHandle{mi: ms.mi, row: row})
 		})
 	}
 	return out
@@ -424,8 +428,8 @@ func (v *View) rowsDeriving(ref provenance.Ref) []provHandle {
 	t := ref.Tuple()
 	for _, mt := range v.byTargetRel[ref.Rel] {
 		tmpl := &mt.mi.Targets[mt.idx]
-		v.probeTemplate(mt.mi, tmpl, t, func(row value.Tuple) {
-			out = append(out, provHandle{mi: mt.mi, row: row.Clone()})
+		v.probeTemplate(mt.mi, tmpl, t, func(row value.Row) {
+			out = append(out, provHandle{mi: mt.mi, row: row})
 		})
 	}
 	return out
@@ -436,7 +440,7 @@ func (v *View) hasSupport(ref provenance.Ref) bool {
 	t := ref.Tuple()
 	for _, mt := range v.byTargetRel[ref.Rel] {
 		found := false
-		v.probeTemplate(mt.mi, &mt.mi.Targets[mt.idx], t, func(value.Tuple) { found = true })
+		v.probeTemplate(mt.mi, &mt.mi.Targets[mt.idx], t, func(value.Row) { found = true })
 		if found {
 			return true
 		}
@@ -446,8 +450,10 @@ func (v *View) hasSupport(ref provenance.Ref) bool {
 
 // probeTemplate finds provenance rows of mi whose template instantiation
 // equals want, probing a secondary index on the first directly-copied
-// column when possible.
-func (v *View) probeTemplate(mi *provenance.MappingInfo, tmpl *provenance.AtomTemplate, want value.Tuple, fn func(value.Tuple)) {
+// column when possible. Matching rows are handed to fn keyed; fn must not
+// retain the bucket slice beyond the call (rows themselves are immutable
+// and safe to keep).
+func (v *View) probeTemplate(mi *provenance.MappingInfo, tmpl *provenance.AtomTemplate, want value.Tuple, fn func(value.Row)) {
 	pt := v.db.Table(mi.ProvRel)
 	if pt.Len() == 0 {
 		return
@@ -467,16 +473,16 @@ func (v *View) probeTemplate(mi *provenance.MappingInfo, tmpl *provenance.AtomTe
 	}
 	if probeCol >= 0 {
 		pt.EnsureIndex(probeCol)
-		pt.Probe(probeCol, probeVal, func(row value.Tuple) bool {
-			if matches(row) {
+		rows, _ := pt.ProbeRows(probeCol, probeVal)
+		for _, row := range rows {
+			if matches(row.Tuple) {
 				fn(row)
 			}
-			return true
-		})
+		}
 		return
 	}
-	pt.Each(func(row value.Tuple) bool {
-		if matches(row) {
+	pt.EachRow(func(row value.Row) bool {
+		if matches(row.Tuple) {
 			fn(row)
 		}
 		return true
@@ -507,14 +513,14 @@ func (v *View) derivable(ctx context.Context, refs []provenance.Ref, stats *Appl
 	// credits for beating DRed.
 	support := v.supportOf(refs)
 	for ref := range support {
-		v.chkDB.Table(ref.Rel).Insert(ref.Tuple())
+		v.chkDB.Table(ref.Rel).InsertRow(value.KeyedRow(ref.Tuple(), ref.Key))
 	}
 	// Rejections still apply during re-derivation.
 	for _, rel := range v.spec.Universe.Relations() {
 		src := v.db.Table(RejectRel(rel.Name))
 		dst := v.chkDB.Table(RejectRel(rel.Name))
-		src.Each(func(t value.Tuple) bool {
-			dst.Insert(t)
+		src.EachRow(func(r value.Row) bool {
+			dst.InsertRow(r)
 			return true
 		})
 	}
@@ -592,7 +598,7 @@ func (v *View) supportOf(targets []provenance.Ref) map[provenance.Ref]bool {
 		}
 		for _, h := range v.rowsDeriving(cur) {
 			for i := range h.mi.Sources {
-				src := provenance.NewRef(h.mi.Sources[i].Rel, h.mi.Sources[i].Instantiate(h.row, v.sk))
+				src := provenance.NewRef(h.mi.Sources[i].Rel, h.mi.Sources[i].Instantiate(h.row.Tuple, v.sk))
 				if !visited[src] {
 					visited[src] = true
 					stack = append(stack, src)
@@ -618,6 +624,7 @@ func (v *View) ensureChk() error {
 	ev, err := engine.New(v.prog, v.chkDB, v.sk, engine.Options{
 		Backend:       v.opts.Backend,
 		MaxIterations: v.opts.MaxIterations,
+		Parallelism:   v.opts.Parallelism,
 	})
 	if err != nil {
 		return err
@@ -641,10 +648,10 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
-		for _, t := range d.Del() {
-			if lt.Delete(t) {
+		for _, r := range d.DelRows() {
+			if lt.DeleteRow(r) {
 				stats.DelL++
-				ref := provenance.NewRef(LocalRel(rel), t)
+				ref := provenance.RowRef(LocalRel(rel), r)
 				deleted[ref] = true
 				work = append(work, ref)
 			}
@@ -653,11 +660,11 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 	for rel, d := range dr {
 		rt := v.db.Table(RejectRel(rel))
 		pIns := v.db.Table(provRelOf(insMapID(rel)))
-		for _, t := range d.Ins() {
-			if rt.Insert(t) {
+		for _, r := range d.InsRows() {
+			if rt.InsertRow(r) {
 				stats.InsR++
-				if pIns.Contains(t) {
-					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: t.Clone()})
+				if pIns.ContainsRow(r) {
+					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
 				}
 			}
 		}
@@ -668,7 +675,10 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 			return
 		}
 		tbl := v.db.Table(ref.Rel)
-		if tbl == nil || !tbl.Delete(ref.Tuple()) {
+		if tbl == nil {
+			return
+		}
+		if _, ok := tbl.DeleteKey(ref.Key); !ok {
 			return
 		}
 		deleted[ref] = true
@@ -681,14 +691,14 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 		provDel = nil
 		for _, h := range rows {
 			pt := v.db.Table(h.mi.ProvRel)
-			if !pt.Delete(h.row) {
+			if !pt.DeleteRow(h.row) {
 				continue
 			}
 			stats.ProvRowsDeleted++
 			for i := range h.mi.Targets {
 				// Pessimism: delete the target even if other derivations
 				// exist; re-derivation restores it.
-				overDelete(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row, v.sk)))
+				overDelete(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk)))
 			}
 		}
 		tuples := work

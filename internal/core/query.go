@@ -73,7 +73,7 @@ func (v *View) parseQuery(q string) (*datalog.Rule, error) {
 	rule := datalog.NewRule("query", heads[0], body...)
 	if where != nil && !where.Trivial() {
 		pred := where
-		rule.AddFilter(pred.String(), func(env map[string]value.Value) bool {
+		rule.AddFilter(pred.String(), func(env value.Env) bool {
 			return pred.Eval(env)
 		})
 	}
@@ -104,7 +104,10 @@ func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, include
 	}
 	defer v.db.Drop(tmp)
 
-	ev, err := engine.New(datalog.NewProgram(qr), v.db, v.sk, engine.Options{Backend: v.opts.Backend})
+	ev, err := engine.New(datalog.NewProgram(qr), v.db, v.sk, engine.Options{
+		Backend:     v.opts.Backend,
+		Parallelism: v.opts.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}

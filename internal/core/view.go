@@ -19,6 +19,10 @@ type Options struct {
 	Backend engine.Backend
 	// MaxIterations bounds fixpoint loops (0 = engine default).
 	MaxIterations int
+	// Parallelism bounds the worker pool evaluating the rules of one
+	// semi-naive round concurrently (0 = GOMAXPROCS, 1 = sequential).
+	// Results are identical at every setting; see engine.Options.
+	Parallelism int
 	// SplitProvTables reverts §5's composite-mapping-table optimization:
 	// one provenance table per RHS atom instead of one per tgd. Semantics
 	// are identical; the ablation benchmarks measure the cost.
@@ -126,7 +130,7 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 			// targets.
 			for _, cond := range v.effectiveConditions(m.ID) {
 				accept := cond.Accept
-				enc.Populate.AddFilter(cond.String(), func(env map[string]value.Value) bool {
+				enc.Populate.AddFilter(cond.String(), func(env value.Env) bool {
 					return accept.Eval(env)
 				})
 			}
@@ -176,6 +180,7 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 	ev, err := engine.New(v.prog, v.db, v.sk, engine.Options{
 		Backend:       opts.Backend,
 		MaxIterations: opts.MaxIterations,
+		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err

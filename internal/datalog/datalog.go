@@ -126,9 +126,11 @@ func (l Literal) String() string {
 
 // Filter is an extra comparison predicate attached to a rule — the hook
 // through which per-mapping trust conditions Θ (paper §3.3) are pushed
-// into evaluation. It receives the full variable binding of a satisfied
-// body and returns whether the head may be derived.
-type Filter func(binding map[string]value.Value) bool
+// into evaluation. It receives the variable binding of a satisfied body
+// as a value.Env and returns whether the head may be derived. The engine
+// implements the Env directly over its slot array, so filters run
+// without materializing a map per match.
+type Filter func(env value.Env) bool
 
 // Rule is head :- body, with optional comparison filters.
 type Rule struct {

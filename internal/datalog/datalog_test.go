@@ -84,7 +84,7 @@ func TestRuleValidateErrors(t *testing.T) {
 func TestRuleString(t *testing.T) {
 	r := NewRule("m", NewAtom("H", V("x")),
 		Pos(NewAtom("B", V("x"))), Neg(NewAtom("N", V("x"))))
-	r.AddFilter("x >= 3", func(map[string]value.Value) bool { return true })
+	r.AddFilter("x >= 3", func(value.Env) bool { return true })
 	got := r.String()
 	if got != "H(x) :- B(x), not N(x), [x >= 3]." {
 		t.Fatalf("String = %q", got)

@@ -49,8 +49,9 @@ func TestFiltersOnDeltaPlans(t *testing.T) {
 	db := newDB(map[string]int{"in": 1, "out": 1})
 	r := datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
 		datalog.Pos(datalog.NewAtom("in", datalog.V("x"))))
-	r.AddFilter("x != 2", func(env map[string]value.Value) bool {
-		return env["x"] != value.Int(2)
+	r.AddFilter("x != 2", func(env value.Env) bool {
+		x, _ := env.Lookup("x")
+		return x != value.Int(2)
 	})
 	ev, err := New(datalog.NewProgram(r), db, value.NewSkolemTable(), Options{})
 	if err != nil {

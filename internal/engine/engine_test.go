@@ -210,8 +210,9 @@ func TestFilters(t *testing.T) {
 	}
 	r := datalog.NewRule("r", datalog.NewAtom("out", datalog.V("x")),
 		datalog.Pos(datalog.NewAtom("in", datalog.V("x"))))
-	r.AddFilter("x < 3", func(env map[string]value.Value) bool {
-		return env["x"].AsInt() < 3
+	r.AddFilter("x < 3", func(env value.Env) bool {
+		x, _ := env.Lookup("x")
+		return x.AsInt() < 3
 	})
 	ev, err := New(datalog.NewProgram(r), db, value.NewSkolemTable(), Options{})
 	if err != nil {

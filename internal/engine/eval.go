@@ -3,6 +3,10 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/storage"
@@ -16,6 +20,16 @@ type Options struct {
 	// against non-terminating programs (weak acyclicity should prevent
 	// this; 0 means a generous default).
 	MaxIterations int
+	// Parallelism bounds the worker pool evaluating the rules of one
+	// semi-naive round concurrently (tables are immutable while a round's
+	// rules fire, so rule evaluation is read-only). 0 means GOMAXPROCS; 1
+	// forces fully sequential execution. Fixpoints, instances, and
+	// provenance are identical at every setting — derived batches merge in
+	// deterministic rule order, and labeled-null interning is deferred to
+	// that merge — though TransientBuilds may differ, since parallel
+	// rounds pre-build the hash backend's transient indexes their plans
+	// can probe instead of building them lazily on first probe.
+	Parallelism int
 }
 
 // Stats reports work done by an evaluation.
@@ -26,8 +40,11 @@ type Stats struct {
 	Derived int
 	// Probes counts index / hash probes plus scanned rows.
 	Probes int
-	// TransientBuilds counts per-call hash table constructions (the
-	// BackendHash statement overhead).
+	// TransientBuilds counts transient hash table constructions — the
+	// BackendHash statement overhead. Transient indexes are maintained
+	// incrementally as the evaluator derives tuples, so a build is charged
+	// when a (relation, column) is first probed and again after external
+	// mutations invalidate (InvalidateTransient), not on every round.
 	TransientBuilds int
 	// RuleFires counts rule-plan invocations.
 	RuleFires int
@@ -42,6 +59,14 @@ func (s *Stats) Add(other Stats) {
 	s.RuleFires += other.RuleFires
 }
 
+// deltaEntry pairs a body predicate with the delta plans of its positive
+// occurrences, in sorted-predicate order so rounds schedule rule firings
+// deterministically.
+type deltaEntry struct {
+	pred  string
+	plans []*plan
+}
+
 // Evaluator runs a fixed program against a database.
 type Evaluator struct {
 	prog   *datalog.Program
@@ -52,14 +77,26 @@ type Evaluator struct {
 
 	// naivePlans[rule] evaluates the whole body against full relations.
 	naivePlans map[*datalog.Rule]*plan
-	// deltaPlans[rule][pred] holds one plan per positive occurrence of
-	// pred in the rule body.
-	deltaPlans map[*datalog.Rule]map[string][]*plan
+	// deltaPlans[rule] holds, per positive body predicate (sorted), one
+	// plan per occurrence of that predicate in the rule body.
+	deltaPlans map[*datalog.Rule][]deltaEntry
+	// reads[stratum] is the precomputed set of predicates the stratum's
+	// rule bodies mention positively, so incremental propagation does not
+	// rebuild it per call.
+	reads map[*datalog.Stratum]map[string]bool
+	// stratumPlans[stratum][pred] lists the delta plans fed by pred, in
+	// deterministic (pred-sorted, then rule) order. Rounds only touch the
+	// plans of predicates that actually changed, so per-round cost scales
+	// with the delta, not with program size.
+	stratumPlans map[*datalog.Stratum]map[string][]*plan
+	// predScratch is the per-round reusable buffer of changed predicates.
+	predScratch []string
 
-	// transient per-call hash indexes for BackendHash: pred -> col -> map
-	// from probe value to rows. Rebuilt whenever the underlying table
-	// changes (generation counter).
-	transient map[string]map[int]map[value.Value][]value.Tuple
+	// transient per-call hash indexes for BackendHash: pred -> col ->
+	// probe value -> dense rows. Once built, an index is maintained
+	// incrementally as derived tuples are applied; external mutations
+	// invalidate via the generation counters.
+	transient map[string]map[int]map[value.Value][]value.Row
 	tgen      map[string]int
 	gen       map[string]int
 }
@@ -79,16 +116,27 @@ func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opt
 		opts.MaxIterations = 1_000_000
 	}
 	ev := &Evaluator{
-		prog:       prog,
-		strata:     strata,
-		db:         db,
-		sk:         sk,
-		opts:       opts,
-		naivePlans: make(map[*datalog.Rule]*plan),
-		deltaPlans: make(map[*datalog.Rule]map[string][]*plan),
-		transient:  make(map[string]map[int]map[value.Value][]value.Tuple),
-		tgen:       make(map[string]int),
-		gen:        make(map[string]int),
+		prog:         prog,
+		strata:       strata,
+		db:           db,
+		sk:           sk,
+		opts:         opts,
+		naivePlans:   make(map[*datalog.Rule]*plan),
+		deltaPlans:   make(map[*datalog.Rule][]deltaEntry),
+		reads:        make(map[*datalog.Stratum]map[string]bool),
+		stratumPlans: make(map[*datalog.Stratum]map[string][]*plan),
+		transient:    make(map[string]map[int]map[value.Value][]value.Row),
+		tgen:         make(map[string]int),
+		gen:          make(map[string]int),
+	}
+	for _, st := range strata {
+		reads := make(map[string]bool)
+		for _, r := range st.Rules {
+			for _, p := range bodyPreds(r) {
+				reads[p] = true
+			}
+		}
+		ev.reads[st] = reads
 	}
 	ensureIdx := opts.Backend == BackendIndexed
 	for _, r := range prog.Rules {
@@ -97,17 +145,28 @@ func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opt
 			return nil, err
 		}
 		ev.naivePlans[r] = np
-		byPred := make(map[string][]*plan)
-		for _, pred := range bodyPreds(r) {
+		var entries []deltaEntry
+		for _, pred := range bodyPreds(r) { // sorted
+			e := deltaEntry{pred: pred}
 			for _, pos := range deltaPositions(r, pred) {
 				dp, err := compilePlan(r, pos, db, opts.Backend, ensureIdx)
 				if err != nil {
 					return nil, err
 				}
-				byPred[pred] = append(byPred[pred], dp)
+				e.plans = append(e.plans, dp)
+			}
+			entries = append(entries, e)
+		}
+		ev.deltaPlans[r] = entries
+	}
+	for _, st := range strata {
+		byPred := make(map[string][]*plan)
+		for _, r := range st.Rules {
+			for _, e := range ev.deltaPlans[r] {
+				byPred[e.pred] = append(byPred[e.pred], e.plans...)
 			}
 		}
-		ev.deltaPlans[r] = byPred
+		ev.stratumPlans[st] = byPred
 	}
 	return ev, nil
 }
@@ -117,6 +176,14 @@ func (ev *Evaluator) DB() *storage.Database { return ev.db }
 
 // Program returns the compiled program.
 func (ev *Evaluator) Program() *datalog.Program { return ev.prog }
+
+// parallelism resolves the configured worker bound.
+func (ev *Evaluator) parallelism() int {
+	if ev.opts.Parallelism > 0 {
+		return ev.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Run evaluates the program to fixpoint from the current database state
 // (naive first round per stratum, then semi-naive rounds). It returns
@@ -136,19 +203,20 @@ func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
 		}
 		// First round: naive evaluation of every rule in the stratum.
 		// Derived rows are buffered and applied after the whole round —
-		// tables stay immutable during a round, so per-call hash builds
-		// (BackendHash) amortize across the round like a bulk engine's.
-		changed := make(map[string][]value.Tuple)
-		var buffered []derivedBatch
+		// tables stay immutable during a round, so the round's rules can
+		// evaluate concurrently and transient hash indexes (BackendHash)
+		// stay valid for the whole round.
+		changed := make(map[string][]value.Row)
+		tasks := make([]evalTask, 0, len(st.Rules))
 		for _, r := range st.Rules {
-			rows, err := ev.evalPlan(ev.naivePlans[r], nil, &stats)
-			if err != nil {
-				return stats, err
-			}
-			buffered = append(buffered, derivedBatch{pred: r.Head.Pred, rows: rows})
+			tasks = append(tasks, evalTask{plan: ev.naivePlans[r]})
 		}
-		for _, batch := range buffered {
-			ev.applyDerived(batch.pred, batch.rows, changed, &stats)
+		buffered, err := ev.runTasks(tasks, &stats)
+		if err != nil {
+			return stats, err
+		}
+		for i := range buffered {
+			ev.applyDerived(&buffered[i], changed, &stats)
 		}
 		stats.Iterations++
 		if err := ev.seminaiveLoop(ctx, st, changed, &stats); err != nil {
@@ -158,10 +226,13 @@ func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
 	return stats, nil
 }
 
-// derivedBatch buffers one rule's output within a semi-naive round.
+// derivedBatch buffers one rule firing's output within a semi-naive
+// round: candidate head rows plus the Skolem applications whose interning
+// was deferred to the deterministic merge (parallel rounds).
 type derivedBatch struct {
-	pred string
-	rows []value.Tuple
+	plan    *plan
+	rows    []value.Tuple
+	pending []skPending
 }
 
 // PropagateInsertions propagates already-applied base insertions to
@@ -174,16 +245,23 @@ func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) 
 // PropagateInsertionsContext is PropagateInsertions with cancellation
 // checked between semi-naive rounds.
 func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta storage.DeltaSet) (Stats, error) {
-	var stats Stats
-	// Seed per-stratum change sets with the base delta; changes produced
-	// in earlier strata remain visible to later ones.
-	pending := make(map[string][]value.Tuple)
+	pending := make(map[string][]value.Row)
 	for rel, d := range delta {
-		ins := d.Ins()
+		ins := d.InsRows()
 		if len(ins) > 0 {
 			pending[rel] = append(pending[rel], ins...)
 		}
 	}
+	return ev.PropagateRowsContext(ctx, pending)
+}
+
+// PropagateRowsContext propagates already-applied base insertions given
+// directly as keyed rows per relation — the zero-copy entry point for
+// callers that already hold keyed rows. The map is consumed: it seeds the
+// per-stratum change sets and accumulates changes produced in earlier
+// strata, which remain visible to later ones.
+func (ev *Evaluator) PropagateRowsContext(ctx context.Context, pending map[string][]value.Row) (Stats, error) {
+	var stats Stats
 	for _, st := range ev.strata {
 		if err := ev.seminaiveLoop(ctx, st, pending, &stats); err != nil {
 			return stats, err
@@ -197,21 +275,18 @@ func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta stora
 // seen so far during the enclosing operation: the loop consumes the
 // entries relevant to this stratum but leaves them in place for later
 // strata.
-func (ev *Evaluator) seminaiveLoop(ctx context.Context, st *datalog.Stratum, changed map[string][]value.Tuple, stats *Stats) error {
-	// Which preds does this stratum read?
-	reads := make(map[string]bool)
-	for _, r := range st.Rules {
-		for _, p := range bodyPreds(r) {
-			reads[p] = true
-		}
-	}
+func (ev *Evaluator) seminaiveLoop(ctx context.Context, st *datalog.Stratum, changed map[string][]value.Row, stats *Stats) error {
+	// Which preds does this stratum read? (Precomputed at compile time.)
+	reads := ev.reads[st]
 	// Working delta: initially all accumulated changes for read preds.
-	work := make(map[string][]value.Tuple)
+	work := make(map[string][]value.Row)
 	for pred, rows := range changed {
 		if reads[pred] && len(rows) > 0 {
 			work[pred] = rows
 		}
 	}
+	var tasks []evalTask
+	next := make(map[string][]value.Row)
 	for iter := 0; len(work) > 0; iter++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -220,32 +295,40 @@ func (ev *Evaluator) seminaiveLoop(ctx context.Context, st *datalog.Stratum, cha
 			return fmt.Errorf("engine: stratum exceeded %d iterations (non-terminating mappings?)", ev.opts.MaxIterations)
 		}
 		stats.Iterations++
-		next := make(map[string][]value.Tuple)
-		var buffered []derivedBatch
-		for _, r := range st.Rules {
-			for pred, plans := range ev.deltaPlans[r] {
-				rows := work[pred]
-				if len(rows) == 0 {
-					continue
-				}
-				for _, dp := range plans {
-					derived, err := ev.evalPlan(dp, rows, stats)
-					if err != nil {
-						return err
-					}
-					buffered = append(buffered, derivedBatch{pred: r.Head.Pred, rows: derived})
-				}
+		tasks = tasks[:0]
+		// Fire only the plans whose delta predicate changed this round, in
+		// deterministic (sorted-pred, rule) order.
+		preds := ev.predScratch[:0]
+		for pred := range work {
+			preds = append(preds, pred)
+		}
+		sort.Strings(preds)
+		ev.predScratch = preds
+		byPred := ev.stratumPlans[st]
+		for _, pred := range preds {
+			rows := work[pred]
+			if len(rows) == 0 {
+				continue
 			}
+			for _, dp := range byPred[pred] {
+				tasks = append(tasks, evalTask{plan: dp, delta: rows})
+			}
+		}
+		buffered, err := ev.runTasks(tasks, stats)
+		if err != nil {
+			return err
 		}
 		// Apply the whole round at once (Jacobi-style): newly derived
 		// tuples only become visible — and joinable — in the next round,
 		// where they are also this loop's delta.
-		for _, batch := range buffered {
-			ev.applyDerived(batch.pred, batch.rows, next, stats)
+		for i := range buffered {
+			ev.applyDerived(&buffered[i], next, stats)
 		}
 		// Fold this round's new tuples into the global change set and
-		// into the next working delta.
-		work = make(map[string][]value.Tuple)
+		// into the next working delta. The maps double-buffer: work keeps
+		// the slice headers, so clearing next for the coming round is
+		// safe.
+		clear(work)
 		for pred, rows := range next {
 			if len(rows) == 0 {
 				continue
@@ -255,199 +338,532 @@ func (ev *Evaluator) seminaiveLoop(ctx context.Context, st *datalog.Stratum, cha
 				work[pred] = rows
 			}
 		}
+		clear(next)
 	}
 	return nil
 }
 
-// applyDerived inserts rows into pred's table, recording genuinely new
-// tuples into out.
-func (ev *Evaluator) applyDerived(pred string, rows []value.Tuple, out map[string][]value.Tuple, stats *Stats) {
-	if len(rows) == 0 {
-		return
+// evalTask is one rule-plan firing of a round.
+type evalTask struct {
+	plan  *plan
+	delta []value.Row
+}
+
+// runTasks evaluates the rule firings of one round, sequentially or over
+// a bounded worker pool, and returns their batches in task order. Rounds
+// fire against immutable tables, so parallel evaluation is read-only:
+// labeled-null interning is deferred into the batches (resolved in
+// deterministic order by applyDerived) and the hash backend's transient
+// indexes are pre-built before the workers start.
+func (ev *Evaluator) runTasks(tasks []evalTask, stats *Stats) ([]derivedBatch, error) {
+	workers := ev.parallelism()
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
-	tbl := ev.db.Table(pred)
-	for _, row := range rows {
-		if tbl.Insert(row) {
-			out[pred] = append(out[pred], row)
-			stats.Derived++
-			ev.gen[pred]++
+	if workers <= 1 {
+		batches := make([]derivedBatch, 0, len(tasks))
+		for _, t := range tasks {
+			rows, err := ev.evalPlan(t.plan, t.delta, stats, false)
+			if err != nil {
+				return nil, err
+			}
+			batches = append(batches, derivedBatch{plan: t.plan, rows: rows})
 		}
+		return batches, nil
+	}
+
+	// Pre-build every transient index the round's plans can probe, so
+	// workers only read the transient maps.
+	if ev.opts.Backend == BackendHash {
+		for _, t := range tasks {
+			for i := range t.plan.steps {
+				st := &t.plan.steps[i]
+				if st.kind == stepProbe {
+					ev.ensureTransient(st.pred, st.probeCol, stats)
+				}
+			}
+		}
+	}
+
+	type result struct {
+		batch derivedBatch
+		stats Stats
+		err   error
+	}
+	results := make([]result, len(tasks))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				rows, err := ev.evalPlan(t.plan, t.delta, &results[i].stats, true)
+				results[i].batch = derivedBatch{plan: t.plan, rows: rows, pending: t.plan.ex.pending}
+				results[i].err = err
+			}
+		}()
+	}
+	wg.Wait()
+
+	batches := make([]derivedBatch, 0, len(tasks))
+	for i := range results {
+		stats.Add(results[i].stats)
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		batches = append(batches, results[i].batch)
+	}
+	return batches, nil
+}
+
+// applyDerived resolves a batch's deferred Skolem applications (interning
+// in deterministic batch order — exactly the order sequential evaluation
+// interns in), inserts its rows into the head relation, and records
+// genuinely new rows into out.
+func (ev *Evaluator) applyDerived(batch *derivedBatch, out map[string][]value.Row, stats *Stats) {
+	for _, p := range batch.pending {
+		batch.rows[p.rowIdx][p.col] = ev.sk.Apply(p.fn, p.args)
+	}
+	p := batch.plan
+	inserted := 0
+	pred := p.headPred
+	tbl := p.headTbl
+	for _, row := range batch.rows {
+		r, ok := tbl.InsertOwned(row)
+		if !ok {
+			continue
+		}
+		inserted++
+		out[pred] = append(out[pred], r)
+		stats.Derived++
+		// Maintain live transient indexes incrementally instead of
+		// invalidating them into a full rebuild on the next probe.
+		if cols, ok := ev.transient[pred]; ok && len(cols) > 0 && ev.tgen[pred] == ev.gen[pred] {
+			for col, idx := range cols {
+				idx[r.Tuple[col]] = append(idx[r.Tuple[col]], r)
+			}
+		}
+	}
+	// Adapt the plan's emit-time duplicate check to the firing's observed
+	// duplicate rate: every emitted head was either dropped by the check,
+	// rejected at insert, or genuinely new.
+	if ex := p.ex; ex != nil && ex.emitted >= 16 {
+		dups := ex.dedupDropped + (len(batch.rows) - inserted)
+		p.dedup = 2*dups >= ex.emitted
 	}
 }
 
 // InvalidateTransient drops cached per-call hash tables for pred; callers
 // that mutate tables outside the evaluator (e.g. the deletion algorithms)
-// must invalidate.
+// must invalidate. It is a no-op for backends that keep no transient
+// state.
 func (ev *Evaluator) InvalidateTransient(pred string) {
+	if ev.opts.Backend != BackendHash {
+		return
+	}
 	ev.gen[pred]++
 }
 
 // InvalidateAllTransient drops every cached per-call hash table.
 func (ev *Evaluator) InvalidateAllTransient() {
+	if ev.opts.Backend != BackendHash {
+		return
+	}
 	for pred := range ev.transient {
 		ev.gen[pred]++
 	}
-	ev.transient = make(map[string]map[int]map[value.Value][]value.Tuple)
+	ev.transient = make(map[string]map[int]map[value.Value][]value.Row)
 	ev.tgen = make(map[string]int)
 }
 
-// evalPlan runs one compiled plan. deltaRows feeds the plan's delta step
-// (may be nil for naive plans). It returns the derived head tuples
-// (unvalidated against the head table; duplicates possible).
-func (ev *Evaluator) evalPlan(p *plan, deltaRows []value.Tuple, stats *Stats) ([]value.Tuple, error) {
-	stats.RuleFires++
-	binding := make(value.Tuple, p.nslots)
-	var out []value.Tuple
+// skPending records one deferred Skolem application: during parallel
+// rounds workers only look interned terms up; genuinely new terms are
+// interned by applyDerived in deterministic merge order and patched into
+// the derived row.
+type skPending struct {
+	rowIdx int
+	col    int
+	fn     string
+	args   value.Tuple
+}
 
-	var exec func(si int) error
-	exec = func(si int) error {
-		if si == len(p.steps) {
-			for _, sc := range p.skChecks {
-				args := make(value.Tuple, len(sc.argSlots))
-				for j, s := range sc.argSlots {
-					args[j] = binding[s]
-				}
-				if ev.sk.Apply(sc.fn, args) != binding[sc.valueSlot] {
-					return nil
-				}
+// execState is a plan's reusable evaluation scratch. Within a round every
+// plan fires at most once, and rounds of one evaluator never overlap, so
+// per-plan scratch makes steady-state evaluation allocation-free apart
+// from genuinely new head tuples.
+type execState struct {
+	binding value.Tuple
+	// cursors holds per-step iteration state. rows aliases shared storage
+	// (table slices, index buckets, transient buckets) and is read-only;
+	// fallback holds the owned per-step buffers for unindexed probes.
+	rows     [][]value.Row
+	fallback [][]value.Row
+	pos      []int
+	// negKey is the scratch encode buffer for negation membership checks;
+	// negTuple the scratch tuple assembled for them.
+	negKey   []byte
+	negTuple value.Tuple
+	// skArgs is the scratch argument tuple for Skolem checks/ops; skKey
+	// the scratch encode buffer for their interned-term lookups.
+	skArgs value.Tuple
+	skKey  []byte
+	// head is the scratch head tuple; headKey its encode buffer for the
+	// early duplicate check.
+	head    value.Tuple
+	headKey []byte
+	out     []value.Tuple
+	pending []skPending
+	env     slotEnv
+	// emitted and dedupDropped count this firing's emit outcomes, feeding
+	// the adaptive duplicate-check decision in applyDerived.
+	emitted      int
+	dedupDropped int
+}
+
+// slotEnv exposes the binding array as a value.Env for rule filters, so
+// trust conditions evaluate without a per-match map.
+type slotEnv struct {
+	names   []string
+	binding value.Tuple
+}
+
+func (e *slotEnv) Lookup(name string) (value.Value, bool) {
+	for i, n := range e.names {
+		if n == name {
+			return e.binding[i], true
+		}
+	}
+	return value.Value{}, false
+}
+
+// exec returns the plan's evaluation scratch, building it on first use.
+func (p *plan) execState() *execState {
+	if p.ex == nil {
+		maxArity := 0
+		for i := range p.steps {
+			n := len(p.steps[i].checks) + len(p.steps[i].binds) + len(p.steps[i].postChecks)
+			if n > maxArity {
+				maxArity = n
 			}
-			if len(p.rule.Filters) > 0 {
-				env := make(map[string]value.Value, p.nslots)
-				for i, name := range p.varNames {
-					env[name] = binding[i]
-				}
-				for _, f := range p.rule.Filters {
-					if !f(env) {
-						return nil
-					}
-				}
+		}
+		maxSk := 0
+		for _, sc := range p.skChecks {
+			if len(sc.argSlots) > maxSk {
+				maxSk = len(sc.argSlots)
 			}
-			head := make(value.Tuple, len(p.headOps))
-			for i, op := range p.headOps {
-				switch {
-				case op.slot >= 0:
-					head[i] = binding[op.slot]
-				case op.slot == -1:
-					head[i] = op.Const
-				default:
-					args := make(value.Tuple, len(op.ArgSlots))
-					for j, s := range op.ArgSlots {
-						args[j] = binding[s]
-					}
-					head[i] = ev.sk.Apply(op.Fn, args)
-				}
+		}
+		for _, op := range p.headOps {
+			if len(op.ArgSlots) > maxSk {
+				maxSk = len(op.ArgSlots)
 			}
-			out = append(out, head)
-			return nil
+		}
+		p.ex = &execState{
+			binding:  make(value.Tuple, p.nslots),
+			rows:     make([][]value.Row, len(p.steps)),
+			fallback: make([][]value.Row, len(p.steps)),
+			pos:      make([]int, len(p.steps)),
+			negTuple: make(value.Tuple, maxArity),
+			skArgs:   make(value.Tuple, maxSk),
+			head:     make(value.Tuple, len(p.headOps)),
+			env:      slotEnv{names: p.varNames},
+		}
+		p.ex.env.binding = p.ex.binding
+	}
+	return p.ex
+}
+
+// evalPlan runs one compiled plan as an iterative backtracking machine
+// over the plan's preallocated binding array. deltaRows feeds the plan's
+// delta step (may be nil for naive plans). It returns the derived head
+// tuples (unvalidated against the head table; duplicates possible). With
+// deferSk set (parallel rounds) new Skolem terms are not interned but
+// recorded in the plan scratch's pending list.
+//
+// The returned slice is plan scratch: it is valid until the plan's next
+// firing, i.e. for the remainder of the current round.
+func (ev *Evaluator) evalPlan(p *plan, deltaRows []value.Row, stats *Stats, deferSk bool) ([]value.Tuple, error) {
+	stats.RuleFires++
+	ex := p.execState()
+	ex.out = ex.out[:0]
+	ex.pending = ex.pending[:0]
+	ex.emitted = 0
+	ex.dedupDropped = 0
+	nsteps := len(p.steps)
+
+	si := 0
+	probes := 0
+	if err := ev.enterStep(p, ex, 0, deltaRows, stats); err != nil {
+		return nil, err
+	}
+	for si >= 0 {
+		if si == nsteps {
+			ev.emit(p, ex, stats, deferSk)
+			si--
+			continue
 		}
 		st := &p.steps[si]
-		tbl := ev.db.Table(st.pred)
-
-		match := func(row value.Tuple) error {
-			stats.Probes++
-			for _, c := range st.checks {
-				want := c.Const
-				if c.slot >= 0 {
-					want = binding[c.slot]
-				}
-				if row[c.col] != want {
-					return nil
-				}
+		if st.kind == stepNegCheck {
+			// A negation check "iterates" at most once: descend on first
+			// entry if the tuple is absent, fail on re-entry.
+			if ex.pos[si] != 0 {
+				si--
+				continue
 			}
-			for _, b := range st.binds {
-				binding[b.slot] = row[b.col]
-			}
-			for _, c := range st.postChecks {
-				if row[c.col] != binding[c.slot] {
-					return nil
-				}
-			}
-			return exec(si + 1)
-		}
-
-		switch st.kind {
-		case stepDelta:
-			for _, row := range deltaRows {
-				if len(row) != tbl.Arity() {
-					return fmt.Errorf("engine: delta row arity mismatch for %s", st.pred)
-				}
-				if err := match(row); err != nil {
-					return err
-				}
-			}
-		case stepScan:
-			var ferr error
-			tbl.Each(func(row value.Tuple) bool {
-				ferr = match(row)
-				return ferr == nil
-			})
-			if ferr != nil {
-				return ferr
-			}
-		case stepProbe:
-			pv := st.probeVal
-			if st.probeSlot >= 0 {
-				pv = binding[st.probeSlot]
-			}
-			if ev.opts.Backend == BackendHash {
-				rows := ev.transientProbe(st.pred, st.probeCol, pv, stats)
-				for _, row := range rows {
-					if err := match(row); err != nil {
-						return err
+			ex.pos[si] = 1
+			probes++
+			if ev.negHolds(st, ex) {
+				si++
+				if si < nsteps {
+					if err := ev.enterStep(p, ex, si, deltaRows, stats); err != nil {
+						return nil, err
 					}
 				}
 			} else {
-				var ferr error
-				tbl.Probe(st.probeCol, pv, func(row value.Tuple) bool {
-					ferr = match(row)
-					return ferr == nil
-				})
-				if ferr != nil {
-					return ferr
-				}
+				si--
 			}
-		case stepNegCheck:
-			want := make(value.Tuple, len(st.checks)+len(st.binds)+len(st.postChecks))
-			for _, c := range st.checks {
-				if c.slot >= 0 {
-					want[c.col] = binding[c.slot]
-				} else {
-					want[c.col] = c.Const
-				}
-			}
-			stats.Probes++
-			if !tbl.Contains(want) {
-				return exec(si + 1)
+			continue
+		}
+		rows := ex.rows[si]
+		pos := ex.pos[si]
+		matched := false
+		for pos < len(rows) {
+			row := rows[pos].Tuple
+			pos++
+			probes++
+			if matchStep(st, ex.binding, row) {
+				matched = true
+				break
 			}
 		}
-		return nil
+		ex.pos[si] = pos
+		if !matched {
+			si--
+			continue
+		}
+		si++
+		if si < nsteps {
+			if err := ev.enterStep(p, ex, si, deltaRows, stats); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if err := exec(0); err != nil {
-		return nil, err
-	}
-	return out, nil
+	stats.Probes += probes
+	return ex.out, nil
 }
 
-// transientProbe returns rows of pred whose column col equals v, using a
-// per-generation transient hash table (BackendHash). The table is rebuilt
-// whenever the relation changes, charging the build to TransientBuilds —
-// this is the per-statement cost of the RDBMS-style backend.
-func (ev *Evaluator) transientProbe(pred string, col int, v value.Value, stats *Stats) []value.Tuple {
+// enterStep initializes step si's candidate rows under the current
+// binding.
+func (ev *Evaluator) enterStep(p *plan, ex *execState, si int, deltaRows []value.Row, stats *Stats) error {
+	st := &p.steps[si]
+	ex.pos[si] = 0
+	switch st.kind {
+	case stepDelta:
+		arity := st.tbl.Arity()
+		for i := range deltaRows {
+			if len(deltaRows[i].Tuple) != arity {
+				return fmt.Errorf("engine: delta row arity mismatch for %s", st.pred)
+			}
+		}
+		ex.rows[si] = deltaRows
+	case stepScan:
+		ex.rows[si] = st.tbl.AllRows()
+	case stepProbe:
+		pv := st.probeVal
+		if st.probeSlot >= 0 {
+			pv = ex.binding[st.probeSlot]
+		}
+		switch {
+		case ev.opts.Backend == BackendHash:
+			ex.rows[si] = ev.transientProbe(st.pred, st.probeCol, pv, stats)
+		case st.idx != nil:
+			ex.rows[si] = st.idx.Rows(pv)
+		default:
+			// No index on the probe column (possible for plans compiled
+			// without ensureIndexes): degrade to a filtered scan.
+			return ev.scanFallback(ex, si, st, pv)
+		}
+	case stepNegCheck:
+		ex.rows[si] = nil
+	}
+	return nil
+}
+
+// scanFallback materializes an unindexed probe as a filtered scan into
+// the step's owned scratch buffer (reused across firings).
+func (ev *Evaluator) scanFallback(ex *execState, si int, st *step, pv value.Value) error {
+	buf := ex.fallback[si][:0]
+	for _, r := range st.tbl.AllRows() {
+		if r.Tuple[st.probeCol] == pv {
+			buf = append(buf, r)
+		}
+	}
+	ex.fallback[si] = buf
+	ex.rows[si] = buf
+	return nil
+}
+
+// matchStep checks a candidate row against the step's bound columns,
+// binds its fresh columns, and verifies within-atom repeats. It reports
+// whether the row extends the binding.
+func matchStep(st *step, binding value.Tuple, row value.Tuple) bool {
+	for i := range st.checks {
+		c := &st.checks[i]
+		want := c.Const
+		if c.slot >= 0 {
+			want = binding[c.slot]
+		}
+		if row[c.col] != want {
+			return false
+		}
+	}
+	for i := range st.binds {
+		b := &st.binds[i]
+		binding[b.slot] = row[b.col]
+	}
+	for i := range st.postChecks {
+		c := &st.postChecks[i]
+		if row[c.col] != binding[c.slot] {
+			return false
+		}
+	}
+	return true
+}
+
+// negHolds reports whether the negated atom's tuple is absent. The tuple
+// and its key encoding are assembled in plan scratch.
+func (ev *Evaluator) negHolds(st *step, ex *execState) bool {
+	want := ex.negTuple[:len(st.checks)]
+	for i := range st.checks {
+		c := &st.checks[i]
+		if c.slot >= 0 {
+			want[c.col] = ex.binding[c.slot]
+		} else {
+			want[c.col] = c.Const
+		}
+	}
+	ex.negKey = want.EncodeKey(ex.negKey[:0])
+	return !st.tbl.ContainsKey(string(ex.negKey))
+}
+
+// emit runs the deferred body Skolem checks and filters on a fully bound
+// body, builds the head tuple, and appends it to the output unless the
+// head relation already holds it (the early duplicate check that keeps
+// re-derivations allocation-free).
+func (ev *Evaluator) emit(p *plan, ex *execState, stats *Stats, deferSk bool) {
+	for i := range p.skChecks {
+		sc := &p.skChecks[i]
+		args := ex.skArgs[:len(sc.argSlots)]
+		for j, s := range sc.argSlots {
+			args[j] = ex.binding[s]
+		}
+		// Lookup never interns: a term that was never applied cannot equal
+		// a value stored in a relation, so a miss is a failed check.
+		v, key, ok := ev.sk.LookupBuf(sc.fn, args, ex.skKey)
+		ex.skKey = key
+		if !ok || v != ex.binding[sc.valueSlot] {
+			return
+		}
+	}
+	for _, f := range p.rule.Filters {
+		if !f(&ex.env) {
+			return
+		}
+	}
+	// Re-derivation-heavy plans fill the scratch head first and discard
+	// already-present tuples via the early duplicate check below, without
+	// materializing anything. Mostly-fresh plans (bulk loads, naive
+	// rounds) build the output tuple directly and skip both the check and
+	// the extra copy. The choice adapts per firing (see applyDerived).
+	ex.emitted++
+	mayDedup := p.dedup
+	head := ex.head
+	if !mayDedup {
+		head = make(value.Tuple, len(p.headOps))
+	}
+	deferred := false
+	for i := range p.headOps {
+		op := &p.headOps[i]
+		switch {
+		case op.slot >= 0:
+			head[i] = ex.binding[op.slot]
+		case op.slot == -1:
+			head[i] = op.Const
+		default:
+			args := ex.skArgs[:len(op.ArgSlots)]
+			for j, s := range op.ArgSlots {
+				args[j] = ex.binding[s]
+			}
+			if !deferSk {
+				head[i], ex.skKey = ev.sk.ApplyBuf(op.Fn, args, ex.skKey)
+				continue
+			}
+			if v, key, ok := ev.sk.LookupBuf(op.Fn, args, ex.skKey); ok {
+				ex.skKey = key
+				head[i] = v
+				continue
+			} else {
+				ex.skKey = key
+			}
+			// Genuinely new term: defer interning to the deterministic
+			// merge. The placeholder is patched by applyDerived.
+			head[i] = value.Value{}
+			ex.pending = append(ex.pending, skPending{
+				rowIdx: len(ex.out), col: i, fn: op.Fn, args: args.Clone(),
+			})
+			deferred = true
+		}
+	}
+	if !mayDedup {
+		ex.out = append(ex.out, head)
+		return
+	}
+	if !deferred {
+		// Early duplicate check for semi-naive rounds: a head already
+		// present in its relation would be rejected by applyDerived
+		// anyway; skipping it here avoids materializing a tuple per
+		// re-derivation. (Rows derived earlier in this same round are not
+		// yet visible — they dedup at insert, exactly as before.)
+		ex.headKey = head.EncodeKey(ex.headKey[:0])
+		if p.headTbl.ContainsKey(string(ex.headKey)) {
+			ex.dedupDropped++
+			return
+		}
+	}
+	ex.out = append(ex.out, head.Clone())
+}
+
+// ensureTransient builds (if absent or invalidated) the transient hash
+// index of pred on col, charging the build to TransientBuilds.
+func (ev *Evaluator) ensureTransient(pred string, col int, stats *Stats) map[value.Value][]value.Row {
 	cols, ok := ev.transient[pred]
 	if !ok || ev.tgen[pred] != ev.gen[pred] {
-		cols = make(map[int]map[value.Value][]value.Tuple)
+		cols = make(map[int]map[value.Value][]value.Row)
 		ev.transient[pred] = cols
 		ev.tgen[pred] = ev.gen[pred]
 	}
 	idx, ok := cols[col]
 	if !ok {
-		idx = make(map[value.Value][]value.Tuple)
-		ev.db.Table(pred).Each(func(row value.Tuple) bool {
-			idx[row[col]] = append(idx[row[col]], row)
-			return true
-		})
+		idx = make(map[value.Value][]value.Row)
+		for _, r := range ev.db.Table(pred).AllRows() {
+			idx[r.Tuple[col]] = append(idx[r.Tuple[col]], r)
+		}
 		cols[col] = idx
 		stats.TransientBuilds++
 	}
-	return idx[v]
+	return idx
+}
+
+// transientProbe returns rows of pred whose column col equals v, using a
+// transient hash index (BackendHash). The index is built on first probe —
+// the per-statement cost of the RDBMS-style backend — then maintained
+// incrementally as derived tuples are applied; external mutations
+// invalidate it via the generation counters.
+func (ev *Evaluator) transientProbe(pred string, col int, v value.Value, stats *Stats) []value.Row {
+	return ev.ensureTransient(pred, col, stats)[v]
 }

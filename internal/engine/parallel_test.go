@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// parallelProgram is a multi-rule stratum exercising recursive joins,
+// Skolem heads (labeled-null interning), negation, and filters — every
+// feature whose evaluation order could leak into results.
+func parallelProgram() *datalog.Program {
+	prog := datalog.NewProgram(
+		datalog.NewRule("base", datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")),
+			datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))),
+		datalog.NewRule("step", datalog.NewAtom("tc", datalog.V("x"), datalog.V("z")),
+			datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))),
+			datalog.Pos(datalog.NewAtom("edge", datalog.V("y"), datalog.V("z")))),
+		// Skolem heads: nulls must intern identically at every parallelism.
+		datalog.NewRule("sk", datalog.NewAtom("anon", datalog.V("x"), datalog.Sk("f", "x", "y")),
+			datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")))),
+		datalog.NewRule("sk2", datalog.NewAtom("anon", datalog.V("y"), datalog.Sk("g", "x")),
+			datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y")))),
+	)
+	// A negation stratum on top.
+	prog.Add(datalog.NewRule("neg", datalog.NewAtom("root", datalog.V("x")),
+		datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))),
+		datalog.Neg(datalog.NewAtom("anon", datalog.V("x"), datalog.V("y")))))
+	f := datalog.NewRule("flt", datalog.NewAtom("small", datalog.V("x"), datalog.V("y")),
+		datalog.Pos(datalog.NewAtom("tc", datalog.V("x"), datalog.V("y"))))
+	f.AddFilter("x < 6", func(env value.Env) bool {
+		x, ok := env.Lookup("x")
+		return ok && x.Kind() == value.KindInt && x.AsInt() < 6
+	})
+	prog.Add(f)
+	return prog
+}
+
+func parallelDB() *storage.Database {
+	db := newDB(map[string]int{"edge": 2, "tc": 2, "anon": 2, "root": 1, "small": 2})
+	e := db.Table("edge")
+	for i := int64(0); i < 24; i++ {
+		e.Insert(tup(i, (i+1)%24))
+		e.Insert(tup(i, (i*7)%24))
+	}
+	return db
+}
+
+// TestParallelMatchesSequential runs the same program at Parallelism 1
+// and 8, on both backends, asserting identical fixpoints (including
+// labeled-null identities) and identical Derived counts, for both the
+// full fixpoint and incremental propagation. CI's -race matrix runs this
+// test with the worker pool active, exercising the concurrent round
+// evaluation under the race detector.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			type result struct {
+				dump    string
+				derived int
+				incDump string
+				incDer  int
+			}
+			run := func(par int) result {
+				db := parallelDB()
+				ev, err := New(parallelProgram(), db, value.NewSkolemTable(), Options{Backend: be, Parallelism: par})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := ev.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Incremental step: feed fresh edges through the delta path.
+				delta := storage.DeltaSet{}
+				for i := int64(100); i < 112; i++ {
+					row := tup(i, i%24)
+					db.Table("edge").Insert(row)
+					delta.Insert("edge", row)
+				}
+				inc, err := ev.PropagateInsertions(delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return result{dump: db.Dump(), derived: stats.Derived, incDump: db.Dump(), incDer: inc.Derived}
+			}
+			seq := run(1)
+			for _, par := range []int{2, 8} {
+				got := run(par)
+				if got.dump != seq.dump {
+					t.Fatalf("parallelism %d: fixpoint differs from sequential:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+						par, got.dump, seq.dump)
+				}
+				if got.derived != seq.derived {
+					t.Fatalf("parallelism %d: Derived = %d, sequential = %d", par, got.derived, seq.derived)
+				}
+				if got.incDump != seq.incDump || got.incDer != seq.incDer {
+					t.Fatalf("parallelism %d: incremental propagation diverged (derived %d vs %d)",
+						par, got.incDer, seq.incDer)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDefaultGOMAXPROCS sanity-checks the default parallelism
+// resolution and that an error in one task surfaces.
+func TestParallelDefaultGOMAXPROCS(t *testing.T) {
+	db := parallelDB()
+	ev, err := New(parallelProgram(), db, value.NewSkolemTable(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.parallelism() < 1 {
+		t.Fatalf("default parallelism = %d", ev.parallelism())
+	}
+	if _, err := ev.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Arity-mismatched delta rows surface as errors through the pool.
+	bad := storage.DeltaSet{}
+	bad.Insert("edge", tup(1, 2))
+	ev2, err := New(parallelProgram(), parallelDB(), value.NewSkolemTable(), Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wrong := map[string][]value.Row{"edge": {value.NewRow(tup(1, 2, 3))}}
+	if _, err := ev2.PropagateRowsContext(t.Context(), wrong); err == nil {
+		t.Fatal("expected arity-mismatch error from parallel round")
+	}
+}

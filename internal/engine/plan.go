@@ -62,6 +62,11 @@ type colRef struct {
 type step struct {
 	kind stepKind
 	pred string
+	// tbl is the step's relation, resolved at compile time (table objects
+	// are stable for the lifetime of a plan). idx is the cached secondary
+	// index handle for indexed probes, or nil.
+	tbl *storage.Table
+	idx *storage.ColIndex
 
 	// checks are columns whose value is determined before this step runs
 	// (a slot bound by an earlier step, or a constant) and must match the
@@ -107,9 +112,21 @@ type plan struct {
 	steps    []step
 	skChecks []skCheck
 	headPred string
+	headTbl  *storage.Table
 	headOps  []headOp
 	nslots   int
 	varNames []string // slot -> variable name, for filter bindings
+
+	// ex is the plan's reusable evaluation scratch (see execState). A plan
+	// fires at most once per round and rounds never overlap, so the
+	// scratch is never shared.
+	ex *execState
+	// dedup enables the emit-time duplicate check. It adapts per firing:
+	// re-derivation-heavy firings (long fixpoint tails, DRed re-runs) keep
+	// it on, mostly-fresh firings (bulk loads) skip it and build output
+	// tuples directly. The signal depends only on the derived data, so
+	// sequential and parallel execution adapt identically.
+	dedup bool
 }
 
 // compilePlan orders the rule body starting from the delta atom (if any),
@@ -151,7 +168,7 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 		if tbl.Arity() != len(a.Args) {
 			return fmt.Errorf("engine: rule %s: %s has arity %d, atom has %d args", r.ID, a.Pred, tbl.Arity(), len(a.Args))
 		}
-		st := step{kind: kind, pred: a.Pred, probeCol: -1, probeSlot: -1}
+		st := step{kind: kind, pred: a.Pred, tbl: tbl, probeCol: -1, probeSlot: -1}
 		seenInAtom := make(map[string]bool)
 		for col, t := range a.Args {
 			switch t.Kind {
@@ -201,6 +218,7 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 			st.checks = st.checks[1:]
 			if backend == BackendIndexed && ensureIndexes {
 				tbl.EnsureIndex(st.probeCol)
+				st.idx = tbl.Index(st.probeCol)
 			}
 		}
 		p.steps = append(p.steps, st)
@@ -284,6 +302,7 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 	if headTbl.Arity() != len(r.Head.Args) {
 		return nil, fmt.Errorf("engine: rule %s: head arity mismatch for %q", r.ID, r.Head.Pred)
 	}
+	p.headTbl = headTbl
 	for _, t := range r.Head.Args {
 		switch t.Kind {
 		case datalog.TermConst:

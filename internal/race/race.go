@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-count assertions can skip themselves under -race (the
+// detector changes allocation behavior).
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

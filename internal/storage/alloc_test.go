@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"testing"
+
+	"orchestra/internal/race"
+	"orchestra/internal/value"
+)
+
+// TestPreKeyedOpsAllocFree pins the hot-path contract of the row/key
+// representation: membership tests and duplicate inserts of a pre-keyed
+// row perform zero allocations — the canonical key is encoded once when
+// the Row is built and threads through every subsequent operation.
+func TestPreKeyedOpsAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	tb := NewTable("R", 3)
+	row := value.NewRow(value.Tuple{value.Int(7), value.String("some-string-payload"), value.Int(42)})
+	if !tb.InsertRow(row) {
+		t.Fatal("first insert failed")
+	}
+	// Extra rows so the lookup isn't trivially hitting a one-entry map.
+	for i := int64(0); i < 100; i++ {
+		tb.Insert(value.Tuple{value.Int(i), value.String("filler"), value.Int(i)})
+	}
+
+	var ok bool
+	if got := testing.AllocsPerRun(200, func() { ok = tb.ContainsRow(row) }); got != 0 {
+		t.Errorf("ContainsRow allocates %v per run, want 0", got)
+	}
+	if !ok {
+		t.Fatal("ContainsRow lost the row")
+	}
+	if got := testing.AllocsPerRun(200, func() { ok = tb.ContainsKey(row.Key) }); got != 0 {
+		t.Errorf("ContainsKey allocates %v per run, want 0", got)
+	}
+	var inserted bool
+	if got := testing.AllocsPerRun(200, func() { inserted = tb.InsertRow(row) }); got != 0 {
+		t.Errorf("duplicate InsertRow allocates %v per run, want 0", got)
+	}
+	if inserted {
+		t.Fatal("duplicate InsertRow reported success")
+	}
+}
+
+// TestContainsAllocFree pins that the tuple-based membership test does
+// not allocate for tuples whose encoding fits the stack buffer.
+func TestContainsAllocFree(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	tb := NewTable("R", 2)
+	tup := value.Tuple{value.Int(1), value.String("x")}
+	tb.Insert(tup)
+	var ok bool
+	if got := testing.AllocsPerRun(200, func() { ok = tb.Contains(tup) }); got != 0 {
+		t.Errorf("Contains allocates %v per run, want 0", got)
+	}
+	if !ok {
+		t.Fatal("Contains lost the row")
+	}
+}

@@ -110,6 +110,8 @@ func (db *Database) Dump(names ...string) string {
 // Insertions and deletions are kept deduplicated and mutually exclusive:
 // inserting a tuple cancels a pending deletion of it and vice versa (the
 // paper assumes no data dependencies inside one published batch, §3.1).
+// Entries are keyed rows, so each tuple is canonically encoded once when
+// it enters the delta and the key rides along into table operations.
 type Delta struct {
 	ins map[string]value.Tuple
 	del map[string]value.Tuple
@@ -121,23 +123,35 @@ func NewDelta() *Delta {
 }
 
 // Insert records an insertion, cancelling any pending deletion of tup.
+// The tuple is cloned; callers already holding a keyed row should use
+// InsertRow.
 func (d *Delta) Insert(tup value.Tuple) {
-	key := tup.Key()
-	if _, ok := d.del[key]; ok {
-		delete(d.del, key)
+	d.InsertRow(value.Row{Tuple: tup.Clone(), Key: tup.Key()})
+}
+
+// InsertRow is Insert for a pre-keyed row (no clone, no re-encode).
+func (d *Delta) InsertRow(r value.Row) {
+	if _, ok := d.del[r.Key]; ok {
+		delete(d.del, r.Key)
 		return
 	}
-	d.ins[key] = tup.Clone()
+	d.ins[r.Key] = r.Tuple
 }
 
 // Delete records a deletion, cancelling any pending insertion of tup.
+// The tuple is cloned; callers already holding a keyed row should use
+// DeleteRow.
 func (d *Delta) Delete(tup value.Tuple) {
-	key := tup.Key()
-	if _, ok := d.ins[key]; ok {
-		delete(d.ins, key)
+	d.DeleteRow(value.Row{Tuple: tup.Clone(), Key: tup.Key()})
+}
+
+// DeleteRow is Delete for a pre-keyed row (no clone, no re-encode).
+func (d *Delta) DeleteRow(r value.Row) {
+	if _, ok := d.ins[r.Key]; ok {
+		delete(d.ins, r.Key)
 		return
 	}
-	d.del[key] = tup.Clone()
+	d.del[r.Key] = r.Tuple
 }
 
 // Ins returns the sorted insertions.
@@ -145,6 +159,12 @@ func (d *Delta) Ins() []value.Tuple { return sortedTuples(d.ins) }
 
 // Del returns the sorted deletions.
 func (d *Delta) Del() []value.Tuple { return sortedTuples(d.del) }
+
+// InsRows returns the sorted insertions as keyed rows.
+func (d *Delta) InsRows() []value.Row { return sortedRows(d.ins) }
+
+// DelRows returns the sorted deletions as keyed rows.
+func (d *Delta) DelRows() []value.Row { return sortedRows(d.del) }
 
 // Empty reports whether the delta holds no changes.
 func (d *Delta) Empty() bool { return len(d.ins) == 0 && len(d.del) == 0 }
@@ -158,6 +178,15 @@ func sortedTuples(m map[string]value.Tuple) []value.Tuple {
 		out = append(out, t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func sortedRows(m map[string]value.Tuple) []value.Row {
+	out := make([]value.Row, 0, len(m))
+	for key, t := range m {
+		out = append(out, value.KeyedRow(t, key))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
 

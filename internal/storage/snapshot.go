@@ -59,7 +59,8 @@ func (db *Database) WriteSnapshotFiltered(w io.Writer, include func(name string)
 		if err := writeU32(bw, uint32(len(t.rows))); err != nil {
 			return err
 		}
-		for key := range t.rows {
+		for i := range t.rows {
+			key := t.rows[i].Key
 			if err := writeU32(bw, uint32(len(key))); err != nil {
 				return err
 			}
@@ -117,7 +118,8 @@ func ReadSnapshot(r io.Reader) (*Database, error) {
 			if _, err := io.ReadFull(br, keyBytes); err != nil {
 				return nil, err
 			}
-			row, err := value.DecodeTuple(string(keyBytes))
+			key := string(keyBytes)
+			row, err := value.DecodeTuple(key)
 			if err != nil {
 				return nil, fmt.Errorf("storage: snapshot table %s row %d: %w", nameBytes, j, err)
 			}
@@ -125,7 +127,7 @@ func ReadSnapshot(r io.Reader) (*Database, error) {
 				return nil, fmt.Errorf("storage: snapshot table %s row %d: arity %d, want %d",
 					nameBytes, j, len(row), arity)
 			}
-			t.Insert(row)
+			t.InsertRow(value.KeyedRow(row, key))
 		}
 	}
 	return db, nil

@@ -13,24 +13,37 @@ import (
 )
 
 // Table is a set-semantics relation instance. Rows are deduplicated by
-// their canonical key encoding. A Table is not safe for concurrent
-// mutation.
+// their canonical key encoding (value.Row), stored densely in insertion
+// order — deletion swaps the tail row into the vacated slot, so iteration
+// order is deterministic given the same operation sequence (map iteration
+// never leaks into results). A Table is not safe for concurrent mutation;
+// concurrent reads (Contains, Probe, Each, AllRows) are safe while no
+// mutation is in flight.
 type Table struct {
 	name  string
 	arity int
-	rows  map[string]value.Tuple
+	// pos maps a row's canonical key to its index in rows.
+	pos  map[string]int
+	rows []value.Row
 	// indexes maps a column position to a secondary index over that
 	// column. Indexes are maintained eagerly on Insert/Delete once built —
 	// this is the "Tukwila/Berkeley DB" cost model; the hash backend never
 	// builds them.
 	indexes map[int]*colIndex
 	bytes   int
+	// sorted caches the Rows() result; mutations invalidate it.
+	sorted []value.Tuple
+	// scratch is the reused encode buffer for mutating entry points.
+	scratch []byte
 }
 
-// colIndex maps a column value to the set of row keys holding it.
+// colIndex maps a column value to the dense bucket of rows holding it.
+// Buckets are append-only on insert — the common case — and swap-delete
+// by linear key scan on removal, so probe enumeration order stays
+// deterministic and index maintenance costs no map operations.
 type colIndex struct {
 	col     int
-	entries map[value.Value]map[string]struct{}
+	buckets map[value.Value][]value.Row
 }
 
 // NewTable returns an empty table with the given name and arity.
@@ -38,7 +51,7 @@ func NewTable(name string, arity int) *Table {
 	return &Table{
 		name:    name,
 		arity:   arity,
-		rows:    make(map[string]value.Tuple),
+		pos:     make(map[string]int),
 		indexes: make(map[int]*colIndex),
 	}
 }
@@ -57,88 +70,194 @@ func (t *Table) Len() int { return len(t.rows) }
 func (t *Table) Bytes() int { return t.bytes }
 
 // Insert adds tup to the table, returning true if it was not already
-// present. The tuple is cloned, so callers may reuse the slice.
+// present. The tuple is cloned, so callers may reuse the slice. Callers
+// that already hold the canonical key should use InsertRow, which neither
+// re-encodes nor clones.
 func (t *Table) Insert(tup value.Tuple) bool {
-	if len(tup) != t.arity {
-		panic(fmt.Sprintf("storage: %s arity %d, got tuple %v", t.name, t.arity, tup))
-	}
-	key := tup.Key()
-	if _, exists := t.rows[key]; exists {
+	t.checkArity(tup)
+	t.scratch = tup.EncodeKey(t.scratch[:0])
+	if _, exists := t.pos[string(t.scratch)]; exists {
 		return false
 	}
-	cl := tup.Clone()
-	t.rows[key] = cl
-	t.bytes += len(key)
-	for _, idx := range t.indexes {
-		idx.add(key, cl)
-	}
+	t.insert(value.Row{Tuple: tup.Clone(), Key: string(t.scratch)})
 	return true
+}
+
+// InsertRow adds a pre-keyed row, returning true if it was not already
+// present. The row's tuple is stored as-is (no clone) and must not be
+// mutated afterwards. A duplicate insert performs no allocation.
+func (t *Table) InsertRow(r value.Row) bool {
+	t.checkArity(r.Tuple)
+	if _, exists := t.pos[r.Key]; exists {
+		return false
+	}
+	t.insert(r)
+	return true
+}
+
+// InsertOwned inserts a tuple whose ownership transfers to the table: on
+// success it is stored without cloning and the keyed row is returned. A
+// duplicate insert returns ok=false without allocating. This is the
+// engine's derived-tuple path: the head tuple is freshly built, so the
+// clone Insert performs would be pure waste.
+func (t *Table) InsertOwned(tup value.Tuple) (r value.Row, ok bool) {
+	t.checkArity(tup)
+	t.scratch = tup.EncodeKey(t.scratch[:0])
+	if _, exists := t.pos[string(t.scratch)]; exists {
+		return value.Row{}, false
+	}
+	r = value.Row{Tuple: tup, Key: string(t.scratch)}
+	t.insert(r)
+	return r, true
+}
+
+func (t *Table) insert(r value.Row) {
+	t.pos[r.Key] = len(t.rows)
+	t.rows = append(t.rows, r)
+	t.bytes += len(r.Key)
+	t.sorted = nil
+	for _, idx := range t.indexes {
+		idx.add(r)
+	}
 }
 
 // Delete removes tup, returning true if it was present.
 func (t *Table) Delete(tup value.Tuple) bool {
-	key := tup.Key()
-	row, exists := t.rows[key]
+	t.checkArity(tup)
+	t.scratch = tup.EncodeKey(t.scratch[:0])
+	i, exists := t.pos[string(t.scratch)]
 	if !exists {
 		return false
 	}
-	delete(t.rows, key)
-	t.bytes -= len(key)
-	for _, idx := range t.indexes {
-		idx.remove(key, row)
-	}
+	t.deleteAt(i)
 	return true
 }
 
-// Contains reports whether tup is present.
+// DeleteRow removes a pre-keyed row, returning true if it was present.
+func (t *Table) DeleteRow(r value.Row) bool {
+	_, ok := t.DeleteKey(r.Key)
+	return ok
+}
+
+// DeleteKey removes the row with the given canonical key, returning the
+// stored tuple and whether it was present.
+func (t *Table) DeleteKey(key string) (value.Tuple, bool) {
+	i, exists := t.pos[key]
+	if !exists {
+		return nil, false
+	}
+	row := t.rows[i].Tuple
+	t.deleteAt(i)
+	return row, true
+}
+
+// deleteAt removes rows[i], swapping the tail row into its slot.
+func (t *Table) deleteAt(i int) {
+	r := t.rows[i]
+	last := len(t.rows) - 1
+	if i != last {
+		moved := t.rows[last]
+		t.rows[i] = moved
+		t.pos[moved.Key] = i
+	}
+	t.rows[last] = value.Row{}
+	t.rows = t.rows[:last]
+	delete(t.pos, r.Key)
+	t.bytes -= len(r.Key)
+	t.sorted = nil
+	for _, idx := range t.indexes {
+		idx.remove(r)
+	}
+}
+
+// Contains reports whether tup is present. It is a pure read (safe for
+// concurrent use with other reads) and does not allocate for tuples whose
+// encoding fits a small stack buffer.
 func (t *Table) Contains(tup value.Tuple) bool {
-	_, ok := t.rows[tup.Key()]
+	var arr [128]byte
+	key := tup.EncodeKey(arr[:0])
+	_, ok := t.pos[string(key)]
 	return ok
 }
 
 // ContainsKey reports whether a row with the given canonical key is
 // present.
 func (t *Table) ContainsKey(key string) bool {
-	_, ok := t.rows[key]
+	_, ok := t.pos[key]
+	return ok
+}
+
+// ContainsRow reports whether a pre-keyed row is present, without
+// re-encoding or allocating.
+func (t *Table) ContainsRow(r value.Row) bool {
+	_, ok := t.pos[r.Key]
 	return ok
 }
 
 // Each calls fn for every row; iteration stops if fn returns false. Rows
-// must not be mutated by fn. Iteration order is unspecified.
+// must not be mutated by fn. Iteration is in storage order: insertion
+// order, perturbed deterministically by swap-deletes.
 func (t *Table) Each(fn func(value.Tuple) bool) {
-	for _, row := range t.rows {
-		if !fn(row) {
+	for i := range t.rows {
+		if !fn(t.rows[i].Tuple) {
 			return
 		}
 	}
 }
 
-// Rows returns all rows, sorted, for deterministic display and testing.
-func (t *Table) Rows() []value.Tuple {
-	out := make([]value.Tuple, 0, len(t.rows))
-	for _, row := range t.rows {
-		out = append(out, row)
+// EachRow is Each over keyed rows, for callers that thread keys onward
+// (snapshots, provenance refs).
+func (t *Table) EachRow(fn func(value.Row) bool) {
+	for i := range t.rows {
+		if !fn(t.rows[i]) {
+			return
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
-	return out
+}
+
+// AllRows returns the table's dense row storage in storage order. The
+// slice is shared with the table: callers must treat it as read-only and
+// must not hold it across mutations. It is the zero-copy scan path for
+// the evaluation engine, whose semi-naive rounds run against immutable
+// tables.
+func (t *Table) AllRows() []value.Row { return t.rows }
+
+// Rows returns all rows, sorted, for deterministic display and testing.
+// The sort is computed once and cached until the next mutation; the
+// returned slice is shared and must be treated as read-only.
+func (t *Table) Rows() []value.Tuple {
+	if t.sorted == nil {
+		out := make([]value.Tuple, 0, len(t.rows))
+		for i := range t.rows {
+			out = append(out, t.rows[i].Tuple)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+		t.sorted = out
+	}
+	return t.sorted
 }
 
 // Clear removes all rows but keeps index definitions.
 func (t *Table) Clear() {
-	t.rows = make(map[string]value.Tuple)
+	t.pos = make(map[string]int)
+	t.rows = nil
 	t.bytes = 0
+	t.sorted = nil
 	for _, idx := range t.indexes {
-		idx.entries = make(map[value.Value]map[string]struct{})
+		idx.buckets = make(map[value.Value][]value.Row)
 	}
 }
 
 // Clone returns a deep copy of the table, including built indexes.
 func (t *Table) Clone() *Table {
 	c := NewTable(t.name, t.arity)
-	for key, row := range t.rows {
-		c.rows[key] = row // rows are immutable once stored
-		c.bytes += len(key)
+	c.rows = make([]value.Row, len(t.rows))
+	copy(c.rows, t.rows) // rows are immutable once stored
+	c.pos = make(map[string]int, len(t.pos))
+	for i := range c.rows {
+		c.pos[c.rows[i].Key] = i
 	}
+	c.bytes = t.bytes
 	for col := range t.indexes {
 		c.EnsureIndex(col)
 	}
@@ -154,9 +273,9 @@ func (t *Table) EnsureIndex(col int) {
 	if _, ok := t.indexes[col]; ok {
 		return
 	}
-	idx := &colIndex{col: col, entries: make(map[value.Value]map[string]struct{})}
-	for key, row := range t.rows {
-		idx.add(key, row)
+	idx := &colIndex{col: col, buckets: make(map[value.Value][]value.Row)}
+	for i := range t.rows {
+		idx.add(t.rows[i])
 	}
 	t.indexes[col] = idx
 }
@@ -182,52 +301,92 @@ func (t *Table) IndexedCols() []int {
 // false.
 func (t *Table) Probe(col int, v value.Value, fn func(value.Tuple) bool) {
 	if idx, ok := t.indexes[col]; ok {
-		for key := range idx.entries[v] {
-			if !fn(t.rows[key]) {
+		for _, r := range idx.buckets[v] {
+			if !fn(r.Tuple) {
 				return
 			}
 		}
 		return
 	}
-	for _, row := range t.rows {
-		if row[col] == v {
-			if !fn(row) {
+	for i := range t.rows {
+		if t.rows[i].Tuple[col] == v {
+			if !fn(t.rows[i].Tuple) {
 				return
 			}
 		}
 	}
 }
 
+// ProbeRows returns the dense bucket of rows whose column col equals v,
+// or ok=false when the column has no index. The slice is shared with the
+// index: read-only, not valid across mutations. It is the zero-copy,
+// zero-allocation probe path for the evaluation engine.
+func (t *Table) ProbeRows(col int, v value.Value) (rows []value.Row, ok bool) {
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	return idx.buckets[v], true
+}
+
+// Index returns a stable handle on the column's secondary index, or nil
+// if none exists. The handle stays valid across mutations and Clear (the
+// index object is reused), so query plans may cache it.
+func (t *Table) Index(col int) *ColIndex {
+	return t.indexes[col]
+}
+
+// ColIndex is the exported handle of a secondary index, for plan-time
+// caching by the evaluation engine.
+type ColIndex = colIndex
+
+// Rows returns the index's dense bucket for v: the rows whose indexed
+// column equals v, in deterministic storage order. Shared, read-only, not
+// valid across mutations.
+func (ci *colIndex) Rows(v value.Value) []value.Row {
+	return ci.buckets[v]
+}
+
 // ProbeCount returns the number of rows with column col equal to v.
 func (t *Table) ProbeCount(col int, v value.Value) int {
 	if idx, ok := t.indexes[col]; ok {
-		return len(idx.entries[v])
+		return len(idx.buckets[v])
 	}
 	n := 0
-	for _, row := range t.rows {
-		if row[col] == v {
+	for i := range t.rows {
+		if t.rows[i].Tuple[col] == v {
 			n++
 		}
 	}
 	return n
 }
 
-func (ci *colIndex) add(key string, row value.Tuple) {
-	v := row[ci.col]
-	set := ci.entries[v]
-	if set == nil {
-		set = make(map[string]struct{})
-		ci.entries[v] = set
+func (t *Table) checkArity(tup value.Tuple) {
+	if len(tup) != t.arity {
+		panic(fmt.Sprintf("storage: %s arity %d, got tuple %v", t.name, t.arity, tup))
 	}
-	set[key] = struct{}{}
 }
 
-func (ci *colIndex) remove(key string, row value.Tuple) {
-	v := row[ci.col]
-	if set := ci.entries[v]; set != nil {
-		delete(set, key)
-		if len(set) == 0 {
-			delete(ci.entries, v)
+func (ci *colIndex) add(r value.Row) {
+	v := r.Tuple[ci.col]
+	ci.buckets[v] = append(ci.buckets[v], r)
+}
+
+func (ci *colIndex) remove(r value.Row) {
+	v := r.Tuple[ci.col]
+	rows := ci.buckets[v]
+	for i := range rows {
+		if rows[i].Key == r.Key {
+			last := len(rows) - 1
+			rows[i] = rows[last]
+			rows[last] = value.Row{}
+			rows = rows[:last]
+			if len(rows) == 0 {
+				delete(ci.buckets, v)
+			} else {
+				ci.buckets[v] = rows
+			}
+			return
 		}
 	}
 }

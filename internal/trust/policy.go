@@ -141,7 +141,7 @@ func (p *Policy) AllConditions() []*Condition { return p.conds }
 // AcceptsMapping reports whether a derivation through mapping with the
 // given variable binding passes all of this policy's conditions (§3.3:
 // conditions of one peer AND together).
-func (p *Policy) AcceptsMapping(mapping string, env map[string]value.Value) bool {
+func (p *Policy) AcceptsMapping(mapping string, env value.Env) bool {
 	for _, c := range p.Conditions(mapping) {
 		if !c.Accept.Eval(env) {
 			return false
@@ -161,7 +161,7 @@ func (p *Policy) TrustsBase(rel, fromPeer string, cols map[string]value.Value) b
 		return false
 	}
 	for _, bc := range p.baseConds {
-		if bc.Rel == rel && bc.Distrust.Eval(cols) {
+		if bc.Rel == rel && bc.Distrust.Eval(value.MapEnv(cols)) {
 			return false
 		}
 	}

@@ -47,12 +47,11 @@ func (o operand) String() string {
 	return o.c.String()
 }
 
-func (o operand) eval(env map[string]value.Value) (value.Value, bool) {
+func (o operand) eval(env value.Env) (value.Value, bool) {
 	if !o.isVar {
 		return o.c, true
 	}
-	val, ok := env[o.v]
-	return val, ok
+	return env.Lookup(o.v)
 }
 
 // comparison is one "lhs op rhs" clause.
@@ -61,7 +60,7 @@ type comparison struct {
 	op       Op
 }
 
-func (c comparison) eval(env map[string]value.Value) bool {
+func (c comparison) eval(env value.Env) bool {
 	l, ok := c.lhs.eval(env)
 	if !ok {
 		return false
@@ -186,7 +185,7 @@ func parseOperand(tok string) (operand, error) {
 
 // Eval evaluates the predicate under a variable binding. Unbound variables
 // make their clause false (and hence a negated clause true).
-func (p *Pred) Eval(env map[string]value.Value) bool {
+func (p *Pred) Eval(env value.Env) bool {
 	if p.negated != nil {
 		return !p.negated.Eval(env)
 	}

@@ -46,7 +46,7 @@ func TestDoubleNegationProperty(t *testing.T) {
 	negOnce := negate(base)
 	negTwice := negate(negOnce)
 	f := func(n int64) bool {
-		e := map[string]value.Value{"n": value.Int(n % 20)}
+		e := value.MapEnv{"n": value.Int(n % 20)}
 		return base.Eval(e) == negTwice.Eval(e) && base.Eval(e) != negOnce.Eval(e)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

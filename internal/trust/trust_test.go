@@ -7,8 +7,8 @@ import (
 	"orchestra/internal/value"
 )
 
-func env(pairs ...any) map[string]value.Value {
-	m := make(map[string]value.Value)
+func env(pairs ...any) value.MapEnv {
+	m := make(value.MapEnv)
 	for i := 0; i < len(pairs); i += 2 {
 		name := pairs[i].(string)
 		switch v := pairs[i+1].(type) {
@@ -26,7 +26,7 @@ func env(pairs ...any) map[string]value.Value {
 func TestParsePredComparisons(t *testing.T) {
 	cases := []struct {
 		src  string
-		env  map[string]value.Value
+		env  value.MapEnv
 		want bool
 	}{
 		{"n >= 3", env("n", 3), true},

@@ -1,0 +1,41 @@
+package value
+
+// Row pairs a tuple with its canonical key (see Tuple.EncodeKey), so the
+// encoding happens once at creation and the key can flow through storage,
+// delta sets, edit logs, and provenance refs without re-encoding — the
+// hot-path currency of the storage and maintenance layers.
+//
+// A Row's tuple must not be mutated after the Row is built: storage and
+// index structures share it and rely on Key staying the tuple's canonical
+// encoding.
+type Row struct {
+	Tuple Tuple
+	Key   string
+}
+
+// NewRow encodes t once and returns the keyed row. The tuple is not
+// cloned; callers that reuse the slice must Clone first.
+func NewRow(t Tuple) Row { return Row{Tuple: t, Key: t.Key()} }
+
+// KeyedRow pairs a tuple with an already-computed canonical key. The key
+// must equal t.Key(); this is the zero-encode constructor for callers
+// that already hold the key (storage lookups, decoded refs).
+func KeyedRow(t Tuple, key string) Row { return Row{Tuple: t, Key: key} }
+
+// Env resolves variable names during filter evaluation (trust conditions
+// Θ, query selections). The engine implements it over its slot binding so
+// filters run without materializing a map per match.
+type Env interface {
+	// Lookup returns the value bound to the variable, if any.
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is the map-backed Env used by tests, trust-policy evaluation
+// over explicit column maps, and other cold paths.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}

@@ -35,32 +35,62 @@ func NewSkolemTable() *SkolemTable {
 // Repeated calls with the same function name and arguments return the same
 // null; Skolem arguments may themselves be labeled nulls.
 func (st *SkolemTable) Apply(fn string, args Tuple) Value {
-	key := skolemKey(fn, args)
+	v, _ := st.ApplyBuf(fn, args, nil)
+	return v
+}
+
+// ApplyBuf is Apply with a caller-supplied scratch buffer for the term's
+// key encoding, returning the (possibly grown) buffer for reuse. Hot
+// loops thread a per-worker buffer through it so the already-interned
+// path allocates nothing regardless of key size.
+func (st *SkolemTable) ApplyBuf(fn string, args Tuple, buf []byte) (Value, []byte) {
+	key := appendSkolemKey(buf[:0], fn, args)
 
 	st.mu.RLock()
-	id, ok := st.byKey[key]
+	id, ok := st.byKey[string(key)]
 	st.mu.RUnlock()
 	if ok {
-		return Null(id)
+		return Null(id), key
 	}
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if id, ok = st.byKey[key]; ok {
-		return Null(id)
+	if id, ok = st.byKey[string(key)]; ok {
+		return Null(id), key
 	}
 	st.terms = append(st.terms, skolemTerm{fn: fn, args: args.Clone()})
 	id = int64(len(st.terms))
-	st.byKey[key] = id
-	return Null(id)
+	st.byKey[string(key)] = id
+	return Null(id), key
 }
 
-func skolemKey(fn string, args Tuple) string {
-	var b []byte
+// Lookup returns the labeled null previously interned for fn(args…)
+// without interning on a miss. A missing term cannot equal any value
+// already stored in a relation, so body-side Skolem equality checks use
+// Lookup — it keeps read-heavy evaluation from growing the table (and
+// from taking its write lock).
+func (st *SkolemTable) Lookup(fn string, args Tuple) (Value, bool) {
+	v, _, ok := st.LookupBuf(fn, args, nil)
+	return v, ok
+}
+
+// LookupBuf is Lookup with a caller-supplied scratch buffer, returning
+// the (possibly grown) buffer for reuse.
+func (st *SkolemTable) LookupBuf(fn string, args Tuple, buf []byte) (Value, []byte, bool) {
+	key := appendSkolemKey(buf[:0], fn, args)
+	st.mu.RLock()
+	id, ok := st.byKey[string(key)]
+	st.mu.RUnlock()
+	if !ok {
+		return Value{}, key, false
+	}
+	return Null(id), key, true
+}
+
+func appendSkolemKey(b []byte, fn string, args Tuple) []byte {
 	b = append(b, fn...)
 	b = append(b, 0)
-	b = args.EncodeKey(b)
-	return string(b)
+	return args.EncodeKey(b)
 }
 
 // Resolve returns the Skolem function name and arguments that produced the

@@ -48,6 +48,16 @@ func WithMaxIterations(n int) Option {
 	return func(c *config) { c.opts.MaxIterations = n }
 }
 
+// WithParallelism bounds the worker pool that evaluates the rules of one
+// semi-naive round concurrently. The default (0) uses GOMAXPROCS;
+// WithParallelism(1) forces fully sequential evaluation. Every setting
+// produces identical instances, provenance, and fixpoints — rounds fire
+// against immutable tables and derived batches merge in deterministic
+// rule order — so this is purely a throughput knob.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.opts.Parallelism = n }
+}
+
 // WithSplitProvTables reverts §5's composite-mapping-table optimization:
 // one provenance table per RHS atom instead of one per mapping.
 func WithSplitProvTables(on bool) Option {

@@ -156,7 +156,19 @@ type (
 	BenchConfig = benchharness.Config
 	// BenchTable is one rendered figure.
 	BenchTable = benchharness.Table
+	// BenchCase is one Go benchmark case shared between go test -bench
+	// and cmd/benchfig -json.
+	BenchCase = benchharness.GoBench
+	// BenchReport is the machine-readable result of a benchmark run —
+	// the committed BENCH_*.json snapshot format.
+	BenchReport = benchharness.BenchReport
 )
 
 // BenchFigures maps figure number (4–10) to its runner.
 var BenchFigures = benchharness.Figures
+
+// RunBenchCases runs the registered Go benchmark cases (filtered by
+// match; nil = all) and collects a BenchReport.
+func RunBenchCases(match func(BenchCase) bool, progress func(name string)) BenchReport {
+	return benchharness.RunGoBenches(match, progress)
+}
