@@ -26,7 +26,7 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 examples:
-	for ex in quickstart federation incremental provexplorer bioshare durability; do \
+	for ex in quickstart federation incremental provexplorer bioshare durability evolution; do \
 		$(GO) run ./examples/$$ex >/dev/null || exit 1; \
 	done
 

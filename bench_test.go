@@ -6,6 +6,7 @@
 package orchestra
 
 import (
+	"strings"
 	"testing"
 
 	"orchestra/internal/benchharness"
@@ -15,6 +16,16 @@ import (
 func benchFig(b *testing.B, fig int) {
 	for _, c := range benchharness.GoBenches() {
 		if c.Fig != fig {
+			continue
+		}
+		b.Run(c.Sub, c.Run)
+	}
+}
+
+// benchFamily runs every registered case under one name prefix.
+func benchFamily(b *testing.B, prefix string) {
+	for _, c := range benchharness.GoBenches() {
+		if !strings.HasPrefix(c.Name, prefix+"/") {
 			continue
 		}
 		b.Run(c.Sub, c.Run)
@@ -47,8 +58,14 @@ func BenchmarkFig9(b *testing.B) { benchFig(b, 9) }
 // added (0–3), reporting tuples at fixpoint as a metric.
 func BenchmarkFig10(b *testing.B) { benchFig(b, 10) }
 
+// BenchmarkEvolveVsRebuild compares spec evolution's incremental mapping
+// removal (provenance-driven rule deletion, the live-reconfiguration
+// path) against tearing the view down and recomputing from the base —
+// the cost a frozen-spec CDSS pays for any confederation change.
+func BenchmarkEvolveVsRebuild(b *testing.B) { benchFamily(b, "EvolveVsRebuild") }
+
 // BenchmarkAblationProvTables compares §5's composite mapping table
 // against the pre-optimization per-RHS-atom encoding on a multi-relation
 // workload (the design choice DESIGN.md calls out; the paper reports the
 // composite form "performed better").
-func BenchmarkAblationProvTables(b *testing.B) { benchFig(b, 0) }
+func BenchmarkAblationProvTables(b *testing.B) { benchFamily(b, "AblationProvTables") }

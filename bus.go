@@ -59,9 +59,11 @@ type BusServer struct {
 func NewBusServer() *BusServer { return &BusServer{srv: share.NewServer()} }
 
 // ValidateAgainst makes the server reject publications that are illegal
-// under the spec (unknown peers, edits to other peers' relations).
+// under the spec (unknown peers, edits to other peers' relations). It is
+// safe to call on a serving BusServer — spec evolution re-points
+// validation at the evolved spec.
 func (s *BusServer) ValidateAgainst(sp *Spec) {
-	s.srv.Validate = share.SpecValidator(sp)
+	s.srv.SetValidate(share.SpecValidator(sp))
 }
 
 // PersistTo durably appends every accepted publication to the given

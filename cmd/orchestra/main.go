@@ -9,13 +9,23 @@
 //	orchestra prov  [-owner peer] -rel U -tuple "2,5" spec.cdss
 //	orchestra graph [-owner peer] spec.cdss           # provenance graph in DOT
 //	orchestra show  spec.cdss                          # parsed spec summary
+//	orchestra evolve -state dir -diff changes.cdssd [-o evolved.cdss] spec.cdss
 //
 // With -state, the system runs durably out of the given directory
 // (view snapshots plus a publication log): the first run seeds the bus
 // from the spec file's edits, later runs recover the checkpointed view
 // and replay only what it has not yet seen.
 //
-// The spec format is documented in internal/spec.
+// evolve applies a spec-diff file to a durable state directory: the
+// recovered views are incrementally repaired under the evolved spec
+// (added mappings seed a fixpoint round, removed mappings delete their
+// derivations via provenance), re-checkpointed, and the evolved spec is
+// written to -o (default stdout) — use it as the spec file of later
+// runs; the old spec file is rejected against the evolved directory.
+//
+// The spec format is documented in internal/spec; the diff format in
+// internal/evolve (add peer / add mapping / remove mapping / trust /
+// untrust directives).
 package main
 
 import (
@@ -53,6 +63,8 @@ func run(args []string, out io.Writer) error {
 	saveFile := fs.String("save", "", "write the view state to this file after processing")
 	loadFile := fs.String("load", "", "restore view state from this file instead of replaying the spec's edits")
 	stateDir := fs.String("state", "", "durable state directory (snapshots + publication log); reuse it across runs to recover instead of replaying")
+	diffFile := fs.String("diff", "", "spec-diff file for evolve")
+	outFile := fs.String("o", "", "where evolve writes the evolved spec (default stdout)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -72,6 +84,9 @@ func run(args []string, out io.Writer) error {
 
 	if cmd == "show" {
 		return show(parsed, out)
+	}
+	if cmd == "evolve" {
+		return evolveCmd(ctx, parsed, *stateDir, *diffFile, *outFile, out)
 	}
 
 	var be orchestra.Backend
@@ -191,6 +206,51 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// evolveCmd applies a spec-diff file to a durable state directory and
+// emits the evolved spec.
+func evolveCmd(ctx context.Context, parsed *orchestra.SpecFile, stateDir, diffFile, outFile string, out io.Writer) error {
+	if stateDir == "" || diffFile == "" {
+		return fmt.Errorf("evolve requires -state and -diff")
+	}
+	df, err := os.Open(diffFile)
+	if err != nil {
+		return err
+	}
+	diff, perr := orchestra.ParseSpecDiff(df)
+	df.Close()
+	if perr != nil {
+		return perr
+	}
+
+	sys, err := orchestra.New(parsed.Spec, orchestra.WithPersistence(stateDir))
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	// A fresh directory first seeds the bus from the spec file's edits,
+	// so the evolved confederation and a from-scratch one agree on the
+	// publication history.
+	if _, err := sys.SeedFileEdits(ctx, parsed); err != nil {
+		return err
+	}
+	if err := sys.ApplyDiff(ctx, diff); err != nil {
+		return err
+	}
+
+	evolved := &orchestra.SpecFile{Spec: sys.Spec(), Edits: parsed.Edits}
+	rendered := orchestra.RenderSpec(evolved)
+	if outFile != "" {
+		if err := os.WriteFile(outFile, []byte(rendered), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "applied %d operations (spec generation %d); evolved spec written to %s\n",
+			len(diff.Ops), sys.SpecGeneration(), outFile)
+		return nil
+	}
+	fmt.Fprint(out, rendered)
+	return nil
 }
 
 func show(parsed *orchestra.SpecFile, out io.Writer) error {

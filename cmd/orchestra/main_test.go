@@ -119,3 +119,68 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestEvolveCommand(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "taxa.cdss")
+	if err := os.WriteFile(specPath, []byte(testSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diffPath := filepath.Join(dir, "changes.cdssd")
+	diffText := `
+add peer PRef { relation C(nam int, cls int) }
+add mapping m5: U(n,c) -> C(n,n)
+remove mapping m4
+trust PBioSQL distrusts mapping m1 when n >= 3
+`
+	if err := os.WriteFile(diffPath, []byte(diffText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stateDir := filepath.Join(dir, "state")
+	evolvedPath := filepath.Join(dir, "evolved.cdss")
+
+	// Materialize durable state under the original spec.
+	var sb strings.Builder
+	if err := run([]string{"run", "-state", stateDir, specPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing flags are rejected.
+	if err := run([]string{"evolve", specPath}, io.Discard); err == nil {
+		t.Fatal("evolve without -state/-diff succeeded")
+	}
+
+	// Apply the diff.
+	sb.Reset()
+	if err := run([]string{"evolve", "-state", stateDir, "-diff", diffPath, "-o", evolvedPath, specPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "applied 4 operations") {
+		t.Fatalf("unexpected evolve output: %s", sb.String())
+	}
+	evolved, err := os.ReadFile(evolvedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"peer PRef", "mapping m5", "distrusts mapping m1"} {
+		if !strings.Contains(string(evolved), want) {
+			t.Fatalf("evolved spec missing %q:\n%s", want, evolved)
+		}
+	}
+	if strings.Contains(string(evolved), "mapping m4:") {
+		t.Fatalf("evolved spec still has m4:\n%s", evolved)
+	}
+
+	// The stale spec file is rejected against the evolved directory…
+	if err := run([]string{"run", "-state", stateDir, specPath}, io.Discard); err == nil || !strings.Contains(err.Error(), "different spec") {
+		t.Fatalf("stale spec not rejected: %v", err)
+	}
+	// …while the evolved one recovers and serves the new relation.
+	sb.Reset()
+	if err := run([]string{"run", "-state", stateDir, evolvedPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "C (") {
+		t.Fatalf("evolved run does not show relation C:\n%s", sb.String())
+	}
+}

@@ -7,11 +7,24 @@
 // Usage:
 //
 //	orchestrad -addr :8344 -store publications.log [-spec confed.cdss]
-//	           [-state dir] [-view owner] [-refresh 2s]
+//	           [-state dir] [-view owner] [-refresh 2s] [-admin-token T]
 //
 // With -spec, incoming publications are validated against the CDSS
 // description (peers may only edit their own relations). With -store,
 // accepted publications are durably appended and reloaded on restart.
+//
+// With -admin-token (requires -spec), the daemon additionally serves
+// authenticated spec-evolution endpoints, sharing one token gate with
+// the -spec validation machinery they re-point:
+//
+//	POST   /spec/mapping      body: "m9: U(n,c) -> C(n,n)"   add a mapping
+//	DELETE /spec/mapping?id=m9                                remove a mapping
+//	GET    /spec                                              current spec
+//
+// Requests must carry "Authorization: Bearer <token>". An accepted
+// change evolves the durable view's System in place (under -state) and
+// swaps publication validation onto the evolved spec, so the next
+// publish is judged under the confederation the admin just configured.
 //
 // With -state (requires -spec and -store), the daemon is durable
 // end-to-end in one process: besides the durable publication log it
@@ -31,13 +44,16 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -52,6 +68,7 @@ func main() {
 	statePath := flag.String("state", "", "state directory for a durable materialized view (requires -spec and -store)")
 	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view")
 	refresh := flag.Duration("refresh", 2*time.Second, "how often the durable view exchanges new publications")
+	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints (requires -spec)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,6 +154,14 @@ func main() {
 		})
 	}
 
+	if *adminToken != "" {
+		if parsed == nil {
+			log.Fatal("orchestrad: -admin-token requires -spec (evolution needs a confederation description)")
+		}
+		registerAdmin(mux, *adminToken, parsed.Spec, srv, sys)
+		log.Print("admin endpoints enabled (/spec, /spec/mapping)")
+	}
+
 	httpSrv := &http.Server{Handler: mux}
 	go func() {
 		<-ctx.Done()
@@ -189,6 +214,91 @@ func main() {
 		log.Printf("orchestrad: closing store: %v", err)
 	}
 	log.Print("orchestrad: shut down cleanly")
+}
+
+// registerAdmin mounts the spec-evolution endpoints behind one bearer-
+// token gate. The verbs evolve the durable view's System in place (when
+// one runs) and re-point the publication validation -spec configured, so
+// the next publish is judged under the evolved confederation.
+func registerAdmin(mux *http.ServeMux, token string, initial *orchestra.Spec, srv *orchestra.BusServer, sys *orchestra.System) {
+	var adminMu sync.Mutex
+	curSpec := initial
+	authorized := func(w http.ResponseWriter, r *http.Request) bool {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return false
+		}
+		return true
+	}
+	applyDiff := func(ctx context.Context, diffText string) error {
+		adminMu.Lock()
+		defer adminMu.Unlock()
+		d, err := orchestra.ParseSpecDiffString(diffText)
+		if err != nil {
+			return err
+		}
+		if sys != nil {
+			if err := sys.ApplyDiff(ctx, d); err != nil {
+				return err
+			}
+			curSpec = sys.Spec()
+		} else {
+			ns, err := orchestra.EvolveSpec(curSpec, d)
+			if err != nil {
+				return err
+			}
+			curSpec = ns
+		}
+		srv.ValidateAgainst(curSpec)
+		log.Printf("spec evolved: %s", strings.TrimSpace(diffText))
+		return nil
+	}
+	mux.HandleFunc("/spec/mapping", func(w http.ResponseWriter, r *http.Request) {
+		if !authorized(w, r) {
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			decl := strings.TrimSpace(string(body))
+			if decl == "" {
+				http.Error(w, "empty mapping declaration", http.StatusBadRequest)
+				return
+			}
+			if err := applyDiff(r.Context(), "add mapping "+decl); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			fmt.Fprintf(w, "added mapping %s\n", decl)
+		case http.MethodDelete:
+			id := r.URL.Query().Get("id")
+			if id == "" {
+				http.Error(w, "missing id parameter", http.StatusBadRequest)
+				return
+			}
+			if err := applyDiff(r.Context(), "remove mapping "+id); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			fmt.Fprintf(w, "removed mapping %s\n", id)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/spec", func(w http.ResponseWriter, r *http.Request) {
+		if !authorized(w, r) {
+			return
+		}
+		adminMu.Lock()
+		sp := curSpec
+		adminMu.Unlock()
+		fmt.Fprint(w, orchestra.RenderSpec(&orchestra.SpecFile{Spec: sp}))
+	})
 }
 
 // hostPort renders a listener address for client use, substituting

@@ -33,6 +33,15 @@
 // view, so the next Exchange replays only the publications past its
 // checkpoint (see examples/durability).
 //
+// The spec is not frozen at New: AddPeer, AddMapping, RemoveMapping,
+// SetTrust, and ApplyDiff evolve the running confederation, validating
+// every intermediate spec and repairing materialized state in place —
+// added mappings seed a fixpoint round, removed mappings and revoked
+// trust delete exactly the tuples whose every derivation they carried
+// (provenance-based deletion generalized to rule deletions). The result
+// is always identical to a fresh System built from the final spec (see
+// examples/evolution).
+//
 // The implementation lives under internal/ (see DESIGN.md for the
 // system inventory); runnable entry points are:
 //

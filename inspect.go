@@ -37,7 +37,7 @@ func (s *System) tableRows(owner, rel string, pick func(*core.View, string) rowS
 	if err != nil {
 		return nil, err
 	}
-	if s.spec.Universe.Relation(rel) == nil {
+	if s.specNow().Universe.Relation(rel) == nil {
 		return nil, fmt.Errorf("orchestra: unknown relation %q", rel)
 	}
 	h.mu.Lock()
@@ -65,7 +65,7 @@ func (s *System) TableSizes(owner, rel string) (TableSizes, error) {
 	if err != nil {
 		return TableSizes{}, err
 	}
-	if s.spec.Universe.Relation(rel) == nil {
+	if s.specNow().Universe.Relation(rel) == nil {
 		return TableSizes{}, fmt.Errorf("orchestra: unknown relation %q", rel)
 	}
 	h.mu.Lock()
@@ -166,7 +166,7 @@ func (s *System) WriteSnapshot(owner string, w io.Writer) error {
 // bus cursor restarts at zero: publications already reflected in the
 // snapshot must not still be on the bus, or they will be applied twice.
 func (s *System) RestoreSnapshot(owner string, r io.Reader) error {
-	v, err := core.RestoreView(s.spec, owner, s.opts, r)
+	v, err := core.RestoreView(s.specNow(), owner, s.opts, r)
 	if err != nil {
 		return err
 	}

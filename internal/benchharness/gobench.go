@@ -1,11 +1,13 @@
 package benchharness
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"orchestra/internal/core"
 	"orchestra/internal/engine"
+	"orchestra/internal/tgd"
 	"orchestra/internal/workload"
 )
 
@@ -270,6 +272,80 @@ func GoBenches() []GoBench {
 				b.ReportMetric(tuples, "tuples")
 			})
 		}
+	}
+
+	// EvolveVsRebuild: spec evolution's incremental mapping removal
+	// (provenance-driven rule deletion) against the teardown-and-
+	// recompute alternative — a fresh view of the reduced spec replaying
+	// the whole base. Fig. 5-style chain workload; the removed mapping is
+	// the last chain hop, so the incremental path deletes only the final
+	// peer's derivations while the rebuild recomputes every peer's.
+	{
+		const peers, base = 16, 150
+		cfg := goBenchChainConfig(peers, workload.DatasetInteger)
+		type evolveSetup struct {
+			w       *workload.Workload
+			logs    map[string]core.EditLog
+			full    *core.Spec
+			reduced *core.Spec
+			removed string
+			view    *core.View // loaded under the full spec
+		}
+		setup := func(b *testing.B) *evolveSetup {
+			w, err := workload.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			logs := w.GenBase(base)
+			full := w.Spec
+			removed := full.Mappings[len(full.Mappings)-1].ID
+			var kept []*tgd.TGD
+			for _, m := range full.Mappings {
+				if m.ID != removed {
+					kept = append(kept, m)
+				}
+			}
+			reduced, err := core.NewSpec(full.Universe, kept, full.Policies)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := core.NewView(full, "", core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, peer := range w.PeerNames() {
+				if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return &evolveSetup{w: w, logs: logs, full: full, reduced: reduced, removed: removed, view: v}
+		}
+		out = append(out, GoBench{Fig: 0, Name: "EvolveVsRebuild/incremental", Sub: "incremental", Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := setup(b)
+				b.StartTimer()
+				if _, err := s.view.RemoveMappings(context.Background(), s.reduced, []string{s.removed}, core.DeleteProvenance); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+		out = append(out, GoBench{Fig: 0, Name: "EvolveVsRebuild/rebuild", Sub: "rebuild", Run: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := setup(b)
+				b.StartTimer()
+				fresh, err := core.NewView(s.reduced, "", core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, peer := range s.w.PeerNames() {
+					if _, err := fresh.ApplyEdits(s.logs[peer], core.DeleteProvenance); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}})
 	}
 
 	// Ablation: §5's composite mapping table against the per-RHS-atom

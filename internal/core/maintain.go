@@ -263,6 +263,136 @@ type provHandle struct {
 	row value.Row
 }
 
+// deletionState is one provenance-driven deletion cascade in flight: the
+// worklists, the tuples already deleted, and the suspects pending a
+// derivability test. Edit-driven deletion (deleteProvenance) seeds it
+// from base changes; spec evolution (evolve.go) seeds it from whole
+// removed mappings or newly-untrusted provenance rows — the same cascade
+// and derivability loop repair the view either way.
+type deletionState struct {
+	v     *View
+	stats *ApplyStats
+	// work holds tuples deleted and pending their source-cascade; provDel
+	// holds provenance rows pending deletion.
+	work    []provenance.Ref
+	provDel []provHandle
+	deleted map[provenance.Ref]bool
+	rchk    map[provenance.Ref]bool
+}
+
+func (v *View) newDeletionState(stats *ApplyStats) *deletionState {
+	return &deletionState{
+		v:       v,
+		stats:   stats,
+		deleted: make(map[provenance.Ref]bool),
+		rchk:    make(map[provenance.Ref]bool),
+	}
+}
+
+// deleteTuple removes ref's tuple (if still present) and queues the
+// source-cascade.
+func (d *deletionState) deleteTuple(ref provenance.Ref) {
+	if d.deleted[ref] {
+		return
+	}
+	tbl := d.v.db.Table(ref.Rel)
+	if tbl == nil {
+		return
+	}
+	if _, ok := tbl.DeleteKey(ref.Key); !ok {
+		return
+	}
+	d.v.ev.InvalidateTransient(ref.Rel)
+	d.deleted[ref] = true
+	delete(d.rchk, ref)
+	d.stats.TuplesDeleted++
+	d.work = append(d.work, ref)
+}
+
+// suspect handles a tuple that just lost one derivation: tuples with no
+// remaining provenance rows are deleted outright; the rest queue for the
+// derivability test.
+func (d *deletionState) suspect(ref provenance.Ref) {
+	if d.deleted[ref] {
+		return
+	}
+	if !d.v.hasSupport(ref) {
+		d.deleteTuple(ref)
+	} else {
+		d.rchk[ref] = true
+	}
+}
+
+// cascade drains the two worklists: provenance-row deletions update
+// target support; tuple deletions invalidate provenance rows that use
+// them as sources.
+func (d *deletionState) cascade() {
+	v := d.v
+	for len(d.work) > 0 || len(d.provDel) > 0 {
+		rows := d.provDel
+		d.provDel = nil
+		for _, h := range rows {
+			pt := v.db.Table(h.mi.ProvRel)
+			if pt == nil || !pt.DeleteRow(h.row) {
+				continue
+			}
+			v.ev.InvalidateTransient(h.mi.ProvRel)
+			d.stats.ProvRowsDeleted++
+			for i := range h.mi.Targets {
+				d.suspect(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk)))
+			}
+		}
+		tuples := d.work
+		d.work = nil
+		for _, ref := range tuples {
+			d.provDel = append(d.provDel, v.rowsUsingSource(ref)...)
+		}
+	}
+}
+
+// run drives the cascade to completion, interleaving the derivability
+// loop (Fig. 3 lines 10–18): surviving suspects are tested against the
+// EDB; failures are garbage-collected (their remaining provenance rows
+// are the non-well-founded cyclic ones) and the cascade continues.
+func (d *deletionState) run(ctx context.Context) error {
+	v := d.v
+	d.cascade()
+	for len(d.rchk) > 0 {
+		var pending []provenance.Ref
+		for ref := range d.rchk {
+			if !d.deleted[ref] && v.db.Table(ref.Rel).ContainsKey(ref.Key) {
+				pending = append(pending, ref)
+			}
+		}
+		d.rchk = make(map[provenance.Ref]bool)
+		if len(pending) == 0 {
+			break
+		}
+		d.stats.Checked += len(pending)
+		alive, err := v.derivable(ctx, pending, d.stats)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for _, ref := range pending {
+			if alive[ref] {
+				d.stats.Rederived++
+				continue
+			}
+			// Not derivable from the EDB: remove the tuple and the cyclic
+			// provenance rows still deriving it.
+			d.provDel = append(d.provDel, v.rowsDeriving(ref)...)
+			d.deleteTuple(ref)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		d.cascade()
+	}
+	return nil
+}
+
 // deleteProvenance implements the PropagateDelete algorithm: delete
 // provenance rows invalidated by base deletions; tuples that lose all
 // provenance rows are deleted and cascade; tuples that keep some rows are
@@ -270,10 +400,7 @@ type provHandle struct {
 // program (§4.1.3), and garbage-collected if the test fails (this is what
 // collects derivation cycles no longer anchored in local contributions).
 func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
-	var work []provenance.Ref // tuples deleted, pending source-cascade
-	var provDel []provHandle  // provenance rows pending deletion
-	deleted := make(map[provenance.Ref]bool)
-	rchk := make(map[provenance.Ref]bool)
+	ds := v.newDeletionState(stats)
 
 	// Seed: local-contribution deletions…
 	for rel, d := range dl {
@@ -283,8 +410,8 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 				stats.DelL++
 				v.ev.InvalidateTransient(LocalRel(rel))
 				ref := provenance.RowRef(LocalRel(rel), r)
-				deleted[ref] = true
-				work = append(work, ref)
+				ds.deleted[ref] = true
+				ds.work = append(ds.work, ref)
 			}
 		}
 	}
@@ -298,103 +425,13 @@ func (v *View) deleteProvenance(ctx context.Context, dl, dr storage.DeltaSet, st
 				stats.InsR++
 				v.ev.InvalidateTransient(RejectRel(rel))
 				if pIns.ContainsRow(r) {
-					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
+					ds.provDel = append(ds.provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
 				}
 			}
 		}
 	}
 
-	deleteTuple := func(ref provenance.Ref) {
-		if deleted[ref] {
-			return
-		}
-		tbl := v.db.Table(ref.Rel)
-		if tbl == nil {
-			return
-		}
-		if _, ok := tbl.DeleteKey(ref.Key); !ok {
-			return
-		}
-		v.ev.InvalidateTransient(ref.Rel)
-		deleted[ref] = true
-		delete(rchk, ref)
-		stats.TuplesDeleted++
-		work = append(work, ref)
-	}
-
-	// cascade drains the two worklists: provenance-row deletions update
-	// target support; tuple deletions invalidate provenance rows that use
-	// them as sources.
-	cascade := func() {
-		for len(work) > 0 || len(provDel) > 0 {
-			rows := provDel
-			provDel = nil
-			for _, h := range rows {
-				pt := v.db.Table(h.mi.ProvRel)
-				if !pt.DeleteRow(h.row) {
-					continue
-				}
-				v.ev.InvalidateTransient(h.mi.ProvRel)
-				stats.ProvRowsDeleted++
-				for i := range h.mi.Targets {
-					ref := provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk))
-					if deleted[ref] {
-						continue
-					}
-					if !v.hasSupport(ref) {
-						deleteTuple(ref)
-					} else {
-						rchk[ref] = true
-					}
-				}
-			}
-			tuples := work
-			work = nil
-			for _, ref := range tuples {
-				provDel = append(provDel, v.rowsUsingSource(ref)...)
-			}
-		}
-	}
-
-	cascade()
-
-	// Derivability loop (Fig. 3 lines 10–18): test surviving suspects;
-	// failures are garbage-collected (their remaining provenance rows are
-	// the non-well-founded cyclic ones) and the cascade continues.
-	for len(rchk) > 0 {
-		var pending []provenance.Ref
-		for ref := range rchk {
-			if !deleted[ref] && v.db.Table(ref.Rel).ContainsKey(ref.Key) {
-				pending = append(pending, ref)
-			}
-		}
-		rchk = make(map[provenance.Ref]bool)
-		if len(pending) == 0 {
-			break
-		}
-		stats.Checked += len(pending)
-		alive, err := v.derivable(ctx, pending, stats)
-		if err != nil {
-			return err
-		}
-		changed := false
-		for _, ref := range pending {
-			if alive[ref] {
-				stats.Rederived++
-				continue
-			}
-			// Not derivable from the EDB: remove the tuple and the cyclic
-			// provenance rows still deriving it.
-			provDel = append(provDel, v.rowsDeriving(ref)...)
-			deleteTuple(ref)
-			changed = true
-		}
-		if !changed {
-			break
-		}
-		cascade()
-	}
-	return nil
+	return ds.run(ctx)
 }
 
 // mappingInfo finds registered metadata by mapping id.
@@ -636,15 +673,70 @@ func (v *View) ensureChk() error {
 // ---------------------------------------------------------------------------
 // DRed baseline (§4.2, §6.3).
 
+// dredState is one DRed over-deletion in flight: tuples reachable from
+// the seeds are removed regardless of alternative derivations; a full
+// re-run afterwards restores the survivors.
+type dredState struct {
+	v       *View
+	stats   *ApplyStats
+	work    []provenance.Ref
+	provDel []provHandle
+	deleted map[provenance.Ref]bool
+}
+
+func (v *View) newDredState(stats *ApplyStats) *dredState {
+	return &dredState{v: v, stats: stats, deleted: make(map[provenance.Ref]bool)}
+}
+
+// overDelete removes ref's tuple pessimistically — even if other
+// derivations exist; re-derivation restores it.
+func (d *dredState) overDelete(ref provenance.Ref) {
+	if d.deleted[ref] {
+		return
+	}
+	tbl := d.v.db.Table(ref.Rel)
+	if tbl == nil {
+		return
+	}
+	if _, ok := tbl.DeleteKey(ref.Key); !ok {
+		return
+	}
+	d.deleted[ref] = true
+	d.stats.TuplesDeleted++
+	d.work = append(d.work, ref)
+}
+
+// drain runs the over-deletion cascade to exhaustion.
+func (d *dredState) drain() {
+	v := d.v
+	for len(d.work) > 0 || len(d.provDel) > 0 {
+		rows := d.provDel
+		d.provDel = nil
+		for _, h := range rows {
+			pt := v.db.Table(h.mi.ProvRel)
+			if pt == nil || !pt.DeleteRow(h.row) {
+				continue
+			}
+			d.stats.ProvRowsDeleted++
+			for i := range h.mi.Targets {
+				d.overDelete(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk)))
+			}
+		}
+		tuples := d.work
+		d.work = nil
+		for _, ref := range tuples {
+			d.provDel = append(d.provDel, v.rowsUsingSource(ref)...)
+		}
+	}
+}
+
 // deleteDRed propagates deletions pessimistically: every tuple
 // transitively derivable from a deleted tuple is removed (regardless of
 // alternative derivations), then the program is re-run to fixpoint to
 // re-derive survivors — re-insertion being the expensive step the paper
 // measures against.
 func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *ApplyStats) error {
-	var work []provenance.Ref
-	var provDel []provHandle
-	deleted := make(map[provenance.Ref]bool)
+	ds := v.newDredState(stats)
 
 	for rel, d := range dl {
 		lt := v.db.Table(LocalRel(rel))
@@ -652,8 +744,8 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 			if lt.DeleteRow(r) {
 				stats.DelL++
 				ref := provenance.RowRef(LocalRel(rel), r)
-				deleted[ref] = true
-				work = append(work, ref)
+				ds.deleted[ref] = true
+				ds.work = append(ds.work, ref)
 			}
 		}
 	}
@@ -664,49 +756,13 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 			if rt.InsertRow(r) {
 				stats.InsR++
 				if pIns.ContainsRow(r) {
-					provDel = append(provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
+					ds.provDel = append(ds.provDel, provHandle{mi: v.mappingInfo(insMapID(rel)), row: r})
 				}
 			}
 		}
 	}
 
-	overDelete := func(ref provenance.Ref) {
-		if deleted[ref] {
-			return
-		}
-		tbl := v.db.Table(ref.Rel)
-		if tbl == nil {
-			return
-		}
-		if _, ok := tbl.DeleteKey(ref.Key); !ok {
-			return
-		}
-		deleted[ref] = true
-		stats.TuplesDeleted++
-		work = append(work, ref)
-	}
-
-	for len(work) > 0 || len(provDel) > 0 {
-		rows := provDel
-		provDel = nil
-		for _, h := range rows {
-			pt := v.db.Table(h.mi.ProvRel)
-			if !pt.DeleteRow(h.row) {
-				continue
-			}
-			stats.ProvRowsDeleted++
-			for i := range h.mi.Targets {
-				// Pessimism: delete the target even if other derivations
-				// exist; re-derivation restores it.
-				overDelete(provenance.NewRef(h.mi.Targets[i].Rel, h.mi.Targets[i].Instantiate(h.row.Tuple, v.sk)))
-			}
-		}
-		tuples := work
-		work = nil
-		for _, ref := range tuples {
-			provDel = append(provDel, v.rowsUsingSource(ref)...)
-		}
-	}
+	ds.drain()
 
 	// Re-derivation: full fixpoint from the surviving state.
 	v.ev.InvalidateAllTransient()

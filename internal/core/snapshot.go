@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -17,16 +18,27 @@ import (
 // snapshot records the Skolem interner (so labeled-null identities
 // survive) followed by every internal table.
 //
-// Format: magic "ORCV", uint32 Skolem count, then per Skolem term in id
-// order: uint32 fn len, fn, uint32 args-key len, canonical args key;
-// then a storage snapshot.
+// Format: magic "ORV2", the spec fingerprint as a length-prefixed blob
+// (so restores against a different confederation fail loudly instead of
+// resurrecting stale state — see Spec.Fingerprint and internal/evolve),
+// uint32 Skolem count, then per Skolem term in id order: uint32 fn len,
+// fn, uint32 args-key len, canonical args key; then a storage snapshot.
 
-const viewMagic = "ORCV"
+const viewMagic = "ORV2"
+
+// ErrSnapshotSpecMismatch marks a snapshot taken under a different spec
+// than the one it is being restored against. Recovery paths that can
+// rebuild from the publication history (the statestore open) match on
+// it to discard the stale snapshot instead of failing.
+var ErrSnapshotSpecMismatch = errors.New("core: snapshot was taken under a different spec")
 
 // WriteSnapshot serializes the view's state to w.
 func (v *View) WriteSnapshot(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(viewMagic); err != nil {
+		return err
+	}
+	if err := writeBlob(bw, []byte(v.spec.Fingerprint())); err != nil {
 		return err
 	}
 	n := v.sk.Len()
@@ -72,8 +84,19 @@ func RestoreView(spec *Spec, owner string, opts Options, r io.Reader) (*View, er
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
 	}
+	if string(magic) == "ORCV" {
+		return nil, fmt.Errorf("core: snapshot predates the spec-fingerprint format (magic ORCV); discard it and re-exchange from the publication history")
+	}
 	if string(magic) != viewMagic {
 		return nil, fmt.Errorf("core: bad view snapshot magic %q", magic)
+	}
+	fp, err := readBlob(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading snapshot spec fingerprint: %w", err)
+	}
+	if want := spec.Fingerprint(); string(fp) != want {
+		return nil, fmt.Errorf("%w (snapshot fingerprint %s, this spec is %s); re-exchange from the publication history instead of restoring",
+			ErrSnapshotSpecMismatch, fp, want)
 	}
 	var buf [4]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"strings"
 
 	"orchestra/internal/schema"
 	"orchestra/internal/tgd"
@@ -64,6 +68,48 @@ func (s *Spec) Mapping(id string) *tgd.TGD {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a stable digest of the whole CDSS description —
+// peers and their relation signatures, the mapping set, and every trust
+// policy. Declaration order does not matter (peers sort by name,
+// mappings by id): two Specs share a fingerprint iff they describe the
+// same confederation, so a spec reached by evolution operations
+// fingerprints identically to the equivalent spec parsed from a file.
+// The digest identifies which spec a snapshot or state directory was
+// taken under (spec evolution bumps it; see internal/evolve).
+func (s *Spec) Fingerprint() string {
+	h := sha256.New()
+	peers := append([]*schema.Peer(nil), s.Universe.Peers()...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Name < peers[j].Name })
+	for _, p := range peers {
+		fmt.Fprintf(h, "peer %s\n", p.Name)
+		for _, r := range p.Schema.Relations() {
+			fmt.Fprintf(h, "  relation %s\n", r)
+		}
+	}
+	mappings := append([]*tgd.TGD(nil), s.Mappings...)
+	sort.Slice(mappings, func(i, j int) bool { return mappings[i].ID < mappings[j].ID })
+	for _, m := range mappings {
+		fmt.Fprintf(h, "mapping %s\n", m)
+	}
+	withPolicy := make([]string, 0, len(s.Policies))
+	for name, pol := range s.Policies {
+		if pol != nil {
+			withPolicy = append(withPolicy, name)
+		}
+	}
+	sort.Strings(withPolicy)
+	for _, name := range withPolicy {
+		// Describe renders the directives in declaration order; skip
+		// trust-all policies so an empty policy equals no policy.
+		d := s.Policies[name].Describe()
+		if strings.Contains(d, "trusts everything") {
+			continue
+		}
+		fmt.Fprint(h, d)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // PeerOf returns the owning peer of a user relation, or "".

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/engine"
@@ -89,23 +90,56 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 		return nil, fmt.Errorf("core: unknown view owner %q", owner)
 	}
 	v := &View{
-		spec:        spec,
-		owner:       owner,
-		opts:        opts,
-		db:          storage.NewDatabase(),
-		sk:          value.NewSkolemTable(),
-		prog:        datalog.NewProgram(),
-		bySourceRel: make(map[string][]mappingSource),
-		byTargetRel: make(map[string][]mappingTarget),
+		spec:  spec,
+		owner: owner,
+		opts:  opts,
+		db:    storage.NewDatabase(),
+		sk:    value.NewSkolemTable(),
 	}
+	if err := v.compile(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ensureTable returns the named table, creating it when absent. Evolution
+// recompiles views against a database that already holds most tables; a
+// pre-existing table with a different arity is a spec-validation bug.
+func (v *View) ensureTable(name string, arity int) error {
+	if t := v.db.Table(name); t != nil {
+		if t.Arity() != arity {
+			return fmt.Errorf("core: table %q exists with arity %d, spec wants %d", name, t.Arity(), arity)
+		}
+		return nil
+	}
+	_, err := v.db.Create(name, arity)
+	return err
+}
+
+// compile (re)builds everything derived from the view's spec: missing
+// internal tables, the provenance-encoded mapping program with the
+// owner's trust filters inlined, the evaluation engine, the mapping
+// metadata indexes, and the provenance graph. Existing table contents
+// are untouched, so spec evolution can recompile a live view and then
+// repair its materialized state incrementally (see evolve.go). The
+// lazily-built derivability and inverse machinery is discarded — it is
+// rebuilt against the new program on first use.
+func (v *View) compile() error {
+	spec, opts := v.spec, v.opts
+	v.prog = datalog.NewProgram()
+	v.infos = nil
+	v.bySourceRel = make(map[string][]mappingSource)
+	v.byTargetRel = make(map[string][]mappingTarget)
+	v.dropScratchTables()
+	v.chkDB, v.chkEv, v.inv = nil, nil, nil
 
 	// Internal schema: four tables per user relation (Fig. 2).
 	baseRels := make(map[string]bool)
 	for _, rel := range spec.Universe.Relations() {
 		k := rel.Arity()
 		for _, name := range []string{LocalRel(rel.Name), RejectRel(rel.Name), InputRel(rel.Name), OutputRel(rel.Name)} {
-			if _, err := v.db.Create(name, k); err != nil {
-				return nil, err
+			if err := v.ensureTable(name, k); err != nil {
+				return err
 			}
 		}
 		baseRels[LocalRel(rel.Name)] = true
@@ -122,8 +156,8 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 			encs = []*tgd.ProvEncoding{internal.Encode()}
 		}
 		for _, enc := range encs {
-			if _, err := v.db.Create(enc.ProvRel, len(enc.ProvVars)); err != nil {
-				return nil, err
+			if err := v.ensureTable(enc.ProvRel, len(enc.ProvVars)); err != nil {
+				return err
 			}
 			// Trust conditions Θ compose along paths (§3.3): the view
 			// owner's conditions AND those of each peer the mapping
@@ -138,7 +172,7 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 			v.prog.Add(enc.Derive...)
 			mi, err := provenance.FromEncoding(enc)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			v.registerMapping(mi)
 		}
@@ -155,7 +189,7 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 		}
 		add := func(mapID, srcRel string, extraNeg string) error {
 			pRel := provRelOf(mapID)
-			if _, err := v.db.Create(pRel, k); err != nil {
+			if err := v.ensureTable(pRel, k); err != nil {
 				return err
 			}
 			body := []datalog.Literal{datalog.Pos(datalog.NewAtom(srcRel, args...))}
@@ -170,10 +204,10 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 			return nil
 		}
 		if err := add(insMapID(rel.Name), InputRel(rel.Name), RejectRel(rel.Name)); err != nil {
-			return nil, err
+			return err
 		}
 		if err := add(locMapID(rel.Name), LocalRel(rel.Name), ""); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
@@ -183,7 +217,7 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	v.ev = ev
 	v.graph = provenance.NewGraph(v.db, v.sk, v.infos, baseRels)
@@ -195,7 +229,18 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 		}
 		return rel + r.Tuple().String()
 	})
-	return v, nil
+	return nil
+}
+
+// dropScratchTables removes the lazily-built derivability (c$/pi$) and
+// query (q$) workspaces; they are always empty between operations and
+// are rebuilt against the current program on demand.
+func (v *View) dropScratchTables() {
+	for _, name := range v.db.Names() {
+		if strings.HasPrefix(name, "c$") || strings.HasPrefix(name, "pi$") || strings.HasPrefix(name, "q$") {
+			v.db.Drop(name)
+		}
+	}
 }
 
 func (v *View) registerMapping(mi *provenance.MappingInfo) {

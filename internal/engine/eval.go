@@ -226,6 +226,48 @@ func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
 	return stats, nil
 }
 
+// RunRulesContext evaluates to fixpoint like RunContext, except that the
+// naive first round of each stratum fires only the rules selected by
+// include (matched on rule id); everything those rules derive then
+// propagates semi-naively through every rule of the stratum, and changes
+// stay visible to later strata. This is the seeded evaluation behind spec
+// evolution: after new mapping rules join a recompiled program, seeding
+// with just those rules repairs the fixpoint in time proportional to the
+// new rules' derivations instead of re-deriving the whole instance.
+//
+// The caller must guarantee the database is already a fixpoint of the
+// non-included rules (true for a view that was clean before the rules
+// were added); otherwise their derivations are not re-examined.
+func (ev *Evaluator) RunRulesContext(ctx context.Context, include func(ruleID string) bool) (Stats, error) {
+	var stats Stats
+	changed := make(map[string][]value.Row)
+	for _, st := range ev.strata {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		tasks := make([]evalTask, 0, len(st.Rules))
+		for _, r := range st.Rules {
+			if include(r.ID) {
+				tasks = append(tasks, evalTask{plan: ev.naivePlans[r]})
+			}
+		}
+		if len(tasks) > 0 {
+			buffered, err := ev.runTasks(tasks, &stats)
+			if err != nil {
+				return stats, err
+			}
+			for i := range buffered {
+				ev.applyDerived(&buffered[i], changed, &stats)
+			}
+			stats.Iterations++
+		}
+		if err := ev.seminaiveLoop(ctx, st, changed, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
 // derivedBatch buffers one rule firing's output within a semi-naive
 // round: candidate head rows plus the Skolem applications whose interning
 // was deferred to the deterministic merge (parallel rounds).

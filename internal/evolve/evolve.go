@@ -1,0 +1,439 @@
+// Package evolve is the spec-evolution subsystem: it describes changes
+// to a running confederation — new peers, added/removed mappings,
+// replaced trust policies — as a sequence of operations, validates each
+// operation into a fresh core.Spec (well-formedness, ownership, weak
+// acyclicity; §3.1's construction-time guarantees hold at every
+// intermediate spec), and can diff two specs into the operation sequence
+// that rewrites one into the other.
+//
+// The package is purely about specs. The state-repair half — rewiring
+// live views onto the new spec and incrementally fixing their
+// materialized instances and provenance — lives in internal/core
+// (View.AddMappings / RemoveMappings / ApplyTrust / Recompile) and is
+// orchestrated by the public facade (System.AddPeer, System.AddMapping,
+// System.RemoveMapping, System.SetTrust, System.ApplyDiff).
+package evolve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"orchestra/internal/core"
+	"orchestra/internal/schema"
+	"orchestra/internal/spec"
+	"orchestra/internal/tgd"
+	"orchestra/internal/trust"
+)
+
+// OpKind enumerates the spec-evolution operations.
+type OpKind uint8
+
+const (
+	// OpAddPeer registers a new peer and its relations. Existing state is
+	// unaffected (the new tables start empty), so no repair is needed.
+	OpAddPeer OpKind = iota
+	// OpAddMapping appends a schema mapping; views repair by a semi-naive
+	// round seeded with the new mapping's rules.
+	OpAddMapping
+	// OpRemoveMapping deletes a mapping by id; views repair by
+	// provenance-driven deletion generalized to rule deletions.
+	OpRemoveMapping
+	// OpSetTrust replaces one peer's entire trust policy (nil = trust
+	// everything, the paper's default Θ).
+	OpSetTrust
+	// OpTrustDirective applies one textual trust directive on top of the
+	// peer's current policy — the accumulating form diff files use.
+	OpTrustDirective
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAddPeer:
+		return "add peer"
+	case OpAddMapping:
+		return "add mapping"
+	case OpRemoveMapping:
+		return "remove mapping"
+	case OpSetTrust:
+		return "set trust"
+	default:
+		return "trust directive"
+	}
+}
+
+// Op is one spec-evolution operation. Exactly the fields of its kind are
+// set.
+type Op struct {
+	Kind OpKind
+	// Peer is the new peer (OpAddPeer).
+	Peer *schema.Peer
+	// Mapping is the new mapping (OpAddMapping).
+	Mapping *tgd.TGD
+	// MappingID names the mapping to remove (OpRemoveMapping).
+	MappingID string
+	// TrustPeer is the peer whose policy changes (OpSetTrust).
+	TrustPeer string
+	// Policy is the replacement policy (OpSetTrust; nil = trust-all).
+	Policy *trust.Policy
+	// Directive is the raw trust directive after the "trust" keyword
+	// (OpTrustDirective), e.g. "PBioSQL distrusts mapping m1 when n >= 3".
+	Directive string
+}
+
+// String renders the operation in the diff-file syntax.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpAddPeer:
+		var rels []string
+		for _, r := range op.Peer.Schema.Relations() {
+			rels = append(rels, "relation "+r.String())
+		}
+		return fmt.Sprintf("add peer %s { %s }", op.Peer.Name, strings.Join(rels, " "))
+	case OpAddMapping:
+		return "add mapping " + op.Mapping.String()
+	case OpRemoveMapping:
+		return "remove mapping " + op.MappingID
+	case OpSetTrust:
+		var b strings.Builder
+		fmt.Fprintf(&b, "untrust %s", op.TrustPeer)
+		if op.Policy != nil {
+			for _, d := range spec.PolicyDirectives(op.Policy) {
+				b.WriteString("\ntrust " + d)
+			}
+		}
+		return b.String()
+	default:
+		return "trust " + op.Directive
+	}
+}
+
+// Diff is an ordered sequence of spec-evolution operations.
+type Diff struct {
+	Ops []Op
+}
+
+// String renders the diff in the parseable diff-file syntax.
+func (d *Diff) String() string {
+	lines := make([]string, len(d.Ops))
+	for i, op := range d.Ops {
+		lines[i] = op.String()
+	}
+	out := strings.Join(lines, "\n")
+	if out != "" {
+		out += "\n"
+	}
+	return out
+}
+
+// ApplyOp validates one operation against a spec and returns the evolved
+// spec. The input spec is never mutated: universes, mapping slices, and
+// policy maps are copied as needed, so Systems still holding the old
+// spec keep a consistent view of the world.
+func ApplyOp(sp *core.Spec, op Op) (*core.Spec, error) {
+	switch op.Kind {
+	case OpAddPeer:
+		if op.Peer == nil {
+			return nil, fmt.Errorf("evolve: add peer without a peer")
+		}
+		u, err := cloneUniverse(sp.Universe)
+		if err != nil {
+			return nil, err
+		}
+		if err := u.AddPeer(op.Peer); err != nil {
+			return nil, fmt.Errorf("evolve: %w", err)
+		}
+		return core.NewSpec(u, sp.Mappings, sp.Policies)
+
+	case OpAddMapping:
+		if op.Mapping == nil {
+			return nil, fmt.Errorf("evolve: add mapping without a mapping")
+		}
+		if op.Mapping.ID == "" {
+			return nil, fmt.Errorf("evolve: mapping %s has no id", op.Mapping)
+		}
+		if sp.Mapping(op.Mapping.ID) != nil {
+			return nil, fmt.Errorf("evolve: mapping id %q already exists", op.Mapping.ID)
+		}
+		mappings := make([]*tgd.TGD, 0, len(sp.Mappings)+1)
+		mappings = append(mappings, sp.Mappings...)
+		mappings = append(mappings, op.Mapping)
+		// NewSpec re-checks well-formedness over the universe and weak
+		// acyclicity of the whole extended mapping set.
+		return core.NewSpec(sp.Universe, mappings, sp.Policies)
+
+	case OpRemoveMapping:
+		if sp.Mapping(op.MappingID) == nil {
+			return nil, fmt.Errorf("evolve: unknown mapping %q", op.MappingID)
+		}
+		mappings := make([]*tgd.TGD, 0, len(sp.Mappings)-1)
+		for _, m := range sp.Mappings {
+			if m.ID != op.MappingID {
+				mappings = append(mappings, m)
+			}
+		}
+		return core.NewSpec(sp.Universe, mappings, sp.Policies)
+
+	case OpSetTrust:
+		if sp.Universe.Peer(op.TrustPeer) == nil {
+			return nil, fmt.Errorf("evolve: trust change for unknown peer %q", op.TrustPeer)
+		}
+		policies := clonePolicies(sp.Policies)
+		if op.Policy == nil {
+			delete(policies, op.TrustPeer)
+		} else {
+			policies[op.TrustPeer] = op.Policy
+		}
+		return core.NewSpec(sp.Universe, sp.Mappings, policies)
+
+	case OpTrustDirective:
+		policies := clonePolicies(sp.Policies)
+		policyOf := func(peer string) *trust.Policy {
+			if p, ok := policies[peer]; ok && p != nil {
+				c := p.Clone()
+				policies[peer] = c
+				return c
+			}
+			p := trust.NewPolicy(peer)
+			policies[peer] = p
+			return p
+		}
+		if err := spec.ApplyTrustDirective(op.Directive, policyOf); err != nil {
+			return nil, fmt.Errorf("evolve: %w", err)
+		}
+		return core.NewSpec(sp.Universe, sp.Mappings, policies)
+
+	default:
+		return nil, fmt.Errorf("evolve: unknown operation kind %d", op.Kind)
+	}
+}
+
+// Apply folds a whole diff over a spec, validating every intermediate
+// spec.
+func Apply(sp *core.Spec, d *Diff) (*core.Spec, error) {
+	cur := sp
+	for i, op := range d.Ops {
+		next, err := ApplyOp(cur, op)
+		if err != nil {
+			return nil, fmt.Errorf("evolve: op %d (%s): %w", i+1, op.Kind, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// cloneUniverse shallow-copies a universe (peers are immutable after
+// construction and safely shared).
+func cloneUniverse(u *schema.Universe) (*schema.Universe, error) {
+	out := schema.NewUniverse()
+	for _, p := range u.Peers() {
+		if err := out.AddPeer(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// clonePolicies shallow-copies a policy map (policies are cloned lazily
+// by the operations that edit them).
+func clonePolicies(in map[string]*trust.Policy) map[string]*trust.Policy {
+	out := make(map[string]*trust.Policy, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Parse reads a spec-diff file: one operation per line (peer blocks may
+// span lines), '#' comments, blank lines ignored.
+//
+//	# bring a reference-data peer into the confederation
+//	add peer PRef {
+//	  relation C(nam int, cls int)
+//	}
+//	add mapping m4: U(n,c) -> C(n,n)
+//	remove mapping m1
+//	trust PBioSQL distrusts mapping m3 when n >= 5
+//	untrust PuBio
+func Parse(r io.Reader) (*Diff, error) {
+	d := &Diff{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var peerText strings.Builder // accumulates a multi-line peer block
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("evolve: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+
+		if peerText.Len() > 0 {
+			peerText.WriteString(" " + line)
+			if !strings.HasSuffix(line, "}") {
+				continue
+			}
+			p, err := spec.ParsePeerDecl(peerText.String())
+			peerText.Reset()
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpAddPeer, Peer: p})
+			continue
+		}
+
+		switch {
+		case strings.HasPrefix(line, "add peer "):
+			decl := strings.TrimSpace(strings.TrimPrefix(line, "add peer "))
+			if strings.Contains(decl, "{") && !strings.HasSuffix(decl, "}") {
+				peerText.WriteString(decl)
+				continue
+			}
+			p, err := spec.ParsePeerDecl(decl)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpAddPeer, Peer: p})
+
+		case strings.HasPrefix(line, "add mapping "):
+			m, err := tgd.Parse(strings.TrimPrefix(line, "add mapping "))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpAddMapping, Mapping: m})
+
+		case strings.HasPrefix(line, "remove mapping "):
+			id := strings.TrimSpace(strings.TrimPrefix(line, "remove mapping "))
+			if id == "" {
+				return nil, fail("remove mapping without an id")
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpRemoveMapping, MappingID: id})
+
+		case strings.HasPrefix(line, "trust "):
+			d.Ops = append(d.Ops, Op{Kind: OpTrustDirective, Directive: strings.TrimSpace(strings.TrimPrefix(line, "trust "))})
+
+		case strings.HasPrefix(line, "untrust "):
+			peer := strings.TrimSpace(strings.TrimPrefix(line, "untrust "))
+			if peer == "" {
+				return nil, fail("untrust without a peer")
+			}
+			d.Ops = append(d.Ops, Op{Kind: OpSetTrust, TrustPeer: peer, Policy: nil})
+
+		default:
+			return nil, fail("unknown directive %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if peerText.Len() > 0 {
+		return nil, fmt.Errorf("evolve: unterminated peer block %q", peerText.String())
+	}
+	return d, nil
+}
+
+// ParseString parses a diff from a string.
+func ParseString(s string) (*Diff, error) { return Parse(strings.NewReader(s)) }
+
+// DiffSpecs computes the operation sequence rewriting old into new:
+// mapping removals first (so a redefined mapping id frees its slot),
+// then new peers, added mappings, and trust replacements. Peers may only
+// be added — a peer of old missing from new, or a shared peer with a
+// different schema, is an error (the subsystem does not support peer
+// removal or schema alteration).
+func DiffSpecs(old, new *core.Spec) (*Diff, error) {
+	d := &Diff{}
+
+	oldPeers := make(map[string]*schema.Peer)
+	for _, p := range old.Universe.Peers() {
+		oldPeers[p.Name] = p
+	}
+	for _, p := range new.Universe.Peers() {
+		op, ok := oldPeers[p.Name]
+		if !ok {
+			continue
+		}
+		if !sameSchema(op, p) {
+			return nil, fmt.Errorf("evolve: peer %q changed its schema (unsupported)", p.Name)
+		}
+		delete(oldPeers, p.Name)
+	}
+	for name := range oldPeers {
+		return nil, fmt.Errorf("evolve: peer %q was removed (unsupported)", name)
+	}
+
+	newByID := make(map[string]*tgd.TGD, len(new.Mappings))
+	for _, m := range new.Mappings {
+		newByID[m.ID] = m
+	}
+	for _, m := range old.Mappings {
+		if nm, ok := newByID[m.ID]; !ok || !m.Equal(nm) {
+			d.Ops = append(d.Ops, Op{Kind: OpRemoveMapping, MappingID: m.ID})
+		}
+	}
+	for _, p := range new.Universe.Peers() {
+		if old.Universe.Peer(p.Name) == nil {
+			d.Ops = append(d.Ops, Op{Kind: OpAddPeer, Peer: p})
+		}
+	}
+	for _, m := range new.Mappings {
+		om := old.Mapping(m.ID)
+		if om == nil || !om.Equal(m) {
+			d.Ops = append(d.Ops, Op{Kind: OpAddMapping, Mapping: m})
+		}
+	}
+
+	seen := make(map[string]bool)
+	var withPolicy []string
+	for _, u := range []*core.Spec{old, new} {
+		for peer := range u.Policies {
+			if !seen[peer] {
+				seen[peer] = true
+				withPolicy = append(withPolicy, peer)
+			}
+		}
+	}
+	sort.Strings(withPolicy)
+	for _, peer := range withPolicy {
+		if !samePolicy(old.Policy(peer), new.Policy(peer)) {
+			d.Ops = append(d.Ops, Op{Kind: OpSetTrust, TrustPeer: peer, Policy: new.Policy(peer)})
+		}
+	}
+	return d, nil
+}
+
+func sameSchema(a, b *schema.Peer) bool {
+	ar, br := a.Schema.Relations(), b.Schema.Relations()
+	if len(ar) != len(br) {
+		return false
+	}
+	for i := range ar {
+		if ar[i].String() != br[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func samePolicy(a, b *trust.Policy) bool {
+	render := func(p *trust.Policy) string {
+		if p == nil {
+			return ""
+		}
+		d := p.Describe()
+		if strings.Contains(d, "trusts everything") {
+			return ""
+		}
+		return d
+	}
+	return render(a) == render(b)
+}

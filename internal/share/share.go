@@ -109,6 +109,16 @@ func SpecValidator(spec *core.Spec) func(string, core.EditLog) error {
 	}
 }
 
+// SetValidate replaces the validator under the server's lock — the safe
+// way to swap validation on a serving daemon (spec evolution replaces
+// the spec at runtime). Direct assignment of Validate remains fine
+// before the server starts serving.
+func (s *Server) SetValidate(fn func(string, core.EditLog) error) {
+	s.mu.Lock()
+	s.Validate = fn
+	s.mu.Unlock()
+}
+
 // Len returns the number of accepted publications.
 func (s *Server) Len() int {
 	s.mu.RLock()
@@ -156,8 +166,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if s.Validate != nil {
-		if err := s.Validate(peer, log); err != nil {
+	s.mu.RLock()
+	validate := s.Validate
+	s.mu.RUnlock()
+	if validate != nil {
+		if err := validate(peer, log); err != nil {
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"orchestra/internal/core"
+	"orchestra/internal/trust"
 	"orchestra/internal/value"
 )
 
@@ -30,26 +31,48 @@ func Render(f *File) string {
 		if pol == nil {
 			continue
 		}
-		for _, peer := range pol.DistrustedPeers() {
-			fmt.Fprintf(&b, "trust %s distrusts peer %s\n", p.Name, peer)
-		}
-		for _, c := range pol.AllConditions() {
-			scope := c.Mapping
-			if scope == "" {
-				scope = "''"
-			}
-			if c.Distrust {
-				// Condition stored negated; re-render the original form.
-				fmt.Fprintf(&b, "trust %s %s\n", p.Name, strings.Replace(c.String(), "distrusts ", "distrusts mapping ", 1))
-			} else {
-				fmt.Fprintf(&b, "trust %s trusts mapping %s when %s\n", p.Name, scope, c.Accept)
-			}
+		for _, tail := range PolicyDirectives(pol) {
+			fmt.Fprintf(&b, "trust %s\n", tail)
 		}
 	}
 	for _, pe := range f.Edits {
 		b.WriteString(renderEdit(pe.Peer, pe.Edit))
 	}
 	return b.String()
+}
+
+// PolicyDirectives renders a trust policy as directive tails — the text
+// after the "trust" keyword, one per declaration, in exactly the syntax
+// Parse and ApplyTrustDirective read back. The wildcard any-mapping
+// scope renders as ” (unquoted to "" at parse time). Both the spec
+// renderer and the diff renderer (internal/evolve) share this, so the
+// two formats cannot drift.
+func PolicyDirectives(pol *trust.Policy) []string {
+	owner := pol.Owner
+	var out []string
+	for _, q := range pol.DistrustedPeers() {
+		out = append(out, fmt.Sprintf("%s distrusts peer %s", owner, q))
+	}
+	for _, c := range pol.AllConditions() {
+		scope := c.Mapping
+		if scope == "" {
+			scope = "''"
+		}
+		if c.Distrust {
+			// The condition is stored negated; Raw holds the original.
+			d := fmt.Sprintf("%s distrusts mapping %s", owner, scope)
+			if c.Raw != nil && !c.Raw.Trivial() {
+				d += " when " + c.Raw.String()
+			}
+			out = append(out, d)
+		} else {
+			out = append(out, fmt.Sprintf("%s trusts mapping %s when %s", owner, scope, c.Accept))
+		}
+	}
+	for _, bc := range pol.BaseConditions() {
+		out = append(out, fmt.Sprintf("%s distrusts base %s when %s", owner, bc.Rel, bc.Distrust))
+	}
+	return out
 }
 
 // renderEdit renders one edit line with constants in parseable form

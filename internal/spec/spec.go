@@ -208,6 +208,43 @@ func Parse(r io.Reader) (*File, error) {
 // ParseString parses a CDSS description from a string.
 func ParseString(s string) (*File, error) { return Parse(strings.NewReader(s)) }
 
+// ParsePeerDecl parses a single peer declaration — the text after the
+// "peer" keyword, e.g. "PRef { relation C(nam int, cls int) }" — into a
+// schema.Peer. Spec evolution (internal/evolve, System.AddPeer) uses it
+// to accept new peers in the same syntax spec files declare them in.
+func ParsePeerDecl(text string) (*schema.Peer, error) {
+	text = strings.TrimSpace(text)
+	name, body, hasBrace := strings.Cut(text, "{")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return nil, fmt.Errorf("spec: peer with empty name")
+	}
+	if !hasBrace || !strings.HasSuffix(strings.TrimSpace(body), "}") {
+		return nil, fmt.Errorf("spec: peer declaration %q must be of the form 'Name { relation R(...) ... }'", text)
+	}
+	body = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body), "}"))
+	p := schema.NewPeer(name)
+	for _, decl := range splitDecls(body) {
+		if !strings.HasPrefix(decl, "relation ") {
+			return nil, fmt.Errorf("spec: expected relation declaration, got %q", decl)
+		}
+		if err := parseRelation(p, strings.TrimPrefix(decl, "relation ")); err != nil {
+			return nil, err
+		}
+	}
+	if p.Schema.Len() == 0 {
+		return nil, fmt.Errorf("spec: peer %q declares no relations", name)
+	}
+	return p, nil
+}
+
+// ApplyTrustDirective applies one trust directive — the text after the
+// "trust" keyword, e.g. "PBioSQL distrusts mapping m1 when n >= 3" — to
+// the policy returned by policyOf for the directive's peer.
+func ApplyTrustDirective(rest string, policyOf func(string) *trust.Policy) error {
+	return parseTrust(rest, policyOf)
+}
+
 // splitDecls splits "relation A(..) relation B(..)" on the keyword.
 func splitDecls(body string) []string {
 	var out []string
@@ -269,6 +306,10 @@ func parseTrust(rest string, policyOf func(string) *trust.Policy) error {
 	name, pred := tail, ""
 	if i := strings.Index(tail, " when "); i >= 0 {
 		name, pred = strings.TrimSpace(tail[:i]), strings.TrimSpace(tail[i+6:])
+	}
+	if name == "''" {
+		// The rendered form of the wildcard any-mapping scope.
+		name = ""
 	}
 	switch {
 	case verb == "distrusts" && kind == "peer":

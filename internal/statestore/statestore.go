@@ -67,8 +67,13 @@ type ViewState struct {
 }
 
 type manifest struct {
-	Version int                   `json:"version"`
-	Views   map[string]*ViewState `json:"views"`
+	Version int `json:"version"`
+	// Spec fingerprints the confederation description the checkpoints
+	// were taken under (core.Spec.Fingerprint). Recovery rejects a store
+	// whose fingerprint does not match the running spec; spec evolution
+	// re-stamps it (with fresh snapshots) after every applied operation.
+	Spec  string                `json:"spec,omitempty"`
+	Views map[string]*ViewState `json:"views"`
 }
 
 // Store is a crash-safe checkpoint directory for one system's views.
@@ -156,6 +161,35 @@ func (s *Store) Close() error {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SpecFingerprint returns the spec fingerprint the store's checkpoints
+// were taken under ("" for an empty or pre-fingerprint store).
+func (s *Store) SpecFingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Spec
+}
+
+// SetSpecFingerprint durably records the spec fingerprint the store's
+// checkpoints belong to. Callers stamp it when the store is first bound
+// to a spec and re-stamp it (together with fresh snapshots) after spec
+// evolution; a mismatch at open time means the directory belongs to a
+// different — or stale — confederation description.
+func (s *Store) SetSpecFingerprint(fp string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lock == nil {
+		return fmt.Errorf("statestore: store is closed")
+	}
+	if s.m.Spec == fp {
+		return nil
+	}
+	updated := manifest{Version: manifestVersion, Spec: fp, Views: make(map[string]*ViewState, len(s.m.Views))}
+	for o, vs := range s.m.Views {
+		updated.Views[o] = vs
+	}
+	return s.commitManifest(updated)
+}
+
 // Views lists the persisted views, sorted by owner.
 func (s *Store) Views() []ViewState {
 	s.mu.Lock()
@@ -181,10 +215,15 @@ func (s *Store) View(owner string) (ViewState, bool) {
 
 // SaveView atomically checkpoints one view: write fills in the
 // snapshot payload (the core snapshot encoding); cursor is the bus
-// position the snapshot reflects. The snapshot and its cursor commit
-// together, so the persisted cursor can never exceed the snapshot's
-// publication horizon. Cursor regressions are rejected.
-func (s *Store) SaveView(owner string, cursor int, write func(io.Writer) error) error {
+// position the snapshot reflects; specFP is the fingerprint of the spec
+// the snapshot was taken under. Snapshot, cursor, and fingerprint
+// commit together in one manifest write, so the persisted cursor can
+// never exceed the snapshot's publication horizon and the manifest's
+// spec always matches the newest snapshot — even when a crash
+// interrupted a spec evolution between its per-view checkpoints (stale
+// per-view snapshots are then discarded at recovery). Cursor
+// regressions are rejected.
+func (s *Store) SaveView(owner string, cursor int, specFP string, write func(io.Writer) error) error {
 	if cursor < 0 {
 		return fmt.Errorf("statestore: negative cursor %d for view %q", cursor, owner)
 	}
@@ -211,7 +250,7 @@ func (s *Store) SaveView(owner string, cursor int, write func(io.Writer) error) 
 		return err
 	}
 	next := &ViewState{Owner: owner, Cursor: cursor, Generation: gen, File: file}
-	updated := manifest{Version: manifestVersion, Views: make(map[string]*ViewState, len(s.m.Views)+1)}
+	updated := manifest{Version: manifestVersion, Spec: specFP, Views: make(map[string]*ViewState, len(s.m.Views)+1)}
 	for o, vs := range s.m.Views {
 		updated.Views[o] = vs
 	}
@@ -264,7 +303,7 @@ func (s *Store) Remove(owner string) error {
 	if !ok {
 		return nil
 	}
-	updated := manifest{Version: manifestVersion, Views: make(map[string]*ViewState, len(s.m.Views))}
+	updated := manifest{Version: manifestVersion, Spec: s.m.Spec, Views: make(map[string]*ViewState, len(s.m.Views))}
 	for o, vs := range s.m.Views {
 		if o != owner {
 			updated.Views[o] = vs

@@ -139,6 +139,17 @@ func (m *TGD) Validate(u *schema.Universe) error {
 	return check("RHS", m.RHS)
 }
 
+// Equal reports whether two tgds are structurally identical — same id
+// and the same atom lists on both sides (variable names included, since
+// they name provenance columns). Spec diffing uses it to distinguish an
+// unchanged mapping from one that was redefined under the same id.
+func (m *TGD) Equal(other *TGD) bool {
+	if other == nil {
+		return m == nil
+	}
+	return m.ID == other.ID && m.String() == other.String()
+}
+
 // String renders "id: lhs1, lhs2 -> rhs1, rhs2".
 func (m *TGD) String() string {
 	l := make([]string, len(m.LHS))

@@ -20,7 +20,10 @@ type Condition struct {
 	// Distrust records whether the user phrased this as a distrust
 	// condition, for display.
 	Distrust bool
-	src      string
+	// Raw is the predicate as entered for distrust conditions (Accept
+	// stores its negation); renderers re-emit the original form from it.
+	Raw *Pred
+	src string
 }
 
 // String renders the condition as entered.
@@ -93,7 +96,7 @@ func (p *Policy) TrustMapping(mapping string, pred *Pred) {
 // rejected when pred holds (i.e. accepted iff ¬pred). With the trivial
 // predicate the whole mapping is distrusted.
 func (p *Policy) DistrustMapping(mapping string, pred *Pred) {
-	p.AddCondition(&Condition{Mapping: mapping, Accept: negate(pred), Distrust: true,
+	p.AddCondition(&Condition{Mapping: mapping, Accept: negate(pred), Distrust: true, Raw: pred,
 		src: fmt.Sprintf("distrusts %s when %s", mapping, pred)})
 }
 
@@ -137,6 +140,23 @@ func (p *Policy) Conditions(mapping string) []*Condition {
 
 // AllConditions returns every mapping condition of the policy.
 func (p *Policy) AllConditions() []*Condition { return p.conds }
+
+// BaseConditions returns the policy's base-tuple distrust conditions in
+// declaration order.
+func (p *Policy) BaseConditions() []*BaseCondition { return p.baseConds }
+
+// Clone returns an independent copy of the policy (conditions are
+// immutable and shared). Spec evolution edits a clone so the previous
+// Spec — and any System still running over it — stays untouched.
+func (p *Policy) Clone() *Policy {
+	c := NewPolicy(p.Owner)
+	for q := range p.distrustedPeers {
+		c.distrustedPeers[q] = true
+	}
+	c.conds = append([]*Condition(nil), p.conds...)
+	c.baseConds = append([]*BaseCondition(nil), p.baseConds...)
+	return c
+}
 
 // AcceptsMapping reports whether a derivation through mapping with the
 // given variable binding passes all of this policy's conditions (§3.3:

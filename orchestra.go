@@ -26,7 +26,13 @@ import (
 // checkpointed (snapshot + bus cursor, atomically) into a state
 // directory, and New recovers them — see persist.go.
 type System struct {
-	spec     *core.Spec
+	// spec is the current confederation description; the evolution
+	// operations (evolve.go) swap it under mu, so every read outside a
+	// mu-guarded section goes through specNow.
+	spec *core.Spec
+	// specGen counts applied evolution operations (0 at New); see
+	// SpecGeneration.
+	specGen  int
 	opts     core.Options
 	strategy core.DeletionStrategy
 	bus      core.PublicationBus
@@ -100,15 +106,34 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 	return s, nil
 }
 
-// Spec returns the CDSS description the system runs over.
-func (s *System) Spec() *Spec { return s.spec }
+// Spec returns the CDSS description the system currently runs over
+// (evolution operations replace it; see SpecGeneration).
+func (s *System) Spec() *Spec { return s.specNow() }
+
+// specNow reads the current spec under the lock — evolution swaps the
+// pointer, so unguarded reads would race.
+func (s *System) specNow() *core.Spec {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.spec
+}
+
+// SpecGeneration reports how many evolution operations have been applied
+// since New (0 for a freshly built System). It increases monotonically;
+// persistence re-checkpoints on every change, so a recovered System
+// always resumes from the latest applied spec.
+func (s *System) SpecGeneration() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.specGen
+}
 
 // Bus returns the publication bus the system exchanges through.
 func (s *System) Bus() PublicationBus { return s.bus }
 
 // Peers lists the confederation's peers in registration order.
 func (s *System) Peers() []string {
-	peers := s.spec.Universe.Peers()
+	peers := s.specNow().Universe.Peers()
 	out := make([]string, len(peers))
 	for i, p := range peers {
 		out[i] = p.Name
@@ -118,7 +143,7 @@ func (s *System) Peers() []string {
 
 // RelationNames lists every user relation in the confederation.
 func (s *System) RelationNames() []string {
-	rels := s.spec.Universe.Relations()
+	rels := s.specNow().Universe.Relations()
 	out := make([]string, len(rels))
 	for i, r := range rels {
 		out[i] = r.Name
@@ -153,7 +178,7 @@ func (s *System) handle(owner string) (*viewHandle, error) {
 // it visible to every node sharing the bus. It does not touch any view;
 // importing is Exchange's job.
 func (s *System) Publish(ctx context.Context, peer string, log EditLog) error {
-	return core.PublishTo(ctx, s.bus, s.spec, peer, log)
+	return core.PublishTo(ctx, s.bus, s.specNow(), peer, log)
 }
 
 // PublishFileEdits publishes a spec file's edit declarations in file
@@ -280,7 +305,7 @@ func (s *System) ExchangeAll(ctx context.Context) (map[string]ApplyStats, error)
 // bodies, and does not materialize the owner's view (a view that was
 // never exchanged has everything pending).
 func (s *System) Pending(ctx context.Context, owner string) (int, error) {
-	if owner != "" && s.spec.Universe.Peer(owner) == nil {
+	if owner != "" && s.specNow().Universe.Peer(owner) == nil {
 		return 0, fmt.Errorf("orchestra: unknown view owner %q", owner)
 	}
 	cursor := 0
@@ -334,7 +359,7 @@ func (s *System) ProvenanceExpr(owner, rel string, t Tuple) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if s.spec.Universe.Relation(rel) == nil {
+	if s.specNow().Universe.Relation(rel) == nil {
 		return "", fmt.Errorf("orchestra: unknown relation %q", rel)
 	}
 	h.mu.Lock()
@@ -355,7 +380,7 @@ func (s *System) Provenance(ctx context.Context, owner, rel string, t Tuple) (Pr
 	if err != nil {
 		return ProvenanceInfo{}, err
 	}
-	if s.spec.Universe.Relation(rel) == nil {
+	if s.specNow().Universe.Relation(rel) == nil {
 		return ProvenanceInfo{}, fmt.Errorf("orchestra: unknown relation %q", rel)
 	}
 	h.mu.Lock()

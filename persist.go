@@ -2,6 +2,7 @@ package orchestra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -25,6 +26,23 @@ func (s *System) openPersistence(cfg *config) error {
 	if err != nil {
 		return err
 	}
+	// A state directory belongs to one confederation description: the
+	// manifest records the spec fingerprint its checkpoints were taken
+	// under, and recovery under a different spec is rejected up front
+	// with a descriptive error instead of resurrecting stale instances.
+	// (Evolution re-stamps the fingerprint and re-checkpoints; see
+	// System.ApplyDiff.) An empty fingerprint means a fresh directory.
+	fp := s.spec.Fingerprint()
+	if stored := st.SpecFingerprint(); stored != "" && stored != fp {
+		st.Close()
+		return fmt.Errorf("orchestra: state directory %s was checkpointed under a different spec (fingerprint %s, running spec is %s); evolve the running system instead of editing the spec, or start from a fresh directory",
+			cfg.persist.dir, stored, fp)
+	} else if stored == "" {
+		if err := st.SetSpecFingerprint(fp); err != nil {
+			st.Close()
+			return err
+		}
+	}
 	if cfg.bus == nil {
 		fb, err := logstore.OpenBus(filepath.Join(cfg.persist.dir, busLogName))
 		if err != nil {
@@ -42,6 +60,18 @@ func (s *System) openPersistence(cfg *config) error {
 			return err
 		}
 		v, err := core.RestoreView(s.spec, vs.Owner, s.opts, r)
+		if errors.Is(err, core.ErrSnapshotSpecMismatch) {
+			// A crash between a spec evolution's per-view checkpoints can
+			// leave this one snapshot stamped with an older fingerprint
+			// than the manifest's. A snapshot is only a cache of the
+			// publication history: discard it and let the view rebuild
+			// from publication zero on first use.
+			if err := st.Remove(vs.Owner); err != nil {
+				s.closePersistence()
+				return fmt.Errorf("orchestra: discarding stale snapshot of view %q: %w", vs.Owner, err)
+			}
+			continue
+		}
 		if err != nil {
 			s.closePersistence()
 			return fmt.Errorf("orchestra: recovering view %q: %w", vs.Owner, err)
@@ -106,7 +136,7 @@ func (s *System) checkpointLocked(ctx context.Context, owner string, h *viewHand
 	if err := h.view.Repair(ctx); err != nil {
 		return err
 	}
-	if err := s.store.SaveView(owner, h.cursor, h.view.WriteSnapshot); err != nil {
+	if err := s.store.SaveView(owner, h.cursor, h.view.Spec().Fingerprint(), h.view.WriteSnapshot); err != nil {
 		return err
 	}
 	h.sinceCkpt = 0

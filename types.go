@@ -9,6 +9,7 @@ import (
 	"orchestra/internal/core"
 	"orchestra/internal/datalog"
 	"orchestra/internal/engine"
+	"orchestra/internal/evolve"
 	"orchestra/internal/spec"
 	"orchestra/internal/statestore"
 	"orchestra/internal/tgd"
@@ -56,6 +57,12 @@ type (
 	// bus cursor the snapshot reflects, and the snapshot generation (see
 	// WithPersistence and System.PersistedViews).
 	ViewState = statestore.ViewState
+	// SpecDiff is an ordered sequence of spec-evolution operations (add
+	// peer, add/remove mapping, trust changes); apply one to a running
+	// System with ApplyDiff.
+	SpecDiff = evolve.Diff
+	// SpecOp is one spec-evolution operation of a SpecDiff.
+	SpecOp = evolve.Op
 )
 
 // Deletion strategies (§6.3's three contenders).
@@ -111,6 +118,31 @@ func ParseSpecString(s string) (*SpecFile, error) { return spec.ParseString(s) }
 
 // RenderSpec renders a spec file back into the .cdss format.
 func RenderSpec(f *SpecFile) string { return spec.Render(f) }
+
+// ParseSpecDiff parses a spec-diff file: evolution operations (one per
+// line; peer blocks may span lines) in the syntax of internal/evolve —
+// "add peer P { relation R(...) }", "add mapping mX: ...",
+// "remove mapping mX", "trust <directive>", "untrust P".
+func ParseSpecDiff(r io.Reader) (*SpecDiff, error) { return evolve.Parse(r) }
+
+// ParseSpecDiffString is ParseSpecDiff over a string.
+func ParseSpecDiffString(s string) (*SpecDiff, error) { return evolve.ParseString(s) }
+
+// RenderSpecDiff renders a diff back into the parseable diff-file
+// syntax.
+func RenderSpecDiff(d *SpecDiff) string { return d.String() }
+
+// DiffSpecs computes the evolution operations rewriting one spec into
+// another (removals, then new peers, added mappings, and trust
+// replacements). Peer removal and schema alteration are unsupported and
+// reported as errors.
+func DiffSpecs(old, new *Spec) (*SpecDiff, error) { return evolve.DiffSpecs(old, new) }
+
+// EvolveSpec applies a diff to a spec without a running System,
+// validating every intermediate spec (well-formedness, ownership, weak
+// acyclicity). The input spec is not mutated. Use System.ApplyDiff to
+// evolve live state along with the spec.
+func EvolveSpec(sp *Spec, d *SpecDiff) (*Spec, error) { return evolve.Apply(sp, d) }
 
 // NewTrustPolicy creates an empty (trust-all) policy for a peer; refine
 // it with DistrustPeer / TrustMapping / DistrustMapping / DistrustBase
