@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke examples staticcheck
+# bench-check gates against the newest committed benchmark snapshot;
+# override for local experiments, e.g.
+#   make bench-check BENCH_SNAPSHOT=BENCH_last.json BENCH_THRESHOLD=5
+BENCH_SNAPSHOT ?= BENCH_pr5.json
+BENCH_THRESHOLD ?= 15
+
+.PHONY: all build test vet race bench bench-check bench-smoke examples staticcheck
 
 all: build vet test
 
@@ -20,6 +26,13 @@ race:
 # format; see DESIGN.md "Benchmark baselines").
 bench:
 	$(GO) run ./cmd/benchfig -json -out BENCH_last.json
+
+# bench-check is the bench-regression gate: rerun the benchmark cases
+# and fail if any case's ns/op or allocs/op regressed more than
+# BENCH_THRESHOLD percent against the committed BENCH_SNAPSHOT. The
+# fresh measurements are kept in BENCH_last.json for inspection.
+bench-check:
+	$(GO) run ./cmd/benchfig -json -out BENCH_last.json -compare $(BENCH_SNAPSHOT) -threshold $(BENCH_THRESHOLD)
 
 # bench-smoke executes every benchmark once so bench code cannot rot.
 bench-smoke:

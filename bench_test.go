@@ -64,6 +64,15 @@ func BenchmarkFig10(b *testing.B) { benchFig(b, 10) }
 // the cost a frozen-spec CDSS pays for any confederation change.
 func BenchmarkEvolveVsRebuild(b *testing.B) { benchFamily(b, "EvolveVsRebuild") }
 
+// BenchmarkExchangeAll measures confederation-wide exchange on a
+// 16-peer Fig.5-style chain with 8 queued publications per peer: the
+// serial one-apply-per-publication walk against publication coalescing
+// (one net apply per view) and the full exchange scheduler (coalesced
+// passes over a GOMAXPROCS-bounded worker pool). All variants end with
+// observationally identical views — see the exchange equivalence and
+// scheduler determinism property tests.
+func BenchmarkExchangeAll(b *testing.B) { benchFamily(b, "ExchangeAll") }
+
 // BenchmarkAblationProvTables compares §5's composite mapping table
 // against the pre-optimization per-RHS-atom encoding on a multi-relation
 // workload (the design choice DESIGN.md calls out; the paper reports the

@@ -5,6 +5,13 @@
 // produces the committed BENCH_*.json snapshots that record the repo's
 // performance trajectory; `make bench` writes one.
 //
+// With -compare, benchfig is the CI bench-regression gate: the
+// candidate measurements (a fresh run, or an existing report via -in)
+// are checked against a committed snapshot, and any case whose ns/op or
+// allocs/op regressed by more than -threshold percent makes benchfig
+// exit non-zero. `make bench-check` runs it against the newest
+// committed BENCH_*.json.
+//
 // Usage:
 //
 //	benchfig                 # all figures at laptop scale, text tables
@@ -13,6 +20,8 @@
 //	benchfig -json           # machine-readable benchmark report to stdout
 //	benchfig -json -fig 5    # only Figure 5's cases
 //	benchfig -json -out f.json
+//	benchfig -compare BENCH_pr5.json -threshold 15            # run + gate
+//	benchfig -compare BENCH_pr5.json -in BENCH_last.json      # gate two snapshots
 package main
 
 import (
@@ -30,7 +39,14 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed (table mode only)")
 	jsonMode := flag.Bool("json", false, "run the Go benchmark cases and emit a JSON report")
 	out := flag.String("out", "", "write output to this file instead of stdout")
+	compare := flag.String("compare", "", "gate mode: check the candidate measurements against this committed BENCH_*.json snapshot; exit non-zero on regression")
+	threshold := flag.Float64("threshold", 15, "regression threshold in percent for -compare (ns/op and allocs/op)")
+	in := flag.String("in", "", "with -compare: take the candidate measurements from this report instead of running the benchmarks")
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runGate(*compare, *in, *out, *threshold, *fig, *jsonMode))
+	}
 
 	dst := os.Stdout
 	if *out != "" {
@@ -90,4 +106,65 @@ func main() {
 		}
 		fmt.Fprintln(dst, table.Render())
 	}
+}
+
+// runGate is the bench-regression gate: it obtains the candidate report
+// (running the cases, or loading -in), optionally writes it out (-json
+// -out), compares it against the committed snapshot, and reports the
+// verdict. Returns the process exit code.
+func runGate(comparePath, inPath, outPath string, threshold float64, fig int, jsonMode bool) int {
+	old, err := orchestra.LoadBenchReport(comparePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		return 1
+	}
+	var cand orchestra.BenchReport
+	if inPath != "" {
+		if cand, err = orchestra.LoadBenchReport(inPath); err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			return 1
+		}
+	} else {
+		var match func(orchestra.BenchCase) bool
+		if fig != 0 {
+			match = func(c orchestra.BenchCase) bool { return c.Fig == fig }
+		}
+		cand = orchestra.RunBenchCases(match, func(name string) {
+			fmt.Fprintf(os.Stderr, "benchfig: running %s\n", name)
+		})
+	}
+	if jsonMode {
+		b, err := cand.MarshalIndent()
+		if err == nil {
+			if outPath != "" {
+				err = os.WriteFile(outPath, b, 0o644)
+			} else {
+				_, err = os.Stdout.Write(b)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: writing candidate report: %v\n", err)
+			return 1
+		}
+	}
+	if old.GOOS != cand.GOOS || old.GOARCH != cand.GOARCH {
+		fmt.Fprintf(os.Stderr, "benchfig: warning: comparing %s/%s against %s/%s snapshot — ns/op deltas are not meaningful across platforms\n",
+			cand.GOOS, cand.GOARCH, old.GOOS, old.GOARCH)
+	}
+	c := orchestra.CompareBenchReports(old, cand, threshold)
+	for _, name := range c.OnlyOld {
+		fmt.Fprintf(os.Stderr, "benchfig: note: %s is in the snapshot but was not measured\n", name)
+	}
+	for _, name := range c.OnlyNew {
+		fmt.Fprintf(os.Stderr, "benchfig: note: %s is new (no snapshot baseline)\n", name)
+	}
+	if !c.Ok() {
+		fmt.Fprintf(os.Stderr, "benchfig: %d regression(s) vs %s (threshold %.0f%%):\n", len(c.Regressions), comparePath, threshold)
+		for _, r := range c.Regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchfig: %d case(s) within %.0f%% of %s\n", c.Compared, threshold, comparePath)
+	return 0
 }

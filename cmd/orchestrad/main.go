@@ -29,10 +29,15 @@
 // With -state (requires -spec and -store), the daemon is durable
 // end-to-end in one process: besides the durable publication log it
 // maintains a materialized view of the confederation (the -view owner;
-// default the global trust-all view), exchanging every -refresh
-// interval and checkpointing into the state directory, and serves the
-// curated instances at GET /instance?rel=R. On restart the view is
-// recovered from its snapshot and fast-forwarded past its persisted
+// default the global trust-all view, or "all" for every peer's view
+// plus the global one), and serves the curated instances at
+// GET /instance?rel=R[&owner=P]. Views exchange on publish — every
+// accepted publication wakes the exchange loop, which imports the whole
+// pending run as one coalesced pass — with the -refresh ticker as a
+// fallback; "-view all" runs the per-view passes concurrently through
+// the exchange scheduler (bounded by -exchange-parallelism). Completed
+// exchanges checkpoint into the state directory; on restart each view
+// is recovered from its snapshot and fast-forwarded past its persisted
 // cursor instead of re-exchanging from publication zero.
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
@@ -66,8 +71,9 @@ func main() {
 	storePath := flag.String("store", "", "append-only publication log file (empty = in-memory only)")
 	specPath := flag.String("spec", "", "CDSS spec file to validate publications against")
 	statePath := flag.String("state", "", "state directory for a durable materialized view (requires -spec and -store)")
-	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view")
-	refresh := flag.Duration("refresh", 2*time.Second, "how often the durable view exchanges new publications")
+	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view, \"all\" = every peer view plus the global one")
+	refresh := flag.Duration("refresh", 2*time.Second, "fallback interval between exchanges (publications also trigger one immediately)")
+	exchPar := flag.Int("exchange-parallelism", 0, "bound on concurrent per-view exchange passes under -view all (0 = GOMAXPROCS)")
 	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints (requires -spec)")
 	flag.Parse()
 
@@ -113,6 +119,11 @@ func main() {
 	})
 
 	var sys *orchestra.System
+	allViews := *viewOwner == "all"
+	defaultOwner := *viewOwner
+	if allViews {
+		defaultOwner = "" // /instance defaults to the global view
+	}
 	if *statePath != "" {
 		if parsed == nil || *storePath == "" {
 			log.Fatal("orchestrad: -state requires -spec and -store (durable views need a durable bus)")
@@ -127,6 +138,7 @@ func main() {
 		sys, err = orchestra.New(parsed.Spec,
 			orchestra.WithBus(orchestra.NewHTTPBus(selfURL)),
 			orchestra.WithPersistence(*statePath),
+			orchestra.WithExchangeParallelism(*exchPar),
 		)
 		if err != nil {
 			log.Fatalf("orchestrad: %v", err)
@@ -142,7 +154,15 @@ func main() {
 				http.Error(w, "missing rel parameter", http.StatusBadRequest)
 				return
 			}
-			descs, err := sys.DescribeInstance(*viewOwner, rel)
+			owner := defaultOwner
+			if o := r.URL.Query().Get("owner"); o != "" {
+				if !allViews && o != *viewOwner {
+					http.Error(w, fmt.Sprintf("view %q is not maintained by this daemon (running with -view %q)", o, *viewOwner), http.StatusNotFound)
+					return
+				}
+				owner = o
+			}
+			descs, err := sys.DescribeInstance(owner, rel)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -175,19 +195,51 @@ func main() {
 
 	var exchanges sync.WaitGroup
 	if sys != nil {
+		// Exchange-on-publish: every accepted publication pokes the
+		// exchange loop through a 1-buffered channel. A burst of
+		// publications lands as at most one queued wake-up, and the pass
+		// it triggers imports the whole pending run coalesced — the
+		// -refresh ticker remains only as a fallback (e.g. publications
+		// that raced past a pass's fetch horizon).
+		kick := make(chan struct{}, 1)
+		srv.OnPublish(func() {
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		})
+		exchangeOnce := func() error {
+			if allViews {
+				_, err := sys.ExchangeAll(ctx)
+				return err
+			}
+			_, err := sys.Exchange(ctx, *viewOwner)
+			return err
+		}
 		exchanges.Add(1)
 		go func() {
 			defer exchanges.Done()
+			if allViews {
+				// Materialize the global view so ExchangeAll (which only
+				// exchanges views that exist) maintains it from the start.
+				// This must run here, not before httpSrv.Serve: the exchange
+				// goes through the daemon's own HTTP bus, so doing it on the
+				// main goroutine would deadlock against the unserved listener.
+				if _, err := sys.Exchange(ctx, ""); err != nil && ctx.Err() == nil {
+					log.Printf("orchestrad: initial exchange: %v", err)
+				}
+			}
 			ticker := time.NewTicker(*refresh)
 			defer ticker.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
+				case <-kick:
 				case <-ticker.C:
-					if _, err := sys.Exchange(ctx, *viewOwner); err != nil && ctx.Err() == nil {
-						log.Printf("orchestrad: exchange: %v", err)
-					}
+				}
+				if err := exchangeOnce(); err != nil && ctx.Err() == nil {
+					log.Printf("orchestrad: exchange: %v", err)
 				}
 			}
 		}()

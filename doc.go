@@ -18,7 +18,11 @@
 // Every operation takes a context.Context; cancellation reaches the
 // engine's fixpoint loops and the provenance equation solver. A System
 // is safe for concurrent use: exchanges of different peers' views run in
-// parallel, operations on one view are serialized.
+// parallel, operations on one view are serialized. ExchangeAll exploits
+// exactly that — the per-view passes run concurrently over a bounded
+// worker pool (WithExchangeParallelism), and each pass coalesces its
+// pending publications into one net apply (WithExchangeCoalescing);
+// neither is observable in any view's final state.
 //
 // Publications travel over a PublicationBus with append/fetch-since
 // semantics. The default in-memory bus runs everything embedded in one

@@ -1,0 +1,120 @@
+package benchharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Regression is one benchmark case whose measurement regressed past the
+// comparison threshold.
+type Regression struct {
+	// Name is the case, e.g. "Fig5/db2_integer".
+	Name string
+	// Metric is the regressed measurement: "ns/op" or "allocs/op".
+	Metric string
+	// Old and New are the snapshot and candidate values.
+	Old, New float64
+	// Pct is the relative increase in percent (+Inf when Old is zero).
+	Pct float64
+}
+
+func (r Regression) String() string {
+	pct := fmt.Sprintf("+%.1f%%", r.Pct)
+	if math.IsInf(r.Pct, 1) {
+		pct = "+∞"
+	}
+	return fmt.Sprintf("%s %s: %.1f -> %.1f (%s)", r.Name, r.Metric, r.Old, r.New, pct)
+}
+
+// Comparison is the outcome of checking a candidate report against a
+// committed snapshot.
+type Comparison struct {
+	// Regressions lists the cases that got worse past the threshold,
+	// sorted by name then metric.
+	Regressions []Regression
+	// OnlyOld and OnlyNew list case names present in just one report
+	// (renamed, removed, or newly added benchmarks) — informational, not
+	// failures, so a PR adding a benchmark does not trip the gate before
+	// its snapshot lands.
+	OnlyOld, OnlyNew []string
+	// Compared counts the cases measured in both reports.
+	Compared int
+}
+
+// Ok reports whether the gate passes (no regressions).
+func (c Comparison) Ok() bool { return len(c.Regressions) == 0 }
+
+// CompareReports checks a candidate benchmark report against an older
+// snapshot: for every case present in both, ns/op and allocs/op may not
+// exceed the snapshot by more than thresholdPct percent. Improvements
+// and sub-threshold noise pass; a metric growing from zero is always a
+// regression (no threshold can scale nothing). Bytes/op and custom
+// metrics are not gated — allocation *count* is the stable,
+// machine-independent proxy, and ns/op the machine-local wall-clock
+// guard.
+func CompareReports(old, new BenchReport, thresholdPct float64) Comparison {
+	oldByName := make(map[string]BenchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldByName[r.Name] = r
+	}
+	var c Comparison
+	seen := make(map[string]bool, len(new.Results))
+	for _, nr := range new.Results {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			c.OnlyNew = append(c.OnlyNew, nr.Name)
+			continue
+		}
+		c.Compared++
+		check := func(metric string, o, n float64) {
+			var pct float64
+			switch {
+			case n <= o:
+				return
+			case o == 0:
+				pct = math.Inf(1)
+			default:
+				pct = (n - o) / o * 100
+				if pct <= thresholdPct {
+					return
+				}
+			}
+			c.Regressions = append(c.Regressions, Regression{
+				Name: nr.Name, Metric: metric, Old: o, New: n, Pct: pct,
+			})
+		}
+		check("ns/op", or.NsPerOp, nr.NsPerOp)
+		check("allocs/op", or.AllocsPerOp, nr.AllocsPerOp)
+	}
+	for _, or := range old.Results {
+		if !seen[or.Name] {
+			c.OnlyOld = append(c.OnlyOld, or.Name)
+		}
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool {
+		if c.Regressions[i].Name != c.Regressions[j].Name {
+			return c.Regressions[i].Name < c.Regressions[j].Name
+		}
+		return c.Regressions[i].Metric < c.Regressions[j].Metric
+	})
+	sort.Strings(c.OnlyOld)
+	sort.Strings(c.OnlyNew)
+	return c
+}
+
+// LoadReport reads a BENCH_*.json snapshot from disk.
+func LoadReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("benchharness: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,109 @@
+package benchharness
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(results ...BenchResult) BenchReport {
+	return BenchReport{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, Results: results}
+}
+
+func res(name string, ns, allocs float64) BenchResult {
+	return BenchResult{Name: name, Runs: 1, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+// TestCompareClean: identical and improved measurements pass the gate.
+func TestCompareClean(t *testing.T) {
+	old := report(res("Fig5/a", 1000, 50), res("Fig5/b", 2000, 80))
+	new := report(res("Fig5/a", 1000, 50), res("Fig5/b", 900, 10)) // b improved
+	c := CompareReports(old, new, 15)
+	if !c.Ok() {
+		t.Fatalf("unexpected regressions: %v", c.Regressions)
+	}
+	if c.Compared != 2 {
+		t.Fatalf("compared %d cases, want 2", c.Compared)
+	}
+}
+
+// TestCompareSyntheticRegression: a case pushed past the threshold on
+// each metric trips the gate; sub-threshold drift does not.
+func TestCompareSyntheticRegression(t *testing.T) {
+	old := report(res("Fig5/a", 1000, 100), res("Fig5/b", 1000, 100), res("Fig5/c", 1000, 100))
+	new := report(
+		res("Fig5/a", 1300, 100), // +30% ns/op: regression
+		res("Fig5/b", 1000, 120), // +20% allocs/op: regression
+		res("Fig5/c", 1100, 110), // +10% both: inside a 15% threshold
+	)
+	c := CompareReports(old, new, 15)
+	if len(c.Regressions) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(c.Regressions), c.Regressions)
+	}
+	if r := c.Regressions[0]; r.Name != "Fig5/a" || r.Metric != "ns/op" || math.Abs(r.Pct-30) > 1e-9 {
+		t.Fatalf("first regression = %+v", r)
+	}
+	if r := c.Regressions[1]; r.Name != "Fig5/b" || r.Metric != "allocs/op" || math.Abs(r.Pct-20) > 1e-9 {
+		t.Fatalf("second regression = %+v", r)
+	}
+}
+
+// TestCompareZeroBaseline: growing from zero allocations is always a
+// regression, whatever the threshold.
+func TestCompareZeroBaseline(t *testing.T) {
+	old := report(res("Fig7/zero", 1000, 0))
+	new := report(res("Fig7/zero", 1000, 1))
+	c := CompareReports(old, new, 1000)
+	if len(c.Regressions) != 1 || !math.IsInf(c.Regressions[0].Pct, 1) {
+		t.Fatalf("regressions = %v", c.Regressions)
+	}
+}
+
+// TestCompareCaseSets: added and removed cases are reported but do not
+// fail the gate.
+func TestCompareCaseSets(t *testing.T) {
+	old := report(res("Fig5/kept", 1000, 10), res("Fig5/removed", 1000, 10))
+	new := report(res("Fig5/kept", 1000, 10), res("Fig5/added", 1, 1))
+	c := CompareReports(old, new, 15)
+	if !c.Ok() {
+		t.Fatalf("unexpected regressions: %v", c.Regressions)
+	}
+	if len(c.OnlyOld) != 1 || c.OnlyOld[0] != "Fig5/removed" {
+		t.Fatalf("OnlyOld = %v", c.OnlyOld)
+	}
+	if len(c.OnlyNew) != 1 || c.OnlyNew[0] != "Fig5/added" {
+		t.Fatalf("OnlyNew = %v", c.OnlyNew)
+	}
+	if c.Compared != 1 {
+		t.Fatalf("compared %d, want 1", c.Compared)
+	}
+}
+
+// TestLoadReportRoundTrip writes a report with MarshalIndent and reads
+// it back with LoadReport — the exact committed-snapshot path benchfig
+// -compare exercises.
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := report(res("Fig5/a", 123.5, 7))
+	b, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.GoVersion != rep.GoVersion {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if g, w := got.Results[0], rep.Results[0]; g.Name != w.Name || g.NsPerOp != w.NsPerOp || g.AllocsPerOp != w.AllocsPerOp {
+		t.Fatalf("round-trip result mismatch: %+v vs %+v", g, w)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

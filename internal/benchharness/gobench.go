@@ -7,6 +7,7 @@ import (
 
 	"orchestra/internal/core"
 	"orchestra/internal/engine"
+	"orchestra/internal/exchange"
 	"orchestra/internal/tgd"
 	"orchestra/internal/workload"
 )
@@ -345,6 +346,91 @@ func GoBenches() []GoBench {
 					}
 				}
 			}
+		}})
+	}
+
+	// ExchangeAll: confederation-wide exchange on a 16-peer Fig.5-style
+	// chain with 8 queued publications per peer — the serial
+	// one-apply-per-publication walk against publication coalescing
+	// (one net apply per view) and the full scheduler (coalesced passes
+	// over a GOMAXPROCS-bounded worker pool). Every variant ends with
+	// observationally identical views; the deltas are pure wall-clock.
+	{
+		const peers, pubsPerPeer, editsPerPub = 16, 8, 4
+		cfg := goBenchChainConfig(peers, workload.DatasetInteger)
+		type exchangeSetup struct {
+			bus   *core.MemoryBus
+			views []*core.View
+		}
+		setup := func(b *testing.B) *exchangeSetup {
+			ctx := context.Background()
+			w, err := workload.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bus := core.NewMemoryBus()
+			for r := 0; r < pubsPerPeer; r++ {
+				for _, peer := range w.PeerNames() {
+					log := w.GenInsertions(peer, editsPerPub)
+					if r%2 == 1 {
+						// Mix in deletions of earlier insertions so the run
+						// holds insert+delete pairs for coalescing to cancel
+						// and deletion cascades for the serial replay to pay.
+						log = append(log, w.GenDeletions(peer, 2)...)
+					}
+					if err := core.PublishTo(ctx, bus, w.Spec, peer, log); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			s := &exchangeSetup{bus: bus, views: make([]*core.View, len(w.PeerNames()))}
+			for i, peer := range w.PeerNames() {
+				if s.views[i], err = core.NewView(w.Spec, peer, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return s
+		}
+		run := func(b *testing.B, pass func(b *testing.B, s *exchangeSetup)) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := setup(b)
+				b.StartTimer()
+				pass(b, s)
+			}
+		}
+		out = append(out, GoBench{Fig: 0, Name: "ExchangeAll/serial_perpub", Sub: "serial_perpub", Run: func(b *testing.B) {
+			run(b, func(b *testing.B, s *exchangeSetup) {
+				for _, v := range s.views {
+					if _, _, err := core.ExchangeInto(context.Background(), s.bus, v, 0, core.DeleteProvenance); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}})
+		out = append(out, GoBench{Fig: 0, Name: "ExchangeAll/coalesced", Sub: "coalesced", Run: func(b *testing.B) {
+			run(b, func(b *testing.B, s *exchangeSetup) {
+				for _, v := range s.views {
+					if _, _, err := core.ExchangeCoalesced(context.Background(), s.bus, v, 0, core.DeleteProvenance); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}})
+		out = append(out, GoBench{Fig: 0, Name: "ExchangeAll/parallel_coalesced", Sub: "parallel_coalesced", Run: func(b *testing.B) {
+			sched := exchange.NewScheduler[core.ApplyStats](0)
+			run(b, func(b *testing.B, s *exchangeSetup) {
+				tasks := make([]exchange.Task[core.ApplyStats], len(s.views))
+				for i, v := range s.views {
+					tasks[i] = exchange.Task[core.ApplyStats]{Owner: v.Owner(), Run: func(ctx context.Context) (core.ApplyStats, error) {
+						_, stats, err := core.ExchangeCoalesced(ctx, s.bus, v, 0, core.DeleteProvenance)
+						return stats, err
+					}}
+				}
+				if _, err := sched.Run(context.Background(), tasks); err != nil {
+					b.Fatal(err)
+				}
+			})
 		}})
 	}
 

@@ -87,11 +87,14 @@ func PublishTo(ctx context.Context, bus PublicationBus, spec *Spec, peer string,
 }
 
 // ExchangeInto imports every publication on the bus since cursor into a
-// view, in global publication order, and returns the new cursor — the
-// one exchange algorithm shared by CDSS and the public facade. On
-// error (including cancellation) the returned cursor is advanced only
-// past fully applied publications, so a retry resumes where it
-// stopped.
+// view, one apply pass per publication in global publication order, and
+// returns the new cursor. On error (including cancellation) the
+// returned cursor is advanced only past fully applied publications, so
+// a retry resumes where it stopped.
+//
+// This is the reference replay: ExchangeCoalesced imports the same run
+// as one net apply and must end observationally identical (the exchange
+// equivalence property test compares the two).
 func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
 	pubs, next, err := bus.FetchSince(ctx, cursor)
 	if err != nil {
@@ -105,6 +108,57 @@ func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, 
 		if err != nil {
 			return base + i, stats, err
 		}
+	}
+	return next, stats, nil
+}
+
+// MergeLogs concatenates a run of publications' edit logs in global
+// publication order. Applying the merged log as one maintenance
+// operation is equivalent to applying the logs one publication at a
+// time: NetEffect simulates each tuple's membership transitions entry
+// by entry, so insert+delete pairs cancel across publication boundaries
+// exactly as they would have sequentially, and a completed maintenance
+// operation leaves the instance a pure function of the final base
+// tables (history-independence — the invariant the evolution and
+// exchange equivalence property tests pin down).
+func MergeLogs(pubs []Publication) EditLog {
+	if len(pubs) == 1 {
+		return pubs[0].Log
+	}
+	total := 0
+	for _, p := range pubs {
+		total += len(p.Log)
+	}
+	merged := make(EditLog, 0, total)
+	for _, p := range pubs {
+		merged = append(merged, p.Log...)
+	}
+	return merged
+}
+
+// ExchangeCoalesced imports the pending run [cursor, horizon) in one
+// coalesced pass: the publications' edit logs are merged (MergeLogs)
+// and applied as a single net maintenance operation — one NetEffect
+// (which cancels insert+delete pairs before any propagation runs), one
+// deletion cascade, one insertion fixpoint — instead of len(run)
+// sequential ones.
+//
+// Unlike ExchangeInto, the pass is all-or-nothing: on error (including
+// cancellation) the cursor does not advance at all. Retrying is still
+// safe — base changes an interrupted apply already committed make the
+// retried NetEffect a no-op for that prefix, and the view's dirty-
+// repair machinery restores derived state before the retry propagates.
+func ExchangeCoalesced(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+	pubs, next, err := bus.FetchSince(ctx, cursor)
+	if err != nil {
+		return cursor, ApplyStats{}, err
+	}
+	if len(pubs) == 0 {
+		return next, ApplyStats{}, nil
+	}
+	stats, err := v.ApplyEditsContext(ctx, MergeLogs(pubs), strategy)
+	if err != nil {
+		return cursor, stats, err
 	}
 	return next, stats, nil
 }

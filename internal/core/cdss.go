@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"orchestra/internal/exchange"
 	"orchestra/internal/value"
 )
 
@@ -106,24 +107,48 @@ func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
 	return c.ExchangeAllContext(context.Background())
 }
 
-// ExchangeAllContext is ExchangeAll with cancellation.
+// ExchangeAllContext is ExchangeAll with cancellation. The per-view
+// imports run concurrently over the exchange scheduler, bounded by
+// Options.ExchangeParallelism (0 = GOMAXPROCS, distinct from the
+// engine-worker bound Options.Parallelism), each coalescing its
+// pending run into one net apply: the views are data-independent
+// consumers of the bus, and a CDSS — though not safe for concurrent
+// use by callers — may parallelize internally because every view's
+// pass touches only that view and its cursor slot. (The public
+// orchestra facade layers the same scheduler and its options on top;
+// this is the embedded-core equivalent.) On error, views whose passes
+// did not run are omitted from the result map.
 func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, error) {
-	out := make(map[string]ApplyStats)
+	owners := make([]string, 0, len(c.spec.Universe.Peers())+1)
 	for _, p := range c.spec.Universe.Peers() {
-		s, err := c.ExchangeContext(ctx, p.Name)
-		out[p.Name] = s
-		if err != nil {
-			return out, err
-		}
+		owners = append(owners, p.Name)
 	}
 	if _, ok := c.views[""]; ok {
-		s, err := c.ExchangeContext(ctx, "")
-		out[""] = s
-		if err != nil {
-			return out, err
+		owners = append(owners, "")
+	}
+	// Materialize every view up front (view creation mutates c.views).
+	for _, owner := range owners {
+		if _, err := c.View(owner); err != nil {
+			return make(map[string]ApplyStats), err
 		}
 	}
-	return out, nil
+
+	nexts := make([]int, len(owners))
+	tasks := make([]exchange.Task[ApplyStats], len(owners))
+	for i, owner := range owners {
+		tasks[i] = exchange.Task[ApplyStats]{Owner: owner, Run: func(ctx context.Context) (ApplyStats, error) {
+			next, stats, err := ExchangeCoalesced(ctx, c.bus, c.views[owner], c.cursor[owner], c.strategy)
+			nexts[i] = next // distinct slot per task, read only after Run returns
+			return stats, err
+		}}
+	}
+	out, err := exchange.NewScheduler[ApplyStats](c.opts.ExchangeParallelism).Run(ctx, tasks)
+	for i, owner := range owners {
+		if _, ran := out[owner]; ran {
+			c.cursor[owner] = nexts[i]
+		}
+	}
+	return out, err
 }
 
 // Pending reports how many publications a peer has not yet imported.

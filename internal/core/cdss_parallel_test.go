@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCDSSExchangeAllParallel pins CDSS.ExchangeAll's internal
+// parallelism: at ExchangeParallelism 1 (the serial fast path) and 4
+// (the worker pool — exercised explicitly because GOMAXPROCS may be 1
+// on the test machine), every view ends identical, all cursors land on
+// the bus horizon, and a rerun is a no-op. Run with -race this also
+// covers the concurrent bus fetch + per-view apply.
+func TestCDSSExchangeAllParallel(t *testing.T) {
+	build := func(par int) *CDSS {
+		c := NewCDSS(paperSpec(t, nil), Options{ExchangeParallelism: par}, DeleteProvenance)
+		for peer, log := range example3Logs() {
+			if err := c.Publish(peer, log); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// More churn: a second round of publications, including a
+		// deletion, so the coalesced pass has a multi-publication run.
+		if err := c.Publish("PGUS", EditLog{Ins("G", MakeTuple(7, 7, 7))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Publish("PGUS", EditLog{Del("G", MakeTuple(7, 7, 7))}); err != nil {
+			t.Fatal(err)
+		}
+		// Materialize the global view so ExchangeAll covers it too.
+		if _, err := c.View(""); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	serial := build(1)
+	if _, err := serial.ExchangeAll(); err != nil {
+		t.Fatal(err)
+	}
+	parallel := build(4)
+	if _, err := parallel.ExchangeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	owners := append([]string{""}, "PGUS", "PBioSQL", "PuBio")
+	for _, owner := range owners {
+		vs, _ := serial.View(owner)
+		vp, _ := parallel.View(owner)
+		viewsEqual(t, vp, vs, fmt.Sprintf("view %q parallel-vs-serial", owner))
+		if n, err := parallel.Pending(owner); err != nil || n != 0 {
+			t.Fatalf("view %q still pending after parallel ExchangeAll: %d, %v", owner, n, err)
+		}
+	}
+
+	// Idempotence: nothing pending, so a second pass applies nothing.
+	stats, err := parallel.ExchangeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for owner, st := range stats {
+		if st.InsL+st.DelL+st.InsR+st.DelR != 0 {
+			t.Fatalf("rerun applied work to view %q: %+v", owner, st)
+		}
+	}
+}

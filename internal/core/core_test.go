@@ -533,7 +533,7 @@ func TestNetEffect(t *testing.T) {
 		Ins("B", MakeTuple(2, 2)), // un-rejects and contributes
 		Ins("B", MakeTuple(5, 5)), // plain insert
 	}
-	dl, dr, err := NetEffect(log, v.db)
+	dl, dr, err := NetEffect(log, v.db, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -558,10 +558,10 @@ func TestNetEffectErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := NetEffect(EditLog{Ins("Zed", MakeTuple(1))}, v.db); err == nil {
+	if _, _, err := NetEffect(EditLog{Ins("Zed", MakeTuple(1))}, v.db, nil); err == nil {
 		t.Fatal("unknown relation accepted")
 	}
-	if _, _, err := NetEffect(EditLog{Ins("B", MakeTuple(1))}, v.db); err == nil {
+	if _, _, err := NetEffect(EditLog{Ins("B", MakeTuple(1))}, v.db, nil); err == nil {
 		t.Fatal("wrong arity accepted")
 	}
 }

@@ -42,14 +42,24 @@ type EditLog []Edit
 //     this log) it is simply removed; otherwise the deletion is a
 //     curation rejection of imported data and t enters Rr.
 //
+// trusts, when non-nil, is the view owner's base-trust predicate
+// (§3.3): an insertion of a distrusted tuple withdraws any standing
+// rejection but does not make the tuple a local contribution — exactly
+// what applying the edit would do — so the simulated membership stays
+// faithful and a later "−t" in the same run correctly becomes a
+// rejection instead of cancelling against a contribution that was
+// never admitted. This keeps the net effect independent of how the
+// log was batched into publications (the exchange-coalescing
+// equivalence property). nil trusts everything.
+//
 // The effects are returned as deltas over the internal Rℓ and Rr tables
 // of the view's database, relative to their current contents. Nothing is
 // applied.
-func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr storage.DeltaSet, err error) {
+func NetEffect(log EditLog, db *storage.Database, trusts func(rel string, t value.Tuple) bool) (dl storage.DeltaSet, dr storage.DeltaSet, err error) {
 	// Simulated membership during the scan: touched keys only. Each tuple
 	// is canonically encoded once here; the key then flows through the
 	// membership probes and into the produced deltas.
-	type state struct{ inL, inR, touched bool }
+	type state struct{ inL, inR, touched, trusted bool }
 	states := make(map[string]map[string]*state) // rel -> key -> state
 	tupOf := make(map[string]map[string]value.Tuple)
 	var keyBuf []byte
@@ -73,7 +83,14 @@ func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr stora
 		keyBuf = t.EncodeKey(keyBuf[:0])
 		st, ok := byKey[string(keyBuf)]
 		if !ok {
-			st = &state{inL: lt.ContainsKey(string(keyBuf)), inR: rt.ContainsKey(string(keyBuf))}
+			st = &state{
+				inL: lt.ContainsKey(string(keyBuf)),
+				inR: rt.ContainsKey(string(keyBuf)),
+				// Trust depends only on (rel, tuple): evaluate the policy
+				// once per distinct touched tuple, not per edit occurrence
+				// (coalesced runs repeat tuples freely).
+				trusted: trusts == nil || trusts(rel, t),
+			}
 			byKey[string(keyBuf)] = st
 			tupOf[rel][string(keyBuf)] = t.Clone()
 		}
@@ -88,7 +105,9 @@ func NetEffect(log EditLog, db *storage.Database) (dl storage.DeltaSet, dr stora
 		st.touched = true
 		if e.Insert {
 			st.inR = false
-			st.inL = true
+			if st.trusted {
+				st.inL = true
+			}
 		} else {
 			if st.inL {
 				st.inL = false

@@ -98,7 +98,7 @@ func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, e
 // ApplyEditsContext is ApplyEdits with cancellation plumbed through the
 // propagation fixpoints.
 func (v *View) ApplyEditsContext(ctx context.Context, log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
-	dl, dr, err := NetEffect(log, v.db)
+	dl, dr, err := NetEffect(log, v.db, v.baseTrustFilter())
 	if err != nil {
 		return ApplyStats{}, err
 	}

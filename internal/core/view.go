@@ -24,6 +24,12 @@ type Options struct {
 	// semi-naive round concurrently (0 = GOMAXPROCS, 1 = sequential).
 	// Results are identical at every setting; see engine.Options.
 	Parallelism int
+	// ExchangeParallelism bounds CDSS.ExchangeAll's concurrent per-view
+	// exchange passes (0 = GOMAXPROCS, 1 = serial). Distinct from
+	// Parallelism, which bounds the engine workers inside one view's
+	// fixpoint; views ignore this field. The public facade's equivalent
+	// is WithExchangeParallelism.
+	ExchangeParallelism int
 	// SplitProvTables reverts §5's composite-mapping-table optimization:
 	// one provenance table per RHS atom instead of one per tgd. Semantics
 	// are identical; the ablation benchmarks measure the cost.
@@ -275,6 +281,17 @@ func (v *View) effectiveConditions(mapID string) []*trust.Condition {
 		}
 	}
 	return out
+}
+
+// baseTrustFilter returns the owner's base-trust predicate for
+// NetEffect's membership simulation, or nil when the owner trusts every
+// base tuple (the global view, or a peer without a policy) so the
+// simulation can skip per-tuple policy evaluation.
+func (v *View) baseTrustFilter() func(string, value.Tuple) bool {
+	if v.owner == "" || v.spec.Policy(v.owner) == nil {
+		return nil
+	}
+	return v.trustsBase
 }
 
 // trustsBase reports whether the view owner trusts a base tuple of a user

@@ -1,0 +1,43 @@
+package evolve
+
+import "testing"
+
+// FuzzParse throws arbitrary text at the .cdssd spec-diff parser. The
+// parser must never panic; and whenever it accepts an input, rendering
+// the parsed diff and re-parsing the result must succeed with the same
+// number of operations and an identical re-rendering (render∘parse is a
+// normal form — what `orchestra evolve` and orchestrad's admin
+// endpoints round-trip through).
+func FuzzParse(f *testing.F) {
+	f.Add(`# grow the confederation
+add peer PRef {
+  relation Z(a int, b int)
+}
+add mapping m4: U(n,c) -> C(n,n)
+remove mapping m1
+trust PBioSQL distrusts mapping m4 when n >= 3
+untrust PBioSQL
+`)
+	f.Add("remove mapping m1\n")
+	f.Add("add mapping m9: A(x,y) -> exists z . B(x,z)\n")
+	f.Add("add peer P { relation R(a string) }")
+	f.Add("trust P distrusts peer Q\n")
+	f.Add("set trust nonsense\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		again, err := ParseString(rendered)
+		if err != nil {
+			t.Fatalf("accepted diff rendered to unparseable text:\ninput: %q\nrendered: %q\nerr: %v", input, rendered, err)
+		}
+		if len(again.Ops) != len(d.Ops) {
+			t.Fatalf("round-trip changed op count: %d -> %d\nrendered: %q", len(d.Ops), len(again.Ops), rendered)
+		}
+		if re := again.String(); re != rendered {
+			t.Fatalf("render is not a normal form:\nfirst:  %q\nsecond: %q", rendered, re)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Package exchange schedules confederation-parallel update exchange.
+//
+// Peer views are data-independent consumers of the shared publication
+// bus (§2's operational model: every peer independently imports the
+// others' published updates): each view owns its database, its
+// labeled-null interner, and its bus cursor, and the bus itself is
+// safe for concurrent readers. A Scheduler therefore runs the per-view
+// maintenance passes concurrently over a bounded worker pool; inside
+// each pass the pending run of publications is coalesced into one net
+// apply (core.ExchangeCoalesced) so one semi-naive fixpoint and one
+// deletion cascade replace N sequential ones.
+//
+// The scheduler itself is deliberately dumb — tasks are opaque
+// closures and the result type is generic, so callers (the orchestra
+// System, core's CDSS, the benchmarks) keep their own locking
+// discipline and the package depends on nothing above it. The pool
+// only bounds concurrency and makes error reporting deterministic.
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one view's exchange pass, identified by its owner. Run is
+// invoked at most once, possibly on another goroutine; everything it
+// touches must either be owned by the task's view or be safe for
+// concurrent use.
+type Task[R any] struct {
+	Owner string
+	Run   func(ctx context.Context) (R, error)
+}
+
+// Scheduler runs exchange tasks over a bounded worker pool.
+type Scheduler[R any] struct {
+	workers int
+}
+
+// NewScheduler returns a scheduler running at most workers tasks
+// concurrently; workers <= 0 selects GOMAXPROCS.
+func NewScheduler[R any](workers int) *Scheduler[R] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler[R]{workers: workers}
+}
+
+// Workers reports the pool bound.
+func (s *Scheduler[R]) Workers() int { return s.workers }
+
+// Run executes every task, at most Workers() concurrently, and returns
+// the per-owner results. Tasks are dispatched in slice order, so a
+// one-worker scheduler reproduces the classic serial ExchangeAll
+// exactly.
+//
+// On failure the semantics mirror the serial loop as closely as a
+// concurrent run can: tasks already started are awaited (their views
+// must not be abandoned mid-pass), tasks not yet started are skipped
+// and omitted from the result map, and the error reported is the
+// lowest-indexed genuine (non-collateral) failure. With a single
+// genuinely failing task this attribution is deterministic regardless
+// of interleaving; when several fail, cancellation may convert some
+// into collateral ctx.Canceled results, so which genuine failure is
+// reported can vary. The context passed to still-running tasks is
+// cancelled on the first failure so their fixpoints can bail early.
+func (s *Scheduler[R]) Run(ctx context.Context, tasks []Task[R]) (map[string]R, error) {
+	out := make(map[string]R, len(tasks))
+	if len(tasks) == 0 {
+		return out, nil
+	}
+	if s.workers == 1 || len(tasks) == 1 {
+		for _, t := range tasks {
+			r, err := t.Run(ctx)
+			out[t.Owner] = r
+			if err != nil {
+				return out, fmt.Errorf("exchange: view %q: %w", t.Owner, err)
+			}
+		}
+		return out, nil
+	}
+
+	type result struct {
+		val R
+		err error
+		ran bool
+	}
+	results := make([]result, len(tasks))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < min(s.workers, len(tasks)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				if failed.Load() {
+					continue // drain the queue without starting new passes
+				}
+				r, err := tasks[i].Run(runCtx)
+				results[i] = result{val: r, err: err, ran: true}
+				if err != nil {
+					failed.Store(true)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the lowest-indexed genuine failure. Tasks in flight when the
+	// first failure cancelled runCtx may themselves return ctx.Canceled at
+	// a lower index; those are collateral, not the root cause, so they are
+	// preferred only when nothing else failed (i.e. the caller's own ctx
+	// was cancelled).
+	var firstErr, firstReal error
+	for i, r := range results {
+		if !r.ran {
+			continue
+		}
+		out[tasks[i].Owner] = r.val
+		if r.err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("exchange: view %q: %w", tasks[i].Owner, r.err)
+		if firstErr == nil {
+			firstErr = wrapped
+		}
+		if firstReal == nil && !errors.Is(r.err, context.Canceled) {
+			firstReal = wrapped
+		}
+	}
+	if firstReal != nil {
+		return out, firstReal
+	}
+	return out, firstErr
+}

@@ -1,0 +1,165 @@
+package exchange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunAll checks that every task runs exactly once and its result
+// lands under its owner, at several pool widths.
+func TestRunAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			const n = 23
+			var calls atomic.Int64
+			tasks := make([]Task[int], n)
+			for i := range tasks {
+				val := i + 1
+				tasks[i] = Task[int]{Owner: fmt.Sprintf("p%d", i), Run: func(ctx context.Context) (int, error) {
+					calls.Add(1)
+					return val, nil
+				}}
+			}
+			out, err := NewScheduler[int](workers).Run(context.Background(), tasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := calls.Load(); got != n {
+				t.Fatalf("ran %d tasks, want %d", got, n)
+			}
+			if len(out) != n {
+				t.Fatalf("got %d results, want %d", len(out), n)
+			}
+			for i := range tasks {
+				if got := out[fmt.Sprintf("p%d", i)]; got != i+1 {
+					t.Fatalf("task %d result = %d", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunBoundsConcurrency checks that no more than Workers() tasks are
+// ever in flight simultaneously.
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 40
+	var inFlight, peak atomic.Int64
+	tasks := make([]Task[int], n)
+	for i := range tasks {
+		tasks[i] = Task[int]{Owner: fmt.Sprintf("p%d", i), Run: func(ctx context.Context) (int, error) {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			return 0, nil
+		}}
+	}
+	if _, err := NewScheduler[int](workers).Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool bound %d", p, workers)
+	}
+}
+
+// TestRunError checks failure semantics: the failing task's owner is
+// named in the error, started tasks are awaited and reported, and a
+// collateral ctx.Canceled from another task does not mask the root
+// cause.
+func TestRunError(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	ran := make(map[string]bool)
+	mark := func(owner string) {
+		mu.Lock()
+		ran[owner] = true
+		mu.Unlock()
+	}
+	block := make(chan struct{})
+	tasks := []Task[int]{
+		// p0 waits until cancelled — the collateral failure at a lower
+		// index than the root cause.
+		{Owner: "p0", Run: func(ctx context.Context) (int, error) {
+			mark("p0")
+			close(block)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}},
+		{Owner: "p1", Run: func(ctx context.Context) (int, error) {
+			mark("p1")
+			<-block // guarantee p0 started first
+			return 0, boom
+		}},
+	}
+	out, err := NewScheduler[int](2).Run(context.Background(), tasks)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the root cause", err)
+	}
+	if !strings.Contains(err.Error(), `"p1"`) {
+		t.Fatalf("error %v does not name the failing view", err)
+	}
+	if !ran["p0"] || !ran["p1"] {
+		t.Fatalf("tasks ran = %v, want both", ran)
+	}
+	// Both tasks started, so both report results.
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2", len(out))
+	}
+}
+
+// TestRunSkipsAfterFailure checks that with one worker the classic
+// serial semantics hold: tasks after the failure never start.
+func TestRunSkipsAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	tasks := []Task[int]{
+		{Owner: "a", Run: func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			return 1, nil
+		}},
+		{Owner: "b", Run: func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			return 0, boom
+		}},
+		{Owner: "c", Run: func(ctx context.Context) (int, error) {
+			calls.Add(1)
+			return 0, nil
+		}},
+	}
+	out, err := NewScheduler[int](1).Run(context.Background(), tasks)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("ran %d tasks, want 2 (c skipped)", calls.Load())
+	}
+	if _, ok := out["c"]; ok {
+		t.Fatal("skipped task reported a result")
+	}
+	if out["a"] != 1 {
+		t.Fatalf("completed task result lost: %d", out["a"])
+	}
+}
+
+// TestRunEmpty checks the trivial cases.
+func TestRunEmpty(t *testing.T) {
+	out, err := NewScheduler[int](0).Run(context.Background(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+	if w := NewScheduler[int](0).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+}

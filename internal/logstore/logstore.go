@@ -247,6 +247,11 @@ func decodeFrame(frame []byte) (Publication, error) {
 	n := rd.u32()
 	for i := uint32(0); i < n; i++ {
 		op := rd.u8()
+		if rd.err == nil && op != '+' && op != '-' {
+			// Anything else is corruption; decoding it as a deletion would
+			// silently rewrite history on replay.
+			return pub, fmt.Errorf("logstore: bad edit op byte %#x in record", op)
+		}
 		relLen := rd.u16()
 		rel := string(rd.bytes(int(relLen)))
 		keyLen := rd.u32()

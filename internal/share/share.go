@@ -97,6 +97,10 @@ type Server struct {
 	Validate func(peer string, log core.EditLog) error
 	// Persist, when non-nil, is invoked for every accepted publication.
 	Persist func(peer string, log core.EditLog) error
+
+	// notify, when non-nil, is called (outside the lock) after each
+	// accepted publication; see OnPublish.
+	notify func()
 }
 
 // NewServer returns an empty in-memory publication service.
@@ -116,6 +120,18 @@ func SpecValidator(spec *core.Spec) func(string, core.EditLog) error {
 func (s *Server) SetValidate(fn func(string, core.EditLog) error) {
 	s.mu.Lock()
 	s.Validate = fn
+	s.mu.Unlock()
+}
+
+// OnPublish registers a callback invoked after every accepted
+// publication (validation passed, persistence succeeded, sequence
+// appended). It runs on the serving goroutine outside the server's
+// lock, so it must be fast and non-blocking — typically a non-blocking
+// send on a wake-up channel that an exchange loop drains, coalescing
+// publication bursts into one pass.
+func (s *Server) OnPublish(fn func()) {
+	s.mu.Lock()
+	s.notify = fn
 	s.mu.Unlock()
 }
 
@@ -184,7 +200,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.pubs = append(s.pubs, wp)
 	n := len(s.pubs)
+	notify := s.notify
 	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"cursor":%d}`, n)
 }

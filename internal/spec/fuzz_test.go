@@ -1,0 +1,52 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the .cdss parser. The parser must
+// never panic; and whenever it accepts an input, rendering the parsed
+// file and re-parsing the result must succeed and render identically
+// (render∘parse is a normal form — the property the orchestra CLI's
+// spec round-tripping relies on).
+func FuzzParse(f *testing.F) {
+	f.Add(`# the paper's running example
+peer PGUS {
+  relation G(id int, can int, nam int)
+}
+peer PBioSQL { relation B(id int, nam int) }
+peer PuBio   { relation U(nam int, can int) }
+
+mapping m1: G(i,c,n) -> B(i,n)
+mapping m3: B(i,n) -> exists c . U(n,c)
+
+trust PBioSQL distrusts mapping m1 when n >= 3
+trust PBioSQL distrusts peer PuBio
+trust PBioSQL distrusts base B when n >= 3
+
+edit PGUS + G(1,2,3)
+edit PGUS - G(1,2,3)
+`)
+	f.Add("peer P { relation R(a int) }\nmapping m1: R(x) -> R(x)\n")
+	f.Add("peer P { relation R(a string, b int) }\nedit P + R('x',1)\n")
+	f.Add("peer P {}\n")
+	f.Add("mapping m1: A(x) -> B(x)")
+	f.Add("trust P distrusts peer Q\n")
+	f.Add("peer P { relation R(a int) }\npeer P { relation R(a int) }\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		rendered := Render(file)
+		again, err := ParseString(rendered)
+		if err != nil {
+			t.Fatalf("accepted input rendered to unparseable text:\ninput: %q\nrendered: %q\nerr: %v", input, rendered, err)
+		}
+		if re := Render(again); re != rendered {
+			t.Fatalf("render is not a normal form:\nfirst:  %q\nsecond: %q", rendered, re)
+		}
+		_ = strings.TrimSpace(rendered)
+	})
+}

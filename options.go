@@ -12,6 +12,11 @@ type config struct {
 	bus      core.PublicationBus
 	policies map[string]*trust.Policy
 	persist  *persistConfig
+	// exchPar bounds ExchangeAll's per-view worker pool (0 = GOMAXPROCS).
+	exchPar int
+	// serialExchange reverts exchange passes to the reference
+	// one-apply-per-publication replay (WithExchangeCoalescing(false)).
+	serialExchange bool
 }
 
 // persistConfig collects WithPersistence's sub-options.
@@ -56,6 +61,35 @@ func WithMaxIterations(n int) Option {
 // rule order — so this is purely a throughput knob.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.opts.Parallelism = n }
+}
+
+// WithExchangeParallelism bounds the worker pool ExchangeAll uses to run
+// the per-view exchange passes concurrently. Peer views are
+// data-independent consumers of the shared publication bus — each owns
+// its database, labeled-null interner, and cursor — so their maintenance
+// runs in parallel; the default (0) uses GOMAXPROCS, and
+// WithExchangeParallelism(1) restores the serial walk in peer
+// registration order. Every setting produces byte-identical views (the
+// scheduler determinism property test pins this down), so like
+// WithParallelism this is purely a throughput knob.
+func WithExchangeParallelism(n int) Option {
+	return func(c *config) { c.exchPar = n }
+}
+
+// WithExchangeCoalescing toggles publication coalescing during exchange
+// (default on): a view's pending run of publications is merged into one
+// net maintenance operation — insert+delete pairs cancel before any
+// propagation runs, and one deletion cascade plus one insertion
+// fixpoint replace N sequential ones. WithExchangeCoalescing(false)
+// restores the original one-apply-per-publication replay; the two are
+// observationally equivalent (instances, rejections, provenance
+// derivations, labeled-null bijection — the exchange equivalence
+// property test compares them), so coalescing too is purely a
+// throughput knob. A coalesced pass advances the cursor all-or-nothing,
+// while the per-publication replay advances past each fully applied
+// publication.
+func WithExchangeCoalescing(on bool) Option {
+	return func(c *config) { c.serialExchange = !on }
 }
 
 // WithSplitProvTables reverts §5's composite-mapping-table optimization:

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/exchange"
 	"orchestra/internal/logstore"
 	"orchestra/internal/statestore"
 )
@@ -36,6 +37,12 @@ type System struct {
 	opts     core.Options
 	strategy core.DeletionStrategy
 	bus      core.PublicationBus
+	// sched runs ExchangeAll's per-view passes over a bounded worker
+	// pool (WithExchangeParallelism); coalesce selects the coalesced
+	// pass over the reference per-publication replay
+	// (WithExchangeCoalescing).
+	sched    *exchange.Scheduler[ApplyStats]
+	coalesce bool
 
 	// Durability (nil/zero without WithPersistence).
 	persist *persistConfig
@@ -90,6 +97,8 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 		spec:     sp,
 		opts:     cfg.opts,
 		strategy: cfg.strategy,
+		sched:    exchange.NewScheduler[ApplyStats](cfg.exchPar),
+		coalesce: !cfg.serialExchange,
 		views:    make(map[string]*viewHandle),
 	}
 	if cfg.persist != nil {
@@ -151,22 +160,36 @@ func (s *System) RelationNames() []string {
 	return out
 }
 
-// handle returns (lazily creating) the handle of an owner's view.
+// handle returns (lazily creating) the handle of an owner's view. View
+// construction compiles the whole mapping program, so it runs outside
+// the System lock — a parallel ExchangeAll materializing many views on
+// first use would otherwise serialize on (and block every reader of)
+// s.mu for the duration of each compile. Losers of the insertion race
+// discard their compilation; NewView has no side effects beyond the
+// returned view.
 func (s *System) handle(owner string) (*viewHandle, error) {
 	s.mu.RLock()
 	h, ok := s.views[owner]
+	spec := s.spec
 	s.mu.RUnlock()
 	if ok {
 		return h, nil
+	}
+	v, err := core.NewView(spec, owner, s.opts)
+	if err != nil {
+		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h, ok := s.views[owner]; ok {
 		return h, nil
 	}
-	v, err := core.NewView(s.spec, owner, s.opts)
-	if err != nil {
-		return nil, err
+	if s.spec != spec {
+		// An evolution swapped the spec while we compiled; rebuild under
+		// the lock (rare — evolutions are exclusive and infrequent).
+		if v, err = core.NewView(s.spec, owner, s.opts); err != nil {
+			return nil, err
+		}
 	}
 	h = &viewHandle{view: v}
 	s.views[owner] = h
@@ -235,10 +258,13 @@ func fileEditRuns(f *SpecFile) []Publication {
 // Exchange performs update exchange for one owner's view: every
 // publication on the bus since the view's previous exchange is imported
 // in global publication order, with deletions propagated by the
-// configured strategy and trust applied per the owner's policy.
-// Cancellation via ctx reaches the engine's fixpoint loops; a cancelled
-// exchange leaves the view's cursor unadvanced past the last fully
-// applied publication.
+// configured strategy and trust applied per the owner's policy. By
+// default the pending run is coalesced into one net maintenance
+// operation (see WithExchangeCoalescing); the result is observationally
+// identical to the per-publication replay. Cancellation via ctx reaches
+// the engine's fixpoint loops; a cancelled exchange leaves the view's
+// cursor unadvanced past the last fully applied publication (coalesced
+// passes advance all-or-nothing).
 //
 // Under WithPersistence, a completed exchange checkpoints the view per
 // the configured policy (while still holding the view's lock, so the
@@ -253,7 +279,23 @@ func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error)
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	next, stats, err := core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
+	return s.exchangeLocked(ctx, owner, h)
+}
+
+// exchangeLocked runs one exchange pass for a view whose lock the
+// caller holds — the shared body of Exchange and ExchangeAll's
+// scheduler tasks.
+func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle) (ApplyStats, error) {
+	var (
+		next  int
+		stats ApplyStats
+		err   error
+	)
+	if s.coalesce {
+		next, stats, err = core.ExchangeCoalesced(ctx, s.bus, h.view, h.cursor, s.strategy)
+	} else {
+		next, stats, err = core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
+	}
 	if next < h.cursor {
 		// Never regress the cursor: with no error this means the bus lost
 		// publications the view already applied; with an error, keeping
@@ -276,28 +318,28 @@ func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error)
 }
 
 // ExchangeAll runs Exchange for every peer (and for the global view if
-// it has been created), in peer registration order, returning per-owner
-// statistics.
+// it has been created), returning per-owner statistics. The per-view
+// passes run concurrently over a bounded worker pool
+// (WithExchangeParallelism; default GOMAXPROCS) — peer views are
+// data-independent consumers of the shared bus, so the result is
+// identical to the serial walk at any parallelism. On failure, passes
+// already started complete, unstarted ones are skipped (and omitted
+// from the map), and the reported error is a genuinely failing view's —
+// not a sibling that was merely cancelled by the failure.
 func (s *System) ExchangeAll(ctx context.Context) (map[string]ApplyStats, error) {
-	out := make(map[string]ApplyStats)
-	for _, peer := range s.Peers() {
-		st, err := s.Exchange(ctx, peer)
-		out[peer] = st
-		if err != nil {
-			return out, err
-		}
-	}
+	owners := s.Peers()
 	s.mu.RLock()
-	_, hasGlobal := s.views[""]
-	s.mu.RUnlock()
-	if hasGlobal {
-		st, err := s.Exchange(ctx, "")
-		out[""] = st
-		if err != nil {
-			return out, err
-		}
+	if _, hasGlobal := s.views[""]; hasGlobal {
+		owners = append(owners, "")
 	}
-	return out, nil
+	s.mu.RUnlock()
+	tasks := make([]exchange.Task[ApplyStats], len(owners))
+	for i, owner := range owners {
+		tasks[i] = exchange.Task[ApplyStats]{Owner: owner, Run: func(ctx context.Context) (ApplyStats, error) {
+			return s.Exchange(ctx, owner)
+		}}
+	}
+	return s.sched.Run(ctx, tasks)
 }
 
 // Pending reports how many publications an owner's view has not yet

@@ -194,6 +194,12 @@ type (
 	// BenchReport is the machine-readable result of a benchmark run —
 	// the committed BENCH_*.json snapshot format.
 	BenchReport = benchharness.BenchReport
+	// BenchComparison is the outcome of gating a candidate report
+	// against a committed snapshot (cmd/benchfig -compare).
+	BenchComparison = benchharness.Comparison
+	// BenchRegression is one benchmark case that regressed past the
+	// gate's threshold.
+	BenchRegression = benchharness.Regression
 )
 
 // BenchFigures maps figure number (4–10) to its runner.
@@ -203,4 +209,18 @@ var BenchFigures = benchharness.Figures
 // match; nil = all) and collects a BenchReport.
 func RunBenchCases(match func(BenchCase) bool, progress func(name string)) BenchReport {
 	return benchharness.RunGoBenches(match, progress)
+}
+
+// LoadBenchReport reads a BENCH_*.json snapshot from disk.
+func LoadBenchReport(path string) (BenchReport, error) {
+	return benchharness.LoadReport(path)
+}
+
+// CompareBenchReports gates a candidate benchmark report against an
+// older snapshot: any case whose ns/op or allocs/op exceeds the
+// snapshot's by more than thresholdPct percent is a regression (growing
+// from zero always is). This is the comparator behind cmd/benchfig
+// -compare and the CI bench-regression gate (`make bench-check`).
+func CompareBenchReports(old, new BenchReport, thresholdPct float64) BenchComparison {
+	return benchharness.CompareReports(old, new, thresholdPct)
 }
