@@ -50,6 +50,7 @@ package main
 import (
 	"context"
 	"crypto/subtle"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -246,7 +247,7 @@ func main() {
 	}
 
 	log.Printf("orchestrad listening on %s", ln.Addr())
-	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	// Drain the exchange loop before the final checkpoint so the

@@ -1,0 +1,39 @@
+// Command orchestralint is the repository's invariant checker: a suite
+// of analyzers that mechanically enforce the concurrency, durability,
+// and hot-path disciplines PRs 1–5 introduced (see DESIGN.md "Enforced
+// invariants"). It runs standalone
+//
+//	orchestralint [-json] ./...
+//
+// or as a vet tool, which is how `make lint` and CI invoke it so one
+// command covers the custom suite:
+//
+//	go vet -vettool=bin/orchestralint ./...
+//
+// Suppressions are explicit and reasoned:
+//
+//	//orchestralint:ignore <analyzer> <why this site is exempt>
+package main
+
+import (
+	"orchestra/internal/lint/analysis"
+	"orchestra/internal/lint/analyzers/atomicwrite"
+	"orchestra/internal/lint/analyzers/ctxflow"
+	"orchestra/internal/lint/analyzers/errcmp"
+	"orchestra/internal/lint/analyzers/locksafe"
+	"orchestra/internal/lint/analyzers/rowintern"
+	"orchestra/internal/lint/driver"
+)
+
+// Suite is the full analyzer set, in diagnostic-stability order.
+var Suite = []*analysis.Analyzer{
+	atomicwrite.Analyzer,
+	ctxflow.Analyzer,
+	errcmp.Analyzer,
+	locksafe.Analyzer,
+	rowintern.Analyzer,
+}
+
+func main() {
+	driver.Main(Suite)
+}

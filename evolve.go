@@ -146,6 +146,7 @@ func (s *System) applyOps(ctx context.Context, ops []evolve.Op) error {
 	// Re-stamp and re-checkpoint so a restart recovers under the evolved
 	// spec; the old-spec snapshots would (correctly) be rejected.
 	if s.store != nil {
+		//orchestralint:ignore locksafe evolution is deliberately stop-the-world; the fingerprint must land before any lock-free reader sees the new spec
 		if err := s.store.SetSpecFingerprint(s.spec.Fingerprint()); err != nil {
 			return fmt.Errorf("orchestra: evolution applied but fingerprint update failed: %w", err)
 		}

@@ -1,3 +1,5 @@
 module orchestra
 
 go 1.24
+
+tool orchestra/cmd/orchestralint

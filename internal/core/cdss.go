@@ -153,7 +153,13 @@ func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, e
 
 // Pending reports how many publications a peer has not yet imported.
 func (c *CDSS) Pending(peer string) (int, error) {
-	n, err := BusLen(context.Background(), c.bus)
+	return c.PendingContext(context.Background(), peer)
+}
+
+// PendingContext is Pending with cancellation: counting pending
+// publications may consult a remote bus.
+func (c *CDSS) PendingContext(ctx context.Context, peer string) (int, error) {
+	n, err := BusLen(ctx, c.bus)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,117 @@
+//go:build unix
+
+package fslock
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+)
+
+func open(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return f
+}
+
+// A second descriptor on a locked file must be rejected immediately
+// (not block), and the error must wrap the syscall sentinel so callers
+// can classify it with errors.Is.
+func TestTryLockContention(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "publications.log")
+
+	holder := open(t, path)
+	defer holder.Close()
+	if err := TryLock(holder); err != nil {
+		t.Fatalf("first TryLock: %v", err)
+	}
+
+	contender := open(t, path)
+	defer contender.Close()
+	err := TryLock(contender)
+	if err == nil {
+		t.Fatal("second TryLock on a held lock succeeded")
+	}
+	if !errors.Is(err, syscall.EWOULDBLOCK) && !errors.Is(err, syscall.EAGAIN) {
+		t.Fatalf("contention error = %v, want wrapped EWOULDBLOCK/EAGAIN", err)
+	}
+}
+
+// Closing the holder releases the lock: the descriptor lifetime is the
+// lock lifetime, which is what makes a crashed holder safe (the kernel
+// drops the lock with the descriptor — no stale lock file to clean up).
+func TestTryLockReleasedOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "publications.log")
+
+	holder := open(t, path)
+	if err := TryLock(holder); err != nil {
+		t.Fatalf("first TryLock: %v", err)
+	}
+	if err := holder.Close(); err != nil {
+		t.Fatalf("closing holder: %v", err)
+	}
+
+	successor := open(t, path)
+	defer successor.Close()
+	if err := TryLock(successor); err != nil {
+		t.Fatalf("TryLock after holder closed: %v", err)
+	}
+}
+
+// Re-locking through the same descriptor is idempotent (flock converts
+// in place); logstore relies on Open being safe to retry on the same
+// handle.
+func TestTryLockSameDescriptorIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "publications.log")
+
+	f := open(t, path)
+	defer f.Close()
+	if err := TryLock(f); err != nil {
+		t.Fatalf("first TryLock: %v", err)
+	}
+	if err := TryLock(f); err != nil {
+		t.Fatalf("second TryLock on same descriptor: %v", err)
+	}
+}
+
+// Under a concurrent scramble, exactly one descriptor wins the lock —
+// the invariant that keeps two nodes from interleaving frames in one
+// publication log.
+func TestTryLockConcurrentSingleWinner(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "publications.log")
+
+	const contenders = 16
+	var (
+		wins  atomic.Int32
+		start sync.WaitGroup
+		done  sync.WaitGroup
+	)
+	files := make([]*os.File, contenders)
+	for i := range files {
+		files[i] = open(t, path)
+		defer files[i].Close()
+	}
+	start.Add(1)
+	for i := 0; i < contenders; i++ {
+		done.Add(1)
+		go func(f *os.File) {
+			defer done.Done()
+			start.Wait()
+			if TryLock(f) == nil {
+				wins.Add(1)
+			}
+		}(files[i])
+	}
+	start.Done()
+	done.Wait()
+	if got := wins.Load(); got != 1 {
+		t.Fatalf("%d contenders won the lock, want exactly 1", got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework, built only on the standard
+// library. The module is hermetic (no external dependencies may be
+// fetched at build time), so orchestralint cannot depend on x/tools;
+// this package provides the same shape — an Analyzer runs over one
+// typechecked package (a Pass) and reports Diagnostics — so the
+// analyzers would port to the upstream API mechanically if the module
+// ever grows the dependency.
+//
+// Deliberate deviations from upstream: there is no fact propagation, no
+// Requires graph, and no suggested fixes. There is one addition:
+// suppression directives. A comment of the form
+//
+//	//orchestralint:ignore <analyzer> <reason>
+//
+// on (or immediately above) a line suppresses that analyzer's
+// diagnostics for the line. The reason is mandatory — an undocumented
+// exception is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one orchestralint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //orchestralint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by -help: the first
+	// sentence states the invariant, the rest says where it came from.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass holds one typechecked package for one analyzer run. Unlike
+// upstream there are no dependency facts: every pass is independent.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // syntax trees, test files excluded by the driver
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived directive filtering.
+	report func(Diagnostic)
+	// ignores maps file name -> set of lines suppressed for this
+	// analyzer (populated from //orchestralint:ignore directives).
+	ignores map[string]map[int]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// NewPass assembles a Pass and computes the directive suppressions for
+// the given analyzer. The driver owns file filtering (tests out) and
+// diagnostic routing.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    report,
+		ignores:   make(map[string]map[int]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok || (name != a.Name && name != "all") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := p.ignores[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					p.ignores[posn.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (a comment on the line above the statement).
+				lines[posn.Line] = true
+				lines[posn.Line+1] = true
+			}
+		}
+	}
+	return p
+}
+
+// parseIgnore recognizes "//orchestralint:ignore <name> <reason>" and
+// returns the analyzer name. A directive without a reason is not a
+// valid suppression.
+func parseIgnore(text string) (string, bool) {
+	const prefix = "//orchestralint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 { // name plus at least one word of reason
+		return "", false
+	}
+	return fields[0], true
+}
+
+// Reportf records a finding at pos unless a directive suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	if lines := p.ignores[posn.Filename]; lines != nil && lines[posn.Line] {
+		return
+	}
+	p.report(Diagnostic{Pos: posn, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes —
+// through selections (methods, including interface methods) and plain
+// identifiers — or nil for calls of function values, built-ins, and
+// type conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			// Package-qualified call: pkg.Func.
+			obj = p.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// CalleeName returns a stable qualified name for a call's target:
+// "path.Func" for package functions, "(path.Recv).Method" for methods
+// (pointerness stripped), or "" when the target is not a named
+// function. Interface methods resolve to the interface's name.
+func (p *Pass) CalleeName(call *ast.CallExpr) string {
+	return FuncName(p.CalleeFunc(call))
+}
+
+// FuncName renders fn as CalleeName describes, "" for nil.
+func FuncName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		if fn.Pkg() == nil { // universe scope (error.Error)
+			return fn.Name()
+		}
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "(" + obj.Name() + ")." + fn.Name()
+	}
+	return "(" + obj.Pkg().Path() + "." + obj.Name() + ")." + fn.Name()
+}
+
+// NamedType resolves an expression's type to its *types.Named core,
+// unwrapping pointers and aliases; nil when the type is unnamed.
+func (p *Pass) NamedType(e ast.Expr) *types.Named {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return NamedOf(tv.Type)
+}
+
+// NamedOf unwraps pointers and aliases down to a *types.Named.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// TypeName renders a named type as "pkgpath.Name" ("Name" for
+// universe/builtin scope), or "" for nil.
+func TypeName(named *types.Named) string {
+	if named == nil {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}

@@ -1,0 +1,236 @@
+// Package analysistest runs an orchestralint analyzer over a testdata
+// tree and checks its diagnostics against // want comments — the
+// hermetic equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout mirrors upstream: testdata/src/<importpath>/*.go. A package
+// under testdata/src may import other packages under testdata/src
+// (stubs standing in for real orchestra packages, so analyzers keyed on
+// qualified names see the paths they expect) and the standard library
+// (resolved via the toolchain's export data).
+//
+// An expectation is a comment on the flagged line:
+//
+//	bad()        // want "must not|regexp"
+//	worse()      // want `backquoted` "second finding"
+//
+// Every diagnostic must match a want on its line and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"orchestra/internal/lint/analysis"
+	"orchestra/internal/lint/driver"
+	"orchestra/internal/lint/golist"
+)
+
+// Run analyzes each named package (a path under testdata/src) and
+// reports mismatches between diagnostics and want comments via t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcdir, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	ld, err := newLoader(srcdir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkgpath := range pkgs {
+		files, pkg, info, err := ld.check(pkgpath)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", pkgpath, err)
+			continue
+		}
+		diags, err := driver.RunPackage([]*analysis.Analyzer{a}, ld.fset, files, pkg, info)
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkgpath, err)
+			continue
+		}
+		checkWants(t, ld.fset, files, diags)
+	}
+}
+
+// loader typechecks testdata packages from source, resolving imports
+// first inside testdata/src, then through the toolchain's export data.
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	memo   map[string]*types.Package
+	std    types.Importer
+}
+
+func newLoader(srcdir string) (*loader, error) {
+	ld := &loader{srcdir: srcdir, fset: token.NewFileSet(), memo: make(map[string]*types.Package)}
+	// Collect every import that is not itself a testdata package, in one
+	// pass over the whole tree, and resolve their export data with a
+	// single go list run.
+	external := map[string]bool{}
+	err := filepath.WalkDir(srcdir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, perr := golist.ParseFiles(fset, "", []string{path})
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f[0].Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "" || p == "unsafe" {
+				continue
+			}
+			if _, serr := os.Stat(filepath.Join(srcdir, p)); serr != nil {
+				external[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(external) > 0 {
+		patterns := make([]string, 0, len(external))
+		for p := range external {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		if exports, err = golist.ExportFiles("", patterns...); err != nil {
+			return nil, err
+		}
+	}
+	ld.std = golist.ExportImporter(ld.fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	return ld, nil
+}
+
+// Import implements types.Importer over the testdata tree (memoized),
+// so stub packages can import each other by their orchestra paths.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.memo[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.srcdir, path)); err != nil {
+		return ld.std.Import(path)
+	}
+	_, pkg, _, err := ld.check(path)
+	return pkg, err
+}
+
+func (ld *loader) check(pkgpath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ld.srcdir, pkgpath)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	files, err := golist.ParseFiles(ld.fset, "", names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info := golist.NewInfo()
+	conf := &types.Config{Importer: ld}
+	pkg, err := conf.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld.memo[pkgpath] = pkg
+	return files, pkg, info, nil
+}
+
+// want is one expectation: a line that must receive a matching
+// diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, posn, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", posn, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// parsePatterns splits a want payload into its quoted regexps,
+// accepting both "double" and `backquote` quoting.
+func parsePatterns(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Errorf("%s: malformed want payload %q", posn, s)
+			return pats
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Errorf("%s: unterminated want pattern %q", posn, s)
+			return pats
+		}
+		raw := s[:end+2]
+		pat, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Errorf("%s: bad want pattern %s: %v", posn, raw, err)
+			return pats
+		}
+		pats = append(pats, pat)
+		s = s[end+2:]
+	}
+}

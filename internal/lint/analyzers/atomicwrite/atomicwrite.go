@@ -1,0 +1,112 @@
+// Package atomicwrite guards the durability discipline of the
+// persistence packages (PR 2): snapshot and manifest bytes reach disk
+// only via temp file + fsync + atomic rename, and log appends fsync
+// before they are acknowledged. Inside those packages it flags the
+// write primitives that silently bypass the discipline.
+package atomicwrite
+
+import (
+	"go/ast"
+
+	"orchestra/internal/lint/analysis"
+)
+
+// Packages lists the persistence packages the invariant governs.
+// Variable (not constant) so tests can narrow it; the vettool always
+// runs with this default.
+var Packages = []string{
+	"orchestra/internal/statestore",
+	"orchestra/internal/logstore",
+}
+
+// banned maps a callee (per analysis.FuncName) to why it is forbidden
+// in persistence packages.
+var banned = map[string]string{
+	"os.WriteFile": "one-shot write with no fsync and no atomic rename",
+	"os.Create":    "truncates in place; a crash mid-write tears the previous contents",
+	"io/ioutil.WriteFile": "one-shot write with no fsync and no atomic rename",
+}
+
+// Analyzer is the atomicwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "persistence packages must write temp-file+rename+fsync, never os.WriteFile/os.Create\n\n" +
+		"statestore's crash-safety protocol and logstore's fsync-before-ack (PR 2)\n" +
+		"both die quietly if a new code path writes directly; every *os.File write\n" +
+		"must be paired with a Sync in the same function.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, body := funcOf(n)
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, fn, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(path string) bool {
+	for _, p := range Packages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// funcOf returns the name and body of a function-shaped node.
+func funcOf(n ast.Node) (string, *ast.BlockStmt) {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Name.Name, n.Body
+	case *ast.FuncLit:
+		return "func literal", n.Body
+	}
+	return "", nil
+}
+
+// checkFunc flags banned calls anywhere, and *os.File writes in
+// functions that never Sync an *os.File. The granularity is one
+// function: a helper that writes must itself sync (or be rewritten to
+// return bytes for a syncing caller) — crossing function boundaries is
+// exactly how the discipline erodes.
+func checkFunc(pass *analysis.Pass, fname string, body *ast.BlockStmt) {
+	var writes []*ast.CallExpr
+	synced := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Nested function literals are checked as their own scope.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.CalleeName(call)
+		if why, bad := banned[callee]; bad {
+			pass.Reportf(call.Pos(), "%s in persistence package: %s; use the temp-file+rename+fsync path", callee, why)
+			return true
+		}
+		switch callee {
+		case "(os.File).Write", "(os.File).WriteString", "(os.File).WriteAt":
+			writes = append(writes, call)
+		case "(os.File).Sync":
+			synced = true
+		}
+		return true
+	})
+	if !synced {
+		for _, call := range writes {
+			pass.Reportf(call.Pos(), "%s writes an *os.File but never calls Sync; durable data must be fsynced before it is acknowledged", fname)
+		}
+	}
+}

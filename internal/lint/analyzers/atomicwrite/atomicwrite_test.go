@@ -1,0 +1,14 @@
+package atomicwrite
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"orchestra/internal/statestore",
+		"orchestra/internal/notpersist",
+	)
+}

@@ -1,0 +1,9 @@
+// Testdata for atomicwrite: the invariant does not govern packages
+// outside statestore/logstore.
+package notpersist
+
+import "os"
+
+func writeDirect(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

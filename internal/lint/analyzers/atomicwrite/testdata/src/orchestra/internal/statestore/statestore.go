@@ -1,0 +1,57 @@
+// Testdata for atomicwrite: write primitives inside a persistence
+// package.
+package statestore
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeDirect(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile in persistence package"
+}
+
+func createInPlace(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create in persistence package"
+}
+
+func unsynced(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `unsynced writes an \*os\.File but never calls Sync`
+	return err
+}
+
+func unsyncedString(f *os.File) error {
+	_, err := f.WriteString("hdr") // want `unsyncedString writes an \*os\.File but never calls Sync`
+	return err
+}
+
+// atomic is the sanctioned discipline: temp file, write, fsync, rename.
+func atomic(dir string, b []byte) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(dir, "snap"))
+}
+
+// lambdaScope: a nested literal is its own scope — the outer function's
+// Sync does not excuse the literal's unsynced write.
+func lambdaScope(f *os.File, b []byte) func() {
+	if err := f.Sync(); err != nil {
+		return nil
+	}
+	return func() {
+		f.Write(b) // want "func literal writes an"
+	}
+}

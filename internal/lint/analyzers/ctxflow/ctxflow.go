@@ -1,0 +1,211 @@
+// Package ctxflow guards the cancellation plumbing (PR 1): internal
+// library code never manufactures its own context, never silently drops
+// a ctx parameter, and every unbounded (fixpoint-shaped) loop in a
+// context-aware function consults its context — the engine's semi-naive
+// rounds, the provenance deletion cascade, and the exchange passes all
+// rely on cancellation reaching the innermost loop.
+//
+// One idiom is allowed: the codebase's non-Context convenience wrapper,
+//
+//	func (c *CDSS) Exchange(peer string) (ApplyStats, error) {
+//		return c.ExchangeContext(context.Background(), peer)
+//	}
+//
+// a single return statement delegating to <Name>Context with a fresh
+// background context as the first argument.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"orchestra/internal/lint/analysis"
+)
+
+// Scope is the import-path prefix the invariant governs.
+var Scope = "orchestra/internal/"
+
+// Exempt lists packages excused wholesale: the benchmark harness is a
+// measurement driver with no caller context to thread.
+var Exempt = []string{
+	"orchestra/internal/benchharness",
+}
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "internal code threads contexts: no Background/TODO, no dropped ctx, no uncancellable fixpoint loop\n\n" +
+		"Cancellation was plumbed through every engine and provenance fixpoint in\n" +
+		"PR 1; a context.Background() or a loop that never consults ctx quietly\n" +
+		"severs it.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, Scope) {
+		return nil
+	}
+	for _, ex := range Exempt {
+		if path == ex || strings.HasPrefix(path, ex+"/") {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBackground(pass, fd)
+			checkCtxParam(pass, fd.Name.Name, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkCtxParam(pass, "func literal", lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkBackground flags context.Background()/TODO() calls unless the
+// whole function is the sanctioned non-Context wrapper shape.
+func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if isCompatWrapper(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch pass.CalleeName(call) {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(), "%s in internal library code severs cancellation; accept a ctx parameter or delegate from a non-Context wrapper", pass.CalleeName(call))
+		}
+		return true
+	})
+}
+
+// isCompatWrapper recognizes the delegation idiom: the body is exactly
+// `return [recv.]<Name>Context(context.Background(), ...)`.
+func isCompatWrapper(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	callee := pass.CalleeFunc(call)
+	if callee == nil || callee.Name() != fd.Name.Name+"Context" {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := pass.CalleeName(first)
+	return name == "context.Background" || name == "context.TODO"
+}
+
+// checkCtxParam flags a named, unused ctx parameter and uncancellable
+// unbounded loops in context-aware functions.
+func checkCtxParam(pass *analysis.Pass, fname string, ftype *ast.FuncType, body *ast.BlockStmt) {
+	ctxObj := ctxParam(pass, ftype)
+	if ctxObj == nil || body == nil {
+		return
+	}
+	if !usesObj(pass, body, ctxObj) {
+		pass.Reportf(ctxObj.Pos(), "%s takes ctx but never uses it; thread it through (or name it _ to declare the drop)", fname)
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && ctxParam(pass, lit.Type) != nil {
+			// The literal declares its own ctx; its loops are checked
+			// against that one, not ours.
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		// Bounded three-clause loops (for i := 0; i < n; i++) are not
+		// fixpoint-shaped; `for {}` and `for cond {}` are.
+		if loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		// Consulting any context — the parameter or one derived from it
+		// (runCtx := context.WithCancel(ctx)) — keeps the loop
+		// cancellable; derivation is the only way to mint a non-ctx
+		// Context here, since Background/TODO are banned above.
+		if (loop.Cond != nil && usesContext(pass, loop.Cond)) || usesContext(pass, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(), "unbounded loop in context-aware %s never consults ctx; fixpoint loops must honor cancellation (check ctx.Err() per round)", fname)
+		return true
+	})
+}
+
+// ctxParam returns the object of a parameter named ctx with type
+// context.Context, nil if absent (including when named _).
+func ctxParam(pass *analysis.Pass, ftype *ast.FuncType) types.Object {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if name.Name != "ctx" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && analysis.TypeName(analysis.NamedOf(obj.Type())) == "context.Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// usesContext reports whether any identifier under n has type
+// context.Context.
+func usesContext(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj != nil && analysis.TypeName(analysis.NamedOf(obj.Type())) == "context.Context" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// usesObj reports whether any identifier under n resolves to obj.
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

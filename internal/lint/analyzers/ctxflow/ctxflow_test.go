@@ -1,0 +1,15 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"orchestra/internal/ctxdata",
+		"orchestra/internal/benchharness",
+		"orchestra/cmdtool",
+	)
+}

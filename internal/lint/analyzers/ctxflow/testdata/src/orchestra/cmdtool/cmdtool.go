@@ -1,0 +1,9 @@
+// Testdata for ctxflow: packages outside orchestra/internal/ (commands,
+// the public API surface) may mint their own root contexts.
+package cmdtool
+
+import "context"
+
+func Main() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,8 @@
+// Testdata for ctxflow: the benchmark harness is exempt wholesale.
+package benchharness
+
+import "context"
+
+func Run() context.Context {
+	return context.Background()
+}

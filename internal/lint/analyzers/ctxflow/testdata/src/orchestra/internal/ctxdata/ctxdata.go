@@ -1,0 +1,88 @@
+// Testdata for ctxflow: manufactured contexts, dropped ctx parameters,
+// and uncancellable fixpoint loops in internal library code.
+package ctxdata
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) FetchContext(ctx context.Context, n int) error { return ctx.Err() }
+
+// Fetch is the sanctioned compat-wrapper shape: one return delegating
+// to <Name>Context with a fresh background context.
+func (c *Client) Fetch(n int) error {
+	return c.FetchContext(context.Background(), n)
+}
+
+func manufactured() context.Context {
+	return context.Background() // want "context.Background in internal library code"
+}
+
+func placeholder() context.Context {
+	return context.TODO() // want "context.TODO in internal library code"
+}
+
+func dropped(ctx context.Context, n int) int { // want "dropped takes ctx but never uses it"
+	return n + 1
+}
+
+func declaredDrop(_ context.Context, n int) int {
+	// Naming the parameter _ declares the drop; nothing to flag.
+	return n + 1
+}
+
+func fixpoint(ctx context.Context, work func() bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for { // want "unbounded loop in context-aware fixpoint never consults ctx"
+		if !work() {
+			return nil
+		}
+	}
+}
+
+func cancellable(ctx context.Context, work func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !work() {
+			return nil
+		}
+	}
+}
+
+// derivedLoop consults a context derived from ctx, which keeps the loop
+// cancellable (the worker-pool idiom in internal/exchange).
+func derivedLoop(ctx context.Context, work func(context.Context) error) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for {
+		if err := work(runCtx); err != nil {
+			return err
+		}
+	}
+}
+
+func bounded(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = ctx.Err()
+	return total
+}
+
+// ownScope: a literal declaring its own ctx is checked against that
+// one, not the enclosing function's.
+func ownScope(ctx context.Context) func(context.Context, func() bool) {
+	_ = ctx.Err()
+	return func(ctx context.Context, work func() bool) {
+		for {
+			if ctx.Err() != nil || !work() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package errcmp flags ==/!= comparisons (and switch cases) matching an
+// error against a sentinel error value. The torn-tail log repair and the
+// fslock paths (PR 2) classify failures by sentinel identity; a sentinel
+// that arrives wrapped in fmt.Errorf("...: %w", err) silently falls
+// through an == comparison, so errors.Is is required everywhere.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"orchestra/internal/lint/analysis"
+)
+
+// Analyzer is the errcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: "require errors.Is instead of ==/!= against sentinel errors\n\n" +
+		"Sentinels routinely arrive wrapped (%w); identity comparison drops the\n" +
+		"match silently. Introduced with the torn-tail repair and fslock paths (PR 2).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name := sentinelName(pass, n.X, n.Y); name != "" {
+					pass.Reportf(n.Pos(), "error compared with %s against sentinel %s; use errors.Is (sentinels may arrive wrapped)", n.Op, name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass, n.Tag) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc := clause.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if name := sentinelOf(pass, e); name != "" {
+							pass.Reportf(e.Pos(), "error switched by identity against sentinel %s; use errors.Is (sentinels may arrive wrapped)", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports the qualified name of the sentinel side of an
+// error comparison, "" when neither side is a sentinel or when the
+// other side is not an error.
+func sentinelName(pass *analysis.Pass, x, y ast.Expr) string {
+	if name := sentinelOf(pass, x); name != "" && isErrorType(pass, y) {
+		return name
+	}
+	if name := sentinelOf(pass, y); name != "" && isErrorType(pass, x) {
+		return name
+	}
+	return ""
+}
+
+// sentinelOf reports whether e is a use of a package-level error
+// variable (io.EOF, os.ErrNotExist, a local var ErrFoo, ...) and
+// returns its printable name.
+func sentinelOf(pass *analysis.Pass, e ast.Expr) string {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !types.Implements(v.Type(), errorInterface()) {
+		return ""
+	}
+	if v.Pkg().Path() == pass.Pkg.Path() {
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+func isErrorType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, errorInterface())
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}

@@ -1,0 +1,11 @@
+package errcmp
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestErrcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "errcmpdata")
+}

@@ -1,0 +1,60 @@
+// Testdata for errcmp: identity comparisons against sentinel errors.
+package errcmpdata
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrStale is a package-local sentinel.
+var ErrStale = errors.New("stale")
+
+func compare(err error) bool {
+	if err == io.EOF { // want "error compared with == against sentinel io.EOF"
+		return true
+	}
+	if err != ErrStale { // want "error compared with != against sentinel ErrStale"
+		return false
+	}
+	return true
+}
+
+func flipped(err error) bool {
+	return io.EOF == err // want "error compared with == against sentinel io.EOF"
+}
+
+func fine(err error) bool {
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	return errors.Is(err, ErrStale)
+}
+
+func nilCompare(err error) bool {
+	// nil is not a sentinel; comparing against it is the normal idiom.
+	return err == nil
+}
+
+func switches(err error) int {
+	switch err {
+	case io.EOF: // want "error switched by identity against sentinel io.EOF"
+		return 1
+	case nil:
+		return 0
+	}
+	switch {
+	case errors.Is(err, ErrStale):
+		return 2
+	}
+	return 3
+}
+
+func nonError(a, b string) bool {
+	// Equality on non-errors is out of scope.
+	return a == b
+}
+
+func suppressed(err error) bool {
+	//orchestralint:ignore errcmp exercising the reasoned escape hatch
+	return err == io.EOF
+}

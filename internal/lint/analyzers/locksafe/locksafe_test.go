@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "orchestra")
+}

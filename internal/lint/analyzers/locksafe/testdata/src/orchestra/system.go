@@ -1,0 +1,98 @@
+// Testdata for locksafe: blocking work under orchestra.System.mu and
+// lock/unlock imbalance on early returns.
+package orchestra
+
+import (
+	"sync"
+	"time"
+
+	"orchestra/internal/core"
+)
+
+type System struct {
+	mu    sync.RWMutex
+	spec  *core.Spec
+	views map[string]*core.View
+}
+
+func (s *System) compileUnderLock(owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, err := core.NewView(s.spec, owner) // want "NewView .* called while s.mu — the System lock — is held"
+	if err != nil {
+		return err
+	}
+	s.views[owner] = v
+	return nil
+}
+
+func (s *System) recompileUnderLock(owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.views[owner].Recompile(s.spec) // want "Recompile .* called while s.mu"
+}
+
+func (s *System) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep \(sleeps\) called while s.mu`
+	s.mu.Unlock()
+}
+
+// compileOutside is the PR 5 discipline: compile first, lock only to
+// install.
+func (s *System) compileOutside(owner string) error {
+	v, err := core.NewView(s.spec, owner)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.views[owner] = v
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *System) leaky(owner string) *core.View {
+	s.mu.RLock()
+	v, ok := s.views[owner]
+	if !ok {
+		return nil // want "return while s.mu is locked with no deferred unlock"
+	}
+	s.mu.RUnlock()
+	return v
+}
+
+func (s *System) balanced(owner string) *core.View {
+	s.mu.RLock()
+	v, ok := s.views[owner]
+	if !ok {
+		s.mu.RUnlock()
+		return nil
+	}
+	s.mu.RUnlock()
+	return v
+}
+
+func (s *System) deferred(owner string) *core.View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[owner]
+}
+
+// spawn: a goroutine does not run under the caller's critical section.
+func (s *System) spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// box is not a guarded type; blocking under its lock is someone else's
+// policy call.
+type box struct{ mu sync.Mutex }
+
+func (b *box) sleepy() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond)
+	b.mu.Unlock()
+}

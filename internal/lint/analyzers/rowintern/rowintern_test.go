@@ -1,0 +1,14 @@
+package rowintern
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestRowintern(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"orchestra/internal/storage",
+		"orchestra/internal/coldpath",
+	)
+}

@@ -1,0 +1,20 @@
+// Stub of orchestra/internal/value: just enough surface for rowintern's
+// qualified-name checks.
+package value
+
+type Tuple []string
+
+func (t Tuple) Key() string { return "" }
+
+func (t Tuple) EncodeKey(b []byte) []byte { return b }
+
+func (t Tuple) Clone() Tuple { return t }
+
+type Row struct {
+	Tuple Tuple
+	Key   string
+}
+
+func NewRow(t Tuple) Row { return Row{Tuple: t, Key: t.Key()} }
+
+func KeyedRow(t Tuple, key string) Row { return Row{Tuple: t, Key: key} }

@@ -1,0 +1,176 @@
+// Package driver runs a set of orchestralint analyzers, either
+// standalone over `go list` patterns or as a `go vet -vettool` plugin
+// (see unitchecker.go). It is the hermetic stand-in for the upstream
+// multichecker/unitchecker pair.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"orchestra/internal/lint/analysis"
+	"orchestra/internal/lint/golist"
+)
+
+// Main is cmd/orchestralint's entry point. Invocation forms:
+//
+//	orchestralint [-json] packages...   standalone: load and check
+//	orchestralint file.cfg              vet unit protocol (go vet -vettool)
+//	orchestralint -V=full               vet tool-identity protocol
+//	orchestralint -flags                vet flag-discovery protocol
+//
+// Standalone exit status: 0 clean, 1 findings, 2 hard failure.
+func Main(analyzers []*analysis.Analyzer) {
+	args := os.Args[1:]
+	jsonOut := false
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch arg := args[0]; {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion()
+			return
+		case arg == "-flags" || arg == "--flags":
+			// We expose no analyzer flags to go vet.
+			fmt.Println("[]")
+			return
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+			args = args[1:]
+		case arg == "-help" || arg == "--help" || arg == "-h":
+			printHelp(analyzers)
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "orchestralint: unknown flag %s\n", arg)
+			os.Exit(2)
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	diags, err := Check(analyzers, "", args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orchestralint: %v\n", err)
+		os.Exit(2)
+	}
+	if jsonOut {
+		writeJSON(os.Stdout, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// Check loads patterns and runs every analyzer over every loaded
+// package, returning diagnostics sorted by position.
+func Check(analyzers []*analysis.Analyzer, dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := golist.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(analyzers, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// RunPackage runs the analyzers over one typechecked package. Test
+// files are excluded up front: the invariants govern production code,
+// and tests legitimately construct raw rows, write files directly, and
+// use background contexts.
+func RunPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]analysis.Diagnostic, error) {
+	src := files[:0:0]
+	for _, f := range files {
+		if !golist.IsTestFile(fset, f) {
+			src = append(src, f)
+		}
+	}
+	if len(src) == 0 {
+		return nil, nil
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, src, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, analyzer.
+func Sort(diags []analysis.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// jsonDiagnostic is the -json wire form, one object per finding — easy
+// for the nightly CI artifact to diff across runs.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func printHelp(analyzers []*analysis.Analyzer) {
+	fmt.Println("orchestralint enforces this repository's concurrency, durability, and hot-path invariants.")
+	fmt.Println()
+	fmt.Println("Usage: orchestralint [-json] [packages]")
+	fmt.Println("       go vet -vettool=$(which orchestralint) [packages]")
+	fmt.Println()
+	fmt.Println("Suppress a finding with '//orchestralint:ignore <analyzer> <reason>'.")
+	fmt.Println()
+	fmt.Println("Analyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-12s %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
+	}
+}

@@ -1,0 +1,124 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"orchestra/internal/lint/analysis"
+	"orchestra/internal/lint/golist"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// `go vet -vettool` compilation unit (the same contract the upstream
+// unitchecker consumes). Fields we do not use are still listed so the
+// decoder documents the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet compilation unit and returns the process
+// exit code: 0 clean, 2 findings, 1 hard failure. go vet treats any
+// nonzero exit as a failed package and relays our stderr.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orchestralint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "orchestralint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The driver requires the facts file to exist even though our
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "orchestralint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency unit: analyzed only for facts, of which we have none.
+		return 0
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := golist.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "orchestralint: %v\n", err)
+		return 1
+	}
+	imp := golist.ExportImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		return file, ok
+	})
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := golist.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "orchestralint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := RunPackage(analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orchestralint: %v\n", err)
+		return 1
+	}
+	Sort(diags)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion implements the -V=full tool-identity protocol cmd/go
+// uses to fingerprint a vettool for build caching: the output must
+// name the tool and include a content-derived build ID, so editing the
+// analyzers invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil)[:16])
+}

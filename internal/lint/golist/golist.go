@@ -1,0 +1,218 @@
+// Package golist loads typechecked packages for orchestralint using
+// only the go command and the standard library — the hermetic stand-in
+// for golang.org/x/tools/go/packages. It shells out to
+//
+//	go list -deps -export -json <patterns>
+//
+// which compiles every dependency and reports the path of each
+// package's export data; target packages are then parsed from source
+// and typechecked against that export data, exactly the way the
+// toolchain's own vet driver works.
+package golist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output we consume.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Package is one source-typechecked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Load lists patterns in dir (working directory; "" = current), builds
+// export data for the dependency closure, and typechecks every
+// non-dependency match from source. Standard-library and error-bearing
+// packages are skipped with an error only when they are roots.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := run(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	var roots []*listPackage
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.DepOnly && !m.Standard {
+			if m.Error != nil {
+				return nil, fmt.Errorf("golist: %s: %s", m.ImportPath, m.Error.Err)
+			}
+			roots = append(roots, m)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, m := range roots {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseFiles(fset, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := Check(m.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("golist: typechecking %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: m.ImportPath,
+			Dir:        m.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// run executes go list and decodes its JSON stream.
+func run(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("golist: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listPackage
+	for {
+		m := new(listPackage)
+		if err := dec.Decode(m); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("golist: decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// ExportFiles returns import path -> export data file for the
+// dependency closure of patterns. Used by the analysistest harness to
+// resolve standard-library imports of testdata packages.
+func ExportFiles(dir string, patterns ...string) (map[string]string, error) {
+	metas, err := run(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	files := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			files[m.ImportPath] = m.Export
+		}
+	}
+	return files, nil
+}
+
+// ExportImporter returns a gc-export-data importer resolving import
+// paths through lookup. The go/importer gc implementation reads the
+// unified export format the toolchain's own `go list -export` emits.
+// "unsafe" resolves to types.Unsafe directly — it has no export data.
+func ExportImporter(fset *token.FileSet, lookup func(path string) (string, bool)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := lookup(path)
+		if !ok {
+			return nil, fmt.Errorf("golist: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return unsafeAwareImporter{gc}
+}
+
+type unsafeAwareImporter struct{ base types.Importer }
+
+func (i unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.Import(path)
+}
+
+// ParseFiles parses names (relative to dir unless absolute) with
+// comments retained — directives live in comments.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("golist: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check typechecks one package's parsed files, returning the package
+// and a fully populated types.Info.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := &types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewInfo allocates the types.Info maps every analyzer relies on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// IsTestFile reports whether a parsed file is a _test.go file.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

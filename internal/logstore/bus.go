@@ -29,6 +29,7 @@ func OpenBus(path string) (*Bus, error) {
 		return nil, err
 	}
 	mem := core.NewMemoryBus()
+	//orchestralint:ignore ctxflow startup replay into a MemoryBus cannot block; OpenBus has no caller context by design
 	ctx := context.Background()
 	for i, p := range pubs {
 		if err := mem.Append(ctx, p.Peer, p.Log); err != nil {
@@ -59,6 +60,7 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	// reporting failure here would invite a retry that duplicates the
 	// publication after restart. mem.Append cannot block, so it gets a
 	// background context rather than the caller's cancellable one.
+	//orchestralint:ignore ctxflow the frame is already durable; cancelling the in-memory mirror would desync file and memory
 	return b.mem.Append(context.Background(), peer, log)
 }
 

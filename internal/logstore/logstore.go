@@ -19,6 +19,7 @@ package logstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -111,6 +112,13 @@ func Open(path string) (*Store, error) {
 			return nil, err
 		} else if info.Size() == 0 {
 			if _, err := f.WriteString(magic); err != nil {
+				f.Close()
+				return nil, err
+			}
+			// The header must be durable before any append is
+			// acknowledged; the first frame's fsync is too late if the
+			// caller crashes between Open and Append.
+			if err := f.Sync(); err != nil {
 				f.Close()
 				return nil, err
 			}
@@ -288,7 +296,7 @@ func readAll(r io.ReadSeeker) ([]Publication, error) {
 	var pubs []Publication
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(r, lenBuf[:]); err == io.EOF {
+		if _, err := io.ReadFull(r, lenBuf[:]); errors.Is(err, io.EOF) {
 			return pubs, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("logstore: truncated record header: %w", err)
@@ -332,7 +340,7 @@ func scanLenient(r io.ReadSeeker, size int64) (pubs []Publication, good int64, t
 	good = int64(len(magic))
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(r, lenBuf[:]); err == io.EOF {
+		if _, err := io.ReadFull(r, lenBuf[:]); errors.Is(err, io.EOF) {
 			return pubs, good, nil, nil
 		} else if err != nil {
 			return pubs, good, fmt.Errorf("torn record header: %w", err), nil

@@ -245,13 +245,23 @@ func NewClient(baseURL string) *Client {
 
 // Publish sends one edit log to the service.
 func (c *Client) Publish(peer string, log core.EditLog) error {
-	return (&Bus{cl: c}).Append(context.Background(), peer, log)
+	return c.PublishContext(context.Background(), peer, log)
+}
+
+// PublishContext is Publish with cancellation over the HTTP round trip.
+func (c *Client) PublishContext(ctx context.Context, peer string, log core.EditLog) error {
+	return (&Bus{cl: c}).Append(ctx, peer, log)
 }
 
 // Fetch retrieves publications at or after cursor, returning them with
 // the new cursor.
 func (c *Client) Fetch(cursor int) ([]core.EditLog, []string, int, error) {
-	pubs, next, err := (&Bus{cl: c}).FetchSince(context.Background(), cursor)
+	return c.FetchContext(context.Background(), cursor)
+}
+
+// FetchContext is Fetch with cancellation over the HTTP round trip.
+func (c *Client) FetchContext(ctx context.Context, cursor int) ([]core.EditLog, []string, int, error) {
+	pubs, next, err := (&Bus{cl: c}).FetchSince(ctx, cursor)
 	if err != nil {
 		return nil, nil, cursor, err
 	}

@@ -126,7 +126,7 @@ func NewDelta() *Delta {
 // The tuple is cloned; callers already holding a keyed row should use
 // InsertRow.
 func (d *Delta) Insert(tup value.Tuple) {
-	d.InsertRow(value.Row{Tuple: tup.Clone(), Key: tup.Key()})
+	d.InsertRow(value.NewRow(tup.Clone()))
 }
 
 // InsertRow is Insert for a pre-keyed row (no clone, no re-encode).
@@ -142,7 +142,7 @@ func (d *Delta) InsertRow(r value.Row) {
 // The tuple is cloned; callers already holding a keyed row should use
 // DeleteRow.
 func (d *Delta) Delete(tup value.Tuple) {
-	d.DeleteRow(value.Row{Tuple: tup.Clone(), Key: tup.Key()})
+	d.DeleteRow(value.NewRow(tup.Clone()))
 }
 
 // DeleteRow is Delete for a pre-keyed row (no clone, no re-encode).

@@ -79,7 +79,7 @@ func (t *Table) Insert(tup value.Tuple) bool {
 	if _, exists := t.pos[string(t.scratch)]; exists {
 		return false
 	}
-	t.insert(value.Row{Tuple: tup.Clone(), Key: string(t.scratch)})
+	t.insert(value.KeyedRow(tup.Clone(), string(t.scratch)))
 	return true
 }
 
@@ -106,7 +106,7 @@ func (t *Table) InsertOwned(tup value.Tuple) (r value.Row, ok bool) {
 	if _, exists := t.pos[string(t.scratch)]; exists {
 		return value.Row{}, false
 	}
-	r = value.Row{Tuple: tup, Key: string(t.scratch)}
+	r = value.KeyedRow(tup, string(t.scratch))
 	t.insert(r)
 	return r, true
 }

@@ -187,6 +187,7 @@ func (s *System) handle(owner string) (*viewHandle, error) {
 	if s.spec != spec {
 		// An evolution swapped the spec while we compiled; rebuild under
 		// the lock (rare — evolutions are exclusive and infrequent).
+		//orchestralint:ignore locksafe losing the compile race is rare; recompiling under the lock is the documented fallback (PR 5)
 		if v, err = core.NewView(s.spec, owner, s.opts); err != nil {
 			return nil, err
 		}
