@@ -6,6 +6,7 @@ import (
 
 	"orchestra/internal/core"
 	"orchestra/internal/logstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/share"
 )
 
@@ -53,6 +54,32 @@ func NewHTTPBus(baseURL string) *HTTPBus { return share.NewBus(baseURL) }
 type BusServer struct {
 	srv   *share.Server
 	store *logstore.Store
+	// reg is set by EnableMetrics so a later PersistTo can wire the
+	// store's append instruments too.
+	reg *obs.Registry
+}
+
+// EnableMetrics registers the publication service's instruments —
+// publish accept/reject/fail counters and, when persisting, durable
+// append telemetry — in o's registry. Call it before serving; metrics
+// and persistence wiring compose in either order.
+func (s *BusServer) EnableMetrics(o *Observability) {
+	r := o.Registry()
+	if r == nil {
+		return
+	}
+	s.reg = r
+	s.srv.SetMetrics(share.Metrics{
+		PublishAccepted: r.Counter("orchestra_publish_accepted_total",
+			"Publications the bus service accepted."),
+		PublishRejected: r.Counter("orchestra_publish_rejected_total",
+			"Publications the bus service rejected as illegal under the spec."),
+		PublishFailed: r.Counter("orchestra_publish_failed_total",
+			"Publications that failed to persist or record."),
+	})
+	if s.store != nil {
+		s.store.SetMetrics(busAppendMetrics(r))
+	}
 }
 
 // NewBusServer returns an in-memory publication service.
@@ -91,6 +118,9 @@ func (s *BusServer) PersistTo(path string) (int, error) {
 	}
 	s.store = store
 	s.srv.Persist = store.Append
+	if s.reg != nil {
+		store.SetMetrics(busAppendMetrics(s.reg))
+	}
 	return len(pubs), nil
 }
 

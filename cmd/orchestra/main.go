@@ -10,6 +10,8 @@
 //	orchestra graph [-owner peer] spec.cdss           # provenance graph in DOT
 //	orchestra show  spec.cdss                          # parsed spec summary
 //	orchestra evolve -state dir -diff changes.cdssd [-o evolved.cdss] spec.cdss
+//	orchestra stats -state dir                         # offline state-dir dashboard
+//	orchestra stats -url http://host:port              # scrape a running orchestrad
 //
 // With -state, the system runs durably out of the given directory
 // (view snapshots plus a publication log): the first run seeds the bus
@@ -65,8 +67,16 @@ func run(args []string, out io.Writer) error {
 	stateDir := fs.String("state", "", "durable state directory (snapshots + publication log); reuse it across runs to recover instead of replaying")
 	diffFile := fs.String("diff", "", "spec-diff file for evolve")
 	outFile := fs.String("o", "", "where evolve writes the evolved spec (default stdout)")
+	urlStr := fs.String("url", "", "base URL of a running orchestrad for stats, e.g. http://localhost:7117")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	// stats inspects a state directory or a daemon, never a spec file.
+	if cmd == "stats" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("stats takes no spec file (use -state or -url)")
+		}
+		return statsCmd(*stateDir, *urlStr, out)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected exactly one spec file")

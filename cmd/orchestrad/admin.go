@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+
+	"orchestra"
+)
+
+// registerAdmin mounts the spec-evolution endpoints behind one bearer-
+// token gate. The verbs evolve the durable view's System in place (when
+// one runs) and re-point the publication validation -spec configured, so
+// the next publish is judged under the evolved confederation.
+func registerAdmin(mux *http.ServeMux, token string, initial *orchestra.Spec, srv *orchestra.BusServer, sys *orchestra.System) {
+	var adminMu sync.Mutex
+	curSpec := initial
+	authorized := func(w http.ResponseWriter, r *http.Request) bool {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return false
+		}
+		return true
+	}
+	applyDiff := func(ctx context.Context, diffText string) error {
+		adminMu.Lock()
+		defer adminMu.Unlock()
+		d, err := orchestra.ParseSpecDiffString(diffText)
+		if err != nil {
+			return err
+		}
+		if sys != nil {
+			if err := sys.ApplyDiff(ctx, d); err != nil {
+				return err
+			}
+			curSpec = sys.Spec()
+		} else {
+			ns, err := orchestra.EvolveSpec(curSpec, d)
+			if err != nil {
+				return err
+			}
+			curSpec = ns
+		}
+		srv.ValidateAgainst(curSpec)
+		log.Printf("spec evolved: %s", strings.TrimSpace(diffText))
+		return nil
+	}
+	mux.HandleFunc("/spec/mapping", func(w http.ResponseWriter, r *http.Request) {
+		if !authorized(w, r) {
+			return
+		}
+		switch r.Method {
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			decl := strings.TrimSpace(string(body))
+			if decl == "" {
+				http.Error(w, "empty mapping declaration", http.StatusBadRequest)
+				return
+			}
+			if err := applyDiff(r.Context(), "add mapping "+decl); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			fmt.Fprintf(w, "added mapping %s\n", decl)
+		case http.MethodDelete:
+			id := r.URL.Query().Get("id")
+			if id == "" {
+				http.Error(w, "missing id parameter", http.StatusBadRequest)
+				return
+			}
+			if err := applyDiff(r.Context(), "remove mapping "+id); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			fmt.Fprintf(w, "removed mapping %s\n", id)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/spec", func(w http.ResponseWriter, r *http.Request) {
+		if !authorized(w, r) {
+			return
+		}
+		adminMu.Lock()
+		sp := curSpec
+		adminMu.Unlock()
+		fmt.Fprint(w, orchestra.RenderSpec(&orchestra.SpecFile{Spec: sp}))
+	})
+}

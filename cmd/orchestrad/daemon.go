@@ -1,0 +1,369 @@
+package main
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orchestra"
+	"orchestra/internal/obs"
+)
+
+// daemonConfig collects orchestrad's knobs in testable form (main
+// fills it from flags).
+type daemonConfig struct {
+	storePath  string
+	statePath  string
+	viewOwner  string // "" = global view, "all" = every peer view plus the global one
+	refresh    time.Duration
+	exchPar    int
+	adminToken string
+	traceCap   int
+	// logf receives one line per request from the logging middleware
+	// and the daemon's own progress messages (default log.Printf).
+	logf func(format string, args ...any)
+}
+
+// daemon is the orchestrad process state: the publication service, the
+// optional durable view System, the operations plane, and the HTTP
+// surface. Construction (newDaemon) wires everything that does not
+// need a live listener; enableViews attaches the durable System once
+// the daemon's own bus URL is known.
+type daemon struct {
+	cfg    daemonConfig
+	srv    *orchestra.BusServer
+	obs    *orchestra.Observability
+	sys    *orchestra.System // nil without -state
+	parsed *orchestra.SpecFile
+
+	allViews     bool
+	defaultOwner string
+
+	mux *http.ServeMux
+	// handler is mux wrapped in the request-logging middleware; serve
+	// this, not mux.
+	handler http.Handler
+
+	start time.Time
+	// ready flips once the first exchange pass has completed (true from
+	// the start for a serve-only daemon, which has no views to warm).
+	ready atomic.Bool
+	// globalOnce materializes the global view before the first "-view
+	// all" pass — ExchangeAll only exchanges views that exist.
+	globalOnce sync.Once
+}
+
+// newDaemon builds the publication service and the HTTP surface:
+// the wire protocol at /, /healthz, /readyz, /metrics, and the
+// admin-gated /debug/trace. parsed may be nil (no -spec).
+func newDaemon(cfg daemonConfig, parsed *orchestra.SpecFile) (*daemon, error) {
+	if cfg.logf == nil {
+		cfg.logf = log.Printf
+	}
+	d := &daemon{
+		cfg:          cfg,
+		srv:          orchestra.NewBusServer(),
+		obs:          orchestra.NewObservability(cfg.traceCap),
+		parsed:       parsed,
+		allViews:     cfg.viewOwner == "all",
+		defaultOwner: cfg.viewOwner,
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+	}
+	if d.allViews {
+		d.defaultOwner = "" // /instance defaults to the global view
+	}
+	if parsed != nil {
+		d.srv.ValidateAgainst(parsed.Spec)
+	}
+	d.srv.EnableMetrics(d.obs)
+	if cfg.storePath != "" {
+		reloaded, err := d.srv.PersistTo(cfg.storePath)
+		if err != nil {
+			return nil, err
+		}
+		d.cfg.logf("persisting to %s (%d publications reloaded)", cfg.storePath, reloaded)
+	}
+	if cfg.statePath == "" {
+		d.ready.Store(true)
+	}
+
+	d.mux.Handle("/", d.srv)
+	d.mux.HandleFunc("/healthz", d.handleHealthz)
+	d.mux.HandleFunc("/readyz", d.handleReadyz)
+	d.mux.HandleFunc("/metrics", d.handleMetrics)
+	d.mux.HandleFunc("/debug/trace", d.handleTrace)
+	d.handler = d.logRequests(d.mux)
+	return d, nil
+}
+
+// enableViews attaches the durable view System, exchanging through the
+// daemon's own publication service at busURL, and mounts /instance.
+// Call it after the listener exists (main) or against a test server.
+func (d *daemon) enableViews(busURL string) error {
+	sys, err := orchestra.New(d.parsed.Spec,
+		orchestra.WithBus(orchestra.NewHTTPBus(busURL)),
+		orchestra.WithPersistence(d.cfg.statePath),
+		orchestra.WithExchangeParallelism(d.cfg.exchPar),
+		orchestra.WithObservability(d.obs),
+	)
+	if err != nil {
+		return err
+	}
+	d.sys = sys
+	if views, err := sys.PersistedViews(); err == nil && len(views) > 0 {
+		for _, vs := range views {
+			d.cfg.logf("recovered view %q at cursor %d (generation %d)", vs.Owner, vs.Cursor, vs.Generation)
+		}
+	}
+	d.mux.HandleFunc("/instance", d.handleInstance)
+	return nil
+}
+
+// handleHealthz is the liveness probe: the process serves requests.
+// It never consults the views — a daemon wedged on a long exchange is
+// still alive. Readiness is /readyz's job.
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintf(w, "ok %d publications uptime=%s\n", d.srv.Len(), time.Since(d.start).Round(time.Second))
+}
+
+// handleReadyz is the readiness probe: 200 only when the publication
+// bus answers, the state directory (if any) is open, and the first
+// exchange pass has completed, so the curated instances /instance
+// serves reflect the bus. Each check prints one line; failures flip
+// the status to 503.
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type check struct {
+		name   string
+		ok     bool
+		detail string
+	}
+	var checks []check
+	if d.sys != nil {
+		// Round-trips the daemon's own HTTP bus — the same path the
+		// exchange loop uses.
+		n, err := d.sys.BusLen(r.Context())
+		if err != nil {
+			checks = append(checks, check{"bus", false, err.Error()})
+		} else {
+			checks = append(checks, check{"bus", true, fmt.Sprintf("%d publications", n)})
+		}
+		if _, err := d.sys.PersistedViews(); err != nil {
+			checks = append(checks, check{"state", false, err.Error()})
+		} else {
+			checks = append(checks, check{"state", true, d.cfg.statePath})
+		}
+		if d.ready.Load() {
+			checks = append(checks, check{"exchange", true, "views warm"})
+		} else {
+			checks = append(checks, check{"exchange", false, "first exchange pending"})
+		}
+	} else {
+		checks = append(checks, check{"bus", true, fmt.Sprintf("%d publications", d.srv.Len())})
+	}
+	code := http.StatusOK
+	for _, c := range checks {
+		if !c.ok {
+			code = http.StatusServiceUnavailable
+			break
+		}
+	}
+	w.WriteHeader(code)
+	for _, c := range checks {
+		state := "ok"
+		if !c.ok {
+			state = "fail"
+		}
+		fmt.Fprintf(w, "%s %s: %s\n", state, c.name, c.detail)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text format. When a
+// System runs, a Stats snapshot first refreshes the bus-horizon gauge
+// so the per-view orchestra_bus_lag series are current as of this
+// scrape, not as of the last exchange.
+func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if d.sys != nil {
+		if _, err := d.sys.Stats(r.Context()); err != nil {
+			d.cfg.logf("orchestrad: metrics stats refresh: %v", err)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.obs.Registry().WritePrometheus(w); err != nil {
+		d.cfg.logf("orchestrad: writing metrics: %v", err)
+	}
+}
+
+// traceEntry is one /debug/trace element: the raw pass record plus its
+// rendered span tree.
+type traceEntry struct {
+	Pass  *orchestra.ExchangeTrace `json:"pass"`
+	Spans *orchestra.TraceSpan     `json:"spans"`
+}
+
+// handleTrace serves the most recent exchange pass traces as JSON,
+// newest first (?last=N, default 1). Traces expose tuple counts and
+// relation names, so the endpoint is gated behind the admin bearer
+// token: without -admin-token it is disabled outright.
+func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.adminToken == "" {
+		http.Error(w, "trace endpoint disabled (run with -admin-token)", http.StatusForbidden)
+		return
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(d.cfg.adminToken)) != 1 {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	last := 1
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	entries := []traceEntry{} // render [] rather than null when empty
+	for _, p := range d.obs.Tracer().Last(last) {
+		entries = append(entries, traceEntry{Pass: p, Spans: p.SpanTree()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		d.cfg.logf("orchestrad: writing trace: %v", err)
+	}
+}
+
+// handleInstance serves a curated instance of the maintained view(s):
+// GET /instance?rel=R[&owner=P].
+func (d *daemon) handleInstance(w http.ResponseWriter, r *http.Request) {
+	rel := r.URL.Query().Get("rel")
+	if rel == "" {
+		http.Error(w, "missing rel parameter", http.StatusBadRequest)
+		return
+	}
+	owner := d.defaultOwner
+	if o := r.URL.Query().Get("owner"); o != "" {
+		if !d.allViews && o != d.cfg.viewOwner {
+			http.Error(w, fmt.Sprintf("view %q is not maintained by this daemon (running with -view %q)", o, d.cfg.viewOwner), http.StatusNotFound)
+			return
+		}
+		owner = o
+	}
+	descs, err := d.sys.DescribeInstance(owner, rel)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "%s (%d rows)\n", rel, len(descs))
+	for _, desc := range descs {
+		fmt.Fprintln(w, desc)
+	}
+}
+
+// statusRecorder captures the status code the handler wrote (200 when
+// it never called WriteHeader).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// httpPattern normalizes a request path to the mux pattern it routes
+// to, bounding metric label cardinality against probe scans.
+func httpPattern(path string) string {
+	switch path {
+	case "/publish", "/since", "/healthz", "/readyz", "/metrics",
+		"/debug/trace", "/instance", "/spec", "/spec/mapping":
+		return path
+	default:
+		return "other"
+	}
+}
+
+// logRequests is the access-log middleware: one key=value line per
+// request (method, path, status, duration, peer) plus the HTTP request
+// counter and latency histogram, labeled by normalized pattern.
+func (d *daemon) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		dur := time.Since(start)
+		pattern := httpPattern(r.URL.Path)
+		reg := d.obs.Registry()
+		reg.Counter("orchestra_http_requests_total", "HTTP requests served.",
+			obs.L("path", pattern), obs.L("status", strconv.Itoa(sr.status))).Inc()
+		reg.Histogram("orchestra_http_request_duration_seconds",
+			"Wall clock of one HTTP request.", obs.DurationBuckets(),
+			obs.L("path", pattern)).Observe(dur.Seconds())
+		d.cfg.logf("http method=%s path=%s status=%d dur=%s peer=%s",
+			r.Method, r.URL.Path, sr.status, dur.Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// exchangeOnce runs one pass over the maintained view(s) and flips the
+// readiness flag on the first success.
+func (d *daemon) exchangeOnce(ctx context.Context) error {
+	var err error
+	if d.allViews {
+		d.globalOnce.Do(func() {
+			if _, gerr := d.sys.Exchange(ctx, ""); gerr != nil && ctx.Err() == nil {
+				d.cfg.logf("orchestrad: materializing global view: %v", gerr)
+			}
+		})
+		_, err = d.sys.ExchangeAll(ctx)
+	} else {
+		_, err = d.sys.Exchange(ctx, d.cfg.viewOwner)
+	}
+	if err == nil {
+		d.ready.Store(true)
+	}
+	return err
+}
+
+// runExchangeLoop drives the maintained views until ctx is done:
+// exchange-on-publish wake-ups coalesce through a 1-buffered channel
+// (a burst of publications lands as at most one queued kick, and the
+// pass it triggers imports the whole pending run coalesced), with the
+// -refresh ticker as a fallback for publications that raced past a
+// pass's fetch horizon.
+func (d *daemon) runExchangeLoop(ctx context.Context) {
+	kick := make(chan struct{}, 1)
+	d.srv.OnPublish(func() {
+		select {
+		case kick <- struct{}{}:
+		default:
+		}
+	})
+	if err := d.exchangeOnce(ctx); err != nil && ctx.Err() == nil {
+		d.cfg.logf("orchestrad: initial exchange: %v", err)
+	}
+	ticker := time.NewTicker(d.cfg.refresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-kick:
+		case <-ticker.C:
+		}
+		if err := d.exchangeOnce(ctx); err != nil && ctx.Err() == nil {
+			d.cfg.logf("orchestrad: exchange: %v", err)
+		}
+	}
+}

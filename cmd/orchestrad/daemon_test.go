@@ -1,0 +1,313 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra"
+)
+
+const daemonTestSpec = `
+peer PGUS    { relation G(id int, can int, nam int) }
+peer PBioSQL { relation B(id int, nam int) }
+mapping m1: G(i,c,n) -> B(i,n)
+`
+
+// logCapture collects the daemon's log lines for assertions.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	lc.mu.Unlock()
+}
+
+func (lc *logCapture) joined() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return strings.Join(lc.lines, "\n")
+}
+
+// startDaemon builds a durable all-views daemon on temp storage and a
+// test server over its handler, wiring the System through the test
+// server's URL exactly as main wires it through its own listener.
+func startDaemon(t *testing.T, cfg daemonConfig) (*daemon, *httptest.Server, *logCapture) {
+	t.Helper()
+	parsed, err := orchestra.ParseSpecString(daemonTestSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := &logCapture{}
+	cfg.logf = lc.logf
+	if cfg.storePath == "" {
+		cfg.storePath = filepath.Join(t.TempDir(), "pubs.olg")
+	}
+	if cfg.refresh == 0 {
+		cfg.refresh = time.Hour // tests drive exchanges explicitly
+	}
+	d, err := newDaemon(cfg, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler)
+	t.Cleanup(ts.Close)
+	if cfg.statePath != "" {
+		if err := d.enableViews(ts.URL); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.sys.Close() })
+	}
+	t.Cleanup(func() { d.srv.Close() })
+	return d, ts, lc
+}
+
+func get(t *testing.T, url string, header ...string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(header); i += 2 {
+		req.Header.Set(header[i], header[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	ctx := context.Background()
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all"})
+
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok 0 publications") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	// Before the first exchange the daemon is alive but not ready.
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "fail exchange: first exchange pending") {
+		t.Fatalf("readyz before exchange: %d %q", code, body)
+	}
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz after exchange: %d %q", code, body)
+	}
+	for _, want := range []string{"ok bus:", "ok state:", "ok exchange: views warm"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("readyz body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestReadyzServeOnly(t *testing.T) {
+	// Without -state there are no views to warm: ready immediately.
+	_, ts, _ := startDaemon(t, daemonConfig{})
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ok bus:") {
+		t.Fatalf("serve-only readyz: %d %q", code, body)
+	}
+}
+
+func TestMetricsUnderPublishLoad(t *testing.T) {
+	ctx := context.Background()
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all"})
+
+	bus := orchestra.NewHTTPBus(ts.URL)
+	for i := 0; i < 5; i++ {
+		if err := bus.Append(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(i, i, i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One insert+delete pair: net-effect cancellation becomes non-zero.
+	if err := bus.Append(ctx, "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(9, 9, 9)),
+		orchestra.Del("G", orchestra.MakeTuple(9, 9, 9)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	// The acceptance quartet: pass-duration histogram, per-view bus
+	// lag, cancellation ratio, checkpoint age — plus publish/append/HTTP
+	// telemetry, all non-zero where the load implies it.
+	for _, want := range []string{
+		"orchestra_exchange_pass_duration_seconds_count",
+		`orchestra_bus_lag{view="(global)"} 0`,
+		`orchestra_bus_lag{view="PGUS"} 0`,
+		"orchestra_coalesce_cancellation_ratio",
+		"orchestra_checkpoint_age_seconds",
+		"orchestra_exchange_publications_total",
+		"orchestra_publish_accepted_total 6",
+		"orchestra_bus_append_bytes_total",
+		"orchestra_http_requests_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The pass consumed all six publications across the three views.
+	if !strings.Contains(body, "orchestra_exchange_passes_total{kind=\"exchange_all\"}") {
+		t.Fatalf("metrics missing exchange_all pass counter:\n%s", body)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "orchestra_coalesce_cancellation_ratio ") {
+			if strings.TrimPrefix(line, "orchestra_coalesce_cancellation_ratio ") == "0" {
+				t.Fatalf("cancellation ratio stayed zero despite insert+delete pair:\n%s", body)
+			}
+		}
+	}
+}
+
+func TestTraceEndpointGating(t *testing.T) {
+	ctx := context.Background()
+
+	// Without -admin-token the endpoint is disabled outright.
+	_, tsOpen, _ := startDaemon(t, daemonConfig{})
+	if code, body := get(t, tsOpen.URL+"/debug/trace"); code != http.StatusForbidden || !strings.Contains(body, "admin-token") {
+		t.Fatalf("ungated trace: %d %q", code, body)
+	}
+
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all", adminToken: "sekrit"})
+	if code, _ := get(t, ts.URL+"/debug/trace"); code != http.StatusUnauthorized {
+		t.Fatalf("missing token: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/trace", "Authorization", "Bearer wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/trace?last=0", "Authorization", "Bearer sekrit"); code != http.StatusBadRequest {
+		t.Fatalf("last=0 accepted: %d", code)
+	}
+
+	bus := orchestra.NewHTTPBus(ts.URL)
+	if err := bus.Append(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/debug/trace?last=1", "Authorization", "Bearer sekrit")
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d %q", code, body)
+	}
+	var entries []struct {
+		Pass struct {
+			Kind   string `json:"kind"`
+			WallNS int64  `json:"wall_ns"`
+			Views  []struct {
+				View   string `json:"view"`
+				WallNS int64  `json:"wall_ns"`
+			} `json:"views"`
+		} `json:"pass"`
+		Spans struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &entries); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, body)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Pass.Kind != "exchange_all" || e.Spans.Name != "pass:exchange_all" {
+		t.Fatalf("pass kind %q / span %q", e.Pass.Kind, e.Spans.Name)
+	}
+	if len(e.Pass.Views) != 3 || len(e.Spans.Children) != 3 {
+		t.Fatalf("want 3 view passes (PGUS, PBioSQL, global), got %d/%d", len(e.Pass.Views), len(e.Spans.Children))
+	}
+}
+
+func TestInstanceEdgeCases(t *testing.T) {
+	ctx := context.Background()
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all"})
+
+	// Exchange over the empty bus first: a maintained view whose
+	// instance is simply empty is a 200 with zero rows, not an error.
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/instance?rel=B&owner=PBioSQL")
+	if code != http.StatusOK || !strings.Contains(body, "B (0 rows)") {
+		t.Fatalf("empty instance: %d %q", code, body)
+	}
+
+	if code, _ := get(t, ts.URL+"/instance"); code != http.StatusBadRequest {
+		t.Fatalf("missing rel: %d", code)
+	}
+	// Unknown owner: the System has no such peer.
+	if code, body := get(t, ts.URL+"/instance?rel=G&owner=PNope"); code != http.StatusBadRequest {
+		t.Fatalf("unknown owner: %d %q", code, body)
+	}
+
+	bus := orchestra.NewHTTPBus(ts.URL)
+	if err := bus.Append(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, ts.URL+"/instance?rel=B&owner=PBioSQL"); code != http.StatusOK || !strings.Contains(body, "B (1 rows)") {
+		t.Fatalf("derived instance: %d %q", code, body)
+	}
+}
+
+func TestInstanceSingleViewRejectsOtherOwners(t *testing.T) {
+	ctx := context.Background()
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: ""})
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, ts.URL+"/instance?rel=B&owner=PBioSQL"); code != http.StatusNotFound || !strings.Contains(body, "not maintained") {
+		t.Fatalf("other owner on single-view daemon: %d %q", code, body)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	_, ts, lc := startDaemon(t, daemonConfig{})
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("nope: %d", code)
+	}
+	logged := lc.joined()
+	if !strings.Contains(logged, "method=GET path=/healthz status=200") {
+		t.Fatalf("healthz request not logged:\n%s", logged)
+	}
+	if !strings.Contains(logged, "path=/nope status=404") {
+		t.Fatalf("404 not logged:\n%s", logged)
+	}
+	for _, want := range []string{"dur=", "peer="} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("log line missing %q:\n%s", want, logged)
+		}
+	}
+}

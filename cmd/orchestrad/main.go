@@ -8,6 +8,7 @@
 //
 //	orchestrad -addr :8344 -store publications.log [-spec confed.cdss]
 //	           [-state dir] [-view owner] [-refresh 2s] [-admin-token T]
+//	           [-trace-buffer 64]
 //
 // With -spec, incoming publications are validated against the CDSS
 // description (peers may only edit their own relations). With -store,
@@ -40,6 +41,18 @@
 // is recovered from its snapshot and fast-forwarded past its persisted
 // cursor instead of re-exchanging from publication zero.
 //
+// Operations plane (always on; see DESIGN.md "Observability"):
+//
+//	GET /healthz       liveness: the process serves requests
+//	GET /readyz        readiness: bus reachable, state dir open, views warm
+//	GET /metrics       Prometheus text format (exchange pass timings,
+//	                   per-view bus lag, coalescing cancellation ratio,
+//	                   checkpoint age, publish/append/HTTP telemetry)
+//	GET /debug/trace   last N exchange pass traces as JSON span trees
+//	                   (?last=N; requires -admin-token, Bearer auth)
+//
+// Every request is access-logged (method, path, status, duration, peer).
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
 // drain, the view takes a final checkpoint, and the publication log
 // closes on a frame boundary.
@@ -49,17 +62,13 @@ package main
 
 import (
 	"context"
-	"crypto/subtle"
 	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -75,13 +84,12 @@ func main() {
 	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view, \"all\" = every peer view plus the global one")
 	refresh := flag.Duration("refresh", 2*time.Second, "fallback interval between exchanges (publications also trigger one immediately)")
 	exchPar := flag.Int("exchange-parallelism", 0, "bound on concurrent per-view exchange passes under -view all (0 = GOMAXPROCS)")
-	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints (requires -spec)")
+	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints and /debug/trace (requires -spec for the former)")
+	traceBuf := flag.Int("trace-buffer", 64, "exchange pass traces retained for /debug/trace")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	srv := orchestra.NewBusServer()
 
 	var parsed *orchestra.SpecFile
 	if *specPath != "" {
@@ -95,35 +103,8 @@ func main() {
 		if perr != nil {
 			log.Fatalf("orchestrad: %v", perr)
 		}
-		srv.ValidateAgainst(parsed.Spec)
 		log.Printf("validating against %s (%d peers, %d mappings)",
 			*specPath, len(parsed.Spec.Universe.Peers()), len(parsed.Spec.Mappings))
-	}
-
-	if *storePath != "" {
-		reloaded, err := srv.PersistTo(*storePath)
-		if err != nil {
-			log.Fatalf("orchestrad: %v", err)
-		}
-		log.Printf("persisting to %s (%d publications reloaded)", *storePath, reloaded)
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("orchestrad: %v", err)
-	}
-
-	mux := http.NewServeMux()
-	mux.Handle("/", srv)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintf(w, "ok %d publications\n", srv.Len())
-	})
-
-	var sys *orchestra.System
-	allViews := *viewOwner == "all"
-	defaultOwner := *viewOwner
-	if allViews {
-		defaultOwner = "" // /instance defaults to the global view
 	}
 	if *statePath != "" {
 		if parsed == nil || *storePath == "" {
@@ -132,58 +113,44 @@ func main() {
 		if *refresh <= 0 {
 			log.Fatalf("orchestrad: -refresh must be positive, got %v", *refresh)
 		}
+	}
+
+	d, err := newDaemon(daemonConfig{
+		storePath:  *storePath,
+		statePath:  *statePath,
+		viewOwner:  *viewOwner,
+		refresh:    *refresh,
+		exchPar:    *exchPar,
+		adminToken: *adminToken,
+		traceCap:   *traceBuf,
+	}, parsed)
+	if err != nil {
+		log.Fatalf("orchestrad: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("orchestrad: %v", err)
+	}
+
+	if *statePath != "" {
 		// The view exchanges through the daemon's own HTTP bus, so its
 		// persisted cursors refer to the same durable publication
 		// sequence every other node sees.
-		selfURL := "http://" + hostPort(ln.Addr())
-		sys, err = orchestra.New(parsed.Spec,
-			orchestra.WithBus(orchestra.NewHTTPBus(selfURL)),
-			orchestra.WithPersistence(*statePath),
-			orchestra.WithExchangeParallelism(*exchPar),
-		)
-		if err != nil {
+		if err := d.enableViews("http://" + hostPort(ln.Addr())); err != nil {
 			log.Fatalf("orchestrad: %v", err)
 		}
-		if views, err := sys.PersistedViews(); err == nil && len(views) > 0 {
-			for _, vs := range views {
-				log.Printf("recovered view %q at cursor %d (generation %d)", vs.Owner, vs.Cursor, vs.Generation)
-			}
-		}
-		mux.HandleFunc("/instance", func(w http.ResponseWriter, r *http.Request) {
-			rel := r.URL.Query().Get("rel")
-			if rel == "" {
-				http.Error(w, "missing rel parameter", http.StatusBadRequest)
-				return
-			}
-			owner := defaultOwner
-			if o := r.URL.Query().Get("owner"); o != "" {
-				if !allViews && o != *viewOwner {
-					http.Error(w, fmt.Sprintf("view %q is not maintained by this daemon (running with -view %q)", o, *viewOwner), http.StatusNotFound)
-					return
-				}
-				owner = o
-			}
-			descs, err := sys.DescribeInstance(owner, rel)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			fmt.Fprintf(w, "%s (%d rows)\n", rel, len(descs))
-			for _, d := range descs {
-				fmt.Fprintln(w, d)
-			}
-		})
 	}
 
 	if *adminToken != "" {
 		if parsed == nil {
 			log.Fatal("orchestrad: -admin-token requires -spec (evolution needs a confederation description)")
 		}
-		registerAdmin(mux, *adminToken, parsed.Spec, srv, sys)
-		log.Print("admin endpoints enabled (/spec, /spec/mapping)")
+		registerAdmin(d.mux, *adminToken, parsed.Spec, d.srv, d.sys)
+		log.Print("admin endpoints enabled (/spec, /spec/mapping, /debug/trace)")
 	}
 
-	httpSrv := &http.Server{Handler: mux}
+	httpSrv := &http.Server{Handler: d.handler}
 	go func() {
 		<-ctx.Done()
 		log.Print("orchestrad: shutting down")
@@ -195,54 +162,14 @@ func main() {
 	}()
 
 	var exchanges sync.WaitGroup
-	if sys != nil {
-		// Exchange-on-publish: every accepted publication pokes the
-		// exchange loop through a 1-buffered channel. A burst of
-		// publications lands as at most one queued wake-up, and the pass
-		// it triggers imports the whole pending run coalesced — the
-		// -refresh ticker remains only as a fallback (e.g. publications
-		// that raced past a pass's fetch horizon).
-		kick := make(chan struct{}, 1)
-		srv.OnPublish(func() {
-			select {
-			case kick <- struct{}{}:
-			default:
-			}
-		})
-		exchangeOnce := func() error {
-			if allViews {
-				_, err := sys.ExchangeAll(ctx)
-				return err
-			}
-			_, err := sys.Exchange(ctx, *viewOwner)
-			return err
-		}
+	if d.sys != nil {
+		// This must run after httpSrv.Serve starts: the exchange goes
+		// through the daemon's own HTTP bus, so running it on the main
+		// goroutine would deadlock against the unserved listener.
 		exchanges.Add(1)
 		go func() {
 			defer exchanges.Done()
-			if allViews {
-				// Materialize the global view so ExchangeAll (which only
-				// exchanges views that exist) maintains it from the start.
-				// This must run here, not before httpSrv.Serve: the exchange
-				// goes through the daemon's own HTTP bus, so doing it on the
-				// main goroutine would deadlock against the unserved listener.
-				if _, err := sys.Exchange(ctx, ""); err != nil && ctx.Err() == nil {
-					log.Printf("orchestrad: initial exchange: %v", err)
-				}
-			}
-			ticker := time.NewTicker(*refresh)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-kick:
-				case <-ticker.C:
-				}
-				if err := exchangeOnce(); err != nil && ctx.Err() == nil {
-					log.Printf("orchestrad: exchange: %v", err)
-				}
-			}
+			d.runExchangeLoop(ctx)
 		}()
 	}
 
@@ -253,105 +180,20 @@ func main() {
 	// Drain the exchange loop before the final checkpoint so the
 	// snapshot observes a quiescent view.
 	exchanges.Wait()
-	if sys != nil {
-		if err := sys.Checkpoint(context.Background()); err != nil {
+	if d.sys != nil {
+		if err := d.sys.Checkpoint(context.Background()); err != nil {
 			log.Printf("orchestrad: final checkpoint: %v", err)
 		}
-		if err := sys.Close(); err != nil {
+		if err := d.sys.Close(); err != nil {
 			log.Printf("orchestrad: closing system: %v", err)
 		}
 	}
 	// Closing the publication log last guarantees the durable sequence
 	// ends on a frame boundary.
-	if err := srv.Close(); err != nil {
+	if err := d.srv.Close(); err != nil {
 		log.Printf("orchestrad: closing store: %v", err)
 	}
 	log.Print("orchestrad: shut down cleanly")
-}
-
-// registerAdmin mounts the spec-evolution endpoints behind one bearer-
-// token gate. The verbs evolve the durable view's System in place (when
-// one runs) and re-point the publication validation -spec configured, so
-// the next publish is judged under the evolved confederation.
-func registerAdmin(mux *http.ServeMux, token string, initial *orchestra.Spec, srv *orchestra.BusServer, sys *orchestra.System) {
-	var adminMu sync.Mutex
-	curSpec := initial
-	authorized := func(w http.ResponseWriter, r *http.Request) bool {
-		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
-			return false
-		}
-		return true
-	}
-	applyDiff := func(ctx context.Context, diffText string) error {
-		adminMu.Lock()
-		defer adminMu.Unlock()
-		d, err := orchestra.ParseSpecDiffString(diffText)
-		if err != nil {
-			return err
-		}
-		if sys != nil {
-			if err := sys.ApplyDiff(ctx, d); err != nil {
-				return err
-			}
-			curSpec = sys.Spec()
-		} else {
-			ns, err := orchestra.EvolveSpec(curSpec, d)
-			if err != nil {
-				return err
-			}
-			curSpec = ns
-		}
-		srv.ValidateAgainst(curSpec)
-		log.Printf("spec evolved: %s", strings.TrimSpace(diffText))
-		return nil
-	}
-	mux.HandleFunc("/spec/mapping", func(w http.ResponseWriter, r *http.Request) {
-		if !authorized(w, r) {
-			return
-		}
-		switch r.Method {
-		case http.MethodPost:
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			decl := strings.TrimSpace(string(body))
-			if decl == "" {
-				http.Error(w, "empty mapping declaration", http.StatusBadRequest)
-				return
-			}
-			if err := applyDiff(r.Context(), "add mapping "+decl); err != nil {
-				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-				return
-			}
-			fmt.Fprintf(w, "added mapping %s\n", decl)
-		case http.MethodDelete:
-			id := r.URL.Query().Get("id")
-			if id == "" {
-				http.Error(w, "missing id parameter", http.StatusBadRequest)
-				return
-			}
-			if err := applyDiff(r.Context(), "remove mapping "+id); err != nil {
-				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-				return
-			}
-			fmt.Fprintf(w, "removed mapping %s\n", id)
-		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		}
-	})
-	mux.HandleFunc("/spec", func(w http.ResponseWriter, r *http.Request) {
-		if !authorized(w, r) {
-			return
-		}
-		adminMu.Lock()
-		sp := curSpec
-		adminMu.Unlock()
-		fmt.Fprint(w, orchestra.RenderSpec(&orchestra.SpecFile{Spec: sp}))
-	})
 }
 
 // hostPort renders a listener address for client use, substituting

@@ -170,6 +170,9 @@ func (s *System) RestoreSnapshot(owner string, r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if vo := s.obsx.ensureView(owner); vo != nil {
+		vo.cursor.Store(0) // the restored view restarts at publication zero
+	}
 	s.mu.Lock()
 	s.views[owner] = &viewHandle{view: v}
 	s.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 )
 
 // Publication is one peer's published edit log, as stored on a bus.
@@ -96,18 +97,21 @@ func PublishTo(ctx context.Context, bus PublicationBus, spec *Spec, peer string,
 // as one net apply and must end observationally identical (the exchange
 // equivalence property test compares the two).
 func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+	fetchStart := time.Now()
 	pubs, next, err := bus.FetchSince(ctx, cursor)
+	fetchNS := time.Since(fetchStart).Nanoseconds()
 	if err != nil {
-		return cursor, ApplyStats{}, err
+		return cursor, ApplyStats{FetchNS: fetchNS}, err
 	}
 	base := next - len(pubs)
-	var stats ApplyStats
+	stats := ApplyStats{FetchNS: fetchNS}
 	for i, pub := range pubs {
 		s, err := v.ApplyEditsContext(ctx, pub.Log, strategy)
 		stats.Add(s)
 		if err != nil {
 			return base + i, stats, err
 		}
+		stats.Publications++
 	}
 	return next, stats, nil
 }
@@ -149,17 +153,21 @@ func MergeLogs(pubs []Publication) EditLog {
 // retried NetEffect a no-op for that prefix, and the view's dirty-
 // repair machinery restores derived state before the retry propagates.
 func ExchangeCoalesced(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+	fetchStart := time.Now()
 	pubs, next, err := bus.FetchSince(ctx, cursor)
+	fetchNS := time.Since(fetchStart).Nanoseconds()
 	if err != nil {
-		return cursor, ApplyStats{}, err
+		return cursor, ApplyStats{FetchNS: fetchNS}, err
 	}
 	if len(pubs) == 0 {
-		return next, ApplyStats{}, nil
+		return next, ApplyStats{FetchNS: fetchNS}, nil
 	}
 	stats, err := v.ApplyEditsContext(ctx, MergeLogs(pubs), strategy)
+	stats.FetchNS += fetchNS
 	if err != nil {
 		return cursor, stats, err
 	}
+	stats.Publications = len(pubs)
 	return next, stats, nil
 }
 

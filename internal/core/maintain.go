@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"orchestra/internal/engine"
 	"orchestra/internal/provenance"
@@ -52,6 +53,18 @@ type ApplyStats struct {
 	// Engine accumulates fixpoint statistics from insertion propagation
 	// and re-derivation.
 	Engine engine.Stats
+
+	// Exchange-pass accounting. Publications is the number of bus
+	// publications this operation consumed; EditsIn the edit-log entries
+	// entering NetEffect; EditsCancelled how many of them net-effect
+	// coalescing discharged without propagation (insert+delete pairs and
+	// already-satisfied edits).
+	Publications   int
+	EditsIn        int
+	EditsCancelled int
+	// Phase wall-clock nanoseconds: bus fetch, net-effect computation,
+	// deletion propagation, insertion propagation.
+	FetchNS, NetEffectNS, DeleteNS, InsertNS int64
 }
 
 // Add accumulates other into s.
@@ -65,6 +78,22 @@ func (s *ApplyStats) Add(other ApplyStats) {
 	s.Checked += other.Checked
 	s.Rederived += other.Rederived
 	s.Engine.Add(other.Engine)
+	s.Publications += other.Publications
+	s.EditsIn += other.EditsIn
+	s.EditsCancelled += other.EditsCancelled
+	s.FetchNS += other.FetchNS
+	s.NetEffectNS += other.NetEffectNS
+	s.DeleteNS += other.DeleteNS
+	s.InsertNS += other.InsertNS
+}
+
+// CancellationRatio is the fraction of incoming edits that net-effect
+// coalescing discharged without propagation (0 when no edits came in).
+func (s *ApplyStats) CancellationRatio() float64 {
+	if s.EditsIn == 0 {
+		return 0
+	}
+	return float64(s.EditsCancelled) / float64(s.EditsIn)
 }
 
 // FullRecompute discards all derived state (inputs, outputs, provenance)
@@ -98,11 +127,19 @@ func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, e
 // ApplyEditsContext is ApplyEdits with cancellation plumbed through the
 // propagation fixpoints.
 func (v *View) ApplyEditsContext(ctx context.Context, log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
+	neStart := time.Now()
 	dl, dr, err := NetEffect(log, v.db, v.baseTrustFilter())
+	neNS := time.Since(neStart).Nanoseconds()
 	if err != nil {
-		return ApplyStats{}, err
+		return ApplyStats{EditsIn: len(log), NetEffectNS: neNS}, err
 	}
-	return v.ApplyBaseContext(ctx, dl, dr, strategy)
+	stats, err := v.ApplyBaseContext(ctx, dl, dr, strategy)
+	stats.EditsIn += len(log)
+	if cancelled := len(log) - dl.Size() - dr.Size(); cancelled > 0 {
+		stats.EditsCancelled += cancelled
+	}
+	stats.NetEffectNS += neNS
+	return stats, err
 }
 
 // ApplyBase applies base-table deltas: dl over local-contribution tables,
@@ -125,27 +162,37 @@ func (v *View) ApplyBaseContext(ctx context.Context, dl, dr storage.DeltaSet, st
 	}
 	v.dirty = true
 
+	delStart := time.Now()
 	switch strategy {
 	case DeleteRecompute:
-		// Apply every base change, then rebuild.
+		// Apply every base change, then rebuild. The whole rebuild counts
+		// as the deletion phase: recompute has no separate insertion pass.
 		v.applyBaseChanges(dl, dr, &stats)
 		es, err := v.FullRecomputeContext(ctx)
 		stats.Engine.Add(es)
+		stats.DeleteNS += time.Since(delStart).Nanoseconds()
 		if err != nil {
 			return stats, err
 		}
 		v.dirty = false
 		return stats, nil
 	case DeleteDRed:
-		if err := v.deleteDRed(ctx, dl, dr, &stats); err != nil {
+		err := v.deleteDRed(ctx, dl, dr, &stats)
+		stats.DeleteNS += time.Since(delStart).Nanoseconds()
+		if err != nil {
 			return stats, err
 		}
 	default:
-		if err := v.deleteProvenance(ctx, dl, dr, &stats); err != nil {
+		err := v.deleteProvenance(ctx, dl, dr, &stats)
+		stats.DeleteNS += time.Since(delStart).Nanoseconds()
+		if err != nil {
 			return stats, err
 		}
 	}
-	if err := v.insertIncremental(ctx, dl, dr, &stats); err != nil {
+	insStart := time.Now()
+	err := v.insertIncremental(ctx, dl, dr, &stats)
+	stats.InsertNS += time.Since(insStart).Nanoseconds()
+	if err != nil {
 		return stats, err
 	}
 	v.dirty = false

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/storage"
@@ -48,6 +49,9 @@ type Stats struct {
 	TransientBuilds int
 	// RuleFires counts rule-plan invocations.
 	RuleFires int
+	// EvalNS is wall-clock nanoseconds spent inside evaluator entry
+	// points (fixpoint loops and propagation), summed when accumulated.
+	EvalNS int64
 }
 
 // Add accumulates other into s.
@@ -57,6 +61,7 @@ func (s *Stats) Add(other Stats) {
 	s.Probes += other.Probes
 	s.TransientBuilds += other.TransientBuilds
 	s.RuleFires += other.RuleFires
+	s.EvalNS += other.EvalNS
 }
 
 // deltaEntry pairs a body predicate with the delta plans of its positive
@@ -195,8 +200,9 @@ func (ev *Evaluator) Run() (Stats, error) {
 // RunContext is Run with cancellation: the fixpoint loop stops between
 // rounds when ctx is done, returning ctx.Err(). Tables may then hold a
 // partially propagated state; callers that continue must recompute.
-func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
-	var stats Stats
+func (ev *Evaluator) RunContext(ctx context.Context) (stats Stats, err error) {
+	start := time.Now()
+	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	for _, st := range ev.strata {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -238,8 +244,9 @@ func (ev *Evaluator) RunContext(ctx context.Context) (Stats, error) {
 // The caller must guarantee the database is already a fixpoint of the
 // non-included rules (true for a view that was clean before the rules
 // were added); otherwise their derivations are not re-examined.
-func (ev *Evaluator) RunRulesContext(ctx context.Context, include func(ruleID string) bool) (Stats, error) {
-	var stats Stats
+func (ev *Evaluator) RunRulesContext(ctx context.Context, include func(ruleID string) bool) (stats Stats, err error) {
+	start := time.Now()
+	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	changed := make(map[string][]value.Row)
 	for _, st := range ev.strata {
 		if err := ctx.Err(); err != nil {
@@ -302,8 +309,9 @@ func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta stora
 // callers that already hold keyed rows. The map is consumed: it seeds the
 // per-stratum change sets and accumulates changes produced in earlier
 // strata, which remain visible to later ones.
-func (ev *Evaluator) PropagateRowsContext(ctx context.Context, pending map[string][]value.Row) (Stats, error) {
-	var stats Stats
+func (ev *Evaluator) PropagateRowsContext(ctx context.Context, pending map[string][]value.Row) (stats Stats, err error) {
+	start := time.Now()
+	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	for _, st := range ev.strata {
 		if err := ev.seminaiveLoop(ctx, st, pending, &stats); err != nil {
 			return stats, err

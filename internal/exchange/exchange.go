@@ -24,6 +24,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"orchestra/internal/obs"
 )
 
 // Task is one view's exchange pass, identified by its owner. Run is
@@ -35,9 +38,24 @@ type Task[R any] struct {
 	Run   func(ctx context.Context) (R, error)
 }
 
+// Metrics holds the scheduler's instruments. The zero value (all nil)
+// disables everything: obs instruments are nil-safe, so emission in the
+// worker loop costs nothing when unset.
+type Metrics struct {
+	// QueueDepth tracks tasks accepted by Run but not yet started.
+	QueueDepth *obs.Gauge
+	// BusyWorkers tracks tasks currently executing.
+	BusyWorkers *obs.Gauge
+	// TaskSeconds observes each task's wall clock, in seconds.
+	TaskSeconds *obs.Histogram
+	// TaskFailures counts tasks that returned an error.
+	TaskFailures *obs.Counter
+}
+
 // Scheduler runs exchange tasks over a bounded worker pool.
 type Scheduler[R any] struct {
 	workers int
+	m       Metrics
 }
 
 // NewScheduler returns a scheduler running at most workers tasks
@@ -51,6 +69,24 @@ func NewScheduler[R any](workers int) *Scheduler[R] {
 
 // Workers reports the pool bound.
 func (s *Scheduler[R]) Workers() int { return s.workers }
+
+// SetMetrics installs scheduler instruments. Call it before the first
+// Run; it is not synchronized against concurrent Runs.
+func (s *Scheduler[R]) SetMetrics(m Metrics) { s.m = m }
+
+// runTask executes one task with queue/busy/latency/failure accounting.
+func (s *Scheduler[R]) runTask(ctx context.Context, t Task[R]) (R, error) {
+	s.m.QueueDepth.Add(-1)
+	s.m.BusyWorkers.Add(1)
+	start := time.Now()
+	r, err := t.Run(ctx)
+	s.m.TaskSeconds.Observe(time.Since(start).Seconds())
+	s.m.BusyWorkers.Add(-1)
+	if err != nil {
+		s.m.TaskFailures.Inc()
+	}
+	return r, err
+}
 
 // Run executes every task, at most Workers() concurrently, and returns
 // the per-owner results. Tasks are dispatched in slice order, so a
@@ -72,9 +108,15 @@ func (s *Scheduler[R]) Run(ctx context.Context, tasks []Task[R]) (map[string]R, 
 	if len(tasks) == 0 {
 		return out, nil
 	}
+	s.m.QueueDepth.Add(float64(len(tasks)))
+	var started atomic.Int64
+	// Tasks never started (serial early return, post-failure drain) still
+	// leave the queue when Run returns.
+	defer func() { s.m.QueueDepth.Add(float64(started.Load()) - float64(len(tasks))) }()
 	if s.workers == 1 || len(tasks) == 1 {
 		for _, t := range tasks {
-			r, err := t.Run(ctx)
+			started.Add(1)
+			r, err := s.runTask(ctx, t)
 			out[t.Owner] = r
 			if err != nil {
 				return out, fmt.Errorf("exchange: view %q: %w", t.Owner, err)
@@ -106,7 +148,8 @@ func (s *Scheduler[R]) Run(ctx context.Context, tasks []Task[R]) (map[string]R, 
 				if failed.Load() {
 					continue // drain the queue without starting new passes
 				}
-				r, err := tasks[i].Run(runCtx)
+				started.Add(1)
+				r, err := s.runTask(runCtx, tasks[i])
 				results[i] = result{val: r, err: err, ran: true}
 				if err != nil {
 					failed.Store(true)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"orchestra/internal/obs"
 )
 
 // TestRunAll checks that every task runs exactly once and its result
@@ -161,5 +163,104 @@ func TestRunEmpty(t *testing.T) {
 	}
 	if w := NewScheduler[int](0).Workers(); w < 1 {
 		t.Fatalf("default workers = %d", w)
+	}
+}
+
+// TestRunFailureMatrix pins down the failure semantics the daemon's
+// ExchangeAll relies on, across the error position and the pool width:
+// the root cause is always wrapped and its owner named, every task that
+// STARTED is awaited and reports a result, and with one worker the
+// serial contract holds exactly — tasks after the failing index never
+// start.
+func TestRunFailureMatrix(t *testing.T) {
+	const n = 5
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		for failAt := 0; failAt < n; failAt++ {
+			t.Run(fmt.Sprintf("workers%d_failAt%d", workers, failAt), func(t *testing.T) {
+				var started atomic.Int64
+				var startedSet [n]atomic.Bool
+				tasks := make([]Task[int], n)
+				for i := range tasks {
+					i := i
+					tasks[i] = Task[int]{Owner: fmt.Sprintf("p%d", i), Run: func(ctx context.Context) (int, error) {
+						started.Add(1)
+						startedSet[i].Store(true)
+						if i == failAt {
+							return 0, boom
+						}
+						return i + 1, nil
+					}}
+				}
+				out, err := NewScheduler[int](workers).Run(context.Background(), tasks)
+				if !errors.Is(err, boom) {
+					t.Fatalf("err = %v, want wrapped boom", err)
+				}
+				if !strings.Contains(err.Error(), fmt.Sprintf("%q", fmt.Sprintf("p%d", failAt))) {
+					t.Fatalf("error %v does not name the failing owner p%d", err, failAt)
+				}
+				if workers == 1 {
+					// Serial contract: exactly the prefix through the failure
+					// ran, and exactly its members report results.
+					if got := started.Load(); got != int64(failAt+1) {
+						t.Fatalf("started %d tasks, want %d (prefix through failure)", got, failAt+1)
+					}
+					if len(out) != failAt+1 {
+						t.Fatalf("got %d results, want %d", len(out), failAt+1)
+					}
+				}
+				// Pool width aside: every started task reports a result (the
+				// failing one its zero value), no unstarted task appears.
+				for i := 0; i < n; i++ {
+					owner := fmt.Sprintf("p%d", i)
+					got, ok := out[owner]
+					switch {
+					case ok != startedSet[i].Load():
+						t.Fatalf("task %s: started=%v but in results=%v", owner, startedSet[i].Load(), ok)
+					case ok && i != failAt && got != i+1:
+						t.Fatalf("task %s result = %d, want %d", owner, got, i+1)
+					case ok && i == failAt && got != 0:
+						t.Fatalf("failing task %s result = %d, want zero value", owner, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRunMetricsAccounting checks the scheduler's instrument discipline
+// around a mid-run failure: the queue always drains to zero (skipped
+// tasks included), busy workers return to zero, every started task is
+// observed, and exactly the genuine failures are counted.
+func TestRunMetricsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := Metrics{
+		QueueDepth:   reg.Gauge("queue", "q"),
+		BusyWorkers:  reg.Gauge("busy", "b"),
+		TaskSeconds:  reg.Histogram("dur", "d", obs.DurationBuckets()),
+		TaskFailures: reg.Counter("fail", "f"),
+	}
+	boom := errors.New("boom")
+	tasks := []Task[int]{
+		{Owner: "a", Run: func(ctx context.Context) (int, error) { return 1, nil }},
+		{Owner: "b", Run: func(ctx context.Context) (int, error) { return 0, boom }},
+		{Owner: "c", Run: func(ctx context.Context) (int, error) { return 3, nil }},
+	}
+	s := NewScheduler[int](1)
+	s.SetMetrics(m)
+	if _, err := s.Run(context.Background(), tasks); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if v := m.QueueDepth.Value(); v != 0 {
+		t.Fatalf("queue depth after Run = %v, want 0 (skipped tasks must drain)", v)
+	}
+	if v := m.BusyWorkers.Value(); v != 0 {
+		t.Fatalf("busy workers after Run = %v, want 0", v)
+	}
+	if c := m.TaskSeconds.Count(); c != 2 {
+		t.Fatalf("observed %d task durations, want 2 (c never started)", c)
+	}
+	if f := m.TaskFailures.Value(); f != 1 {
+		t.Fatalf("failures = %d, want 1", f)
 	}
 }

@@ -40,25 +40,37 @@ var Blocking = map[string]string{
 	"(orchestra/internal/core.View).Repair":        "runs maintenance fixpoints",
 	"(orchestra/internal/core.View).FullRecompute": "recomputes the instance from scratch",
 	// Exchange and bus round trips (may traverse HTTP on a remote bus).
-	"orchestra/internal/core.ExchangeInto":                    "replays bus publications through maintenance fixpoints",
-	"orchestra/internal/core.ExchangeCoalesced":               "replays the pending run through maintenance fixpoints",
-	"orchestra/internal/core.PublishTo":                       "bus round trip",
-	"orchestra/internal/core.BusLen":                          "bus round trip",
-	"(orchestra/internal/core.PublicationBus).Append":         "bus round trip",
-	"(orchestra/internal/core.PublicationBus).FetchSince":     "bus round trip",
-	"(orchestra/internal/core.PublicationBus).Len":            "bus round trip",
-	"(orchestra/internal/share.Bus).Append":                   "HTTP round trip",
-	"(orchestra/internal/share.Bus).FetchSince":               "HTTP round trip",
-	"(orchestra/internal/share.Bus).Len":                      "HTTP round trip",
+	"orchestra/internal/core.ExchangeInto":                "replays bus publications through maintenance fixpoints",
+	"orchestra/internal/core.ExchangeCoalesced":           "replays the pending run through maintenance fixpoints",
+	"orchestra/internal/core.PublishTo":                   "bus round trip",
+	"orchestra/internal/core.BusLen":                      "bus round trip",
+	"(orchestra/internal/core.PublicationBus).Append":     "bus round trip",
+	"(orchestra/internal/core.PublicationBus).FetchSince": "bus round trip",
+	"(orchestra/internal/core.PublicationBus).Len":        "bus round trip",
+	"(orchestra/internal/share.Bus).Append":               "HTTP round trip",
+	"(orchestra/internal/share.Bus).FetchSince":           "HTTP round trip",
+	"(orchestra/internal/share.Bus).Len":                  "HTTP round trip",
 	// Durability (fsync under the System lock stalls every view reader).
-	"orchestra/internal/statestore.Open":                      "reads and validates the checkpoint directory",
-	"(orchestra/internal/statestore.Store).SaveView":          "writes and fsyncs a snapshot",
+	"orchestra/internal/statestore.Open":                       "reads and validates the checkpoint directory",
+	"(orchestra/internal/statestore.Store).SaveView":           "writes and fsyncs a snapshot",
 	"(orchestra/internal/statestore.Store).SetSpecFingerprint": "rewrites and fsyncs the manifest",
-	"(orchestra/internal/statestore.Store).Remove":            "rewrites and fsyncs the manifest",
-	"orchestra/internal/logstore.Open":                        "replays the publication log",
-	"orchestra/internal/logstore.OpenBus":                     "replays the publication log",
-	"(orchestra/internal/logstore.Store).Append":              "writes and fsyncs a log frame",
-	"(orchestra/internal/logstore.Bus).Append":                "writes and fsyncs a log frame",
+	"(orchestra/internal/statestore.Store).Remove":             "rewrites and fsyncs the manifest",
+	"orchestra/internal/logstore.Open":                         "replays the publication log",
+	"orchestra/internal/logstore.OpenBus":                      "replays the publication log",
+	"(orchestra/internal/logstore.Store).Append":               "writes and fsyncs a log frame",
+	"(orchestra/internal/logstore.Bus).Append":                 "writes and fsyncs a log frame",
+	// Observability registration and rendering (PR 7). Registering an
+	// instrument takes the registry lock and may allocate; rendering
+	// walks every series; the trace ring buffer takes its own mutex.
+	// Hot paths under System.mu may only touch pre-resolved instrument
+	// handles (Inc/Add/Set/Observe are lock-free atomics and stay legal).
+	"(orchestra/internal/obs.Registry).Counter":         "registry lookup takes the registry lock",
+	"(orchestra/internal/obs.Registry).Gauge":           "registry lookup takes the registry lock",
+	"(orchestra/internal/obs.Registry).GaugeFunc":       "registry lookup takes the registry lock",
+	"(orchestra/internal/obs.Registry).Histogram":       "registry lookup takes the registry lock",
+	"(orchestra/internal/obs.Registry).WritePrometheus": "renders every registered series",
+	"(orchestra/internal/obs.Tracer).Add":               "takes the trace ring-buffer lock",
+	"(orchestra/internal/obs.Tracer).Last":              "copies traces under the ring-buffer lock",
 	// Generic blockers.
 	"(net/http.Client).Do":   "HTTP round trip",
 	"(net/http.Client).Get":  "HTTP round trip",

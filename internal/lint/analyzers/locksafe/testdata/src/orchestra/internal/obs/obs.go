@@ -1,0 +1,41 @@
+// Stub of orchestra/internal/obs: just enough surface for locksafe's
+// qualified-name checks. Registration and rendering block; emission
+// (Inc/Add/Set/Observe) is atomics-only and allowed under the lock.
+package obs
+
+import "io"
+
+type Label struct{ Key, Value string }
+
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type Counter struct{}
+
+func (c *Counter) Inc()        {}
+func (c *Counter) Add(n int64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge     { return &Gauge{} }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+}
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) WritePrometheus(w io.Writer) error { return nil }
+
+type PassTrace struct{}
+
+type Tracer struct{}
+
+func (t *Tracer) Add(p *PassTrace)        {}
+func (t *Tracer) Last(n int) []*PassTrace { return nil }

@@ -7,12 +7,16 @@ import (
 	"time"
 
 	"orchestra/internal/core"
+	"orchestra/internal/obs"
 )
 
 type System struct {
-	mu    sync.RWMutex
-	spec  *core.Spec
-	views map[string]*core.View
+	mu     sync.RWMutex
+	spec   *core.Spec
+	views  map[string]*core.View
+	reg    *obs.Registry
+	passes *obs.Counter
+	tracer *obs.Tracer
 }
 
 func (s *System) compileUnderLock(owner string) error {
@@ -85,6 +89,40 @@ func (s *System) spawn() {
 	go func() {
 		time.Sleep(time.Millisecond)
 	}()
+}
+
+// registerUnderLock: instrument registration takes the registry lock
+// and must stay outside the System's critical sections (PR 7).
+func (s *System) registerUnderLock(owner string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.reg.Counter("orchestra_exchange_passes_total", "passes", obs.L("view", owner)) // want "Counter .* called while s.mu"
+	c.Inc()
+}
+
+// traceUnderLock: the trace ring buffer has its own mutex; publishing a
+// pass trace under the System lock nests the two.
+func (s *System) traceUnderLock(p *obs.PassTrace) {
+	s.mu.Lock()
+	s.tracer.Add(p) // want "Add .* called while s.mu"
+	s.mu.Unlock()
+}
+
+// emitUnderLock is the PR 7 discipline: pre-resolved handles emit with
+// atomics only, so emission inside the critical section is legal.
+func (s *System) emitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.passes.Inc()
+	s.passes.Add(2)
+}
+
+// registerOutside resolves the handle first, locks only to install.
+func (s *System) registerOutside(owner string) {
+	c := s.reg.Counter("orchestra_exchange_passes_total", "passes", obs.L("view", owner))
+	s.mu.Lock()
+	s.passes = c
+	s.mu.Unlock()
 }
 
 // box is not a guarded type; blocking under its lock is someone else's

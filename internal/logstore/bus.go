@@ -64,6 +64,9 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	return b.mem.Append(context.Background(), peer, log)
 }
 
+// SetMetrics installs append instruments on the backing log.
+func (b *Bus) SetMetrics(m Metrics) { b.store.SetMetrics(m) }
+
 // FetchSince implements core.PublicationBus.
 func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, int, error) {
 	return b.mem.FetchSince(ctx, cursor)

@@ -25,9 +25,11 @@ import (
 	"log"
 	"os"
 	"sync"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/fslock"
+	"orchestra/internal/obs"
 	"orchestra/internal/value"
 )
 
@@ -44,6 +46,18 @@ type Publication struct {
 	Log  core.EditLog
 }
 
+// Metrics holds the log's instruments. The zero value disables all of
+// them (obs instruments are nil-safe).
+type Metrics struct {
+	// AppendSeconds observes each append's wall clock — encode, write,
+	// and fsync — in seconds.
+	AppendSeconds *obs.Histogram
+	// AppendBytes counts frame bytes written (length prefix included).
+	AppendBytes *obs.Counter
+	// AppendFailures counts appends that returned an error.
+	AppendFailures *obs.Counter
+}
+
 // Store is an append-only publication log backed by a file. It is safe
 // for concurrent use.
 type Store struct {
@@ -52,6 +66,15 @@ type Store struct {
 	path     string
 	n        int   // records appended (including those found at open)
 	repaired int64 // bytes of torn tail dropped by Open's recovery
+	metrics  Metrics
+}
+
+// SetMetrics installs append instruments. Call it right after Open; it
+// is not synchronized against concurrent Appends.
+func (s *Store) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
 }
 
 // Open opens (or creates) a store at path. A file whose tail frame was
@@ -131,6 +154,35 @@ func Open(path string) (*Store, error) {
 	return st, nil
 }
 
+// ReadLen counts the publications in the log at path without taking
+// the writer lock, so inspection tooling (`orchestra stats`) can look
+// at a log a live Bus holds open. Appends are frame-at-a-time, so the
+// count is always a consistent prefix — possibly one publication
+// behind the writer, and a torn tail (crash mid-append) is ignored the
+// same way Open's recovery would drop it. A missing file is an empty
+// log.
+func ReadLen(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	} else if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if info.Size() == 0 {
+		return 0, nil
+	}
+	pubs, _, _, err := scanLenient(f, info.Size())
+	if err != nil {
+		return 0, err
+	}
+	return len(pubs), nil
+}
+
 // RepairedBytes reports how many bytes of torn tail Open dropped while
 // recovering this store (0 when the file was clean).
 func (s *Store) RepairedBytes() int64 {
@@ -162,7 +214,14 @@ func (s *Store) Append(peer string, log core.EditLog) error {
 
 // appendLocked is Append with s.mu already held — for callers (Bus)
 // that need the file write and a follow-up action under one lock.
-func (s *Store) appendLocked(peer string, log core.EditLog) error {
+func (s *Store) appendLocked(peer string, log core.EditLog) (err error) {
+	start := time.Now()
+	defer func() {
+		s.metrics.AppendSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.metrics.AppendFailures.Inc()
+		}
+	}()
 	frame, err := encodeFrame(peer, log)
 	if err != nil {
 		return err
@@ -185,6 +244,7 @@ func (s *Store) appendLocked(peer string, log core.EditLog) error {
 		return err
 	}
 	s.n++
+	s.metrics.AppendBytes.Add(int64(len(lenBuf) + len(frame)))
 	return nil
 }
 

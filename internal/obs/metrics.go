@@ -1,0 +1,333 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry (counters, gauges, histograms with fixed exponential
+// buckets) rendered in the Prometheus text exposition format, and
+// structured per-pass exchange tracing (trace.go).
+//
+// The design splits registration from emission. Registration — looking
+// up or creating a series under the registry lock — happens once, at
+// component construction time, and hands back a typed instrument
+// handle. Emission — Counter.Add, Gauge.Set, Histogram.Observe — is a
+// handful of atomic operations on that handle: no locks, no maps, no
+// allocation, so instrumented hot paths (exchange passes, log appends,
+// semi-naive rounds) pay nanoseconds whether or not anything ever
+// scrapes the registry. Every emission method is additionally nil-safe:
+// a nil instrument is a no-op, so code paths are instrumented
+// unconditionally and pay nothing when observability is off.
+//
+// The locksafe analyzer enforces the other half of the contract:
+// registration and rendering (which do lock and allocate) are on its
+// blocking-call list and may not run inside orchestra.System.mu
+// critical sections; emission may.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value pair attached to a series. Series identity is
+// (name, sorted labels).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing series. The zero value is
+// usable; emission on a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a series that can go up and down. The zero value is usable;
+// emission on a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-exponential-bucket distribution. Observe is
+// lock-free: a binary search over the (immutable) bucket bounds plus
+// three atomic adds. The zero value is NOT usable — histograms carry
+// their bucket layout — but emission on a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+// ExpBuckets builds n exponential upper bounds: start, start*factor,
+// start*factor², … — the fixed layouts the registry's histograms use.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n < 1 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	cur := start
+	for i := range out {
+		out[i] = cur
+		cur *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default layout for operation latencies:
+// 20 exponential buckets from 10µs to ~5.2s (factor 2), in seconds.
+func DurationBuckets() []float64 { return ExpBuckets(10e-6, 2, 20) }
+
+// SizeBuckets is the default layout for byte sizes: 10 exponential
+// buckets from 64B to ~16MB (factor 4), in bytes.
+func SizeBuckets() []float64 { return ExpBuckets(64, 4, 10) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(h.buckets) {
+		h.buckets[lo].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricKind discriminates families for TYPE lines and rendering.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// series is one registered (name, labels) instrument.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	fn     func() float64
+	hist   *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds registered metric families. Registration methods are
+// idempotent — asking for an already-registered (name, labels) series
+// returns the existing instrument — and safe for concurrent use, but
+// they lock and allocate: resolve instruments at construction time,
+// never on a hot path or while holding orchestra.System.mu (locksafe
+// enforces the latter).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// labelsKey canonicalizes a label set (sorted by key).
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// lookup finds or creates the family and series slot for (name, labels),
+// returning the series and whether it already existed.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) (*series, bool) {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.byName[name] = fam
+		r.families = append(r.families, fam)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", name))
+	}
+	want := labelsKey(sorted)
+	for _, s := range fam.series {
+		if labelsKey(s.labels) == want {
+			return s, true
+		}
+	}
+	s := &series{labels: sorted}
+	fam.series = append(fam.series, s)
+	return s, false
+}
+
+// Counter registers (or returns the existing) counter series. A nil
+// *Registry returns a nil instrument, so emission stays a no-op.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, help, kindCounter, labels)
+	if !ok {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, help, kindGauge, labels)
+	if !ok {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series whose value is computed at scrape
+// time by fn. fn must be safe for concurrent use and non-blocking
+// (scrapes call it while holding the registry lock). Re-registering an
+// existing (name, labels) replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.lookup(name, help, kindGaugeFunc, labels)
+	s.fn = fn
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given ascending bucket upper bounds (see ExpBuckets); a final
+// +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.lookup(name, help, kindHistogram, labels)
+	if !ok {
+		s.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			// buckets[len(bounds)] is the implicit +Inf overflow bucket.
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return s.hist
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE lines, then
+// one line per series, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Families render in registration order,
+// series in sorted-label order, so successive scrapes of an unchanged
+// registry are byte-identical.
+//
+// Rendering reads every series under the registry lock (and calls
+// GaugeFunc callbacks); it is a scrape-path operation, never a hot-path
+// one, and locksafe keeps it out of System.mu critical sections.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fam := range r.families {
+		typ := "counter"
+		switch fam.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if fam.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, typ); err != nil {
+			return err
+		}
+		ordered := append([]*series(nil), fam.series...)
+		sort.Slice(ordered, func(i, j int) bool {
+			return labelsKey(ordered[i].labels) < labelsKey(ordered[j].labels)
+		})
+		for _, s := range ordered {
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam *family, s *series) error {
+	switch fam.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, renderLabels(s.labels, "", 0), s.ctr.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(s.labels, "", 0), formatFloat(s.gauge.Value()))
+		return err
+	case kindGaugeFunc:
+		v := 0.0
+		if s.fn != nil {
+			v = s.fn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(s.labels, "", 0), formatFloat(v))
+		return err
+	case kindHistogram:
+		h := s.hist
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(s.labels, "le", bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, renderLabels(s.labels, "le", math.Inf(1)), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(s.labels, "", 0), formatFloat(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(s.labels, "", 0), h.Count())
+		return err
+	}
+	return nil
+}
+
+// renderLabels renders {k="v",...}; leKey != "" appends the histogram
+// le label with the given bound.
+func renderLabels(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest representation, NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

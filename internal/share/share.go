@@ -25,8 +25,21 @@ import (
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/obs"
 	"orchestra/internal/value"
 )
+
+// Metrics holds the publication service's instruments. The zero value
+// disables all of them (obs instruments are nil-safe).
+type Metrics struct {
+	// PublishAccepted counts publications admitted to the sequence.
+	PublishAccepted *obs.Counter
+	// PublishRejected counts publications refused by validation (422).
+	PublishRejected *obs.Counter
+	// PublishFailed counts publications that passed validation but could
+	// not be persisted (500).
+	PublishFailed *obs.Counter
+}
 
 // wireEdit is one edit on the wire.
 type wireEdit struct {
@@ -101,7 +114,13 @@ type Server struct {
 	// notify, when non-nil, is called (outside the lock) after each
 	// accepted publication; see OnPublish.
 	notify func()
+
+	metrics Metrics
 }
+
+// SetMetrics installs publish instruments. Call it before the server
+// starts serving; it is not synchronized against in-flight requests.
+func (s *Server) SetMetrics(m Metrics) { s.metrics = m }
 
 // NewServer returns an empty in-memory publication service.
 func NewServer() *Server { return &Server{} }
@@ -187,16 +206,19 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if validate != nil {
 		if err := validate(peer, log); err != nil {
+			s.metrics.PublishRejected.Inc()
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
 	}
 	if s.Persist != nil {
 		if err := s.Persist(peer, log); err != nil {
+			s.metrics.PublishFailed.Inc()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
+	s.metrics.PublishAccepted.Inc()
 	s.mu.Lock()
 	s.pubs = append(s.pubs, wp)
 	n := len(s.pubs)

@@ -44,8 +44,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"orchestra/internal/fslock"
+	"orchestra/internal/obs"
 )
 
 const (
@@ -76,6 +79,17 @@ type manifest struct {
 	Views map[string]*ViewState `json:"views"`
 }
 
+// Metrics holds the store's instruments. The zero value disables all of
+// them (obs instruments are nil-safe).
+type Metrics struct {
+	// CheckpointSeconds observes each SaveView's wall clock, in seconds.
+	CheckpointSeconds *obs.Histogram
+	// CheckpointBytes observes each snapshot's payload size, in bytes.
+	CheckpointBytes *obs.Histogram
+	// CheckpointFailures counts SaveView calls that returned an error.
+	CheckpointFailures *obs.Counter
+}
+
 // Store is a crash-safe checkpoint directory for one system's views.
 // It is safe for concurrent use; callers additionally serialize
 // snapshot writes per view (the facade holds the view's lock across
@@ -84,8 +98,25 @@ type Store struct {
 	dir  string
 	lock *os.File // holds the directory's advisory lock until Close
 
+	// lastSave is the unix-nano time of the last successful SaveView
+	// (the Open time until then), read lock-free by checkpoint-age
+	// gauges.
+	lastSave atomic.Int64
+	metrics  Metrics
+
 	mu sync.Mutex
 	m  manifest
+}
+
+// SetMetrics installs checkpoint instruments. Call it right after Open;
+// it is not synchronized against concurrent SaveViews.
+func (s *Store) SetMetrics(m Metrics) { s.metrics = m }
+
+// LastSaveTime reports when the store last committed a snapshot (the
+// Open time if it never has). Safe to call from metric callbacks — it
+// reads one atomic.
+func (s *Store) LastSaveTime() time.Time {
+	return time.Unix(0, s.lastSave.Load())
 }
 
 // Open opens (creating if needed) a checkpoint directory and loads its
@@ -109,6 +140,7 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, lock: lock, m: manifest{Version: manifestVersion, Views: map[string]*ViewState{}}}
+	s.lastSave.Store(time.Now().UnixNano())
 	// A crash between CreateTemp and rename orphans a temp file; nothing
 	// references it, so sweep the debris of earlier runs. The lock above
 	// guarantees these cannot be a live writer's in-flight files.
@@ -143,6 +175,43 @@ func Open(dir string) (*Store, error) {
 	}
 	s.m = m
 	return s, nil
+}
+
+// ManifestInfo is a read-only peek at a checkpoint directory's
+// manifest.
+type ManifestInfo struct {
+	Spec  string
+	Views []ViewState
+}
+
+// ReadManifest reads a checkpoint directory's manifest without taking
+// the directory lock, for inspection tooling (`orchestra stats`) that
+// must coexist with a live Store holding the exclusive lock. The
+// manifest is replaced atomically (temp + rename), so the read is
+// always internally consistent — just possibly one checkpoint behind
+// the live writer. A directory without a manifest is an empty store.
+func ReadManifest(dir string) (ManifestInfo, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return ManifestInfo{}, nil
+	} else if err != nil {
+		return ManifestInfo{}, fmt.Errorf("statestore: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return ManifestInfo{}, fmt.Errorf("statestore: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return ManifestInfo{}, fmt.Errorf("statestore: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	info := ManifestInfo{Spec: m.Spec}
+	for _, vs := range m.Views {
+		if vs != nil {
+			info.Views = append(info.Views, *vs)
+		}
+	}
+	sort.Slice(info.Views, func(i, j int) bool { return info.Views[i].Owner < info.Views[j].Owner })
+	return info, nil
 }
 
 // Close releases the directory lock. The Store must not be used after
@@ -224,6 +293,18 @@ func (s *Store) View(owner string) (ViewState, bool) {
 // per-view snapshots are then discarded at recovery). Cursor
 // regressions are rejected.
 func (s *Store) SaveView(owner string, cursor int, specFP string, write func(io.Writer) error) error {
+	start := time.Now()
+	err := s.saveView(owner, cursor, specFP, write)
+	s.metrics.CheckpointSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.metrics.CheckpointFailures.Inc()
+		return err
+	}
+	s.lastSave.Store(time.Now().UnixNano())
+	return nil
+}
+
+func (s *Store) saveView(owner string, cursor int, specFP string, write func(io.Writer) error) error {
 	if cursor < 0 {
 		return fmt.Errorf("statestore: negative cursor %d for view %q", cursor, owner)
 	}
@@ -231,6 +312,7 @@ func (s *Store) SaveView(owner string, cursor int, specFP string, write func(io.
 	if err := write(&payload); err != nil {
 		return fmt.Errorf("statestore: encoding snapshot for view %q: %w", owner, err)
 	}
+	s.metrics.CheckpointBytes.Observe(float64(payload.Len()))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

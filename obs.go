@@ -1,0 +1,391 @@
+package orchestra
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/exchange"
+	"orchestra/internal/logstore"
+	"orchestra/internal/obs"
+	"orchestra/internal/statestore"
+)
+
+// The operations-plane vocabulary (see internal/obs). An Observability
+// value bundles a metrics registry with a pass tracer; attach one to a
+// System with WithObservability and to a BusServer with EnableMetrics,
+// then serve the registry as Prometheus text (Registry().WritePrometheus)
+// and the tracer's recent passes as JSON span trees (cmd/orchestrad does
+// both, on /metrics and /debug/trace).
+type (
+	// Observability is the metrics registry + pass tracer bundle.
+	Observability = obs.Observability
+	// MetricsRegistry is the registry half: counters, gauges, and
+	// histograms with Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// ExchangeTrace is the structured trace of one exchange pass.
+	ExchangeTrace = obs.PassTrace
+	// ViewPass is one view's slice of an ExchangeTrace.
+	ViewPass = obs.ViewPass
+	// TraceSpan is one node of a rendered span tree.
+	TraceSpan = obs.Span
+)
+
+// NewObservability builds a fresh operations plane retaining the last
+// traceCap exchange traces (<= 0 selects the default of 64). Use one
+// Observability per System: per-system gauges (bus horizon, checkpoint
+// age) are registered against the bundle's registry, and a second
+// System registering the same names would silently share series.
+func NewObservability(traceCap int) *Observability { return obs.NewObservability(traceCap) }
+
+// systemObs is the System's pre-resolved instrument bundle. Everything
+// here is either an atomic-emission instrument or a plain atomic the
+// GaugeFuncs read, so updating it from exchange hot paths never locks;
+// registration (which does lock and allocate) happens once, in
+// newSystemObs / ensureView, always outside s.mu critical sections. A
+// nil *systemObs disables everything: all methods are nil-safe.
+type systemObs struct {
+	bundle *obs.Observability
+
+	// Per-pass instruments, pre-resolved per kind ("exchange" /
+	// "exchange_all") so finishPass never touches the registry.
+	passSeconds  map[string]*obs.Histogram
+	passes       map[string]*obs.Counter
+	passFailures map[string]*obs.Counter
+
+	pubsConsumed    *obs.Counter
+	editsIn         *obs.Counter
+	editsCancelled  *obs.Counter
+	cancellation    *obs.Gauge
+	tuplesDeleted   *obs.Counter
+	provRowsDeleted *obs.Counter
+	derived         *obs.Counter
+
+	// horizon is the highest bus length any pass (or Stats poll) has
+	// observed; per-view bus-lag gauges read it against the view's
+	// mirrored cursor.
+	horizon atomic.Int64
+
+	mu    sync.Mutex
+	views map[string]*viewObs
+}
+
+// viewObs mirrors one view's cursor into an atomic so GaugeFuncs can
+// read it without the view's lock.
+type viewObs struct {
+	cursor atomic.Int64
+}
+
+const passKindExchange, passKindExchangeAll = "exchange", "exchange_all"
+
+// newSystemObs registers the System's pass-level instruments in the
+// bundle's registry.
+func newSystemObs(o *obs.Observability) *systemObs {
+	r := o.Registry()
+	x := &systemObs{
+		bundle:       o,
+		passSeconds:  make(map[string]*obs.Histogram, 2),
+		passes:       make(map[string]*obs.Counter, 2),
+		passFailures: make(map[string]*obs.Counter, 2),
+		views:        make(map[string]*viewObs),
+	}
+	for _, kind := range []string{passKindExchange, passKindExchangeAll} {
+		lbl := obs.L("kind", kind)
+		x.passSeconds[kind] = r.Histogram("orchestra_exchange_pass_duration_seconds",
+			"Wall clock of one update-exchange pass.", obs.DurationBuckets(), lbl)
+		x.passes[kind] = r.Counter("orchestra_exchange_passes_total",
+			"Update-exchange passes completed (including failed ones).", lbl)
+		x.passFailures[kind] = r.Counter("orchestra_exchange_pass_failures_total",
+			"Update-exchange passes that returned an error.", lbl)
+	}
+	x.pubsConsumed = r.Counter("orchestra_exchange_publications_total",
+		"Bus publications consumed by exchange passes.")
+	x.editsIn = r.Counter("orchestra_exchange_edits_total",
+		"Edit-log entries entering net-effect coalescing.")
+	x.editsCancelled = r.Counter("orchestra_exchange_edits_cancelled_total",
+		"Edits net-effect coalescing discharged without propagation.")
+	x.cancellation = r.Gauge("orchestra_coalesce_cancellation_ratio",
+		"Cancellation ratio of the most recent exchange that saw edits.")
+	x.tuplesDeleted = r.Counter("orchestra_exchange_tuples_deleted_total",
+		"Derived tuples removed by deletion propagation.")
+	x.provRowsDeleted = r.Counter("orchestra_exchange_prov_rows_deleted_total",
+		"Provenance rows removed by deletion propagation.")
+	x.derived = r.Counter("orchestra_engine_derived_total",
+		"Tuples derived by engine fixpoints during exchange.")
+	r.GaugeFunc("orchestra_bus_horizon",
+		"Highest bus publication count this system has observed.",
+		func() float64 { return float64(x.horizon.Load()) })
+	return x
+}
+
+// ensureView returns (registering on first sight) the owner's cursor
+// mirror and its gauges. Idempotent and nil-safe; callers invoke it
+// outside s.mu because registration locks the registry.
+func (x *systemObs) ensureView(owner string) *viewObs {
+	if x == nil {
+		return nil
+	}
+	x.mu.Lock()
+	vo, ok := x.views[owner]
+	if !ok {
+		vo = &viewObs{}
+		x.views[owner] = vo
+	}
+	x.mu.Unlock()
+	if !ok {
+		label := owner
+		if label == "" {
+			label = "(global)"
+		}
+		r := x.bundle.Registry()
+		r.GaugeFunc("orchestra_view_cursor",
+			"Bus cursor of the view's last completed exchange.",
+			func() float64 { return float64(vo.cursor.Load()) }, obs.L("view", label))
+		r.GaugeFunc("orchestra_bus_lag",
+			"Publications on the bus the view has not yet applied.",
+			func() float64 { return max(float64(x.horizon.Load()-vo.cursor.Load()), 0) },
+			obs.L("view", label))
+	}
+	return vo
+}
+
+// raiseHorizon lifts the observed bus length monotonically.
+func (x *systemObs) raiseHorizon(n int64) {
+	if x == nil {
+		return
+	}
+	for {
+		cur := x.horizon.Load()
+		if n <= cur || x.horizon.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// recordView accounts one view's completed (or failed) exchange pass:
+// counters, the cursor mirror, and — when the pass is traced — a
+// ViewPass appended to the trace. Runs under the view's lock but never
+// under s.mu; emission is atomics only.
+func (x *systemObs) recordView(pass *obs.PassTrace, owner string, st ApplyStats, wall, ckpt time.Duration, cursor int, err error) {
+	if x == nil {
+		return
+	}
+	vo := x.ensureView(owner)
+	vo.cursor.Store(int64(cursor))
+	x.raiseHorizon(int64(cursor))
+	x.pubsConsumed.Add(int64(st.Publications))
+	x.editsIn.Add(int64(st.EditsIn))
+	x.editsCancelled.Add(int64(st.EditsCancelled))
+	if st.EditsIn > 0 {
+		x.cancellation.Set(st.CancellationRatio())
+	}
+	x.tuplesDeleted.Add(int64(st.TuplesDeleted))
+	x.provRowsDeleted.Add(int64(st.ProvRowsDeleted))
+	x.derived.Add(int64(st.Engine.Derived))
+	if pass == nil {
+		return
+	}
+	vp := obs.ViewPass{
+		Owner:             owner,
+		WallNS:            wall.Nanoseconds(),
+		Publications:      st.Publications,
+		FetchNS:           st.FetchNS,
+		EditsIn:           st.EditsIn,
+		EditsCancelled:    st.EditsCancelled,
+		CancellationRatio: st.CancellationRatio(),
+		NetEffectNS:       st.NetEffectNS,
+		DeleteNS:          st.DeleteNS,
+		TuplesDeleted:     st.TuplesDeleted,
+		ProvRowsDeleted:   st.ProvRowsDeleted,
+		Checked:           st.Checked,
+		Rederived:         st.Rederived,
+		InsertNS:          st.InsertNS,
+		InsL:              st.InsL,
+		DelL:              st.DelL,
+		InsR:              st.InsR,
+		DelR:              st.DelR,
+		Rounds:            st.Engine.Iterations,
+		Derived:           st.Engine.Derived,
+		Probes:            st.Engine.Probes,
+		RuleFires:         st.Engine.RuleFires,
+		EngineNS:          st.Engine.EvalNS,
+		CheckpointNS:      ckpt.Nanoseconds(),
+	}
+	if err != nil {
+		vp.Err = err.Error()
+	}
+	pass.AddView(vp)
+}
+
+// finishPass closes a traced pass: wall clock into the kind's
+// histogram, the trace into the ring.
+func (x *systemObs) finishPass(pass *obs.PassTrace, kind string, err error) {
+	if x == nil {
+		return
+	}
+	x.passes[kind].Inc()
+	if err != nil {
+		x.passFailures[kind].Inc()
+	}
+	if p := pass.Finish(x.bundle.Tracer()); p != nil {
+		x.passSeconds[kind].Observe(float64(p.WallNS) / 1e9)
+	}
+}
+
+// startPass opens a trace for one pass, or returns nil when
+// observability is off (every downstream consumer is nil-safe).
+func (x *systemObs) startPass(kind string) *obs.PassTrace {
+	if x == nil {
+		return nil
+	}
+	return obs.StartPass(kind)
+}
+
+// initObs attaches an operations plane to a freshly built System: the
+// pass-level instruments, the scheduler/statestore/logstore hooks, and
+// cursor mirrors for every recovered view. Runs inside New, before the
+// System is shared, so no locking is needed.
+func (s *System) initObs(o *Observability) {
+	x := newSystemObs(o)
+	s.obsx = x
+	r := o.Registry()
+	s.sched.SetMetrics(exchange.Metrics{
+		QueueDepth: r.Gauge("orchestra_sched_queue_depth",
+			"Exchange tasks accepted by the scheduler but not yet started."),
+		BusyWorkers: r.Gauge("orchestra_sched_busy_workers",
+			"Exchange tasks currently executing."),
+		TaskSeconds: r.Histogram("orchestra_sched_task_duration_seconds",
+			"Wall clock of one scheduled exchange task.", obs.DurationBuckets()),
+		TaskFailures: r.Counter("orchestra_sched_task_failures_total",
+			"Scheduled exchange tasks that returned an error."),
+	})
+	if st := s.store; st != nil {
+		st.SetMetrics(statestore.Metrics{
+			CheckpointSeconds: r.Histogram("orchestra_checkpoint_duration_seconds",
+				"Wall clock of one view checkpoint.", obs.DurationBuckets()),
+			CheckpointBytes: r.Histogram("orchestra_checkpoint_bytes",
+				"Size of one view snapshot payload.", obs.SizeBuckets()),
+			CheckpointFailures: r.Counter("orchestra_checkpoint_failures_total",
+				"View checkpoints that failed."),
+		})
+		r.GaugeFunc("orchestra_checkpoint_age_seconds",
+			"Seconds since the last successful checkpoint (store open counts as one).",
+			func() float64 { return time.Since(st.LastSaveTime()).Seconds() })
+	}
+	if s.ownBus != nil {
+		s.ownBus.SetMetrics(busAppendMetrics(r))
+		x.horizon.Store(int64(s.ownBus.Len()))
+	}
+	for owner, h := range s.views {
+		x.ensureView(owner).cursor.Store(int64(h.cursor))
+	}
+}
+
+// busAppendMetrics resolves the durable-append instruments. Both the
+// System's own FileBus and a BusServer's persistence register the same
+// names, so a node running both in one registry shares the series —
+// appends are appends, whichever side performed them.
+func busAppendMetrics(r *obs.Registry) logstore.Metrics {
+	return logstore.Metrics{
+		AppendSeconds: r.Histogram("orchestra_bus_append_duration_seconds",
+			"Wall clock of one durable publication append (fsync included).", obs.DurationBuckets()),
+		AppendBytes: r.Counter("orchestra_bus_append_bytes_total",
+			"Bytes durably appended to the publication log."),
+		AppendFailures: r.Counter("orchestra_bus_append_failures_total",
+			"Durable publication appends that failed."),
+	}
+}
+
+// Observability returns the bundle attached via WithObservability, or
+// nil when the System runs without one.
+func (s *System) Observability() *Observability {
+	if s.obsx == nil {
+		return nil
+	}
+	return s.obsx.bundle
+}
+
+// ViewStat is one view's row of a SystemStats snapshot.
+type ViewStat struct {
+	Owner  string `json:"owner"`
+	Cursor int    `json:"cursor"`
+	// Pending is the number of bus publications past the cursor.
+	Pending int `json:"pending"`
+	// SinceCheckpoint counts publications applied since the view's last
+	// checkpoint (-1 when the view was busy; see Busy).
+	SinceCheckpoint int `json:"since_checkpoint"`
+	// Busy marks a view whose lock an in-flight operation held when the
+	// snapshot was taken: Cursor then comes from the observability
+	// mirror (last completed exchange; 0 without WithObservability) and
+	// SinceCheckpoint is unknown.
+	Busy bool `json:"busy,omitempty"`
+}
+
+// SystemStats is System.Stats' point-in-time snapshot of the node's
+// operational state.
+type SystemStats struct {
+	// BusLen is the publication count on the System's bus.
+	BusLen int `json:"bus_len"`
+	// SpecGeneration counts applied spec-evolution operations.
+	SpecGeneration int `json:"spec_generation"`
+	// Passes counts exchange passes traced so far (0 without
+	// WithObservability).
+	Passes uint64 `json:"passes"`
+	// LastCheckpoint is the time of the last successful checkpoint
+	// (zero without WithPersistence; store open counts as one).
+	LastCheckpoint time.Time `json:"last_checkpoint"`
+	// Views lists every materialized view, sorted by owner (the global
+	// view's "" first).
+	Views []ViewStat `json:"views"`
+}
+
+// Stats snapshots the System's operational state: bus length, per-view
+// cursors and backlog, and checkpoint recency. It never waits on a
+// busy view — a view whose lock is held mid-exchange is reported with
+// Busy set and its cursor read from the observability mirror — so it
+// is safe to call from a metrics scrape while exchanges run. As a side
+// effect it refreshes the bus-horizon gauge behind the per-view
+// orchestra_bus_lag series.
+func (s *System) Stats(ctx context.Context) (SystemStats, error) {
+	n, err := s.BusLen(ctx)
+	if err != nil {
+		return SystemStats{}, err
+	}
+	out := SystemStats{BusLen: n, SpecGeneration: s.SpecGeneration()}
+	if s.obsx != nil {
+		out.Passes = s.obsx.bundle.Tracer().Count()
+		s.obsx.raiseHorizon(int64(n))
+	}
+	if s.store != nil {
+		out.LastCheckpoint = s.store.LastSaveTime()
+	}
+	s.mu.RLock()
+	handles := make(map[string]*viewHandle, len(s.views))
+	owners := make([]string, 0, len(s.views))
+	for owner, h := range s.views {
+		owners = append(owners, owner)
+		handles[owner] = h
+	}
+	s.mu.RUnlock()
+	sort.Strings(owners)
+	for _, owner := range owners {
+		h := handles[owner]
+		vs := ViewStat{Owner: owner}
+		if h.mu.TryLock() {
+			vs.Cursor = h.cursor
+			vs.SinceCheckpoint = h.sinceCkpt
+			h.mu.Unlock()
+		} else {
+			vs.Busy = true
+			vs.SinceCheckpoint = -1
+			if s.obsx != nil {
+				vs.Cursor = int(s.obsx.ensureView(owner).cursor.Load())
+			}
+		}
+		vs.Pending = max(n-vs.Cursor, 0)
+		out.Views = append(out.Views, vs)
+	}
+	return out, nil
+}

@@ -1,0 +1,208 @@
+package orchestra_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"orchestra"
+)
+
+func obsSystem(t *testing.T, opts ...orchestra.Option) (*orchestra.System, *orchestra.Observability) {
+	t.Helper()
+	o := orchestra.NewObservability(8)
+	sys, err := orchestra.New(parseTestSpec(t), append(opts, orchestra.WithObservability(o))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, o
+}
+
+func publishExample(t *testing.T, sys *orchestra.System) {
+	t.Helper()
+	ctx := context.Background()
+	for _, s := range []struct {
+		peer string
+		log  orchestra.EditLog
+	}{
+		{"PGUS", orchestra.EditLog{
+			orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
+			orchestra.Ins("G", orchestra.MakeTuple(3, 5, 2)),
+		}},
+		{"PBioSQL", orchestra.EditLog{orchestra.Ins("B", orchestra.MakeTuple(3, 5))}},
+		{"PuBio", orchestra.EditLog{orchestra.Ins("U", orchestra.MakeTuple(2, 5))}},
+	} {
+		if err := sys.Publish(ctx, s.peer, s.log); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTraceTimingsSumToPassWallClock is the acceptance criterion for
+// per-pass tracing: on a serial single-view pass, the recorded per-view
+// wall clock accounts for the pass wall clock to within 10%, and the
+// attributed phases never exceed the view's own wall clock.
+func TestTraceTimingsSumToPassWallClock(t *testing.T) {
+	sys, o := obsSystem(t)
+	// Materialize the view first: the first exchange compiles the mapping
+	// program outside the per-view timer, which would dominate the pass.
+	if _, err := sys.Exchange(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	publishExample(t, sys)
+	if _, err := sys.Exchange(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := o.Tracer().Last(1)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	p := traces[0]
+	if p.Kind != "exchange" {
+		t.Fatalf("trace kind = %q, want exchange", p.Kind)
+	}
+	if len(p.Views) != 1 {
+		t.Fatalf("got %d view passes, want 1", len(p.Views))
+	}
+	vp := p.Views[0]
+	if vp.Publications != 3 {
+		t.Fatalf("view pass consumed %d publications, want 3", vp.Publications)
+	}
+	if p.WallNS <= 0 || vp.WallNS <= 0 {
+		t.Fatalf("non-positive wall clocks: pass=%d view=%d", p.WallNS, vp.WallNS)
+	}
+	// A serial pass is one view pass plus dispatch overhead: the view
+	// must account for at least 90% of the pass.
+	if float64(vp.WallNS) < 0.9*float64(p.WallNS) {
+		t.Fatalf("view wall %dns is under 90%% of pass wall %dns", vp.WallNS, p.WallNS)
+	}
+	if vp.WallNS > p.WallNS {
+		t.Fatalf("view wall %dns exceeds pass wall %dns", vp.WallNS, p.WallNS)
+	}
+	// The attributed phases partition work inside the view pass.
+	phases := vp.FetchNS + vp.NetEffectNS + vp.DeleteNS + vp.InsertNS + vp.CheckpointNS
+	if phases > vp.WallNS {
+		t.Fatalf("phase sum %dns exceeds view wall %dns", phases, vp.WallNS)
+	}
+	if vp.InsertNS <= 0 {
+		t.Fatalf("insert phase not timed: %+v", vp)
+	}
+
+	// The span tree mirrors the same numbers.
+	root := p.SpanTree()
+	if root == nil || len(root.Children) != 1 {
+		t.Fatalf("span tree shape wrong: %+v", root)
+	}
+	if root.DurationNS != p.WallNS {
+		t.Fatalf("root span duration %dns != pass wall %dns", root.DurationNS, p.WallNS)
+	}
+}
+
+// TestExchangeAllTraceCoversEveryView checks the shared-pass contract:
+// one exchange_all trace accumulates a view pass for every peer plus
+// the materialized global view.
+func TestExchangeAllTraceCoversEveryView(t *testing.T) {
+	sys, o := obsSystem(t, orchestra.WithExchangeParallelism(4))
+	ctx := context.Background()
+	// Materialize the global view; the peers' views ExchangeAll creates.
+	if _, err := sys.Exchange(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	publishExample(t, sys)
+	if _, err := sys.ExchangeAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	p := o.Tracer().Last(1)[0]
+	if p.Kind != "exchange_all" {
+		t.Fatalf("trace kind = %q, want exchange_all", p.Kind)
+	}
+	want := []string{"", "PGUS", "PBioSQL", "PuBio"}
+	if len(p.Views) != len(want) {
+		t.Fatalf("got %d view passes, want %d: %+v", len(p.Views), len(want), p.Views)
+	}
+	seen := map[string]bool{}
+	for _, vp := range p.Views {
+		seen[vp.Owner] = true
+		if vp.Err != "" {
+			t.Fatalf("view %q pass failed: %s", vp.Owner, vp.Err)
+		}
+	}
+	for _, owner := range want {
+		if !seen[owner] {
+			t.Fatalf("no view pass for %q: %v", owner, seen)
+		}
+	}
+}
+
+// TestStatsAndMetricsExposition checks System.Stats and the Prometheus
+// rendering after real exchanges, including the coalescing ratio from a
+// cancelling insert+delete pair.
+func TestStatsAndMetricsExposition(t *testing.T) {
+	sys, o := obsSystem(t)
+	ctx := context.Background()
+	publishExample(t, sys)
+	// An insert+delete pair that NetEffect cancels before the engine.
+	if err := sys.Publish(ctx, "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(9, 9, 9)),
+		orchestra.Del("G", orchestra.MakeTuple(9, 9, 9)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exchange(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sys.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BusLen != 4 {
+		t.Fatalf("BusLen = %d, want 4", st.BusLen)
+	}
+	if len(st.Views) != 1 || st.Views[0].Owner != "" {
+		t.Fatalf("views = %+v, want one global view", st.Views)
+	}
+	if v := st.Views[0]; v.Cursor != 4 || v.Pending != 0 || v.Busy {
+		t.Fatalf("view stat = %+v, want cursor 4, pending 0, idle", v)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`orchestra_exchange_pass_duration_seconds_count{kind="exchange"} 1`,
+		`orchestra_exchange_publications_total 4`,
+		`orchestra_exchange_edits_cancelled_total 2`,
+		`orchestra_view_cursor{view="(global)"} 4`,
+		`orchestra_bus_lag{view="(global)"} 0`,
+		`orchestra_coalesce_cancellation_ratio`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestObservabilityDisabledIsNoop: a System without WithObservability
+// must behave identically and report nothing.
+func TestObservabilityDisabledIsNoop(t *testing.T) {
+	sys, err := orchestra.New(parseTestSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishExample(t, sys)
+	if _, err := sys.Exchange(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if o := sys.Observability(); o != nil {
+		t.Fatalf("Observability() = %v, want nil", o)
+	}
+	if _, err := sys.Stats(context.Background()); err != nil {
+		t.Fatal(err) // Stats works without instruments
+	}
+}

@@ -17,6 +17,8 @@ type config struct {
 	// serialExchange reverts exchange passes to the reference
 	// one-apply-per-publication replay (WithExchangeCoalescing(false)).
 	serialExchange bool
+	// obs attaches an operations plane (WithObservability).
+	obs *Observability
 }
 
 // persistConfig collects WithPersistence's sub-options.
@@ -150,6 +152,20 @@ func CheckpointEvery(n int) PersistOption {
 // only on explicit System.Checkpoint calls.
 func CheckpointManual() PersistOption {
 	return func(pc *persistConfig) { pc.everyN = checkpointManual }
+}
+
+// WithObservability attaches an operations plane to the System: every
+// exchange pass is timed into o's registry (pass duration, publications
+// consumed, coalescing cancellation, deletion-cascade and engine work,
+// per-view cursors and bus lag, checkpoint age and durable-append
+// telemetry) and traced into o's ring buffer as a span tree
+// (System.Observability().Tracer().Last). Emission on hot paths is
+// atomics only, so the overhead is a few percent at worst; without this
+// option the instrumentation sites compile to nil-safe no-ops. Use one
+// Observability per System (see NewObservability); a BusServer sharing
+// the node can register into the same bundle via EnableMetrics.
+func WithObservability(o *Observability) Option {
+	return func(c *config) { c.obs = o }
 }
 
 // WithTrustFor installs (or overrides) a peer's trust policy. The Spec

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/exchange"
 	"orchestra/internal/logstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/statestore"
 )
 
@@ -50,6 +52,11 @@ type System struct {
 	// ownBus is set when WithPersistence created the System's durable
 	// bus, making the System responsible for closing it.
 	ownBus *logstore.Bus
+
+	// obsx is the operations plane (nil without WithObservability); all
+	// its methods are nil-safe, so instrumentation sites call it
+	// unconditionally. See obs.go.
+	obsx *systemObs
 
 	// mu guards the views map.
 	mu    sync.RWMutex
@@ -112,6 +119,9 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 		cfg.bus = core.NewMemoryBus()
 	}
 	s.bus = cfg.bus
+	if cfg.obs != nil {
+		s.initObs(cfg.obs)
+	}
 	return s, nil
 }
 
@@ -179,6 +189,11 @@ func (s *System) handle(owner string) (*viewHandle, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Register the view's gauges before taking the lock: registration
+	// allocates and locks the registry, so — like NewView's compile — it
+	// stays out of s.mu critical sections. It is idempotent, so racing
+	// creators are harmless.
+	s.obsx.ensureView(owner)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h, ok := s.views[owner]; ok {
@@ -274,19 +289,34 @@ func fileEditRuns(f *SpecFile) []Publication {
 // view outlived its bus's storage — is reported as an error instead of
 // silently re-importing from zero.
 func (s *System) Exchange(ctx context.Context, owner string) (ApplyStats, error) {
+	pass := s.obsx.startPass("exchange")
+	stats, err := s.exchangeView(ctx, owner, pass)
+	s.obsx.finishPass(pass, "exchange", err)
+	return stats, err
+}
+
+// exchangeView materializes the owner's view (if needed), runs one
+// exchange pass under its lock, and records the pass into the metrics
+// and — when pass is non-nil — the trace. It is the shared body of
+// Exchange and ExchangeAll's scheduler tasks.
+func (s *System) exchangeView(ctx context.Context, owner string, pass *obs.PassTrace) (ApplyStats, error) {
 	h, err := s.handle(owner)
 	if err != nil {
+		pass.AddView(obs.ViewPass{Owner: owner, Err: err.Error()})
 		return ApplyStats{}, err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return s.exchangeLocked(ctx, owner, h)
+	start := time.Now()
+	stats, ckpt, err := s.exchangeLocked(ctx, owner, h)
+	s.obsx.recordView(pass, owner, stats, time.Since(start), ckpt, h.cursor, err)
+	return stats, err
 }
 
 // exchangeLocked runs one exchange pass for a view whose lock the
-// caller holds — the shared body of Exchange and ExchangeAll's
-// scheduler tasks.
-func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle) (ApplyStats, error) {
+// caller holds, reporting how long the post-exchange checkpoint took
+// (0 when the policy skipped it).
+func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle) (ApplyStats, time.Duration, error) {
 	var (
 		next  int
 		stats ApplyStats
@@ -305,17 +335,23 @@ func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle
 			err = fmt.Errorf("orchestra: bus holds %d publications but view %q has already applied %d (bus behind persisted state?)",
 				next, owner, h.cursor)
 		}
-		return stats, err
+		return stats, 0, err
 	}
 	h.sinceCkpt += next - h.cursor
 	h.cursor = next
 	if err != nil {
-		return stats, err
+		return stats, 0, err
 	}
-	if cerr := s.maybeCheckpointLocked(ctx, owner, h); cerr != nil {
-		return stats, fmt.Errorf("orchestra: exchange succeeded but checkpoint failed: %w", cerr)
+	ckptStart := time.Now()
+	took, cerr := s.maybeCheckpointLocked(ctx, owner, h)
+	var ckpt time.Duration
+	if took {
+		ckpt = time.Since(ckptStart)
 	}
-	return stats, nil
+	if cerr != nil {
+		return stats, ckpt, fmt.Errorf("orchestra: exchange succeeded but checkpoint failed: %w", cerr)
+	}
+	return stats, ckpt, nil
 }
 
 // ExchangeAll runs Exchange for every peer (and for the global view if
@@ -334,13 +370,19 @@ func (s *System) ExchangeAll(ctx context.Context) (map[string]ApplyStats, error)
 		owners = append(owners, "")
 	}
 	s.mu.RUnlock()
+	// One pass trace spans the whole confederation walk: each task
+	// appends its ViewPass (AddView is thread-safe), so /debug/trace
+	// shows a parallel ExchangeAll as one span tree.
+	pass := s.obsx.startPass("exchange_all")
 	tasks := make([]exchange.Task[ApplyStats], len(owners))
 	for i, owner := range owners {
 		tasks[i] = exchange.Task[ApplyStats]{Owner: owner, Run: func(ctx context.Context) (ApplyStats, error) {
-			return s.Exchange(ctx, owner)
+			return s.exchangeView(ctx, owner, pass)
 		}}
 	}
-	return s.sched.Run(ctx, tasks)
+	out, err := s.sched.Run(ctx, tasks)
+	s.obsx.finishPass(pass, "exchange_all", err)
+	return out, err
 }
 
 // Pending reports how many publications an owner's view has not yet

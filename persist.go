@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/logstore"
@@ -145,20 +147,22 @@ func (s *System) checkpointLocked(ctx context.Context, owner string, h *viewHand
 
 // maybeCheckpointLocked applies the checkpoint policy after an
 // exchange; the caller holds h.mu and has already advanced the cursor.
-// It runs under the exchange's ctx: a cancelled checkpoint is harmless
-// (the atomic write protocol keeps the previous generation live), and
-// the publications it would have covered stay pending for the next one.
-func (s *System) maybeCheckpointLocked(ctx context.Context, owner string, h *viewHandle) error {
+// It reports whether a checkpoint was actually attempted (so callers
+// can attribute its wall clock). It runs under the exchange's ctx: a
+// cancelled checkpoint is harmless (the atomic write protocol keeps
+// the previous generation live), and the publications it would have
+// covered stay pending for the next one.
+func (s *System) maybeCheckpointLocked(ctx context.Context, owner string, h *viewHandle) (bool, error) {
 	if s.store == nil || h.sinceCkpt == 0 {
-		return nil
+		return false, nil
 	}
 	switch n := s.persist.everyN; {
 	case n == checkpointManual:
-		return nil
+		return false, nil
 	case n <= 1 || h.sinceCkpt >= n:
-		return s.checkpointLocked(ctx, owner, h)
+		return true, s.checkpointLocked(ctx, owner, h)
 	}
-	return nil
+	return false, nil
 }
 
 // PersistedViews lists the checkpoints recorded in the System's state
@@ -174,6 +178,68 @@ func (s *System) PersistedViews() ([]ViewState, error) {
 // BusLen returns the number of publications on the System's bus.
 func (s *System) BusLen(ctx context.Context) (int, error) {
 	return core.BusLen(ctx, s.bus)
+}
+
+// StateDirView is one view's checkpoint as seen by InspectStateDir.
+type StateDirView struct {
+	Owner      string
+	Cursor     int
+	Generation uint64
+	// Pending is the number of co-located bus publications past the
+	// cursor (-1 when the directory has no bus log).
+	Pending int
+	// SnapshotTime and SnapshotBytes describe the snapshot file (zero
+	// values when it is missing — a torn directory InspectStateDir
+	// reports rather than repairs).
+	SnapshotTime  time.Time
+	SnapshotBytes int64
+}
+
+// StateDirInfo is InspectStateDir's read-only summary of a state
+// directory.
+type StateDirInfo struct {
+	Dir             string
+	SpecFingerprint string
+	// BusLen counts publications in the co-located durable bus log
+	// (bus.olg); -1 when the directory has none (the System exchanged
+	// through an external bus).
+	BusLen int
+	Views  []StateDirView
+}
+
+// InspectStateDir summarizes a state directory without opening it:
+// the manifest's checkpoints, the co-located bus log's length, and
+// each snapshot file's age and size. It takes no lock and mutates
+// nothing, so it is safe to run against the state directory of a live
+// System (`orchestra stats -state`): the statestore's atomic manifest
+// rename means a concurrent checkpoint yields either the old or the
+// new manifest, never a torn one.
+func InspectStateDir(dir string) (StateDirInfo, error) {
+	m, err := statestore.ReadManifest(dir)
+	if err != nil {
+		return StateDirInfo{}, err
+	}
+	info := StateDirInfo{Dir: dir, SpecFingerprint: m.Spec, BusLen: -1}
+	busPath := filepath.Join(dir, busLogName)
+	if _, err := os.Stat(busPath); err == nil {
+		n, err := logstore.ReadLen(busPath)
+		if err != nil {
+			return StateDirInfo{}, err
+		}
+		info.BusLen = n
+	}
+	for _, vs := range m.Views {
+		v := StateDirView{Owner: vs.Owner, Cursor: vs.Cursor, Generation: vs.Generation, Pending: -1}
+		if info.BusLen >= 0 {
+			v.Pending = max(info.BusLen-vs.Cursor, 0)
+		}
+		if fi, err := os.Stat(filepath.Join(dir, vs.File)); err == nil {
+			v.SnapshotTime = fi.ModTime()
+			v.SnapshotBytes = fi.Size()
+		}
+		info.Views = append(info.Views, v)
+	}
+	return info, nil
 }
 
 // Close releases resources the System owns: the durable bus log opened

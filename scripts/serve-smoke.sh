@@ -1,0 +1,104 @@
+#!/usr/bin/env sh
+# Serve smoke: boot a durable orchestrad, publish one real update
+# through the HTTP bus, and assert the operations plane reports it —
+# /readyz goes green, /metrics carries non-zero core series, and
+# /debug/trace returns the pass's span tree.
+#
+# Run from the repo root: ./scripts/serve-smoke.sh [port]
+set -eu
+
+PORT="${1:-8391}"
+BASE="http://127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+TOKEN=smoke-token
+DAEMON_PID=""
+
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+cat > "$TMP/smoke.cdss" <<'EOF'
+peer PGUS    { relation G(id int, can int, nam int) }
+peer PBioSQL { relation B(id int, nam int) }
+peer PuBio   { relation U(nam int, can int) }
+
+mapping m1: G(i,c,n) -> B(i,n)
+mapping m2: G(i,c,n) -> U(n,c)
+mapping m3: B(i,n) -> exists c . U(n,c)
+mapping m4: B(i,c), U(n,c) -> B(i,n)
+EOF
+
+go build -o "$TMP/orchestrad" ./cmd/orchestrad
+go build -o "$TMP/smokepub" ./scripts/smokepub
+go build -o "$TMP/orchestra" ./cmd/orchestra
+
+"$TMP/orchestrad" -addr "127.0.0.1:$PORT" \
+    -spec "$TMP/smoke.cdss" -store "$TMP/pubs.olg" -state "$TMP/state" \
+    -view all -refresh 500ms -admin-token "$TOKEN" &
+DAEMON_PID=$!
+
+# Readiness: poll /readyz until the first exchange has warmed the views.
+i=0
+until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never became ready" >&2
+        curl -sS "$BASE/readyz" >&2 || true
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "ready: $(curl -fsS "$BASE/healthz")"
+
+"$TMP/smokepub" "$BASE" "$TMP/smoke.cdss"
+
+# Wait until the publish-triggered exchange pass lands in the metrics.
+i=0
+until curl -fsS "$BASE/metrics" | grep -q '^orchestra_exchange_publications_total [1-9]'; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: publication never consumed by an exchange" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+METRICS="$(curl -fsS "$BASE/metrics")"
+
+# Core series must exist with non-zero samples under publish load.
+assert_nonzero() {
+    if ! echo "$METRICS" | grep -E "^$1(\{[^}]*\})? [0-9.e+-]+" | grep -qv ' 0$'; then
+        echo "serve-smoke: metric $1 missing or zero" >&2
+        echo "$METRICS" | grep "^$1" >&2 || echo "(no $1 series at all)" >&2
+        exit 1
+    fi
+}
+assert_present() {
+    if ! echo "$METRICS" | grep -q "^$1"; then
+        echo "serve-smoke: metric $1 missing" >&2
+        exit 1
+    fi
+}
+assert_nonzero orchestra_exchange_pass_duration_seconds_count
+assert_nonzero orchestra_exchange_publications_total
+assert_nonzero orchestra_publish_accepted_total
+assert_nonzero orchestra_bus_append_bytes_total
+assert_nonzero orchestra_http_requests_total
+assert_present orchestra_bus_lag
+assert_present orchestra_coalesce_cancellation_ratio
+assert_present orchestra_checkpoint_age_seconds
+
+# The trace ring serves the pass's span tree behind the admin token.
+TRACE="$(curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE/debug/trace?last=1")"
+echo "$TRACE" | grep -q '"pass:exchange_all"' || {
+    echo "serve-smoke: /debug/trace missing exchange_all span: $TRACE" >&2
+    exit 1
+}
+
+# The one-shot dashboard renders against the live daemon.
+"$TMP/orchestra" stats -url "$BASE"
+
+echo "serve-smoke: OK"

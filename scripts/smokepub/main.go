@@ -1,0 +1,50 @@
+// Command smokepub publishes one update to a running orchestrad's
+// publication endpoint through the public HTTP bus — the "one real
+// publish" of the CI serve-smoke job (scripts/serve-smoke.sh). It
+// builds a bus-only System over the same spec so the publication is
+// validated locally exactly as a federated node's would be.
+//
+// Usage: smokepub <bus-url> <spec-file>
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"orchestra"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: smokepub <bus-url> <spec-file>")
+		os.Exit(2)
+	}
+	url, specPath := os.Args[1], os.Args[2]
+	f, err := os.Open(specPath)
+	if err != nil {
+		fatal(err)
+	}
+	parsed, perr := orchestra.ParseSpec(f)
+	f.Close()
+	if perr != nil {
+		fatal(perr)
+	}
+	sys, err := orchestra.New(parsed.Spec, orchestra.WithBus(orchestra.NewHTTPBus(url)))
+	if err != nil {
+		fatal(err)
+	}
+	err = sys.Publish(context.Background(), "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
+		orchestra.Ins("G", orchestra.MakeTuple(3, 5, 2)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("published 1 update (2 edits) as PGUS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smokepub:", err)
+	os.Exit(1)
+}
