@@ -78,3 +78,10 @@ func BenchmarkExchangeAll(b *testing.B) { benchFamily(b, "ExchangeAll") }
 // workload (the design choice DESIGN.md calls out; the paper reports the
 // composite form "performed better").
 func BenchmarkAblationProvTables(b *testing.B) { benchFamily(b, "AblationProvTables") }
+
+// BenchmarkServing measures the read path under a mixed query/write
+// load: baseline_* is the pre-optimization path (fixed-order plans, no
+// cache, no declared indexes), optimized_* turns on cost-based join
+// ordering, declared secondary indexes, and the provenance-invalidated
+// query cache. ns/op is per served query, writes amortized in.
+func BenchmarkServing(b *testing.B) { benchFamily(b, "Serving") }

@@ -12,6 +12,7 @@
 //	orchestra evolve -state dir -diff changes.cdssd [-o evolved.cdss] spec.cdss
 //	orchestra stats -state dir                         # offline state-dir dashboard
 //	orchestra stats -url http://host:port              # scrape a running orchestrad
+//	orchestra stats -explain "ans(x,y) :- U(x,y)" [-owner peer] spec.cdss   # query plan
 //
 // With -state, the system runs durably out of the given directory
 // (view snapshots plus a publication log): the first run seeds the bus
@@ -32,6 +33,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,11 +70,19 @@ func run(args []string, out io.Writer) error {
 	diffFile := fs.String("diff", "", "spec-diff file for evolve")
 	outFile := fs.String("o", "", "where evolve writes the evolved spec (default stdout)")
 	urlStr := fs.String("url", "", "base URL of a running orchestrad for stats, e.g. http://localhost:7117")
+	explainQ := fs.String("explain", "", "stats: render the physical query plan (join order, access paths, estimates) for this query instead of the dashboard; takes a spec file")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
-	// stats inspects a state directory or a daemon, never a spec file.
+	// stats inspects a state directory or a daemon — except -explain,
+	// which compiles a query against a spec file's materialized view.
 	if cmd == "stats" {
+		if *explainQ != "" {
+			if fs.NArg() != 1 {
+				return fmt.Errorf("stats -explain expects exactly one spec file")
+			}
+			return explainCmd(ctx, fs.Arg(0), *explainQ, *owner, *backend, *stateDir, out)
+		}
 		if fs.NArg() != 0 {
 			return fmt.Errorf("stats takes no spec file (use -state or -url)")
 		}
@@ -182,7 +192,7 @@ func run(args []string, out io.Writer) error {
 		}
 		rows, err := sys.Query(ctx, *owner, *q, *nulls)
 		if err != nil {
-			return err
+			return queryErrDetail(err)
 		}
 		for _, row := range rows {
 			desc, err := sys.Describe(*owner, row)
@@ -216,6 +226,66 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// queryErrDetail rewraps a structured QueryError with its caret
+// rendering so the CLI points at the offending fragment.
+func queryErrDetail(err error) error {
+	var qe *orchestra.QueryError
+	if errors.As(err, &qe) {
+		return fmt.Errorf("invalid query: %s", qe.Detail())
+	}
+	return err
+}
+
+// explainCmd materializes the owner's view from a spec file (durably
+// when -state is given) and prints the physical plan the read path
+// would use for the query, without evaluating it.
+func explainCmd(ctx context.Context, specPath, q, owner, backend, stateDir string, out io.Writer) error {
+	f, err := os.Open(specPath)
+	if err != nil {
+		return err
+	}
+	parsed, perr := orchestra.ParseSpec(f)
+	f.Close()
+	if perr != nil {
+		return perr
+	}
+	var be orchestra.Backend
+	switch backend {
+	case "indexed":
+		be = orchestra.BackendIndexed
+	case "hash":
+		be = orchestra.BackendHash
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+	sysOpts := []orchestra.Option{orchestra.WithBackend(be)}
+	if stateDir != "" {
+		sysOpts = append(sysOpts, orchestra.WithPersistence(stateDir))
+	}
+	sys, err := orchestra.New(parsed.Spec, sysOpts...)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	// Populate the instances first so the plan reflects real statistics.
+	if stateDir != "" {
+		if _, err := sys.SeedFileEdits(ctx, parsed); err != nil {
+			return err
+		}
+	} else if err := sys.PublishFileEdits(ctx, parsed); err != nil {
+		return err
+	}
+	if _, err := sys.Exchange(ctx, owner); err != nil {
+		return err
+	}
+	plan, err := sys.ExplainQuery(ctx, owner, q)
+	if err != nil {
+		return queryErrDetail(err)
+	}
+	fmt.Fprint(out, plan)
+	return nil
 }
 
 // evolveCmd applies a spec-diff file to a durable state directory and

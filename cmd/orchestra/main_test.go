@@ -184,3 +184,26 @@ trust PBioSQL distrusts mapping m1 when n >= 3
 		t.Fatalf("evolved run does not show relation C:\n%s", sb.String())
 	}
 }
+
+func TestStatsExplain(t *testing.T) {
+	path := writeSpec(t)
+	var b strings.Builder
+	if err := run([]string{"stats", "-explain", "ans(i,n) :- G(i,c,m), B(i,n)", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cost-based", "estimated results", "probe"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// A structured query error points at the offending fragment.
+	err := run([]string{"stats", "-explain", "ans(i,n) :- Zed(i,n)", path}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "^") {
+		t.Fatalf("bad query error lacks caret: %v", err)
+	}
+	// -explain still requires a spec file.
+	if err := run([]string{"stats", "-explain", "ans(i) :- B(i,n)"}, io.Discard); err == nil {
+		t.Fatal("stats -explain without spec accepted")
+	}
+}

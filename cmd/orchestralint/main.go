@@ -21,6 +21,7 @@ import (
 	"orchestra/internal/lint/analyzers/ctxflow"
 	"orchestra/internal/lint/analyzers/errcmp"
 	"orchestra/internal/lint/analyzers/locksafe"
+	"orchestra/internal/lint/analyzers/planorder"
 	"orchestra/internal/lint/analyzers/rowintern"
 	"orchestra/internal/lint/driver"
 )
@@ -31,6 +32,7 @@ var Suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	errcmp.Analyzer,
 	locksafe.Analyzer,
+	planorder.Analyzer,
 	rowintern.Analyzer,
 }
 

@@ -231,6 +231,7 @@ func (s *System) replayViewLocked(ctx context.Context, owner string, h *viewHand
 	if err != nil {
 		return err
 	}
+	s.setupView(owner, v)
 	pubs, _, err := s.bus.FetchSince(ctx, 0)
 	if err != nil {
 		return err

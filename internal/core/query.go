@@ -12,6 +12,34 @@ import (
 	"orchestra/internal/value"
 )
 
+// QueryError is a structured parse/validation failure for the query
+// surface. Pos is a byte offset into Query pointing at the fragment the
+// message is about, so callers (the CLI, tests, editors) can render a
+// caret instead of making users eyeball the whole string.
+type QueryError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("core: query error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Detail renders the error with the query text and a caret under the
+// offending position — the CLI's error surface.
+func (e *QueryError) Detail() string {
+	pos := e.Pos
+	if pos > len(e.Query) {
+		pos = len(e.Query)
+	}
+	return fmt.Sprintf("%s\n  %s\n  %s^", e.Msg, e.Query, strings.Repeat(" ", pos))
+}
+
+func qerr(q string, pos int, format string, args ...any) error {
+	return &QueryError{Query: q, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Query answers a conjunctive query over the view's curated instances
 // with the certain-answers semantics of §2.1: tuples containing labeled
 // nulls are discarded unless includeNulls is set (the "superset of the
@@ -38,42 +66,63 @@ func (v *View) QueryContext(ctx context.Context, q string, includeNulls bool) ([
 }
 
 // parseQuery parses "head :- body [where pred]" over user relations.
+// Every failure is a *QueryError carrying the byte offset of the
+// offending fragment.
 func (v *View) parseQuery(q string) (*datalog.Rule, error) {
-	parts := strings.SplitN(q, ":-", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("core: query %q missing ':-'", q)
+	sep := strings.Index(q, ":-")
+	if sep < 0 {
+		return nil, qerr(q, 0, "missing ':-' between head and body")
 	}
-	heads, err := tgd.ParseAtoms(parts[0])
+	heads, err := tgd.ParseAtoms(q[:sep])
 	if err != nil {
-		return nil, fmt.Errorf("core: query head: %w", err)
+		return nil, qerr(q, 0, "head: %v", err)
 	}
 	if len(heads) != 1 {
-		return nil, fmt.Errorf("core: query must have exactly one head atom")
+		return nil, qerr(q, 0, "query must have exactly one head atom, got %d", len(heads))
 	}
-	bodyText := parts[1]
+	seen := make(map[string]bool, len(heads[0].Args))
+	for _, t := range heads[0].Args {
+		if t.Kind != datalog.TermVar {
+			continue
+		}
+		if seen[t.Var] {
+			return nil, qerr(q, 0, "head repeats variable %q; bind it once and equate in the body or a where clause", t.Var)
+		}
+		seen[t.Var] = true
+	}
+	bodyStart := sep + 2
+	bodyText := q[bodyStart:]
 	var where *trust.Pred
 	if i := strings.Index(bodyText, " where "); i >= 0 {
+		wherePos := bodyStart + i + 7
 		where, err = trust.ParsePred(bodyText[i+7:])
 		if err != nil {
-			return nil, fmt.Errorf("core: query selection: %w", err)
+			return nil, qerr(q, wherePos, "selection: %v", err)
 		}
 		bodyText = bodyText[:i]
 	}
 	bodyAtoms, err := tgd.ParseAtoms(bodyText)
 	if err != nil {
-		return nil, fmt.Errorf("core: query body: %w", err)
+		return nil, qerr(q, bodyStart, "body: %v", err)
+	}
+	if len(bodyAtoms) == 0 {
+		return nil, qerr(q, bodyStart, "empty body")
 	}
 	body := make([]datalog.Literal, len(bodyAtoms))
 	for i, a := range bodyAtoms {
 		if v.spec.Universe.Relation(a.Pred) == nil {
-			return nil, fmt.Errorf("core: query references unknown relation %q", a.Pred)
+			pos := bodyStart
+			if j := strings.Index(q[bodyStart:], a.Pred); j >= 0 {
+				pos = bodyStart + j
+			}
+			return nil, qerr(q, pos, "unknown relation %q", a.Pred)
 		}
 		body[i] = datalog.Pos(datalog.NewAtom(OutputRel(a.Pred), a.Args...))
 	}
 	rule := datalog.NewRule("query", heads[0], body...)
 	if where != nil && !where.Trivial() {
 		pred := where
-		rule.AddFilter(pred.String(), func(env value.Env) bool {
+		rule.AddFilterSel(pred.String(), pred.Selectivity(), func(env value.Env) bool {
 			return pred.Eval(env)
 		})
 	}
@@ -86,31 +135,27 @@ func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, 
 	return v.QueryRuleContext(context.Background(), rule, includeNulls)
 }
 
-// QueryRuleContext is QueryRule with cancellation.
+// QueryRuleContext is QueryRule with cancellation. Results are served
+// from the view's query cache when the rule was evaluated before and
+// none of its body relations have changed since.
 func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
 	var repairStats ApplyStats
 	if err := v.repairIfDirty(ctx, &repairStats); err != nil {
 		return nil, err
 	}
-	tmp := "q$" + rule.Head.Pred
-	if v.db.Table(tmp) != nil {
-		return nil, fmt.Errorf("core: query workspace %q busy", tmp)
+	key := canonicalQueryKey(rule, includeNulls)
+	if rows, ok := v.qcache.lookup(v.db, key); ok {
+		return rows, nil
 	}
-	head := datalog.NewAtom(tmp, rule.Head.Args...)
-	qr := datalog.NewRule(rule.ID, head, rule.Body...)
-	qr.Filters, qr.FilterDescs = rule.Filters, rule.FilterDescs
-	if _, err := v.db.Create(tmp, len(head.Args)); err != nil {
-		return nil, err
-	}
-	defer v.db.Drop(tmp)
+	// Pin dependency generations before evaluating: the evaluator only
+	// writes the q$ workspace, so the result is consistent with these.
+	deps := v.queryDeps(rule)
 
-	ev, err := engine.New(datalog.NewProgram(qr), v.db, v.sk, engine.Options{
-		Backend:     v.opts.Backend,
-		Parallelism: v.opts.Parallelism,
-	})
+	ev, tmp, cleanup, err := v.compileQuery(rule)
 	if err != nil {
 		return nil, err
 	}
+	defer cleanup()
 	if _, err := ev.RunContext(ctx); err != nil {
 		return nil, err
 	}
@@ -121,5 +166,54 @@ func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, include
 		}
 		out = append(out, row)
 	}
+	v.qcache.store(key, out, deps)
 	return out, nil
+}
+
+// compileQuery sets up the q$ workspace table for rule's head and builds
+// a query-mode evaluator over it (cost-based join ordering unless the
+// view opted into the legacy planner). The returned cleanup drops the
+// workspace.
+func (v *View) compileQuery(rule *datalog.Rule) (ev *engine.Evaluator, tmp string, cleanup func(), err error) {
+	tmp = "q$" + rule.Head.Pred
+	if v.db.Table(tmp) != nil {
+		return nil, "", nil, fmt.Errorf("core: query workspace %q busy", tmp)
+	}
+	head := datalog.NewAtom(tmp, rule.Head.Args...)
+	qr := datalog.NewRule(rule.ID, head, rule.Body...)
+	qr.Filters, qr.FilterDescs, qr.FilterSels = rule.Filters, rule.FilterDescs, rule.FilterSels
+	if _, err := v.db.Create(tmp, len(head.Args)); err != nil {
+		return nil, "", nil, err
+	}
+	cleanup = func() { v.db.Drop(tmp) }
+	ev, err = engine.NewQuery(datalog.NewProgram(qr), v.db, v.sk, engine.Options{
+		Backend:     v.opts.Backend,
+		Parallelism: v.opts.Parallelism,
+		CostBased:   !v.opts.LegacyQueryPlanner,
+	})
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	return ev, tmp, cleanup, nil
+}
+
+// queryDeps pins (table, generation) for every distinct relation the
+// rule body reads. A nil return — some body table is missing — disables
+// caching for this query.
+func (v *View) queryDeps(rule *datalog.Rule) []cacheDep {
+	seen := make(map[string]bool, len(rule.Body))
+	deps := make([]cacheDep, 0, len(rule.Body))
+	for _, l := range rule.Body {
+		if seen[l.Atom.Pred] {
+			continue
+		}
+		seen[l.Atom.Pred] = true
+		tbl := v.db.Table(l.Atom.Pred)
+		if tbl == nil {
+			return nil
+		}
+		deps = append(deps, cacheDep{name: l.Atom.Pred, tbl: tbl, gen: tbl.Generation()})
+	}
+	return deps
 }

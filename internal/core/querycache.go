@@ -1,0 +1,217 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/obs"
+	"orchestra/internal/storage"
+	"orchestra/internal/value"
+)
+
+// The hot-query cache (ISSUE 8): an LRU over query results keyed by the
+// α-renamed rule plus the includeNulls flag, validated against the
+// per-table generation counters of the relations the query body read.
+// Invalidation is therefore exactly as precise as the edit log's effect:
+// a maintenance pass that touches relation R advances only R's output
+// table generation, so only cached queries whose body mentions R go
+// stale — queries over untouched relations keep serving from cache. The
+// generation counters sit underneath every mutating entry point
+// (including deletion cascades that reach relations the edit log never
+// names), so a stale result can never be served.
+
+// defaultQueryCacheSize is the per-view entry cap when Options leaves
+// QueryCacheSize zero.
+const defaultQueryCacheSize = 256
+
+// QueryCacheMetrics carries the facade's cache counters. All fields are
+// nil-safe; the zero value disables emission.
+type QueryCacheMetrics struct {
+	Hits, Misses, Evictions *obs.Counter
+}
+
+// cacheDep pins one body relation's exact state: the table object the
+// query read and its generation at evaluation time. A dropped/recreated
+// table fails the pointer compare; any mutation fails the generation
+// compare.
+type cacheDep struct {
+	name string
+	tbl  *storage.Table
+	gen  uint64
+}
+
+type cacheEntry struct {
+	key  string
+	rows []value.Tuple
+	deps []cacheDep
+}
+
+// queryCache is the per-view LRU. It shares the view's synchronization
+// (the facade serializes all view operations), so it takes no locks. A
+// nil *queryCache is a disabled cache: every method is a no-op.
+type queryCache struct {
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	metrics QueryCacheMetrics
+
+	hits, misses, evictions uint64
+}
+
+func newQueryCache(size int) *queryCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = defaultQueryCacheSize
+	}
+	return &queryCache{
+		cap:     size,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the cached result for key when every dependency is still
+// at its recorded generation; a stale entry is evicted and counts as a
+// miss. The returned slice is a fresh header (callers may append/reorder)
+// over shared immutable tuples.
+func (c *queryCache) lookup(db *storage.Database, key string) ([]value.Tuple, bool) {
+	if c == nil {
+		return nil, false
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.metrics.Misses.Inc()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	for _, d := range e.deps {
+		if db.Table(d.name) != d.tbl || d.tbl.Generation() != d.gen {
+			c.remove(el, e)
+			c.misses++
+			c.metrics.Misses.Inc()
+			return nil, false
+		}
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	c.metrics.Hits.Inc()
+	out := make([]value.Tuple, len(e.rows))
+	copy(out, e.rows)
+	return out, true
+}
+
+// store records a result. deps must pin every relation the body read;
+// callers pass nil to skip caching.
+func (c *queryCache) store(key string, rows []value.Tuple, deps []cacheDep) {
+	if c == nil || deps == nil {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value = &cacheEntry{key: key, rows: rows, deps: deps}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, rows: rows, deps: deps})
+	for c.lru.Len() > c.cap {
+		el := c.lru.Back()
+		c.remove(el, el.Value.(*cacheEntry))
+	}
+}
+
+func (c *queryCache) remove(el *list.Element, e *cacheEntry) {
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.evictions++
+	c.metrics.Evictions.Inc()
+}
+
+// stats returns the cache's lifetime counters (hits, misses, evictions).
+func (c *queryCache) stats() (hits, misses, evictions uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits, c.misses, c.evictions
+}
+
+// SetQueryCacheMetrics attaches the facade's cache counters to the view's
+// query cache. A no-op when the cache is disabled.
+func (v *View) SetQueryCacheMetrics(m QueryCacheMetrics) {
+	if v.qcache != nil {
+		v.qcache.metrics = m
+	}
+}
+
+// QueryCacheStats reports the view's cache counters: results served from
+// cache, cache misses, and entries evicted (capacity plus staleness).
+func (v *View) QueryCacheStats() (hits, misses, evictions uint64) {
+	return v.qcache.stats()
+}
+
+// canonicalQueryKey renders a query rule with variables α-renamed in
+// first-occurrence order, so syntactically different spellings of the
+// same query share a cache entry. Filter descriptions are appended
+// verbatim (they reference original variable names — filtered queries
+// only unify when spelled identically, which is still sound).
+func canonicalQueryKey(r *datalog.Rule, includeNulls bool) string {
+	var b strings.Builder
+	names := make(map[string]string)
+	canon := func(v string) string {
+		if n, ok := names[v]; ok {
+			return n
+		}
+		n := fmt.Sprintf("v%d", len(names))
+		names[v] = n
+		return n
+	}
+	writeAtom := func(a datalog.Atom) {
+		b.WriteString(a.Pred)
+		b.WriteByte('(')
+		for i, t := range a.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			switch t.Kind {
+			case datalog.TermVar:
+				b.WriteString(canon(t.Var))
+			case datalog.TermConst:
+				fmt.Fprintf(&b, "c:%s", t.Const)
+			case datalog.TermSkolem:
+				b.WriteString("s:")
+				b.WriteString(t.Fn)
+				b.WriteByte('(')
+				for j, v := range t.FnArgs {
+					if j > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(canon(v))
+				}
+				b.WriteByte(')')
+			}
+		}
+		b.WriteByte(')')
+	}
+	writeAtom(r.Head)
+	b.WriteString(":-")
+	for i, l := range r.Body {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if l.Neg {
+			b.WriteByte('!')
+		}
+		writeAtom(l.Atom)
+	}
+	for _, d := range r.FilterDescs {
+		b.WriteByte('\x1f')
+		b.WriteString(d)
+	}
+	if includeNulls {
+		b.WriteString("\x1f+nulls")
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"orchestra/internal/engine"
+)
+
+func cacheBackends() []engine.Backend {
+	return []engine.Backend{engine.BackendIndexed, engine.BackendHash}
+}
+
+func TestQueryCacheHitAndPreciseInvalidation(t *testing.T) {
+	for _, be := range cacheBackends() {
+		t.Run(be.String(), func(t *testing.T) {
+			v := loadExample3(t, paperSpec(t, nil), Options{Backend: be})
+			qB := "ans(i,n) :- B(i,n)"
+			// G is a source relation no mapping derives into, so a B write
+			// must leave qG's cache entry valid.
+			qG := "ansg(i,c,n) :- G(i,c,n)"
+
+			first, err := v.Query(qB, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.Query(qG, false); err != nil {
+				t.Fatal(err)
+			}
+			again, err := v.Query(qB, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(again) != len(first) {
+				t.Fatalf("cached result %v != fresh %v", again, first)
+			}
+			hits, misses, _ := v.QueryCacheStats()
+			if hits != 1 || misses != 2 {
+				t.Fatalf("after warmup: hits=%d misses=%d, want 1/2", hits, misses)
+			}
+
+			// A pass touching B must invalidate qB but keep qG cached.
+			if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(9, 9))}, DeleteProvenance); err != nil {
+				t.Fatal(err)
+			}
+			afterB, err := v.Query(qB, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(afterB) != len(first)+1 {
+				t.Fatalf("stale result served after write: %v", afterB)
+			}
+			if _, err := v.Query(qG, false); err != nil {
+				t.Fatal(err)
+			}
+			hits2, misses2, _ := v.QueryCacheStats()
+			if misses2 != misses+1 {
+				t.Fatalf("only qB should have missed after the B write: misses %d -> %d", misses, misses2)
+			}
+			if hits2 != hits+1 {
+				t.Fatalf("qG should still be cached after the B write: hits %d -> %d", hits, hits2)
+			}
+			// Steady state: both fully cached again.
+			if _, err := v.Query(qB, false); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.Query(qG, false); err != nil {
+				t.Fatal(err)
+			}
+			hits3, _, _ := v.QueryCacheStats()
+			if hits3 != hits2+2 {
+				t.Fatalf("steady state not cached: hits %d -> %d", hits2, hits3)
+			}
+		})
+	}
+}
+
+func TestQueryCacheAlphaEquivalence(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+		t.Fatal(err)
+	}
+	// Same query, renamed variables: must hit the same entry.
+	if _, err := v.Query("ans(a,b) :- U(a,b)", false); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := v.QueryCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("α-renamed query did not share the entry: hits=%d misses=%d", hits, misses)
+	}
+	// includeNulls is part of the key, not a hit.
+	if _, err := v.Query("ans(a,b) :- U(a,b)", true); err != nil {
+		t.Fatal(err)
+	}
+	if h, m, _ := v.QueryCacheStats(); h != 1 || m != 2 {
+		t.Fatalf("includeNulls variant must be a distinct entry: hits=%d misses=%d", h, m)
+	}
+}
+
+func TestQueryCacheDisabled(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{QueryCacheSize: -1})
+	for i := 0; i < 3; i++ {
+		if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, m, e := v.QueryCacheStats(); h != 0 || m != 0 || e != 0 {
+		t.Fatalf("disabled cache recorded activity: %d/%d/%d", h, m, e)
+	}
+}
+
+func TestQueryCacheCapacityEviction(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{QueryCacheSize: 2})
+	queries := []string{
+		"a1(i,n) :- B(i,n)",
+		"a2(n,c) :- U(n,c)",
+		"a3(i) :- B(i,n), U(n,c)",
+	}
+	for _, q := range queries {
+		if _, err := v.Query(q, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, evictions := v.QueryCacheStats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 (cap 2, 3 entries)", evictions)
+	}
+	// The oldest entry (a1) was evicted; re-running it misses.
+	if _, err := v.Query(queries[0], false); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := v.QueryCacheStats(); hits != 0 {
+		t.Fatalf("evicted entry served a hit")
+	}
+}
+
+func TestQueryErrorPositions(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	cases := []struct {
+		q       string
+		pos     int
+		msgPart string
+	}{
+		{"ans(x,y)", 0, "missing ':-'"},
+		{"ans(x,x) :- U(x,y)", 0, "repeats variable"},
+		{"ans(x,y) :- Zed(x,y)", 12, "unknown relation"},
+		{"ans(x,y) :- U(x,y) where x !!", 25, "selection"},
+	}
+	for _, c := range cases {
+		_, err := v.Query(c.q, false)
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("%q: error %v is not a *QueryError", c.q, err)
+		}
+		if qe.Pos != c.pos {
+			t.Errorf("%q: Pos = %d, want %d", c.q, qe.Pos, c.pos)
+		}
+		if !strings.Contains(qe.Msg, c.msgPart) {
+			t.Errorf("%q: Msg %q missing %q", c.q, qe.Msg, c.msgPart)
+		}
+		if qe.Query != c.q {
+			t.Errorf("%q: Query field = %q", c.q, qe.Query)
+		}
+		if !strings.Contains(qe.Detail(), "^") {
+			t.Errorf("%q: Detail() has no caret:\n%s", c.q, qe.Detail())
+		}
+	}
+}
+
+func TestExplainQueryView(t *testing.T) {
+	v := loadExample3(t, paperSpec(t, nil), Options{})
+	out, err := v.ExplainQuery("ans(i) :- G(i,c,n), B(i,n) where i >= 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cost-based", "where i >= 1", "estimated results"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Explain must not leave the workspace table behind.
+	if v.db.Table("q$ans") != nil {
+		t.Fatal("explain leaked q$ans workspace")
+	}
+	if _, err := v.ExplainQuery("nope"); err == nil {
+		t.Fatal("bad query accepted by explain")
+	}
+}

@@ -34,6 +34,17 @@ type Options struct {
 	// one provenance table per RHS atom instead of one per tgd. Semantics
 	// are identical; the ablation benchmarks measure the cost.
 	SplitProvTables bool
+	// QueryCacheSize caps the view's LRU query-result cache: 0 means the
+	// default capacity, negative disables caching entirely. Cached
+	// results are invalidated per relation through table generation
+	// counters (see querycache.go), so a maintenance pass only evicts
+	// queries whose body it actually touched.
+	QueryCacheSize int
+	// LegacyQueryPlanner reverts query-time plans to the maintenance
+	// engine's fixed join order (no statistics, no warm-index pickup).
+	// It exists as the baseline for the plan-equivalence property test
+	// and the serving benchmark; leave it false in production.
+	LegacyQueryPlanner bool
 }
 
 // View is one peer's materialized view of the whole CDSS: its own copies
@@ -75,6 +86,10 @@ type View struct {
 	// byTargetRel indexes (mapping, target-template) pairs by target
 	// relation, for support checks.
 	byTargetRel map[string][]mappingTarget
+
+	// qcache is the hot-query result cache (nil when disabled); see
+	// querycache.go.
+	qcache *queryCache
 }
 
 type mappingSource struct {
@@ -96,11 +111,12 @@ func NewView(spec *Spec, owner string, opts Options) (*View, error) {
 		return nil, fmt.Errorf("core: unknown view owner %q", owner)
 	}
 	v := &View{
-		spec:  spec,
-		owner: owner,
-		opts:  opts,
-		db:    storage.NewDatabase(),
-		sk:    value.NewSkolemTable(),
+		spec:   spec,
+		owner:  owner,
+		opts:   opts,
+		db:     storage.NewDatabase(),
+		sk:     value.NewSkolemTable(),
+		qcache: newQueryCache(opts.QueryCacheSize),
 	}
 	if err := v.compile(); err != nil {
 		return nil, err
@@ -338,6 +354,31 @@ func (v *View) Graph() *provenance.Graph { return v.graph }
 // Instance returns the curated local instance Rᵒ of a user relation —
 // what the peer's users query (§3.1).
 func (v *View) Instance(rel string) *storage.Table { return v.db.Table(OutputRel(rel)) }
+
+// DeclareSecondaryIndex pre-builds a persistent index on one column
+// (named) of a user relation's curated instance Rᵒ. The storage layer
+// maintains the index incrementally through every subsequent maintenance
+// pass (it survives Clear), so read-path probes on the column hit a warm
+// index instead of paying a scan or the hash backend's per-call
+// transient build. Redeclaring an existing index is a no-op.
+func (v *View) DeclareSecondaryIndex(rel, column string) error {
+	meta := v.spec.Universe.Relation(rel)
+	if meta == nil {
+		return fmt.Errorf("core: unknown relation %q", rel)
+	}
+	col := -1
+	for i, c := range meta.Cols {
+		if c.Name == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return fmt.Errorf("core: relation %q has no column %q", rel, column)
+	}
+	v.db.Table(OutputRel(rel)).EnsureIndex(col)
+	return nil
+}
 
 // LocalTable returns Rℓ.
 func (v *View) LocalTable(rel string) *storage.Table { return v.db.Table(LocalRel(rel)) }

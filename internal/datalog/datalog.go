@@ -143,6 +143,10 @@ type Rule struct {
 	Filters []Filter
 	// FilterDescs documents Filters for display, one string per filter.
 	FilterDescs []string
+	// FilterSels estimates, per filter, the fraction of bindings that
+	// pass, for the cost-based planner's result-cardinality estimate.
+	// Parallel to Filters; missing entries default to 1 (no reduction).
+	FilterSels []float64
 }
 
 // NewRule builds a rule.
@@ -154,6 +158,28 @@ func NewRule(id string, head Atom, body ...Literal) *Rule {
 func (r *Rule) AddFilter(desc string, f Filter) {
 	r.Filters = append(r.Filters, f)
 	r.FilterDescs = append(r.FilterDescs, desc)
+}
+
+// AddFilterSel is AddFilter with an estimated selectivity in (0, 1] for
+// the cost-based planner.
+func (r *Rule) AddFilterSel(desc string, sel float64, f Filter) {
+	for len(r.FilterSels) < len(r.Filters) {
+		r.FilterSels = append(r.FilterSels, 1)
+	}
+	r.AddFilter(desc, f)
+	r.FilterSels = append(r.FilterSels, sel)
+}
+
+// FilterSelectivity returns the product of the rule's filter selectivity
+// estimates.
+func (r *Rule) FilterSelectivity() float64 {
+	sel := 1.0
+	for _, s := range r.FilterSels {
+		if s > 0 && s <= 1 {
+			sel *= s
+		}
+	}
+	return sel
 }
 
 // PositiveBodyVars returns the set of variables bound by positive body

@@ -31,6 +31,12 @@ type Options struct {
 	// rounds pre-build the hash backend's transient indexes their plans
 	// can probe instead of building them lazily on first probe.
 	Parallelism int
+	// CostBased enables statistics-driven join ordering for evaluators
+	// compiled with NewQuery (see plancost.go). Maintenance evaluators
+	// (New) ignore it: their plans keep the deterministic fixed order the
+	// exchange equivalence and scheduler determinism suites pin
+	// byte-for-byte.
+	CostBased bool
 }
 
 // Stats reports work done by an evaluation.
@@ -108,8 +114,23 @@ type Evaluator struct {
 
 // New compiles and validates prog against db. All predicates mentioned by
 // the program must exist as tables. The Skolem table provides labeled
-// nulls for head Skolem terms.
+// nulls for head Skolem terms. New is the maintenance entry point: plans
+// keep the fixed deterministic join order.
 func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opts Options) (*Evaluator, error) {
+	return newEvaluator(prog, db, sk, opts, planMode{})
+}
+
+// NewQuery compiles a read-path evaluator: plans probe warm persistent
+// indexes on any backend (declared secondary indexes included) and, with
+// opts.CostBased set, order joins by the statistics cost model. Query
+// and explain paths must compile through NewQuery; maintenance
+// evaluators must use New so their plans stay byte-identical across
+// releases (enforced by the planorder analyzer).
+func NewQuery(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opts Options) (*Evaluator, error) {
+	return newEvaluator(prog, db, sk, opts, planMode{query: true, cost: opts.CostBased})
+}
+
+func newEvaluator(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opts Options, mode planMode) (*Evaluator, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -145,7 +166,7 @@ func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opt
 	}
 	ensureIdx := opts.Backend == BackendIndexed
 	for _, r := range prog.Rules {
-		np, err := compilePlan(r, -1, db, opts.Backend, ensureIdx)
+		np, err := compilePlan(r, -1, db, opts.Backend, ensureIdx, mode)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +175,7 @@ func New(prog *datalog.Program, db *storage.Database, sk *value.SkolemTable, opt
 		for _, pred := range bodyPreds(r) { // sorted
 			e := deltaEntry{pred: pred}
 			for _, pos := range deltaPositions(r, pred) {
-				dp, err := compilePlan(r, pos, db, opts.Backend, ensureIdx)
+				dp, err := compilePlan(r, pos, db, opts.Backend, ensureIdx, mode)
 				if err != nil {
 					return nil, err
 				}
@@ -729,10 +750,13 @@ func (ev *Evaluator) enterStep(p *plan, ex *execState, si int, deltaRows []value
 			pv = ex.binding[st.probeSlot]
 		}
 		switch {
+		case st.idx != nil:
+			// Persistent index, including warm declared indexes picked up
+			// by read-path plans on the hash backend (maintenance hash
+			// plans never cache one — they compile before indexes exist).
+			ex.rows[si] = st.idx.Rows(pv)
 		case ev.opts.Backend == BackendHash:
 			ex.rows[si] = ev.transientProbe(st.pred, st.probeCol, pv, stats)
-		case st.idx != nil:
-			ex.rows[si] = st.idx.Rows(pv)
 		default:
 			// No index on the probe column (possible for plans compiled
 			// without ensureIndexes): degrade to a filtered scan.

@@ -82,6 +82,13 @@ type step struct {
 	probeCol  int
 	probeSlot int         // slot providing the probe value, or -1
 	probeVal  value.Value // constant probe value when probeSlot < 0
+
+	// Cost-based plans only (see plancost.go): estOut is the estimated
+	// number of matching rows per complete binding of the step's bound
+	// columns; estCard the estimated cumulative intermediate cardinality
+	// after the step. Zero on maintenance plans and non-join steps.
+	estOut  float64
+	estCard float64
 }
 
 // headOp builds one column of the head tuple.
@@ -127,14 +134,36 @@ type plan struct {
 	// tuples directly. The signal depends only on the derived data, so
 	// sequential and parallel execution adapt identically.
 	dedup bool
+
+	// costBased marks plans whose join order came from the statistics
+	// cost model (read path); estResult is their estimated result
+	// cardinality after filter selectivity.
+	costBased bool
+	estResult float64
+}
+
+// planMode carries the compile-time knobs that distinguish read-path
+// compilation from maintenance compilation. The zero value is the
+// maintenance mode whose behavior the exchange equivalence and scheduler
+// determinism suites pin byte-for-byte.
+type planMode struct {
+	// query marks read-path plans: probes pick up warm persistent indexes
+	// on any backend (declared secondary indexes included), instead of
+	// paying the hash backend's per-call transient build.
+	query bool
+	// cost orders joins by the statistics cost model instead of the fixed
+	// greedy order.
+	cost bool
 }
 
 // compilePlan orders the rule body starting from the delta atom (if any),
 // then greedily by number of already-bound variables, preferring atoms
 // that allow an indexed probe. Negated atoms are placed as soon as all
-// their variables are bound.
-func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Backend, ensureIndexes bool) (*plan, error) {
-	p := &plan{rule: r, deltaPos: deltaPos, headPred: r.Head.Pred}
+// their variables are bound. With mode.cost set (read-path plans only),
+// the greedy order is driven by table statistics instead — see
+// plancost.go; maintenance callers must pass the zero mode.
+func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Backend, ensureIndexes bool, mode planMode) (*plan, error) {
+	p := &plan{rule: r, deltaPos: deltaPos, headPred: r.Head.Pred, costBased: mode.cost}
 	slotOf := make(map[string]int)
 	slot := func(v string) int {
 		if s, ok := slotOf[v]; ok {
@@ -219,6 +248,11 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 			if backend == BackendIndexed && ensureIndexes {
 				tbl.EnsureIndex(st.probeCol)
 				st.idx = tbl.Index(st.probeCol)
+			} else if mode.query {
+				// Read-path plans probe warm persistent indexes on any
+				// backend when one already exists (declared secondary
+				// indexes), instead of building a transient per call.
+				st.idx = tbl.Index(st.probeCol)
 			}
 		}
 		p.steps = append(p.steps, st)
@@ -263,30 +297,47 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 		negPending = kept
 	}
 
+	card := 1.0
 	for len(remaining) > 0 {
 		flushNegs()
-		// Greedy: most bound variables first; tie-break on original order.
-		best, bestScore := -1, -1
-		for pos, i := range remaining {
-			score := 0
-			for _, v := range r.Body[i].Atom.Vars() {
-				if bound[v] {
-					score++
+		var best int
+		var est float64
+		if mode.cost {
+			best, est = pickCostAtom(r, remaining, bound, db, card)
+		} else {
+			// Greedy: most bound variables first; tie-break on original
+			// order.
+			bestScore := -1
+			best = -1
+			for pos, i := range remaining {
+				score := 0
+				for _, v := range r.Body[i].Atom.Vars() {
+					if bound[v] {
+						score++
+					}
 				}
-			}
-			for _, t := range r.Body[i].Atom.Args {
-				if t.Kind == datalog.TermConst {
-					score++
+				for _, t := range r.Body[i].Atom.Args {
+					if t.Kind == datalog.TermConst {
+						score++
+					}
 				}
-			}
-			if score > bestScore {
-				best, bestScore = pos, score
+				if score > bestScore {
+					best, bestScore = pos, score
+				}
 			}
 		}
 		i := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		if err := emitAtom(i, stepScan); err != nil {
 			return nil, err
+		}
+		if mode.cost {
+			card *= est
+			if card < minEstimate {
+				card = minEstimate
+			}
+			ls := &p.steps[len(p.steps)-1]
+			ls.estOut, ls.estCard = est, card
 		}
 	}
 	flushNegs()
@@ -324,6 +375,9 @@ func compilePlan(r *datalog.Rule, deltaPos int, db *storage.Database, backend Ba
 			}
 			p.headOps = append(p.headOps, op)
 		}
+	}
+	if mode.cost {
+		p.estResult = card * r.FilterSelectivity()
 	}
 	return p, nil
 }

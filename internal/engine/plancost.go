@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/storage"
+)
+
+// This file is the read path's cost-based planner (ISSUE 8 / ROADMAP open
+// item 3): query-time plans order their joins by table statistics —
+// bound-variable-first, smallest-estimated-intermediate-next, warm index
+// probes preferred over scans. Maintenance plans never come through here:
+// their fixed greedy order is pinned byte-for-byte by the exchange
+// equivalence and scheduler determinism suites (and by the planorder
+// analyzer).
+
+// minEstimate floors cardinality estimates so selective probes never
+// collapse the running estimate to zero and erase later steps' ranking.
+const minEstimate = 0.05
+
+// atomCost estimates, for body atom a under the current bound-variable
+// set, the number of rows matching a complete binding of its bound
+// columns. It also reports whether any column is bound (the atom can run
+// as a probe rather than a cross product) and whether a bound column
+// already has a warm persistent index.
+func atomCost(a datalog.Atom, bound map[string]bool, db *storage.Database) (est float64, hasBound, warm bool) {
+	tbl := db.Table(a.Pred)
+	if tbl == nil {
+		// Unknown relation: emitAtom reports the real error; any estimate
+		// works.
+		return 1, false, false
+	}
+	st := tbl.Stats()
+	est = float64(st.Rows)
+	for col, t := range a.Args {
+		var b bool
+		switch t.Kind {
+		case datalog.TermConst:
+			b = true
+		case datalog.TermVar:
+			b = bound[t.Var]
+		}
+		if !b {
+			continue
+		}
+		hasBound = true
+		if tbl.HasIndex(col) {
+			warm = true
+		}
+		// Uniformity assumption: a bound column keeps 1/distinct of the
+		// rows.
+		d := float64(st.Distinct[col])
+		if d < 1 {
+			d = 1
+		}
+		est /= d
+	}
+	if est < minEstimate {
+		est = minEstimate
+	}
+	return est, hasBound, warm
+}
+
+// pickCostAtom selects the next body atom of a cost-based plan from
+// remaining (positions into r.Body): bound-variable-first, then smallest
+// estimated intermediate (current cardinality × the atom's estimate),
+// then warm-index probes, with the original body order breaking remaining
+// ties so plans stay deterministic for a given database state. It returns
+// the index into remaining plus the chosen atom's estimate.
+func pickCostAtom(r *datalog.Rule, remaining []int, bound map[string]bool, db *storage.Database, card float64) (pos int, est float64) {
+	best := -1
+	var bestEst, bestCost float64
+	var bestBound, bestWarm bool
+	for p, i := range remaining {
+		e, hb, warm := atomCost(r.Body[i].Atom, bound, db)
+		cost := card * e
+		better := false
+		switch {
+		case best < 0:
+			better = true
+		case hb != bestBound:
+			better = hb
+		case cost != bestCost:
+			better = cost < bestCost
+		case warm != bestWarm:
+			better = warm
+		}
+		if better {
+			best, bestEst, bestCost, bestBound, bestWarm = p, e, cost, hb, warm
+		}
+	}
+	return best, bestEst
+}
+
+// ExplainString renders the physical plan of every rule in the program:
+// the chosen join order, each step's access path (delta / scan / index
+// probe / transient-hash probe / negation check), and — for cost-based
+// plans — the per-step cardinality estimates and the estimated result
+// size after filters. The output is the `orchestra stats -explain`
+// surface; it is human-readable text, not a stable format.
+func (ev *Evaluator) ExplainString() string {
+	var b strings.Builder
+	for ri, r := range ev.prog.Rules {
+		if ri > 0 {
+			b.WriteByte('\n')
+		}
+		p := ev.naivePlans[r]
+		fmt.Fprintf(&b, "%s\n", r)
+		if p == nil {
+			continue
+		}
+		mode := "fixed order (maintenance default)"
+		if p.costBased {
+			mode = "cost-based (bound-first, smallest intermediate)"
+		}
+		fmt.Fprintf(&b, "  join order: %s\n", mode)
+		for i := range p.steps {
+			st := &p.steps[i]
+			fmt.Fprintf(&b, "  %2d. %s", i+1, stepDescription(ev, st))
+			if p.costBased && st.estCard > 0 {
+				fmt.Fprintf(&b, "  [est %s rows/probe, %s intermediate]",
+					fmtEst(st.estOut), fmtEst(st.estCard))
+			}
+			b.WriteByte('\n')
+		}
+		for fi, d := range r.FilterDescs {
+			sel := 1.0
+			if fi < len(r.FilterSels) {
+				sel = r.FilterSels[fi]
+			}
+			fmt.Fprintf(&b, "  where %s  [est selectivity %.2f]\n", d, sel)
+		}
+		if p.costBased {
+			fmt.Fprintf(&b, "  estimated results: %s\n", fmtEst(p.estResult))
+		}
+	}
+	return b.String()
+}
+
+// stepDescription names a step's access path, including whether a probe
+// hits a warm persistent index or pays a transient build / scan.
+func stepDescription(ev *Evaluator, st *step) string {
+	switch st.kind {
+	case stepDelta:
+		return fmt.Sprintf("delta %s", st.pred)
+	case stepScan:
+		return fmt.Sprintf("scan %s (%d rows)", st.pred, st.tbl.Len())
+	case stepProbe:
+		access := "scan fallback"
+		switch {
+		case st.idx != nil:
+			access = "persistent index"
+		case ev.opts.Backend == BackendHash:
+			access = "transient hash"
+		}
+		return fmt.Sprintf("probe %s on column %d via %s", st.pred, st.probeCol, access)
+	case stepNegCheck:
+		return fmt.Sprintf("check ¬%s", st.pred)
+	}
+	return "?"
+}
+
+// fmtEst renders a cardinality estimate compactly.
+func fmtEst(v float64) string {
+	if v >= 10 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/value"
+)
+
+// costQueryProg is ans(x, z) :- big(x, y), small(y, z): written big-first
+// so only a cost-based plan reorders it to lead with the small relation.
+func costQueryProg() *datalog.Program {
+	return datalog.NewProgram(
+		datalog.NewRule("q", datalog.NewAtom("ans", datalog.V("x"), datalog.V("z")),
+			datalog.Pos(datalog.NewAtom("big", datalog.V("x"), datalog.V("y"))),
+			datalog.Pos(datalog.NewAtom("small", datalog.V("y"), datalog.V("z")))),
+	)
+}
+
+func TestCostBasedOrderLeadsWithSmallTable(t *testing.T) {
+	for _, be := range backends() {
+		t.Run(be.String(), func(t *testing.T) {
+			db := newDB(map[string]int{"big": 2, "small": 2, "ans": 2})
+			for i := int64(0); i < 500; i++ {
+				db.Table("big").Insert(tup(i, i%50))
+			}
+			for i := int64(0); i < 5; i++ {
+				db.Table("small").Insert(tup(i, i+100))
+			}
+			ev, err := NewQuery(costQueryProg(), db, value.NewSkolemTable(), Options{Backend: be, CostBased: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := ev.naivePlans[ev.prog.Rules[0]]
+			if !p.costBased {
+				t.Fatal("plan not marked cost-based")
+			}
+			if got := p.steps[0].pred; got != "small" {
+				t.Fatalf("first step reads %q, want the small relation", got)
+			}
+			if p.steps[1].kind != stepProbe {
+				t.Fatalf("second step kind = %d, want probe", p.steps[1].kind)
+			}
+			// Results must match the fixed-order plan.
+			if _, err := ev.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got := db.Table("ans").Len()
+
+			db2 := newDB(map[string]int{"big": 2, "small": 2, "ans": 2})
+			for i := int64(0); i < 500; i++ {
+				db2.Table("big").Insert(tup(i, i%50))
+			}
+			for i := int64(0); i < 5; i++ {
+				db2.Table("small").Insert(tup(i, i+100))
+			}
+			ev2, err := New(costQueryProg(), db2, value.NewSkolemTable(), Options{Backend: be})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ev2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if want := db2.Table("ans").Len(); got != want {
+				t.Fatalf("cost-based plan derived %d rows, fixed-order %d", got, want)
+			}
+		})
+	}
+}
+
+func TestCostBasedBoundFirstAvoidsCrossProduct(t *testing.T) {
+	// q(x) :- a(x), b(y), c(x, y): after a binds x, the cost picker must
+	// prefer c (bound via x) over the unbound b even though b is smaller.
+	db := newDB(map[string]int{"a": 1, "b": 1, "c": 2, "q": 1})
+	for i := int64(0); i < 50; i++ {
+		db.Table("a").Insert(tup(i))
+	}
+	for i := int64(0); i < 3; i++ {
+		db.Table("b").Insert(tup(i))
+	}
+	for i := int64(0); i < 200; i++ {
+		db.Table("c").Insert(tup(i%50, i%3))
+	}
+	prog := datalog.NewProgram(
+		datalog.NewRule("q", datalog.NewAtom("q", datalog.V("x")),
+			datalog.Pos(datalog.NewAtom("a", datalog.V("x"))),
+			datalog.Pos(datalog.NewAtom("b", datalog.V("y"))),
+			datalog.Pos(datalog.NewAtom("c", datalog.V("x"), datalog.V("y")))),
+	)
+	ev, err := NewQuery(prog, db, value.NewSkolemTable(), Options{Backend: BackendIndexed, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ev.naivePlans[prog.Rules[0]]
+	order := []string{p.steps[0].pred, p.steps[1].pred, p.steps[2].pred}
+	// b must come last: joining it before c would be a cross product.
+	if order[1] != "c" {
+		t.Fatalf("join order %v, want c joined second (bound-variable-first)", order)
+	}
+}
+
+func TestNewQueryUsesWarmIndexOnHashBackend(t *testing.T) {
+	db := newDB(map[string]int{"r": 2, "ans": 1})
+	for i := int64(0); i < 100; i++ {
+		db.Table("r").Insert(tup(i, i%10))
+	}
+	db.Table("r").EnsureIndex(0) // the declared secondary index
+	prog := datalog.NewProgram(
+		datalog.NewRule("q", datalog.NewAtom("ans", datalog.V("y")),
+			datalog.Pos(datalog.NewAtom("r", datalog.C(value.Int(7)), datalog.V("y")))),
+	)
+	ev, err := NewQuery(prog, db, value.NewSkolemTable(), Options{Backend: BackendHash, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ev.naivePlans[prog.Rules[0]]
+	if p.steps[0].kind != stepProbe || p.steps[0].idx == nil {
+		t.Fatalf("hash-backend query plan did not cache the warm index (kind=%d idx=%v)", p.steps[0].kind, p.steps[0].idx)
+	}
+	stats, err := ev.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TransientBuilds != 0 {
+		t.Fatalf("TransientBuilds = %d, want 0 (warm index should be probed)", stats.TransientBuilds)
+	}
+	if db.Table("ans").Len() != 1 || !db.Table("ans").Contains(tup(7)) {
+		t.Fatalf("wrong result: %v", db.Table("ans").Rows())
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	db := newDB(map[string]int{"big": 2, "small": 2, "ans": 2})
+	for i := int64(0); i < 100; i++ {
+		db.Table("big").Insert(tup(i, i%10))
+	}
+	db.Table("small").Insert(tup(1, 2))
+	prog := costQueryProg()
+	prog.Rules[0].AddFilterSel("x >= 3", 1.0/3, func(value.Env) bool { return true })
+	ev, err := NewQuery(prog, db, value.NewSkolemTable(), Options{Backend: BackendIndexed, CostBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ev.ExplainString()
+	for _, want := range []string{
+		"cost-based", "scan small", "probe big", "persistent index",
+		"where x >= 3", "est selectivity 0.33", "estimated results",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package planorder guards the plan-determinism split of the read path
+// (PR 8): maintenance and exchange evaluators are built with engine.New
+// and must produce byte-identical fixed-order plans run after run, while
+// the interactive query path — core's query.go and explain.go — plans
+// through engine.NewQuery, which opts into table statistics, cost-based
+// join reordering, and warm-index pickup. Crossing the line in either
+// direction silently breaks an invariant: NewQuery on a maintenance
+// path makes incremental passes depend on live statistics (plans drift
+// between runs and between replicas), and New on the query path pins
+// user queries to the mapping-declared atom order, discarding the
+// optimizer.
+package planorder
+
+import (
+	"go/ast"
+	"path/filepath"
+
+	"orchestra/internal/lint/analysis"
+)
+
+// corePkg is the package whose files are split into the two planes.
+const corePkg = "orchestra/internal/core"
+
+// QueryPathFiles are the core files that form the interactive read
+// path; only they may construct query-mode evaluators.
+var QueryPathFiles = map[string]bool{
+	"query.go":   true,
+	"explain.go": true,
+}
+
+const (
+	engineNew      = "orchestra/internal/engine.New"
+	engineNewQuery = "orchestra/internal/engine.NewQuery"
+)
+
+// Analyzer is the planorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "planorder",
+	Doc: "maintenance plans use engine.New, the read path uses engine.NewQuery\n\n" +
+		"engine.NewQuery enables statistics-driven join reordering and warm-index\n" +
+		"pickup, so its plans change as data changes — fine for one-shot queries,\n" +
+		"fatal for maintenance passes whose plans must stay byte-identical across\n" +
+		"runs and replicas. Only core's query path (query.go, explain.go) may call\n" +
+		"it, and that path must not fall back to the fixed-order engine.New.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// The engine package itself defines both constructors and may wire
+	// them however its own tests need.
+	if pass.Pkg.Path() == "orchestra/internal/engine" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		onQueryPath := pass.Pkg.Path() == corePkg && QueryPathFiles[base]
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch pass.CalleeName(call) {
+			case engineNewQuery:
+				if !onQueryPath {
+					pass.Reportf(call.Pos(), "engine.NewQuery outside core's query path: its statistics-driven plans are not run-to-run deterministic; maintenance and exchange evaluators must use engine.New")
+				}
+			case engineNew:
+				if onQueryPath {
+					pass.Reportf(call.Pos(), "engine.New on the query path pins the mapping-declared atom order; interactive queries must plan through engine.NewQuery (cost-based ordering, warm-index pickup)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

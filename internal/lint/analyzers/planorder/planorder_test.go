@@ -1,0 +1,14 @@
+package planorder
+
+import (
+	"testing"
+
+	"orchestra/internal/lint/analysistest"
+)
+
+func TestPlanorder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer,
+		"orchestra/internal/core",
+		"orchestra/internal/other",
+	)
+}

@@ -1,0 +1,8 @@
+// Testdata for planorder: explain.go shares the query path's rule.
+package core
+
+import "orchestra/internal/engine"
+
+func explain() (*engine.Eval, error) {
+	return engine.NewQuery(engine.Options{CostBased: true})
+}

@@ -1,0 +1,13 @@
+// Testdata for planorder: query.go is on the query path, so NewQuery
+// is the only legal constructor here.
+package core
+
+import "orchestra/internal/engine"
+
+func compileQuery() (*engine.Eval, error) {
+	return engine.NewQuery(engine.Options{CostBased: true})
+}
+
+func fixedOrderQuery() (*engine.Eval, error) {
+	return engine.New(engine.Options{}) // want `engine\.New on the query path`
+}

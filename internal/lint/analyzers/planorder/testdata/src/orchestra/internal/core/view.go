@@ -1,0 +1,13 @@
+// Testdata for planorder: maintenance files must build deterministic
+// fixed-order evaluators.
+package core
+
+import "orchestra/internal/engine"
+
+func maintain() (*engine.Eval, error) {
+	return engine.New(engine.Options{})
+}
+
+func driftingMaintain() (*engine.Eval, error) {
+	return engine.NewQuery(engine.Options{}) // want `engine\.NewQuery outside core's query path`
+}

@@ -1,0 +1,13 @@
+// Stub of orchestra/internal/engine: just enough surface for
+// planorder's qualified-name checks.
+package engine
+
+type Options struct {
+	CostBased bool
+}
+
+type Eval struct{}
+
+func New(opts Options) (*Eval, error) { return &Eval{}, nil }
+
+func NewQuery(opts Options) (*Eval, error) { return &Eval{}, nil }

@@ -1,0 +1,13 @@
+// Testdata for planorder: no package outside core's query path may
+// construct query-mode evaluators, whatever its file names.
+package other
+
+import "orchestra/internal/engine"
+
+func build() (*engine.Eval, error) {
+	return engine.NewQuery(engine.Options{}) // want `engine\.NewQuery outside core's query path`
+}
+
+func fine() (*engine.Eval, error) {
+	return engine.New(engine.Options{})
+}

@@ -301,3 +301,86 @@ func TestDeltaSortedViews(t *testing.T) {
 		}
 	}
 }
+
+func TestTableStats(t *testing.T) {
+	tb := NewTable("R", 2)
+	st := tb.Stats()
+	if st.Rows != 0 || st.Distinct[0] != 0 || st.Distinct[1] != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	// Column 0: two distinct values; column 1: all distinct.
+	for i := int64(0); i < 100; i++ {
+		tb.Insert(tup(i%2, i))
+	}
+	st = tb.Stats()
+	if st.Rows != 100 {
+		t.Fatalf("Rows = %d", st.Rows)
+	}
+	if st.Distinct[0] != 2 {
+		t.Fatalf("Distinct[0] = %d, want 2 (low-cardinality plateau)", st.Distinct[0])
+	}
+	if st.Distinct[1] != 100 {
+		t.Fatalf("Distinct[1] = %d, want 100", st.Distinct[1])
+	}
+	// Indexed columns are exact even beyond the sample cap.
+	tb.EnsureIndex(1)
+	for i := int64(100); i < 600; i++ {
+		tb.Insert(tup(i%2, i))
+	}
+	st = tb.Stats()
+	if st.Rows != 600 || st.Distinct[1] != 600 {
+		t.Fatalf("indexed stats = %+v", st)
+	}
+	// The unindexed high-cardinality column extrapolates from the sample.
+	if st.Distinct[0] != 2 {
+		t.Fatalf("Distinct[0] = %d after growth, want 2", st.Distinct[0])
+	}
+}
+
+func TestTableStatsExtrapolation(t *testing.T) {
+	tb := NewTable("R", 1)
+	for i := int64(0); i < 4*statsSampleCap; i++ {
+		tb.Insert(tup(i))
+	}
+	st := tb.Stats()
+	if st.Rows != 4*statsSampleCap {
+		t.Fatalf("Rows = %d", st.Rows)
+	}
+	// All-distinct sample should scale up to ~the full row count.
+	if st.Distinct[0] != 4*statsSampleCap {
+		t.Fatalf("Distinct[0] = %d, want %d", st.Distinct[0], 4*statsSampleCap)
+	}
+}
+
+func TestTableGeneration(t *testing.T) {
+	tb := NewTable("R", 1)
+	g0 := tb.Generation()
+	tb.Insert(tup(1))
+	g1 := tb.Generation()
+	if g1 <= g0 {
+		t.Fatal("insert did not advance generation")
+	}
+	if tb.Insert(tup(1)) || tb.Generation() != g1 {
+		t.Fatal("duplicate insert advanced generation")
+	}
+	tb.Delete(tup(1))
+	g2 := tb.Generation()
+	if g2 <= g1 {
+		t.Fatal("delete did not advance generation")
+	}
+	tb.Clear()
+	if tb.Generation() <= g2 {
+		t.Fatal("Clear did not advance generation")
+	}
+	// Stats are cached per generation.
+	tb.Insert(tup(5))
+	s1 := tb.Stats()
+	s2 := tb.Stats()
+	if &s1.Distinct[0] != &s2.Distinct[0] {
+		t.Fatal("Stats recomputed without a mutation")
+	}
+	tb.Insert(tup(6))
+	if tb.Stats().Rows != 2 {
+		t.Fatal("Stats stale after mutation")
+	}
+}

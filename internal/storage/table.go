@@ -35,6 +35,14 @@ type Table struct {
 	sorted []value.Tuple
 	// scratch is the reused encode buffer for mutating entry points.
 	scratch []byte
+	// gen counts mutations (insert, delete, clear). It never decreases, so
+	// a (table pointer, generation) pair identifies one exact table state —
+	// the query cache's invalidation token.
+	gen uint64
+	// stats caches the Stats() result; recomputed when gen has moved.
+	stats    TableStats
+	statsGen uint64
+	statsOK  bool
 }
 
 // colIndex maps a column value to the dense bucket of rows holding it.
@@ -116,6 +124,7 @@ func (t *Table) insert(r value.Row) {
 	t.rows = append(t.rows, r)
 	t.bytes += len(r.Key)
 	t.sorted = nil
+	t.gen++
 	for _, idx := range t.indexes {
 		idx.add(r)
 	}
@@ -165,6 +174,7 @@ func (t *Table) deleteAt(i int) {
 	delete(t.pos, r.Key)
 	t.bytes -= len(r.Key)
 	t.sorted = nil
+	t.gen++
 	for _, idx := range t.indexes {
 		idx.remove(r)
 	}
@@ -243,6 +253,7 @@ func (t *Table) Clear() {
 	t.rows = nil
 	t.bytes = 0
 	t.sorted = nil
+	t.gen++
 	for _, idx := range t.indexes {
 		idx.buckets = make(map[value.Value][]value.Row)
 	}
@@ -359,6 +370,75 @@ func (t *Table) ProbeCount(col int, v value.Value) int {
 		}
 	}
 	return n
+}
+
+// Generation returns the table's mutation counter. It increments on every
+// insert, delete, and Clear and never decreases, so a (table pointer,
+// generation) pair names one exact table state. The query cache uses it as
+// its invalidation token: a maintenance pass that never touches this table
+// leaves the generation — and every cached result reading it — intact.
+func (t *Table) Generation() uint64 { return t.gen }
+
+// statsSampleCap bounds the rows scanned when estimating distinct counts
+// for columns without an index; indexed columns are exact and free.
+const statsSampleCap = 256
+
+// TableStats summarizes a table for the cost-based query planner.
+type TableStats struct {
+	// Rows is the exact row count.
+	Rows int
+	// Distinct[c] estimates the number of distinct values in column c:
+	// exact (bucket count) when the column has a secondary index, else
+	// extrapolated from a bounded prefix sample of the row storage.
+	Distinct []int
+}
+
+// Stats returns the table's statistics, recomputing lazily after
+// mutations. The cost of a recompute is O(arity × min(rows, sample cap));
+// between mutations it is a field read. The returned Distinct slice is
+// shared with the cache — callers must not modify it. Stats caches into
+// the table, so it needs the same exclusion as mutating entry points.
+func (t *Table) Stats() TableStats {
+	if t.statsOK && t.statsGen == t.gen {
+		return t.stats
+	}
+	st := TableStats{Rows: len(t.rows), Distinct: make([]int, t.arity)}
+	sample := len(t.rows)
+	if sample > statsSampleCap {
+		sample = statsSampleCap
+	}
+	var seen map[value.Value]struct{}
+	for col := 0; col < t.arity; col++ {
+		if idx, ok := t.indexes[col]; ok {
+			st.Distinct[col] = len(idx.buckets)
+			continue
+		}
+		if sample == 0 {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[value.Value]struct{}, sample)
+		} else {
+			clear(seen)
+		}
+		for i := 0; i < sample; i++ {
+			seen[t.rows[i].Tuple[col]] = struct{}{}
+		}
+		d := len(seen)
+		est := d
+		if sample < len(t.rows) && d*2 >= sample {
+			// The sample looks high-cardinality: extrapolate linearly. A
+			// plateaued sample (d << sample) is kept as-is — low-cardinality
+			// columns saturate their distinct set early.
+			est = d * len(t.rows) / sample
+		}
+		if est > len(t.rows) {
+			est = len(t.rows)
+		}
+		st.Distinct[col] = est
+	}
+	t.stats, t.statsGen, t.statsOK = st, t.gen, true
+	return st
 }
 
 func (t *Table) checkArity(tup value.Tuple) {

@@ -200,6 +200,33 @@ func (p *Pred) Eval(env value.Env) bool {
 // Trivial reports whether the predicate is the constant true.
 func (p *Pred) Trivial() bool { return p.negated == nil && len(p.clauses) == 0 }
 
+// Selectivity estimates the fraction of bindings the predicate passes,
+// for the cost-based query planner. The numbers are the classic textbook
+// defaults — equality is selective, inequality barely filters, ranges
+// land in between — good enough to rank join orders, not to predict
+// cardinalities.
+func (p *Pred) Selectivity() float64 {
+	if p.negated != nil {
+		s := 1 - p.negated.Selectivity()
+		if s < 0.05 {
+			s = 0.05
+		}
+		return s
+	}
+	sel := 1.0
+	for _, c := range p.clauses {
+		switch c.op {
+		case OpEq:
+			sel *= 0.1
+		case OpNe:
+			sel *= 0.9
+		default: // ranges
+			sel *= 1.0 / 3
+		}
+	}
+	return sel
+}
+
 // Vars returns the variable names the predicate reads.
 func (p *Pred) Vars() []string {
 	if p.negated != nil {

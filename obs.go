@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orchestra/internal/core"
 	"orchestra/internal/exchange"
 	"orchestra/internal/logstore"
 	"orchestra/internal/obs"
@@ -63,6 +64,9 @@ type systemObs struct {
 	provRowsDeleted *obs.Counter
 	derived         *obs.Counter
 
+	// Read-path query cache counters, shared across views.
+	qcHits, qcMisses, qcEvictions *obs.Counter
+
 	// horizon is the highest bus length any pass (or Stats poll) has
 	// observed; per-view bus-lag gauges read it against the view's
 	// mirrored cursor.
@@ -114,6 +118,12 @@ func newSystemObs(o *obs.Observability) *systemObs {
 		"Provenance rows removed by deletion propagation.")
 	x.derived = r.Counter("orchestra_engine_derived_total",
 		"Tuples derived by engine fixpoints during exchange.")
+	x.qcHits = r.Counter("orchestra_query_cache_hits",
+		"Query results served from the provenance-invalidated result cache.")
+	x.qcMisses = r.Counter("orchestra_query_cache_misses",
+		"Queries evaluated because no valid cache entry existed.")
+	x.qcEvictions = r.Counter("orchestra_query_cache_evictions",
+		"Query cache entries evicted, by capacity or staleness.")
 	r.GaugeFunc("orchestra_bus_horizon",
 		"Highest bus publication count this system has observed.",
 		func() float64 { return float64(x.horizon.Load()) })
@@ -149,6 +159,15 @@ func (x *systemObs) ensureView(owner string) *viewObs {
 			obs.L("view", label))
 	}
 	return vo
+}
+
+// queryCacheMetrics resolves the cache counter bundle views attach to
+// their query caches; the zero value (observability off) is nil-safe.
+func (x *systemObs) queryCacheMetrics() core.QueryCacheMetrics {
+	if x == nil {
+		return core.QueryCacheMetrics{}
+	}
+	return core.QueryCacheMetrics{Hits: x.qcHits, Misses: x.qcMisses, Evictions: x.qcEvictions}
 }
 
 // raiseHorizon lifts the observed bus length monotonically.
@@ -280,6 +299,9 @@ func (s *System) initObs(o *Observability) {
 	}
 	for owner, h := range s.views {
 		x.ensureView(owner).cursor.Store(int64(h.cursor))
+		// Recovered views were built before the operations plane existed;
+		// attach their cache counters now.
+		h.view.SetQueryCacheMetrics(x.queryCacheMetrics())
 	}
 }
 

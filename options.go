@@ -19,6 +19,13 @@ type config struct {
 	serialExchange bool
 	// obs attaches an operations plane (WithObservability).
 	obs *Observability
+	// secIdx collects WithSecondaryIndex declarations, validated in New.
+	secIdx []secIndexSpec
+}
+
+// secIndexSpec is one WithSecondaryIndex declaration.
+type secIndexSpec struct {
+	owner, relation, column string
 }
 
 // persistConfig collects WithPersistence's sub-options.
@@ -166,6 +173,47 @@ func CheckpointManual() PersistOption {
 // the node can register into the same bundle via EnableMetrics.
 func WithObservability(o *Observability) Option {
 	return func(c *config) { c.obs = o }
+}
+
+// WithSecondaryIndex declares a persistent secondary index on one
+// column (by name) of a relation's curated instance in the owner's view
+// ("" declares on the global view). The index is built when the view
+// materializes — including recovery from a persisted snapshot — and the
+// storage layer maintains it incrementally through every maintenance
+// pass, so read-path probes on that column hit a warm index instead of
+// scanning or (on the hash backend) paying a per-query transient build.
+// New validates the declaration against the Spec and fails fast on an
+// unknown peer, relation, or column. Declaring the same index twice is
+// harmless.
+func WithSecondaryIndex(owner, relation, column string) Option {
+	return func(c *config) {
+		c.secIdx = append(c.secIdx, secIndexSpec{owner: owner, relation: relation, column: column})
+	}
+}
+
+// WithQueryCache sizes each view's query-result cache: entries is the
+// per-view LRU capacity. The cache serves repeated reads without
+// re-evaluation and is invalidated precisely — a maintenance pass
+// touching relation R evicts only cached queries whose body mentions R,
+// via per-table generation counters, so a stale answer is never served.
+// Without this option every view caches up to a default number of
+// entries; entries <= 0 disables caching entirely.
+func WithQueryCache(entries int) Option {
+	return func(c *config) {
+		if entries <= 0 {
+			entries = -1
+		}
+		c.opts.QueryCacheSize = entries
+	}
+}
+
+// WithLegacyQueryPlanner reverts read-path queries to the fixed greedy
+// join order maintenance plans use, instead of cost-based ordering from
+// table statistics. Results are identical either way (the plan
+// equivalence property test pins this down); this exists as the
+// benchmark baseline and as an escape hatch.
+func WithLegacyQueryPlanner() Option {
+	return func(c *config) { c.opts.LegacyQueryPlanner = true }
 }
 
 // WithTrustFor installs (or overrides) a peer's trust policy. The Spec

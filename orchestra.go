@@ -58,6 +58,10 @@ type System struct {
 	// unconditionally. See obs.go.
 	obsx *systemObs
 
+	// secIdx holds the validated WithSecondaryIndex declarations, applied
+	// to each view when it materializes (setupView).
+	secIdx []secIndexSpec
+
 	// mu guards the views map.
 	mu    sync.RWMutex
 	views map[string]*viewHandle
@@ -100,12 +104,32 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	for _, ix := range cfg.secIdx {
+		if ix.owner != "" && sp.Universe.Peer(ix.owner) == nil {
+			return nil, fmt.Errorf("orchestra: WithSecondaryIndex: unknown peer %q", ix.owner)
+		}
+		rel := sp.Universe.Relation(ix.relation)
+		if rel == nil {
+			return nil, fmt.Errorf("orchestra: WithSecondaryIndex: unknown relation %q", ix.relation)
+		}
+		found := false
+		for _, col := range rel.Cols {
+			if col.Name == ix.column {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("orchestra: WithSecondaryIndex: relation %q has no column %q", ix.relation, ix.column)
+		}
+	}
 	s := &System{
 		spec:     sp,
 		opts:     cfg.opts,
 		strategy: cfg.strategy,
 		sched:    exchange.NewScheduler[ApplyStats](cfg.exchPar),
 		coalesce: !cfg.serialExchange,
+		secIdx:   cfg.secIdx,
 		views:    make(map[string]*viewHandle),
 	}
 	if cfg.persist != nil {
@@ -207,9 +231,26 @@ func (s *System) handle(owner string) (*viewHandle, error) {
 			return nil, err
 		}
 	}
+	s.setupView(owner, v)
 	h = &viewHandle{view: v}
 	s.views[owner] = h
 	return h, nil
+}
+
+// setupView finishes a freshly created (or recovered, or evolution-
+// rebuilt) view: it builds the owner's declared secondary indexes and
+// attaches the query-cache counters when an operations plane is on.
+func (s *System) setupView(owner string, v *core.View) {
+	for _, ix := range s.secIdx {
+		if ix.owner != owner {
+			continue
+		}
+		// New validated every declaration against the original Spec, so a
+		// failure here means a spec evolution removed the relation or
+		// column — the declaration is simply void for the rebuilt view.
+		_ = v.DeclareSecondaryIndex(ix.relation, ix.column)
+	}
+	v.SetQueryCacheMetrics(s.obsx.queryCacheMetrics())
 }
 
 // Publish validates a peer's edit log against the spec (peers edit only
@@ -421,6 +462,35 @@ func (s *System) Query(ctx context.Context, owner, q string, includeNulls bool) 
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.view.QueryContext(ctx, q, includeNulls)
+}
+
+// ExplainQuery renders the physical plan Query would use for q over the
+// owner's view — join order, access paths (warm index / transient hash /
+// scan), cardinality estimates — without evaluating it. The output is
+// human-readable text, not a stable format; it is the `orchestra stats
+// -explain` surface.
+func (s *System) ExplainQuery(ctx context.Context, owner, q string) (string, error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return "", err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.view.ExplainQueryContext(ctx, q)
+}
+
+// QueryCacheStats reports the owner's view query-cache counters:
+// results served from cache, misses, and evictions (capacity plus
+// staleness). All zeros when the cache is disabled (WithQueryCache <= 0).
+func (s *System) QueryCacheStats(owner string) (hits, misses, evictions uint64, err error) {
+	h, err := s.handle(owner)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hits, misses, evictions = h.view.QueryCacheStats()
+	return hits, misses, evictions, nil
 }
 
 // ProvenanceInfo describes one instance tuple's provenance.

@@ -83,6 +83,7 @@ func (s *System) openPersistence(cfg *config) error {
 			return fmt.Errorf("orchestra: view %q persisted cursor %d exceeds durable bus length %d (mismatched or truncated state directory?)",
 				vs.Owner, vs.Cursor, s.ownBus.Len())
 		}
+		s.setupView(vs.Owner, v)
 		s.views[vs.Owner] = &viewHandle{view: v, cursor: vs.Cursor}
 	}
 	return nil

@@ -37,6 +37,9 @@ type (
 	ApplyStats = core.ApplyStats
 	// EngineStats reports fixpoint-evaluation work.
 	EngineStats = engine.Stats
+	// QueryError is a structured query parse/validation failure carrying
+	// the byte offset of the offending fragment (see its Detail method).
+	QueryError = core.QueryError
 	// DeletionStrategy selects how deletions are propagated (§6.3).
 	DeletionStrategy = core.DeletionStrategy
 	// Backend selects the physical evaluation engine (§5).
