@@ -3,7 +3,7 @@ GO ?= go
 # bench-check gates against the newest committed benchmark snapshot;
 # override for local experiments, e.g.
 #   make bench-check BENCH_SNAPSHOT=BENCH_last.json BENCH_THRESHOLD=5
-BENCH_SNAPSHOT ?= BENCH_pr8.json
+BENCH_SNAPSHOT ?= BENCH_pr9.json
 BENCH_THRESHOLD ?= 15
 
 .PHONY: all build test vet lint race bench bench-check bench-smoke examples staticcheck

@@ -60,10 +60,11 @@ type BusServer struct {
 }
 
 // EnableMetrics registers the publication service's instruments —
-// publish accept/reject/fail counters and, when persisting, durable
-// append telemetry — in o's registry. Call it before serving; metrics
-// and persistence wiring compose in either order.
+// publish accept/reject/fail counters, the publish-record lineage ring,
+// and, when persisting, durable append telemetry — in o. Call it before
+// serving; metrics and persistence wiring compose in either order.
 func (s *BusServer) EnableMetrics(o *Observability) {
+	s.srv.SetPubTracer(o.PubTracer())
 	r := o.Registry()
 	if r == nil {
 		return
@@ -111,13 +112,13 @@ func (s *BusServer) PersistTo(path string) (int, error) {
 		return 0, err
 	}
 	for _, p := range pubs {
-		if err := s.srv.Preload(p.Peer, p.Log); err != nil {
+		if err := s.srv.Preload(p.Peer, p.Log, p.TraceID); err != nil {
 			store.Close()
 			return 0, err
 		}
 	}
 	s.store = store
-	s.srv.Persist = store.Append
+	s.srv.Persist = store.AppendTraced
 	if s.reg != nil {
 		store.SetMetrics(busAppendMetrics(s.reg))
 	}

@@ -13,6 +13,7 @@
 //	orchestra stats -state dir                         # offline state-dir dashboard
 //	orchestra stats -url http://host:port              # scrape a running orchestrad
 //	orchestra stats -explain "ans(x,y) :- U(x,y)" [-owner peer] spec.cdss   # query plan
+//	orchestra trace -pub <trace-id> -url http://a,http://b [-token T]       # publication lineage
 //
 // With -state, the system runs durably out of the given directory
 // (view snapshots plus a publication log): the first run seeds the bus
@@ -38,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"orchestra"
 )
@@ -51,7 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: orchestra <run|query|prov|graph|show> [flags] spec.cdss")
+		return fmt.Errorf("usage: orchestra <run|query|prov|graph|show|evolve|stats|trace> [flags] [spec.cdss]")
 	}
 	cmd, rest := args[0], args[1:]
 	ctx := context.Background()
@@ -69,10 +71,25 @@ func run(args []string, out io.Writer) error {
 	stateDir := fs.String("state", "", "durable state directory (snapshots + publication log); reuse it across runs to recover instead of replaying")
 	diffFile := fs.String("diff", "", "spec-diff file for evolve")
 	outFile := fs.String("o", "", "where evolve writes the evolved spec (default stdout)")
-	urlStr := fs.String("url", "", "base URL of a running orchestrad for stats, e.g. http://localhost:7117")
+	urlStr := fs.String("url", "", "base URL of a running orchestrad for stats (trace accepts a comma-separated list), e.g. http://localhost:7117")
 	explainQ := fs.String("explain", "", "stats: render the physical query plan (join order, access paths, estimates) for this query instead of the dashboard; takes a spec file")
+	pubID := fs.String("pub", "", "trace: the publication's trace id (printed by smokepub, logged by orchestrad, returned by /publish)")
+	token := fs.String("token", "", "admin bearer token for trace's /debug/trace requests")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	// trace talks to running daemons only: no spec file involved.
+	if cmd == "trace" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("trace takes no spec file (use -pub and -url)")
+		}
+		var urls []string
+		for _, u := range strings.Split(*urlStr, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		return traceCmd(*pubID, urls, *token, out)
 	}
 	// stats inspects a state directory or a daemon — except -explain,
 	// which compiles a query against a spec file's materialized view.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -87,6 +88,17 @@ func statsFromDaemon(url string, out io.Writer) error {
 
 	fmt.Fprintf(out, "orchestrad at %s\n", url)
 	fmt.Fprintf(out, "  health       %s\n", strings.TrimSpace(health))
+	if versions := m.labelValues("orchestra_build_info", "version"); len(versions) > 0 {
+		build := versions[0]
+		if gos := m.labelValues("orchestra_build_info", "go_version"); len(gos) > 0 {
+			build += " (" + gos[0] + ")"
+		}
+		fmt.Fprintf(out, "  build        %s\n", build)
+	}
+	if up, ok := m.lookup("orchestra_process_uptime_seconds"); ok {
+		fmt.Fprintf(out, "  uptime       %s\n",
+			(time.Duration(up * float64(time.Second))).Round(time.Second))
+	}
 
 	passes := m.value(`orchestra_exchange_passes_total{kind="exchange"}`) +
 		m.value(`orchestra_exchange_passes_total{kind="exchange_all"}`)
@@ -112,6 +124,16 @@ func statsFromDaemon(url string, out io.Writer) error {
 		m.value("orchestra_publish_accepted_total"),
 		m.value("orchestra_publish_rejected_total"),
 		m.value("orchestra_publish_failed_total"))
+	hits, misses := m.value("orchestra_query_cache_hits"), m.value("orchestra_query_cache_misses")
+	if hits+misses > 0 {
+		fmt.Fprintf(out, "  query cache  hits=%.0f misses=%.0f hit-ratio=%.1f%%\n",
+			hits, misses, 100*hits/(hits+misses))
+	}
+	if bs, total := m.histogramBuckets("orchestra_query_duration_seconds"); total > 0 {
+		fmt.Fprintf(out, "  query time   p50=%s p99=%s over %.0f queries\n",
+			quantileDuration(bs, total, 0.50),
+			quantileDuration(bs, total, 0.99), total)
+	}
 
 	views := m.labelValues("orchestra_view_cursor", "view")
 	if len(views) > 0 {
@@ -196,6 +218,67 @@ func (m metricSet) sumAcrossLabels(name string) float64 {
 		}
 	}
 	return total
+}
+
+// histogramBuckets merges a histogram's cumulative bucket counts across
+// every label combination (e.g. the query-duration histogram's cache
+// outcomes) into one ascending (le, cumulative-count) list, plus the
+// total observation count.
+func (m metricSet) histogramBuckets(name string) ([]bucket, float64) {
+	prefix := name + "_bucket{"
+	byLE := make(map[float64]float64)
+	for k, v := range m {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(k, prefix), "}")
+		for _, kv := range strings.Split(body, ",") {
+			raw, ok := strings.CutPrefix(kv, "le=")
+			if !ok {
+				continue
+			}
+			if unq, err := strconv.Unquote(raw); err == nil {
+				if le, err := strconv.ParseFloat(unq, 64); err == nil {
+					byLE[le] += v
+				}
+			}
+		}
+	}
+	les := make([]float64, 0, len(byLE))
+	for le := range byLE {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	out := make([]bucket, len(les))
+	var total float64
+	for i, le := range les {
+		out[i] = bucket{le: le, count: byLE[le]}
+		total = byLE[le] // cumulative: the +Inf (or last) bucket holds the total
+	}
+	return out, total
+}
+
+// bucket is one cumulative histogram bucket: count of observations <= le.
+type bucket struct{ le, count float64 }
+
+// quantileDuration estimates the q-quantile from cumulative buckets by
+// linear interpolation within the bucket the rank falls in — the same
+// estimate Prometheus's histogram_quantile computes.
+func quantileDuration(bs []bucket, total, q float64) time.Duration {
+	rank := q * total
+	lo, cum := 0.0, 0.0
+	for _, b := range bs {
+		if b.count >= rank {
+			width, inBucket := b.le-lo, b.count-cum
+			if math.IsInf(b.le, 1) || inBucket <= 0 {
+				return time.Duration(lo * float64(time.Second))
+			}
+			frac := (rank - cum) / inBucket
+			return time.Duration((lo + width*frac) * float64(time.Second))
+		}
+		lo, cum = b.le, b.count
+	}
+	return time.Duration(lo * float64(time.Second))
 }
 
 // labelValues collects the sorted distinct values of one label across

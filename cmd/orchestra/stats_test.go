@@ -59,6 +59,16 @@ orchestra_view_cursor{view="(global)"} 6
 orchestra_view_cursor{view="PGUS"} 5
 orchestra_bus_lag{view="(global)"} 0
 orchestra_bus_lag{view="PGUS"} 1
+orchestra_build_info{go_version="go1.24",version="v0.9.0"} 1
+orchestra_process_uptime_seconds 42
+orchestra_query_cache_hits 30
+orchestra_query_cache_misses 10
+orchestra_query_duration_seconds_bucket{le="0.001",outcome="hit"} 25
+orchestra_query_duration_seconds_bucket{le="0.01",outcome="hit"} 30
+orchestra_query_duration_seconds_bucket{le="+Inf",outcome="hit"} 30
+orchestra_query_duration_seconds_bucket{le="0.001",outcome="miss"} 2
+orchestra_query_duration_seconds_bucket{le="0.01",outcome="miss"} 8
+orchestra_query_duration_seconds_bucket{le="+Inf",outcome="miss"} 10
 `
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
@@ -86,6 +96,10 @@ orchestra_bus_lag{view="PGUS"} 1
 		"edits=20 cancelled=4 last-pass ratio=0.20",
 		"age=1.5s",
 		"accepted=6 rejected=1 failed=0",
+		"build        v0.9.0 (go1.24)",
+		"uptime       42s",
+		"hits=30 misses=10 hit-ratio=75.0%",
+		"p50=", "p99=", "over 40 queries",
 		"(global)", "PGUS",
 	} {
 		if !strings.Contains(got, want) {

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// traceCmd renders one publication's end-to-end lineage across a
+// confederation: for every listed orchestrad it fetches
+// /debug/trace?pub=<id> and prints the publish-side record (on the node
+// that accepted the publish) followed by every exchange pass that
+// imported the publication, with per-hop wall clocks down to the
+// maintenance phases. The same trace id links the hops because publish
+// propagates it in the traceparent header and the bus log stamps it
+// into the durable frame — so the tree spans processes, not just one.
+func traceCmd(pubID string, urls []string, token string, out io.Writer) error {
+	if pubID == "" {
+		return fmt.Errorf("trace requires -pub <trace-id>")
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("trace requires -url http://nodeA[,http://nodeB,...]")
+	}
+	fmt.Fprintf(out, "trace %s\n", pubID)
+	found := false
+	for _, u := range urls {
+		u = strings.TrimRight(u, "/")
+		pt, err := fetchPubTrace(u, pubID, token)
+		if err != nil {
+			return fmt.Errorf("%s: %w", u, err)
+		}
+		if renderNodeTrace(out, u, pubID, pt) {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintln(out, "  (no node has a record of this publication — wrong id, or the rings have rotated past it)")
+	}
+	return nil
+}
+
+// Wire shapes mirroring orchestrad's /debug/trace?pub= response.
+type wireSpan struct {
+	Name       string            `json:"name"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]int64  `json:"attrs"`
+	Labels     map[string]string `json:"labels"`
+	Children   []*wireSpan       `json:"children"`
+}
+
+type wirePubTrace struct {
+	TraceID string `json:"trace_id"`
+	Publish *struct {
+		Peer     string    `json:"peer"`
+		Cursor   int       `json:"cursor"`
+		Start    time.Time `json:"start"`
+		Edits    int       `json:"edits"`
+		AppendNS int64     `json:"append_ns"`
+		TotalNS  int64     `json:"total_ns"`
+	} `json:"publish"`
+	Passes []struct {
+		Pass struct {
+			Seq    uint64 `json:"seq"`
+			Kind   string `json:"kind"`
+			WallNS int64  `json:"wall_ns"`
+		} `json:"pass"`
+		Spans *wireSpan `json:"spans"`
+	} `json:"passes"`
+}
+
+func fetchPubTrace(baseURL, pubID, token string) (*wirePubTrace, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/debug/trace?pub="+pubID, nil)
+	if err != nil {
+		return nil, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/trace: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var pt wirePubTrace
+	if err := json.Unmarshal(body, &pt); err != nil {
+		return nil, fmt.Errorf("decoding trace: %w", err)
+	}
+	return &pt, nil
+}
+
+// renderNodeTrace prints one node's slice of the lineage; it reports
+// whether the node had anything to show.
+func renderNodeTrace(out io.Writer, nodeURL, pubID string, pt *wirePubTrace) bool {
+	if pt.Publish == nil && len(pt.Passes) == 0 {
+		return false
+	}
+	fmt.Fprintf(out, "● %s\n", nodeURL)
+	if p := pt.Publish; p != nil {
+		fmt.Fprintf(out, "  publish  peer=%s cursor=%d edits=%d append=%s total=%s\n",
+			p.Peer, p.Cursor, p.Edits, fmtNS(p.AppendNS), fmtNS(p.TotalNS))
+	}
+	for _, pe := range pt.Passes {
+		fmt.Fprintf(out, "  pass:%s #%d wall=%s\n", pe.Pass.Kind, pe.Pass.Seq, fmtNS(pe.Pass.WallNS))
+		if pe.Spans == nil {
+			continue
+		}
+		// Only the view spans that consumed this publication belong to
+		// its lineage; a pass may have maintained other views too.
+		var views []*wireSpan
+		skipped := 0
+		for _, vs := range pe.Spans.Children {
+			if strings.Contains(","+vs.Labels["trace_ids"]+",", ","+pubID+",") {
+				views = append(views, vs)
+			} else {
+				skipped++
+			}
+		}
+		for i, vs := range views {
+			renderViewSpan(out, vs, i == len(views)-1 && skipped == 0)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(out, "  └─ (%d other view(s) in this pass did not consume it)\n", skipped)
+		}
+	}
+	return true
+}
+
+func renderViewSpan(out io.Writer, vs *wireSpan, last bool) {
+	branch, cont := "├─", "│ "
+	if last {
+		branch, cont = "└─", "  "
+	}
+	fmt.Fprintf(out, "  %s %s wall=%s pubs=%d edits=%d derived=%d\n",
+		branch, vs.Name, fmtNS(vs.DurationNS),
+		vs.Attrs["publications"], vs.Attrs["edits_in"], vs.Attrs["engine_derived"])
+	for i, ph := range vs.Children {
+		pb := "├─"
+		if i == len(vs.Children)-1 {
+			pb = "└─"
+		}
+		fmt.Fprintf(out, "  %s %s %s %s\n", cont, pb, ph.Name, fmtNS(ph.DurationNS))
+	}
+}
+
+// fmtNS renders nanoseconds human-readably.
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

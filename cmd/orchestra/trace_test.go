@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const testTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// canned /debug/trace?pub= bodies mirroring orchestrad's pubTrace JSON.
+// Node A accepted the publish and ran a pass where one of two views
+// consumed it; node B only imported it over the bus.
+var nodeATrace = fmt.Sprintf(`{
+  "trace_id": %[1]q,
+  "publish": {"trace_id": %[1]q, "peer": "PGUS", "cursor": 7, "edits": 3,
+              "start": "2026-08-08T10:00:00Z", "append_ns": 120000, "total_ns": 450000},
+  "passes": [{
+    "pass": {"seq": 4, "kind": "exchange_all", "wall_ns": 2500000},
+    "spans": {
+      "name": "pass:exchange_all", "duration_ns": 2500000,
+      "children": [
+        {"name": "view:(global)", "duration_ns": 1400000,
+         "attrs": {"publications": 1, "edits_in": 3, "engine_derived": 9},
+         "labels": {"trace_ids": %[1]q},
+         "children": [
+           {"name": "fetch", "duration_ns": 200000},
+           {"name": "insert", "duration_ns": 700000}
+         ]},
+        {"name": "view:PFAL", "duration_ns": 300000,
+         "labels": {"trace_ids": "feedfacefeedfacefeedfacefeedface"}}
+      ]
+    }
+  }]
+}`, testTraceID)
+
+var nodeBTrace = fmt.Sprintf(`{
+  "trace_id": %[1]q,
+  "passes": [{
+    "pass": {"seq": 2, "kind": "exchange", "wall_ns": 900000},
+    "spans": {
+      "name": "pass:exchange", "duration_ns": 900000,
+      "children": [
+        {"name": "view:(global)", "duration_ns": 800000,
+         "attrs": {"publications": 1, "edits_in": 3},
+         "labels": {"trace_ids": "aaaabbbbccccddddaaaabbbbccccdddd,%[1]s"}}
+      ]
+    }
+  }]
+}`, testTraceID)
+
+func traceTestServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace" || r.URL.Query().Get("pub") != testTraceID {
+			http.NotFound(w, r)
+			return
+		}
+		if got := r.Header.Get("Authorization"); got != "Bearer sesame" {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestTraceCmdTwoNodes renders one publication's lineage across two
+// canned daemons: the publish-side record on A, pass trees on both, and
+// filtering of view spans that did not consume the publication.
+func TestTraceCmdTwoNodes(t *testing.T) {
+	a := traceTestServer(t, nodeATrace)
+	b := traceTestServer(t, nodeBTrace)
+
+	var out strings.Builder
+	err := run([]string{"trace", "-pub", testTraceID,
+		"-url", a.URL + "," + b.URL, "-token", "sesame"}, &out)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"trace " + testTraceID,
+		"● " + a.URL,
+		"publish  peer=PGUS cursor=7 edits=3",
+		"pass:exchange_all #4",
+		"view:(global)", "pubs=1 edits=3 derived=9",
+		"fetch", "insert",
+		"(1 other view(s) in this pass did not consume it)",
+		"● " + b.URL,
+		"pass:exchange #2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q:\n%s", want, got)
+		}
+	}
+	// The PFAL view on node A carried a different trace id: filtered out.
+	if strings.Contains(got, "view:PFAL") {
+		t.Errorf("trace output should not render non-matching view spans:\n%s", got)
+	}
+}
+
+// TestTraceCmdNotFound prints a friendly note when no node retains the
+// publication instead of an empty render.
+func TestTraceCmdNotFound(t *testing.T) {
+	empty := fmt.Sprintf(`{"trace_id": %q, "passes": []}`, testTraceID)
+	a := traceTestServer(t, empty)
+
+	var out strings.Builder
+	if err := run([]string{"trace", "-pub", testTraceID,
+		"-url", a.URL, "-token", "sesame"}, &out); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !strings.Contains(out.String(), "no node has a record") {
+		t.Errorf("expected not-found note, got:\n%s", out.String())
+	}
+}
+
+// TestTraceCmdErrors covers flag validation and HTTP failures.
+func TestTraceCmdErrors(t *testing.T) {
+	a := traceTestServer(t, nodeATrace)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"trace", "-url", a.URL}, "requires -pub"},
+		{[]string{"trace", "-pub", testTraceID}, "requires -url"},
+		// Wrong token: the node answers 401 and the command surfaces it.
+		{[]string{"trace", "-pub", testTraceID, "-url", a.URL, "-token", "nope"}, "401"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("orchestra %v: error %v, want substring %q", tc.args, err, tc.want)
+		}
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"crypto/subtle"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -48,7 +48,7 @@ func registerAdmin(mux *http.ServeMux, token string, initial *orchestra.Spec, sr
 			curSpec = ns
 		}
 		srv.ValidateAgainst(curSpec)
-		log.Printf("spec evolved: %s", strings.TrimSpace(diffText))
+		slog.Info("spec evolved", "diff", strings.TrimSpace(diffText))
 		return nil
 	}
 	mux.HandleFunc("/spec/mapping", func(w http.ResponseWriter, r *http.Request) {

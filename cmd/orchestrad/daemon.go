@@ -5,8 +5,11 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -27,9 +30,20 @@ type daemonConfig struct {
 	exchPar    int
 	adminToken string
 	traceCap   int
-	// logf receives one line per request from the logging middleware
-	// and the daemon's own progress messages (default log.Printf).
-	logf func(format string, args ...any)
+	// busURL points the maintained views at another node's publication
+	// service (-bus); empty exchanges through the daemon's own bus.
+	busURL string
+	// profileThreshold arms automatic CPU-profile capture: an exchange
+	// pass slower than this profiles the next pass into the state
+	// directory (0 disables; see profile.go).
+	profileThreshold time.Duration
+	// slowQuery overrides the slow-query capture threshold (-slow-query;
+	// 0 keeps the library default of 250ms).
+	slowQuery time.Duration
+	// logger receives one structured record per request from the logging
+	// middleware and the daemon's own progress messages (default: JSON
+	// lines to stderr).
+	logger *slog.Logger
 }
 
 // daemon is the orchestrad process state: the publication service, the
@@ -47,6 +61,10 @@ type daemon struct {
 	allViews     bool
 	defaultOwner string
 
+	// prof is the automatic CPU profiler (nil unless -profile-threshold
+	// and -state are set); see profile.go.
+	prof *autoProfiler
+
 	mux *http.ServeMux
 	// handler is mux wrapped in the request-logging middleware; serve
 	// this, not mux.
@@ -63,10 +81,11 @@ type daemon struct {
 
 // newDaemon builds the publication service and the HTTP surface:
 // the wire protocol at /, /healthz, /readyz, /metrics, and the
-// admin-gated /debug/trace. parsed may be nil (no -spec).
+// admin-gated /debug/trace, /debug/slowqueries, and /debug/pprof.
+// parsed may be nil (no -spec).
 func newDaemon(cfg daemonConfig, parsed *orchestra.SpecFile) (*daemon, error) {
-	if cfg.logf == nil {
-		cfg.logf = log.Printf
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	d := &daemon{
 		cfg:          cfg,
@@ -90,7 +109,7 @@ func newDaemon(cfg daemonConfig, parsed *orchestra.SpecFile) (*daemon, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.cfg.logf("persisting to %s (%d publications reloaded)", cfg.storePath, reloaded)
+		d.cfg.logger.Info("persisting publications", "path", cfg.storePath, "reloaded", reloaded)
 	}
 	if cfg.statePath == "" {
 		d.ready.Store(true)
@@ -101,30 +120,80 @@ func newDaemon(cfg daemonConfig, parsed *orchestra.SpecFile) (*daemon, error) {
 	d.mux.HandleFunc("/readyz", d.handleReadyz)
 	d.mux.HandleFunc("/metrics", d.handleMetrics)
 	d.mux.HandleFunc("/debug/trace", d.handleTrace)
+	d.mux.HandleFunc("/debug/slowqueries", d.handleSlowQueries)
+	d.registerPprof()
 	d.handler = d.logRequests(d.mux)
 	return d, nil
 }
 
+// registerPprof mounts net/http/pprof behind the admin token. The
+// profiling surface exposes heap contents and symbol tables, so without
+// -admin-token it is absent outright (404), and with one it demands the
+// Bearer credential (401 otherwise).
+func (d *daemon) registerPprof() {
+	gate := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if d.cfg.adminToken == "" {
+				http.NotFound(w, r)
+				return
+			}
+			if !d.bearerAuthorized(w, r) {
+				return
+			}
+			h(w, r)
+		}
+	}
+	d.mux.HandleFunc("/debug/pprof/", gate(pprof.Index))
+	d.mux.HandleFunc("/debug/pprof/cmdline", gate(pprof.Cmdline))
+	d.mux.HandleFunc("/debug/pprof/profile", gate(pprof.Profile))
+	d.mux.HandleFunc("/debug/pprof/symbol", gate(pprof.Symbol))
+	d.mux.HandleFunc("/debug/pprof/trace", gate(pprof.Trace))
+}
+
+// bearerAuthorized checks the request's Authorization header against
+// the configured admin token, writing the 401 itself on failure.
+func (d *daemon) bearerAuthorized(w http.ResponseWriter, r *http.Request) bool {
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(d.cfg.adminToken)) != 1 {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return false
+	}
+	return true
+}
+
 // enableViews attaches the durable view System, exchanging through the
-// daemon's own publication service at busURL, and mounts /instance.
-// Call it after the listener exists (main) or against a test server.
+// daemon's own publication service at busURL — or, with -bus, through
+// another node's service — and mounts /instance. Call it after the
+// listener exists (main) or against a test server.
 func (d *daemon) enableViews(busURL string) error {
-	sys, err := orchestra.New(d.parsed.Spec,
+	if d.cfg.busURL != "" {
+		busURL = d.cfg.busURL
+	}
+	opts := []orchestra.Option{
 		orchestra.WithBus(orchestra.NewHTTPBus(busURL)),
 		orchestra.WithPersistence(d.cfg.statePath),
 		orchestra.WithExchangeParallelism(d.cfg.exchPar),
 		orchestra.WithObservability(d.obs),
-	)
+	}
+	if d.cfg.slowQuery != 0 {
+		opts = append(opts, orchestra.WithSlowQueryThreshold(d.cfg.slowQuery))
+	}
+	sys, err := orchestra.New(d.parsed.Spec, opts...)
 	if err != nil {
 		return err
 	}
 	d.sys = sys
 	if views, err := sys.PersistedViews(); err == nil && len(views) > 0 {
 		for _, vs := range views {
-			d.cfg.logf("recovered view %q at cursor %d (generation %d)", vs.Owner, vs.Cursor, vs.Generation)
+			d.cfg.logger.Info("recovered view", "view", vs.Owner, "cursor", vs.Cursor, "generation", vs.Generation)
 		}
 	}
+	if d.cfg.profileThreshold > 0 {
+		d.prof = newAutoProfiler(filepath.Join(d.cfg.statePath, "profiles"),
+			d.cfg.profileThreshold, d.cfg.logger)
+	}
 	d.mux.HandleFunc("/instance", d.handleInstance)
+	d.mux.HandleFunc("/query", d.handleQuery)
 	return nil
 }
 
@@ -193,12 +262,12 @@ func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (d *daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if d.sys != nil {
 		if _, err := d.sys.Stats(r.Context()); err != nil {
-			d.cfg.logf("orchestrad: metrics stats refresh: %v", err)
+			d.cfg.logger.Error("metrics stats refresh", "err", err)
 		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := d.obs.Registry().WritePrometheus(w); err != nil {
-		d.cfg.logf("orchestrad: writing metrics: %v", err)
+		d.cfg.logger.Error("writing metrics", "err", err)
 	}
 }
 
@@ -210,17 +279,20 @@ type traceEntry struct {
 }
 
 // handleTrace serves the most recent exchange pass traces as JSON,
-// newest first (?last=N, default 1). Traces expose tuple counts and
-// relation names, so the endpoint is gated behind the admin bearer
-// token: without -admin-token it is disabled outright.
+// newest first (?last=N, default 1), or — with ?pub=<trace-id> — one
+// publication's end-to-end lineage on this node. Traces expose tuple
+// counts and relation names, so the endpoint is gated behind the admin
+// bearer token: without -admin-token it is disabled outright.
 func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if d.cfg.adminToken == "" {
 		http.Error(w, "trace endpoint disabled (run with -admin-token)", http.StatusForbidden)
 		return
 	}
-	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(d.cfg.adminToken)) != 1 {
-		http.Error(w, "unauthorized", http.StatusUnauthorized)
+	if !d.bearerAuthorized(w, r) {
+		return
+	}
+	if pub := r.URL.Query().Get("pub"); pub != "" {
+		d.servePubTrace(w, pub)
 		return
 	}
 	last := 1
@@ -236,11 +308,67 @@ func (d *daemon) handleTrace(w http.ResponseWriter, r *http.Request) {
 	for _, p := range d.obs.Tracer().Last(last) {
 		entries = append(entries, traceEntry{Pass: p, Spans: p.SpanTree()})
 	}
+	d.writeJSON(w, entries)
+}
+
+// pubTrace is /debug/trace?pub=<id>: everything this node saw of one
+// publication's trace — the publish-side record (when the publish
+// landed here) and every exchange pass that applied it.
+type pubTrace struct {
+	TraceID string               `json:"trace_id"`
+	Publish *orchestra.PubRecord `json:"publish,omitempty"`
+	Passes  []traceEntry         `json:"passes"`
+}
+
+func (d *daemon) servePubTrace(w http.ResponseWriter, traceID string) {
+	out := pubTrace{
+		TraceID: traceID,
+		Publish: d.obs.PubTracer().Find(traceID),
+		Passes:  []traceEntry{},
+	}
+	// Walk every retained pass; the tracer caps retention, not us.
+	for _, p := range d.obs.Tracer().Last(1 << 20) {
+		if p.TouchesTrace(traceID) {
+			out.Passes = append(out.Passes, traceEntry{Pass: p, Spans: p.SpanTree()})
+		}
+	}
+	d.writeJSON(w, out)
+}
+
+// handleSlowQueries serves the captured slow-query records as JSON,
+// newest first (?last=N, default 20). Records carry raw query text, so
+// like /debug/trace the endpoint requires the admin bearer token.
+func (d *daemon) handleSlowQueries(w http.ResponseWriter, r *http.Request) {
+	if d.cfg.adminToken == "" {
+		http.Error(w, "slow-query endpoint disabled (run with -admin-token)", http.StatusForbidden)
+		return
+	}
+	if !d.bearerAuthorized(w, r) {
+		return
+	}
+	last := 20
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "last must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		last = n
+	}
+	list := d.obs.SlowQueries().Last(last)
+	if list == nil {
+		list = []orchestra.SlowQuery{}
+	}
+	d.writeJSON(w, list)
+}
+
+// writeJSON renders v indented with the content type set.
+func (d *daemon) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(entries); err != nil {
-		d.cfg.logf("orchestrad: writing trace: %v", err)
+	if err := enc.Encode(v); err != nil {
+		d.cfg.logger.Error("writing debug JSON", "err", err)
 	}
 }
 
@@ -271,6 +399,36 @@ func (d *daemon) handleInstance(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleQuery answers a conjunctive query over a maintained view:
+// GET /query?q=ans(x)+:-+R(x)[&owner=P][&nulls=1]. Each request runs
+// through the view's instrumented read path, so it lands in the
+// per-query latency histograms and, past the slow threshold, the
+// /debug/slowqueries ring.
+func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	owner := d.defaultOwner
+	if o := r.URL.Query().Get("owner"); o != "" {
+		if !d.allViews && o != d.cfg.viewOwner {
+			http.Error(w, fmt.Sprintf("view %q is not maintained by this daemon (running with -view %q)", o, d.cfg.viewOwner), http.StatusNotFound)
+			return
+		}
+		owner = o
+	}
+	rows, err := d.sys.Query(r.Context(), owner, q, r.URL.Query().Get("nulls") == "1")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "%d rows\n", len(rows))
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+}
+
 // statusRecorder captures the status code the handler wrote (200 when
 // it never called WriteHeader).
 type statusRecorder struct {
@@ -286,22 +444,29 @@ func (sr *statusRecorder) WriteHeader(code int) {
 // httpPattern normalizes a request path to the mux pattern it routes
 // to, bounding metric label cardinality against probe scans.
 func httpPattern(path string) string {
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof"
+	}
 	switch path {
 	case "/publish", "/since", "/healthz", "/readyz", "/metrics",
-		"/debug/trace", "/instance", "/spec", "/spec/mapping":
+		"/debug/trace", "/debug/slowqueries", "/instance", "/query",
+		"/spec", "/spec/mapping":
 		return path
 	default:
 		return "other"
 	}
 }
 
-// logRequests is the access-log middleware: one key=value line per
-// request (method, path, status, duration, peer) plus the HTTP request
-// counter and latency histogram, labeled by normalized pattern.
+// logRequests is the access-log middleware: one structured record per
+// request (method, path, status, duration, peer, a per-request id, and
+// the publication trace id when the request carried a traceparent
+// header) plus the HTTP request counter and latency histogram, labeled
+// by normalized pattern.
 func (d *daemon) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		reqID := obs.NewSpanID()
 		next.ServeHTTP(sr, r)
 		dur := time.Since(start)
 		pattern := httpPattern(r.URL.Path)
@@ -311,25 +476,41 @@ func (d *daemon) logRequests(next http.Handler) http.Handler {
 		reg.Histogram("orchestra_http_request_duration_seconds",
 			"Wall clock of one HTTP request.", obs.DurationBuckets(),
 			obs.L("path", pattern)).Observe(dur.Seconds())
-		d.cfg.logf("http method=%s path=%s status=%d dur=%s peer=%s",
-			r.Method, r.URL.Path, sr.status, dur.Round(time.Microsecond), r.RemoteAddr)
+		attrs := []any{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sr.status),
+			slog.Duration("dur", dur),
+			slog.String("peer", r.RemoteAddr),
+			slog.String("request_id", reqID),
+		}
+		if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			attrs = append(attrs, slog.String("trace_id", sc.TraceID))
+		}
+		d.cfg.logger.Info("http", attrs...)
 	})
 }
 
 // exchangeOnce runs one pass over the maintained view(s) and flips the
-// readiness flag on the first success.
+// readiness flag on the first success. When the auto-profiler is armed
+// (the previous pass tripped -profile-threshold) the pass runs under
+// the CPU profiler; afterwards the pass's wall clock may arm it.
 func (d *daemon) exchangeOnce(ctx context.Context) error {
+	stop := d.prof.maybeStart()
+	start := time.Now()
 	var err error
 	if d.allViews {
 		d.globalOnce.Do(func() {
 			if _, gerr := d.sys.Exchange(ctx, ""); gerr != nil && ctx.Err() == nil {
-				d.cfg.logf("orchestrad: materializing global view: %v", gerr)
+				d.cfg.logger.Error("materializing global view", "err", gerr)
 			}
 		})
 		_, err = d.sys.ExchangeAll(ctx)
 	} else {
 		_, err = d.sys.Exchange(ctx, d.cfg.viewOwner)
 	}
+	stop()
+	d.prof.observePass(time.Since(start))
 	if err == nil {
 		d.ready.Store(true)
 	}
@@ -351,7 +532,7 @@ func (d *daemon) runExchangeLoop(ctx context.Context) {
 		}
 	})
 	if err := d.exchangeOnce(ctx); err != nil && ctx.Err() == nil {
-		d.cfg.logf("orchestrad: initial exchange: %v", err)
+		d.cfg.logger.Error("initial exchange", "err", err)
 	}
 	ticker := time.NewTicker(d.cfg.refresh)
 	defer ticker.Stop()
@@ -363,7 +544,7 @@ func (d *daemon) runExchangeLoop(ctx context.Context) {
 		case <-ticker.C:
 		}
 		if err := d.exchangeOnce(ctx); err != nil && ctx.Err() == nil {
-			d.cfg.logf("orchestrad: exchange: %v", err)
+			d.cfg.logger.Error("exchange", "err", err)
 		}
 	}
 }

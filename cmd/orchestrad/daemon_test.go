@@ -3,8 +3,8 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -22,22 +22,40 @@ peer PBioSQL { relation B(id int, nam int) }
 mapping m1: G(i,c,n) -> B(i,n)
 `
 
-// logCapture collects the daemon's log lines for assertions.
+// logCapture collects the daemon's JSON log records for assertions (it
+// is the slog handler's io.Writer; each Write is one record).
 type logCapture struct {
 	mu    sync.Mutex
 	lines []string
 }
 
-func (lc *logCapture) logf(format string, args ...any) {
+func (lc *logCapture) Write(p []byte) (int, error) {
 	lc.mu.Lock()
-	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	lc.lines = append(lc.lines, strings.TrimRight(string(p), "\n"))
 	lc.mu.Unlock()
+	return len(p), nil
 }
 
 func (lc *logCapture) joined() string {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	return strings.Join(lc.lines, "\n")
+}
+
+// line returns the first captured record containing every substring.
+func (lc *logCapture) line(subs ...string) string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+outer:
+	for _, l := range lc.lines {
+		for _, s := range subs {
+			if !strings.Contains(l, s) {
+				continue outer
+			}
+		}
+		return l
+	}
+	return ""
 }
 
 // startDaemon builds a durable all-views daemon on temp storage and a
@@ -50,7 +68,7 @@ func startDaemon(t *testing.T, cfg daemonConfig) (*daemon, *httptest.Server, *lo
 		t.Fatal(err)
 	}
 	lc := &logCapture{}
-	cfg.logf = lc.logf
+	cfg.logger = slog.New(slog.NewJSONHandler(lc, nil))
 	if cfg.storePath == "" {
 		cfg.storePath = filepath.Join(t.TempDir(), "pubs.olg")
 	}
@@ -245,6 +263,126 @@ func TestTraceEndpointGating(t *testing.T) {
 	}
 }
 
+func TestPubTraceEndpoint(t *testing.T) {
+	ctx := context.Background()
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all", adminToken: "sekrit"})
+
+	ctx, traceID := orchestra.NewTraceContext(ctx)
+	bus := orchestra.NewHTTPBus(ts.URL)
+	if err := bus.Append(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, ts.URL+"/debug/trace?pub="+traceID, "Authorization", "Bearer sekrit")
+	if code != http.StatusOK {
+		t.Fatalf("pub trace: %d %q", code, body)
+	}
+	var out struct {
+		TraceID string `json:"trace_id"`
+		Publish *struct {
+			Peer   string `json:"peer"`
+			Cursor int    `json:"cursor"`
+			Edits  int    `json:"edits"`
+		} `json:"publish"`
+		Passes []struct {
+			Pass struct {
+				Kind  string `json:"kind"`
+				Views []struct {
+					View     string   `json:"view"`
+					TraceIDs []string `json:"trace_ids"`
+				} `json:"views"`
+			} `json:"pass"`
+		} `json:"passes"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("pub trace JSON: %v\n%s", err, body)
+	}
+	if out.TraceID != traceID {
+		t.Fatalf("trace id %q, want %q", out.TraceID, traceID)
+	}
+	// The publish landed on this node, so its publish-side record exists.
+	if out.Publish == nil || out.Publish.Peer != "PGUS" || out.Publish.Cursor != 1 || out.Publish.Edits != 1 {
+		t.Fatalf("publish record wrong: %s", body)
+	}
+	// The exchange pass that applied the publication is linked by id.
+	if len(out.Passes) == 0 {
+		t.Fatalf("no passes touched trace %s:\n%s", traceID, body)
+	}
+	// An id nobody published yields an empty lineage, not an error.
+	code, body = get(t, ts.URL+"/debug/trace?pub=ffffffffffffffffffffffffffffffff", "Authorization", "Bearer sekrit")
+	if code != http.StatusOK || !strings.Contains(body, `"passes": []`) {
+		t.Fatalf("unknown pub trace: %d %q", code, body)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	// Without -admin-token the profiling surface is absent outright.
+	_, tsOpen, _ := startDaemon(t, daemonConfig{})
+	if code, _ := get(t, tsOpen.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("ungated pprof index: %d", code)
+	}
+
+	_, ts, _ := startDaemon(t, daemonConfig{adminToken: "sekrit"})
+	if code, _ := get(t, ts.URL+"/debug/pprof/"); code != http.StatusUnauthorized {
+		t.Fatalf("pprof without token: %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/", "Authorization", "Bearer wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("pprof wrong token: %d", code)
+	}
+	code, body := get(t, ts.URL+"/debug/pprof/", "Authorization", "Bearer sekrit")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof with token: %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/debug/pprof/goroutine?debug=1", "Authorization", "Bearer sekrit"); code != http.StatusOK {
+		t.Fatalf("goroutine profile with token: %d", code)
+	}
+}
+
+func TestSlowQueryEndpoint(t *testing.T) {
+	ctx := context.Background()
+	// 1ns threshold: every query is a slow query.
+	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all",
+		adminToken: "sekrit", slowQuery: time.Nanosecond})
+	if err := d.exchangeOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, _ := get(t, ts.URL+"/debug/slowqueries"); code != http.StatusUnauthorized {
+		t.Fatalf("slowqueries without token: %d", code)
+	}
+
+	if code, body := get(t, ts.URL+"/query?q="+`ans(i,n)+:-+G(i,c,n)`); code != http.StatusOK {
+		t.Fatalf("query: %d %q", code, body)
+	}
+	code, body := get(t, ts.URL+"/debug/slowqueries", "Authorization", "Bearer sekrit")
+	if code != http.StatusOK {
+		t.Fatalf("slowqueries: %d %q", code, body)
+	}
+	var records []struct {
+		Query   string `json:"query"`
+		Outcome string `json:"outcome"`
+		WallNS  int64  `json:"wall_ns"`
+	}
+	if err := json.Unmarshal([]byte(body), &records); err != nil {
+		t.Fatalf("slowqueries JSON: %v\n%s", err, body)
+	}
+	if len(records) == 0 {
+		t.Fatalf("no slow queries captured:\n%s", body)
+	}
+	r := records[0]
+	if !strings.Contains(r.Query, "G(i,c,n)") || r.Outcome == "" || r.WallNS <= 0 {
+		t.Fatalf("slow-query record wrong: %+v", r)
+	}
+	// The per-query latency histograms observed the same query.
+	if code, body := get(t, ts.URL+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "orchestra_query_duration_seconds_count") {
+		t.Fatalf("metrics missing query histogram: %d\n%s", code, body)
+	}
+}
+
 func TestInstanceEdgeCases(t *testing.T) {
 	ctx := context.Background()
 	d, ts, _ := startDaemon(t, daemonConfig{statePath: t.TempDir(), viewOwner: "all"})
@@ -298,16 +436,34 @@ func TestRequestLogging(t *testing.T) {
 	if code, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
 		t.Fatalf("nope: %d", code)
 	}
-	logged := lc.joined()
-	if !strings.Contains(logged, "method=GET path=/healthz status=200") {
-		t.Fatalf("healthz request not logged:\n%s", logged)
+	healthLine := lc.line(`"path":"/healthz"`, `"status":200`, `"method":"GET"`)
+	if healthLine == "" {
+		t.Fatalf("healthz request not logged as JSON:\n%s", lc.joined())
 	}
-	if !strings.Contains(logged, "path=/nope status=404") {
-		t.Fatalf("404 not logged:\n%s", logged)
+	// The access record is structured and carries a request id.
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(healthLine), &rec); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, healthLine)
 	}
-	for _, want := range []string{"dur=", "peer="} {
-		if !strings.Contains(logged, want) {
-			t.Fatalf("log line missing %q:\n%s", want, logged)
+	for _, key := range []string{"dur", "peer", "request_id"} {
+		if _, ok := rec[key]; !ok {
+			t.Fatalf("access record missing %q:\n%s", key, healthLine)
 		}
+	}
+	if lc.line(`"path":"/nope"`, `"status":404`) == "" {
+		t.Fatalf("404 not logged:\n%s", lc.joined())
+	}
+}
+
+func TestRequestLogCarriesTraceID(t *testing.T) {
+	ctx := context.Background()
+	_, ts, lc := startDaemon(t, daemonConfig{})
+	ctx, traceID := orchestra.NewTraceContext(ctx)
+	bus := orchestra.NewHTTPBus(ts.URL)
+	if err := bus.Append(ctx, "PGUS", orchestra.EditLog{orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3))}); err != nil {
+		t.Fatal(err)
+	}
+	if lc.line(`"path":"/publish"`, `"trace_id":"`+traceID+`"`) == "" {
+		t.Fatalf("publish access record missing trace id %s:\n%s", traceID, lc.joined())
 	}
 }

@@ -8,11 +8,17 @@
 //
 //	orchestrad -addr :8344 -store publications.log [-spec confed.cdss]
 //	           [-state dir] [-view owner] [-refresh 2s] [-admin-token T]
-//	           [-trace-buffer 64]
+//	           [-trace-buffer 64] [-bus URL] [-profile-threshold D]
 //
 // With -spec, incoming publications are validated against the CDSS
 // description (peers may only edit their own relations). With -store,
 // accepted publications are durably appended and reloaded on restart.
+// With -bus, the maintained views exchange against ANOTHER node's
+// publication service instead of this daemon's own bus — the follower
+// topology: node A runs -store and owns the durable publication
+// sequence, node B runs -bus http://A -state and maintains its views
+// over A's bus (importing on the -refresh ticker, since only local
+// publishes wake the exchange loop).
 //
 // With -admin-token (requires -spec), the daemon additionally serves
 // authenticated spec-evolution endpoints, sharing one token gate with
@@ -43,15 +49,29 @@
 //
 // Operations plane (always on; see DESIGN.md "Observability"):
 //
-//	GET /healthz       liveness: the process serves requests
-//	GET /readyz        readiness: bus reachable, state dir open, views warm
-//	GET /metrics       Prometheus text format (exchange pass timings,
-//	                   per-view bus lag, coalescing cancellation ratio,
-//	                   checkpoint age, publish/append/HTTP telemetry)
-//	GET /debug/trace   last N exchange pass traces as JSON span trees
-//	                   (?last=N; requires -admin-token, Bearer auth)
+//	GET /healthz            liveness: the process serves requests
+//	GET /readyz             readiness: bus reachable, state dir open, views warm
+//	GET /metrics            Prometheus text format (exchange pass timings,
+//	                        per-view bus lag, query latency histograms,
+//	                        checkpoint age, publish/append/HTTP telemetry,
+//	                        build info and process uptime)
+//	GET /debug/trace        last N exchange pass traces as JSON span trees
+//	                        (?last=N), or one publication's end-to-end
+//	                        lineage (?pub=<trace-id>); requires
+//	                        -admin-token, Bearer auth
+//	GET /debug/slowqueries  captured slow-query records (?last=N; gated
+//	                        like /debug/trace)
+//	GET /debug/pprof/...    net/http/pprof, absent without -admin-token
+//	GET /query              conjunctive query over a maintained view
+//	                        (?q=...&owner=P&nulls=1; requires -state)
 //
-// Every request is access-logged (method, path, status, duration, peer).
+// Logging is structured JSON on stderr (log/slog): one record per
+// request carrying method, path, status, duration, peer, a per-request
+// id, and — when the request carried a traceparent header — the
+// publication trace id, so a publication can be followed from the
+// access log into /debug/trace. With -profile-threshold, an exchange
+// pass slower than the threshold arms a CPU profile of the next pass,
+// saved under <statedir>/profiles (newest 8 kept).
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight requests
 // drain, the view takes a final checkpoint, and the publication log
@@ -64,7 +84,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -80,13 +100,23 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	storePath := flag.String("store", "", "append-only publication log file (empty = in-memory only)")
 	specPath := flag.String("spec", "", "CDSS spec file to validate publications against")
-	statePath := flag.String("state", "", "state directory for a durable materialized view (requires -spec and -store)")
+	statePath := flag.String("state", "", "state directory for a durable materialized view (requires -spec and a durable bus: -store or -bus)")
 	viewOwner := flag.String("view", "", "owner of the maintained view; empty = global trust-all view, \"all\" = every peer view plus the global one")
 	refresh := flag.Duration("refresh", 2*time.Second, "fallback interval between exchanges (publications also trigger one immediately)")
 	exchPar := flag.Int("exchange-parallelism", 0, "bound on concurrent per-view exchange passes under -view all (0 = GOMAXPROCS)")
-	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints and /debug/trace (requires -spec for the former)")
+	adminToken := flag.String("admin-token", "", "bearer token for the spec-evolution admin endpoints and the /debug surface (requires -spec for the former)")
 	traceBuf := flag.Int("trace-buffer", 64, "exchange pass traces retained for /debug/trace")
+	busURL := flag.String("bus", "", "exchange the maintained views against another node's publication service at this URL instead of the local bus")
+	profThresh := flag.Duration("profile-threshold", 0, "exchange pass duration that arms a CPU profile of the next pass (0 disables; requires -state)")
+	slowQuery := flag.Duration("slow-query", 0, "query latency above which the query is captured into /debug/slowqueries (0 = 250ms default, negative disables)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	die := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -95,69 +125,74 @@ func main() {
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
-			log.Fatalf("orchestrad: %v", err)
+			die("opening spec", "err", err)
 		}
 		var perr error
 		parsed, perr = orchestra.ParseSpec(f)
 		f.Close()
 		if perr != nil {
-			log.Fatalf("orchestrad: %v", perr)
+			die("parsing spec", "err", perr)
 		}
-		log.Printf("validating against %s (%d peers, %d mappings)",
-			*specPath, len(parsed.Spec.Universe.Peers()), len(parsed.Spec.Mappings))
+		logger.Info("validating publications", "spec", *specPath,
+			"peers", len(parsed.Spec.Universe.Peers()), "mappings", len(parsed.Spec.Mappings))
 	}
 	if *statePath != "" {
-		if parsed == nil || *storePath == "" {
-			log.Fatal("orchestrad: -state requires -spec and -store (durable views need a durable bus)")
+		if parsed == nil || (*storePath == "" && *busURL == "") {
+			die("-state requires -spec and a durable bus (-store, or -bus pointing at a durable node)")
 		}
 		if *refresh <= 0 {
-			log.Fatalf("orchestrad: -refresh must be positive, got %v", *refresh)
+			die("-refresh must be positive", "got", *refresh)
 		}
 	}
 
 	d, err := newDaemon(daemonConfig{
-		storePath:  *storePath,
-		statePath:  *statePath,
-		viewOwner:  *viewOwner,
-		refresh:    *refresh,
-		exchPar:    *exchPar,
-		adminToken: *adminToken,
-		traceCap:   *traceBuf,
+		storePath:        *storePath,
+		statePath:        *statePath,
+		viewOwner:        *viewOwner,
+		refresh:          *refresh,
+		exchPar:          *exchPar,
+		adminToken:       *adminToken,
+		traceCap:         *traceBuf,
+		busURL:           *busURL,
+		profileThreshold: *profThresh,
+		slowQuery:        *slowQuery,
+		logger:           logger,
 	}, parsed)
 	if err != nil {
-		log.Fatalf("orchestrad: %v", err)
+		die("starting daemon", "err", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("orchestrad: %v", err)
+		die("listening", "addr", *addr, "err", err)
 	}
 
 	if *statePath != "" {
-		// The view exchanges through the daemon's own HTTP bus, so its
-		// persisted cursors refer to the same durable publication
-		// sequence every other node sees.
+		// Absent -bus, the view exchanges through the daemon's own HTTP
+		// bus, so its persisted cursors refer to the same durable
+		// publication sequence every other node sees.
 		if err := d.enableViews("http://" + hostPort(ln.Addr())); err != nil {
-			log.Fatalf("orchestrad: %v", err)
+			die("enabling views", "err", err)
 		}
 	}
 
 	if *adminToken != "" {
 		if parsed == nil {
-			log.Fatal("orchestrad: -admin-token requires -spec (evolution needs a confederation description)")
+			die("-admin-token requires -spec (evolution needs a confederation description)")
 		}
 		registerAdmin(d.mux, *adminToken, parsed.Spec, d.srv, d.sys)
-		log.Print("admin endpoints enabled (/spec, /spec/mapping, /debug/trace)")
+		logger.Info("admin endpoints enabled",
+			"endpoints", "/spec, /spec/mapping, /debug/trace, /debug/slowqueries, /debug/pprof")
 	}
 
 	httpSrv := &http.Server{Handler: d.handler}
 	go func() {
 		<-ctx.Done()
-		log.Print("orchestrad: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("orchestrad: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	}()
 
@@ -173,27 +208,27 @@ func main() {
 		}()
 	}
 
-	log.Printf("orchestrad listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		die("serving", "err", err)
 	}
 	// Drain the exchange loop before the final checkpoint so the
 	// snapshot observes a quiescent view.
 	exchanges.Wait()
 	if d.sys != nil {
 		if err := d.sys.Checkpoint(context.Background()); err != nil {
-			log.Printf("orchestrad: final checkpoint: %v", err)
+			logger.Error("final checkpoint", "err", err)
 		}
 		if err := d.sys.Close(); err != nil {
-			log.Printf("orchestrad: closing system: %v", err)
+			logger.Error("closing system", "err", err)
 		}
 	}
 	// Closing the publication log last guarantees the durable sequence
 	// ends on a frame boundary.
 	if err := d.srv.Close(); err != nil {
-		log.Printf("orchestrad: closing store: %v", err)
+		logger.Error("closing store", "err", err)
 	}
-	log.Print("orchestrad: shut down cleanly")
+	logger.Info("shut down cleanly")
 }
 
 // hostPort renders a listener address for client use, substituting

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// profileKeep bounds how many automatic CPU profiles the state
+// directory retains; older captures are pruned after each new one.
+const profileKeep = 8
+
+// autoProfiler captures a CPU profile of an exchange pass without
+// anyone watching: a pass slower than the threshold arms it, and the
+// NEXT pass runs under runtime/pprof, with the result written under
+// <statedir>/profiles. Profiling the follow-up pass rather than the
+// slow one keeps the profiler entirely off the hot path in the normal
+// case — slow passes come in runs (a backlogged bus, a pathological
+// mapping), so the next pass is representative of the same regime.
+type autoProfiler struct {
+	thresholdNS int64
+	dir         string
+	logger      *slog.Logger
+	armed       atomic.Bool
+	seq         atomic.Int64
+}
+
+func newAutoProfiler(dir string, threshold time.Duration, logger *slog.Logger) *autoProfiler {
+	return &autoProfiler{thresholdNS: threshold.Nanoseconds(), dir: dir, logger: logger}
+}
+
+// maybeStart begins a CPU profile when the profiler is armed; the
+// returned stop closes the profile and prunes old captures. Nil-safe:
+// without a profiler both halves are no-ops.
+func (ap *autoProfiler) maybeStart() func() {
+	if ap == nil || !ap.armed.CompareAndSwap(true, false) {
+		return func() {}
+	}
+	if err := os.MkdirAll(ap.dir, 0o755); err != nil {
+		ap.logger.Error("profile dir", "err", err)
+		return func() {}
+	}
+	path := filepath.Join(ap.dir, fmt.Sprintf("cpu-%d-%03d.pprof", time.Now().Unix(), ap.seq.Add(1)))
+	f, err := os.Create(path)
+	if err != nil {
+		ap.logger.Error("profile create", "err", err)
+		return func() {}
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profile is already running (e.g. a /debug/pprof/profile
+		// scrape); skip this capture rather than fight over the profiler.
+		f.Close()
+		os.Remove(path)
+		ap.logger.Warn("cpu profile skipped", "err", err)
+		return func() {}
+	}
+	ap.logger.Info("cpu profile started", "path", path)
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+		ap.prune()
+	}
+}
+
+// observePass arms the profiler when a pass exceeded the threshold.
+func (ap *autoProfiler) observePass(wall time.Duration) {
+	if ap == nil || wall.Nanoseconds() < ap.thresholdNS {
+		return
+	}
+	if ap.armed.CompareAndSwap(false, true) {
+		ap.logger.Info("slow exchange pass; profiling the next one",
+			"wall", wall, "threshold", time.Duration(ap.thresholdNS))
+	}
+}
+
+// prune keeps the newest profileKeep captures. File names embed the
+// capture's unix second plus a monotonic sequence, so lexicographic
+// order is capture order.
+func (ap *autoProfiler) prune() {
+	entries, err := filepath.Glob(filepath.Join(ap.dir, "cpu-*.pprof"))
+	if err != nil || len(entries) <= profileKeep {
+		return
+	}
+	sort.Strings(entries)
+	for _, p := range entries[:len(entries)-profileKeep] {
+		os.Remove(p)
+	}
+}

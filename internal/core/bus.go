@@ -6,12 +6,19 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"orchestra/internal/obs"
 )
 
 // Publication is one peer's published edit log, as stored on a bus.
+// TraceID is the publication's lineage id (obs.SpanContext), taken
+// from the publisher's context (or minted at the HTTP publish
+// boundary) and carried across every bus implementation; "" for
+// untraced publications.
 type Publication struct {
-	Peer string
-	Log  EditLog
+	Peer    string
+	Log     EditLog
+	TraceID string
 }
 
 // PublicationBus is the shared storage through which peers make their
@@ -47,7 +54,20 @@ func (b *MemoryBus) Append(ctx context.Context, peer string, log EditLog) error 
 		return fmt.Errorf("core: publication without peer")
 	}
 	b.mu.Lock()
-	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log})
+	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log, TraceID: obs.TraceIDFromContext(ctx)})
+	b.mu.Unlock()
+	return nil
+}
+
+// Preload appends a publication with an explicit trace id — the replay
+// path for durable buses reloading persisted publications, where the
+// trace id comes from the stored frame rather than a live context.
+func (b *MemoryBus) Preload(peer string, log EditLog, traceID string) error {
+	if peer == "" {
+		return fmt.Errorf("core: publication without peer")
+	}
+	b.mu.Lock()
+	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log, TraceID: traceID})
 	b.mu.Unlock()
 	return nil
 }
@@ -79,7 +99,11 @@ func (b *MemoryBus) Len() int {
 
 // PublishTo validates a peer's edit log against the spec and appends it
 // to a bus — the one publish algorithm shared by CDSS and the public
-// facade.
+// facade. A lineage trace id already on ctx (orchestra.NewTraceContext)
+// rides along; none is minted here — minting costs two crypto/rand
+// reads and a context allocation, which publish-heavy workloads would
+// pay on every call, so ids are minted only at explicit opt-in or at
+// the HTTP publish boundary (share mints for untraced wire publishes).
 func PublishTo(ctx context.Context, bus PublicationBus, spec *Spec, peer string, log EditLog) error {
 	if err := ValidateLog(spec, peer, log); err != nil {
 		return err
@@ -112,6 +136,9 @@ func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, 
 			return base + i, stats, err
 		}
 		stats.Publications++
+		if pub.TraceID != "" {
+			stats.TraceIDs = append(stats.TraceIDs, pub.TraceID)
+		}
 	}
 	return next, stats, nil
 }
@@ -168,6 +195,11 @@ func ExchangeCoalesced(ctx context.Context, bus PublicationBus, v *View, cursor 
 		return cursor, stats, err
 	}
 	stats.Publications = len(pubs)
+	for _, pub := range pubs {
+		if pub.TraceID != "" {
+			stats.TraceIDs = append(stats.TraceIDs, pub.TraceID)
+		}
+	}
 	return next, stats, nil
 }
 

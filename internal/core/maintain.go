@@ -65,6 +65,11 @@ type ApplyStats struct {
 	// Phase wall-clock nanoseconds: bus fetch, net-effect computation,
 	// deletion propagation, insertion propagation.
 	FetchNS, NetEffectNS, DeleteNS, InsertNS int64
+
+	// TraceIDs are the lineage trace ids of the publications this
+	// operation consumed (stamped by the exchange entry points; empty
+	// for publications that predate tracing).
+	TraceIDs []string
 }
 
 // Add accumulates other into s.
@@ -85,6 +90,7 @@ func (s *ApplyStats) Add(other ApplyStats) {
 	s.NetEffectNS += other.NetEffectNS
 	s.DeleteNS += other.DeleteNS
 	s.InsertNS += other.InsertNS
+	s.TraceIDs = append(s.TraceIDs, other.TraceIDs...)
 }
 
 // CancellationRatio is the fraction of incoming edits that net-effect

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/tgd"
 	"orchestra/internal/trust"
 	"orchestra/internal/value"
@@ -58,11 +60,28 @@ func (v *View) Query(q string, includeNulls bool) ([]value.Tuple, error) {
 
 // QueryContext is Query with cancellation plumbed into the evaluation.
 func (v *View) QueryContext(ctx context.Context, q string, includeNulls bool) ([]value.Tuple, error) {
+	start := time.Now()
 	rule, err := v.parseQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return v.QueryRuleContext(ctx, rule, includeNulls)
+	var parseNS int64
+	if v.qobs != nil {
+		parseNS = time.Since(start).Nanoseconds()
+	}
+	return v.runQuery(ctx, rule, includeNulls, q, start, parseNS)
+}
+
+// SetQueryObserver attaches a per-query telemetry sink: fn receives one
+// obs.QueryStats per completed query (phase breakdown, cache outcome,
+// rows, dependency pins), and queries slower than slow also carry the
+// chosen physical plan — rendered while the evaluator is still alive,
+// which is the only moment it can be. A nil fn (the default) keeps the
+// instrumentation sites compiled-in no-ops. Call before the view is
+// shared; the query path reads the fields without synchronization.
+func (v *View) SetQueryObserver(fn func(obs.QueryStats), slow time.Duration) {
+	v.qobs = fn
+	v.slowNS = slow.Nanoseconds()
 }
 
 // parseQuery parses "head :- body [where pred]" over user relations.
@@ -139,23 +158,54 @@ func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, 
 // from the view's query cache when the rule was evaluated before and
 // none of its body relations have changed since.
 func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
+	return v.runQuery(ctx, rule, includeNulls, "", time.Now(), 0)
+}
+
+// runQuery is the instrumented query body behind QueryContext and
+// QueryRuleContext: repair-if-dirty, cache probe, compile, evaluate,
+// collect, store. qtext is the raw query string for telemetry ("" falls
+// back to the canonical key); start/parseNS anchor the phase clocks.
+// When no observer is attached (v.qobs nil) the extra work is one
+// time.Now per phase boundary at most.
+func (v *View) runQuery(ctx context.Context, rule *datalog.Rule, includeNulls bool, qtext string, start time.Time, parseNS int64) ([]value.Tuple, error) {
 	var repairStats ApplyStats
 	if err := v.repairIfDirty(ctx, &repairStats); err != nil {
 		return nil, err
 	}
 	key := canonicalQueryKey(rule, includeNulls)
+	obsOn := v.qobs != nil
+	st := obs.QueryStats{Query: qtext, Start: start, ParseNS: parseNS}
+	if st.Query == "" {
+		st.Query = key
+	}
+	mark := time.Now()
 	if rows, ok := v.qcache.lookup(v.db, key); ok {
+		if obsOn {
+			st.Outcome = "hit"
+			st.CacheNS = time.Since(mark).Nanoseconds()
+			st.Rows = len(rows)
+			st.WallNS = time.Since(start).Nanoseconds()
+			v.emitQuery(st, nil)
+		}
 		return rows, nil
+	}
+	if obsOn {
+		st.CacheNS = time.Since(mark).Nanoseconds()
 	}
 	// Pin dependency generations before evaluating: the evaluator only
 	// writes the q$ workspace, so the result is consistent with these.
 	deps := v.queryDeps(rule)
 
+	mark = time.Now()
 	ev, tmp, cleanup, err := v.compileQuery(rule)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
+	if obsOn {
+		st.PlanNS = time.Since(mark).Nanoseconds()
+		mark = time.Now()
+	}
 	if _, err := ev.RunContext(ctx); err != nil {
 		return nil, err
 	}
@@ -166,8 +216,35 @@ func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, include
 		}
 		out = append(out, row)
 	}
+	if obsOn {
+		st.EvalNS = time.Since(mark).Nanoseconds()
+		st.Rows = len(out)
+		if deps == nil {
+			st.Outcome = "uncached"
+		} else {
+			st.Outcome = "miss"
+			st.Deps = make([]obs.QueryDep, len(deps))
+			for i, d := range deps {
+				st.Deps[i] = obs.QueryDep{Rel: d.name, Gen: d.gen}
+			}
+		}
+		st.WallNS = time.Since(start).Nanoseconds()
+		v.emitQuery(st, ev)
+	}
 	v.qcache.store(key, out, deps)
 	return out, nil
+}
+
+// emitQuery hands a completed query's record to the attached observer,
+// first rendering the chosen plan when the query tripped the slow
+// threshold — ev must still be alive for ExplainString, so this is the
+// only moment the plan can be captured. ev is nil on cache hits (no
+// evaluator ran, no plan to render).
+func (v *View) emitQuery(st obs.QueryStats, ev *engine.Evaluator) {
+	if v.slowNS > 0 && st.WallNS >= v.slowNS && ev != nil {
+		st.Plan = ev.ExplainString()
+	}
+	v.qobs(st)
 }
 
 // compileQuery sets up the q$ workspace table for rule's head and builds

@@ -6,6 +6,7 @@ import (
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/provenance"
 	"orchestra/internal/storage"
 	"orchestra/internal/tgd"
@@ -90,6 +91,12 @@ type View struct {
 	// qcache is the hot-query result cache (nil when disabled); see
 	// querycache.go.
 	qcache *queryCache
+
+	// qobs, when set, receives per-query telemetry (phase breakdown,
+	// cache outcome, dependency pins); slowNS is the wall-clock past
+	// which the chosen plan is rendered into the record. See query.go.
+	qobs   func(obs.QueryStats)
+	slowNS int64
 }
 
 type mappingSource struct {

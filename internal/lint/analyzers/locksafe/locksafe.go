@@ -71,6 +71,11 @@ var Blocking = map[string]string{
 	"(orchestra/internal/obs.Registry).WritePrometheus": "renders every registered series",
 	"(orchestra/internal/obs.Tracer).Add":               "takes the trace ring-buffer lock",
 	"(orchestra/internal/obs.Tracer).Last":              "copies traces under the ring-buffer lock",
+	"(orchestra/internal/obs.PubTracer).Add":            "takes the publish ring-buffer lock",
+	"(orchestra/internal/obs.PubTracer).Find":           "scans the publish ring under its lock",
+	"(orchestra/internal/obs.PubTracer).Last":           "copies publish records under the ring lock",
+	"(orchestra/internal/obs.SlowQueryRing).Add":        "takes the slow-query ring lock",
+	"(orchestra/internal/obs.SlowQueryRing).Last":       "copies slow queries under the ring lock",
 	// Generic blockers.
 	"(net/http.Client).Do":   "HTTP round trip",
 	"(net/http.Client).Get":  "HTTP round trip",

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"orchestra/internal/core"
+	"orchestra/internal/obs"
 )
 
 // Bus is a durable core.PublicationBus: an in-memory publication
@@ -29,10 +30,10 @@ func OpenBus(path string) (*Bus, error) {
 		return nil, err
 	}
 	mem := core.NewMemoryBus()
-	//orchestralint:ignore ctxflow startup replay into a MemoryBus cannot block; OpenBus has no caller context by design
-	ctx := context.Background()
 	for i, p := range pubs {
-		if err := mem.Append(ctx, p.Peer, p.Log); err != nil {
+		// Preload rather than Append: the trace id comes from the stored
+		// frame, not a live caller context.
+		if err := mem.Preload(p.Peer, p.Log, p.TraceID); err != nil {
 			store.Close()
 			return nil, fmt.Errorf("logstore: reloading publication %d: %w", i, err)
 		}
@@ -51,17 +52,18 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	if peer == "" {
 		return fmt.Errorf("logstore: publication without peer")
 	}
+	traceID := obs.TraceIDFromContext(ctx)
 	b.store.mu.Lock()
 	defer b.store.mu.Unlock()
-	if err := b.store.appendLocked(peer, log); err != nil {
+	if err := b.store.appendLocked(peer, log, traceID); err != nil {
 		return err
 	}
 	// Once the frame is durable the in-memory publish must succeed:
 	// reporting failure here would invite a retry that duplicates the
-	// publication after restart. mem.Append cannot block, so it gets a
-	// background context rather than the caller's cancellable one.
-	//orchestralint:ignore ctxflow the frame is already durable; cancelling the in-memory mirror would desync file and memory
-	return b.mem.Append(context.Background(), peer, log)
+	// publication after restart. Preload carries the trace id without
+	// the caller's cancellable context — cancelling the in-memory
+	// mirror would desync file and memory.
+	return b.mem.Preload(peer, log, traceID)
 }
 
 // SetMetrics installs append instruments on the backing log.

@@ -21,8 +21,10 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 			core.Ins("B", core.MakeTuple("x", 7)),
 			core.Ins("B", value.Tuple{value.Null(3), value.Int(1)}),
 		}},
+		{Peer: "PuBio", Log: core.EditLog{core.Ins("U", core.MakeTuple(9))},
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736"},
 	} {
-		frame, err := encodeFrame(pub.Peer, pub.Log)
+		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -45,7 +47,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if err != nil {
 			return
 		}
-		frame, err := encodeFrame(pub.Peer, pub.Log)
+		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID)
 		if err != nil {
 			t.Fatalf("decoded publication failed to re-encode: %v", err)
 		}

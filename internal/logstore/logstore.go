@@ -15,6 +15,12 @@
 //	  uint16 peer len, peer,
 //	  uint32 edit count, per edit: uint8 op ('+'/'-'),
 //	    uint16 rel len, rel, uint32 key len, canonical tuple key
+//	  optional trailer: uint8 'T', uint16 trace-id len, trace id
+//
+// The trailer carries the publication's lineage trace id. It is
+// optional in both directions: frames written before tracing decode
+// with an empty trace id, and frames without a trace id are written
+// trailer-free — byte-identical to the old format.
 package logstore
 
 import (
@@ -40,11 +46,17 @@ const magic = "OLG1"
 // corruption by strict reads).
 const maxFrame = 1 << 30
 
-// Publication is one published edit log.
+// Publication is one published edit log. TraceID is the publication's
+// lineage trace id ("" for records written before tracing existed).
 type Publication struct {
-	Peer string
-	Log  core.EditLog
+	Peer    string
+	Log     core.EditLog
+	TraceID string
 }
+
+// trailerTrace marks the optional trace-id trailer at the end of a
+// frame's edit list.
+const trailerTrace = 'T'
 
 // Metrics holds the log's instruments. The zero value disables all of
 // them (obs instruments are nil-safe).
@@ -205,16 +217,23 @@ func (s *Store) Len() int {
 	return s.n
 }
 
-// Append durably records a publication.
+// Append durably records a publication with no trace id (an old-format
+// frame). Prefer AppendTraced where a lineage id is available.
 func (s *Store) Append(peer string, log core.EditLog) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.appendLocked(peer, log)
+	return s.AppendTraced(peer, log, "")
 }
 
-// appendLocked is Append with s.mu already held — for callers (Bus)
-// that need the file write and a follow-up action under one lock.
-func (s *Store) appendLocked(peer string, log core.EditLog) (err error) {
+// AppendTraced durably records a publication, stamping its lineage
+// trace id into the frame trailer (omitted when traceID is "").
+func (s *Store) AppendTraced(peer string, log core.EditLog, traceID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(peer, log, traceID)
+}
+
+// appendLocked is AppendTraced with s.mu already held — for callers
+// (Bus) that need the file write and a follow-up action under one lock.
+func (s *Store) appendLocked(peer string, log core.EditLog, traceID string) (err error) {
 	start := time.Now()
 	defer func() {
 		s.metrics.AppendSeconds.Observe(time.Since(start).Seconds())
@@ -222,7 +241,7 @@ func (s *Store) appendLocked(peer string, log core.EditLog) (err error) {
 			s.metrics.AppendFailures.Inc()
 		}
 	}()
-	frame, err := encodeFrame(peer, log)
+	frame, err := encodeFrame(peer, log, traceID)
 	if err != nil {
 		return err
 	}
@@ -281,7 +300,7 @@ func (s *Store) RestoreInto(c *core.CDSS) error {
 	return nil
 }
 
-func encodeFrame(peer string, log core.EditLog) ([]byte, error) {
+func encodeFrame(peer string, log core.EditLog, traceID string) ([]byte, error) {
 	if len(peer) > 1<<16-1 {
 		return nil, fmt.Errorf("logstore: peer name too long")
 	}
@@ -303,6 +322,14 @@ func encodeFrame(peer string, log core.EditLog) ([]byte, error) {
 		key := e.Tuple.EncodeKey(nil)
 		frame = appendU32(frame, uint32(len(key)))
 		frame = append(frame, key...)
+	}
+	if traceID != "" {
+		if len(traceID) > 1<<16-1 {
+			return nil, fmt.Errorf("logstore: trace id too long")
+		}
+		frame = append(frame, trailerTrace)
+		frame = appendU16(frame, uint16(len(traceID)))
+		frame = append(frame, traceID...)
 	}
 	return frame, nil
 }
@@ -335,6 +362,28 @@ func decodeFrame(frame []byte) (Publication, error) {
 	}
 	if rd.err != nil {
 		return pub, rd.err
+	}
+	// Optional trailers follow the edit list. Old-format frames end
+	// here; unknown trailer markers are corruption, not extensibility —
+	// a reader that skipped data it cannot decode would replay a
+	// different history than was written.
+	if len(rd.b) != 0 {
+		marker := rd.u8()
+		if rd.err == nil && marker != trailerTrace {
+			return pub, fmt.Errorf("logstore: bad trailer marker %#x in record", marker)
+		}
+		idLen := rd.u16()
+		if rd.err == nil && idLen == 0 {
+			// The encoder omits the trailer entirely for an empty id, so
+			// a zero-length trailer cannot come from Append — and
+			// accepting it would break the decode/encode exact-inverse
+			// property torn-tail repair relies on.
+			return pub, fmt.Errorf("logstore: empty trace-id trailer in record")
+		}
+		pub.TraceID = string(rd.bytes(int(idLen)))
+		if rd.err != nil {
+			return pub, rd.err
+		}
 	}
 	if len(rd.b) != 0 {
 		return pub, fmt.Errorf("logstore: %d trailing bytes in record", len(rd.b))

@@ -138,7 +138,7 @@ func corrupt(t *testing.T, path string, tail []byte) {
 // frame, keeps every preceding record, and accepts new appends.
 func TestTornTailRepaired(t *testing.T) {
 	frame := func(peer string) []byte {
-		b, err := encodeFrame(peer, sampleLog())
+		b, err := encodeFrame(peer, sampleLog(), "")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -331,5 +331,62 @@ func TestRestoreInto(t *testing.T) {
 	cBad := core.NewCDSS(specBad, core.Options{}, core.DeleteProvenance)
 	if err := s.RestoreInto(cBad); err == nil {
 		t.Fatal("incompatible restore accepted")
+	}
+}
+
+// TestTraceStamping proves AppendTraced stamps the lineage trace id
+// into the frame trailer and Replay surfaces it, while plain Append
+// stays trailer-free — byte-identical to the pre-trailer format — so
+// mixed logs and old log files replay cleanly.
+func TestTraceStamping(t *testing.T) {
+	s, path := tmpStore(t)
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	if err := s.AppendTraced("P", sampleLog(), traceID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("Q", core.EditLog{core.Ins("B", core.MakeTuple(7))}); err != nil {
+		t.Fatal(err)
+	}
+	pubs, err := s.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubs[0].TraceID != traceID {
+		t.Fatalf("replayed trace id %q, want %q", pubs[0].TraceID, traceID)
+	}
+	if pubs[1].TraceID != "" {
+		t.Fatalf("untraced publication replayed with trace id %q", pubs[1].TraceID)
+	}
+
+	// The trailer-free frame is exactly the old format: a frame encoded
+	// with no trace id decodes to the same publication, and re-encoding
+	// the decoded record reproduces the bytes.
+	frame, err := encodeFrame("Q", core.EditLog{core.Ins("B", core.MakeTuple(7))}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatalf("old-format frame rejected: %v", err)
+	}
+	if pub.Peer != "Q" || pub.TraceID != "" || len(pub.Log) != 1 {
+		t.Fatalf("old-format decode: %+v", pub)
+	}
+
+	// Reopen: trace ids survive the file round trip too.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pubs, err = s2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubs[0].TraceID != traceID || pubs[1].TraceID != "" {
+		t.Fatalf("reopened trace ids: %q, %q", pubs[0].TraceID, pubs[1].TraceID)
 	}
 }

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart anchors the uptime gauges. Package init runs before any
+// registry exists, so every Observability in the process agrees on it.
+var processStart = time.Now()
+
+// buildVersion resolves the module version stamped into the binary, or
+// "devel" for unstamped builds (go run, test binaries).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// registerBuildInfo adds the process-identity series every registry
+// carries: orchestra_build_info (constant 1, with the build identified
+// by labels — the Prometheus convention for joining version metadata
+// onto any other series), the process start time, and a live uptime
+// gauge. Registration is idempotent, like all registry registration.
+func registerBuildInfo(r *Registry) {
+	r.Gauge("orchestra_build_info",
+		"Build identity; constant 1 with version labels.",
+		L("version", buildVersion()), L("go_version", runtime.Version())).Set(1)
+	r.GaugeFunc("orchestra_process_start_time_seconds",
+		"Unix time the process started.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+	r.GaugeFunc("orchestra_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryDep pins one body relation's generation at evaluation time — the
+// read path's cache-validity witness, surfaced so a slow-query record
+// shows exactly which table states the answer was computed against.
+type QueryDep struct {
+	Rel string `json:"rel"`
+	Gen uint64 `json:"gen"`
+}
+
+// QueryStats is the per-query span: one record per executed query with
+// the phase breakdown the read path measures (parse, cache probe, plan,
+// eval), the cache outcome, the rows returned, and — for queries over
+// the slow threshold — the rendered physical plan and dependency pins.
+type QueryStats struct {
+	Query   string     `json:"query"`
+	Outcome string     `json:"outcome"` // "hit", "miss", or "uncached"
+	Start   time.Time  `json:"start"`
+	ParseNS int64      `json:"parse_ns"`
+	CacheNS int64      `json:"cache_ns"`
+	PlanNS  int64      `json:"plan_ns"`
+	EvalNS  int64      `json:"eval_ns"`
+	WallNS  int64      `json:"wall_ns"`
+	Rows    int        `json:"rows"`
+	Deps    []QueryDep `json:"deps,omitempty"`
+	Plan    string     `json:"plan,omitempty"`
+}
+
+// SlowQueryRing is a bounded ring of queries that exceeded the slow
+// threshold, newest-first on read — the data behind orchestrad's
+// /debug/slowqueries. Add and Last lock; they run once per slow query
+// and once per debug request, and locksafe keeps them out of System.mu
+// critical sections. All methods are nil-safe.
+type SlowQueryRing struct {
+	mu   sync.Mutex
+	ring []QueryStats
+	next int
+	n    int
+	seen uint64
+}
+
+// NewSlowQueryRing returns a ring retaining the last capacity slow
+// queries (minimum 1).
+func NewSlowQueryRing(capacity int) *SlowQueryRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowQueryRing{ring: make([]QueryStats, capacity)}
+}
+
+// Add records one slow query.
+func (r *SlowQueryRing) Add(st QueryStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seen++
+	r.ring[r.next] = st
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Last returns up to n of the most recent slow queries, newest first.
+func (r *SlowQueryRing) Last(n int) []QueryStats {
+	if r == nil || n < 1 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n {
+		n = r.n
+	}
+	out := make([]QueryStats, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := (r.next - i + len(r.ring)) % len(r.ring)
+		out = append(out, r.ring[idx])
+	}
+	return out
+}
+
+// Count reports how many slow queries have ever been recorded.
+func (r *SlowQueryRing) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}

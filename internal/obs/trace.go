@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"time"
 )
@@ -70,7 +71,31 @@ type ViewPass struct {
 	// Post-exchange checkpoint, when persistence took one.
 	CheckpointNS int64 `json:"checkpoint_ns"`
 
+	// Trace ids of the publications this view consumed in the pass —
+	// the link from exchange-side spans back to the originating
+	// publish. Empty for passes that consumed nothing (or publications
+	// that predate tracing).
+	TraceIDs []string `json:"trace_ids,omitempty"`
+
 	Err string `json:"error,omitempty"`
+}
+
+// TouchesTrace reports whether any view in the pass consumed the
+// publication with the given trace id.
+func (p *PassTrace) TouchesTrace(traceID string) bool {
+	if p == nil || traceID == "" {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.Views {
+		for _, id := range p.Views[i].TraceIDs {
+			if id == traceID {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // StartPass opens a pass trace of the given kind. The sequence number
@@ -102,13 +127,14 @@ func (p *PassTrace) Finish(t *Tracer) *PassTrace {
 }
 
 // Span is one node of a rendered span tree: a name, a duration, flat
-// integer attributes, and children. This is the JSON shape
-// /debug/trace serves.
+// integer attributes, string labels (trace ids), and children. This is
+// the JSON shape /debug/trace serves.
 type Span struct {
-	Name       string           `json:"name"`
-	DurationNS int64            `json:"duration_ns"`
-	Attrs      map[string]int64 `json:"attrs,omitempty"`
-	Children   []*Span          `json:"children,omitempty"`
+	Name       string            `json:"name"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]int64  `json:"attrs,omitempty"`
+	Labels     map[string]string `json:"labels,omitempty"`
+	Children   []*Span           `json:"children,omitempty"`
 }
 
 // SpanTree renders the pass as a span tree: a root span for the pass,
@@ -154,6 +180,9 @@ func (p *PassTrace) SpanTree() *Span {
 				}},
 				{Name: "insert", DurationNS: vp.InsertNS},
 			},
+		}
+		if len(vp.TraceIDs) > 0 {
+			vs.Labels = map[string]string{"trace_ids": strings.Join(vp.TraceIDs, ",")}
 		}
 		if vp.CheckpointNS > 0 {
 			vs.Children = append(vs.Children, &Span{Name: "checkpoint", DurationNS: vp.CheckpointNS})
@@ -237,23 +266,37 @@ func (t *Tracer) Count() uint64 {
 	return t.seq
 }
 
-// Observability bundles the two halves of the operations plane — a
-// metrics registry and a pass tracer — as one value the public facade
-// plumbs through the stack (orchestra.WithObservability). A nil
-// *Observability disables both: accessors return nil, and every
-// instrument and trace method is nil-safe.
+// Observability bundles the operations plane — a metrics registry, a
+// pass tracer, a publish-record ring, and a slow-query ring — as one
+// value the public facade plumbs through the stack
+// (orchestra.WithObservability). A nil *Observability disables all of
+// it: accessors return nil, and every instrument and trace method is
+// nil-safe.
 type Observability struct {
 	registry *Registry
 	tracer   *Tracer
+	pubs     *PubTracer
+	slow     *SlowQueryRing
 }
 
 // NewObservability builds a fresh registry plus a tracer retaining the
-// last traceCap passes (<= 0 selects the default of 64).
+// last traceCap passes (<= 0 selects the default of 64). The publish
+// ring keeps 4× traceCap records (publishes outnumber passes) and the
+// slow-query ring traceCap records. The registry carries the process
+// identity series (orchestra_build_info, start time, uptime) from
+// birth.
 func NewObservability(traceCap int) *Observability {
 	if traceCap <= 0 {
 		traceCap = 64
 	}
-	return &Observability{registry: NewRegistry(), tracer: NewTracer(traceCap)}
+	reg := NewRegistry()
+	registerBuildInfo(reg)
+	return &Observability{
+		registry: reg,
+		tracer:   NewTracer(traceCap),
+		pubs:     NewPubTracer(4 * traceCap),
+		slow:     NewSlowQueryRing(traceCap),
+	}
 }
 
 // Registry returns the metrics registry (nil when o is nil).
@@ -270,4 +313,20 @@ func (o *Observability) Tracer() *Tracer {
 		return nil
 	}
 	return o.tracer
+}
+
+// PubTracer returns the publish-record ring (nil when o is nil).
+func (o *Observability) PubTracer() *PubTracer {
+	if o == nil {
+		return nil
+	}
+	return o.pubs
+}
+
+// SlowQueries returns the slow-query ring (nil when o is nil).
+func (o *Observability) SlowQueries() *SlowQueryRing {
+	if o == nil {
+		return nil
+	}
+	return o.slow
 }

@@ -11,6 +11,12 @@
 //
 // Tuples travel as base64 of their canonical encoding, so values of any
 // kind round-trip exactly.
+//
+// Lineage: a publish carries its trace id in a W3C-shaped `traceparent`
+// request header (minted by the server when absent, echoed back in the
+// response body as "trace"), and /since returns each publication's
+// trace id in its "trace" field — so one id follows a publication from
+// the publishing process through the bus to every fetching process.
 package share
 
 import (
@@ -23,6 +29,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"orchestra/internal/core"
 	"orchestra/internal/obs"
@@ -48,10 +55,13 @@ type wireEdit struct {
 	Key string `json:"key"` // base64 canonical tuple
 }
 
-// wirePublication is one published edit log on the wire.
+// wirePublication is one published edit log on the wire. Trace is the
+// publication's lineage trace id; omitted for publications that predate
+// tracing.
 type wirePublication struct {
 	Peer  string     `json:"peer"`
 	Edits []wireEdit `json:"edits"`
+	Trace string     `json:"trace,omitempty"`
 }
 
 // sinceResponse is the /since payload.
@@ -108,15 +118,22 @@ type Server struct {
 	// Validate, when non-nil, admits only publications legal under the
 	// spec.
 	Validate func(peer string, log core.EditLog) error
-	// Persist, when non-nil, is invoked for every accepted publication.
-	Persist func(peer string, log core.EditLog) error
+	// Persist, when non-nil, is invoked for every accepted publication
+	// with its lineage trace id (durable stores stamp it into the
+	// frame).
+	Persist func(peer string, log core.EditLog, traceID string) error
 
 	// notify, when non-nil, is called (outside the lock) after each
 	// accepted publication; see OnPublish.
 	notify func()
 
-	metrics Metrics
+	metrics  Metrics
+	pubTrace *obs.PubTracer
 }
+
+// SetPubTracer installs the publish-record ring accepted publications
+// are recorded into. Call it before the server starts serving.
+func (s *Server) SetPubTracer(t *obs.PubTracer) { s.pubTrace = t }
 
 // SetMetrics installs publish instruments. Call it before the server
 // starts serving; it is not synchronized against in-flight requests.
@@ -162,14 +179,17 @@ func (s *Server) Len() int {
 }
 
 // Preload appends an already-persisted publication without re-validating
-// or re-persisting it — used when reloading a logstore at startup.
-func (s *Server) Preload(peer string, log core.EditLog) error {
+// or re-persisting it — used when reloading a logstore at startup. The
+// trace id comes from the stored frame ("" for pre-tracing records).
+func (s *Server) Preload(peer string, log core.EditLog, traceID string) error {
 	if peer == "" {
 		return fmt.Errorf("share: publication without peer")
 	}
+	wp := toWire(peer, log)
+	wp.Trace = traceID
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pubs = append(s.pubs, toWire(peer, log))
+	s.pubs = append(s.pubs, wp)
 	return nil
 }
 
@@ -186,6 +206,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -201,6 +222,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Resolve the publication's lineage id: the traceparent header wins
+	// (the publisher minted it), then a trace id already in the body
+	// (client forwarding a stored publication), then a fresh mint — so
+	// every accepted publication has one.
+	if sc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		wp.Trace = sc.TraceID
+	} else if wp.Trace == "" {
+		wp.Trace = obs.NewTraceID()
+	}
 	s.mu.RLock()
 	validate := s.Validate
 	s.mu.RUnlock()
@@ -211,12 +241,15 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var appendNS int64
 	if s.Persist != nil {
-		if err := s.Persist(peer, log); err != nil {
+		persistStart := time.Now()
+		if err := s.Persist(peer, log, wp.Trace); err != nil {
 			s.metrics.PublishFailed.Inc()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		appendNS = time.Since(persistStart).Nanoseconds()
 	}
 	s.metrics.PublishAccepted.Inc()
 	s.mu.Lock()
@@ -224,11 +257,20 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	n := len(s.pubs)
 	notify := s.notify
 	s.mu.Unlock()
+	s.pubTrace.Add(obs.PubRecord{
+		TraceID:  wp.Trace,
+		Peer:     peer,
+		Cursor:   n,
+		Start:    start,
+		Edits:    len(log),
+		AppendNS: appendNS,
+		TotalNS:  time.Since(start).Nanoseconds(),
+	})
 	if notify != nil {
 		notify()
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"cursor":%d}`, n)
+	fmt.Fprintf(w, `{"cursor":%d,"trace":%q}`, n, wp.Trace)
 }
 
 func (s *Server) handleSince(w http.ResponseWriter, r *http.Request) {
@@ -324,17 +366,22 @@ func NewBus(baseURL string) *Bus { return &Bus{cl: NewClient(baseURL)} }
 // Client exposes the underlying HTTP client (e.g. to swap transports).
 func (b *Bus) Client() *Client { return b.cl }
 
-// Append implements core.PublicationBus by POSTing to /publish.
+// Append implements core.PublicationBus by POSTing to /publish. The
+// publication's lineage trace id travels as a traceparent header —
+// taken from ctx when the caller already carries a span, minted here
+// otherwise.
 func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	payload, err := json.Marshal(toWire(peer, log))
 	if err != nil {
 		return err
 	}
+	ctx, sc := obs.EnsureSpan(ctx)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.cl.BaseURL+"/publish", bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", sc.Traceparent())
 	resp, err := b.cl.HTTP.Do(req)
 	if err != nil {
 		return err
@@ -372,7 +419,7 @@ func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, i
 		if err != nil {
 			return nil, cursor, err
 		}
-		pubs = append(pubs, core.Publication{Peer: peer, Log: log})
+		pubs = append(pubs, core.Publication{Peer: peer, Log: log, TraceID: wp.Trace})
 	}
 	return pubs, sr.Cursor, nil
 }

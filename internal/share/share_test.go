@@ -1,6 +1,7 @@
 package share
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"orchestra/internal/core"
 	"orchestra/internal/logstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/schema"
 	"orchestra/internal/tgd"
 )
@@ -144,7 +146,7 @@ func TestServerPersistsThroughLogstore(t *testing.T) {
 	}
 	defer store.Close()
 	srv := NewServer()
-	srv.Persist = store.Append
+	srv.Persist = store.AppendTraced
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	cl := NewClient(ts.URL)
@@ -223,5 +225,51 @@ func TestHTTPErrors(t *testing.T) {
 	logs, _, cursor, err := cl.Fetch(999)
 	if err != nil || len(logs) != 0 || cursor != 1 {
 		t.Fatalf("over-cursor fetch: %v %d %v", logs, cursor, err)
+	}
+}
+
+// TestTraceparentRoundTrip proves a publication's lineage id survives
+// the HTTP hop: the Bus sends it as a traceparent header, the server
+// stores it, FetchSince hands it back, and the server-side PubTracer
+// records the publish under the same id.
+func TestTraceparentRoundTrip(t *testing.T) {
+	srv := NewServer()
+	tracer := obs.NewPubTracer(8)
+	srv.SetPubTracer(tracer)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	bus := NewBus(ts.URL)
+
+	ctx, sc := obs.EnsureSpan(context.Background())
+	if err := bus.Append(ctx, "P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
+		t.Fatal(err)
+	}
+	// A publish without a span on its context gets a server-minted id.
+	if err := bus.Append(context.Background(), "Q", core.EditLog{core.Ins("B", core.MakeTuple(2))}); err != nil {
+		t.Fatal(err)
+	}
+
+	pubs, cursor, err := bus.FetchSince(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 2 || len(pubs) != 2 {
+		t.Fatalf("fetch: cursor=%d pubs=%v", cursor, pubs)
+	}
+	if pubs[0].TraceID != sc.TraceID {
+		t.Fatalf("fetched trace id %q, want the caller's %q", pubs[0].TraceID, sc.TraceID)
+	}
+	minted := obs.SpanContext{TraceID: pubs[1].TraceID, SpanID: "0123456789abcdef"}
+	if !minted.Valid() {
+		t.Fatalf("server-minted trace id %q is not a valid 128-bit hex id", pubs[1].TraceID)
+	}
+	if pubs[1].TraceID == sc.TraceID {
+		t.Fatal("second publication reused the first trace id")
+	}
+
+	// The server-side publish ring indexed the record by trace id.
+	rec := tracer.Find(sc.TraceID)
+	if rec == nil || rec.Peer != "P" || rec.Cursor != 1 || rec.Edits != 1 {
+		t.Fatalf("PubTracer.Find(%q) = %+v", sc.TraceID, rec)
 	}
 }

@@ -32,7 +32,31 @@ type (
 	ViewPass = obs.ViewPass
 	// TraceSpan is one node of a rendered span tree.
 	TraceSpan = obs.Span
+	// SpanContext is a publication's lineage identity: the trace id
+	// minted at publish and carried across processes.
+	SpanContext = obs.SpanContext
+	// PubRecord is the publish-side lineage record of one accepted
+	// publication (the BusServer records one per publish).
+	PubRecord = obs.PubRecord
+	// SlowQuery is one captured slow-query record: query text, phase
+	// breakdown, dependency pins, and the chosen plan.
+	SlowQuery = obs.QueryStats
 )
+
+// NewTraceContext attaches a fresh publication trace to ctx and returns
+// the trace id, so a caller can publish and then follow the publication
+// through `orchestra trace -pub <id>` / /debug/trace?pub=<id>. If ctx
+// already carries a span (e.g. a server handler that parsed an incoming
+// traceparent header), that trace is kept and its id returned.
+func NewTraceContext(ctx context.Context) (context.Context, string) {
+	ctx, sc := obs.EnsureSpan(ctx)
+	return ctx, sc.TraceID
+}
+
+// TraceIDFromContext returns the lineage trace id on ctx, or "".
+func TraceIDFromContext(ctx context.Context) string {
+	return obs.TraceIDFromContext(ctx)
+}
 
 // NewObservability builds a fresh operations plane retaining the last
 // traceCap exchange traces (<= 0 selects the default of 64). Use one
@@ -66,6 +90,13 @@ type systemObs struct {
 
 	// Read-path query cache counters, shared across views.
 	qcHits, qcMisses, qcEvictions *obs.Counter
+
+	// Per-query latency histograms, pre-resolved per cache outcome
+	// ("hit" / "miss" / "uncached"), plus the slow-query ring and its
+	// threshold in nanoseconds (0 disables capture).
+	queryDur map[string]*obs.Histogram
+	slowRing *obs.SlowQueryRing
+	slowNS   int64
 
 	// horizon is the highest bus length any pass (or Stats poll) has
 	// observed; per-view bus-lag gauges read it against the view's
@@ -124,6 +155,13 @@ func newSystemObs(o *obs.Observability) *systemObs {
 		"Queries evaluated because no valid cache entry existed.")
 	x.qcEvictions = r.Counter("orchestra_query_cache_evictions",
 		"Query cache entries evicted, by capacity or staleness.")
+	x.queryDur = make(map[string]*obs.Histogram, 3)
+	for _, oc := range []string{"hit", "miss", "uncached"} {
+		x.queryDur[oc] = r.Histogram("orchestra_query_duration_seconds",
+			"Wall clock of one read-path query, by cache outcome.",
+			obs.DurationBuckets(), obs.L("outcome", oc))
+	}
+	x.slowRing = o.SlowQueries()
 	r.GaugeFunc("orchestra_bus_horizon",
 		"Highest bus publication count this system has observed.",
 		func() float64 { return float64(x.horizon.Load()) })
@@ -168,6 +206,32 @@ func (x *systemObs) queryCacheMetrics() core.QueryCacheMetrics {
 		return core.QueryCacheMetrics{}
 	}
 	return core.QueryCacheMetrics{Hits: x.qcHits, Misses: x.qcMisses, Evictions: x.qcEvictions}
+}
+
+// observeQuery accounts one completed read-path query: the outcome's
+// latency histogram, and — past the slow threshold — the ring. Runs on
+// the query path but only when observability is attached; emission is
+// one atomic histogram observe plus (rarely) a ring append.
+func (x *systemObs) observeQuery(st obs.QueryStats) {
+	if x == nil {
+		return
+	}
+	if h, ok := x.queryDur[st.Outcome]; ok {
+		h.Observe(float64(st.WallNS) / 1e9)
+	}
+	if x.slowNS > 0 && st.WallNS >= x.slowNS {
+		x.slowRing.Add(st)
+	}
+}
+
+// queryObserver resolves the observer callback and slow threshold views
+// attach to their query paths; the zero value (observability off) keeps
+// the instrumentation sites compiled-in no-ops.
+func (x *systemObs) queryObserver() (func(obs.QueryStats), time.Duration) {
+	if x == nil {
+		return nil, 0
+	}
+	return x.observeQuery, time.Duration(x.slowNS)
 }
 
 // raiseHorizon lifts the observed bus length monotonically.
@@ -231,6 +295,7 @@ func (x *systemObs) recordView(pass *obs.PassTrace, owner string, st ApplyStats,
 		RuleFires:         st.Engine.RuleFires,
 		EngineNS:          st.Engine.EvalNS,
 		CheckpointNS:      ckpt.Nanoseconds(),
+		TraceIDs:          st.TraceIDs,
 	}
 	if err != nil {
 		vp.Err = err.Error()
@@ -266,8 +331,14 @@ func (x *systemObs) startPass(kind string) *obs.PassTrace {
 // pass-level instruments, the scheduler/statestore/logstore hooks, and
 // cursor mirrors for every recovered view. Runs inside New, before the
 // System is shared, so no locking is needed.
-func (s *System) initObs(o *Observability) {
+func (s *System) initObs(o *Observability, slowQuery time.Duration) {
 	x := newSystemObs(o)
+	switch {
+	case slowQuery > 0:
+		x.slowNS = slowQuery.Nanoseconds()
+	case slowQuery == 0:
+		x.slowNS = defaultSlowQueryThreshold.Nanoseconds()
+	}
 	s.obsx = x
 	r := o.Registry()
 	s.sched.SetMetrics(exchange.Metrics{
@@ -300,9 +371,24 @@ func (s *System) initObs(o *Observability) {
 	for owner, h := range s.views {
 		x.ensureView(owner).cursor.Store(int64(h.cursor))
 		// Recovered views were built before the operations plane existed;
-		// attach their cache counters now.
+		// attach their cache counters and query observers now.
 		h.view.SetQueryCacheMetrics(x.queryCacheMetrics())
+		h.view.SetQueryObserver(x.queryObserver())
 	}
+}
+
+// defaultSlowQueryThreshold is the latency past which a query is
+// captured into the slow-query ring unless WithSlowQueryThreshold says
+// otherwise.
+const defaultSlowQueryThreshold = 250 * time.Millisecond
+
+// SlowQueries returns the most recent n captured slow queries, newest
+// first (nil without WithObservability). See WithSlowQueryThreshold.
+func (s *System) SlowQueries(n int) []SlowQuery {
+	if s.obsx == nil {
+		return nil
+	}
+	return s.obsx.slowRing.Last(n)
 }
 
 // busAppendMetrics resolves the durable-append instruments. Both the

@@ -206,3 +206,116 @@ func TestObservabilityDisabledIsNoop(t *testing.T) {
 		t.Fatal(err) // Stats works without instruments
 	}
 }
+
+// TestSlowQueryCapture drives the read-path telemetry end to end
+// through the facade: a 1ns threshold captures every query into the
+// slow ring with its phase breakdown, and the per-outcome duration
+// histogram shows up in the Prometheus exposition.
+func TestSlowQueryCapture(t *testing.T) {
+	sys, o := obsSystem(t, orchestra.WithSlowQueryThreshold(1))
+	ctx := context.Background()
+	publishExample(t, sys)
+	if _, err := sys.Exchange(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	const q = "ans(i,n) :- G(i,c,n)"
+	if _, err := sys.Query(ctx, "", q, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(ctx, "", q, false); err != nil { // cache hit
+		t.Fatal(err)
+	}
+
+	slow := sys.SlowQueries(10)
+	if len(slow) != 2 {
+		t.Fatalf("got %d slow queries, want 2: %+v", len(slow), slow)
+	}
+	// Newest first: the second run hit the query cache.
+	hit, miss := slow[0], slow[1]
+	if hit.Outcome != "hit" || miss.Outcome != "miss" {
+		t.Fatalf("outcomes = %q, %q; want hit, miss", hit.Outcome, miss.Outcome)
+	}
+	if !strings.Contains(miss.Query, "G(i,c,n)") {
+		t.Fatalf("captured query text %q", miss.Query)
+	}
+	if miss.WallNS <= 0 || miss.EvalNS <= 0 || miss.Rows != 2 {
+		t.Fatalf("miss record incomplete: %+v", miss)
+	}
+	if miss.Plan == "" {
+		t.Fatalf("slow miss did not capture the plan: %+v", miss)
+	}
+	if len(miss.Deps) == 0 {
+		t.Fatalf("slow miss did not capture dependency pins: %+v", miss)
+	}
+	if hit.Rows != miss.Rows {
+		t.Fatalf("hit rows %d != miss rows %d", hit.Rows, miss.Rows)
+	}
+
+	var buf bytes.Buffer
+	if err := o.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`orchestra_query_duration_seconds_count{outcome="miss"} 1`,
+		`orchestra_query_duration_seconds_count{outcome="hit"} 1`,
+		`orchestra_build_info{`,
+		`orchestra_process_uptime_seconds`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestPublicationTraceLinksExchange follows one lineage id from
+// NewTraceContext through Publish into the exchange pass trace: the
+// view pass that consumed the publication lists its trace id, and
+// PassTrace.TouchesTrace indexes the pass by it.
+func TestPublicationTraceLinksExchange(t *testing.T) {
+	sys, o := obsSystem(t)
+	ctx, traceID := orchestra.NewTraceContext(context.Background())
+	if traceID == "" || orchestra.TraceIDFromContext(ctx) != traceID {
+		t.Fatalf("NewTraceContext minted %q", traceID)
+	}
+	if err := sys.Publish(ctx, "PGUS", orchestra.EditLog{
+		orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second publication on its own trace.
+	ctx2, traceID2 := orchestra.NewTraceContext(context.Background())
+	if err := sys.Publish(ctx2, "PBioSQL", orchestra.EditLog{
+		orchestra.Ins("B", orchestra.MakeTuple(3, 5)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exchange(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	p := o.Tracer().Last(1)[0]
+	if !p.TouchesTrace(traceID) || !p.TouchesTrace(traceID2) {
+		t.Fatalf("pass does not touch both publications' traces: %+v", p.Views)
+	}
+	if p.TouchesTrace("0000feedfacefeedfacefeedfacefeed") {
+		t.Fatal("TouchesTrace matched a foreign id")
+	}
+	var ids []string
+	for _, vp := range p.Views {
+		ids = append(ids, vp.TraceIDs...)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("view passes carried trace ids %v, want both publications'", ids)
+	}
+	// The span tree labels the view span with the same ids, which is
+	// what `orchestra trace -pub` filters on across nodes.
+	root := p.SpanTree()
+	if len(root.Children) != 1 {
+		t.Fatalf("span tree shape: %+v", root)
+	}
+	label := root.Children[0].Labels["trace_ids"]
+	if !strings.Contains(label, traceID) || !strings.Contains(label, traceID2) {
+		t.Fatalf("span label %q missing trace ids", label)
+	}
+}

@@ -1,6 +1,8 @@
 package orchestra
 
 import (
+	"time"
+
 	"orchestra/internal/core"
 	"orchestra/internal/trust"
 )
@@ -19,6 +21,9 @@ type config struct {
 	serialExchange bool
 	// obs attaches an operations plane (WithObservability).
 	obs *Observability
+	// slowQuery overrides the slow-query threshold (WithSlowQueryThreshold);
+	// 0 keeps the default, < 0 disables slow-query capture.
+	slowQuery time.Duration
 	// secIdx collects WithSecondaryIndex declarations, validated in New.
 	secIdx []secIndexSpec
 }
@@ -173,6 +178,23 @@ func CheckpointManual() PersistOption {
 // the node can register into the same bundle via EnableMetrics.
 func WithObservability(o *Observability) Option {
 	return func(c *config) { c.obs = o }
+}
+
+// WithSlowQueryThreshold sets the latency above which a query is
+// captured into the slow-query ring (System.SlowQueries, orchestrad's
+// /debug/slowqueries): the full phase breakdown (parse, cache probe,
+// plan, eval), the dependency generation pins the answer was computed
+// against, and — because the evaluator is still alive when the
+// threshold trips — the chosen physical plan. The default is 250ms;
+// d <= 0 disables slow-query capture (the per-query histograms keep
+// recording). The option is inert without WithObservability.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			d = -1
+		}
+		c.slowQuery = d
+	}
 }
 
 // WithSecondaryIndex declares a persistent secondary index on one

@@ -144,7 +144,7 @@ func New(sp *Spec, opts ...Option) (*System, error) {
 	}
 	s.bus = cfg.bus
 	if cfg.obs != nil {
-		s.initObs(cfg.obs)
+		s.initObs(cfg.obs, cfg.slowQuery)
 	}
 	return s, nil
 }
@@ -239,7 +239,8 @@ func (s *System) handle(owner string) (*viewHandle, error) {
 
 // setupView finishes a freshly created (or recovered, or evolution-
 // rebuilt) view: it builds the owner's declared secondary indexes and
-// attaches the query-cache counters when an operations plane is on.
+// attaches the query-cache counters and query-latency observer when an
+// operations plane is on.
 func (s *System) setupView(owner string, v *core.View) {
 	for _, ix := range s.secIdx {
 		if ix.owner != owner {
@@ -251,6 +252,7 @@ func (s *System) setupView(owner string, v *core.View) {
 		_ = v.DeclareSecondaryIndex(ix.relation, ix.column)
 	}
 	v.SetQueryCacheMetrics(s.obsx.queryCacheMetrics())
+	v.SetQueryObserver(s.obsx.queryObserver())
 }
 
 // Publish validates a peer's edit log against the spec (peers edit only

@@ -1,21 +1,33 @@
 #!/usr/bin/env sh
-# Serve smoke: boot a durable orchestrad, publish one real update
-# through the HTTP bus, and assert the operations plane reports it —
-# /readyz goes green, /metrics carries non-zero core series, and
-# /debug/trace returns the pass's span tree.
+# Serve smoke: boot a two-node confederation — node A owns the durable
+# publication store, node B exchanges against A's bus over HTTP — then
+# publish one real update at A and assert the operations plane follows
+# it end to end:
+#   - both /readyz endpoints go green and A's /metrics carries non-zero
+#     core series,
+#   - ONE lineage trace id (minted by the publisher) appears in BOTH
+#     processes' /debug/trace?pub= responses,
+#   - `orchestra trace -pub` renders the cross-process span tree,
+#   - /debug/pprof/ answers 200 with the admin token and 401 without,
+#   - a live query lands in /debug/slowqueries with its plan.
 #
-# Run from the repo root: ./scripts/serve-smoke.sh [port]
+# Run from the repo root: ./scripts/serve-smoke.sh [portA [portB]]
 set -eu
 
-PORT="${1:-8391}"
-BASE="http://127.0.0.1:$PORT"
+PORT_A="${1:-8391}"
+PORT_B="${2:-8392}"
+BASE_A="http://127.0.0.1:$PORT_A"
+BASE_B="http://127.0.0.1:$PORT_B"
 TMP="$(mktemp -d)"
 TOKEN=smoke-token
-DAEMON_PID=""
+PID_A=""
+PID_B=""
 
 cleanup() {
-    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
-    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    for pid in $PID_A $PID_B; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
     rm -rf "$TMP"
 }
 trap cleanup EXIT INT TERM
@@ -35,38 +47,56 @@ go build -o "$TMP/orchestrad" ./cmd/orchestrad
 go build -o "$TMP/smokepub" ./scripts/smokepub
 go build -o "$TMP/orchestra" ./cmd/orchestra
 
-"$TMP/orchestrad" -addr "127.0.0.1:$PORT" \
-    -spec "$TMP/smoke.cdss" -store "$TMP/pubs.olg" -state "$TMP/state" \
-    -view all -refresh 500ms -admin-token "$TOKEN" &
-DAEMON_PID=$!
+# Node A: durable store + state, the confederation's publication service.
+"$TMP/orchestrad" -addr "127.0.0.1:$PORT_A" \
+    -spec "$TMP/smoke.cdss" -store "$TMP/pubs.olg" -state "$TMP/stateA" \
+    -view all -refresh 500ms -admin-token "$TOKEN" -slow-query 1ns &
+PID_A=$!
 
-# Readiness: poll /readyz until the first exchange has warmed the views.
+# Node B: a follower — no local store; its views exchange against A's
+# bus over HTTP, so a publication at A flows to B on B's refresh tick.
+"$TMP/orchestrad" -addr "127.0.0.1:$PORT_B" \
+    -spec "$TMP/smoke.cdss" -bus "$BASE_A" -state "$TMP/stateB" \
+    -view all -refresh 300ms -admin-token "$TOKEN" &
+PID_B=$!
+
+wait_ready() {
+    i=0
+    until curl -fsS "$1/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "serve-smoke: $1 never became ready" >&2
+            curl -sS "$1/readyz" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_ready "$BASE_A"
+wait_ready "$BASE_B"
+echo "ready A: $(curl -fsS "$BASE_A/healthz")"
+echo "ready B: $(curl -fsS "$BASE_B/healthz")"
+
+PUBOUT="$("$TMP/smokepub" "$BASE_A" "$TMP/smoke.cdss")"
+echo "$PUBOUT"
+TRACE_ID="${PUBOUT##*trace=}"
+if [ -z "$TRACE_ID" ]; then
+    echo "serve-smoke: smokepub printed no trace id: $PUBOUT" >&2
+    exit 1
+fi
+
+# Wait until the publish-triggered exchange pass lands in A's metrics.
 i=0
-until curl -fsS "$BASE/readyz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "serve-smoke: daemon never became ready" >&2
-        curl -sS "$BASE/readyz" >&2 || true
-        exit 1
-    fi
-    sleep 0.2
-done
-echo "ready: $(curl -fsS "$BASE/healthz")"
-
-"$TMP/smokepub" "$BASE" "$TMP/smoke.cdss"
-
-# Wait until the publish-triggered exchange pass lands in the metrics.
-i=0
-until curl -fsS "$BASE/metrics" | grep -q '^orchestra_exchange_publications_total [1-9]'; do
+until curl -fsS "$BASE_A/metrics" | grep -q '^orchestra_exchange_publications_total [1-9]'; do
     i=$((i + 1))
     if [ "$i" -gt 50 ]; then
-        echo "serve-smoke: publication never consumed by an exchange" >&2
+        echo "serve-smoke: publication never consumed by an exchange on A" >&2
         exit 1
     fi
     sleep 0.2
 done
 
-METRICS="$(curl -fsS "$BASE/metrics")"
+METRICS="$(curl -fsS "$BASE_A/metrics")"
 
 # Core series must exist with non-zero samples under publish load.
 assert_nonzero() {
@@ -87,18 +117,63 @@ assert_nonzero orchestra_exchange_publications_total
 assert_nonzero orchestra_publish_accepted_total
 assert_nonzero orchestra_bus_append_bytes_total
 assert_nonzero orchestra_http_requests_total
+assert_nonzero orchestra_build_info
+assert_nonzero orchestra_process_uptime_seconds
 assert_present orchestra_bus_lag
 assert_present orchestra_coalesce_cancellation_ratio
 assert_present orchestra_checkpoint_age_seconds
 
-# The trace ring serves the pass's span tree behind the admin token.
-TRACE="$(curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE/debug/trace?last=1")"
-echo "$TRACE" | grep -q '"pass:exchange_all"' || {
-    echo "serve-smoke: /debug/trace missing exchange_all span: $TRACE" >&2
+# The SAME trace id must appear in both processes' lineage endpoints:
+# A saw the publish and its own exchange; B imported the publication
+# over the bus, where the trace id rode the wire and the durable frame.
+wait_trace() {
+    i=0
+    until curl -fsS -H "Authorization: Bearer $TOKEN" \
+            "$1/debug/trace?pub=$TRACE_ID" | grep -q '"pass"'; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "serve-smoke: trace $TRACE_ID never appeared at $1" >&2
+            curl -sS -H "Authorization: Bearer $TOKEN" "$1/debug/trace?pub=$TRACE_ID" >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+wait_trace "$BASE_A"
+wait_trace "$BASE_B"
+curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE_A/debug/trace?pub=$TRACE_ID" \
+    | grep -q '"peer": *"PGUS"' || {
+    echo "serve-smoke: node A's trace lacks the publish-side record" >&2
+    exit 1
+}
+echo "trace $TRACE_ID spans both processes"
+
+# The CLI renders the end-to-end tree across both nodes.
+TRACETREE="$("$TMP/orchestra" trace -pub "$TRACE_ID" -url "$BASE_A,$BASE_B" -token "$TOKEN")"
+echo "$TRACETREE"
+for want in "● $BASE_A" "● $BASE_B" "publish  peer=PGUS"; do
+    case "$TRACETREE" in
+        *"$want"*) ;;
+        *) echo "serve-smoke: orchestra trace output missing '$want'" >&2; exit 1 ;;
+    esac
+done
+
+# pprof: 200 with the admin token, 401 without.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -H "Authorization: Bearer $TOKEN" "$BASE_A/debug/pprof/")"
+[ "$CODE" = 200 ] || { echo "serve-smoke: pprof with token: $CODE" >&2; exit 1; }
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE_A/debug/pprof/")"
+[ "$CODE" = 401 ] || { echo "serve-smoke: pprof without token: $CODE, want 401" >&2; exit 1; }
+
+# Read-path telemetry: a live query (1ns threshold) lands in the slow ring.
+curl -fsS --get --data-urlencode "q=ans(i,n) :- G(i,c,n)" "$BASE_A/query" >/dev/null
+SLOW="$(curl -fsS -H "Authorization: Bearer $TOKEN" "$BASE_A/debug/slowqueries")"
+echo "$SLOW" | grep -q 'G(i,c,n)' || {
+    echo "serve-smoke: /debug/slowqueries missing the query: $SLOW" >&2
     exit 1
 }
 
-# The one-shot dashboard renders against the live daemon.
-"$TMP/orchestra" stats -url "$BASE"
+# The one-shot dashboard renders against both live daemons.
+"$TMP/orchestra" stats -url "$BASE_A"
+"$TMP/orchestra" stats -url "$BASE_B"
 
 echo "serve-smoke: OK"

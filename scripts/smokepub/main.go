@@ -2,7 +2,9 @@
 // publication endpoint through the public HTTP bus — the "one real
 // publish" of the CI serve-smoke job (scripts/serve-smoke.sh). It
 // builds a bus-only System over the same spec so the publication is
-// validated locally exactly as a federated node's would be.
+// validated locally exactly as a federated node's would be. It mints a
+// lineage trace id for the publish and prints it (trace=<id>) so the
+// smoke script can follow the publication across processes.
 //
 // Usage: smokepub <bus-url> <spec-file>
 package main
@@ -34,14 +36,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	err = sys.Publish(context.Background(), "PGUS", orchestra.EditLog{
+	ctx, traceID := orchestra.NewTraceContext(context.Background())
+	err = sys.Publish(ctx, "PGUS", orchestra.EditLog{
 		orchestra.Ins("G", orchestra.MakeTuple(1, 2, 3)),
 		orchestra.Ins("G", orchestra.MakeTuple(3, 5, 2)),
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("published 1 update (2 edits) as PGUS")
+	fmt.Printf("published 1 update (2 edits) as PGUS trace=%s\n", traceID)
 }
 
 func fatal(err error) {
