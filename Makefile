@@ -6,7 +6,7 @@ GO ?= go
 BENCH_SNAPSHOT ?= BENCH_pr9.json
 BENCH_THRESHOLD ?= 15
 
-.PHONY: all build test vet lint race bench bench-check bench-smoke examples staticcheck
+.PHONY: all build test vet lint race bench bench-check bench-serving bench-smoke examples staticcheck
 
 all: build lint test
 
@@ -47,6 +47,14 @@ bench:
 # fresh measurements are kept in BENCH_last.json for inspection.
 bench-check:
 	$(GO) run ./cmd/benchfig -json -out BENCH_last.json -compare $(BENCH_SNAPSHOT) -threshold $(BENCH_THRESHOLD)
+
+# bench-serving gates the serving-path cases alone at a tight 3%:
+# BenchmarkServing sits directly on the push-exchange hot path, so the
+# bus redesign must not tax it. Serving/* cases carry no figure number,
+# hence -case instead of -fig; -samples takes each metric's best of 7
+# so a 3% threshold survives run-to-run scheduler noise.
+bench-serving:
+	$(GO) run ./cmd/benchfig -json -case '^Serving/' -samples 7 -out BENCH_serving_last.json -compare BENCH_pr9.json -threshold 3
 
 # bench-smoke executes every benchmark once so bench code cannot rot.
 bench-smoke:

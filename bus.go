@@ -11,10 +11,57 @@ import (
 )
 
 // PublicationBus is the shared storage through which peers make their
-// edit logs globally available (§2): an append-only, totally ordered
-// publication sequence with fetch-since semantics. Implementations must
-// be safe for concurrent use.
+// edit logs globally available (§2): the composition of BusAppender
+// and BusReader — an append-only publication sequence, sharded by
+// owning peer, with cursor-addressed fetch semantics. Implementations
+// must be safe for concurrent use. Buses that additionally implement
+// BusWatcher support push delivery (System.StartPush detects the
+// capability at runtime).
 type PublicationBus = core.PublicationBus
+
+// BusAppender is the write capability of a publication bus.
+type BusAppender = core.BusAppender
+
+// BusReader is the pull capability of a publication bus:
+// cursor-addressed fetch and horizon queries.
+type BusReader = core.BusReader
+
+// BusWatcher is the push capability of a publication bus: Subscribe
+// streams each publication to the caller as it is appended.
+type BusWatcher = core.BusWatcher
+
+// LegacyBus is the pre-sharding bus shape (Append + scalar FetchSince).
+//
+// Deprecated: implement PublicationBus; AdaptBus bridges existing
+// implementations in the meantime.
+type LegacyBus = core.LegacyBus
+
+// AdaptBus lifts a legacy Append/FetchSince bus into the sharded
+// PublicationBus interface (positions are then unknown and cursors
+// scalar, which cursor folding handles). A bus that already implements
+// PublicationBus is returned unchanged.
+func AdaptBus(b LegacyBus) PublicationBus { return core.AdaptBus(b) }
+
+// Cursor is a typed bus position: a total publication count plus the
+// per-shard breakdown push streaming resumes from. The zero Cursor is
+// the beginning of the bus; String/ParseCursor give the durable form.
+type Cursor = core.Cursor
+
+// ParseCursor parses Cursor.String's durable form ("" parses to the
+// zero Cursor).
+func ParseCursor(s string) (Cursor, error) { return core.ParseCursor(s) }
+
+// CursorFromTotal builds a scalar Cursor from a bare publication
+// count, for callers migrating persisted int cursors; the first pull
+// fetch upgrades it to an exact sharded position.
+func CursorFromTotal(n int) Cursor { return core.CursorFromTotal(n) }
+
+// Delta is one publication with its position on the owning peer's
+// shard — the unit Subscribe streams and Fetch returns.
+type Delta = core.Delta
+
+// CancelFunc releases a subscription. Idempotent.
+type CancelFunc = core.CancelFunc
 
 // MemoryBus is the in-process bus: a mutex-guarded publication slice.
 type MemoryBus = core.MemoryBus
@@ -37,6 +84,22 @@ type FileBus = logstore.Bus
 // OpenFileBus opens (or creates) a durable publication bus backed by
 // the log file at path.
 func OpenFileBus(path string) (*FileBus, error) { return logstore.OpenBus(path) }
+
+// ShardedFileBus is the durable sharded bus: one append-only segment
+// per publishing peer under a directory, appended concurrently and
+// merged into one global order by a per-publication sequence number.
+// It implements the full capability set (append, read, watch). A
+// System built with WithPersistence and no WithBus gets one
+// automatically, co-located in the state directory.
+type ShardedFileBus = logstore.ShardedBus
+
+// OpenShardedFileBus opens (or creates) a durable sharded bus under
+// dir. If legacyPath names an old single-file bus log (and dir does
+// not exist yet), its publications are migrated into the sharded
+// layout first — pass "" to skip migration.
+func OpenShardedFileBus(dir, legacyPath string) (*ShardedFileBus, error) {
+	return logstore.OpenShardedBus(dir, legacyPath)
+}
 
 // HTTPBus is a PublicationBus backed by a remote publication service
 // (a BusServer, typically run by cmd/orchestrad) over the share wire

@@ -19,6 +19,7 @@
 //	benchfig -scale 5        # 5× larger base data
 //	benchfig -json           # machine-readable benchmark report to stdout
 //	benchfig -json -fig 5    # only Figure 5's cases
+//	benchfig -json -case '^Serving/'   # cases selected by name regexp
 //	benchfig -json -out f.json
 //	benchfig -compare BENCH_pr5.json -threshold 15            # run + gate
 //	benchfig -compare BENCH_pr5.json -in BENCH_last.json      # gate two snapshots
@@ -28,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 
 	"orchestra"
@@ -38,14 +40,22 @@ func main() {
 	scale := flag.Float64("scale", 1, "base-data scale factor (1 = laptop defaults; table mode only)")
 	seed := flag.Int64("seed", 42, "workload seed (table mode only)")
 	jsonMode := flag.Bool("json", false, "run the Go benchmark cases and emit a JSON report")
+	caseRe := flag.String("case", "", "regexp selecting benchmark cases by name (ablation families like Serving/ have no figure number, so -fig cannot reach them)")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	compare := flag.String("compare", "", "gate mode: check the candidate measurements against this committed BENCH_*.json snapshot; exit non-zero on regression")
 	threshold := flag.Float64("threshold", 15, "regression threshold in percent for -compare (ns/op and allocs/op)")
 	in := flag.String("in", "", "with -compare: take the candidate measurements from this report instead of running the benchmarks")
+	samples := flag.Int("samples", 1, "measure each case this many times and keep each metric's minimum (noise suppression for tight-threshold gates)")
 	flag.Parse()
 
+	match, err := caseMatcher(*fig, *caseRe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *compare != "" {
-		os.Exit(runGate(*compare, *in, *out, *threshold, *fig, *jsonMode))
+		os.Exit(runGate(*compare, *in, *out, *threshold, match, *samples, *jsonMode))
 	}
 
 	dst := os.Stdout
@@ -60,15 +70,11 @@ func main() {
 	}
 
 	if *jsonMode {
-		var match func(orchestra.BenchCase) bool
-		if *fig != 0 {
-			match = func(c orchestra.BenchCase) bool { return c.Fig == *fig }
-		}
-		rep := orchestra.RunBenchCases(match, func(name string) {
+		rep := orchestra.RunBenchCasesN(match, func(name string) {
 			fmt.Fprintf(os.Stderr, "benchfig: running %s\n", name)
-		})
+		}, *samples)
 		if len(rep.Results) == 0 {
-			fmt.Fprintf(os.Stderr, "benchfig: no benchmark cases for figure %d\n", *fig)
+			fmt.Fprintf(os.Stderr, "benchfig: no benchmark cases matched\n")
 			os.Exit(1)
 		}
 		b, err := rep.MarshalIndent()
@@ -108,11 +114,32 @@ func main() {
 	}
 }
 
+// caseMatcher combines the -fig and -case selectors into one predicate
+// (nil = run everything).
+func caseMatcher(fig int, caseRe string) (func(orchestra.BenchCase) bool, error) {
+	if fig == 0 && caseRe == "" {
+		return nil, nil
+	}
+	var re *regexp.Regexp
+	if caseRe != "" {
+		var err error
+		if re, err = regexp.Compile(caseRe); err != nil {
+			return nil, fmt.Errorf("bad -case regexp: %w", err)
+		}
+	}
+	return func(c orchestra.BenchCase) bool {
+		if fig != 0 && c.Fig != fig {
+			return false
+		}
+		return re == nil || re.MatchString(c.Name)
+	}, nil
+}
+
 // runGate is the bench-regression gate: it obtains the candidate report
 // (running the cases, or loading -in), optionally writes it out (-json
 // -out), compares it against the committed snapshot, and reports the
 // verdict. Returns the process exit code.
-func runGate(comparePath, inPath, outPath string, threshold float64, fig int, jsonMode bool) int {
+func runGate(comparePath, inPath, outPath string, threshold float64, match func(orchestra.BenchCase) bool, samples int, jsonMode bool) int {
 	old, err := orchestra.LoadBenchReport(comparePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
@@ -125,13 +152,9 @@ func runGate(comparePath, inPath, outPath string, threshold float64, fig int, js
 			return 1
 		}
 	} else {
-		var match func(orchestra.BenchCase) bool
-		if fig != 0 {
-			match = func(c orchestra.BenchCase) bool { return c.Fig == fig }
-		}
-		cand = orchestra.RunBenchCases(match, func(name string) {
+		cand = orchestra.RunBenchCasesN(match, func(name string) {
 			fmt.Fprintf(os.Stderr, "benchfig: running %s\n", name)
-		})
+		}, samples)
 	}
 	if jsonMode {
 		b, err := cand.MarshalIndent()

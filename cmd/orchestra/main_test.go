@@ -81,8 +81,8 @@ func TestRunDurableState(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(state, "MANIFEST.json")); err != nil {
 		t.Fatal("no manifest after first run:", err)
 	}
-	if _, err := os.Stat(filepath.Join(state, "bus.olg")); err != nil {
-		t.Fatal("no durable bus log after first run:", err)
+	if _, err := os.Stat(filepath.Join(state, "bus.shards")); err != nil {
+		t.Fatal("no durable bus shards after first run:", err)
 	}
 	if err := run([]string{"run", "-state", state, path}, &second); err != nil {
 		t.Fatal(err)

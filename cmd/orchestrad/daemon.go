@@ -441,6 +441,14 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards http.Flusher through the wrapper: /watch streams
+// chunked NDJSON and refuses writers that cannot flush mid-response.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // httpPattern normalizes a request path to the mux pattern it routes
 // to, bounding metric label cardinality against probe scans.
 func httpPattern(path string) string {
@@ -448,7 +456,8 @@ func httpPattern(path string) string {
 		return "/debug/pprof"
 	}
 	switch path {
-	case "/publish", "/since", "/healthz", "/readyz", "/metrics",
+	case "/publish", "/since", "/fetch", "/horizon", "/watch",
+		"/healthz", "/readyz", "/metrics",
 		"/debug/trace", "/debug/slowqueries", "/instance", "/query",
 		"/spec", "/spec/mapping":
 		return path
@@ -517,12 +526,15 @@ func (d *daemon) exchangeOnce(ctx context.Context) error {
 	return err
 }
 
-// runExchangeLoop drives the maintained views until ctx is done:
-// exchange-on-publish wake-ups coalesce through a 1-buffered channel
-// (a burst of publications lands as at most one queued kick, and the
-// pass it triggers imports the whole pending run coalesced), with the
-// -refresh ticker as a fallback for publications that raced past a
-// pass's fetch horizon.
+// runExchangeLoop drives the maintained views until ctx is done.
+// After the initial warming pass it subscribes to the bus
+// (System.StartPush): each publication streamed in — local or, with
+// -bus, from the remote node — triggers an immediate coalesced import,
+// so followers converge with sub-second latency instead of waiting out
+// the -refresh ticker. The ticker stays on as a safety net (and as the
+// only driver when the bus has no subscription capability), and
+// exchange-on-publish wake-ups still coalesce through a 1-buffered
+// channel for publications accepted by this daemon's own service.
 func (d *daemon) runExchangeLoop(ctx context.Context) {
 	kick := make(chan struct{}, 1)
 	d.srv.OnPublish(func() {
@@ -533,6 +545,12 @@ func (d *daemon) runExchangeLoop(ctx context.Context) {
 	})
 	if err := d.exchangeOnce(ctx); err != nil && ctx.Err() == nil {
 		d.cfg.logger.Error("initial exchange", "err", err)
+	}
+	if stopPush, err := d.sys.StartPush(ctx); err != nil {
+		d.cfg.logger.Info("push streaming unavailable; falling back to polling", "err", err)
+	} else {
+		defer stopPush()
+		d.cfg.logger.Info("push streaming enabled")
 	}
 	ticker := time.NewTicker(d.cfg.refresh)
 	defer ticker.Stop()

@@ -17,8 +17,11 @@
 // publication service instead of this daemon's own bus — the follower
 // topology: node A runs -store and owns the durable publication
 // sequence, node B runs -bus http://A -state and maintains its views
-// over A's bus (importing on the -refresh ticker, since only local
-// publishes wake the exchange loop).
+// over A's bus. The follower subscribes to A's delta stream
+// (GET /watch) and imports each publication as it is pushed, so it
+// converges with sub-second latency; the -refresh ticker remains as a
+// safety net, and against an old node without streaming endpoints the
+// follower degrades to polling automatically.
 //
 // With -admin-token (requires -spec), the daemon additionally serves
 // authenticated spec-evolution endpoints, sharing one token gate with
@@ -77,7 +80,8 @@
 // drain, the view takes a final checkpoint, and the publication log
 // closes on a frame boundary.
 //
-// Protocol: POST /publish, GET /since?cursor=N (see internal/share).
+// Protocol: POST /publish, GET /since?cursor=N, GET /fetch?cursor=C,
+// GET /horizon, GET /watch?cursor=C (see internal/share).
 package main
 
 import (

@@ -24,11 +24,26 @@
 // pending publications into one net apply (WithExchangeCoalescing);
 // neither is observable in any view's final state.
 //
-// Publications travel over a PublicationBus with append/fetch-since
-// semantics. The default in-memory bus runs everything embedded in one
-// process; NewHTTPBus connects the identical application code to a
-// shared publication service (BusServer, run standalone as
-// cmd/orchestrad), giving the paper's federated operating mode.
+// Publications travel over a publication bus sharded by owning peer.
+// The bus surface is three composable capabilities — BusAppender,
+// BusReader, and BusWatcher (push subscriptions) — with PublicationBus
+// their union; WithBus accepts any appender+reader and detects the
+// watcher capability, so pull-only implementations (wrap them with
+// AdaptBus) still work. The default in-memory bus runs everything
+// embedded in one process; NewHTTPBus connects the identical
+// application code to a shared publication service (BusServer, run
+// standalone as cmd/orchestrad), giving the paper's federated
+// operating mode. StartPush subscribes the System to its bus so
+// publications are applied as they arrive instead of on the next
+// Exchange call.
+//
+// A bus position is the opaque, shard-aware Cursor (String/ParseCursor
+// give its durable form). The bare-int cursor surface that predates
+// sharding — FetchSince, BusLen, the int cursor in ViewStat — remains
+// as deprecated wrappers over Cursor.Total(): sound for totals and
+// lag, but a scalar position cannot prove per-shard contiguity, so
+// systems restored from one take a single pull exchange before push
+// import resumes. New code should hold Cursor values.
 //
 // WithPersistence(dir) makes a System crash-safe: views are
 // checkpointed — checksummed snapshot plus bus cursor, written

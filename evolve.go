@@ -232,15 +232,16 @@ func (s *System) replayViewLocked(ctx context.Context, owner string, h *viewHand
 		return err
 	}
 	s.setupView(owner, v)
-	pubs, _, err := s.bus.FetchSince(ctx, 0)
+	deltas, _, err := s.bus.Fetch(ctx, core.Cursor{})
 	if err != nil {
 		return err
 	}
-	if len(pubs) < h.cursor {
-		return fmt.Errorf("orchestra: bus holds %d publications but view %q has applied %d; cannot replay", len(pubs), owner, h.cursor)
+	applied := h.cursor.Total()
+	if len(deltas) < applied {
+		return fmt.Errorf("orchestra: bus holds %d publications but view %q has applied %d; cannot replay", len(deltas), owner, applied)
 	}
-	for _, pub := range pubs[:h.cursor] {
-		if _, err := v.ApplyEditsContext(ctx, pub.Log, s.strategy); err != nil {
+	for _, d := range deltas[:applied] {
+		if _, err := v.ApplyEdits(ctx, d.Pub.Log, s.strategy); err != nil {
 			return err
 		}
 	}

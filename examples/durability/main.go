@@ -94,7 +94,7 @@ func main() {
 	// Phase 2: recover from the state directory.
 	fmt.Println("== Phase 2: restart with WithPersistence ==")
 	spec := parseSpec()
-	bus, err := orchestra.OpenFileBus(filepath.Join(dir, "bus.olg"))
+	bus, err := orchestra.OpenShardedFileBus(filepath.Join(dir, "bus.shards"), filepath.Join(dir, "bus.olg"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -193,8 +193,14 @@ func worker(dir string) {
 	fmt.Printf("worker: published %d more without exchanging\n", len(afterCheckpoint))
 
 	// Simulate the crash cutting a sixth append short: a frame header
-	// claiming 512 bytes with only a fragment behind it.
-	f, err := os.OpenFile(filepath.Join(dir, "bus.olg"), os.O_WRONLY|os.O_APPEND, 0o644)
+	// claiming 512 bytes with only a fragment behind it, on one of the
+	// sharded bus's per-peer segment files.
+	segs, err := filepath.Glob(filepath.Join(dir, "bus.shards", "shard-*.olg"))
+	if err != nil || len(segs) == 0 {
+		log.Fatalf("no shard segments to tear (%v): %v", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -232,10 +238,14 @@ func (c *countingBus) Append(ctx context.Context, peer string, log orchestra.Edi
 	return c.bus.Append(ctx, peer, log)
 }
 
-func (c *countingBus) FetchSince(ctx context.Context, cursor int) ([]orchestra.Publication, int, error) {
-	pubs, next, err := c.bus.FetchSince(ctx, cursor)
-	c.fetched.Add(int64(len(pubs)))
-	return pubs, next, err
+func (c *countingBus) Fetch(ctx context.Context, from orchestra.Cursor) ([]orchestra.Delta, orchestra.Cursor, error) {
+	deltas, next, err := c.bus.Fetch(ctx, from)
+	c.fetched.Add(int64(len(deltas)))
+	return deltas, next, err
+}
+
+func (c *countingBus) Horizon(ctx context.Context) (orchestra.Cursor, error) {
+	return c.bus.Horizon(ctx)
 }
 
 // digest renders instances (sorted) plus the provenance of two tuples

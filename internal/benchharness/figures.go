@@ -1,6 +1,7 @@
 package benchharness
 
 import (
+	"context"
 	"orchestra/internal/core"
 	"orchestra/internal/engine"
 	"orchestra/internal/workload"
@@ -43,7 +44,7 @@ func Fig4(cfg Config) (*Table, error) {
 			}
 			sec, err := timeOp(func() error {
 				for _, log := range logs {
-					if _, err := sc.View.ApplyEdits(log, strategy); err != nil {
+					if _, err := sc.View.ApplyEdits(context.Background(), log, strategy); err != nil {
 						return err
 					}
 				}
@@ -107,7 +108,7 @@ func Fig5(cfg Config) (*Table, error) {
 			}
 			sec, err := timeOp(func() error {
 				for _, peer := range w.PeerNames() {
-					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+					if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 						return err
 					}
 				}
@@ -177,7 +178,7 @@ func figInsertions(cfg Config, ds workload.Dataset, peersAxis []int, title strin
 				}
 				sec, err := timeOp(func() error {
 					for _, log := range logs {
-						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+						if _, err := sc.View.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 							return err
 						}
 					}
@@ -233,7 +234,7 @@ func Fig9(cfg Config) (*Table, error) {
 				}
 				sec, err := timeOp(func() error {
 					for _, log := range logs {
-						if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+						if _, err := sc.View.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 							return err
 						}
 					}
@@ -288,7 +289,7 @@ func Fig10(cfg Config) (*Table, error) {
 			}
 			sec, err := timeOp(func() error {
 				for _, peer := range w.PeerNames() {
-					if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+					if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 						return err
 					}
 				}

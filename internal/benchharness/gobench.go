@@ -166,7 +166,7 @@ func GoBenches() []GoBench {
 					logs := goBenchDeletionLogs(sc.W, base/2)
 					b.StartTimer()
 					for _, log := range logs {
-						if _, err := sc.View.ApplyEdits(log, strategy); err != nil {
+						if _, err := sc.View.ApplyEdits(context.Background(), log, strategy); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -203,7 +203,7 @@ func GoBenches() []GoBench {
 					}
 					b.StartTimer()
 					for _, peer := range w.PeerNames() {
-						if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+						if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -262,7 +262,7 @@ func GoBenches() []GoBench {
 						}
 						b.StartTimer()
 						for _, log := range logs {
-							if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+							if _, err := sc.View.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 								b.Fatal(err)
 							}
 						}
@@ -292,7 +292,7 @@ func GoBenches() []GoBench {
 						logs := goBenchDeletionLogs(sc.W, n)
 						b.StartTimer()
 						for _, log := range logs {
-							if _, err := sc.View.ApplyEdits(log, core.DeleteProvenance); err != nil {
+							if _, err := sc.View.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 								b.Fatal(err)
 							}
 						}
@@ -331,7 +331,7 @@ func GoBenches() []GoBench {
 					}
 					b.StartTimer()
 					for _, peer := range w.PeerNames() {
-						if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+						if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -384,7 +384,7 @@ func GoBenches() []GoBench {
 				b.Fatal(err)
 			}
 			for _, peer := range w.PeerNames() {
-				if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+				if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -410,7 +410,7 @@ func GoBenches() []GoBench {
 					b.Fatal(err)
 				}
 				for _, peer := range s.w.PeerNames() {
-					if _, err := fresh.ApplyEdits(s.logs[peer], core.DeleteProvenance); err != nil {
+					if _, err := fresh.ApplyEdits(context.Background(), s.logs[peer], core.DeleteProvenance); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -471,7 +471,7 @@ func GoBenches() []GoBench {
 		out = append(out, GoBench{Fig: 0, Name: "ExchangeAll/serial_perpub", Sub: "serial_perpub", Run: func(b *testing.B) {
 			run(b, func(b *testing.B, s *exchangeSetup) {
 				for _, v := range s.views {
-					if _, _, err := core.ExchangeInto(context.Background(), s.bus, v, 0, core.DeleteProvenance); err != nil {
+					if _, _, err := core.ExchangeInto(context.Background(), s.bus, v, core.Cursor{}, core.DeleteProvenance); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -480,7 +480,7 @@ func GoBenches() []GoBench {
 		out = append(out, GoBench{Fig: 0, Name: "ExchangeAll/coalesced", Sub: "coalesced", Run: func(b *testing.B) {
 			run(b, func(b *testing.B, s *exchangeSetup) {
 				for _, v := range s.views {
-					if _, _, err := core.ExchangeCoalesced(context.Background(), s.bus, v, 0, core.DeleteProvenance); err != nil {
+					if _, _, err := core.ExchangeCoalesced(context.Background(), s.bus, v, core.Cursor{}, core.DeleteProvenance); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -492,7 +492,7 @@ func GoBenches() []GoBench {
 				tasks := make([]exchange.Task[core.ApplyStats], len(s.views))
 				for i, v := range s.views {
 					tasks[i] = exchange.Task[core.ApplyStats]{Owner: v.Owner(), Run: func(ctx context.Context) (core.ApplyStats, error) {
-						_, stats, err := core.ExchangeCoalesced(ctx, s.bus, v, 0, core.DeleteProvenance)
+						_, stats, err := core.ExchangeCoalesced(ctx, s.bus, v, core.Cursor{}, core.DeleteProvenance)
 						return stats, err
 					}}
 				}
@@ -533,7 +533,7 @@ func GoBenches() []GoBench {
 			}
 			logs := w.GenBase(servingBase)
 			for _, peer := range w.PeerNames() {
-				if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+				if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -558,11 +558,11 @@ func GoBenches() []GoBench {
 				for i := 0; i < b.N; i++ {
 					if i > 0 && i%servingWriteEvery == 0 {
 						peer := s.w.PeerNames()[(i/servingWriteEvery)%peersN]
-						if _, err := s.view.ApplyEdits(s.w.GenInsertions(peer, 1), core.DeleteProvenance); err != nil {
+						if _, err := s.view.ApplyEdits(context.Background(), s.w.GenInsertions(peer, 1), core.DeleteProvenance); err != nil {
 							b.Fatal(err)
 						}
 					}
-					if _, err := s.view.Query(s.queries[i%len(s.queries)], true); err != nil {
+					if _, err := s.view.Query(context.Background(), s.queries[i%len(s.queries)], true); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -612,7 +612,7 @@ func GoBenches() []GoBench {
 					}
 					b.StartTimer()
 					for _, peer := range w.PeerNames() {
-						if _, err := v.ApplyEdits(logs[peer], core.DeleteProvenance); err != nil {
+						if _, err := v.ApplyEdits(context.Background(), logs[peer], core.DeleteProvenance); err != nil {
 							b.Fatal(err)
 						}
 					}

@@ -8,6 +8,7 @@
 package benchharness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -112,7 +113,7 @@ func BuildScenario(wcfg workload.Config, entriesPerPeer int, backend engine.Back
 	}
 	for _, peer := range w.PeerNames() {
 		log := w.GenInsertions(peer, entriesPerPeer)
-		if _, err := v.ApplyEdits(log, core.DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 			return nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package benchharness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -64,7 +65,7 @@ func TestWorkloadMaintenanceEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, log := range script {
-				if _, err := v.ApplyEdits(log, vr.strategy); err != nil {
+				if _, err := v.ApplyEdits(context.Background(), log, vr.strategy); err != nil {
 					t.Fatalf("config %d variant %s/%s: %v", ci, vr.strategy, vr.backend, err)
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/schema"
@@ -37,13 +38,13 @@ func TestSplitProvTablesEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := v.ApplyEdits(EditLog{
+		if _, err := v.ApplyEdits(context.Background(), EditLog{
 			Ins("R", MakeTuple(1, 2)),
 			Ins("R", MakeTuple(3, 4)),
 		}, strategy); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := v.ApplyEdits(EditLog{Del("R", MakeTuple(1, 2))}, strategy); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), EditLog{Del("R", MakeTuple(1, 2))}, strategy); err != nil {
 			t.Fatal(err)
 		}
 		return v
@@ -85,7 +86,7 @@ func TestSplitProvTablesStorageCost(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			log = append(log, Ins("R", MakeTuple(i, i+1)))
 		}
-		if _, err := v.ApplyEdits(log, DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), log, DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 		return v
@@ -114,7 +115,7 @@ func TestSplitProvTablesExpressions(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := v.ApplyEdits(EditLog{Ins("R", MakeTuple(1, 2))}, DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("R", MakeTuple(1, 2))}, DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 		rows := v.Instance("S").Rows()

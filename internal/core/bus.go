@@ -21,42 +21,154 @@ type Publication struct {
 	TraceID string
 }
 
-// PublicationBus is the shared storage through which peers make their
-// edit logs "globally available" (§2). It has append/fetch-since
-// semantics: publications form a totally ordered sequence; a cursor is
-// the number of publications already consumed. Implementations must be
-// safe for concurrent use.
+// The publication bus is the shared storage through which peers make
+// their edit logs "globally available" (§2). Publications form a
+// totally ordered sequence, partitioned into shards by owning peer
+// (peers edit only their own relations — ValidateLog — so shards are
+// independent by construction). The capabilities are split into
+// composable interfaces so implementations provide only what they can:
+// every bus appends and fetches; push delivery (BusWatcher) is
+// capability-detected by consumers and purely an optimization — a
+// pull-only bus still yields identical instances, just on the caller's
+// polling cadence.
+
+// BusAppender accepts publications. Implementations must be safe for
+// concurrent use.
+type BusAppender interface {
+	// Append adds one publication to the end of the global sequence
+	// (and of its owning peer's shard).
+	Append(ctx context.Context, peer string, log EditLog) error
+}
+
+// BusReader replays the publication sequence from typed positions.
+// Implementations must be safe for concurrent use.
+type BusReader interface {
+	// Fetch returns every publication at or after from, in global
+	// order, together with the bus's horizon at read time (the cursor
+	// a consumer of everything returned now holds). A cursor past the
+	// horizon is clamped: Fetch returns no deltas and the (smaller)
+	// horizon, which callers detect as a position regression.
+	Fetch(ctx context.Context, from Cursor) ([]Delta, Cursor, error)
+	// Horizon returns the current end-of-bus cursor without
+	// transferring publication bodies.
+	Horizon(ctx context.Context) (Cursor, error)
+}
+
+// BusWatcher pushes publications to subscribers as they are appended.
+type BusWatcher interface {
+	// Subscribe returns a channel delivering every delta at or after
+	// from, in global order, until cancel is called or ctx is done
+	// (either closes the channel). Implementations must bound their
+	// buffering: a slow subscriber may stall its own channel but must
+	// neither lose publications nor hold unbounded memory beyond the
+	// bus's own storage.
+	Subscribe(ctx context.Context, from Cursor) (<-chan Delta, CancelFunc, error)
+}
+
+// PublicationBus is the capability set the exchange machinery requires:
+// append plus typed-position replay. Buses that additionally implement
+// BusWatcher get push delivery; detect it with a type assertion.
 type PublicationBus interface {
-	// Append adds one publication to the end of the global sequence.
+	BusAppender
+	BusReader
+}
+
+// LegacyBus is the pre-shard bus shape: scalar cursors, no horizon, no
+// subscriptions. Deprecated: implement PublicationBus; AdaptBus wraps
+// remaining implementations for one release.
+type LegacyBus interface {
 	Append(ctx context.Context, peer string, log EditLog) error
 	// FetchSince returns every publication at or after cursor together
 	// with the new cursor (the sequence length at read time).
 	FetchSince(ctx context.Context, cursor int) ([]Publication, int, error)
 }
 
-// MemoryBus is the in-process PublicationBus: a mutex-guarded slice.
-// This is the `published` sequence that used to live inside CDSS,
-// extracted so the same exchange code can run against remote storage.
+// AdaptBus lifts a LegacyBus to the typed-cursor PublicationBus
+// interface. Positions are reconstructed by folding fetches forward
+// from the caller's cursor, which is accurate whenever consumption
+// started from an exact position; fetches from a migrated scalar
+// position yield deltas with unknown (zero) shard positions, which
+// push-side gap detection treats as "must pull" — correct, just not
+// shard-attributed. If the bus already implements PublicationBus it is
+// returned unchanged.
+func AdaptBus(b LegacyBus) PublicationBus {
+	if pb, ok := b.(PublicationBus); ok {
+		return pb
+	}
+	return adaptedBus{legacy: b}
+}
+
+type adaptedBus struct{ legacy LegacyBus }
+
+func (a adaptedBus) Append(ctx context.Context, peer string, log EditLog) error {
+	return a.legacy.Append(ctx, peer, log)
+}
+
+func (a adaptedBus) Fetch(ctx context.Context, from Cursor) ([]Delta, Cursor, error) {
+	pubs, next, err := a.legacy.FetchSince(ctx, from.Total())
+	if err != nil {
+		return nil, from, err
+	}
+	cur := from
+	deltas := make([]Delta, len(pubs))
+	for i, p := range pubs {
+		pos := 0
+		if n, known := cur.shardKnown(p.Peer); known {
+			pos = n + 1
+		}
+		deltas[i] = Delta{Shard: p.Peer, Pos: pos, Pub: p}
+		cur = cur.Advance(deltas[i])
+	}
+	if cur.Total() != next {
+		// Clamped (cursor past the end) or a bus that skipped entries:
+		// the fold does not describe position next, only its total does.
+		return deltas, CursorFromTotal(next), nil
+	}
+	return deltas, cur, nil
+}
+
+func (a adaptedBus) Horizon(ctx context.Context) (Cursor, error) {
+	_, n, err := a.legacy.FetchSince(ctx, math.MaxInt)
+	if err != nil {
+		return Cursor{}, err
+	}
+	return CursorFromTotal(n), nil
+}
+
+const (
+	// subscribeBuffer is each subscription channel's capacity: enough
+	// to decouple the pump from a briefly busy consumer without
+	// duplicating any real fraction of the bus in channel buffers.
+	subscribeBuffer = 16
+	// subscribeBatch bounds how many deltas a subscription pump copies
+	// out of the bus per lock acquisition.
+	subscribeBatch = 64
+)
+
+// MemoryBus is the in-process publication bus: the totally ordered
+// delta sequence plus per-shard counts, guarded by one RWMutex, with
+// wake-and-pull subscriptions. Subscribers hold a position into the
+// bus's own storage and pull bounded batches from it when woken, so a
+// slow subscriber delays only itself and buffers at most
+// subscribeBuffer+subscribeBatch deltas outside the bus — publications
+// are never dropped.
 type MemoryBus struct {
-	mu   sync.RWMutex
-	pubs []Publication
+	mu     sync.RWMutex
+	order  []Delta
+	counts map[string]int
+	subs   map[int]chan struct{}
+	nextID int
 }
 
 // NewMemoryBus returns an empty in-memory publication sequence.
 func NewMemoryBus() *MemoryBus { return &MemoryBus{} }
 
-// Append implements PublicationBus.
+// Append implements BusAppender.
 func (b *MemoryBus) Append(ctx context.Context, peer string, log EditLog) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if peer == "" {
-		return fmt.Errorf("core: publication without peer")
-	}
-	b.mu.Lock()
-	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log, TraceID: obs.TraceIDFromContext(ctx)})
-	b.mu.Unlock()
-	return nil
+	return b.Preload(peer, log, obs.TraceIDFromContext(ctx))
 }
 
 // Preload appends a publication with an explicit trace id — the replay
@@ -67,12 +179,63 @@ func (b *MemoryBus) Preload(peer string, log EditLog, traceID string) error {
 		return fmt.Errorf("core: publication without peer")
 	}
 	b.mu.Lock()
-	b.pubs = append(b.pubs, Publication{Peer: peer, Log: log, TraceID: traceID})
+	if b.counts == nil {
+		b.counts = make(map[string]int)
+	}
+	pos := b.counts[peer] + 1
+	b.order = append(b.order, Delta{Shard: peer, Pos: pos, Pub: Publication{Peer: peer, Log: log, TraceID: traceID}})
+	b.counts[peer] = pos
+	for _, wake := range b.subs {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
 	b.mu.Unlock()
 	return nil
 }
 
-// FetchSince implements PublicationBus.
+// snapshotCursor returns the exact horizon; callers hold b.mu.
+func (b *MemoryBus) snapshotCursor() Cursor {
+	c := Cursor{total: len(b.order)}
+	if len(b.counts) > 0 {
+		c.shards = make(map[string]int, len(b.counts))
+		for peer, n := range b.counts {
+			c.shards[peer] = n
+		}
+	}
+	return c
+}
+
+// Fetch implements BusReader.
+func (b *MemoryBus) Fetch(ctx context.Context, from Cursor) ([]Delta, Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, from, err
+	}
+	if from.Total() < 0 {
+		return nil, from, fmt.Errorf("core: negative cursor %d", from.Total())
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	start := min(from.Total(), len(b.order))
+	out := make([]Delta, len(b.order)-start)
+	copy(out, b.order[start:])
+	return out, b.snapshotCursor(), nil
+}
+
+// Horizon implements BusReader.
+func (b *MemoryBus) Horizon(ctx context.Context) (Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return Cursor{}, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.snapshotCursor(), nil
+}
+
+// FetchSince implements the legacy scalar fetch.
+//
+// Deprecated: use Fetch with a typed Cursor.
 func (b *MemoryBus) FetchSince(ctx context.Context, cursor int) ([]Publication, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, cursor, err
@@ -82,19 +245,93 @@ func (b *MemoryBus) FetchSince(ctx context.Context, cursor int) ([]Publication, 
 	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	if cursor > len(b.pubs) {
-		cursor = len(b.pubs)
+	start := min(cursor, len(b.order))
+	out := make([]Publication, len(b.order)-start)
+	for i, d := range b.order[start:] {
+		out[i] = d.Pub
 	}
-	out := make([]Publication, len(b.pubs)-cursor)
-	copy(out, b.pubs[cursor:])
-	return out, len(b.pubs), nil
+	return out, len(b.order), nil
 }
 
 // Len returns the number of publications on the bus.
 func (b *MemoryBus) Len() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	return len(b.pubs)
+	return len(b.order)
+}
+
+// Subscribe implements BusWatcher with the wake-and-pull idiom: the
+// bus's append path sends a non-blocking wake, and a per-subscription
+// pump pulls bounded batches out of the bus's storage and delivers
+// them on a bounded channel. Buffering is therefore bounded regardless
+// of consumer speed, and no publication can be lost: the pump's
+// position only advances past deltas actually handed to the channel,
+// and a wake arriving mid-batch stays latched in the 1-slot wake
+// channel until the pump drains back to the horizon.
+func (b *MemoryBus) Subscribe(ctx context.Context, from Cursor) (<-chan Delta, CancelFunc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if from.Total() < 0 {
+		return nil, nil, fmt.Errorf("core: negative cursor %d", from.Total())
+	}
+	wake := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	out := make(chan Delta, subscribeBuffer)
+
+	b.mu.Lock()
+	if b.subs == nil {
+		b.subs = make(map[int]chan struct{})
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = wake
+	b.mu.Unlock()
+
+	go b.pump(ctx, from.Total(), out, wake, stop, id)
+
+	var once sync.Once
+	cancel := func() { once.Do(func() { close(stop) }) }
+	return out, cancel, nil
+}
+
+// pump is a subscription's delivery goroutine.
+func (b *MemoryBus) pump(ctx context.Context, pos int, out chan<- Delta, wake <-chan struct{}, stop <-chan struct{}, id int) {
+	defer func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+		close(out)
+	}()
+	batch := make([]Delta, 0, subscribeBatch)
+	for {
+		batch = batch[:0]
+		b.mu.RLock()
+		for i := pos; i < len(b.order) && len(batch) < subscribeBatch; i++ {
+			batch = append(batch, b.order[i])
+		}
+		b.mu.RUnlock()
+		if len(batch) == 0 {
+			select {
+			case <-wake:
+				continue
+			case <-ctx.Done():
+				return
+			case <-stop:
+				return
+			}
+		}
+		for _, d := range batch {
+			select {
+			case out <- d:
+			case <-ctx.Done():
+				return
+			case <-stop:
+				return
+			}
+		}
+		pos += len(batch)
+	}
 }
 
 // PublishTo validates a peer's edit log against the spec and appends it
@@ -104,46 +341,49 @@ func (b *MemoryBus) Len() int {
 // reads and a context allocation, which publish-heavy workloads would
 // pay on every call, so ids are minted only at explicit opt-in or at
 // the HTTP publish boundary (share mints for untraced wire publishes).
-func PublishTo(ctx context.Context, bus PublicationBus, spec *Spec, peer string, log EditLog) error {
+func PublishTo(ctx context.Context, bus BusAppender, spec *Spec, peer string, log EditLog) error {
 	if err := ValidateLog(spec, peer, log); err != nil {
 		return err
 	}
 	return bus.Append(ctx, peer, log)
 }
 
-// ExchangeInto imports every publication on the bus since cursor into a
+// ExchangeInto imports every publication on the bus since from into a
 // view, one apply pass per publication in global publication order, and
 // returns the new cursor. On error (including cancellation) the
 // returned cursor is advanced only past fully applied publications, so
-// a retry resumes where it stopped.
+// a retry resumes where it stopped. A fully applied run returns the
+// bus's horizon, which also upgrades a migrated scalar cursor to an
+// exact one.
 //
 // This is the reference replay: ExchangeCoalesced imports the same run
 // as one net apply and must end observationally identical (the exchange
 // equivalence property test compares the two).
-func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, from Cursor, strategy DeletionStrategy) (Cursor, ApplyStats, error) {
 	fetchStart := time.Now()
-	pubs, next, err := bus.FetchSince(ctx, cursor)
+	deltas, next, err := bus.Fetch(ctx, from)
 	fetchNS := time.Since(fetchStart).Nanoseconds()
 	if err != nil {
-		return cursor, ApplyStats{FetchNS: fetchNS}, err
+		return from, ApplyStats{FetchNS: fetchNS}, err
 	}
-	base := next - len(pubs)
-	stats := ApplyStats{FetchNS: fetchNS}
-	for i, pub := range pubs {
-		s, err := v.ApplyEditsContext(ctx, pub.Log, strategy)
+	stats := ApplyStats{FetchNS: fetchNS, FetchCalls: 1, FetchPublications: len(deltas)}
+	cur := from
+	for _, d := range deltas {
+		s, err := v.ApplyEdits(ctx, d.Pub.Log, strategy)
 		stats.Add(s)
 		if err != nil {
-			return base + i, stats, err
+			return cur, stats, err
 		}
+		cur = cur.Advance(d)
 		stats.Publications++
-		if pub.TraceID != "" {
-			stats.TraceIDs = append(stats.TraceIDs, pub.TraceID)
+		if d.Pub.TraceID != "" {
+			stats.TraceIDs = append(stats.TraceIDs, d.Pub.TraceID)
 		}
 	}
 	return next, stats, nil
 }
 
-// MergeLogs concatenates a run of publications' edit logs in global
+// MergeLogs concatenates a run of deltas' edit logs in global
 // publication order. Applying the merged log as one maintenance
 // operation is equivalent to applying the logs one publication at a
 // time: NetEffect simulates each tuple's membership transitions entry
@@ -152,22 +392,22 @@ func ExchangeInto(ctx context.Context, bus PublicationBus, v *View, cursor int, 
 // operation leaves the instance a pure function of the final base
 // tables (history-independence — the invariant the evolution and
 // exchange equivalence property tests pin down).
-func MergeLogs(pubs []Publication) EditLog {
-	if len(pubs) == 1 {
-		return pubs[0].Log
+func MergeLogs(deltas []Delta) EditLog {
+	if len(deltas) == 1 {
+		return deltas[0].Pub.Log
 	}
 	total := 0
-	for _, p := range pubs {
-		total += len(p.Log)
+	for _, d := range deltas {
+		total += len(d.Pub.Log)
 	}
 	merged := make(EditLog, 0, total)
-	for _, p := range pubs {
-		merged = append(merged, p.Log...)
+	for _, d := range deltas {
+		merged = append(merged, d.Pub.Log...)
 	}
 	return merged
 }
 
-// ExchangeCoalesced imports the pending run [cursor, horizon) in one
+// ExchangeCoalesced imports the pending run [from, horizon) in one
 // coalesced pass: the publications' edit logs are merged (MergeLogs)
 // and applied as a single net maintenance operation — one NetEffect
 // (which cancels insert+delete pairs before any propagation runs), one
@@ -179,36 +419,89 @@ func MergeLogs(pubs []Publication) EditLog {
 // safe — base changes an interrupted apply already committed make the
 // retried NetEffect a no-op for that prefix, and the view's dirty-
 // repair machinery restores derived state before the retry propagates.
-func ExchangeCoalesced(ctx context.Context, bus PublicationBus, v *View, cursor int, strategy DeletionStrategy) (int, ApplyStats, error) {
+func ExchangeCoalesced(ctx context.Context, bus PublicationBus, v *View, from Cursor, strategy DeletionStrategy) (Cursor, ApplyStats, error) {
 	fetchStart := time.Now()
-	pubs, next, err := bus.FetchSince(ctx, cursor)
+	deltas, next, err := bus.Fetch(ctx, from)
 	fetchNS := time.Since(fetchStart).Nanoseconds()
 	if err != nil {
-		return cursor, ApplyStats{FetchNS: fetchNS}, err
+		return from, ApplyStats{FetchNS: fetchNS}, err
 	}
-	if len(pubs) == 0 {
-		return next, ApplyStats{FetchNS: fetchNS}, nil
+	if len(deltas) == 0 {
+		return next, ApplyStats{FetchNS: fetchNS, FetchCalls: 1}, nil
 	}
-	stats, err := v.ApplyEditsContext(ctx, MergeLogs(pubs), strategy)
+	stats, err := v.ApplyEdits(ctx, MergeLogs(deltas), strategy)
 	stats.FetchNS += fetchNS
+	stats.FetchCalls++
+	stats.FetchPublications += len(deltas)
 	if err != nil {
-		return cursor, stats, err
+		return from, stats, err
 	}
-	stats.Publications = len(pubs)
-	for _, pub := range pubs {
-		if pub.TraceID != "" {
-			stats.TraceIDs = append(stats.TraceIDs, pub.TraceID)
+	stats.Publications = len(deltas)
+	for _, d := range deltas {
+		if d.Pub.TraceID != "" {
+			stats.TraceIDs = append(stats.TraceIDs, d.Pub.TraceID)
 		}
 	}
 	return next, stats, nil
 }
 
+// ExchangeDeltas imports push-delivered deltas into a view as one
+// coalesced pass, without touching the bus. It is the subscription-path
+// twin of ExchangeCoalesced and the reason a pushed publication needs
+// no fetch: the deltas were already transferred by the subscription.
+//
+// Gap detection makes it safe to apply deltas out of a buffer: a delta
+// is included only if its shard position is exactly the next one the
+// cursor expects (stale deltas — already consumed via an earlier pull —
+// are skipped). If any delta's position is unknown, or a gap appears
+// (the buffer overflowed, or the cursor was migrated from a scalar
+// position and cannot judge the shard), ExchangeDeltas returns
+// handled=false with the cursor unadvanced and the caller falls back
+// to a pull. Like ExchangeCoalesced the apply is all-or-nothing: on
+// apply error the returned cursor is from.
+func ExchangeDeltas(ctx context.Context, v *View, from Cursor, deltas []Delta, strategy DeletionStrategy) (Cursor, ApplyStats, bool, error) {
+	cur := from
+	run := make([]Delta, 0, len(deltas))
+	for _, d := range deltas {
+		pos, known := cur.shardKnown(d.Shard)
+		if !known || d.Pos <= 0 {
+			return from, ApplyStats{}, false, nil
+		}
+		switch {
+		case d.Pos <= pos:
+			// Already consumed (a pull raced ahead of the subscription).
+		case d.Pos == pos+1:
+			run = append(run, d)
+			cur = cur.Advance(d)
+		default:
+			return from, ApplyStats{}, false, nil
+		}
+	}
+	if len(run) == 0 {
+		return cur, ApplyStats{}, true, nil
+	}
+	stats, err := v.ApplyEdits(ctx, MergeLogs(run), strategy)
+	if err != nil {
+		return from, stats, true, err
+	}
+	stats.Publications = len(run)
+	stats.PushDeltas = len(run)
+	for _, d := range run {
+		if d.Pub.TraceID != "" {
+			stats.TraceIDs = append(stats.TraceIDs, d.Pub.TraceID)
+		}
+	}
+	return cur, stats, true, nil
+}
+
 // BusLen returns the current length of a bus's publication sequence
-// without transferring publication bodies: FetchSince clamps a cursor
-// past the end and reports the sequence length with no publications.
+// without transferring publication bodies.
+//
+// Deprecated: use BusReader.Horizon, whose Cursor carries the
+// per-shard breakdown as well.
 func BusLen(ctx context.Context, bus PublicationBus) (int, error) {
-	_, n, err := bus.FetchSince(ctx, math.MaxInt)
-	return n, err
+	c, err := bus.Horizon(ctx)
+	return c.Total(), err
 }
 
 // ValidateLog checks that an edit log is legal for a peer under a spec:

@@ -26,8 +26,8 @@ type CDSS struct {
 	bus PublicationBus
 	// views maps owner → materialized view.
 	views map[string]*View
-	// cursor[viewOwner] = number of publications already consumed.
-	cursor map[string]int
+	// cursor[viewOwner] = bus position already consumed.
+	cursor map[string]Cursor
 }
 
 // NewCDSS creates the orchestrator over a private in-memory bus.
@@ -44,7 +44,7 @@ func NewCDSSOn(bus PublicationBus, spec *Spec, opts Options, strategy DeletionSt
 		strategy: strategy,
 		bus:      bus,
 		views:    make(map[string]*View),
-		cursor:   make(map[string]int),
+		cursor:   make(map[string]Cursor),
 	}
 }
 
@@ -70,28 +70,18 @@ func (c *CDSS) View(peer string) (*View, error) {
 
 // Publish appends a peer's edit log to the global sequence after
 // validating that every edit touches one of the peer's own relations
-// (peers edit only their local instance, §2).
-func (c *CDSS) Publish(peer string, log EditLog) error {
-	return c.PublishContext(context.Background(), peer, log)
-}
-
-// PublishContext is Publish with a cancellation context for the bus
-// round-trip.
-func (c *CDSS) PublishContext(ctx context.Context, peer string, log EditLog) error {
+// (peers edit only their local instance, §2). The context covers the
+// bus round-trip.
+func (c *CDSS) Publish(ctx context.Context, peer string, log EditLog) error {
 	return PublishTo(ctx, c.bus, c.spec, peer, log)
 }
 
 // Exchange performs update exchange for a peer: all publications since
 // the peer's previous exchange are imported into its view, in global
 // publication order, with deletions propagated by the configured
-// strategy and trust applied per the view owner's policy.
-func (c *CDSS) Exchange(peer string) (ApplyStats, error) {
-	return c.ExchangeContext(context.Background(), peer)
-}
-
-// ExchangeContext is Exchange with cancellation plumbed into the bus
-// fetch and the engine's fixpoint loops.
-func (c *CDSS) ExchangeContext(ctx context.Context, peer string) (ApplyStats, error) {
+// strategy and trust applied per the view owner's policy. Cancellation
+// is plumbed into the bus fetch and the engine's fixpoint loops.
+func (c *CDSS) Exchange(ctx context.Context, peer string) (ApplyStats, error) {
 	v, err := c.View(peer)
 	if err != nil {
 		return ApplyStats{}, err
@@ -101,13 +91,8 @@ func (c *CDSS) ExchangeContext(ctx context.Context, peer string) (ApplyStats, er
 	return stats, err
 }
 
-// ExchangeAll runs Exchange for every peer (and the global view if it has
-// been created), in peer registration order.
-func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
-	return c.ExchangeAllContext(context.Background())
-}
-
-// ExchangeAllContext is ExchangeAll with cancellation. The per-view
+// ExchangeAll runs Exchange for every peer (and the global view if it
+// has been created), in peer registration order. The per-view
 // imports run concurrently over the exchange scheduler, bounded by
 // Options.ExchangeParallelism (0 = GOMAXPROCS, distinct from the
 // engine-worker bound Options.Parallelism), each coalescing its
@@ -118,7 +103,7 @@ func (c *CDSS) ExchangeAll() (map[string]ApplyStats, error) {
 // orchestra facade layers the same scheduler and its options on top;
 // this is the embedded-core equivalent.) On error, views whose passes
 // did not run are omitted from the result map.
-func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, error) {
+func (c *CDSS) ExchangeAll(ctx context.Context) (map[string]ApplyStats, error) {
 	owners := make([]string, 0, len(c.spec.Universe.Peers())+1)
 	for _, p := range c.spec.Universe.Peers() {
 		owners = append(owners, p.Name)
@@ -133,7 +118,7 @@ func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, e
 		}
 	}
 
-	nexts := make([]int, len(owners))
+	nexts := make([]Cursor, len(owners))
 	tasks := make([]exchange.Task[ApplyStats], len(owners))
 	for i, owner := range owners {
 		tasks[i] = exchange.Task[ApplyStats]{Owner: owner, Run: func(ctx context.Context) (ApplyStats, error) {
@@ -152,19 +137,18 @@ func (c *CDSS) ExchangeAllContext(ctx context.Context) (map[string]ApplyStats, e
 }
 
 // Pending reports how many publications a peer has not yet imported.
-func (c *CDSS) Pending(peer string) (int, error) {
-	return c.PendingContext(context.Background(), peer)
-}
-
-// PendingContext is Pending with cancellation: counting pending
-// publications may consult a remote bus.
-func (c *CDSS) PendingContext(ctx context.Context, peer string) (int, error) {
-	n, err := BusLen(ctx, c.bus)
+// Counting pending publications may consult a remote bus, so the
+// context covers that round-trip.
+func (c *CDSS) Pending(ctx context.Context, peer string) (int, error) {
+	h, err := c.bus.Horizon(ctx)
 	if err != nil {
 		return 0, err
 	}
-	return max(n-c.cursor[peer], 0), nil
+	return max(h.Total()-c.cursor[peer].Total(), 0), nil
 }
+
+// Cursor reports a peer's current bus position.
+func (c *CDSS) Cursor(peer string) Cursor { return c.cursor[peer] }
 
 // MakeTuple is a convenience for building tuples in specs and tests:
 // ints become integer values, strings become string values.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -15,16 +16,16 @@ func TestCDSSExchangeAllParallel(t *testing.T) {
 	build := func(par int) *CDSS {
 		c := NewCDSS(paperSpec(t, nil), Options{ExchangeParallelism: par}, DeleteProvenance)
 		for peer, log := range example3Logs() {
-			if err := c.Publish(peer, log); err != nil {
+			if err := c.Publish(context.Background(), peer, log); err != nil {
 				t.Fatal(err)
 			}
 		}
 		// More churn: a second round of publications, including a
 		// deletion, so the coalesced pass has a multi-publication run.
-		if err := c.Publish("PGUS", EditLog{Ins("G", MakeTuple(7, 7, 7))}); err != nil {
+		if err := c.Publish(context.Background(), "PGUS", EditLog{Ins("G", MakeTuple(7, 7, 7))}); err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Publish("PGUS", EditLog{Del("G", MakeTuple(7, 7, 7))}); err != nil {
+		if err := c.Publish(context.Background(), "PGUS", EditLog{Del("G", MakeTuple(7, 7, 7))}); err != nil {
 			t.Fatal(err)
 		}
 		// Materialize the global view so ExchangeAll covers it too.
@@ -35,11 +36,11 @@ func TestCDSSExchangeAllParallel(t *testing.T) {
 	}
 
 	serial := build(1)
-	if _, err := serial.ExchangeAll(); err != nil {
+	if _, err := serial.ExchangeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	parallel := build(4)
-	if _, err := parallel.ExchangeAll(); err != nil {
+	if _, err := parallel.ExchangeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -48,13 +49,13 @@ func TestCDSSExchangeAllParallel(t *testing.T) {
 		vs, _ := serial.View(owner)
 		vp, _ := parallel.View(owner)
 		viewsEqual(t, vp, vs, fmt.Sprintf("view %q parallel-vs-serial", owner))
-		if n, err := parallel.Pending(owner); err != nil || n != 0 {
+		if n, err := parallel.Pending(context.Background(), owner); err != nil || n != 0 {
 			t.Fatalf("view %q still pending after parallel ExchangeAll: %d, %v", owner, n, err)
 		}
 	}
 
 	// Idempotence: nothing pending, so a second pass applies nothing.
-	stats, err := parallel.ExchangeAll()
+	stats, err := parallel.ExchangeAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -72,7 +73,7 @@ func loadExample3(t *testing.T, spec *Spec, opts Options) *View {
 		t.Fatal(err)
 	}
 	for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-		if _, err := v.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func TestExample3CertainAnswers(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 
 	// Query 1: ans(x,y) :- U(x,z), U(y,z) → {(2,2),(3,3),(5,5)}.
-	got, err := v.Query("ans(x,y) :- U(x,z), U(y,z)", false)
+	got, err := v.Query(context.Background(), "ans(x,y) :- U(x,z), U(y,z)", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestExample3CertainAnswers(t *testing.T) {
 	}
 
 	// Query 2: ans(x,y) :- U(x,y) → {(2,5),(3,2)} (nulls dropped).
-	got, err = v.Query("ans(x,y) :- U(x,y)", false)
+	got, err = v.Query(context.Background(), "ans(x,y) :- U(x,y)", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestExample3CertainAnswers(t *testing.T) {
 	}
 
 	// Superset option keeps the null tuples.
-	got, err = v.Query("ans(x,y) :- U(x,y)", true)
+	got, err = v.Query(context.Background(), "ans(x,y) :- U(x,y)", true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestExample3CurationDeletion(t *testing.T) {
 	for _, strategy := range []DeletionStrategy{DeleteProvenance, DeleteDRed, DeleteRecompute} {
 		t.Run(strategy.String(), func(t *testing.T) {
 			v := loadExample3(t, paperSpec(t, nil), Options{})
-			if _, err := v.ApplyEdits(EditLog{Del("B", MakeTuple(3, 2))}, strategy); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), EditLog{Del("B", MakeTuple(3, 2))}, strategy); err != nil {
 				t.Fatal(err)
 			}
 			b := v.Instance("B")
@@ -224,7 +225,7 @@ func TestExample3CurationDeletion(t *testing.T) {
 			}
 			// Compare against full recomputation for exactness.
 			ref := loadExample3(t, paperSpec(t, nil), Options{})
-			if _, err := ref.ApplyEdits(EditLog{Del("B", MakeTuple(3, 2))}, DeleteRecompute); err != nil {
+			if _, err := ref.ApplyEdits(context.Background(), EditLog{Del("B", MakeTuple(3, 2))}, DeleteRecompute); err != nil {
 				t.Fatal(err)
 			}
 			viewsEqual(t, v, ref, strategy.String())
@@ -235,7 +236,7 @@ func TestExample3CurationDeletion(t *testing.T) {
 func TestRejectionThenUnrejection(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 	// Reject imported B(3,2).
-	if _, err := v.ApplyEdits(EditLog{Del("B", MakeTuple(3, 2))}, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Del("B", MakeTuple(3, 2))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	if hasRow(v.Instance("B"), MakeTuple(3, 2)) {
@@ -245,7 +246,7 @@ func TestRejectionThenUnrejection(t *testing.T) {
 		t.Fatal("rejection not recorded")
 	}
 	// Re-inserting it locally withdraws the rejection (+t un-rejects).
-	if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(3, 2))}, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("B", MakeTuple(3, 2))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	if !hasRow(v.Instance("B"), MakeTuple(3, 2)) {
@@ -259,7 +260,7 @@ func TestRejectionThenUnrejection(t *testing.T) {
 		t.Fatalf("downstream tuple not restored:\n%s", v.db.Dump(OutputRel("B")))
 	}
 	ref := loadExample3(t, paperSpec(t, nil), Options{})
-	if _, err := ref.ApplyEdits(EditLog{Del("B", MakeTuple(3, 2)), Ins("B", MakeTuple(3, 2))}, DeleteRecompute); err != nil {
+	if _, err := ref.ApplyEdits(context.Background(), EditLog{Del("B", MakeTuple(3, 2)), Ins("B", MakeTuple(3, 2))}, DeleteRecompute); err != nil {
 		t.Fatal(err)
 	}
 	// Note: the single-log (+ after −) net effect differs from the
@@ -284,7 +285,7 @@ func TestExample4TrustConditions(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-		if _, err := v.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -325,7 +326,7 @@ func TestTokenLevelTrust(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-		if _, err := v.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -365,13 +366,13 @@ func TestExample6ProvenanceThroughView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(3, 5))}, DeleteProvenance); err != nil { // p1
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("B", MakeTuple(3, 5))}, DeleteProvenance); err != nil { // p1
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("U", MakeTuple(2, 5))}, DeleteProvenance); err != nil { // p2
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("U", MakeTuple(2, 5))}, DeleteProvenance); err != nil { // p2
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("G", MakeTuple(3, 5, 2))}, DeleteProvenance); err != nil { // p3
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("G", MakeTuple(3, 5, 2))}, DeleteProvenance); err != nil { // p3
 		t.Fatal(err)
 	}
 	expr := v.ProvOf("B", MakeTuple(3, 2))
@@ -396,7 +397,7 @@ func TestIncrementalInsertionMatchesRecompute(t *testing.T) {
 			dl.Insert("G", MakeTuple(3, 5, 2))
 			dl.Insert("B", MakeTuple(3, 5))
 			dl.Insert("U", MakeTuple(2, 5))
-			if _, err := ref.ApplyBase(dl, storage.DeltaSet{}, DeleteRecompute); err != nil {
+			if _, err := ref.ApplyBase(context.Background(), dl, storage.DeltaSet{}, DeleteRecompute); err != nil {
 				t.Fatal(err)
 			}
 			viewsEqual(t, inc, ref, be.String())
@@ -448,7 +449,7 @@ func TestDeletionStrategiesAgreeRandomized(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, o := range ops {
-				if _, err := v.ApplyEdits(o.log, strategy); err != nil {
+				if _, err := v.ApplyEdits(context.Background(), o.log, strategy); err != nil {
 					t.Fatalf("trial %d (%s): %v", trial, strategy, err)
 				}
 			}
@@ -464,26 +465,26 @@ func TestDeletionStrategiesAgreeRandomized(t *testing.T) {
 
 func TestCDSSOrchestration(t *testing.T) {
 	c := NewCDSS(paperSpec(t, nil), Options{}, DeleteProvenance)
-	if err := c.Publish("PGUS", example3Logs()["PGUS"]); err != nil {
+	if err := c.Publish(context.Background(), "PGUS", example3Logs()["PGUS"]); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish("PBioSQL", example3Logs()["PBioSQL"]); err != nil {
+	if err := c.Publish(context.Background(), "PBioSQL", example3Logs()["PBioSQL"]); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Publish("PuBio", example3Logs()["PuBio"]); err != nil {
+	if err := c.Publish(context.Background(), "PuBio", example3Logs()["PuBio"]); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := c.Pending("PBioSQL"); err != nil || got != 3 {
+	if got, err := c.Pending(context.Background(), "PBioSQL"); err != nil || got != 3 {
 		t.Fatalf("Pending = %d, %v", got, err)
 	}
-	stats, err := c.Exchange("PBioSQL")
+	stats, err := c.Exchange(context.Background(), "PBioSQL")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.InsL != 4 {
 		t.Fatalf("InsL = %d, want 4", stats.InsL)
 	}
-	if got, err := c.Pending("PBioSQL"); err != nil || got != 0 {
+	if got, err := c.Pending(context.Background(), "PBioSQL"); err != nil || got != 0 {
 		t.Fatalf("pending after exchange: %d, %v", got, err)
 	}
 	v, _ := c.View("PBioSQL")
@@ -491,7 +492,7 @@ func TestCDSSOrchestration(t *testing.T) {
 		t.Fatalf("B after exchange:\n%s", v.DB().Dump(OutputRel("B")))
 	}
 	// A second peer exchanges later and sees the same world.
-	if _, err := c.Exchange("PuBio"); err != nil {
+	if _, err := c.Exchange(context.Background(), "PuBio"); err != nil {
 		t.Fatal(err)
 	}
 	v2, _ := c.View("PuBio")
@@ -499,18 +500,18 @@ func TestCDSSOrchestration(t *testing.T) {
 		t.Fatal("views diverge under identical trust")
 	}
 	// Publishing edits to another peer's relation is rejected.
-	if err := c.Publish("PGUS", EditLog{Ins("B", MakeTuple(9, 9))}); err == nil {
+	if err := c.Publish(context.Background(), "PGUS", EditLog{Ins("B", MakeTuple(9, 9))}); err == nil {
 		t.Fatal("cross-peer edit accepted")
 	}
-	if err := c.Publish("nope", EditLog{}); err == nil {
+	if err := c.Publish(context.Background(), "nope", EditLog{}); err == nil {
 		t.Fatal("unknown peer accepted")
 	}
 	// ExchangeAll drains everyone.
-	if _, err := c.ExchangeAll(); err != nil {
+	if _, err := c.ExchangeAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{"PGUS", "PBioSQL", "PuBio"} {
-		if got, err := c.Pending(p); err != nil || got != 0 {
+		if got, err := c.Pending(context.Background(), p); err != nil || got != 0 {
 			t.Fatalf("peer %s still pending: %d, %v", p, got, err)
 		}
 	}
@@ -601,7 +602,7 @@ func TestQueryErrors(t *testing.T) {
 		"ans(x) :- Zed(x)",       // unknown relation
 		"ans(z) :- U(x,y)",       // unsafe head
 	} {
-		if _, err := v.Query(q, false); err == nil {
+		if _, err := v.Query(context.Background(), q, false); err == nil {
 			t.Errorf("query %q accepted", q)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/engine"
@@ -53,7 +54,7 @@ func TestCyclicGarbageCollection(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
+				if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
 					t.Fatal(err)
 				}
 				// The loop materialized: A and B both hold (1).
@@ -65,7 +66,7 @@ func TestCyclicGarbageCollection(t *testing.T) {
 					t.Fatal("A input missing (mb should derive it)")
 				}
 
-				stats, err := v.ApplyEdits(EditLog{Del("A", MakeTuple(1))}, strategy)
+				stats, err := v.ApplyEdits(context.Background(), EditLog{Del("A", MakeTuple(1))}, strategy)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -91,14 +92,14 @@ func TestCyclicPartialSupport(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("A", MakeTuple(1))}, strategy); err != nil {
 				t.Fatal(err)
 			}
 			// Q also inserts B(1) locally: a second, independent anchor.
-			if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(1))}, strategy); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("B", MakeTuple(1))}, strategy); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := v.ApplyEdits(EditLog{Del("A", MakeTuple(1))}, strategy); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), EditLog{Del("A", MakeTuple(1))}, strategy); err != nil {
 				t.Fatal(err)
 			}
 			// B(1) is still locally contributed, so both instances keep (1).
@@ -120,21 +121,21 @@ func TestCyclicSemiringEvaluations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	aOut := OutRef("A", MakeTuple(1))
 	bOut := OutRef("B", MakeTuple(1))
 	token := BaseRef("A", MakeTuple(1))
 
-	trusted, err := TrustEval(v, nil, nil)
+	trusted, err := TrustEval(context.Background(), v, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !trusted[aOut] || !trusted[bOut] {
 		t.Fatal("fully trusted loop rejected")
 	}
-	distrusted, err := TrustEval(v, map[provenance.Ref]bool{token: false}, nil)
+	distrusted, err := TrustEval(context.Background(), v, map[provenance.Ref]bool{token: false}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestCyclicSemiringEvaluations(t *testing.T) {
 		t.Fatal("loop sustained trust without trusted edb (least fixpoint violated)")
 	}
 
-	counts, err := DerivationCounts(v, 100)
+	counts, err := DerivationCounts(context.Background(), v, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestCyclicSemiringEvaluations(t *testing.T) {
 		t.Fatalf("count(B(1)) = %d, want saturation at 100", counts[bOut])
 	}
 
-	ranks, err := RankTrust(v, nil, map[string]float64{"ma": 0.5, "mb": 0.5})
+	ranks, err := RankTrust(context.Background(), v, nil, map[string]float64{"ma": 0.5, "mb": 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestCyclicSemiringEvaluations(t *testing.T) {
 		t.Fatalf("rank(A(1)) = %v, want 1.0", ranks[aOut])
 	}
 
-	lin, err := Lineage(v)
+	lin, err := Lineage(context.Background(), v)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 // recomputed from publication zero.
 //
 //   - Mapping addition recompiles the program and runs a semi-naive round
-//     seeded with only the new mappings' rules (engine.RunRulesContext),
+//     seeded with only the new mappings' rules (engine.RunRules),
 //     so cost scales with the new rules' derivations.
 //   - Mapping removal and trust revocation are the paper's
 //     provenance-driven deletion generalized from tuple deletions to rule
@@ -31,7 +31,7 @@ import (
 // installed) new spec.
 
 // mappingRuleBase extracts the mapping id from a compiled rule id:
-// "m1'" → "m1", "m1''#2" → "m1", "in$R''" → "in$R".
+// "m1'" → "m1", "m1”#2" → "m1", "in$R”" → "in$R".
 func mappingRuleBase(ruleID string) string {
 	if i := strings.IndexByte(ruleID, '#'); i >= 0 {
 		ruleID = ruleID[:i]
@@ -72,7 +72,7 @@ func (v *View) AddMappings(ctx context.Context, newSpec *Spec, added []string) (
 	for _, id := range added {
 		addedSet[id] = true
 	}
-	es, err := v.ev.RunRulesContext(ctx, func(ruleID string) bool {
+	es, err := v.ev.RunRules(ctx, func(ruleID string) bool {
 		return addedSet[mappingRuleBase(ruleID)]
 	})
 	stats.Engine.Add(es)
@@ -126,7 +126,7 @@ func (v *View) RemoveMappings(ctx context.Context, newSpec *Spec, removed []stri
 		if err := install(); err != nil {
 			return stats, err
 		}
-		es, err := v.FullRecomputeContext(ctx)
+		es, err := v.FullRecompute(ctx)
 		stats.Engine.Add(es)
 		if err != nil {
 			return stats, err
@@ -152,7 +152,7 @@ func (v *View) RemoveMappings(ctx context.Context, newSpec *Spec, removed []stri
 			return stats, err
 		}
 		v.ev.InvalidateAllTransient()
-		es, err := v.ev.RunContext(ctx)
+		es, err := v.ev.Run(ctx)
 		stats.Engine.Add(es)
 		stats.Rederived += es.Derived
 		if err != nil {
@@ -221,7 +221,7 @@ func (v *View) ApplyTrust(ctx context.Context, newSpec *Spec, strategy DeletionS
 	}
 
 	if strategy == DeleteRecompute {
-		es, err := v.FullRecomputeContext(ctx)
+		es, err := v.FullRecompute(ctx)
 		stats.Engine.Add(es)
 		if err != nil {
 			return stats, err
@@ -270,7 +270,7 @@ func (v *View) ApplyTrust(ctx context.Context, newSpec *Spec, strategy DeletionS
 		// The full re-run both re-derives over-deleted survivors and picks
 		// up anything the new policies newly accept.
 		v.ev.InvalidateAllTransient()
-		es, err := v.ev.RunContext(ctx)
+		es, err := v.ev.Run(ctx)
 		stats.Engine.Add(es)
 		stats.Rederived += es.Derived
 		if err != nil {
@@ -294,7 +294,7 @@ func (v *View) ApplyTrust(ctx context.Context, newSpec *Spec, strategy DeletionS
 	for _, m := range newSpec.Mappings {
 		userIDs[m.ID] = true
 	}
-	es, err := v.ev.RunRulesContext(ctx, func(ruleID string) bool {
+	es, err := v.ev.RunRules(ctx, func(ruleID string) bool {
 		return userIDs[mappingRuleBase(ruleID)]
 	})
 	stats.Engine.Add(es)

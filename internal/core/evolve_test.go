@@ -171,7 +171,7 @@ func TestViewAddMappings(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-			if _, err := v.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -202,7 +202,7 @@ func TestViewRemoveMappings(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-					if _, err := fresh.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+					if _, err := fresh.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -244,7 +244,7 @@ func TestViewApplyTrust(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, peer := range []string{"PGUS", "PBioSQL", "PuBio"} {
-				if _, err := fv.ApplyEdits(example3Logs()[peer], DeleteProvenance); err != nil {
+				if _, err := fv.ApplyEdits(context.Background(), example3Logs()[peer], DeleteProvenance); err != nil {
 					t.Fatal(err)
 				}
 			}

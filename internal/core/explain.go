@@ -6,16 +6,10 @@ import "context"
 // the chosen join order, each step's access path (warm persistent index,
 // transient hash build, or scan), per-step cardinality estimates, and
 // the estimated result size. It compiles the query exactly as
-// QueryContext would — including the repair-if-dirty pass, so the plan
+// Query would — including the repair-if-dirty pass, so the plan
 // reflects the statistics a real evaluation would see — but does not run
-// it.
-func (v *View) ExplainQuery(q string) (string, error) {
-	return v.ExplainQueryContext(context.Background(), q)
-}
-
-// ExplainQueryContext is ExplainQuery with cancellation plumbed into the
-// repair pass.
-func (v *View) ExplainQueryContext(ctx context.Context, q string) (string, error) {
+// it. Cancellation is plumbed into the repair pass.
+func (v *View) ExplainQuery(ctx context.Context, q string) (string, error) {
 	rule, err := v.parseQuery(q)
 	if err != nil {
 		return "", err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"orchestra/internal/datalog"
@@ -143,7 +144,7 @@ func (v *View) InverseProgram() (*datalog.Program, error) {
 // by running the inverse-rule program to fixpoint — the paper's
 // formulation of the backward pass. It must agree with the procedural
 // supportOf (cross-checked in tests).
-func (v *View) SupportDeclarative(targets []provenance.Ref) (map[provenance.Ref]bool, error) {
+func (v *View) SupportDeclarative(ctx context.Context, targets []provenance.Ref) (map[provenance.Ref]bool, error) {
 	if err := v.buildInverse(); err != nil {
 		return nil, err
 	}
@@ -158,7 +159,7 @@ func (v *View) SupportDeclarative(targets []provenance.Ref) (map[provenance.Ref]
 		tbl.Insert(ref.Tuple())
 	}
 	v.inv.ev.InvalidateAllTransient()
-	if _, err := v.inv.ev.Run(); err != nil {
+	if _, err := v.inv.ev.Run(ctx); err != nil {
 		return nil, err
 	}
 

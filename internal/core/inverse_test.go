@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestSupportDeclarativeMatchesProcedural(t *testing.T) {
 		{OutRef("G", MakeTuple(1, 2, 3))},
 	}
 	for _, ts := range targets {
-		declarative, err := v.SupportDeclarative(ts)
+		declarative, err := v.SupportDeclarative(context.Background(), ts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,10 +41,10 @@ func TestSupportDeclarativeOnCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
-	sup, err := v.SupportDeclarative([]provenance.Ref{OutRef("B", MakeTuple(1))})
+	sup, err := v.SupportDeclarative(context.Background(), []provenance.Ref{OutRef("B", MakeTuple(1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSupportDeclarativeOnCycle(t *testing.T) {
 	// reports no support (the chk trace survives, the intersection with
 	// Rℓ is empty).
 	v.LocalTable("A").Delete(MakeTuple(1))
-	sup, err = v.SupportDeclarative([]provenance.Ref{OutRef("B", MakeTuple(1))})
+	sup, err = v.SupportDeclarative(context.Background(), []provenance.Ref{OutRef("B", MakeTuple(1))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestInverseProgramShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The workspace is cleared between calls: repeated use is stable.
-	sup1, err := v.SupportDeclarative([]provenance.Ref{OutRef("B", MakeTuple(3, 2))})
+	sup1, err := v.SupportDeclarative(context.Background(), []provenance.Ref{OutRef("B", MakeTuple(3, 2))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sup2, err := v.SupportDeclarative([]provenance.Ref{OutRef("B", MakeTuple(3, 2))})
+	sup2, err := v.SupportDeclarative(context.Background(), []provenance.Ref{OutRef("B", MakeTuple(3, 2))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestSnapshotExcludesInverseWorkspace(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 	// Build the inverse tables, then snapshot: restore must succeed into
 	// a fresh view (workspaces are excluded).
-	if _, err := v.SupportDeclarative([]provenance.Ref{OutRef("B", MakeTuple(3, 2))}); err != nil {
+	if _, err := v.SupportDeclarative(context.Background(), []provenance.Ref{OutRef("B", MakeTuple(3, 2))}); err != nil {
 		t.Fatal(err)
 	}
 	var buf strings.Builder

@@ -66,6 +66,15 @@ type ApplyStats struct {
 	// deletion propagation, insertion propagation.
 	FetchNS, NetEffectNS, DeleteNS, InsertNS int64
 
+	// Delivery accounting: FetchCalls counts bus fetch round trips this
+	// operation issued; FetchPublications counts publication bodies
+	// those fetches transferred; PushDeltas counts publications that
+	// arrived pre-transferred over a subscription (ExchangeDeltas) and
+	// therefore needed no fetch.
+	FetchCalls        int
+	FetchPublications int
+	PushDeltas        int
+
 	// TraceIDs are the lineage trace ids of the publications this
 	// operation consumed (stamped by the exchange entry points; empty
 	// for publications that predate tracing).
@@ -90,6 +99,9 @@ func (s *ApplyStats) Add(other ApplyStats) {
 	s.NetEffectNS += other.NetEffectNS
 	s.DeleteNS += other.DeleteNS
 	s.InsertNS += other.InsertNS
+	s.FetchCalls += other.FetchCalls
+	s.FetchPublications += other.FetchPublications
+	s.PushDeltas += other.PushDeltas
 	s.TraceIDs = append(s.TraceIDs, other.TraceIDs...)
 }
 
@@ -104,14 +116,8 @@ func (s *ApplyStats) CancellationRatio() float64 {
 
 // FullRecompute discards all derived state (inputs, outputs, provenance)
 // and recomputes it from the base tables — the non-incremental baseline
-// of §6.3.
-func (v *View) FullRecompute() (engine.Stats, error) {
-	return v.FullRecomputeContext(context.Background())
-}
-
-// FullRecomputeContext is FullRecompute with cancellation plumbed into
-// the fixpoint loop.
-func (v *View) FullRecomputeContext(ctx context.Context) (engine.Stats, error) {
+// of §6.3 — with cancellation plumbed into the fixpoint loop.
+func (v *View) FullRecompute(ctx context.Context) (engine.Stats, error) {
 	for _, rel := range v.spec.Universe.Relations() {
 		v.db.Table(InputRel(rel.Name)).Clear()
 		v.db.Table(OutputRel(rel.Name)).Clear()
@@ -120,26 +126,22 @@ func (v *View) FullRecomputeContext(ctx context.Context) (engine.Stats, error) {
 		v.db.Table(mi.ProvRel).Clear()
 	}
 	v.ev.InvalidateAllTransient()
-	return v.ev.RunContext(ctx)
+	return v.ev.Run(ctx)
 }
 
 // ApplyEdits applies one peer-published edit log to the view: net effect
 // over Rℓ/Rr, then deletion propagation with the chosen strategy, then
-// insertion propagation. This is the per-exchange maintenance entry point.
-func (v *View) ApplyEdits(log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
-	return v.ApplyEditsContext(context.Background(), log, strategy)
-}
-
-// ApplyEditsContext is ApplyEdits with cancellation plumbed through the
-// propagation fixpoints.
-func (v *View) ApplyEditsContext(ctx context.Context, log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
+// insertion propagation, with cancellation plumbed through the
+// propagation fixpoints. This is the per-exchange maintenance entry
+// point.
+func (v *View) ApplyEdits(ctx context.Context, log EditLog, strategy DeletionStrategy) (ApplyStats, error) {
 	neStart := time.Now()
 	dl, dr, err := NetEffect(log, v.db, v.baseTrustFilter())
 	neNS := time.Since(neStart).Nanoseconds()
 	if err != nil {
 		return ApplyStats{EditsIn: len(log), NetEffectNS: neNS}, err
 	}
-	stats, err := v.ApplyBaseContext(ctx, dl, dr, strategy)
+	stats, err := v.ApplyBase(ctx, dl, dr, strategy)
 	stats.EditsIn += len(log)
 	if cancelled := len(log) - dl.Size() - dr.Size(); cancelled > 0 {
 		stats.EditsCancelled += cancelled
@@ -152,16 +154,12 @@ func (v *View) ApplyEditsContext(ctx context.Context, log EditLog, strategy Dele
 // dr over rejection tables (both keyed by *user* relation names).
 // Deletion effects (local deletions, new rejections) propagate first,
 // then insertion effects (new contributions, withdrawn rejections).
-func (v *View) ApplyBase(dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
-	return v.ApplyBaseContext(context.Background(), dl, dr, strategy)
-}
-
-// ApplyBaseContext is ApplyBase with cancellation plumbed through the
-// propagation fixpoints. An interrupted operation leaves the view
-// marked dirty; the next maintenance operation (or query) first
-// repairs it by recomputing derived state from the base tables, which
-// commit before any cancellable point.
-func (v *View) ApplyBaseContext(ctx context.Context, dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
+// Cancellation is plumbed through the propagation fixpoints; an
+// interrupted operation leaves the view marked dirty, and the next
+// maintenance operation (or query) first repairs it by recomputing
+// derived state from the base tables, which commit before any
+// cancellable point.
+func (v *View) ApplyBase(ctx context.Context, dl, dr storage.DeltaSet, strategy DeletionStrategy) (ApplyStats, error) {
 	var stats ApplyStats
 	if err := v.repairIfDirty(ctx, &stats); err != nil {
 		return stats, err
@@ -174,7 +172,7 @@ func (v *View) ApplyBaseContext(ctx context.Context, dl, dr storage.DeltaSet, st
 		// Apply every base change, then rebuild. The whole rebuild counts
 		// as the deletion phase: recompute has no separate insertion pass.
 		v.applyBaseChanges(dl, dr, &stats)
-		es, err := v.FullRecomputeContext(ctx)
+		es, err := v.FullRecompute(ctx)
 		stats.Engine.Add(es)
 		stats.DeleteNS += time.Since(delStart).Nanoseconds()
 		if err != nil {
@@ -224,7 +222,7 @@ func (v *View) repairIfDirty(ctx context.Context, stats *ApplyStats) error {
 	if !v.dirty {
 		return nil
 	}
-	es, err := v.FullRecomputeContext(ctx)
+	es, err := v.FullRecompute(ctx)
 	stats.Engine.Add(es)
 	if err != nil {
 		return err
@@ -300,7 +298,7 @@ func (v *View) insertIncremental(ctx context.Context, dl, dr storage.DeltaSet, s
 	if len(pending) == 0 {
 		return nil
 	}
-	es, err := v.ev.PropagateRowsContext(ctx, pending)
+	es, err := v.ev.PropagateRows(ctx, pending)
 	stats.Engine.Add(es)
 	return err
 }
@@ -615,7 +613,7 @@ func (v *View) derivable(ctx context.Context, refs []provenance.Ref, stats *Appl
 		})
 	}
 	// Forward: fixpoint over the support.
-	es, err := v.chkEv.RunContext(ctx)
+	es, err := v.chkEv.Run(ctx)
 	stats.Engine.Add(es)
 	if err != nil {
 		return nil, err
@@ -635,12 +633,7 @@ func (v *View) derivable(ctx context.Context, refs []provenance.Ref, stats *Appl
 // by the backward pass. A tuple may be present yet non-derivable only
 // transiently inside deletion propagation; after any maintenance
 // operation completes, presence and derivability coincide.
-func (v *View) Derivability(rel string, t value.Tuple) (bool, []provenance.Ref, error) {
-	return v.DerivabilityContext(context.Background(), rel, t)
-}
-
-// DerivabilityContext is Derivability with cancellation.
-func (v *View) DerivabilityContext(ctx context.Context, rel string, t value.Tuple) (bool, []provenance.Ref, error) {
+func (v *View) Derivability(ctx context.Context, rel string, t value.Tuple) (bool, []provenance.Ref, error) {
 	ref := provenance.NewRef(OutputRel(rel), t)
 	var stats ApplyStats
 	if err := v.repairIfDirty(ctx, &stats); err != nil {
@@ -819,7 +812,7 @@ func (v *View) deleteDRed(ctx context.Context, dl, dr storage.DeltaSet, stats *A
 
 	// Re-derivation: full fixpoint from the surviving state.
 	v.ev.InvalidateAllTransient()
-	es, err := v.ev.RunContext(ctx)
+	es, err := v.ev.Run(ctx)
 	stats.Engine.Add(es)
 	stats.Rederived += es.Derived
 	return err

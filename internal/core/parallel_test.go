@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/core"
@@ -35,7 +36,7 @@ func TestParallelViewEquivalence(t *testing.T) {
 				}
 				derived := 0
 				apply := func(log core.EditLog) {
-					st, err := v.ApplyEdits(log, core.DeleteProvenance)
+					st, err := v.ApplyEdits(context.Background(), log, core.DeleteProvenance)
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -53,13 +53,8 @@ func qerr(q string, pos int, format string, args ...any) error {
 //	ans(x,y) :- U(x,y) where x >= 3 and y != 5
 //
 // Body relations are user relation names; they are answered from the Rᵒ
-// instances.
-func (v *View) Query(q string, includeNulls bool) ([]value.Tuple, error) {
-	return v.QueryContext(context.Background(), q, includeNulls)
-}
-
-// QueryContext is Query with cancellation plumbed into the evaluation.
-func (v *View) QueryContext(ctx context.Context, q string, includeNulls bool) ([]value.Tuple, error) {
+// instances. Cancellation is plumbed into the evaluation.
+func (v *View) Query(ctx context.Context, q string, includeNulls bool) ([]value.Tuple, error) {
 	start := time.Now()
 	rule, err := v.parseQuery(q)
 	if err != nil {
@@ -149,20 +144,15 @@ func (v *View) parseQuery(q string) (*datalog.Rule, error) {
 }
 
 // QueryRule evaluates an already-built conjunctive query rule whose body
-// atoms reference internal relations of the view.
-func (v *View) QueryRule(rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
-	return v.QueryRuleContext(context.Background(), rule, includeNulls)
-}
-
-// QueryRuleContext is QueryRule with cancellation. Results are served
+// atoms reference internal relations of the view. Results are served
 // from the view's query cache when the rule was evaluated before and
 // none of its body relations have changed since.
-func (v *View) QueryRuleContext(ctx context.Context, rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
+func (v *View) QueryRule(ctx context.Context, rule *datalog.Rule, includeNulls bool) ([]value.Tuple, error) {
 	return v.runQuery(ctx, rule, includeNulls, "", time.Now(), 0)
 }
 
-// runQuery is the instrumented query body behind QueryContext and
-// QueryRuleContext: repair-if-dirty, cache probe, compile, evaluate,
+// runQuery is the instrumented query body behind Query and
+// QueryRule: repair-if-dirty, cache probe, compile, evaluate,
 // collect, store. qtext is the raw query string for telemetry ("" falls
 // back to the canonical key); start/parseNS anchor the phase clocks.
 // When no observer is attached (v.qobs nil) the extra work is one
@@ -206,7 +196,7 @@ func (v *View) runQuery(ctx context.Context, rule *datalog.Rule, includeNulls bo
 		st.PlanNS = time.Since(mark).Nanoseconds()
 		mark = time.Now()
 	}
-	if _, err := ev.RunContext(ctx); err != nil {
+	if _, err := ev.Run(ctx); err != nil {
 		return nil, err
 	}
 	var out []value.Tuple

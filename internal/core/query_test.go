@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/provenance"
@@ -9,7 +10,7 @@ import (
 func TestQueryWhereClause(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 	// B = {(3,5),(3,2),(1,3),(3,3)}.
-	rows, err := v.Query("ans(i,n) :- B(i,n) where n >= 3", false)
+	rows, err := v.Query(context.Background(), "ans(i,n) :- B(i,n) where n >= 3", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestQueryWhereClause(t *testing.T) {
 			t.Fatalf("filter leaked %v", r)
 		}
 	}
-	rows, err = v.Query("ans(i,n) :- B(i,n) where n >= 3 and i = 3", false)
+	rows, err = v.Query(context.Background(), "ans(i,n) :- B(i,n) where n >= 3 and i = 3", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestQueryWhereClause(t *testing.T) {
 		t.Fatalf("conjunctive where: %v", rows)
 	}
 	// A trivially-true where keeps everything.
-	rows, err = v.Query("ans(i,n) :- B(i,n) where true", false)
+	rows, err = v.Query(context.Background(), "ans(i,n) :- B(i,n) where true", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestQueryWhereClause(t *testing.T) {
 		t.Fatalf("where true: %v", rows)
 	}
 	// Bad predicate is reported.
-	if _, err := v.Query("ans(i,n) :- B(i,n) where n !!", false); err == nil {
+	if _, err := v.Query(context.Background(), "ans(i,n) :- B(i,n) where n !!", false); err == nil {
 		t.Fatal("bad where accepted")
 	}
 }
@@ -45,7 +46,7 @@ func TestQueryWhereClause(t *testing.T) {
 func TestQueryJoinAcrossPeers(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 	// Join G and B across peers: ids present in both with matching names.
-	rows, err := v.Query("ans(i) :- G(i,c,n), B(i,n)", false)
+	rows, err := v.Query(context.Background(), "ans(i) :- G(i,c,n), B(i,n)", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestQueryJoinAcrossPeers(t *testing.T) {
 
 func TestQueryConstantsInBody(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
-	rows, err := v.Query("ans(n) :- B(3, n)", false)
+	rows, err := v.Query(context.Background(), "ans(n) :- B(3, n)", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestQueryConstantsInBody(t *testing.T) {
 func TestQueryWorkspaceCleanup(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
 	for i := 0; i < 3; i++ {
-		if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+		if _, err := v.Query(context.Background(), "ans(x,y) :- U(x,y)", false); err != nil {
 			t.Fatalf("repeat %d: %v", i, err)
 		}
 	}
@@ -80,7 +81,7 @@ func TestQueryWorkspaceCleanup(t *testing.T) {
 
 func TestDerivabilityAPI(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
-	ok, support, err := v.Derivability("B", MakeTuple(3, 2))
+	ok, support, err := v.Derivability(context.Background(), "B", MakeTuple(3, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestDerivabilityAPI(t *testing.T) {
 		t.Fatalf("support missing G base tuple: %v", support)
 	}
 	// An absent tuple is not derivable and has empty support.
-	ok, support, err = v.Derivability("B", MakeTuple(99, 99))
+	ok, support, err = v.Derivability(context.Background(), "B", MakeTuple(99, 99))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -21,14 +22,14 @@ func TestQueryCacheHitAndPreciseInvalidation(t *testing.T) {
 			// must leave qG's cache entry valid.
 			qG := "ansg(i,c,n) :- G(i,c,n)"
 
-			first, err := v.Query(qB, false)
+			first, err := v.Query(context.Background(), qB, false)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := v.Query(qG, false); err != nil {
+			if _, err := v.Query(context.Background(), qG, false); err != nil {
 				t.Fatal(err)
 			}
-			again, err := v.Query(qB, false)
+			again, err := v.Query(context.Background(), qB, false)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,17 +42,17 @@ func TestQueryCacheHitAndPreciseInvalidation(t *testing.T) {
 			}
 
 			// A pass touching B must invalidate qB but keep qG cached.
-			if _, err := v.ApplyEdits(EditLog{Ins("B", MakeTuple(9, 9))}, DeleteProvenance); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("B", MakeTuple(9, 9))}, DeleteProvenance); err != nil {
 				t.Fatal(err)
 			}
-			afterB, err := v.Query(qB, false)
+			afterB, err := v.Query(context.Background(), qB, false)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(afterB) != len(first)+1 {
 				t.Fatalf("stale result served after write: %v", afterB)
 			}
-			if _, err := v.Query(qG, false); err != nil {
+			if _, err := v.Query(context.Background(), qG, false); err != nil {
 				t.Fatal(err)
 			}
 			hits2, misses2, _ := v.QueryCacheStats()
@@ -62,10 +63,10 @@ func TestQueryCacheHitAndPreciseInvalidation(t *testing.T) {
 				t.Fatalf("qG should still be cached after the B write: hits %d -> %d", hits, hits2)
 			}
 			// Steady state: both fully cached again.
-			if _, err := v.Query(qB, false); err != nil {
+			if _, err := v.Query(context.Background(), qB, false); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := v.Query(qG, false); err != nil {
+			if _, err := v.Query(context.Background(), qG, false); err != nil {
 				t.Fatal(err)
 			}
 			hits3, _, _ := v.QueryCacheStats()
@@ -78,11 +79,11 @@ func TestQueryCacheHitAndPreciseInvalidation(t *testing.T) {
 
 func TestQueryCacheAlphaEquivalence(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
-	if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+	if _, err := v.Query(context.Background(), "ans(x,y) :- U(x,y)", false); err != nil {
 		t.Fatal(err)
 	}
 	// Same query, renamed variables: must hit the same entry.
-	if _, err := v.Query("ans(a,b) :- U(a,b)", false); err != nil {
+	if _, err := v.Query(context.Background(), "ans(a,b) :- U(a,b)", false); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses, _ := v.QueryCacheStats()
@@ -90,7 +91,7 @@ func TestQueryCacheAlphaEquivalence(t *testing.T) {
 		t.Fatalf("α-renamed query did not share the entry: hits=%d misses=%d", hits, misses)
 	}
 	// includeNulls is part of the key, not a hit.
-	if _, err := v.Query("ans(a,b) :- U(a,b)", true); err != nil {
+	if _, err := v.Query(context.Background(), "ans(a,b) :- U(a,b)", true); err != nil {
 		t.Fatal(err)
 	}
 	if h, m, _ := v.QueryCacheStats(); h != 1 || m != 2 {
@@ -101,7 +102,7 @@ func TestQueryCacheAlphaEquivalence(t *testing.T) {
 func TestQueryCacheDisabled(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{QueryCacheSize: -1})
 	for i := 0; i < 3; i++ {
-		if _, err := v.Query("ans(x,y) :- U(x,y)", false); err != nil {
+		if _, err := v.Query(context.Background(), "ans(x,y) :- U(x,y)", false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +119,7 @@ func TestQueryCacheCapacityEviction(t *testing.T) {
 		"a3(i) :- B(i,n), U(n,c)",
 	}
 	for _, q := range queries {
-		if _, err := v.Query(q, false); err != nil {
+		if _, err := v.Query(context.Background(), q, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func TestQueryCacheCapacityEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1 (cap 2, 3 entries)", evictions)
 	}
 	// The oldest entry (a1) was evicted; re-running it misses.
-	if _, err := v.Query(queries[0], false); err != nil {
+	if _, err := v.Query(context.Background(), queries[0], false); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _, _ := v.QueryCacheStats(); hits != 0 {
@@ -148,7 +149,7 @@ func TestQueryErrorPositions(t *testing.T) {
 		{"ans(x,y) :- U(x,y) where x !!", 25, "selection"},
 	}
 	for _, c := range cases {
-		_, err := v.Query(c.q, false)
+		_, err := v.Query(context.Background(), c.q, false)
 		var qe *QueryError
 		if !errors.As(err, &qe) {
 			t.Fatalf("%q: error %v is not a *QueryError", c.q, err)
@@ -170,7 +171,7 @@ func TestQueryErrorPositions(t *testing.T) {
 
 func TestExplainQueryView(t *testing.T) {
 	v := loadExample3(t, paperSpec(t, nil), Options{})
-	out, err := v.ExplainQuery("ans(i) :- G(i,c,n), B(i,n) where i >= 1")
+	out, err := v.ExplainQuery(context.Background(), "ans(i) :- G(i,c,n), B(i,n) where i >= 1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestExplainQueryView(t *testing.T) {
 	if v.db.Table("q$ans") != nil {
 		t.Fatal("explain leaked q$ans workspace")
 	}
-	if _, err := v.ExplainQuery("nope"); err == nil {
+	if _, err := v.ExplainQuery(context.Background(), "nope"); err == nil {
 		t.Fatal("bad query accepted by explain")
 	}
 }

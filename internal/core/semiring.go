@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"orchestra/internal/provenance"
 	"orchestra/internal/semiring"
 	"orchestra/internal/value"
@@ -27,8 +29,8 @@ func BaseRef(rel string, t value.Tuple) provenance.Ref {
 // TrustEval evaluates every tuple's trustworthiness in the boolean
 // semiring: tokenTrust assigns T/D to base tuples (nil = trust all),
 // mappingTrust assigns Θ verdicts per mapping id (absent = trusted).
-func TrustEval(v *View, tokenTrust map[provenance.Ref]bool, mappingTrust map[string]bool) (map[provenance.Ref]bool, error) {
-	return provenance.Eval[bool](v.graph, semiring.Bool{},
+func TrustEval(ctx context.Context, v *View, tokenTrust map[provenance.Ref]bool, mappingTrust map[string]bool) (map[provenance.Ref]bool, error) {
+	return provenance.Eval[bool](ctx, v.graph, semiring.Bool{},
 		func(m string, x bool) bool {
 			if t, ok := mappingTrust[m]; ok {
 				return t && x
@@ -45,8 +47,8 @@ func TrustEval(v *View, tokenTrust map[provenance.Ref]bool, mappingTrust map[str
 
 // DerivationCounts evaluates the number of derivations of every tuple in
 // the saturating counting semiring (cap 0 = default).
-func DerivationCounts(v *View, cap int64) (map[provenance.Ref]int64, error) {
-	return provenance.Eval[int64](v.graph, semiring.Count{Cap: cap},
+func DerivationCounts(ctx context.Context, v *View, cap int64) (map[provenance.Ref]int64, error) {
+	return provenance.Eval[int64](ctx, v.graph, semiring.Count{Cap: cap},
 		semiring.Identity[int64](),
 		func(provenance.Ref) int64 { return 1 }, provenance.EvalOptions{})
 }
@@ -56,8 +58,8 @@ func DerivationCounts(v *View, cap int64) (map[provenance.Ref]int64, error) {
 // reliability factor (default 1), and a tuple's rank is the confidence of
 // its most trustworthy derivation — the §8 "ranked trust models"
 // extension.
-func RankTrust(v *View, tokenConf map[provenance.Ref]float64, mappingConf map[string]float64) (map[provenance.Ref]float64, error) {
-	return provenance.Eval[float64](v.graph, semiring.Viterbi{},
+func RankTrust(ctx context.Context, v *View, tokenConf map[provenance.Ref]float64, mappingConf map[string]float64) (map[provenance.Ref]float64, error) {
+	return provenance.Eval[float64](ctx, v.graph, semiring.Viterbi{},
 		func(m string, x float64) float64 {
 			if c, ok := mappingConf[m]; ok {
 				return c * x
@@ -74,8 +76,8 @@ func RankTrust(v *View, tokenConf map[provenance.Ref]float64, mappingConf map[st
 
 // Lineage evaluates Cui-style lineage: the set of base tokens each tuple
 // transitively depends on.
-func Lineage(v *View) (map[provenance.Ref]semiring.LineageElem, error) {
-	return provenance.Eval[semiring.LineageElem](v.graph, semiring.Lineage{},
+func Lineage(ctx context.Context, v *View) (map[provenance.Ref]semiring.LineageElem, error) {
+	return provenance.Eval[semiring.LineageElem](ctx, v.graph, semiring.Lineage{},
 		semiring.Identity[semiring.LineageElem](),
 		func(r provenance.Ref) semiring.LineageElem {
 			return semiring.Token(v.graph.TokenName(r))

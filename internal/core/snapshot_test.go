@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -34,10 +35,10 @@ func TestViewSnapshotRoundTrip(t *testing.T) {
 
 	// Continue incrementally on BOTH views: results must stay equal.
 	log := EditLog{Del("B", MakeTuple(3, 2)), Ins("G", MakeTuple(7, 8, 9))}
-	if _, err := v.ApplyEdits(log, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), log, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := restored.ApplyEdits(log, DeleteProvenance); err != nil {
+	if _, err := restored.ApplyEdits(context.Background(), log, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	viewsEqual(t, v, restored, "after post-restore edits")
@@ -60,7 +61,7 @@ func TestViewSnapshotSkolemContinuity(t *testing.T) {
 		t.Fatalf("interner size %d, want %d", restored.Skolems().Len(), before)
 	}
 	// Insert data that mints a fresh null (new B name 77 → new m3 image).
-	if _, err := restored.ApplyEdits(EditLog{Ins("B", MakeTuple(77, 77))}, DeleteProvenance); err != nil {
+	if _, err := restored.ApplyEdits(context.Background(), EditLog{Ins("B", MakeTuple(77, 77))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	if restored.Skolems().Len() != before+1 {
@@ -78,7 +79,7 @@ func TestViewSnapshotErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.ApplyEdits(EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
+	if _, err := v.ApplyEdits(context.Background(), EditLog{Ins("A", MakeTuple(1))}, DeleteProvenance); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

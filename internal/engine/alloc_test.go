@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -51,7 +52,7 @@ func TestJoinAllocsBounded(t *testing.T) {
 			var err error
 			next := 0
 			allocs := testing.AllocsPerRun(1, func() {
-				stats, err = evs[next].Run()
+				stats, err = evs[next].Run(context.Background())
 				next++
 			})
 			if err != nil {
@@ -88,7 +89,7 @@ func TestRederivationAllocsBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := ev.Run()
+	stats, err := ev.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestRederivationAllocsBounded(t *testing.T) {
 	// Second run: everything re-derives, nothing is new.
 	var second Stats
 	allocs := testing.AllocsPerRun(1, func() {
-		second, err = ev.Run()
+		second, err = ev.Run(context.Background())
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -23,7 +24,7 @@ func TestSelfJoinDelta(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev.Run(); err != nil {
+			if _, err := ev.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			// Insert BOTH edges of a chain in one delta batch: the pair
@@ -35,7 +36,7 @@ func TestSelfJoinDelta(t *testing.T) {
 				ev.InvalidateTransient("e")
 				delta.Insert("e", row)
 			}
-			if _, err := ev.PropagateInsertions(delta); err != nil {
+			if _, err := ev.PropagateInsertions(context.Background(), delta); err != nil {
 				t.Fatal(err)
 			}
 			if !db.Table("grand").Contains(tup(1, 3)) {
@@ -57,7 +58,7 @@ func TestFiltersOnDeltaPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	delta := storage.DeltaSet{}
@@ -66,7 +67,7 @@ func TestFiltersOnDeltaPlans(t *testing.T) {
 		db.Table("in").Insert(row)
 		delta.Insert("in", row)
 	}
-	if _, err := ev.PropagateInsertions(delta); err != nil {
+	if _, err := ev.PropagateInsertions(context.Background(), delta); err != nil {
 		t.Fatal(err)
 	}
 	out := db.Table("out")
@@ -91,7 +92,7 @@ func TestPropagateAcrossStrata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	delta := storage.DeltaSet{}
@@ -100,7 +101,7 @@ func TestPropagateAcrossStrata(t *testing.T) {
 		db.Table("base").Insert(row)
 		delta.Insert("base", row)
 	}
-	if _, err := ev.PropagateInsertions(delta); err != nil {
+	if _, err := ev.PropagateInsertions(context.Background(), delta); err != nil {
 		t.Fatal(err)
 	}
 	top := db.Table("top")
@@ -124,7 +125,7 @@ func TestTransientBuildStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := evHash.Run()
+	stats, err := evHash.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestTransientBuildStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err = evIdx.Run()
+	stats, err = evIdx.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestInvalidateAllTransient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if db.Table("out").Len() != 1 {
@@ -174,7 +175,7 @@ func TestInvalidateAllTransient(t *testing.T) {
 	db.Table("src").Insert(tup(2))
 	db.Table("out").Clear()
 	ev.InvalidateAllTransient()
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if db.Table("out").Len() != 2 {
@@ -200,19 +201,19 @@ func TestSkolemDeterminismAcrossPaths(t *testing.T) {
 	// Bulk path.
 	db1, ev1, sk1 := mk()
 	db1.Table("b").Insert(tup(3, 5))
-	if _, err := ev1.Run(); err != nil {
+	if _, err := ev1.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Delta path.
 	db2, ev2, sk2 := mk()
-	if _, err := ev2.Run(); err != nil {
+	if _, err := ev2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	row := tup(3, 5)
 	db2.Table("b").Insert(row)
 	delta := storage.DeltaSet{}
 	delta.Insert("b", row)
-	if _, err := ev2.PropagateInsertions(delta); err != nil {
+	if _, err := ev2.PropagateInsertions(context.Background(), delta); err != nil {
 		t.Fatal(err)
 	}
 	r1, r2 := db1.Table("u").Rows(), db2.Table("u").Rows()
@@ -241,7 +242,7 @@ func TestDeltaSkipsNegatedOccurrence(t *testing.T) {
 	}
 	// s is EDB with content; delta arrives on r only.
 	db.Table("s").Insert(tup(2))
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	delta := storage.DeltaSet{}
@@ -250,7 +251,7 @@ func TestDeltaSkipsNegatedOccurrence(t *testing.T) {
 		db.Table("r").Insert(row)
 		delta.Insert("r", row)
 	}
-	if _, err := ev.PropagateInsertions(delta); err != nil {
+	if _, err := ev.PropagateInsertions(context.Background(), delta); err != nil {
 		t.Fatal(err)
 	}
 	out := db.Table("out")

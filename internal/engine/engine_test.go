@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestTransitiveClosure(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			stats, err := ev.Run()
+			stats, err := ev.Run(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func TestConstantsInBodyAndHead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	o := db.Table("out")
@@ -104,7 +105,7 @@ func TestRepeatedVariableInAtom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	d := db.Table("diag")
@@ -131,7 +132,7 @@ func TestNegation(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev.Run(); err != nil {
+			if _, err := ev.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			ro := db.Table("ro")
@@ -160,7 +161,7 @@ func TestStratifiedNegationOverIDB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	g := db.Table("good")
@@ -184,7 +185,7 @@ func TestSkolemHeads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	u := db.Table("u")
@@ -218,7 +219,7 @@ func TestFilters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := db.Table("out").Len(); got != 2 {
@@ -244,7 +245,7 @@ func TestPropagateInsertions(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev.Run(); err != nil {
+			if _, err := ev.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if db.Table("tc").Len() != 3 {
@@ -257,7 +258,7 @@ func TestPropagateInsertions(t *testing.T) {
 			e.Insert(newRow)
 			ev.InvalidateTransient("edge")
 			delta.Insert("edge", newRow)
-			if _, err := ev.PropagateInsertions(delta); err != nil {
+			if _, err := ev.PropagateInsertions(context.Background(), delta); err != nil {
 				t.Fatal(err)
 			}
 			tc := db.Table("tc")
@@ -304,7 +305,7 @@ func TestIncrementalMatchesRecomputeRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := evInc.Run(); err != nil {
+		if _, err := evInc.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		delta := storage.DeltaSet{}
@@ -315,7 +316,7 @@ func TestIncrementalMatchesRecomputeRandomized(t *testing.T) {
 			}
 		}
 		evInc.InvalidateTransient("edge")
-		if _, err := evInc.PropagateInsertions(delta); err != nil {
+		if _, err := evInc.PropagateInsertions(context.Background(), delta); err != nil {
 			t.Fatal(err)
 		}
 
@@ -328,7 +329,7 @@ func TestIncrementalMatchesRecomputeRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := evRef.Run(); err != nil {
+		if _, err := evRef.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -362,7 +363,7 @@ func TestBackendsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ev.Run(); err != nil {
+		if _, err := ev.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return db
@@ -423,7 +424,7 @@ func TestMaxIterationsGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err == nil {
+	if _, err := ev.Run(context.Background()); err == nil {
 		t.Fatal("non-terminating program completed")
 	}
 }
@@ -439,7 +440,7 @@ func TestStatsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := ev.Run()
+	stats, err := ev.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +470,7 @@ func TestCrossProductScanFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if db.Table("c").Len() != 2 {

@@ -213,15 +213,10 @@ func (ev *Evaluator) parallelism() int {
 
 // Run evaluates the program to fixpoint from the current database state
 // (naive first round per stratum, then semi-naive rounds). It returns
-// evaluation statistics.
-func (ev *Evaluator) Run() (Stats, error) {
-	return ev.RunContext(context.Background())
-}
-
-// RunContext is Run with cancellation: the fixpoint loop stops between
-// rounds when ctx is done, returning ctx.Err(). Tables may then hold a
-// partially propagated state; callers that continue must recompute.
-func (ev *Evaluator) RunContext(ctx context.Context) (stats Stats, err error) {
+// evaluation statistics. The fixpoint loop stops between rounds when
+// ctx is done, returning ctx.Err(); tables may then hold a partially
+// propagated state, and callers that continue must recompute.
+func (ev *Evaluator) Run(ctx context.Context) (stats Stats, err error) {
 	start := time.Now()
 	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	for _, st := range ev.strata {
@@ -253,7 +248,7 @@ func (ev *Evaluator) RunContext(ctx context.Context) (stats Stats, err error) {
 	return stats, nil
 }
 
-// RunRulesContext evaluates to fixpoint like RunContext, except that the
+// RunRules evaluates to fixpoint like Run, except that the
 // naive first round of each stratum fires only the rules selected by
 // include (matched on rule id); everything those rules derive then
 // propagates semi-naively through every rule of the stratum, and changes
@@ -265,7 +260,7 @@ func (ev *Evaluator) RunContext(ctx context.Context) (stats Stats, err error) {
 // The caller must guarantee the database is already a fixpoint of the
 // non-included rules (true for a view that was clean before the rules
 // were added); otherwise their derivations are not re-examined.
-func (ev *Evaluator) RunRulesContext(ctx context.Context, include func(ruleID string) bool) (stats Stats, err error) {
+func (ev *Evaluator) RunRules(ctx context.Context, include func(ruleID string) bool) (stats Stats, err error) {
 	start := time.Now()
 	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	changed := make(map[string][]value.Row)
@@ -307,14 +302,9 @@ type derivedBatch struct {
 
 // PropagateInsertions propagates already-applied base insertions to
 // fixpoint: delta maps relation names to the tuples that were newly
-// inserted into them. Only insertion deltas are consulted.
-func (ev *Evaluator) PropagateInsertions(delta storage.DeltaSet) (Stats, error) {
-	return ev.PropagateInsertionsContext(context.Background(), delta)
-}
-
-// PropagateInsertionsContext is PropagateInsertions with cancellation
-// checked between semi-naive rounds.
-func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta storage.DeltaSet) (Stats, error) {
+// inserted into them. Only insertion deltas are consulted; cancellation
+// is checked between semi-naive rounds.
+func (ev *Evaluator) PropagateInsertions(ctx context.Context, delta storage.DeltaSet) (Stats, error) {
 	pending := make(map[string][]value.Row)
 	for rel, d := range delta {
 		ins := d.InsRows()
@@ -322,15 +312,15 @@ func (ev *Evaluator) PropagateInsertionsContext(ctx context.Context, delta stora
 			pending[rel] = append(pending[rel], ins...)
 		}
 	}
-	return ev.PropagateRowsContext(ctx, pending)
+	return ev.PropagateRows(ctx, pending)
 }
 
-// PropagateRowsContext propagates already-applied base insertions given
+// PropagateRows propagates already-applied base insertions given
 // directly as keyed rows per relation — the zero-copy entry point for
 // callers that already hold keyed rows. The map is consumed: it seeds the
 // per-stratum change sets and accumulates changes produced in earlier
 // strata, which remain visible to later ones.
-func (ev *Evaluator) PropagateRowsContext(ctx context.Context, pending map[string][]value.Row) (stats Stats, err error) {
+func (ev *Evaluator) PropagateRows(ctx context.Context, pending map[string][]value.Row) (stats Stats, err error) {
 	start := time.Now()
 	defer func() { stats.EvalNS += time.Since(start).Nanoseconds() }()
 	for _, st := range ev.strata {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -69,7 +70,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				stats, err := ev.Run()
+				stats, err := ev.Run(context.Background())
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -80,7 +81,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 					db.Table("edge").Insert(row)
 					delta.Insert("edge", row)
 				}
-				inc, err := ev.PropagateInsertions(delta)
+				inc, err := ev.PropagateInsertions(context.Background(), delta)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -116,7 +117,7 @@ func TestParallelDefaultGOMAXPROCS(t *testing.T) {
 	if ev.parallelism() < 1 {
 		t.Fatalf("default parallelism = %d", ev.parallelism())
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Arity-mismatched delta rows surface as errors through the pool.
@@ -126,11 +127,11 @@ func TestParallelDefaultGOMAXPROCS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev2.Run(); err != nil {
+	if _, err := ev2.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	wrong := map[string][]value.Row{"edge": {value.NewRow(tup(1, 2, 3))}}
-	if _, err := ev2.PropagateRowsContext(t.Context(), wrong); err == nil {
+	if _, err := ev2.PropagateRows(t.Context(), wrong); err == nil {
 		t.Fatal("expected arity-mismatch error from parallel round")
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestCostBasedOrderLeadsWithSmallTable(t *testing.T) {
 				t.Fatalf("second step kind = %d, want probe", p.steps[1].kind)
 			}
 			// Results must match the fixed-order plan.
-			if _, err := ev.Run(); err != nil {
+			if _, err := ev.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			got := db.Table("ans").Len()
@@ -59,7 +60,7 @@ func TestCostBasedOrderLeadsWithSmallTable(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev2.Run(); err != nil {
+			if _, err := ev2.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if want := db2.Table("ans").Len(); got != want {
@@ -118,7 +119,7 @@ func TestNewQueryUsesWarmIndexOnHashBackend(t *testing.T) {
 	if p.steps[0].kind != stepProbe || p.steps[0].idx == nil {
 		t.Fatalf("hash-backend query plan did not cache the warm index (kind=%d idx=%v)", p.steps[0].kind, p.steps[0].idx)
 	}
-	stats, err := ev.Run()
+	stats, err := ev.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 // evolution: after a program gains rules, seeding with only the new
 // rules reaches the same fixpoint a full run reaches, without naively
 // re-firing the old rules.
-func TestRunRulesContext(t *testing.T) {
+func TestRunRules(t *testing.T) {
 	for _, be := range backends() {
 		t.Run(be.String(), func(t *testing.T) {
 			build := func(withNew bool) (*Evaluator, *value.SkolemTable) {
@@ -46,7 +46,7 @@ func TestRunRulesContext(t *testing.T) {
 			// Old program to fixpoint, then recompile the extended program
 			// over the same database and seed only the new rule.
 			old, _ := build(false)
-			if _, err := old.Run(); err != nil {
+			if _, err := old.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			full, _ := build(true)
@@ -55,7 +55,7 @@ func TestRunRulesContext(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			stats, err := ev2.RunRulesContext(context.Background(), func(id string) bool { return id == "newrule" })
+			stats, err := ev2.RunRules(context.Background(), func(id string) bool { return id == "newrule" })
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +65,7 @@ func TestRunRulesContext(t *testing.T) {
 
 			// Oracle: full fresh run.
 			fresh, _ := build(true)
-			if _, err := fresh.Run(); err != nil {
+			if _, err := fresh.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			for _, rel := range []string{"tc", "rev"} {
@@ -82,7 +82,7 @@ func TestRunRulesContext(t *testing.T) {
 			}
 
 			// Seeding with no matching rules is a no-op.
-			st, err := ev2.RunRulesContext(context.Background(), func(string) bool { return false })
+			st, err := ev2.RunRules(context.Background(), func(string) bool { return false })
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -26,7 +27,7 @@ func TestBodySkolemCheck(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev.Run(); err != nil {
+			if _, err := ev.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 
@@ -48,7 +49,7 @@ func TestBodySkolemCheck(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := ev2.Run(); err != nil {
+			if _, err := ev2.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			hit := db.Table("hit")
@@ -79,7 +80,7 @@ func TestBodySkolemLateBinding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out := db.Table("out")

@@ -1,0 +1,30 @@
+package exchange
+
+// Waker coalesces bursts of wake signals into single wakeups: any
+// number of Wake calls between two receives on C collapse into one
+// pending signal. It is the bridge between push delivery (a bus
+// subscription, a publish hook) and an exchange loop — the producer
+// never blocks, and the consumer runs one pass per burst instead of
+// one per publication.
+//
+// The zero Waker is not ready; use NewWaker. All methods are safe for
+// concurrent use.
+type Waker struct {
+	ch chan struct{}
+}
+
+// NewWaker returns a Waker with one pending-signal slot.
+func NewWaker() *Waker { return &Waker{ch: make(chan struct{}, 1)} }
+
+// Wake records a pending signal. It never blocks: if a signal is
+// already pending the call is a no-op (the burst coalesces).
+func (w *Waker) Wake() {
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// C returns the wait channel: one receive consumes all Wake calls
+// since the previous receive.
+func (w *Waker) C() <-chan struct{} { return w.ch }

@@ -22,8 +22,8 @@ var Packages = []string{
 // banned maps a callee (per analysis.FuncName) to why it is forbidden
 // in persistence packages.
 var banned = map[string]string{
-	"os.WriteFile": "one-shot write with no fsync and no atomic rename",
-	"os.Create":    "truncates in place; a crash mid-write tears the previous contents",
+	"os.WriteFile":        "one-shot write with no fsync and no atomic rename",
+	"os.Create":           "truncates in place; a crash mid-write tears the previous contents",
 	"io/ioutil.WriteFile": "one-shot write with no fsync and no atomic rename",
 }
 

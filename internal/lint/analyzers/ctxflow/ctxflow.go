@@ -5,14 +5,10 @@
 // rounds, the provenance deletion cascade, and the exchange passes all
 // rely on cancellation reaching the innermost loop.
 //
-// One idiom is allowed: the codebase's non-Context convenience wrapper,
-//
-//	func (c *CDSS) Exchange(peer string) (ApplyStats, error) {
-//		return c.ExchangeContext(context.Background(), peer)
-//	}
-//
-// a single return statement delegating to <Name>Context with a fresh
-// background context as the first argument.
+// The codebase's APIs are context-first throughout — the PR 9 bus
+// redesign swept the last <Name>/<Name>Context compat pairs away — so
+// no wrapper idiom is excused: any context.Background()/TODO() in
+// internal library code is a defect.
 package ctxflow
 
 import (
@@ -71,12 +67,8 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkBackground flags context.Background()/TODO() calls unless the
-// whole function is the sanctioned non-Context wrapper shape.
+// checkBackground flags context.Background()/TODO() calls.
 func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl) {
-	if isCompatWrapper(pass, fd) {
-		return
-	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -84,36 +76,10 @@ func checkBackground(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		switch pass.CalleeName(call) {
 		case "context.Background", "context.TODO":
-			pass.Reportf(call.Pos(), "%s in internal library code severs cancellation; accept a ctx parameter or delegate from a non-Context wrapper", pass.CalleeName(call))
+			pass.Reportf(call.Pos(), "%s in internal library code severs cancellation; accept a ctx parameter instead", pass.CalleeName(call))
 		}
 		return true
 	})
-}
-
-// isCompatWrapper recognizes the delegation idiom: the body is exactly
-// `return [recv.]<Name>Context(context.Background(), ...)`.
-func isCompatWrapper(pass *analysis.Pass, fd *ast.FuncDecl) bool {
-	if len(fd.Body.List) != 1 {
-		return false
-	}
-	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
-	if !ok || len(ret.Results) != 1 {
-		return false
-	}
-	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
-	if !ok || len(call.Args) == 0 {
-		return false
-	}
-	callee := pass.CalleeFunc(call)
-	if callee == nil || callee.Name() != fd.Name.Name+"Context" {
-		return false
-	}
-	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	name := pass.CalleeName(first)
-	return name == "context.Background" || name == "context.TODO"
 }
 
 // checkCtxParam flags a named, unused ctx parameter and uncancellable

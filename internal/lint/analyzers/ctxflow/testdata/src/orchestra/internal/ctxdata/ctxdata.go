@@ -6,12 +6,13 @@ import "context"
 
 type Client struct{}
 
-func (c *Client) FetchContext(ctx context.Context, n int) error { return ctx.Err() }
+func (c *Client) Fetch(ctx context.Context, n int) error { return ctx.Err() }
 
-// Fetch is the sanctioned compat-wrapper shape: one return delegating
-// to <Name>Context with a fresh background context.
-func (c *Client) Fetch(n int) error {
-	return c.FetchContext(context.Background(), n)
+// The pre-PR-9 compat-wrapper shape — one return delegating to a
+// <Name>Context twin with a fresh background context — is no longer
+// excused: APIs are context-first, so the wrapper is a defect.
+func (c *Client) FetchLegacy(n int) error {
+	return c.Fetch(context.Background(), n) // want "context.Background in internal library code"
 }
 
 func manufactured() context.Context {

@@ -41,8 +41,8 @@ func OpenBus(path string) (*Bus, error) {
 	return &Bus{store: store, mem: mem}, nil
 }
 
-// Append implements core.PublicationBus: the publication is fsynced to
-// the log before it is exposed to FetchSince, so a publication a peer
+// Append implements core.BusAppender: the publication is fsynced to
+// the log before it is exposed to Fetch, so a publication a peer
 // ever observed survives any crash. The Store's lock serializes
 // appenders, keeping file order identical to memory order.
 func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
@@ -55,7 +55,7 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	traceID := obs.TraceIDFromContext(ctx)
 	b.store.mu.Lock()
 	defer b.store.mu.Unlock()
-	if err := b.store.appendLocked(peer, log, traceID); err != nil {
+	if err := b.store.appendLocked(peer, log, traceID, 0); err != nil {
 		return err
 	}
 	// Once the frame is durable the in-memory publish must succeed:
@@ -69,7 +69,27 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 // SetMetrics installs append instruments on the backing log.
 func (b *Bus) SetMetrics(m Metrics) { b.store.SetMetrics(m) }
 
-// FetchSince implements core.PublicationBus.
+// Fetch implements core.BusReader: reads are served from the in-memory
+// mirror, which holds exactly the durable prefix.
+func (b *Bus) Fetch(ctx context.Context, from core.Cursor) ([]core.Delta, core.Cursor, error) {
+	return b.mem.Fetch(ctx, from)
+}
+
+// Horizon implements core.BusReader.
+func (b *Bus) Horizon(ctx context.Context) (core.Cursor, error) {
+	return b.mem.Horizon(ctx)
+}
+
+// Subscribe implements core.BusWatcher: subscribers are woken by the
+// in-memory mirror, so a delta is only ever delivered after its frame
+// is durable.
+func (b *Bus) Subscribe(ctx context.Context, from core.Cursor) (<-chan core.Delta, core.CancelFunc, error) {
+	return b.mem.Subscribe(ctx, from)
+}
+
+// FetchSince implements the legacy scalar fetch.
+//
+// Deprecated: use Fetch with a typed core.Cursor.
 func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, int, error) {
 	return b.mem.FetchSince(ctx, cursor)
 }

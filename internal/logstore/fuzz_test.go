@@ -23,8 +23,11 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		}},
 		{Peer: "PuBio", Log: core.EditLog{core.Ins("U", core.MakeTuple(9))},
 			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{Peer: "PGUS", Log: core.EditLog{core.Ins("G", core.MakeTuple(4, 5, 6))},
+			TraceID: "00f067aa0ba902b7aa0ba902b700f067", Seq: 12},
+		{Peer: "PuBio", Log: nil, Seq: 1},
 	} {
-		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID)
+		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID, pub.Seq)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -47,7 +50,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if err != nil {
 			return
 		}
-		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID)
+		frame, err := encodeFrame(pub.Peer, pub.Log, pub.TraceID, pub.Seq)
 		if err != nil {
 			t.Fatalf("decoded publication failed to re-encode: %v", err)
 		}

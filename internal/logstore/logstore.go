@@ -15,15 +15,22 @@
 //	  uint16 peer len, peer,
 //	  uint32 edit count, per edit: uint8 op ('+'/'-'),
 //	    uint16 rel len, rel, uint32 key len, canonical tuple key
-//	  optional trailer: uint8 'T', uint16 trace-id len, trace id
+//	  optional trailers, in this order:
+//	    uint8 'T', uint16 trace-id len, trace id
+//	    uint8 'Q', uint64 global sequence number (nonzero)
 //
-// The trailer carries the publication's lineage trace id. It is
-// optional in both directions: frames written before tracing decode
-// with an empty trace id, and frames without a trace id are written
-// trailer-free — byte-identical to the old format.
+// The 'T' trailer carries the publication's lineage trace id; the 'Q'
+// trailer carries its global sequence number on a sharded bus, where
+// per-shard segment files must merge back into one total order on
+// replay. Both are optional in both directions: frames written before
+// the trailer existed decode with the zero value, and zero values are
+// written trailer-free — byte-identical to the older formats. Trailer
+// order is canonical ('T' before 'Q') so the decoder and encoder stay
+// exact inverses.
 package logstore
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -48,15 +55,22 @@ const maxFrame = 1 << 30
 
 // Publication is one published edit log. TraceID is the publication's
 // lineage trace id ("" for records written before tracing existed).
+// Seq is the publication's global sequence number on a sharded bus
+// (0 for records of a single-file log, which is its own total order).
 type Publication struct {
 	Peer    string
 	Log     core.EditLog
 	TraceID string
+	Seq     uint64
 }
 
 // trailerTrace marks the optional trace-id trailer at the end of a
-// frame's edit list.
-const trailerTrace = 'T'
+// frame's edit list; trailerSeq the optional global-sequence trailer
+// after it.
+const (
+	trailerTrace = 'T'
+	trailerSeq   = 'Q'
+)
 
 // Metrics holds the log's instruments. The zero value disables all of
 // them (obs instruments are nil-safe).
@@ -172,8 +186,24 @@ func Open(path string) (*Store, error) {
 // count is always a consistent prefix — possibly one publication
 // behind the writer, and a torn tail (crash mid-append) is ignored the
 // same way Open's recovery would drop it. A missing file is an empty
-// log.
+// log. A directory is a sharded bus: the count is summed over its
+// shard segment files.
 func ReadLen(path string) (int, error) {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		segs, err := shardSegments(path)
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, seg := range segs {
+			n, err := ReadLen(seg)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	}
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, nil
@@ -228,12 +258,21 @@ func (s *Store) Append(peer string, log core.EditLog) error {
 func (s *Store) AppendTraced(peer string, log core.EditLog, traceID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.appendLocked(peer, log, traceID)
+	return s.appendLocked(peer, log, traceID, 0)
+}
+
+// AppendSeq durably records a publication stamped with its global
+// sequence number — the per-shard segment append of a sharded bus,
+// where seq restores the cross-shard total order on replay.
+func (s *Store) AppendSeq(peer string, log core.EditLog, traceID string, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(peer, log, traceID, seq)
 }
 
 // appendLocked is AppendTraced with s.mu already held — for callers
 // (Bus) that need the file write and a follow-up action under one lock.
-func (s *Store) appendLocked(peer string, log core.EditLog, traceID string) (err error) {
+func (s *Store) appendLocked(peer string, log core.EditLog, traceID string, seq uint64) (err error) {
 	start := time.Now()
 	defer func() {
 		s.metrics.AppendSeconds.Observe(time.Since(start).Seconds())
@@ -241,7 +280,7 @@ func (s *Store) appendLocked(peer string, log core.EditLog, traceID string) (err
 			s.metrics.AppendFailures.Inc()
 		}
 	}()
-	frame, err := encodeFrame(peer, log, traceID)
+	frame, err := encodeFrame(peer, log, traceID, seq)
 	if err != nil {
 		return err
 	}
@@ -287,20 +326,20 @@ func (s *Store) Replay() ([]Publication, error) {
 
 // RestoreInto republishes every stored publication into a CDSS (in
 // order). Used at node startup to rebuild the global sequence.
-func (s *Store) RestoreInto(c *core.CDSS) error {
+func (s *Store) RestoreInto(ctx context.Context, c *core.CDSS) error {
 	pubs, err := s.Replay()
 	if err != nil {
 		return err
 	}
 	for i, p := range pubs {
-		if err := c.Publish(p.Peer, p.Log); err != nil {
+		if err := c.Publish(ctx, p.Peer, p.Log); err != nil {
 			return fmt.Errorf("logstore: restoring publication %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-func encodeFrame(peer string, log core.EditLog, traceID string) ([]byte, error) {
+func encodeFrame(peer string, log core.EditLog, traceID string, seq uint64) ([]byte, error) {
 	if len(peer) > 1<<16-1 {
 		return nil, fmt.Errorf("logstore: peer name too long")
 	}
@@ -330,6 +369,10 @@ func encodeFrame(peer string, log core.EditLog, traceID string) ([]byte, error) 
 		frame = append(frame, trailerTrace)
 		frame = appendU16(frame, uint16(len(traceID)))
 		frame = append(frame, traceID...)
+	}
+	if seq != 0 {
+		frame = append(frame, trailerSeq)
+		frame = appendU64(frame, seq)
 	}
 	return frame, nil
 }
@@ -363,21 +406,19 @@ func decodeFrame(frame []byte) (Publication, error) {
 	if rd.err != nil {
 		return pub, rd.err
 	}
-	// Optional trailers follow the edit list. Old-format frames end
-	// here; unknown trailer markers are corruption, not extensibility —
-	// a reader that skipped data it cannot decode would replay a
-	// different history than was written.
-	if len(rd.b) != 0 {
-		marker := rd.u8()
-		if rd.err == nil && marker != trailerTrace {
-			return pub, fmt.Errorf("logstore: bad trailer marker %#x in record", marker)
-		}
+	// Optional trailers follow the edit list, in canonical order ('T'
+	// then 'Q'), each at most once. Old-format frames end before any
+	// trailer; unknown trailer markers and out-of-order trailers are
+	// corruption, not extensibility — a reader that skipped data it
+	// cannot decode would replay a different history than was written,
+	// and a non-canonical order would break the decode/encode
+	// exact-inverse property torn-tail repair relies on.
+	if len(rd.b) != 0 && rd.b[0] == trailerTrace {
+		rd.u8()
 		idLen := rd.u16()
 		if rd.err == nil && idLen == 0 {
 			// The encoder omits the trailer entirely for an empty id, so
-			// a zero-length trailer cannot come from Append — and
-			// accepting it would break the decode/encode exact-inverse
-			// property torn-tail repair relies on.
+			// a zero-length trailer cannot come from Append.
 			return pub, fmt.Errorf("logstore: empty trace-id trailer in record")
 		}
 		pub.TraceID = string(rd.bytes(int(idLen)))
@@ -385,8 +426,23 @@ func decodeFrame(frame []byte) (Publication, error) {
 			return pub, rd.err
 		}
 	}
+	if len(rd.b) != 0 && rd.b[0] == trailerSeq {
+		rd.u8()
+		pub.Seq = rd.u64()
+		if rd.err != nil {
+			return pub, rd.err
+		}
+		if pub.Seq == 0 {
+			// The encoder omits the trailer for seq 0.
+			return pub, fmt.Errorf("logstore: zero sequence trailer in record")
+		}
+	}
 	if len(rd.b) != 0 {
-		return pub, fmt.Errorf("logstore: %d trailing bytes in record", len(rd.b))
+		marker := rd.u8()
+		if rd.err == nil {
+			return pub, fmt.Errorf("logstore: bad trailer marker %#x in record", marker)
+		}
+		return pub, fmt.Errorf("logstore: %d trailing bytes in record", len(rd.b)+1)
 	}
 	return pub, nil
 }
@@ -522,6 +578,14 @@ func (r *frameReader) u32() uint32 {
 	return binary.BigEndian.Uint32(b)
 }
 
+func (r *frameReader) u64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
 func appendU16(b []byte, v uint16) []byte {
 	var buf [2]byte
 	binary.BigEndian.PutUint16(buf[:], v)
@@ -531,5 +595,11 @@ func appendU16(b []byte, v uint16) []byte {
 func appendU32(b []byte, v uint32) []byte {
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
 	return append(b, buf[:]...)
 }

@@ -138,7 +138,7 @@ func corrupt(t *testing.T, path string, tail []byte) {
 // frame, keeps every preceding record, and accepts new appends.
 func TestTornTailRepaired(t *testing.T) {
 	frame := func(peer string) []byte {
-		b, err := encodeFrame(peer, sampleLog(), "")
+		b, err := encodeFrame(peer, sampleLog(), "", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,23 +294,23 @@ func TestRestoreInto(t *testing.T) {
 		{"Q", core.EditLog{core.Ins("B", core.MakeTuple(9))}},
 	}
 	for _, l := range logs {
-		if err := c1.Publish(l.peer, l.log); err != nil {
+		if err := c1.Publish(context.Background(), l.peer, l.log); err != nil {
 			t.Fatal(err)
 		}
 		if err := s.Append(l.peer, l.log); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c1.Exchange(""); err != nil {
+	if _, err := c1.Exchange(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 
 	// "Node 2" starts fresh and restores from the store.
 	c2 := core.NewCDSS(spec, core.Options{}, core.DeleteProvenance)
-	if err := s.RestoreInto(c2); err != nil {
+	if err := s.RestoreInto(context.Background(), c2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Exchange(""); err != nil {
+	if _, err := c2.Exchange(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 	v1, _ := c1.View("")
@@ -329,7 +329,7 @@ func TestRestoreInto(t *testing.T) {
 		t.Fatal(err)
 	}
 	cBad := core.NewCDSS(specBad, core.Options{}, core.DeleteProvenance)
-	if err := s.RestoreInto(cBad); err == nil {
+	if err := s.RestoreInto(context.Background(), cBad); err == nil {
 		t.Fatal("incompatible restore accepted")
 	}
 }
@@ -361,7 +361,7 @@ func TestTraceStamping(t *testing.T) {
 	// The trailer-free frame is exactly the old format: a frame encoded
 	// with no trace id decodes to the same publication, and re-encoding
 	// the decoded record reproduces the bytes.
-	frame, err := encodeFrame("Q", core.EditLog{core.Ins("B", core.MakeTuple(7))}, "")
+	frame, err := encodeFrame("Q", core.EditLog{core.Ins("B", core.MakeTuple(7))}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

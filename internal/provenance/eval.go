@@ -22,14 +22,10 @@ type EvalOptions struct {
 // solution of the system formed by all these equations"). baseVal
 // assigns semiring values to base-tuple tokens (e.g. T/D for trust,
 // Example 7); mapFn interprets mapping applications (transparent internal
-// mappings are skipped). It returns the value of every tuple node.
-func Eval[T any](g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
-	return EvalContext(context.Background(), g, s, mapFn, baseVal, opts)
-}
-
-// EvalContext is Eval with cancellation: the Kleene iteration checks ctx
-// between rounds and returns ctx.Err() when it is done.
-func EvalContext[T any](ctx context.Context, g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
+// mappings are skipped). It returns the value of every tuple node. The
+// Kleene iteration checks ctx between rounds and returns ctx.Err() when
+// it is done.
+func Eval[T any](ctx context.Context, g *Graph, s semiring.Semiring[T], mapFn semiring.MapFn[T], baseVal func(Ref) T, opts EvalOptions) (map[Ref]T, error) {
 	maxIter := opts.MaxIterations
 	if maxIter <= 0 {
 		maxIter = 10_000

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/semiring"
@@ -12,7 +13,7 @@ import (
 func TestPolynomialProvenance(t *testing.T) {
 	f := buildPaper(t)
 	ps := semiring.PolySemiring{}
-	vals, err := Eval[semiring.Poly](f.g, ps, semiring.Identity[semiring.Poly](),
+	vals, err := Eval[semiring.Poly](context.Background(), f.g, ps, semiring.Identity[semiring.Poly](),
 		func(r Ref) semiring.Poly { return semiring.Var(f.g.TokenName(r)) },
 		EvalOptions{})
 	if err != nil {
@@ -27,7 +28,7 @@ func TestPolynomialProvenance(t *testing.T) {
 
 	// Universality: specializing the polynomial into the counting
 	// semiring matches the direct counting evaluation.
-	counts, err := Eval[int64](f.g, semiring.Count{}, semiring.Identity[int64](),
+	counts, err := Eval[int64](context.Background(), f.g, semiring.Count{}, semiring.Identity[int64](),
 		func(Ref) int64 { return 1 }, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +50,7 @@ func TestPolynomialProvenance(t *testing.T) {
 func TestPolynomialProvenanceCyclicConverges(t *testing.T) {
 	g, pRef := buildCycle(t)
 	ps := semiring.PolySemiring{MaxDegree: 4, MaxCoeff: 64}
-	vals, err := Eval[semiring.Poly](g, ps, semiring.Identity[semiring.Poly](),
+	vals, err := Eval[semiring.Poly](context.Background(), g, ps, semiring.Identity[semiring.Poly](),
 		func(r Ref) semiring.Poly { return semiring.Var("s") },
 		EvalOptions{MaxIterations: 5000})
 	if err != nil {

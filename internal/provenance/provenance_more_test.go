@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -78,7 +79,7 @@ func TestEvalNonConvergenceGuard(t *testing.T) {
 	g, _ := buildCycle(t)
 	// An adversarial "semiring" that never stabilizes: Add always grows.
 	growing := growingSemiring{}
-	_, err := Eval[int64](g, growing, semiring.Identity[int64](),
+	_, err := Eval[int64](context.Background(), g, growing, semiring.Identity[int64](),
 		func(Ref) int64 { return 1 }, EvalOptions{MaxIterations: 25})
 	if err == nil {
 		t.Fatal("non-convergent evaluation did not error")
@@ -112,7 +113,7 @@ func TestDotHide(t *testing.T) {
 
 func TestWhyProvenanceIntegration(t *testing.T) {
 	f := buildPaper(t)
-	vals, err := Eval[semiring.WitnessSet](f.g, semiring.Why{},
+	vals, err := Eval[semiring.WitnessSet](context.Background(), f.g, semiring.Why{},
 		semiring.Identity[semiring.WitnessSet](),
 		func(r Ref) semiring.WitnessSet { return semiring.Witness(f.g.TokenName(r)) },
 		EvalOptions{})

@@ -1,6 +1,7 @@
 package provenance
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func buildPaper(t *testing.T) *paperFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -138,7 +139,7 @@ func TestExample7TrustEvaluation(t *testing.T) {
 	bool3 := semiring.Bool{}
 
 	eval := func(tokTrust map[Ref]bool, mapTrust map[string]bool) bool {
-		vals, err := Eval[bool](f.g, bool3,
+		vals, err := Eval[bool](context.Background(), f.g, bool3,
 			func(m string, x bool) bool {
 				if v, ok := mapTrust[m]; ok {
 					return v && x
@@ -173,7 +174,7 @@ func TestExample7TrustEvaluation(t *testing.T) {
 
 func TestCountingEvaluation(t *testing.T) {
 	f := buildPaper(t)
-	vals, err := Eval[int64](f.g, semiring.Count{}, semiring.Identity[int64](),
+	vals, err := Eval[int64](context.Background(), f.g, semiring.Count{}, semiring.Identity[int64](),
 		func(Ref) int64 { return 1 }, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +193,7 @@ func TestTropicalEvaluation(t *testing.T) {
 	f := buildPaper(t)
 	// Charge 1 per mapping application: cheapest derivation of B(3,2) is
 	// min(m1: 1, m4: 1) = 1; of U(2,c2) is 2 (m3 over either).
-	vals, err := Eval[int64](f.g, semiring.Tropical{},
+	vals, err := Eval[int64](context.Background(), f.g, semiring.Tropical{},
 		func(_ string, x int64) int64 { return semiring.Tropical{}.Mul(x, 1) },
 		func(Ref) int64 { return 0 }, EvalOptions{})
 	if err != nil {
@@ -211,7 +212,7 @@ func TestTropicalEvaluation(t *testing.T) {
 func TestLineageEvaluation(t *testing.T) {
 	f := buildPaper(t)
 	lin := semiring.Lineage{}
-	vals, err := Eval[semiring.LineageElem](f.g, lin, semiring.Identity[semiring.LineageElem](),
+	vals, err := Eval[semiring.LineageElem](context.Background(), f.g, lin, semiring.Identity[semiring.LineageElem](),
 		func(r Ref) semiring.LineageElem { return semiring.Token(f.g.TokenName(r)) },
 		EvalOptions{})
 	if err != nil {
@@ -299,7 +300,7 @@ func buildCycle(t *testing.T) (*Graph, Ref) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ev.Run(); err != nil {
+	if _, err := ev.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	g := NewGraph(db, sk, infos, map[string]bool{"S_l": true})
@@ -321,7 +322,7 @@ func TestCyclicExpressionHasCycleVar(t *testing.T) {
 
 func TestCyclicTrustConverges(t *testing.T) {
 	g, pRef := buildCycle(t)
-	vals, err := Eval[bool](g, semiring.Bool{}, semiring.Identity[bool](),
+	vals, err := Eval[bool](context.Background(), g, semiring.Bool{}, semiring.Identity[bool](),
 		func(Ref) bool { return true }, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +333,7 @@ func TestCyclicTrustConverges(t *testing.T) {
 	// Distrust the seed: the P↔Q loop alone cannot sustain trust — the
 	// least fixpoint is false (matching the paper's edb-derivability
 	// requirement for garbage collection).
-	vals, err = Eval[bool](g, semiring.Bool{}, semiring.Identity[bool](),
+	vals, err = Eval[bool](context.Background(), g, semiring.Bool{}, semiring.Identity[bool](),
 		func(Ref) bool { return false }, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -346,7 +347,7 @@ func TestCyclicCountSaturates(t *testing.T) {
 	g, pRef := buildCycle(t)
 	// Infinitely many derivations around the loop: the saturating count
 	// must hit its cap rather than diverge.
-	vals, err := Eval[int64](g, semiring.Count{Cap: 1000}, semiring.Identity[int64](),
+	vals, err := Eval[int64](context.Background(), g, semiring.Count{Cap: 1000}, semiring.Identity[int64](),
 		func(Ref) int64 { return 1 }, EvalOptions{})
 	if err != nil {
 		t.Fatal(err)

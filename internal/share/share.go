@@ -1,32 +1,46 @@
 // Package share implements the CDSS communications layer (§2, §5): a
 // small HTTP service through which peers make their edit logs "globally
-// available", and a client with which other nodes fetch the publications
-// they have not yet imported. Together with internal/logstore this plays
-// the role of Orchestra's central/distributed publication storage [34].
+// available", and a client with which other nodes fetch — or stream —
+// the publications they have not yet imported. Together with
+// internal/logstore this plays the role of Orchestra's
+// central/distributed publication storage [34].
 //
 // Wire protocol (JSON):
 //
 //	POST /publish   {"peer": "...", "edits": [{"op":"+","rel":"R","key":"base64"}]}
-//	GET  /since?cursor=N  → {"cursor": M, "publications": [...]}
+//	GET  /since?cursor=N      → {"cursor": M, "publications": [...]}       (legacy, scalar cursor)
+//	GET  /fetch?cursor=C      → {"cursor": "v1:...", "deltas": [...]}      (typed, shard-aware cursor)
+//	GET  /horizon             → {"cursor": "v1:..."}
+//	GET  /watch?cursor=C      → NDJSON stream of deltas (chunked, long-lived)
 //
-// Tuples travel as base64 of their canonical encoding, so values of any
-// kind round-trip exactly.
+// /fetch and /watch take the durable form of a core.Cursor (see
+// core.ParseCursor) and return per-shard positions with every delta, so
+// a follower can verify contiguity and resume a broken stream exactly
+// where it stopped. /watch holds the connection open and pushes each
+// publication as its own NDJSON line the moment it is accepted; blank
+// lines are heartbeats and may be ignored. Tuples travel as base64 of
+// their canonical encoding, so values of any kind round-trip exactly.
 //
 // Lineage: a publish carries its trace id in a W3C-shaped `traceparent`
 // request header (minted by the server when absent, echoed back in the
-// response body as "trace"), and /since returns each publication's
-// trace id in its "trace" field — so one id follows a publication from
-// the publishing process through the bus to every fetching process.
+// response body as "trace"), and every fetch/stream shape returns each
+// publication's trace id in its "trace" field — so one id follows a
+// publication from the publishing process through the bus to every
+// fetching process.
 package share
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -46,6 +60,10 @@ type Metrics struct {
 	// PublishFailed counts publications that passed validation but could
 	// not be persisted (500).
 	PublishFailed *obs.Counter
+	// WatchStreams counts /watch connections accepted.
+	WatchStreams *obs.Counter
+	// WatchDeltas counts deltas pushed over /watch streams.
+	WatchDeltas *obs.Counter
 }
 
 // wireEdit is one edit on the wire.
@@ -64,10 +82,32 @@ type wirePublication struct {
 	Trace string     `json:"trace,omitempty"`
 }
 
+// wireDelta is one sharded publication on the wire (/fetch, /watch):
+// a wirePublication plus its 1-based position within the owning peer's
+// shard, so receivers can check contiguity without replaying the log.
+type wireDelta struct {
+	Peer  string     `json:"peer"`
+	Pos   int        `json:"pos"`
+	Edits []wireEdit `json:"edits"`
+	Trace string     `json:"trace,omitempty"`
+}
+
 // sinceResponse is the /since payload.
 type sinceResponse struct {
 	Cursor       int               `json:"cursor"`
 	Publications []wirePublication `json:"publications"`
+}
+
+// fetchResponse is the /fetch payload. Cursor is the durable form of
+// the server's horizon after the returned deltas (core.ParseCursor).
+type fetchResponse struct {
+	Cursor string      `json:"cursor"`
+	Deltas []wireDelta `json:"deltas"`
+}
+
+// horizonResponse is the /horizon payload.
+type horizonResponse struct {
+	Cursor string `json:"cursor"`
 }
 
 func toWire(peer string, log core.EditLog) wirePublication {
@@ -84,6 +124,11 @@ func toWire(peer string, log core.EditLog) wirePublication {
 		})
 	}
 	return wp
+}
+
+func toWireDelta(d core.Delta) wireDelta {
+	wp := toWire(d.Pub.Peer, d.Pub.Log)
+	return wireDelta{Peer: d.Pub.Peer, Pos: d.Pos, Edits: wp.Edits, Trace: d.Pub.TraceID}
 }
 
 func fromWire(wp wirePublication) (string, core.EditLog, error) {
@@ -108,12 +153,31 @@ func fromWire(wp wirePublication) (string, core.EditLog, error) {
 	return wp.Peer, log, nil
 }
 
-// Server is the publication service. It optionally validates incoming
-// publications against a Spec (peers edit only their own relations) and
-// can persist them through an Appender (e.g. a logstore.Store).
+func fromWireDelta(wd wireDelta) (core.Delta, error) {
+	peer, log, err := fromWire(wirePublication{Peer: wd.Peer, Edits: wd.Edits, Trace: wd.Trace})
+	if err != nil {
+		return core.Delta{}, err
+	}
+	return core.Delta{
+		Shard: peer,
+		Pos:   wd.Pos,
+		Pub:   core.Publication{Peer: peer, Log: log, TraceID: wd.Trace},
+	}, nil
+}
+
+// Server is the publication service. Accepted publications live on an
+// embedded core.MemoryBus — the same sharded sequence the in-process
+// bus uses — so /fetch and /watch serve typed cursors and per-shard
+// positions, and /watch streams straight off the bus's subscription
+// machinery. The server optionally validates incoming publications
+// against a Spec (peers edit only their own relations) and can persist
+// them through a Persist hook (e.g. a logstore.Store).
 type Server struct {
-	mu   sync.RWMutex
-	pubs []wirePublication
+	mem *core.MemoryBus
+
+	// mu guards the mutable hooks below (swapped at runtime by spec
+	// evolution), not the publication storage — mem has its own lock.
+	mu sync.RWMutex
 
 	// Validate, when non-nil, admits only publications legal under the
 	// spec.
@@ -140,7 +204,7 @@ func (s *Server) SetPubTracer(t *obs.PubTracer) { s.pubTrace = t }
 func (s *Server) SetMetrics(m Metrics) { s.metrics = m }
 
 // NewServer returns an empty in-memory publication service.
-func NewServer() *Server { return &Server{} }
+func NewServer() *Server { return &Server{mem: core.NewMemoryBus()} }
 
 // SpecValidator builds a Validate func from a CDSS spec.
 func SpecValidator(spec *core.Spec) func(string, core.EditLog) error {
@@ -164,7 +228,8 @@ func (s *Server) SetValidate(fn func(string, core.EditLog) error) {
 // appended). It runs on the serving goroutine outside the server's
 // lock, so it must be fast and non-blocking — typically a non-blocking
 // send on a wake-up channel that an exchange loop drains, coalescing
-// publication bursts into one pass.
+// publication bursts into one pass. (/watch subscribers are woken by
+// the bus itself and need no callback.)
 func (s *Server) OnPublish(fn func()) {
 	s.mu.Lock()
 	s.notify = fn
@@ -172,11 +237,7 @@ func (s *Server) OnPublish(fn func()) {
 }
 
 // Len returns the number of accepted publications.
-func (s *Server) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pubs)
-}
+func (s *Server) Len() int { return s.mem.Len() }
 
 // Preload appends an already-persisted publication without re-validating
 // or re-persisting it — used when reloading a logstore at startup. The
@@ -185,12 +246,7 @@ func (s *Server) Preload(peer string, log core.EditLog, traceID string) error {
 	if peer == "" {
 		return fmt.Errorf("share: publication without peer")
 	}
-	wp := toWire(peer, log)
-	wp.Trace = traceID
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pubs = append(s.pubs, wp)
-	return nil
+	return s.mem.Preload(peer, log, traceID)
 }
 
 // ServeHTTP implements http.Handler.
@@ -200,6 +256,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handlePublish(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/since":
 		s.handleSince(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/fetch":
+		s.handleFetch(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/horizon":
+		s.handleHorizon(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/watch":
+		s.handleWatch(w, r)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -252,11 +314,17 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		appendNS = time.Since(persistStart).Nanoseconds()
 	}
 	s.metrics.PublishAccepted.Inc()
-	s.mu.Lock()
-	s.pubs = append(s.pubs, wp)
-	n := len(s.pubs)
+	// Preload (not Append) carries the already-resolved trace id; it also
+	// wakes every /watch stream parked on the bus.
+	if err := s.mem.Preload(peer, log, wp.Trace); err != nil {
+		s.metrics.PublishFailed.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	n := s.mem.Len()
+	s.mu.RLock()
 	notify := s.notify
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	s.pubTrace.Add(obs.PubRecord{
 		TraceID:  wp.Trace,
 		Peer:     peer,
@@ -283,17 +351,105 @@ func (s *Server) handleSince(w http.ResponseWriter, r *http.Request) {
 		}
 		cursor = n
 	}
-	s.mu.RLock()
-	if cursor > len(s.pubs) {
-		cursor = len(s.pubs)
+	pubs, next, err := s.mem.FetchSince(r.Context(), cursor)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	resp := sinceResponse{
-		Cursor:       len(s.pubs),
-		Publications: append([]wirePublication(nil), s.pubs[cursor:]...),
+	resp := sinceResponse{Cursor: next, Publications: make([]wirePublication, 0, len(pubs))}
+	for _, p := range pubs {
+		wp := toWire(p.Peer, p.Log)
+		wp.Trace = p.TraceID
+		resp.Publications = append(resp.Publications, wp)
 	}
-	s.mu.RUnlock()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// parseCursorParam reads the typed cursor query parameter shared by
+// /fetch and /watch ("" means from the beginning).
+func parseCursorParam(r *http.Request) (core.Cursor, error) {
+	return core.ParseCursor(r.URL.Query().Get("cursor"))
+}
+
+func (s *Server) handleFetch(w http.ResponseWriter, r *http.Request) {
+	from, err := parseCursorParam(r)
+	if err != nil {
+		http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	deltas, next, err := s.mem.Fetch(r.Context(), from)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := fetchResponse{Cursor: next.String(), Deltas: make([]wireDelta, 0, len(deltas))}
+	for _, d := range deltas {
+		resp.Deltas = append(resp.Deltas, toWireDelta(d))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHorizon(w http.ResponseWriter, r *http.Request) {
+	h, err := s.mem.Horizon(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(horizonResponse{Cursor: h.String()})
+}
+
+// watchHeartbeat is how often an idle /watch stream emits a blank
+// keep-alive line, letting both ends notice a dead connection.
+const watchHeartbeat = 15 * time.Second
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	from, err := parseCursorParam(r)
+	if err != nil {
+		http.Error(w, "bad cursor: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch, cancel, err := s.mem.Subscribe(r.Context(), from)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer cancel()
+	s.metrics.WatchStreams.Inc()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	heartbeat := time.NewTicker(watchHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case d, ok := <-ch:
+			if !ok {
+				return // subscription ended (request context cancelled)
+			}
+			if err := enc.Encode(toWireDelta(d)); err != nil {
+				return // client went away
+			}
+			s.metrics.WatchDeltas.Inc()
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // Client talks to a publication service.
@@ -307,24 +463,15 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
 }
 
-// Publish sends one edit log to the service.
-func (c *Client) Publish(peer string, log core.EditLog) error {
-	return c.PublishContext(context.Background(), peer, log)
-}
-
-// PublishContext is Publish with cancellation over the HTTP round trip.
-func (c *Client) PublishContext(ctx context.Context, peer string, log core.EditLog) error {
+// Publish sends one edit log to the service. The context covers the
+// HTTP round trip.
+func (c *Client) Publish(ctx context.Context, peer string, log core.EditLog) error {
 	return (&Bus{cl: c}).Append(ctx, peer, log)
 }
 
-// Fetch retrieves publications at or after cursor, returning them with
-// the new cursor.
-func (c *Client) Fetch(cursor int) ([]core.EditLog, []string, int, error) {
-	return c.FetchContext(context.Background(), cursor)
-}
-
-// FetchContext is Fetch with cancellation over the HTTP round trip.
-func (c *Client) FetchContext(ctx context.Context, cursor int) ([]core.EditLog, []string, int, error) {
+// Fetch retrieves publications at or after the scalar cursor, returning
+// them with the new cursor. The context covers the HTTP round trip.
+func (c *Client) Fetch(ctx context.Context, cursor int) ([]core.EditLog, []string, int, error) {
 	pubs, next, err := (&Bus{cl: c}).FetchSince(ctx, cursor)
 	if err != nil {
 		return nil, nil, cursor, err
@@ -340,22 +487,24 @@ func (c *Client) FetchContext(ctx context.Context, cursor int) ([]core.EditLog, 
 
 // Sync pulls every unseen publication into a CDSS, returning the new
 // cursor. The caller then runs Exchange on whichever views it maintains.
-func (c *Client) Sync(cdss *core.CDSS, cursor int) (int, error) {
-	logs, peers, next, err := c.Fetch(cursor)
+func (c *Client) Sync(ctx context.Context, cdss *core.CDSS, cursor int) (int, error) {
+	logs, peers, next, err := c.Fetch(ctx, cursor)
 	if err != nil {
 		return cursor, err
 	}
 	for i := range logs {
-		if err := cdss.Publish(peers[i], logs[i]); err != nil {
+		if err := cdss.Publish(ctx, peers[i], logs[i]); err != nil {
 			return cursor, err
 		}
 	}
 	return next, nil
 }
 
-// Bus adapts the HTTP client to core.PublicationBus, so the same
-// application code runs embedded (core.MemoryBus) or federated against a
-// remote publication service.
+// Bus adapts the HTTP client to the core bus interfaces (BusAppender,
+// BusReader, BusWatcher), so the same application code runs embedded
+// (core.MemoryBus) or federated against a remote publication service.
+// Subscribe streams /watch with automatic reconnection, degrading to
+// periodic /since polling against servers that predate streaming.
 type Bus struct {
 	cl *Client
 }
@@ -366,7 +515,7 @@ func NewBus(baseURL string) *Bus { return &Bus{cl: NewClient(baseURL)} }
 // Client exposes the underlying HTTP client (e.g. to swap transports).
 func (b *Bus) Client() *Client { return b.cl }
 
-// Append implements core.PublicationBus by POSTing to /publish. The
+// Append implements core.BusAppender by POSTing to /publish. The
 // publication's lineage trace id travels as a traceparent header —
 // taken from ctx when the caller already carries a span, minted here
 // otherwise.
@@ -394,8 +543,255 @@ func (b *Bus) Append(ctx context.Context, peer string, log core.EditLog) error {
 	return nil
 }
 
-// FetchSince implements core.PublicationBus by GETting /since.
+// errNoStreaming marks a 404 from a typed endpoint: the remote service
+// predates the sharded protocol, so callers fall back to /since.
+var errNoStreaming = fmt.Errorf("share: service does not speak the sharded protocol")
+
+// Fetch implements core.BusReader by GETting /fetch. Against an old
+// server it falls back to /since: positions are then unknown (0) and
+// the returned cursor is scalar, which downstream cursor folding
+// handles (core.Cursor's scalar degradation).
+func (b *Bus) Fetch(ctx context.Context, from core.Cursor) ([]core.Delta, core.Cursor, error) {
+	resp, err := b.getJSON(ctx, "/fetch?cursor="+url.QueryEscape(from.String()))
+	if errors.Is(err, errNoStreaming) {
+		return b.fetchLegacy(ctx, from)
+	}
+	if err != nil {
+		return nil, from, err
+	}
+	defer resp.Body.Close()
+	var fr fetchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return nil, from, err
+	}
+	next, err := core.ParseCursor(fr.Cursor)
+	if err != nil {
+		return nil, from, fmt.Errorf("share: fetch: bad cursor %q: %w", fr.Cursor, err)
+	}
+	deltas := make([]core.Delta, 0, len(fr.Deltas))
+	for _, wd := range fr.Deltas {
+		d, err := fromWireDelta(wd)
+		if err != nil {
+			return nil, from, err
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, next, nil
+}
+
+// fetchLegacy serves Fetch over /since for pre-streaming servers.
+func (b *Bus) fetchLegacy(ctx context.Context, from core.Cursor) ([]core.Delta, core.Cursor, error) {
+	pubs, next, err := b.FetchSince(ctx, from.Total())
+	if err != nil {
+		return nil, from, err
+	}
+	deltas := make([]core.Delta, 0, len(pubs))
+	for _, p := range pubs {
+		deltas = append(deltas, core.Delta{Shard: p.Peer, Pub: p})
+	}
+	return deltas, core.CursorFromTotal(next), nil
+}
+
+// Horizon implements core.BusReader by GETting /horizon (falling back
+// to an empty /since fetch on old servers, which yields a scalar
+// horizon).
+func (b *Bus) Horizon(ctx context.Context) (core.Cursor, error) {
+	resp, err := b.getJSON(ctx, "/horizon")
+	if errors.Is(err, errNoStreaming) {
+		_, next, err := b.FetchSince(ctx, math.MaxInt)
+		if err != nil {
+			return core.Cursor{}, err
+		}
+		return core.CursorFromTotal(next), nil
+	}
+	if err != nil {
+		return core.Cursor{}, err
+	}
+	defer resp.Body.Close()
+	var hr horizonResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return core.Cursor{}, err
+	}
+	return core.ParseCursor(hr.Cursor)
+}
+
+// getJSON GETs path, translating 404 into errNoStreaming.
+func (b *Bus) getJSON(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.cl.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.cl.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, errNoStreaming
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("share: %s: %s", path, resp.Status)
+	}
+	return resp, nil
+}
+
+// Reconnect backoff bounds for Subscribe's stream pump.
+const (
+	watchBackoffMin = 250 * time.Millisecond
+	watchBackoffMax = 2 * time.Second
+)
+
+// subscribeBuffer is the delivery channel's capacity; the pump blocks
+// (and the HTTP stream backpressures) when a subscriber lags further,
+// so a slow consumer never costs unbounded memory or lost deltas.
+const subscribeBuffer = 16
+
+// Subscribe implements core.BusWatcher over a long-lived /watch stream.
+// The pump reconnects with truncated exponential backoff (250ms–2s)
+// from the last delivered position, so deltas are delivered exactly
+// once and in order across connection failures. Against a server
+// without /watch it degrades to polling /since at the backoff ceiling.
+// Cancel the context or call the CancelFunc to release the stream.
+func (b *Bus) Subscribe(ctx context.Context, from core.Cursor) (<-chan core.Delta, core.CancelFunc, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := make(chan core.Delta, subscribeBuffer)
+	stop := make(chan struct{})
+	go b.pump(ctx, from, out, stop)
+	var once sync.Once
+	return out, func() { once.Do(func() { close(stop) }) }, nil
+}
+
+func (b *Bus) pump(ctx context.Context, cur core.Cursor, out chan<- core.Delta, stop <-chan struct{}) {
+	defer close(out)
+	backoff := watchBackoffMin
+	deliver := func(d core.Delta) bool {
+		select {
+		case out <- d:
+			return true
+		case <-ctx.Done():
+			return false
+		case <-stop:
+			return false
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-stop:
+			return
+		default:
+		}
+		next, streamed, err := b.watchOnce(ctx, cur, deliver, stop)
+		cur = next
+		if errors.Is(err, errNoStreaming) {
+			// Old server: poll instead. One poll per backoff ceiling keeps
+			// the degraded mode cheap while still converging.
+			deltas, nxt, ferr := b.Fetch(ctx, cur)
+			if ferr == nil {
+				for _, d := range deltas {
+					if !deliver(d) {
+						return
+					}
+				}
+				cur = nxt
+			}
+			if !sleepOr(ctx, stop, watchBackoffMax) {
+				return
+			}
+			continue
+		}
+		if streamed {
+			backoff = watchBackoffMin // the connection was healthy; reset
+		}
+		if err == nil && ctx.Err() == nil {
+			// Clean EOF (server restart, LB idle timeout): reconnect fast.
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if !sleepOr(ctx, stop, backoff) {
+			return
+		}
+		backoff = min(backoff*2, watchBackoffMax)
+	}
+}
+
+// watchOnce opens one /watch stream and delivers its deltas, returning
+// the cursor after the last delivered delta and whether any arrived.
+func (b *Bus) watchOnce(ctx context.Context, from core.Cursor, deliver func(core.Delta) bool, stop <-chan struct{}) (core.Cursor, bool, error) {
+	// Tie the request to both cancellation paths so closing the
+	// subscription tears down the connection rather than leaking it.
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	go func() {
+		select {
+		case <-stop:
+			rcancel()
+		case <-rctx.Done():
+		}
+	}()
+	resp, err := b.getJSON(rctx, "/watch?cursor="+url.QueryEscape(from.String()))
+	if err != nil {
+		return from, false, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	cur, streamed := from, false
+	for sc.Scan() {
+		if err := rctx.Err(); err != nil {
+			return cur, streamed, err
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue // heartbeat
+		}
+		var wd wireDelta
+		if err := json.Unmarshal(line, &wd); err != nil {
+			return cur, streamed, fmt.Errorf("share: watch: %w", err)
+		}
+		d, err := fromWireDelta(wd)
+		if err != nil {
+			return cur, streamed, err
+		}
+		if !deliver(d) {
+			return cur, streamed, nil
+		}
+		cur = cur.Advance(d)
+		streamed = true
+	}
+	return cur, streamed, sc.Err()
+}
+
+// sleepOr waits d, returning false if ctx or stop fired first.
+func sleepOr(ctx context.Context, stop <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-stop:
+		return false
+	}
+}
+
+// FetchSince implements the legacy scalar fetch by GETting /since.
+//
+// Deprecated: use Fetch with a typed core.Cursor.
 func (b *Bus) FetchSince(ctx context.Context, cursor int) ([]core.Publication, int, error) {
+	if cursor < 0 {
+		cursor = 0
+	}
+	if cursor > 1<<53 {
+		cursor = 1 << 53 // keep the query within every server's Atoi range
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		fmt.Sprintf("%s/since?cursor=%d", b.cl.BaseURL, cursor), nil)
 	if err != nil {

@@ -36,10 +36,10 @@ func TestPublishAndFetch(t *testing.T) {
 	defer ts.Close()
 	cl := NewClient(ts.URL)
 
-	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
+	if err := cl.Publish(context.Background(), "P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Publish("Q", core.EditLog{
+	if err := cl.Publish(context.Background(), "Q", core.EditLog{
 		core.Ins("B", core.MakeTuple(2)),
 		core.Del("B", core.MakeTuple(3)),
 	}); err != nil {
@@ -49,7 +49,7 @@ func TestPublishAndFetch(t *testing.T) {
 		t.Fatalf("server has %d publications", srv.Len())
 	}
 
-	logs, peers, cursor, err := cl.Fetch(0)
+	logs, peers, cursor, err := cl.Fetch(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestPublishAndFetch(t *testing.T) {
 		t.Fatalf("second log: %v", logs[1])
 	}
 	// Incremental fetch from the cursor returns nothing new.
-	logs, _, cursor2, err := cl.Fetch(cursor)
+	logs, _, cursor2, err := cl.Fetch(context.Background(), cursor)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,21 +85,21 @@ func TestTwoNodeSync(t *testing.T) {
 
 	// Node 1's peer P inserts and publishes.
 	logP := core.EditLog{core.Ins("A", core.MakeTuple(1)), core.Ins("A", core.MakeTuple(2))}
-	if err := cl1.Publish("P", logP); err != nil {
+	if err := cl1.Publish(context.Background(), "P", logP); err != nil {
 		t.Fatal(err)
 	}
 	// Node 2's peer Q publishes a curation deletion of imported data.
 	logQ := core.EditLog{core.Del("B", core.MakeTuple(1))}
-	if err := cl2.Publish("Q", logQ); err != nil {
+	if err := cl2.Publish(context.Background(), "Q", logQ); err != nil {
 		t.Fatal(err)
 	}
 
 	// Both nodes sync and exchange.
 	var err error
-	if cur1, err = cl1.Sync(node1, cur1); err != nil {
+	if cur1, err = cl1.Sync(context.Background(), node1, cur1); err != nil {
 		t.Fatal(err)
 	}
-	if cur2, err = cl2.Sync(node2, cur2); err != nil {
+	if cur2, err = cl2.Sync(context.Background(), node2, cur2); err != nil {
 		t.Fatal(err)
 	}
 	if cur1 != 2 || cur2 != 2 {
@@ -107,10 +107,10 @@ func TestTwoNodeSync(t *testing.T) {
 	}
 	v1, _ := node1.View("")
 	v2, _ := node2.View("")
-	if _, err := node1.Exchange(""); err != nil {
+	if _, err := node1.Exchange(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := node2.Exchange(""); err != nil {
+	if _, err := node2.Exchange(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 	// B = {2}: A(1),A(2) mapped in, B(1) rejected by Q's curation.
@@ -130,7 +130,7 @@ func TestServerValidation(t *testing.T) {
 	defer ts.Close()
 	cl := NewClient(ts.URL)
 	// Cross-peer edit rejected with 422.
-	err := cl.Publish("P", core.EditLog{core.Ins("B", core.MakeTuple(1))})
+	err := cl.Publish(context.Background(), "P", core.EditLog{core.Ins("B", core.MakeTuple(1))})
 	if err == nil || !strings.Contains(err.Error(), "422") {
 		t.Fatalf("cross-peer publish: %v", err)
 	}
@@ -150,7 +150,7 @@ func TestServerPersistsThroughLogstore(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	cl := NewClient(ts.URL)
-	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(5))}); err != nil {
+	if err := cl.Publish(context.Background(), "P", core.EditLog{core.Ins("A", core.MakeTuple(5))}); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 1 {
@@ -219,10 +219,10 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	// Cursor beyond the end clamps.
 	cl := NewClient(ts.URL)
-	if err := cl.Publish("P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
+	if err := cl.Publish(context.Background(), "P", core.EditLog{core.Ins("A", core.MakeTuple(1))}); err != nil {
 		t.Fatal(err)
 	}
-	logs, _, cursor, err := cl.Fetch(999)
+	logs, _, cursor, err := cl.Fetch(context.Background(), 999)
 	if err != nil || len(logs) != 0 || cursor != 1 {
 		t.Fatalf("over-cursor fetch: %v %d %v", logs, cursor, err)
 	}

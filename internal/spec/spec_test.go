@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestParsedSpecRunsEndToEnd(t *testing.T) {
 	}
 	c := core.NewCDSS(f.Spec, core.Options{}, core.DeleteProvenance)
 	for peer, log := range f.EditLogs() {
-		if err := c.Publish(peer, log); err != nil {
+		if err := c.Publish(context.Background(), peer, log); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,7 +80,7 @@ func TestParsedSpecRunsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Exchange(""); err != nil {
+	if _, err := c.Exchange(context.Background(), ""); err != nil {
 		t.Fatal(err)
 	}
 	// Global view ignores PBioSQL's conditions? No: target-peer conditions

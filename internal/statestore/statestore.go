@@ -62,9 +62,16 @@ const (
 // ViewState describes one view's persisted checkpoint: which owner it
 // belongs to, the bus cursor the snapshot reflects (the number of
 // publications already applied), and the snapshot file generation.
+// Position, when non-empty, is the durable form of the view's typed
+// bus cursor (core.Cursor.String): the same total as Cursor plus the
+// per-shard breakdown push streaming resumes from. Manifests written
+// before sharded cursors carry only the scalar Cursor; recovery
+// migrates them by treating the total as a scalar cursor, which the
+// first pull exchange upgrades to an exact vector.
 type ViewState struct {
 	Owner      string `json:"owner"`
 	Cursor     int    `json:"cursor"`
+	Position   string `json:"position,omitempty"`
 	Generation uint64 `json:"generation"`
 	File       string `json:"file"`
 }
@@ -291,10 +298,12 @@ func (s *Store) View(owner string) (ViewState, bool) {
 // spec always matches the newest snapshot — even when a crash
 // interrupted a spec evolution between its per-view checkpoints (stale
 // per-view snapshots are then discarded at recovery). Cursor
-// regressions are rejected.
-func (s *Store) SaveView(owner string, cursor int, specFP string, write func(io.Writer) error) error {
+// regressions are rejected. position is the durable form of the typed
+// bus cursor the total was taken from ("" when the caller tracks only
+// scalars); the store treats it as opaque.
+func (s *Store) SaveView(owner string, cursor int, position, specFP string, write func(io.Writer) error) error {
 	start := time.Now()
-	err := s.saveView(owner, cursor, specFP, write)
+	err := s.saveView(owner, cursor, position, specFP, write)
 	s.metrics.CheckpointSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.metrics.CheckpointFailures.Inc()
@@ -304,7 +313,7 @@ func (s *Store) SaveView(owner string, cursor int, specFP string, write func(io.
 	return nil
 }
 
-func (s *Store) saveView(owner string, cursor int, specFP string, write func(io.Writer) error) error {
+func (s *Store) saveView(owner string, cursor int, position, specFP string, write func(io.Writer) error) error {
 	if cursor < 0 {
 		return fmt.Errorf("statestore: negative cursor %d for view %q", cursor, owner)
 	}
@@ -331,7 +340,7 @@ func (s *Store) saveView(owner string, cursor int, specFP string, write func(io.
 	if err := s.writeSnapshotFile(file, payload.Bytes()); err != nil {
 		return err
 	}
-	next := &ViewState{Owner: owner, Cursor: cursor, Generation: gen, File: file}
+	next := &ViewState{Owner: owner, Cursor: cursor, Position: position, Generation: gen, File: file}
 	updated := manifest{Version: manifestVersion, Spec: specFP, Views: make(map[string]*ViewState, len(s.m.Views)+1)}
 	for o, vs := range s.m.Views {
 		updated.Views[o] = vs

@@ -36,10 +36,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got := st.Views(); len(got) != 0 {
 		t.Fatalf("fresh store has views: %v", got)
 	}
-	if err := st.SaveView("", 3, "", payloadWriter("global-state")); err != nil {
+	if err := st.SaveView("", 3, "", "", payloadWriter("global-state")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P1", 5, "", payloadWriter("p1-state")); err != nil {
+	if err := st.SaveView("P1", 5, "", "", payloadWriter("p1-state")); err != nil {
 		t.Fatal(err)
 	}
 	vs, data := readPayload(t, st, "")
@@ -72,10 +72,10 @@ func TestGenerationsReplaceAndCleanUp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 1, "", payloadWriter("gen1")); err != nil {
+	if err := st.SaveView("P", 1, "", "", payloadWriter("gen1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 4, "", payloadWriter("gen2")); err != nil {
+	if err := st.SaveView("P", 4, "", "", payloadWriter("gen2")); err != nil {
 		t.Fatal(err)
 	}
 	vs, data := readPayload(t, st, "P")
@@ -96,15 +96,15 @@ func TestCursorRegressionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 7, "", payloadWriter("x")); err != nil {
+	if err := st.SaveView("P", 7, "", "", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
-	err = st.SaveView("P", 6, "", payloadWriter("y"))
+	err = st.SaveView("P", 6, "", "", payloadWriter("y"))
 	if err == nil || !strings.Contains(err.Error(), "cursor regression") {
 		t.Fatalf("cursor regression not rejected: %v", err)
 	}
 	// Equal cursor is fine (re-checkpoint without new publications).
-	if err := st.SaveView("P", 7, "", payloadWriter("z")); err != nil {
+	if err := st.SaveView("P", 7, "", "", payloadWriter("z")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -114,7 +114,7 @@ func TestCorruptSnapshotDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 2, "", payloadWriter("hello snapshot payload")); err != nil {
+	if err := st.SaveView("P", 2, "", "", payloadWriter("hello snapshot payload")); err != nil {
 		t.Fatal(err)
 	}
 	vs, _ := st.View("P")
@@ -148,7 +148,7 @@ func TestManifestMissingSnapshotRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 1, "", payloadWriter("x")); err != nil {
+	if err := st.SaveView("P", 1, "", "", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
 	vs, _ := st.View("P")
@@ -168,7 +168,7 @@ func TestRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 1, "", payloadWriter("x")); err != nil {
+	if err := st.SaveView("P", 1, "", "", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Remove("P"); err != nil {
@@ -192,7 +192,7 @@ func TestOpenSweepsOrphanedTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 1, "", payloadWriter("x")); err != nil {
+	if err := st.SaveView("P", 1, "", "", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -232,14 +232,14 @@ func TestDirectoryLock(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("P", 1, "", payloadWriter("x")); err == nil || !strings.Contains(err.Error(), "closed") {
+	if err := st.SaveView("P", 1, "", "", payloadWriter("x")); err == nil || !strings.Contains(err.Error(), "closed") {
 		t.Fatalf("SaveView on closed store: %v, want closed error", err)
 	}
 	st2, err := Open(dir)
 	if err != nil {
 		t.Fatalf("reopen after close: %v", err)
 	}
-	if err := st2.SaveView("P", 1, "", payloadWriter("x")); err != nil {
+	if err := st2.SaveView("P", 1, "", "", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -268,10 +268,10 @@ func TestSpecFingerprintPersists(t *testing.T) {
 	}
 	// SaveView commits the fingerprint it is given; Remove must carry it
 	// through its manifest rewrite.
-	if err := st.SaveView("p1", 3, "abc123", payloadWriter("x")); err != nil {
+	if err := st.SaveView("p1", 3, "", "abc123", payloadWriter("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.SaveView("p2", 1, "abc123", payloadWriter("y")); err != nil {
+	if err := st.SaveView("p2", 1, "", "abc123", payloadWriter("y")); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Remove("p2"); err != nil {

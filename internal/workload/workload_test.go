@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/core"
@@ -122,7 +123,7 @@ func TestExtraCyclesStillWeaklyAcyclic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, log := range w.GenBase(5) {
-		if _, err := v.ApplyEdits(log, core.DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), log, core.DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +190,7 @@ func TestEndToEndExchange(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, peer := range w.PeerNames() {
-			if _, err := v.ApplyEdits(w.GenInsertions(peer, 3), core.DeleteProvenance); err != nil {
+			if _, err := v.ApplyEdits(context.Background(), w.GenInsertions(peer, 3), core.DeleteProvenance); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -202,10 +203,10 @@ func TestEndToEndExchange(t *testing.T) {
 		}
 		// Incremental deletion equals recomputation on this workload.
 		delLog := w.GenDeletions(w.PeerNames()[0], 1)
-		if _, err := v.ApplyEdits(delLog, core.DeleteProvenance); err != nil {
+		if _, err := v.ApplyEdits(context.Background(), delLog, core.DeleteProvenance); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := v.FullRecompute(); err != nil {
+		if _, err := v.FullRecompute(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -88,6 +88,16 @@ type systemObs struct {
 	provRowsDeleted *obs.Counter
 	derived         *obs.Counter
 
+	// Delivery-path counters: how views learned about publications.
+	// fetchCalls/fetchPubs count pull round trips and the publications
+	// they carried; pushDeltas counts subscription-delivered deltas an
+	// exchange applied without fetching; pushPasses counts passes that
+	// ran entirely off the push buffer.
+	fetchCalls *obs.Counter
+	fetchPubs  *obs.Counter
+	pushDeltas *obs.Counter
+	pushPasses *obs.Counter
+
 	// Read-path query cache counters, shared across views.
 	qcHits, qcMisses, qcEvictions *obs.Counter
 
@@ -105,15 +115,22 @@ type systemObs struct {
 
 	mu    sync.Mutex
 	views map[string]*viewObs
+	// horizonShards holds the highest per-shard position any pass has
+	// observed; per-(view,shard) lag gauges read it against the view's
+	// shard mirror. Cells are created under mu, then updated atomically.
+	horizonShards map[string]*atomic.Int64
 }
 
-// viewObs mirrors one view's cursor into an atomic so GaugeFuncs can
+// viewObs mirrors one view's cursor into atomics so GaugeFuncs can
 // read it without the view's lock.
 type viewObs struct {
 	cursor atomic.Int64
+	// shards mirrors the cursor's per-shard positions (cells created
+	// under systemObs.mu, updated atomically).
+	shards map[string]*atomic.Int64
 }
 
-const passKindExchange, passKindExchangeAll = "exchange", "exchange_all"
+const passKindExchange, passKindExchangeAll, passKindExchangePush = "exchange", "exchange_all", "exchange_push"
 
 // newSystemObs registers the System's pass-level instruments in the
 // bundle's registry.
@@ -121,12 +138,13 @@ func newSystemObs(o *obs.Observability) *systemObs {
 	r := o.Registry()
 	x := &systemObs{
 		bundle:       o,
-		passSeconds:  make(map[string]*obs.Histogram, 2),
-		passes:       make(map[string]*obs.Counter, 2),
-		passFailures: make(map[string]*obs.Counter, 2),
-		views:        make(map[string]*viewObs),
+		passSeconds:   make(map[string]*obs.Histogram, 3),
+		passes:        make(map[string]*obs.Counter, 3),
+		passFailures:  make(map[string]*obs.Counter, 3),
+		views:         make(map[string]*viewObs),
+		horizonShards: make(map[string]*atomic.Int64),
 	}
-	for _, kind := range []string{passKindExchange, passKindExchangeAll} {
+	for _, kind := range []string{passKindExchange, passKindExchangeAll, passKindExchangePush} {
 		lbl := obs.L("kind", kind)
 		x.passSeconds[kind] = r.Histogram("orchestra_exchange_pass_duration_seconds",
 			"Wall clock of one update-exchange pass.", obs.DurationBuckets(), lbl)
@@ -149,6 +167,14 @@ func newSystemObs(o *obs.Observability) *systemObs {
 		"Provenance rows removed by deletion propagation.")
 	x.derived = r.Counter("orchestra_engine_derived_total",
 		"Tuples derived by engine fixpoints during exchange.")
+	x.fetchCalls = r.Counter("orchestra_exchange_fetch_calls_total",
+		"Bus fetch round trips made by exchange passes.")
+	x.fetchPubs = r.Counter("orchestra_exchange_fetch_publications_total",
+		"Publications delivered to exchange passes by bus fetches (pull).")
+	x.pushDeltas = r.Counter("orchestra_exchange_push_deltas_total",
+		"Publications delivered to exchange passes by subscriptions (push).")
+	x.pushPasses = r.Counter("orchestra_exchange_push_passes_total",
+		"Exchange passes served entirely from the push buffer, no fetch.")
 	x.qcHits = r.Counter("orchestra_query_cache_hits",
 		"Query results served from the provenance-invalidated result cache.")
 	x.qcMisses = r.Counter("orchestra_query_cache_misses",
@@ -247,17 +273,86 @@ func (x *systemObs) raiseHorizon(n int64) {
 	}
 }
 
+// raiseCell lifts one atomic cell monotonically.
+func raiseCell(c *atomic.Int64, n int64) {
+	for {
+		cur := c.Load()
+		if n <= cur || c.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// recordShards mirrors a cursor's per-shard positions into the view's
+// shard cells (registering the orchestra_shard_lag gauge on first
+// sight of each (view,shard) pair) and lifts the shard horizons.
+func (x *systemObs) recordShards(owner string, cursor core.Cursor) {
+	if x == nil {
+		return
+	}
+	shards := cursor.Shards()
+	if len(shards) == 0 {
+		return
+	}
+	label := owner
+	if label == "" {
+		label = "(global)"
+	}
+	for _, shard := range shards {
+		pos := int64(cursor.Shard(shard))
+		x.mu.Lock()
+		vo := x.views[owner]
+		if vo == nil {
+			vo = &viewObs{}
+			x.views[owner] = vo
+		}
+		if vo.shards == nil {
+			vo.shards = make(map[string]*atomic.Int64)
+		}
+		cell, ok := vo.shards[shard]
+		if !ok {
+			cell = &atomic.Int64{}
+			vo.shards[shard] = cell
+		}
+		hcell, hok := x.horizonShards[shard]
+		if !hok {
+			hcell = &atomic.Int64{}
+			x.horizonShards[shard] = hcell
+		}
+		x.mu.Unlock()
+		if !ok {
+			// Register outside x.mu: registration locks the registry.
+			x.bundle.Registry().GaugeFunc("orchestra_shard_lag",
+				"Publications on one bus shard the view has not yet applied.",
+				func() float64 { return max(float64(hcell.Load()-cell.Load()), 0) },
+				obs.L("view", label), obs.L("shard", shard))
+		}
+		raiseCell(cell, pos)
+		raiseCell(hcell, pos)
+	}
+}
+
 // recordView accounts one view's completed (or failed) exchange pass:
-// counters, the cursor mirror, and — when the pass is traced — a
-// ViewPass appended to the trace. Runs under the view's lock but never
-// under s.mu; emission is atomics only.
-func (x *systemObs) recordView(pass *obs.PassTrace, owner string, st ApplyStats, wall, ckpt time.Duration, cursor int, err error) {
+// counters, the cursor and shard mirrors, and — when the pass is
+// traced — a ViewPass appended to the trace. Runs under the view's
+// lock but never under s.mu. The view's wall clock is taken from start
+// after the emission work, so first-sight costs (view/shard gauge
+// registration) are attributed to the view pass rather than widening
+// the gap between view wall and pass wall.
+func (x *systemObs) recordView(pass *obs.PassTrace, owner string, st ApplyStats, start time.Time, ckpt time.Duration, cursor core.Cursor, err error) {
 	if x == nil {
 		return
 	}
 	vo := x.ensureView(owner)
-	vo.cursor.Store(int64(cursor))
-	x.raiseHorizon(int64(cursor))
+	vo.cursor.Store(int64(cursor.Total()))
+	x.raiseHorizon(int64(cursor.Total()))
+	x.recordShards(owner, cursor)
+	x.fetchCalls.Add(int64(st.FetchCalls))
+	x.fetchPubs.Add(int64(st.FetchPublications))
+	x.pushDeltas.Add(int64(st.PushDeltas))
+	if st.PushDeltas > 0 && st.FetchCalls == 0 {
+		x.pushPasses.Inc()
+	}
 	x.pubsConsumed.Add(int64(st.Publications))
 	x.editsIn.Add(int64(st.EditsIn))
 	x.editsCancelled.Add(int64(st.EditsCancelled))
@@ -272,7 +367,7 @@ func (x *systemObs) recordView(pass *obs.PassTrace, owner string, st ApplyStats,
 	}
 	vp := obs.ViewPass{
 		Owner:             owner,
-		WallNS:            wall.Nanoseconds(),
+		WallNS:            time.Since(start).Nanoseconds(),
 		Publications:      st.Publications,
 		FetchNS:           st.FetchNS,
 		EditsIn:           st.EditsIn,
@@ -369,7 +464,8 @@ func (s *System) initObs(o *Observability, slowQuery time.Duration) {
 		x.horizon.Store(int64(s.ownBus.Len()))
 	}
 	for owner, h := range s.views {
-		x.ensureView(owner).cursor.Store(int64(h.cursor))
+		x.ensureView(owner).cursor.Store(int64(h.cursor.Total()))
+		x.recordShards(owner, h.cursor)
 		// Recovered views were built before the operations plane existed;
 		// attach their cache counters and query observers now.
 		h.view.SetQueryCacheMetrics(x.queryCacheMetrics())
@@ -417,8 +513,12 @@ func (s *System) Observability() *Observability {
 
 // ViewStat is one view's row of a SystemStats snapshot.
 type ViewStat struct {
-	Owner  string `json:"owner"`
-	Cursor int    `json:"cursor"`
+	Owner string `json:"owner"`
+	// Cursor is the scalar (total) bus position; Position is the typed
+	// cursor's durable form, with the per-shard breakdown ("" when the
+	// view was busy and only the scalar mirror was readable).
+	Cursor   int    `json:"cursor"`
+	Position string `json:"position,omitempty"`
 	// Pending is the number of bus publications past the cursor.
 	Pending int `json:"pending"`
 	// SinceCheckpoint counts publications applied since the view's last
@@ -482,7 +582,8 @@ func (s *System) Stats(ctx context.Context) (SystemStats, error) {
 		h := handles[owner]
 		vs := ViewStat{Owner: owner}
 		if h.mu.TryLock() {
-			vs.Cursor = h.cursor
+			vs.Cursor = h.cursor.Total()
+			vs.Position = h.cursor.String()
 			vs.SinceCheckpoint = h.sinceCkpt
 			h.mu.Unlock()
 		} else {

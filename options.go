@@ -113,8 +113,14 @@ func WithSplitProvTables(on bool) Option {
 }
 
 // WithBus selects the publication bus the system exchanges through: an
-// in-memory bus (the default, private to this System), or an HTTP bus
-// shared with other nodes of the confederation (see NewHTTPBus).
+// in-memory bus (the default, private to this System), an HTTP bus
+// shared with other nodes of the confederation (see NewHTTPBus), a
+// durable ShardedFileBus, or any composition of the capability
+// interfaces — BusAppender+BusReader is the required minimum
+// (AdaptBus lifts legacy append/fetch-since implementations to it).
+// Push streaming is capability-detected: StartPush works iff the bus
+// also implements BusWatcher; a pull-only bus simply polls on
+// Exchange.
 func WithBus(bus PublicationBus) Option {
 	return func(c *config) { c.bus = bus }
 }

@@ -51,7 +51,7 @@ type System struct {
 	store   *statestore.Store
 	// ownBus is set when WithPersistence created the System's durable
 	// bus, making the System responsible for closing it.
-	ownBus *logstore.Bus
+	ownBus *logstore.ShardedBus
 
 	// obsx is the operations plane (nil without WithObservability); all
 	// its methods are nil-safe, so instrumentation sites call it
@@ -72,10 +72,53 @@ type System struct {
 type viewHandle struct {
 	mu     sync.Mutex
 	view   *core.View
-	cursor int
+	cursor core.Cursor
 	// sinceCkpt counts publications applied since the last checkpoint,
 	// driving the CheckpointEvery policy.
 	sinceCkpt int
+
+	// Push delivery buffer (StartPush): the subscription pump appends
+	// deltas under pushMu (never the view lock, so delivery cannot stall
+	// behind an exchange), and the next exchange pass drains them,
+	// applying in place of a bus fetch when they form a contiguous run.
+	pushMu sync.Mutex
+	// pushBuf holds deltas delivered since the last exchange, bounded by
+	// pushBufferCap.
+	pushBuf []core.Delta
+	// pushOverflow marks a buffer that hit its cap: the buffered run is
+	// no longer complete, so the next exchange pulls instead.
+	pushOverflow bool
+}
+
+// pushBufferCap bounds each view's push buffer. A view that falls
+// further behind than this simply falls back to one pull fetch — push
+// delivery never costs unbounded memory.
+const pushBufferCap = 256
+
+// bufferPush appends a pushed delta, tripping the overflow flag (and
+// dropping the now-incomplete run) at capacity.
+func (h *viewHandle) bufferPush(d core.Delta) {
+	h.pushMu.Lock()
+	defer h.pushMu.Unlock()
+	if h.pushOverflow {
+		return
+	}
+	if len(h.pushBuf) >= pushBufferCap {
+		h.pushBuf = nil
+		h.pushOverflow = true
+		return
+	}
+	h.pushBuf = append(h.pushBuf, d)
+}
+
+// takePush drains the push buffer, returning the run and whether it
+// overflowed (in which case the run is incomplete and empty).
+func (h *viewHandle) takePush() ([]core.Delta, bool) {
+	h.pushMu.Lock()
+	defer h.pushMu.Unlock()
+	deltas, overflow := h.pushBuf, h.pushOverflow
+	h.pushBuf, h.pushOverflow = nil, false
+	return deltas, overflow
 }
 
 // New builds a System over a validated Spec. By default it runs embedded
@@ -283,10 +326,11 @@ func (s *System) PublishFileEdits(ctx context.Context, f *SpecFile) error {
 // silently truncated or duplicated history.
 func (s *System) SeedFileEdits(ctx context.Context, f *SpecFile) (int, error) {
 	runs := fileEditRuns(f)
-	have, err := core.BusLen(ctx, s.bus)
+	horizon, err := s.bus.Horizon(ctx)
 	if err != nil {
 		return 0, err
 	}
+	have := horizon.Total()
 	if have > len(runs) {
 		return 0, fmt.Errorf("orchestra: bus already holds %d publications but the spec file seeds only %d", have, len(runs))
 	}
@@ -352,7 +396,7 @@ func (s *System) exchangeView(ctx context.Context, owner string, pass *obs.PassT
 	defer h.mu.Unlock()
 	start := time.Now()
 	stats, ckpt, err := s.exchangeLocked(ctx, owner, h)
-	s.obsx.recordView(pass, owner, stats, time.Since(start), ckpt, h.cursor, err)
+	s.obsx.recordView(pass, owner, stats, start, ckpt, h.cursor, err)
 	return stats, err
 }
 
@@ -360,28 +404,7 @@ func (s *System) exchangeView(ctx context.Context, owner string, pass *obs.PassT
 // caller holds, reporting how long the post-exchange checkpoint took
 // (0 when the policy skipped it).
 func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle) (ApplyStats, time.Duration, error) {
-	var (
-		next  int
-		stats ApplyStats
-		err   error
-	)
-	if s.coalesce {
-		next, stats, err = core.ExchangeCoalesced(ctx, s.bus, h.view, h.cursor, s.strategy)
-	} else {
-		next, stats, err = core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
-	}
-	if next < h.cursor {
-		// Never regress the cursor: with no error this means the bus lost
-		// publications the view already applied; with an error, keeping
-		// the old cursor lets a retry resume correctly either way.
-		if err == nil {
-			err = fmt.Errorf("orchestra: bus holds %d publications but view %q has already applied %d (bus behind persisted state?)",
-				next, owner, h.cursor)
-		}
-		return stats, 0, err
-	}
-	h.sinceCkpt += next - h.cursor
-	h.cursor = next
+	stats, err := s.importLocked(ctx, owner, h)
 	if err != nil {
 		return stats, 0, err
 	}
@@ -395,6 +418,51 @@ func (s *System) exchangeLocked(ctx context.Context, owner string, h *viewHandle
 		return stats, ckpt, fmt.Errorf("orchestra: exchange succeeded but checkpoint failed: %w", cerr)
 	}
 	return stats, ckpt, nil
+}
+
+// importLocked advances one view to the bus horizon, preferring the
+// push buffer: a contiguous run of subscription-delivered deltas is
+// applied directly — no bus round trip — and only a gap, an overflow,
+// or a position-less delta (a legacy bus behind AdaptBus) falls back
+// to the pull fetch. The caller holds h.mu.
+func (s *System) importLocked(ctx context.Context, owner string, h *viewHandle) (ApplyStats, error) {
+	if deltas, overflow := h.takePush(); !overflow && len(deltas) > 0 {
+		next, stats, handled, err := core.ExchangeDeltas(ctx, h.view, h.cursor, deltas, s.strategy)
+		if handled {
+			if err != nil {
+				return stats, err
+			}
+			h.sinceCkpt += next.Total() - h.cursor.Total()
+			h.cursor = next
+			return stats, nil
+		}
+		// Stale buffer start or a gap (e.g. the view's first pass after
+		// recovery, or deltas dropped while no pass ran): pull instead.
+		// The pulled run subsumes the buffered one.
+	}
+	var (
+		next  core.Cursor
+		stats ApplyStats
+		err   error
+	)
+	if s.coalesce {
+		next, stats, err = core.ExchangeCoalesced(ctx, s.bus, h.view, h.cursor, s.strategy)
+	} else {
+		next, stats, err = core.ExchangeInto(ctx, s.bus, h.view, h.cursor, s.strategy)
+	}
+	if next.Total() < h.cursor.Total() {
+		// Never regress the cursor: with no error this means the bus lost
+		// publications the view already applied; with an error, keeping
+		// the old cursor lets a retry resume correctly either way.
+		if err == nil {
+			err = fmt.Errorf("orchestra: bus holds %d publications but view %q has already applied %d (bus behind persisted state?)",
+				next.Total(), owner, h.cursor.Total())
+		}
+		return stats, err
+	}
+	h.sinceCkpt += next.Total() - h.cursor.Total()
+	h.cursor = next
+	return stats, err
 }
 
 // ExchangeAll runs Exchange for every peer (and for the global view if
@@ -442,14 +510,30 @@ func (s *System) Pending(ctx context.Context, owner string) (int, error) {
 	s.mu.RUnlock()
 	if h != nil {
 		h.mu.Lock()
-		cursor = h.cursor
+		cursor = h.cursor.Total()
 		h.mu.Unlock()
 	}
-	n, err := core.BusLen(ctx, s.bus)
+	horizon, err := s.bus.Horizon(ctx)
 	if err != nil {
 		return 0, err
 	}
-	return max(n-cursor, 0), nil
+	return max(horizon.Total()-cursor, 0), nil
+}
+
+// ViewCursor reports the typed bus position of an owner's view — the
+// sharded cursor its last completed exchange advanced to (the zero
+// Cursor for a view that never exchanged or does not exist). The
+// durable form (Cursor.String) round-trips through ParseCursor.
+func (s *System) ViewCursor(owner string) Cursor {
+	s.mu.RLock()
+	h := s.views[owner]
+	s.mu.RUnlock()
+	if h == nil {
+		return Cursor{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.cursor
 }
 
 // Query answers a conjunctive query over an owner's curated instances
@@ -463,7 +547,7 @@ func (s *System) Query(ctx context.Context, owner, q string, includeNulls bool) 
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.view.QueryContext(ctx, q, includeNulls)
+	return h.view.Query(ctx, q, includeNulls)
 }
 
 // ExplainQuery renders the physical plan Query would use for q over the
@@ -478,7 +562,7 @@ func (s *System) ExplainQuery(ctx context.Context, owner, q string) (string, err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.view.ExplainQueryContext(ctx, q)
+	return h.view.ExplainQuery(ctx, q)
 }
 
 // QueryCacheStats reports the owner's view query-cache counters:
@@ -546,7 +630,7 @@ func (s *System) Provenance(ctx context.Context, owner, rel string, t Tuple) (Pr
 		return ProvenanceInfo{}, err
 	}
 	info := ProvenanceInfo{Expr: h.view.ProvOf(rel, t).String()}
-	alive, support, err := h.view.DerivabilityContext(ctx, rel, t)
+	alive, support, err := h.view.Derivability(ctx, rel, t)
 	if err != nil {
 		return info, err
 	}

@@ -14,9 +14,16 @@ import (
 	"orchestra/internal/statestore"
 )
 
-// busLogName is the durable publication log WithPersistence co-locates
-// with the view snapshots when the System owns its bus.
+// busLogName is the single-file publication log earlier releases
+// co-located with the view snapshots; it is now only read once, as
+// migration input for the sharded layout.
 const busLogName = "bus.olg"
+
+// busShardDirName is the sharded publication log directory
+// WithPersistence co-locates with the view snapshots when the System
+// owns its bus: one append-only segment per publishing peer. A
+// directory still holding the legacy bus.olg is migrated on open.
+const busShardDirName = "bus.shards"
 
 // openPersistence wires a System to its state directory: it opens the
 // statestore, substitutes a durable file-backed bus when the caller
@@ -46,7 +53,9 @@ func (s *System) openPersistence(cfg *config) error {
 		}
 	}
 	if cfg.bus == nil {
-		fb, err := logstore.OpenBus(filepath.Join(cfg.persist.dir, busLogName))
+		fb, err := logstore.OpenShardedBus(
+			filepath.Join(cfg.persist.dir, busShardDirName),
+			filepath.Join(cfg.persist.dir, busLogName))
 		if err != nil {
 			return err
 		}
@@ -83,8 +92,23 @@ func (s *System) openPersistence(cfg *config) error {
 			return fmt.Errorf("orchestra: view %q persisted cursor %d exceeds durable bus length %d (mismatched or truncated state directory?)",
 				vs.Owner, vs.Cursor, s.ownBus.Len())
 		}
+		// Manifests written before sharded cursors carry only the scalar
+		// total; CursorFromTotal marks it scalar and the first pull
+		// exchange upgrades it to an exact vector (one-shot migration).
+		cursor := core.CursorFromTotal(vs.Cursor)
+		if vs.Position != "" {
+			if cursor, err = core.ParseCursor(vs.Position); err != nil {
+				s.closePersistence()
+				return fmt.Errorf("orchestra: view %q persisted position: %w", vs.Owner, err)
+			}
+			if cursor.Total() != vs.Cursor {
+				s.closePersistence()
+				return fmt.Errorf("orchestra: view %q persisted position %q disagrees with cursor %d",
+					vs.Owner, vs.Position, vs.Cursor)
+			}
+		}
 		s.setupView(vs.Owner, v)
-		s.views[vs.Owner] = &viewHandle{view: v, cursor: vs.Cursor}
+		s.views[vs.Owner] = &viewHandle{view: v, cursor: cursor}
 	}
 	return nil
 }
@@ -139,7 +163,7 @@ func (s *System) checkpointLocked(ctx context.Context, owner string, h *viewHand
 	if err := h.view.Repair(ctx); err != nil {
 		return err
 	}
-	if err := s.store.SaveView(owner, h.cursor, h.view.Spec().Fingerprint(), h.view.WriteSnapshot); err != nil {
+	if err := s.store.SaveView(owner, h.cursor.Total(), h.cursor.String(), h.view.Spec().Fingerprint(), h.view.WriteSnapshot); err != nil {
 		return err
 	}
 	h.sinceCkpt = 0
@@ -176,15 +200,28 @@ func (s *System) PersistedViews() ([]ViewState, error) {
 	return s.store.Views(), nil
 }
 
+// BusHorizon returns the bus's current typed horizon: the sharded
+// position after every publication it holds. Its Total is the
+// publication count.
+func (s *System) BusHorizon(ctx context.Context) (Cursor, error) {
+	return s.bus.Horizon(ctx)
+}
+
 // BusLen returns the number of publications on the System's bus.
+//
+// Deprecated: use BusHorizon; its Total is this count, and the
+// per-shard breakdown is what streaming followers resume from.
 func (s *System) BusLen(ctx context.Context) (int, error) {
 	return core.BusLen(ctx, s.bus)
 }
 
 // StateDirView is one view's checkpoint as seen by InspectStateDir.
 type StateDirView struct {
-	Owner      string
-	Cursor     int
+	Owner  string
+	Cursor int
+	// Position is the durable form of the view's typed bus cursor (""
+	// in manifests written before sharded cursors).
+	Position   string
 	Generation uint64
 	// Pending is the number of co-located bus publications past the
 	// cursor (-1 when the directory has no bus log).
@@ -221,16 +258,22 @@ func InspectStateDir(dir string) (StateDirInfo, error) {
 		return StateDirInfo{}, err
 	}
 	info := StateDirInfo{Dir: dir, SpecFingerprint: m.Spec, BusLen: -1}
-	busPath := filepath.Join(dir, busLogName)
-	if _, err := os.Stat(busPath); err == nil {
+	// Prefer the sharded layout; fall back to the legacy single file
+	// (a directory that was never opened by a sharded-bus release).
+	for _, name := range []string{busShardDirName, busLogName} {
+		busPath := filepath.Join(dir, name)
+		if _, err := os.Stat(busPath); err != nil {
+			continue
+		}
 		n, err := logstore.ReadLen(busPath)
 		if err != nil {
 			return StateDirInfo{}, err
 		}
 		info.BusLen = n
+		break
 	}
 	for _, vs := range m.Views {
-		v := StateDirView{Owner: vs.Owner, Cursor: vs.Cursor, Generation: vs.Generation, Pending: -1}
+		v := StateDirView{Owner: vs.Owner, Cursor: vs.Cursor, Position: vs.Position, Generation: vs.Generation, Pending: -1}
 		if info.BusLen >= 0 {
 			v.Pending = max(info.BusLen-vs.Cursor, 0)
 		}

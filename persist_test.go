@@ -383,7 +383,7 @@ func TestRecoveryRejectsBusBehindCursor(t *testing.T) {
 	if err := sys.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "bus.olg")); err != nil {
+	if err := os.RemoveAll(filepath.Join(dir, "bus.shards")); err != nil {
 		t.Fatal(err)
 	}
 	_, err = orchestra.New(sp, orchestra.WithPersistence(dir))

@@ -83,5 +83,5 @@ func (s *System) ProvenanceGraph(owner string) (*ProvGraph, error) {
 // to its value. Cancellation via ctx stops the Kleene iteration between
 // rounds.
 func EvalProvenance[T any](ctx context.Context, g *ProvGraph, s Semiring[T], mapFn MapFn[T], baseVal func(ProvRef) T) (map[ProvRef]T, error) {
-	return provenance.EvalContext(ctx, g, s, mapFn, baseVal, provenance.EvalOptions{})
+	return provenance.Eval(ctx, g, s, mapFn, baseVal, provenance.EvalOptions{})
 }

@@ -5,6 +5,9 @@
 # it end to end:
 #   - both /readyz endpoints go green and A's /metrics carries non-zero
 #     core series,
+#   - B converges via push streaming: the publish reaches B's views in
+#     under a second — B's only refresh tick is 10s away — and B's
+#     fetch counters prove no full-log replay happened,
 #   - ONE lineage trace id (minted by the publisher) appears in BOTH
 #     processes' /debug/trace?pub= responses,
 #   - `orchestra trace -pub` renders the cross-process span tree,
@@ -53,11 +56,14 @@ go build -o "$TMP/orchestra" ./cmd/orchestra
     -view all -refresh 500ms -admin-token "$TOKEN" -slow-query 1ns &
 PID_A=$!
 
-# Node B: a follower — no local store; its views exchange against A's
-# bus over HTTP, so a publication at A flows to B on B's refresh tick.
+# Node B: a follower — no local store; its views subscribe to A's
+# delta stream (GET /watch), so a publication at A is pushed to B the
+# moment it commits. The refresh interval is deliberately LONG: with
+# the next poll 10s away, sub-second convergence below can only be
+# explained by push streaming.
 "$TMP/orchestrad" -addr "127.0.0.1:$PORT_B" \
     -spec "$TMP/smoke.cdss" -bus "$BASE_A" -state "$TMP/stateB" \
-    -view all -refresh 300ms -admin-token "$TOKEN" &
+    -view all -refresh 10s -admin-token "$TOKEN" &
 PID_B=$!
 
 wait_ready() {
@@ -77,6 +83,13 @@ wait_ready "$BASE_B"
 echo "ready A: $(curl -fsS "$BASE_A/healthz")"
 echo "ready B: $(curl -fsS "$BASE_B/healthz")"
 
+# Snapshot B's fetch counter before the publish: the push import must
+# not move it (a pushed delta is applied as delivered, never refetched).
+metric_val() {
+    curl -fsS "$1/metrics" | awk -v m="$2" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+FETCHED_BEFORE="$(metric_val "$BASE_B" orchestra_exchange_fetch_publications_total)"
+
 PUBOUT="$("$TMP/smokepub" "$BASE_A" "$TMP/smoke.cdss")"
 echo "$PUBOUT"
 TRACE_ID="${PUBOUT##*trace=}"
@@ -84,6 +97,26 @@ if [ -z "$TRACE_ID" ]; then
     echo "serve-smoke: smokepub printed no trace id: $PUBOUT" >&2
     exit 1
 fi
+
+# Push convergence: B must apply the publish within one second. Its
+# next refresh tick is ~10s away, so this can only be the /watch
+# subscription delivering the delta.
+i=0
+until curl -fsS "$BASE_B/metrics" | grep -q '^orchestra_exchange_push_deltas_total [1-9]'; do
+    i=$((i + 1))
+    if [ "$i" -gt 20 ]; then
+        echo "serve-smoke: publish never reached B by push within ~1s" >&2
+        curl -sS "$BASE_B/metrics" | grep '^orchestra_exchange_' >&2 || true
+        exit 1
+    fi
+    sleep 0.05
+done
+FETCHED_AFTER="$(metric_val "$BASE_B" orchestra_exchange_fetch_publications_total)"
+if [ "$FETCHED_AFTER" != "$FETCHED_BEFORE" ]; then
+    echo "serve-smoke: B's fetch counter moved $FETCHED_BEFORE -> $FETCHED_AFTER; push import replayed the log" >&2
+    exit 1
+fi
+echo "push: B converged via streaming (push deltas applied, no refetch)"
 
 # Wait until the publish-triggered exchange pass lands in A's metrics.
 i=0

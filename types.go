@@ -214,6 +214,13 @@ func RunBenchCases(match func(BenchCase) bool, progress func(name string)) Bench
 	return benchharness.RunGoBenches(match, progress)
 }
 
+// RunBenchCasesN is RunBenchCases measuring each case samples times and
+// keeping each metric's minimum — the noise-robust estimator behind
+// tight-threshold gates (cmd/benchfig -samples).
+func RunBenchCasesN(match func(BenchCase) bool, progress func(name string), samples int) BenchReport {
+	return benchharness.RunGoBenchesN(match, progress, samples)
+}
+
 // LoadBenchReport reads a BENCH_*.json snapshot from disk.
 func LoadBenchReport(path string) (BenchReport, error) {
 	return benchharness.LoadReport(path)
